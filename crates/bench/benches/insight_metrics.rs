@@ -1,0 +1,70 @@
+//! Criterion bench: exact per-class metric cost on one column/pair —
+//! quantifies which ranking metrics are "fast and easy" single-pass
+//! computations and which ones need the sketch path (paper §3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use foresight_data::CategoricalColumn;
+use foresight_stats::correlation::{kendall_tau_b, pearson, spearman};
+use foresight_stats::dependence::binned_mutual_information;
+use foresight_stats::histogram::BinRule;
+use foresight_stats::multimodal::dip_statistic;
+use foresight_stats::normality::normality_score;
+use foresight_stats::outlier::{outlier_strength, IqrDetector};
+use foresight_stats::{FrequencyTable, Moments};
+
+fn column(n: usize, phase: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(phase);
+            (x >> 33) as f64 / 1e9
+        })
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let n = 50_000;
+    let x = column(n, 1);
+    let y: Vec<f64> = x
+        .iter()
+        .zip(column(n, 2))
+        .map(|(a, b)| 0.7 * a + 0.3 * b)
+        .collect();
+    let labels = CategoricalColumn::from_strings((0..n).map(|i| format!("g{}", (i * i) % 40)));
+
+    let mut group = c.benchmark_group("exact_metric_cost_50k");
+    group.sample_size(10);
+    group.bench_function("moments(var,skew,kurt)", |b| {
+        b.iter(|| black_box(Moments::from_slice(&x).kurtosis()))
+    });
+    group.bench_function("pearson", |b| b.iter(|| black_box(pearson(&x, &y))));
+    group.bench_function("spearman", |b| b.iter(|| black_box(spearman(&x, &y))));
+    group.bench_function("normality(jb)", |b| {
+        b.iter(|| black_box(normality_score(&x)))
+    });
+    group.bench_function("outlier_strength(iqr)", |b| {
+        b.iter(|| black_box(outlier_strength(&x, &IqrDetector::default())))
+    });
+    group.bench_function("dip", |b| b.iter(|| black_box(dip_statistic(&x))));
+    group.bench_function("binned_mi", |b| {
+        b.iter(|| black_box(binned_mutual_information(&x, &y, BinRule::Fixed(16))))
+    });
+    group.bench_function("rel_freq", |b| {
+        b.iter(|| black_box(FrequencyTable::from_column(&labels).rel_freq(3)))
+    });
+    group.finish();
+
+    // Kendall is O(n²): bench at a smaller size to keep runtime sane.
+    let xs = column(2_000, 3);
+    let ys = column(2_000, 4);
+    let mut small = c.benchmark_group("exact_metric_cost_2k");
+    small.sample_size(10);
+    small.bench_function("kendall_tau_b", |b| {
+        b.iter(|| black_box(kendall_tau_b(&xs, &ys)))
+    });
+    small.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for experiment T2: exact vs sketch preprocessing,
+//! sequential vs rayon-parallel, across table widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foresight_bench::{exact_preprocess, workload};
+use foresight_sketch::{CatalogConfig, SketchCatalog};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    for &cols in &[25usize, 50, 100] {
+        let (table, _) = workload(10_000, cols, 5);
+        group.bench_with_input(BenchmarkId::new("exact", cols), &table, |b, t| {
+            b.iter(|| exact_preprocess(t))
+        });
+        group.bench_with_input(BenchmarkId::new("sketch", cols), &table, |b, t| {
+            b.iter(|| SketchCatalog::build(t, &CatalogConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("sketch-parallel", cols), &table, |b, t| {
+            b.iter(|| {
+                SketchCatalog::build(
+                    t,
+                    &CatalogConfig {
+                        parallel: true,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for experiment T3: insight-query latency in sketch mode
+//! vs exact mode at interactive scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foresight_bench::workload;
+use foresight_engine::{Executor, InsightQuery};
+use foresight_insight::InsightRegistry;
+use foresight_sketch::{CatalogConfig, SketchCatalog};
+
+fn bench_queries(c: &mut Criterion) {
+    let (table, _) = workload(50_000, 64, 9);
+    let registry = InsightRegistry::default();
+    let catalog = SketchCatalog::build(&table, &CatalogConfig::default());
+
+    let queries = [
+        (
+            "top5-correlations",
+            InsightQuery::class("linear-relationship").top_k(5),
+        ),
+        (
+            "fixed-attr-range",
+            InsightQuery::class("linear-relationship")
+                .top_k(5)
+                .fix_attr(0)
+                .score_range(0.3, 0.9),
+        ),
+        ("top5-skew", InsightQuery::class("skew").top_k(5)),
+        (
+            "top5-monotonic",
+            InsightQuery::class("monotonic-relationship").top_k(5),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        let approx = Executor::approximate(&table, &registry, &catalog);
+        group.bench_with_input(BenchmarkId::new("sketch", name), q, |b, q| {
+            b.iter(|| approx.execute(q).expect("valid"))
+        });
+        let exact = Executor::exact(&table, &registry);
+        group.bench_with_input(BenchmarkId::new("exact", name), q, |b, q| {
+            b.iter(|| exact.execute(q).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

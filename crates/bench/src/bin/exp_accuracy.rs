@@ -1,0 +1,206 @@
+//! **Experiment T1 — sketch accuracy.** The paper claims ">90% accuracy"
+//! for the sketch estimates (§3). This experiment measures estimator error
+//! against exact ground truth for every sketch family:
+//!
+//! * hyperplane correlation: relative error vs k and n (incl. the paper's
+//!   `k = O(log²n)` sizing rule);
+//! * KLL quantiles: rank error;
+//! * SpaceSaving `RelFreq(k)`: absolute error;
+//! * entropy sketch: absolute error in nats.
+
+use foresight_bench::print_table;
+use foresight_data::datasets::dist::Zipf;
+use foresight_data::datasets::{synth, SynthConfig};
+use foresight_sketch::hyperplane::{HyperplaneConfig, SharedHyperplanes};
+use foresight_sketch::{EntropySketch, KllSketch, SpaceSaving};
+use foresight_stats::correlation::pearson;
+use foresight_stats::FrequencyTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hyperplane_accuracy() {
+    let mut rows = Vec::new();
+    for &n in &[5_000usize, 20_000, 100_000] {
+        // 10 planted pairs with |rho| in [0.5, 0.95] — enough pairs that the
+        // mean error is stable
+        let (table, truth) = synth(&SynthConfig {
+            rows: n,
+            numeric_cols: 20,
+            categorical_cols: 0,
+            correlated_fraction: 1.0,
+            rho_range: (0.5, 0.95),
+            skewed_fraction: 0.0,
+            heavy_fraction: 0.0,
+            bimodal_fraction: 0.0,
+            seed: 7,
+            ..Default::default()
+        });
+        let cols: Vec<&[f64]> = table
+            .numeric_indices()
+            .iter()
+            .map(|&i| table.numeric(i).unwrap().values())
+            .collect();
+        let paper_k = HyperplaneConfig::for_rows(n, 0).k;
+        for &k in &[64usize, 256, paper_k, 2048] {
+            let hp = SharedHyperplanes::new(HyperplaneConfig {
+                k,
+                seed: 11,
+                ..Default::default()
+            });
+            let sketches = hp.sketch_columns(&cols);
+            let mut sum_rel = 0.0;
+            let mut sum_abs = 0.0;
+            let mut count = 0;
+            let mut correct_sign = 0;
+            for &(i, j, _) in &truth.correlated_pairs {
+                let exact = pearson(cols[i], cols[j]);
+                let est = sketches[i].correlation(&sketches[j]).unwrap();
+                sum_rel += ((est - exact) / exact).abs();
+                sum_abs += (est - exact).abs();
+                if est.signum() == exact.signum() {
+                    correct_sign += 1;
+                }
+                count += 1;
+            }
+            let mean_rel = sum_rel / count as f64;
+            let mean_abs = sum_abs / count as f64;
+            rows.push(vec![
+                n.to_string(),
+                format!("{k}{}", if k == paper_k { " (log²n rule)" } else { "" }),
+                format!("{mean_abs:.3}"),
+                format!("{:.1}%", 100.0 * mean_rel),
+                format!("{:.1}%", 100.0 * (1.0 - mean_rel)),
+                format!("{correct_sign}/{count}"),
+            ]);
+        }
+    }
+    print_table(
+        "T1a — hyperplane correlation sketch accuracy (10 planted pairs, |rho| in [0.5, 0.95])",
+        &[
+            "n",
+            "k",
+            "mean |err|",
+            "mean rel err",
+            "accuracy",
+            "sign correct",
+        ],
+        &rows,
+    );
+}
+
+fn quantile_accuracy() {
+    let mut rows = Vec::new();
+    for &n in &[10_000usize, 100_000] {
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % n as u64) as f64)
+            .collect();
+        for &k in &[64usize, 200, 800] {
+            let mut sk = KllSketch::new(k);
+            for &v in &data {
+                sk.insert(v);
+            }
+            let mut max_rank_err = 0.0f64;
+            for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                let est = sk.quantile(q).unwrap();
+                let true_rank = (est + 1.0) / n as f64;
+                max_rank_err = max_rank_err.max((true_rank - q).abs());
+            }
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                sk.retained().to_string(),
+                format!("{:.2}%", 100.0 * max_rank_err),
+                format!("{:.1}%", 100.0 * (1.0 - max_rank_err)),
+            ]);
+        }
+    }
+    print_table(
+        "T1b — KLL quantile sketch accuracy",
+        &["n", "k", "retained", "max rank err", "accuracy"],
+        &rows,
+    );
+}
+
+fn rel_freq_accuracy() {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    for &card in &[100usize, 1_000, 10_000] {
+        let z = Zipf::new(card, 1.1);
+        let labels: Vec<String> = (0..200_000)
+            .map(|_| format!("v{}", z.sample(&mut rng)))
+            .collect();
+        let col =
+            foresight_data::CategoricalColumn::from_strings(labels.iter().map(String::as_str));
+        let exact = FrequencyTable::from_column(&col);
+        for &m in &[32usize, 64, 256] {
+            let mut ss = SpaceSaving::new(m);
+            for l in &labels {
+                ss.insert(l);
+            }
+            let exact_rf = exact.rel_freq(5);
+            let est_rf = ss.rel_freq(5);
+            rows.push(vec![
+                card.to_string(),
+                m.to_string(),
+                format!("{exact_rf:.4}"),
+                format!("{est_rf:.4}"),
+                format!("{:.2}%", 100.0 * (est_rf - exact_rf).abs() / exact_rf),
+            ]);
+        }
+    }
+    print_table(
+        "T1c — SpaceSaving RelFreq(5) accuracy (Zipf streams, n = 200k)",
+        &["cardinality", "counters", "exact", "sketch", "rel err"],
+        &rows,
+    );
+}
+
+fn entropy_accuracy() {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for &card in &[16usize, 256, 4_096] {
+        let z = Zipf::new(card, 1.0);
+        let mut counts = vec![0u64; card];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let n: u64 = counts.iter().sum();
+        let truth: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                -p * p.ln()
+            })
+            .sum();
+        for &k in &[256usize, 1_024] {
+            let mut sk = EntropySketch::new(k, 17);
+            for (i, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    sk.insert_weighted(&format!("v{i}"), c);
+                }
+            }
+            let est = sk.estimate();
+            rows.push(vec![
+                card.to_string(),
+                k.to_string(),
+                format!("{truth:.3}"),
+                format!("{est:.3}"),
+                format!("{:.1}%", 100.0 * (est - truth).abs() / truth.max(1e-9)),
+            ]);
+        }
+    }
+    print_table(
+        "T1d — entropy sketch accuracy (Zipf, n = 100k)",
+        &["cardinality", "registers", "exact H", "estimate", "rel err"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("# Experiment T1: sketch accuracy (paper claim: >90%)");
+    hyperplane_accuracy();
+    quantile_accuracy();
+    rel_freq_accuracy();
+    entropy_accuracy();
+}

@@ -1,0 +1,51 @@
+//! **Experiment F1 — Figure 1.** Regenerates the paper's carousel view:
+//! ranked insight strips for every class on the OECD dataset, rendered as
+//! terminal carousels, plus SVGs under `target/figures/fig1/`.
+//!
+//! The paper's screenshot shows 3 of 12 classes (correlations, outliers,
+//! heavy tails); we render all 12.
+
+use foresight_data::datasets;
+use foresight_engine::Foresight;
+use foresight_sketch::CatalogConfig;
+use foresight_viz::{carousel, render_svg, render_text, SvgOptions};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = Path::new("target/figures/fig1");
+    fs::create_dir_all(out_dir).expect("create output dir");
+
+    let mut engine = Foresight::new(datasets::oecd());
+    engine.preprocess(&CatalogConfig::default());
+    let carousels = engine.carousels(3).expect("default classes");
+
+    println!("# Figure 1: insight carousels (OECD, top 3 per class)\n");
+    let mut written = 0;
+    for c in &carousels {
+        if c.instances.is_empty() {
+            continue;
+        }
+        println!("── {} — ranked by {} ──", c.class_name, c.metric);
+        let mut blocks = Vec::new();
+        for (rank, inst) in c.instances.iter().enumerate() {
+            if let Ok(Some(spec)) = engine.chart(inst) {
+                blocks.push(render_text(&spec, 34));
+                let svg = render_svg(&spec, SvgOptions::default());
+                let path = out_dir.join(format!("{}_{rank}.svg", c.class_id));
+                fs::write(&path, svg).expect("write svg");
+                written += 1;
+            }
+        }
+        print!("{}", carousel(&blocks, 1));
+        println!();
+    }
+    println!("wrote {written} SVG charts to {}", out_dir.display());
+
+    // the closest artifact to the paper's actual screenshot: the full
+    // carousel page as one self-contained HTML document
+    let report = engine.report(3).expect("default classes");
+    let path = out_dir.join("fig1.html");
+    fs::write(&path, report.to_html()).expect("write report");
+    println!("wrote {}", path.display());
+}

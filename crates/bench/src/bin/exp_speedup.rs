@@ -1,0 +1,59 @@
+//! **Experiment T2 — preprocessing speedup.** The paper claims "3×–4×
+//! speedup in preprocessing" without parallelism (§3). We compare:
+//!
+//! * **exact preprocessing** — everything needed to answer insight queries
+//!   exactly: per-column moments + sorted copies, and the full pairwise
+//!   Pearson *and* Spearman matrices (`O(|B|²·n)`), vs
+//! * **sketch preprocessing** — the catalog build (`O(|B|·n·k)`): moments,
+//!   KLL, reservoirs, heavy hitters, entropy registers, and both hyperplane
+//!   families.
+//!
+//! The exact path is quadratic in the attribute count while the sketch path
+//! is linear, so the speedup grows with `|B|` — the paper's 3–4× band is
+//! the "attributes in the hundreds" regime. A rayon-parallel catalog column
+//! is included as the paper's future-work ablation.
+
+use foresight_bench::{exact_preprocess, fmt_duration, time, workload};
+use foresight_sketch::{CatalogConfig, SketchCatalog};
+
+fn main() {
+    println!("# Experiment T2: preprocessing time, exact vs sketch (paper claim: 3-4x)\n");
+    println!(
+        "| {:>8} | {:>5} | {:>10} | {:>10} | {:>8} | {:>12} |",
+        "rows", "cols", "exact", "sketch", "speedup", "sketch (par)"
+    );
+    println!("|----------|-------|------------|------------|----------|--------------|");
+
+    for &(rows, cols) in &[
+        (50_000usize, 50usize),
+        (50_000, 100),
+        (50_000, 200),
+        (20_000, 400),
+        (20_000, 800),
+    ] {
+        let (table, _) = workload(rows, cols, 21);
+
+        let (_, exact_time) = time(|| exact_preprocess(&table));
+
+        let seq_cfg = CatalogConfig::default();
+        let (catalog, sketch_time) = time(|| SketchCatalog::build(&table, &seq_cfg));
+
+        let par_cfg = CatalogConfig {
+            parallel: true,
+            ..Default::default()
+        };
+        let (_, par_time) = time(|| SketchCatalog::build(&table, &par_cfg));
+
+        let speedup = exact_time.as_secs_f64() / sketch_time.as_secs_f64();
+        println!(
+            "| {rows:>8} | {cols:>5} | {:>10} | {:>10} | {speedup:>7.2}x | {:>12} |",
+            fmt_duration(exact_time),
+            fmt_duration(sketch_time),
+            fmt_duration(par_time),
+        );
+        // keep the catalog alive so the build isn't optimized away
+        assert!(catalog.rows() == rows);
+    }
+
+    println!("\n(k follows the paper's log²n rule; 'sketch (par)' is the rayon ablation)");
+}

@@ -1,0 +1,329 @@
+//! Column storage: numeric columns as `f64` vectors (NaN encodes missing),
+//! categorical columns dictionary-encoded as `u32` codes into a label table.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel code for a missing categorical value.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// The type of a column, as used by insight-class applicability rules
+/// (the paper's sets *B* — numeric — and *C* — categorical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Real-valued attribute (the paper's set `B`).
+    Numeric,
+    /// Categorical attribute (the paper's set `C`).
+    Categorical,
+}
+
+impl ColumnType {
+    /// Static name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Numeric => "numeric",
+            ColumnType::Categorical => "categorical",
+        }
+    }
+}
+
+/// A numeric column. Missing values are stored as `NaN`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NumericColumn {
+    values: Vec<f64>,
+}
+
+impl NumericColumn {
+    /// Creates a column from raw values; `NaN` entries are treated as missing.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// Creates a column from optional values.
+    pub fn from_options(values: impl IntoIterator<Item = Option<f64>>) -> Self {
+        Self {
+            values: values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+        }
+    }
+
+    /// Number of rows (including missing).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values; missing entries are `NaN`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over the present (non-missing) values.
+    pub fn present(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied().filter(|v| !v.is_nan())
+    }
+
+    /// The present values collected into a vector. Many statistics routines
+    /// want a contiguous, NaN-free slice.
+    pub fn present_vec(&self) -> Vec<f64> {
+        self.present().collect()
+    }
+
+    /// Number of missing entries.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Value at `row` (`None` when missing or out of range).
+    pub fn get(&self, row: usize) -> Option<f64> {
+        self.values.get(row).copied().filter(|v| !v.is_nan())
+    }
+
+    /// Appends a value (use `NaN` for missing).
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+}
+
+/// A categorical column, dictionary encoded. Each distinct label is assigned
+/// a dense `u32` code; rows store codes. [`NULL_CODE`] marks a missing cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalColumn {
+    codes: Vec<u32>,
+    labels: Vec<String>,
+}
+
+impl CategoricalColumn {
+    /// Builds a column from string-ish values, constructing the dictionary in
+    /// first-appearance order. Empty strings become missing.
+    pub fn from_strings<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let mut col = Self::default();
+        for v in values {
+            let s = v.as_ref();
+            if s.is_empty() {
+                col.push_null();
+            } else {
+                col.push(s);
+            }
+        }
+        col
+    }
+
+    /// Builds a column from optional string values.
+    pub fn from_options<S: AsRef<str>>(values: impl IntoIterator<Item = Option<S>>) -> Self {
+        let mut col = Self::default();
+        for v in values {
+            match v {
+                Some(s) => col.push(s.as_ref()),
+                None => col.push_null(),
+            }
+        }
+        col
+    }
+
+    /// Number of rows (including missing).
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The dictionary of labels, indexed by code.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The per-row codes; [`NULL_CODE`] marks missing cells.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of distinct labels observed (missing excluded).
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of missing entries.
+    pub fn null_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NULL_CODE).count()
+    }
+
+    /// Label at `row` (`None` when missing or out of range).
+    pub fn get(&self, row: usize) -> Option<&str> {
+        match self.codes.get(row) {
+            Some(&c) if c != NULL_CODE => Some(&self.labels[c as usize]),
+            _ => None,
+        }
+    }
+
+    /// Appends a label, interning it if new.
+    pub fn push(&mut self, label: &str) {
+        // Linear scan is fine for the typical dictionary sizes here; switch to
+        // a side HashMap if a dataset ever has very high cardinality.
+        let code = match self.labels.iter().position(|l| l == label) {
+            Some(i) => i as u32,
+            None => {
+                self.labels.push(label.to_owned());
+                (self.labels.len() - 1) as u32
+            }
+        };
+        self.codes.push(code);
+    }
+
+    /// Appends a missing cell.
+    pub fn push_null(&mut self) {
+        self.codes.push(NULL_CODE);
+    }
+
+    /// Iterator over present codes (missing skipped).
+    pub fn present_codes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.codes.iter().copied().filter(|&c| c != NULL_CODE)
+    }
+}
+
+/// A column of either type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Numeric storage.
+    Numeric(NumericColumn),
+    /// Categorical storage.
+    Categorical(CategoricalColumn),
+}
+
+impl Column {
+    /// The column's type tag.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Numeric(_) => ColumnType::Numeric,
+            Column::Categorical(_) => ColumnType::Categorical,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(c) => c.len(),
+            Column::Categorical(c) => c.len(),
+        }
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of missing entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Numeric(c) => c.null_count(),
+            Column::Categorical(c) => c.null_count(),
+        }
+    }
+
+    /// The numeric view, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&NumericColumn> {
+        match self {
+            Column::Numeric(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The categorical view, if this is a categorical column.
+    pub fn as_categorical(&self) -> Option<&CategoricalColumn> {
+        match self {
+            Column::Categorical(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Cell at `row` as a boundary [`Value`].
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Numeric(c) => c.get(row).map(Value::Number).unwrap_or(Value::Null),
+            Column::Categorical(c) => c
+                .get(row)
+                .map(|s| Value::Text(s.to_owned()))
+                .unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl From<NumericColumn> for Column {
+    fn from(c: NumericColumn) -> Self {
+        Column::Numeric(c)
+    }
+}
+
+impl From<CategoricalColumn> for Column {
+    fn from(c: CategoricalColumn) -> Self {
+        Column::Categorical(c)
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::Numeric(NumericColumn::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_missing_handling() {
+        let c = NumericColumn::new(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.present_vec(), vec![1.0, 3.0]);
+        assert_eq!(c.get(0), Some(1.0));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(9), None);
+    }
+
+    #[test]
+    fn numeric_from_options() {
+        let c = NumericColumn::from_options([Some(1.0), None, Some(2.0)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.present_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn categorical_dictionary_encoding() {
+        let c = CategoricalColumn::from_strings(["a", "b", "a", "", "c", "b"]);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Some("a"));
+        assert_eq!(c.get(2), Some("a"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.codes()[0], c.codes()[2]);
+        assert_eq!(c.labels(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn column_values_at_boundary() {
+        let n: Column = vec![1.0, f64::NAN].into();
+        assert_eq!(n.value(0), Value::Number(1.0));
+        assert_eq!(n.value(1), Value::Null);
+        let c: Column = CategoricalColumn::from_strings(["x"]).into();
+        assert_eq!(c.value(0), Value::Text("x".into()));
+        assert_eq!(c.value(7), Value::Null);
+    }
+
+    #[test]
+    fn column_type_tags() {
+        let n: Column = vec![1.0].into();
+        assert_eq!(n.column_type(), ColumnType::Numeric);
+        assert!(n.as_numeric().is_some());
+        assert!(n.as_categorical().is_none());
+        assert_eq!(ColumnType::Numeric.name(), "numeric");
+        assert_eq!(ColumnType::Categorical.name(), "categorical");
+    }
+}

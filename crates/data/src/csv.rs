@@ -1,0 +1,259 @@
+//! A small, dependency-free CSV reader/writer (RFC 4180 subset).
+//!
+//! Handles quoted fields, embedded commas, embedded quotes (`""`), and
+//! embedded newlines inside quotes. Type inference is delegated to
+//! [`crate::infer`].
+
+use crate::error::{DataError, Result};
+use crate::infer::{infer_columns, InferOptions};
+use crate::table::Table;
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses one CSV record starting at `pos` in `input`.
+///
+/// Returns the fields and the byte offset just past the record's terminator.
+/// `line` is updated as newlines are consumed (for error messages).
+fn parse_record(input: &[u8], mut pos: usize, line: &mut usize) -> Result<(Vec<String>, usize)> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let start_line = *line;
+
+    while pos < input.len() {
+        let b = input[pos];
+        if in_quotes {
+            match b {
+                b'"' => {
+                    if input.get(pos + 1) == Some(&b'"') {
+                        field.push('"');
+                        pos += 2;
+                    } else {
+                        in_quotes = false;
+                        pos += 1;
+                    }
+                }
+                b'\n' => {
+                    field.push('\n');
+                    *line += 1;
+                    pos += 1;
+                }
+                _ => {
+                    field.push(b as char);
+                    pos += 1;
+                }
+            }
+        } else {
+            match b {
+                b'"' => {
+                    if !field.is_empty() {
+                        return Err(DataError::Csv {
+                            line: *line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                    pos += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    pos += 1;
+                }
+                b'\r' => {
+                    if input.get(pos + 1) == Some(&b'\n') {
+                        pos += 1;
+                        continue;
+                    }
+                    pos += 1; // lone \r: ignore
+                }
+                b'\n' => {
+                    *line += 1;
+                    fields.push(field);
+                    return Ok((fields, pos + 1));
+                }
+                _ => {
+                    field.push(b as char);
+                    pos += 1;
+                }
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line: start_line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok((fields, pos))
+}
+
+/// Parses CSV text into raw rows of string fields.
+///
+/// The first record is NOT treated specially; header handling happens in
+/// [`read_csv`]. Trailing blank lines are ignored.
+pub fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let bytes = text.as_bytes();
+    let mut rows = Vec::new();
+    let mut pos = 0;
+    let mut line = 1;
+    while pos < bytes.len() {
+        let (fields, next) = parse_record(bytes, pos, &mut line)?;
+        pos = next;
+        if fields.len() == 1 && fields[0].is_empty() {
+            continue; // blank line
+        }
+        rows.push(fields);
+    }
+    Ok(rows)
+}
+
+/// Reads a CSV document (with a header row) from any reader and infers a
+/// typed [`Table`].
+pub fn read_csv_from(reader: impl Read, name: &str, options: &InferOptions) -> Result<Table> {
+    let mut text = String::new();
+    BufReader::new(reader).read_to_string(&mut text)?;
+    read_csv_str(&text, name, options)
+}
+
+/// Reads a CSV document (with a header row) from a string.
+///
+/// # Examples
+/// ```
+/// use foresight_data::csv::read_csv_str;
+/// use foresight_data::infer::InferOptions;
+///
+/// let t = read_csv_str("x,label\n1.5,a\n2.5,b\n", "demo", &InferOptions::default()).unwrap();
+/// assert_eq!(t.n_rows(), 2);
+/// assert!(t.numeric_by_name("x").is_ok());
+/// assert!(t.categorical_by_name("label").is_ok());
+/// ```
+pub fn read_csv_str(text: &str, name: &str, options: &InferOptions) -> Result<Table> {
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Err(DataError::Empty("csv document has no rows"));
+    }
+    let header = rows.remove(0);
+    let width = header.len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != width {
+            return Err(DataError::Csv {
+                line: i + 2,
+                message: format!("expected {width} fields, found {}", row.len()),
+            });
+        }
+    }
+    infer_columns(name, &header, &rows, options)
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv(path: impl AsRef<Path>, options: &InferOptions) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "table".to_owned());
+    let file = std::fs::File::open(path)?;
+    read_csv_from(file, &name, options)
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes a table as CSV (header + rows) to any writer.
+pub fn write_csv_to(table: &Table, mut writer: impl Write) -> Result<()> {
+    let header: Vec<String> = table.schema().names().map(escape).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for r in 0..table.n_rows() {
+        let row: Vec<String> = table
+            .row(r)
+            .iter()
+            .map(|v| escape(&v.to_string()))
+            .collect();
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serializes a table to a CSV string.
+pub fn write_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv_to(table, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("csv output is utf-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_parse() {
+        let rows = parse_rows("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b"]);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let rows = parse_rows("\"a,b\",\"he said \"\"hi\"\"\"\n\"multi\nline\",x\n").unwrap();
+        assert_eq!(rows[0], vec!["a,b", "he said \"hi\""]);
+        assert_eq!(rows[1], vec!["multi\nline", "x"]);
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline() {
+        let rows = parse_rows("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+        // no trailing newline
+        let rows = parse_rows("a,b\n1,2").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse_rows("\"unterminated"),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(parse_rows("ab\"cd,e"), Err(DataError::Csv { .. })));
+        assert!(matches!(
+            read_csv_str("a,b\n1\n", "t", &InferOptions::default()),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(
+            read_csv_str("", "t", &InferOptions::default()),
+            Err(DataError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn typed_read() {
+        let t = read_csv_str(
+            "x,cat,y\n1,a,10\n2,b,\n3,a,30\n",
+            "t",
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.n_rows(), 3);
+        let y = t.numeric_by_name("y").unwrap();
+        assert_eq!(y.null_count(), 1);
+        assert_eq!(t.categorical_by_name("cat").unwrap().cardinality(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "x,cat\n1,a\n2,\"b,c\"\n";
+        let t = read_csv_str(src, "t", &InferOptions::default()).unwrap();
+        let out = write_csv_string(&t).unwrap();
+        let t2 = read_csv_str(&out, "t", &InferOptions::default()).unwrap();
+        assert_eq!(t, t2);
+    }
+}

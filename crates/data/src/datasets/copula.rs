@@ -1,0 +1,298 @@
+//! Gaussian-copula machinery for planting correlation structure.
+//!
+//! Generators describe a block-diagonal latent correlation matrix; we sample
+//! multivariate normal rows via a Cholesky factor and then push each latent
+//! column through a monotone marginal transform. Monotone transforms preserve
+//! rank (Spearman) correlation exactly and Pearson correlation approximately,
+//! which is all the planted "insights" need.
+
+use super::dist::std_normal;
+use rand::Rng;
+
+/// A dense, symmetric correlation matrix under construction.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// The identity correlation (all variables independent).
+    pub fn identity(d: usize) -> Self {
+        let mut data = vec![0.0; d * d];
+        for i in 0..d {
+            data[i * d + i] = 1.0;
+        }
+        Self { d, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.d + j]
+    }
+
+    /// Sets `ρ(i, j) = ρ(j, i) = rho`.
+    pub fn set(&mut self, i: usize, j: usize, rho: f64) {
+        assert!(i != j, "diagonal is fixed at 1");
+        assert!((-1.0..=1.0).contains(&rho), "correlation out of range");
+        self.data[i * self.d + j] = rho;
+        self.data[j * self.d + i] = rho;
+    }
+
+    /// Cholesky factorization `R = L·Lᵀ`. Returns `None` when the matrix is
+    /// not positive definite (i.e. the requested correlations are mutually
+    /// inconsistent).
+    pub fn cholesky(&self) -> Option<Cholesky> {
+        let d = self.d;
+        let mut l = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * d + k] * l[j * d + k];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return None;
+                    }
+                    l[i * d + i] = sum.sqrt();
+                } else {
+                    l[i * d + j] = sum / l[j * d + j];
+                }
+            }
+        }
+        Some(Cholesky { d, l })
+    }
+}
+
+/// A lower-triangular Cholesky factor of a correlation matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    d: usize,
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Samples one latent row `z ~ N(0, R)` into `out` (length `d`),
+    /// consuming `d` independent standard normals from `rng`.
+    pub fn sample_row(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.d);
+        let mut eps = vec![0.0; self.d];
+        for e in &mut eps {
+            *e = std_normal(rng);
+        }
+        for i in 0..self.d {
+            let mut acc = 0.0;
+            for k in 0..=i {
+                acc += self.l[i * self.d + k] * eps[k];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Samples `n` latent rows, returned column-major (`d` columns of
+    /// length `n`) ready to become table columns.
+    pub fn sample_columns(&self, rng: &mut impl Rng, n: usize) -> Vec<Vec<f64>> {
+        let mut cols = vec![vec![0.0; n]; self.d];
+        let mut row = vec![0.0; self.d];
+        for r in 0..n {
+            self.sample_row(rng, &mut row);
+            for (c, col) in cols.iter_mut().enumerate() {
+                col[r] = row[c];
+            }
+        }
+        cols
+    }
+}
+
+/// Monotone marginal transforms applied to a latent standard-normal column.
+#[derive(Debug, Clone, Copy)]
+pub enum Marginal {
+    /// `loc + scale·z` — stays exactly normal.
+    Normal {
+        /// Location.
+        loc: f64,
+        /// Scale (> 0).
+        scale: f64,
+    },
+    /// `loc + scale·exp(shape·z)` — right-skewed (lognormal shape).
+    RightSkew {
+        /// Location.
+        loc: f64,
+        /// Scale (> 0).
+        scale: f64,
+        /// Skew intensity (> 0); larger = more skew.
+        shape: f64,
+    },
+    /// `loc − scale·exp(−shape·z)` — left-skewed (mirror lognormal).
+    LeftSkew {
+        /// Location (upper anchor).
+        loc: f64,
+        /// Scale (> 0).
+        scale: f64,
+        /// Skew intensity (> 0).
+        shape: f64,
+    },
+    /// `loc + scale·sinh(z/shape)·shape` — symmetric heavy tails
+    /// (inverse of an asinh compression; shape < 1 fattens tails).
+    HeavyTail {
+        /// Location.
+        loc: f64,
+        /// Scale (> 0).
+        scale: f64,
+        /// Tail parameter in (0, 1]; smaller = heavier.
+        shape: f64,
+    },
+    /// Clamp of a normal into `[lo, hi]` (min/max saturation) — e.g.
+    /// percentage indicators.
+    Bounded {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Location.
+        loc: f64,
+        /// Scale.
+        scale: f64,
+    },
+}
+
+impl Marginal {
+    /// Applies the transform to one latent value.
+    pub fn apply(&self, z: f64) -> f64 {
+        match *self {
+            Marginal::Normal { loc, scale } => loc + scale * z,
+            Marginal::RightSkew { loc, scale, shape } => loc + scale * (shape * z).exp(),
+            Marginal::LeftSkew { loc, scale, shape } => loc - scale * (-shape * z).exp(),
+            Marginal::HeavyTail { loc, scale, shape } => loc + scale * shape * (z / shape).sinh(),
+            Marginal::Bounded { lo, hi, loc, scale } => (loc + scale * z).clamp(lo, hi),
+        }
+    }
+
+    /// Applies the transform to a whole latent column in place.
+    pub fn apply_column(&self, col: &mut [f64]) {
+        for v in col {
+            *v = self.apply(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+            syy += (b - my) * (b - my);
+        }
+        sxy / (sxx * syy).sqrt()
+    }
+
+    #[test]
+    fn planted_correlation_is_recovered() {
+        let mut r = CorrelationMatrix::identity(4);
+        r.set(0, 1, -0.9);
+        r.set(2, 3, 0.7);
+        let chol = r.cholesky().expect("pd");
+        let mut rng = StdRng::seed_from_u64(7);
+        let cols = chol.sample_columns(&mut rng, 20_000);
+        assert!((pearson(&cols[0], &cols[1]) + 0.9).abs() < 0.02);
+        assert!((pearson(&cols[2], &cols[3]) - 0.7).abs() < 0.02);
+        assert!(pearson(&cols[0], &cols[2]).abs() < 0.03);
+    }
+
+    #[test]
+    fn non_pd_matrix_rejected() {
+        // rho(0,1)=rho(1,2)=0.9 with rho(0,2)=-0.9 is infeasible.
+        let mut r = CorrelationMatrix::identity(3);
+        r.set(0, 1, 0.9);
+        r.set(1, 2, 0.9);
+        r.set(0, 2, -0.9);
+        assert!(r.cholesky().is_none());
+    }
+
+    #[test]
+    fn marginals_shape_the_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z: Vec<f64> = (0..30_000)
+            .map(|_| super::super::dist::std_normal(&mut rng))
+            .collect();
+        let skewness = |xs: &[f64]| {
+            let n = xs.len() as f64;
+            let m = xs.iter().sum::<f64>() / n;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+            xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n / v.powf(1.5)
+        };
+
+        let mut right = z.clone();
+        Marginal::RightSkew {
+            loc: 0.0,
+            scale: 1.0,
+            shape: 0.8,
+        }
+        .apply_column(&mut right);
+        assert!(skewness(&right) > 1.0);
+
+        let mut left = z.clone();
+        Marginal::LeftSkew {
+            loc: 100.0,
+            scale: 10.0,
+            shape: 0.6,
+        }
+        .apply_column(&mut left);
+        assert!(skewness(&left) < -1.0);
+        assert!(left.iter().all(|&x| x < 100.0));
+
+        let mut norm = z.clone();
+        Marginal::Normal {
+            loc: 5.0,
+            scale: 2.0,
+        }
+        .apply_column(&mut norm);
+        assert!(skewness(&norm).abs() < 0.1);
+
+        let mut bounded = z;
+        Marginal::Bounded {
+            lo: 0.0,
+            hi: 100.0,
+            loc: 50.0,
+            scale: 40.0,
+        }
+        .apply_column(&mut bounded);
+        assert!(bounded.iter().all(|&x| (0.0..=100.0).contains(&x)));
+    }
+
+    #[test]
+    fn heavy_tail_marginal_has_excess_kurtosis() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut z: Vec<f64> = (0..30_000)
+            .map(|_| super::super::dist::std_normal(&mut rng))
+            .collect();
+        Marginal::HeavyTail {
+            loc: 0.0,
+            scale: 1.0,
+            shape: 0.4,
+        }
+        .apply_column(&mut z);
+        let n = z.len() as f64;
+        let m = z.iter().sum::<f64>() / n;
+        let v = z.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        let kurt = z.iter().map(|x| (x - m).powi(4)).sum::<f64>() / n / (v * v);
+        assert!(kurt > 5.0, "kurtosis {kurt}");
+    }
+}

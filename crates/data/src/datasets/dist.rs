@@ -1,0 +1,301 @@
+//! Random distributions used by the synthetic dataset generators.
+//!
+//! Implemented from scratch on top of [`rand::Rng`] so that the data crate
+//! has no dependency on external distribution crates. All samplers are
+//! deterministic given a seeded RNG.
+
+use rand::Rng;
+
+/// Samples a standard normal variate via the Marsaglia polar method.
+pub fn std_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0f64..1.0);
+        let v = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// Samples an exponential variate with rate `lambda` (mean `1/lambda`).
+pub fn exponential(rng: &mut impl Rng, lambda: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Samples a lognormal variate: `exp(N(mu, sigma²))`.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples a Pareto variate with scale `x_min > 0` and shape `alpha > 0`.
+///
+/// Heavy-tailed: the k-th moment exists only when `alpha > k`.
+pub fn pareto(rng: &mut impl Rng, x_min: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Samples a Student-t variate with `nu` degrees of freedom (Bailey's polar
+/// method). Heavy tails for small `nu`; kurtosis exists when `nu > 4`.
+pub fn student_t(rng: &mut impl Rng, nu: f64) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0f64..1.0);
+        let v = rng.gen_range(-1.0f64..1.0);
+        let w = u * u + v * v;
+        if w > 0.0 && w < 1.0 {
+            let c2 = u * u / w;
+            let r2 = nu * (w.powf(-2.0 / nu) - 1.0);
+            let t = (r2 * c2).sqrt();
+            return if rng.gen::<bool>() { t } else { -t };
+        }
+    }
+}
+
+/// A two-component Gaussian mixture: with probability `p1` draw from
+/// `N(mean1, sd1²)`, otherwise from `N(mean2, sd2²)`. Used to plant
+/// multimodality.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianMixture {
+    /// Probability of the first component.
+    pub p1: f64,
+    /// First component mean.
+    pub mean1: f64,
+    /// First component standard deviation.
+    pub sd1: f64,
+    /// Second component mean.
+    pub mean2: f64,
+    /// Second component standard deviation.
+    pub sd2: f64,
+}
+
+impl GaussianMixture {
+    /// A symmetric, well-separated bimodal mixture.
+    pub fn bimodal(separation: f64) -> Self {
+        Self {
+            p1: 0.5,
+            mean1: -separation / 2.0,
+            sd1: 1.0,
+            mean2: separation / 2.0,
+            sd2: 1.0,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if rng.gen::<f64>() < self.p1 {
+            normal(rng, self.mean1, self.sd1)
+        } else {
+            normal(rng, self.mean2, self.sd2)
+        }
+    }
+}
+
+/// A Zipf sampler over `{0, 1, …, n-1}` with exponent `s`, built from the
+/// inverse of the precomputed CDF. Rank 0 is the most frequent element.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be ≥ 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// The standard normal quantile function (inverse CDF), via the
+/// Acklam/Beasley-Springer-Moro rational approximation (|ε| < 1.15e-9).
+///
+/// Used both by generators (exact plotting positions) and by tests.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 style approximation, |ε| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.231_641_9 * x.abs());
+    let poly = t
+        * (0.319_381_530
+            + t * (-0.356_563_782
+                + t * (1.781_477_937 + t * (-1.821_255_978 + t * 1.330_274_429))));
+    let tail = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn mean_sd(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        (m, v.sqrt())
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| std_normal(&mut r)).collect();
+        let (m, sd) = mean_sd(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((sd - 1.0).abs() < 0.02, "sd {sd}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, 2.0)).collect();
+        let (m, _) = mean_sd(&xs);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_positive() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| pareto(&mut r, 1.0, 2.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        // mean of Pareto(1, 2) is alpha/(alpha-1) = 2
+        let (m, _) = mean_sd(&xs);
+        assert!((m - 2.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn student_t_symmetric() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| student_t(&mut r, 5.0)).collect();
+        let (m, sd) = mean_sd(&xs);
+        assert!(m.abs() < 0.05, "mean {m}");
+        // var of t(5) = 5/3
+        assert!((sd * sd - 5.0 / 3.0).abs() < 0.2, "var {}", sd * sd);
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let mut r = rng();
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[1] > counts[7]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn mixture_is_bimodal() {
+        let mut r = rng();
+        let m = GaussianMixture::bimodal(6.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| m.sample(&mut r)).collect();
+        let near_left = xs.iter().filter(|&&x| (x + 3.0).abs() < 1.0).count();
+        let near_right = xs.iter().filter(|&&x| (x - 3.0).abs() < 1.0).count();
+        let near_zero = xs.iter().filter(|&&x| x.abs() < 1.0).count();
+        assert!(near_left > near_zero * 3);
+        assert!(near_right > near_zero * 3);
+    }
+
+    #[test]
+    fn quantile_and_cdf_inverse() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!((back - p).abs() < 1e-5, "p={p} x={x} back={back}");
+        }
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,310 @@
+//! Synthetic stand-in for the paper's IMDB movie dataset
+//! (5 000 movies × 28 features).
+//!
+//! The demo's motivating questions — *what correlates with profitability?*
+//! *how are critical response and commercial success interrelated?* — are
+//! planted as distributional facts: gross loads on budget, score, and
+//! audience-engagement latents; budgets and grosses are heavy-tailed;
+//! director/actor name columns follow Zipf popularity.
+
+use super::dist::{self, Zipf};
+use crate::column::CategoricalColumn;
+use crate::table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of rows in the canonical table (matches the paper's "5000 movies").
+pub const ROWS: usize = 5_000;
+
+const GENRES: [&str; 12] = [
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Adventure",
+    "Romance",
+    "Crime",
+    "Horror",
+    "Sci-Fi",
+    "Fantasy",
+    "Animation",
+    "Documentary",
+];
+const RATINGS: [&str; 5] = ["R", "PG-13", "PG", "G", "Not Rated"];
+const COUNTRIES: [&str; 10] = [
+    "USA",
+    "UK",
+    "France",
+    "Germany",
+    "Canada",
+    "India",
+    "Australia",
+    "Japan",
+    "Spain",
+    "Italy",
+];
+const LANGUAGES: [&str; 8] = [
+    "English", "French", "Spanish", "Hindi", "Mandarin", "German", "Japanese", "Italian",
+];
+
+/// Generates the IMDB table with `n` movies.
+pub fn imdb_with(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Latent quality and hype factors per movie.
+    let quality: Vec<f64> = (0..n).map(|_| dist::std_normal(&mut rng)).collect();
+    let hype: Vec<f64> = (0..n).map(|_| dist::std_normal(&mut rng)).collect();
+
+    // Budget: heavy-tailed lognormal, in dollars.
+    let budget: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 16.6, 1.1).min(4.0e8))
+        .collect();
+
+    // IMDB score: quality + a little hype, clamped to [1, 10].
+    let imdb_score: Vec<f64> = (0..n)
+        .map(|i| {
+            (6.4 + 1.0 * quality[i] + 0.15 * hype[i] + 0.3 * dist::std_normal(&mut rng))
+                .clamp(1.0, 10.0)
+        })
+        .collect();
+
+    // Gross: multiplicative in budget, quality and hype — the planted
+    // profitability structure. log(gross) = a·log(budget) + b·quality + ...
+    let gross: Vec<f64> = (0..n)
+        .map(|i| {
+            let log_gross = 0.85 * budget[i].ln()
+                + 0.55 * quality[i]
+                + 0.75 * hype[i]
+                + 2.3
+                + 0.5 * dist::std_normal(&mut rng);
+            log_gross.exp().min(3.0e9)
+        })
+        .collect();
+    let profit: Vec<f64> = gross.iter().zip(&budget).map(|(g, b)| g - b).collect();
+
+    // Engagement counts: heavy-tailed, loading on hype and quality.
+    let num_voted: Vec<f64> = (0..n)
+        .map(|i| (9.5 + 1.1 * hype[i] + 0.6 * quality[i] + 0.8 * dist::std_normal(&mut rng)).exp())
+        .collect();
+    let num_reviews: Vec<f64> = num_voted
+        .iter()
+        .map(|&v| (v / 40.0 * dist::lognormal(&mut rng, 0.0, 0.4)).max(1.0))
+        .collect();
+    let num_critics: Vec<f64> = (0..n)
+        .map(|i| {
+            (4.5 + 0.7 * hype[i] + 0.5 * dist::std_normal(&mut rng))
+                .exp()
+                .min(900.0)
+        })
+        .collect();
+    let movie_fb_likes: Vec<f64> = (0..n)
+        .map(|i| (7.0 + 1.2 * hype[i] + 0.9 * dist::std_normal(&mut rng)).exp())
+        .collect();
+    let cast_fb_likes: Vec<f64> = (0..n)
+        .map(|i| (8.0 + 0.8 * hype[i] + 0.9 * dist::std_normal(&mut rng)).exp())
+        .collect();
+    let director_fb_likes: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 5.5, 1.6))
+        .collect();
+    let actor1_fb_likes: Vec<f64> = (0..n)
+        .map(|i| (7.2 + 0.6 * hype[i] + 1.0 * dist::std_normal(&mut rng)).exp())
+        .collect();
+    let actor2_fb_likes: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 6.2, 1.3))
+        .collect();
+    let actor3_fb_likes: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 5.4, 1.3))
+        .collect();
+
+    // Misc numeric features.
+    let title_year: Vec<f64> = (0..n)
+        .map(|_| {
+            (2016.0 - dist::exponential(&mut rng, 0.09))
+                .clamp(1920.0, 2016.0)
+                .round()
+        })
+        .collect();
+    let duration: Vec<f64> = (0..n)
+        .map(|_| {
+            dist::normal(&mut rng, 108.0, 20.0)
+                .clamp(45.0, 330.0)
+                .round()
+        })
+        .collect();
+    let aspect_ratio: Vec<f64> = (0..n)
+        .map(|_| if rng.gen::<f64>() < 0.7 { 2.35 } else { 1.85 })
+        .collect();
+    let face_number: Vec<f64> = (0..n)
+        .map(|_| dist::exponential(&mut rng, 0.6).floor().min(40.0))
+        .collect();
+
+    // Categorical features.
+    let director_zipf = Zipf::new(1_800, 1.05);
+    let director = CategoricalColumn::from_strings(
+        (0..n).map(|_| format!("Director {:04}", director_zipf.sample(&mut rng))),
+    );
+    let actor_zipf = Zipf::new(2_500, 1.0);
+    let actor1 = CategoricalColumn::from_strings(
+        (0..n).map(|_| format!("Actor {:04}", actor_zipf.sample(&mut rng))),
+    );
+    let actor2 = CategoricalColumn::from_strings(
+        (0..n).map(|_| format!("Actor {:04}", actor_zipf.sample(&mut rng))),
+    );
+    let actor3 = CategoricalColumn::from_strings(
+        (0..n).map(|_| format!("Actor {:04}", actor_zipf.sample(&mut rng))),
+    );
+    let genre_zipf = Zipf::new(GENRES.len(), 0.9);
+    let genre =
+        CategoricalColumn::from_strings((0..n).map(|_| GENRES[genre_zipf.sample(&mut rng)]));
+    let rating_zipf = Zipf::new(RATINGS.len(), 0.7);
+    let content_rating =
+        CategoricalColumn::from_strings((0..n).map(|_| RATINGS[rating_zipf.sample(&mut rng)]));
+    let country_zipf = Zipf::new(COUNTRIES.len(), 1.4);
+    let country =
+        CategoricalColumn::from_strings((0..n).map(|_| COUNTRIES[country_zipf.sample(&mut rng)]));
+    let language_zipf = Zipf::new(LANGUAGES.len(), 1.8);
+    let language =
+        CategoricalColumn::from_strings((0..n).map(|_| LANGUAGES[language_zipf.sample(&mut rng)]));
+    let color = CategoricalColumn::from_strings((0..n).map(|_| {
+        if rng.gen::<f64>() < 0.93 {
+            "Color"
+        } else {
+            "Black and White"
+        }
+    }));
+    let title = CategoricalColumn::from_strings((0..n).map(|i| format!("Movie #{i:04}")));
+
+    let followup_gross_ratio: Vec<f64> = {
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        gross
+            .iter()
+            .map(|&g| g.ln() / 20.0 + 0.05 * dist::std_normal(&mut rng2))
+            .collect()
+    };
+
+    TableBuilder::new("imdb")
+        .column("Movie Title", title)
+        .column("Director Name", director)
+        .column("Actor 1 Name", actor1)
+        .column("Actor 2 Name", actor2)
+        .column("Actor 3 Name", actor3)
+        .column("Genre", genre)
+        .column("Content Rating", content_rating)
+        .column("Country", country)
+        .column("Language", language)
+        .column("Color", color)
+        .numeric("Budget", budget)
+        .semantic("currency")
+        .numeric("Gross", gross)
+        .semantic("currency")
+        .numeric("Profit", profit)
+        .semantic("currency")
+        .numeric("IMDB Score", imdb_score)
+        .numeric("Num Voted Users", num_voted)
+        .numeric("Num User Reviews", num_reviews)
+        .numeric("Num Critic Reviews", num_critics)
+        .numeric("Movie Facebook Likes", movie_fb_likes)
+        .numeric("Cast Total Facebook Likes", cast_fb_likes)
+        .numeric("Director Facebook Likes", director_fb_likes)
+        .numeric("Actor 1 Facebook Likes", actor1_fb_likes)
+        .numeric("Actor 2 Facebook Likes", actor2_fb_likes)
+        .numeric("Actor 3 Facebook Likes", actor3_fb_likes)
+        .numeric("Title Year", title_year)
+        .semantic("year")
+        .numeric("Duration", duration)
+        .numeric("Aspect Ratio", aspect_ratio)
+        .numeric("Facenumber In Poster", face_number)
+        .numeric("Followup Gross Ratio", followup_gross_ratio)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// The canonical 5 000-movie IMDB demo table (deterministic).
+pub fn imdb() -> Table {
+    imdb_with(5000, ROWS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+            syy += (b - my) * (b - my);
+        }
+        sxy / (sxx * syy).sqrt()
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = imdb();
+        assert_eq!(t.n_rows(), 5_000);
+        assert_eq!(t.n_cols(), 28);
+    }
+
+    #[test]
+    fn budget_is_heavy_tailed() {
+        let t = imdb();
+        let b = t.numeric_by_name("Budget").unwrap().values();
+        let n = b.len() as f64;
+        let m = b.iter().sum::<f64>() / n;
+        let v = b.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        let skew = b.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n / v.powf(1.5);
+        assert!(skew > 2.0, "budget skew {skew}");
+    }
+
+    #[test]
+    fn profitability_correlates_with_engagement() {
+        let t = imdb();
+        // log-gross vs log-votes is a strong planted relationship
+        let g: Vec<f64> = t
+            .numeric_by_name("Gross")
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| v.ln())
+            .collect();
+        let v: Vec<f64> = t
+            .numeric_by_name("Num Voted Users")
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| v.ln())
+            .collect();
+        assert!(pearson(&g, &v) > 0.35, "rho = {}", pearson(&g, &v));
+        let s = t.numeric_by_name("IMDB Score").unwrap().values();
+        assert!(pearson(s, &v) > 0.25);
+    }
+
+    #[test]
+    fn director_popularity_is_zipfian() {
+        let t = imdb();
+        let d = t.categorical_by_name("Director Name").unwrap();
+        let mut counts = vec![0usize; d.cardinality()];
+        for c in d.present_codes() {
+            counts[c as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // top director directs far more movies than the median one
+        assert!(counts[0] >= 10 * counts[counts.len() / 2].max(1));
+    }
+
+    #[test]
+    fn currency_columns_tagged() {
+        let t = imdb_with(1, 50);
+        assert_eq!(t.schema().indices_with_semantic("currency").len(), 3);
+        assert_eq!(t.semantic(t.index_of("Budget").unwrap()), Some("currency"));
+        assert_eq!(t.semantic(t.index_of("Title Year").unwrap()), Some("year"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(imdb_with(9, 200), imdb_with(9, 200));
+    }
+}

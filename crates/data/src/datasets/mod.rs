@@ -1,0 +1,20 @@
+//! Synthetic dataset generators standing in for the paper's demo data.
+//!
+//! The VLDB'17 demo used three datasets: OECD wellbeing indicators,
+//! Parkinson's PPMI clinical descriptors, and IMDB movies. None of these are
+//! redistributable, so this module generates statistically equivalent
+//! substitutes with the distributional facts the paper's scenarios rely on
+//! planted deterministically (see `DESIGN.md` §3), plus a configurable
+//! generator for benchmark-scale workloads.
+
+pub mod copula;
+pub mod dist;
+pub mod imdb;
+pub mod oecd;
+pub mod parkinson;
+pub mod synth;
+
+pub use imdb::{imdb, imdb_with};
+pub use oecd::{oecd, oecd_with};
+pub use parkinson::{parkinson, parkinson_with};
+pub use synth::{synth, SynthConfig, SynthGroundTruth};

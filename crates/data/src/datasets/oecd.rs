@@ -1,0 +1,428 @@
+//! Synthetic stand-in for the paper's OECD Better-Life dataset
+//! (35 countries × 25 indicators).
+//!
+//! The paper's §4.1 scenario depends on specific distributional facts, all of
+//! which are planted here (see `DESIGN.md` §3):
+//!
+//! * `Employees Working Very Long Hours` ↔ `Time Devoted To Leisure` is the
+//!   strongest (negative) correlation in the dataset;
+//! * `Time Devoted To Leisure` is uncorrelated with `Self Reported Health`;
+//! * `Time Devoted To Leisure` is normally distributed;
+//! * `Self Reported Health` is left-skewed;
+//! * `Life Satisfaction` ↔ `Self Reported Health` is highly correlated.
+//!
+//! The indicator roster matches the 24 abbreviations in the paper's Figure 2
+//! plus the country name column.
+
+use super::copula::{CorrelationMatrix, Marginal};
+use crate::column::CategoricalColumn;
+use crate::table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The 24 numeric OECD indicators, in Figure-2 order, with the marginal
+/// transform each one receives.
+const INDICATORS: [(&str, Marginal); 24] = [
+    (
+        "Consultation On Rule-Making",
+        Marginal::Bounded {
+            lo: 0.0,
+            hi: 10.0,
+            loc: 6.5,
+            scale: 2.0,
+        },
+    ),
+    (
+        "Educational Attainment",
+        Marginal::Bounded {
+            lo: 0.0,
+            hi: 100.0,
+            loc: 76.0,
+            scale: 12.0,
+        },
+    ),
+    (
+        "Student Skills",
+        Marginal::Normal {
+            loc: 490.0,
+            scale: 28.0,
+        },
+    ),
+    (
+        "Quality Of Support Network",
+        Marginal::LeftSkew {
+            loc: 98.0,
+            scale: 6.0,
+            shape: 0.5,
+        },
+    ),
+    (
+        "Self Reported Health",
+        Marginal::LeftSkew {
+            loc: 92.0,
+            scale: 14.0,
+            shape: 0.55,
+        },
+    ),
+    (
+        "Life Satisfaction",
+        Marginal::Normal {
+            loc: 6.5,
+            scale: 0.8,
+        },
+    ),
+    (
+        "Employment Rate",
+        Marginal::Bounded {
+            lo: 0.0,
+            hi: 100.0,
+            loc: 66.0,
+            scale: 8.0,
+        },
+    ),
+    (
+        "Water Quality",
+        Marginal::LeftSkew {
+            loc: 97.0,
+            scale: 8.0,
+            shape: 0.5,
+        },
+    ),
+    (
+        "Life Expectancy",
+        Marginal::Normal {
+            loc: 80.0,
+            scale: 2.4,
+        },
+    ),
+    (
+        "Household Net Financial Wealth",
+        Marginal::RightSkew {
+            loc: 5_000.0,
+            scale: 30_000.0,
+            shape: 0.7,
+        },
+    ),
+    (
+        "Rooms Per Person",
+        Marginal::Normal {
+            loc: 1.7,
+            scale: 0.4,
+        },
+    ),
+    (
+        "Household Net Adjusted Disposable Income",
+        Marginal::RightSkew {
+            loc: 12_000.0,
+            scale: 14_000.0,
+            shape: 0.45,
+        },
+    ),
+    (
+        "Personal Earnings",
+        Marginal::RightSkew {
+            loc: 18_000.0,
+            scale: 18_000.0,
+            shape: 0.4,
+        },
+    ),
+    (
+        "Voter Turnout",
+        Marginal::Bounded {
+            lo: 0.0,
+            hi: 100.0,
+            loc: 69.0,
+            scale: 12.0,
+        },
+    ),
+    (
+        "Years In Education",
+        Marginal::Normal {
+            loc: 17.5,
+            scale: 1.5,
+        },
+    ),
+    (
+        "Time Devoted To Leisure",
+        Marginal::Normal {
+            loc: 14.9,
+            scale: 0.55,
+        },
+    ),
+    (
+        "Housing Expenditure",
+        Marginal::Normal {
+            loc: 21.0,
+            scale: 2.5,
+        },
+    ),
+    (
+        "Job Security",
+        Marginal::RightSkew {
+            loc: 2.0,
+            scale: 3.5,
+            shape: 0.5,
+        },
+    ),
+    (
+        "Long-Term Unemployment Rate",
+        Marginal::RightSkew {
+            loc: 0.2,
+            scale: 2.2,
+            shape: 0.8,
+        },
+    ),
+    (
+        "Assault Rate",
+        Marginal::RightSkew {
+            loc: 1.0,
+            scale: 2.5,
+            shape: 0.55,
+        },
+    ),
+    (
+        "Homicide Rate",
+        Marginal::RightSkew {
+            loc: 0.1,
+            scale: 1.1,
+            shape: 0.9,
+        },
+    ),
+    (
+        "Dwellings Without Basic Facilities",
+        Marginal::RightSkew {
+            loc: 0.0,
+            scale: 2.0,
+            shape: 0.9,
+        },
+    ),
+    (
+        "Air Pollution",
+        Marginal::RightSkew {
+            loc: 4.0,
+            scale: 9.0,
+            shape: 0.45,
+        },
+    ),
+    (
+        "Employees Working Very Long Hours",
+        Marginal::RightSkew {
+            loc: 1.0,
+            scale: 7.0,
+            shape: 0.5,
+        },
+    ),
+];
+
+/// The 35 OECD member countries (2017 roster).
+pub const COUNTRIES: [&str; 35] = [
+    "Australia",
+    "Austria",
+    "Belgium",
+    "Canada",
+    "Chile",
+    "Czech Republic",
+    "Denmark",
+    "Estonia",
+    "Finland",
+    "France",
+    "Germany",
+    "Greece",
+    "Hungary",
+    "Iceland",
+    "Ireland",
+    "Israel",
+    "Italy",
+    "Japan",
+    "Korea",
+    "Latvia",
+    "Luxembourg",
+    "Mexico",
+    "Netherlands",
+    "New Zealand",
+    "Norway",
+    "Poland",
+    "Portugal",
+    "Slovak Republic",
+    "Slovenia",
+    "Spain",
+    "Sweden",
+    "Switzerland",
+    "Turkey",
+    "United Kingdom",
+    "United States",
+];
+
+fn index_of(name: &str) -> usize {
+    INDICATORS
+        .iter()
+        .position(|(n, _)| *n == name)
+        .expect("known indicator")
+}
+
+/// Builds the latent correlation structure. Blocks are disjoint so the
+/// matrix is positive definite by construction, and `Self Reported Health`
+/// and `Time Devoted To Leisure` fall in different blocks, making them
+/// independent — the scenario's "surprising" discovery.
+fn correlation() -> CorrelationMatrix {
+    let mut r = CorrelationMatrix::identity(INDICATORS.len());
+    let s = |a: &str, b: &str, rho: f64, r: &mut CorrelationMatrix| {
+        r.set(index_of(a), index_of(b), rho);
+    };
+    // Block 1: the headline negative correlation.
+    s(
+        "Employees Working Very Long Hours",
+        "Time Devoted To Leisure",
+        -0.93,
+        &mut r,
+    );
+    // Block 2: health & satisfaction cluster.
+    s("Life Satisfaction", "Self Reported Health", 0.86, &mut r);
+    s("Life Satisfaction", "Life Expectancy", 0.55, &mut r);
+    s("Self Reported Health", "Life Expectancy", 0.50, &mut r);
+    // Block 3: income cluster.
+    s(
+        "Household Net Adjusted Disposable Income",
+        "Personal Earnings",
+        0.88,
+        &mut r,
+    );
+    s(
+        "Household Net Adjusted Disposable Income",
+        "Household Net Financial Wealth",
+        0.72,
+        &mut r,
+    );
+    s(
+        "Personal Earnings",
+        "Household Net Financial Wealth",
+        0.70,
+        &mut r,
+    );
+    // Block 4: education cluster.
+    s("Educational Attainment", "Student Skills", 0.68, &mut r);
+    s("Educational Attainment", "Years In Education", 0.45, &mut r);
+    s("Student Skills", "Years In Education", 0.40, &mut r);
+    // Block 5: labor market.
+    s(
+        "Long-Term Unemployment Rate",
+        "Employment Rate",
+        -0.74,
+        &mut r,
+    );
+    s("Long-Term Unemployment Rate", "Job Security", 0.66, &mut r);
+    s("Employment Rate", "Job Security", -0.52, &mut r);
+    // Block 6: safety.
+    s("Homicide Rate", "Assault Rate", 0.60, &mut r);
+    // Block 7: environment.
+    s("Air Pollution", "Water Quality", -0.48, &mut r);
+    r
+}
+
+/// Generates the OECD table with `n` rows (countries cycle when `n > 35`).
+///
+/// `seed` makes the dataset reproducible; the library's scenario tests use
+/// [`oecd`] (seed 2017, n = 35).
+pub fn oecd_with(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chol = correlation().cholesky().expect("block matrix is pd");
+    let mut cols = chol.sample_columns(&mut rng, n);
+    for ((_, marginal), col) in INDICATORS.iter().zip(&mut cols) {
+        marginal.apply_column(col);
+    }
+
+    let countries = CategoricalColumn::from_strings((0..n).map(|i| COUNTRIES[i % COUNTRIES.len()]));
+    let mut builder = TableBuilder::new("oecd").column("Country", countries);
+    for ((name, _), col) in INDICATORS.iter().zip(cols) {
+        builder = builder.numeric(*name, col);
+        if matches!(
+            *name,
+            "Household Net Financial Wealth"
+                | "Household Net Adjusted Disposable Income"
+                | "Personal Earnings"
+        ) {
+            builder = builder.semantic("currency");
+        }
+    }
+    builder.build().expect("static schema is valid")
+}
+
+/// The canonical 35-country OECD demo table (deterministic).
+pub fn oecd() -> Table {
+    oecd_with(2017, COUNTRIES.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+            syy += (b - my) * (b - my);
+        }
+        sxy / (sxx * syy).sqrt()
+    }
+
+    fn col<'t>(t: &'t Table, name: &str) -> &'t [f64] {
+        t.numeric_by_name(name).unwrap().values()
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = oecd();
+        assert_eq!(t.n_rows(), 35);
+        assert_eq!(t.n_cols(), 25);
+        assert_eq!(t.numeric_indices().len(), 24);
+        assert_eq!(t.categorical_indices().len(), 1);
+    }
+
+    #[test]
+    fn scenario_facts_hold() {
+        let t = oecd();
+        let leisure = col(&t, "Time Devoted To Leisure");
+        let long_hours = col(&t, "Employees Working Very Long Hours");
+        let health = col(&t, "Self Reported Health");
+        let satisfaction = col(&t, "Life Satisfaction");
+
+        // Strong negative correlation (the scenario's first discovery).
+        assert!(
+            pearson(long_hours, leisure) < -0.75,
+            "long-hours vs leisure = {}",
+            pearson(long_hours, leisure)
+        );
+        // Leisure ⟂ health (the surprise).
+        assert!(pearson(leisure, health).abs() < 0.3);
+        // Satisfaction ↔ health strongly positive.
+        assert!(pearson(satisfaction, health) > 0.6);
+
+        // Health left-skewed.
+        let n = health.len() as f64;
+        let m = health.iter().sum::<f64>() / n;
+        let v = health.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        let skew = health.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n / v.powf(1.5);
+        assert!(skew < -0.4, "health skew {skew}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(oecd(), oecd());
+        assert_ne!(oecd_with(1, 35), oecd_with(2, 35));
+    }
+
+    #[test]
+    fn scales_beyond_country_count() {
+        let t = oecd_with(5, 100);
+        assert_eq!(t.n_rows(), 100);
+        // countries cycle
+        assert_eq!(
+            t.categorical_by_name("Country").unwrap().get(35),
+            Some("Australia")
+        );
+    }
+}

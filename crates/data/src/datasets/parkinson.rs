@@ -1,0 +1,325 @@
+//! Synthetic stand-in for the paper's Parkinson's Progression Markers
+//! Initiative (PPMI) dataset: 2 000 patients × 50 clinical descriptors.
+//!
+//! The real PPMI data is access-controlled, so we generate a clinically
+//! shaped substitute (see `DESIGN.md` §3): a latent *disease severity* factor
+//! drives correlated MDS-UPDRS part scores, motor sub-scores, and
+//! non-motor scales; durations and dose variables are right-skewed; a small
+//! set of planted outlier patients exercises the outlier insight.
+
+use super::dist::{self, GaussianMixture};
+use crate::column::CategoricalColumn;
+use crate::table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of rows in the canonical table (matches the paper's "2K rows").
+pub const ROWS: usize = 2_000;
+
+/// Generates the Parkinson table with `n` patients.
+pub fn parkinson_with(seed: u64, n: usize) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Latent factors per patient.
+    let severity: Vec<f64> = (0..n).map(|_| dist::std_normal(&mut rng)).collect();
+    let tremor_latent: Vec<f64> = (0..n).map(|_| dist::std_normal(&mut rng)).collect();
+    let cognition: Vec<f64> = (0..n).map(|_| dist::std_normal(&mut rng)).collect();
+
+    // Helper: a score loading on severity with residual noise, clamped ≥ 0.
+    let loaded = |latent: &[f64], rng: &mut StdRng, base: f64, load: f64, noise: f64, max: f64| {
+        latent
+            .iter()
+            .map(|&z| (base + load * z + noise * dist::std_normal(rng)).clamp(0.0, max))
+            .collect::<Vec<f64>>()
+    };
+
+    let updrs1 = loaded(&severity, &mut rng, 8.0, 3.5, 1.6, 52.0);
+    let updrs2 = loaded(&severity, &mut rng, 10.0, 4.5, 2.0, 52.0);
+    let updrs3 = loaded(&severity, &mut rng, 25.0, 9.0, 3.5, 132.0);
+    let updrs4 = loaded(&severity, &mut rng, 3.0, 2.0, 1.2, 24.0);
+    let rigidity = loaded(&severity, &mut rng, 6.0, 2.5, 1.5, 20.0);
+    let bradykinesia = loaded(&severity, &mut rng, 9.0, 3.4, 1.8, 36.0);
+    let gait = loaded(&severity, &mut rng, 2.0, 1.2, 0.7, 4.0);
+    let tremor_rest = loaded(&tremor_latent, &mut rng, 4.0, 2.2, 1.0, 16.0);
+    let tremor_action = loaded(&tremor_latent, &mut rng, 3.0, 1.8, 1.0, 12.0);
+    let moca = loaded(&cognition, &mut rng, 26.0, 2.2, 1.0, 30.0);
+    let semantic_fluency = loaded(&cognition, &mut rng, 45.0, 9.0, 5.0, 90.0);
+    let benton = loaded(&cognition, &mut rng, 12.5, 1.8, 1.1, 15.0);
+
+    // Demographics & history.
+    let age: Vec<f64> = (0..n)
+        .map(|_| dist::normal(&mut rng, 62.0, 9.5).clamp(30.0, 90.0))
+        .collect();
+    let disease_duration: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 1.1, 0.7))
+        .collect();
+    let levodopa_dose: Vec<f64> = (0..n)
+        .map(|_| 100.0 + dist::lognormal(&mut rng, 5.6, 0.6))
+        .collect();
+    let education_years: Vec<f64> = (0..n)
+        .map(|_| dist::normal(&mut rng, 15.0, 3.0).clamp(6.0, 24.0))
+        .collect();
+
+    // Non-motor scales: sleep is bimodal (treated vs untreated), depression
+    // right-skewed; both exercise the multimodality/skew insights.
+    let sleep_mix = GaussianMixture {
+        p1: 0.45,
+        mean1: 4.0,
+        sd1: 1.0,
+        mean2: 10.0,
+        sd2: 1.3,
+    };
+    let sleep_score: Vec<f64> = (0..n)
+        .map(|_| sleep_mix.sample(&mut rng).max(0.0))
+        .collect();
+    let gds_depression: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 0.8, 0.75).min(15.0))
+        .collect();
+    let scopa_aut: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 2.2, 0.5).min(69.0))
+        .collect();
+    let ess_sleepiness: Vec<f64> = (0..n)
+        .map(|_| dist::normal(&mut rng, 7.0, 3.4).clamp(0.0, 24.0))
+        .collect();
+
+    // Biospecimen measures with heavy tails.
+    let csf_alpha_syn: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 7.3, 0.45))
+        .collect();
+    let csf_abeta: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 6.7, 0.4))
+        .collect();
+    let csf_tau: Vec<f64> = (0..n)
+        .map(|_| dist::lognormal(&mut rng, 3.8, 0.5))
+        .collect();
+    let serum_urate: Vec<f64> = (0..n)
+        .map(|_| dist::normal(&mut rng, 5.2, 1.3).max(0.5))
+        .collect();
+    let datscan_putamen: Vec<f64> = (0..n)
+        .map(|i| (2.1 - 0.35 * severity[i] + 0.25 * dist::std_normal(&mut rng)).max(0.1))
+        .collect();
+    let datscan_caudate: Vec<f64> = (0..n)
+        .map(|i| (2.9 - 0.30 * severity[i] + 0.28 * dist::std_normal(&mut rng)).max(0.1))
+        .collect();
+
+    // Vitals / misc quantitative descriptors, mostly benign distributions.
+    let plain = |rng: &mut StdRng, loc: f64, scale: f64, lo: f64, hi: f64| {
+        (0..n)
+            .map(|_| dist::normal(rng, loc, scale).clamp(lo, hi))
+            .collect::<Vec<f64>>()
+    };
+    let bmi = plain(&mut rng, 26.5, 4.2, 15.0, 50.0);
+    let systolic_bp = plain(&mut rng, 128.0, 14.0, 85.0, 200.0);
+    let diastolic_bp = plain(&mut rng, 78.0, 9.0, 50.0, 120.0);
+    let heart_rate = plain(&mut rng, 70.0, 10.0, 40.0, 120.0);
+    let weight_kg = plain(&mut rng, 78.0, 14.0, 40.0, 150.0);
+    let height_cm = plain(&mut rng, 171.0, 9.5, 140.0, 205.0);
+    let quip_score = plain(&mut rng, 1.2, 1.1, 0.0, 13.0);
+    let stai_anxiety = plain(&mut rng, 35.0, 9.0, 20.0, 80.0);
+    let hvlt_recall = plain(&mut rng, 8.5, 2.4, 0.0, 12.0);
+    let lns_score = plain(&mut rng, 10.5, 2.6, 0.0, 21.0);
+    let sdm_score = plain(&mut rng, 41.0, 9.5, 0.0, 110.0);
+    let upsit_smell = plain(&mut rng, 22.0, 8.0, 0.0, 40.0);
+    let rbd_score = plain(&mut rng, 4.1, 2.6, 0.0, 13.0);
+    let pase_activity = plain(&mut rng, 150.0, 70.0, 0.0, 500.0);
+    let tap_speed = plain(&mut rng, 55.0, 9.0, 10.0, 90.0);
+    let walk_time = (0..n)
+        .map(|i| (7.0 + 1.4 * severity[i] + 0.8 * dist::std_normal(&mut rng)).max(3.0))
+        .collect::<Vec<f64>>();
+    let pdq39_quality = (0..n)
+        .map(|i| (25.0 + 9.0 * severity[i] + 5.0 * dist::std_normal(&mut rng)).clamp(0.0, 100.0))
+        .collect::<Vec<f64>>();
+    let followup_months = plain(&mut rng, 24.0, 10.0, 0.0, 60.0);
+
+    // Planted extreme outliers in tau (lab errors) — exercises the outlier
+    // insight class strongly on this dataset.
+    let mut csf_tau = csf_tau;
+    let n_outliers = (n / 200).max(3);
+    for _ in 0..n_outliers {
+        let i = rng.gen_range(0..n);
+        csf_tau[i] = 2_000.0 + rng.gen_range(0.0..500.0);
+    }
+
+    // Categorical descriptors.
+    let sex = CategoricalColumn::from_strings((0..n).map(|_| {
+        if rng.gen::<f64>() < 0.62 {
+            "Male"
+        } else {
+            "Female"
+        }
+    }));
+    let cohort = CategoricalColumn::from_strings((0..n).map(|_| {
+        let u = rng.gen::<f64>();
+        if u < 0.55 {
+            "PD"
+        } else if u < 0.85 {
+            "Healthy Control"
+        } else {
+            "SWEDD"
+        }
+    }));
+    let site_zipf = dist::Zipf::new(24, 0.8);
+    let site = CategoricalColumn::from_strings(
+        (0..n).map(|_| format!("Site-{:02}", site_zipf.sample(&mut rng) + 1)),
+    );
+    let handedness = CategoricalColumn::from_strings((0..n).map(|_| {
+        let u = rng.gen::<f64>();
+        if u < 0.88 {
+            "Right"
+        } else if u < 0.97 {
+            "Left"
+        } else {
+            "Mixed"
+        }
+    }));
+    let hoehn_yahr = CategoricalColumn::from_strings((0..n).map(|i| {
+        let stage = (1.0 + (severity[i] + 1.5).max(0.0)).min(5.0) as u32;
+        format!("Stage {stage}")
+    }));
+    let medication = CategoricalColumn::from_strings((0..n).map(|_| {
+        let u = rng.gen::<f64>();
+        if u < 0.4 {
+            "Levodopa"
+        } else if u < 0.65 {
+            "Dopamine Agonist"
+        } else if u < 0.8 {
+            "MAO-B Inhibitor"
+        } else {
+            "Untreated"
+        }
+    }));
+    let family_history = CategoricalColumn::from_strings((0..n).map(|_| {
+        if rng.gen::<f64>() < 0.15 {
+            "Yes"
+        } else {
+            "No"
+        }
+    }));
+    let race = CategoricalColumn::from_strings((0..n).map(|_| {
+        let u = rng.gen::<f64>();
+        if u < 0.82 {
+            "White"
+        } else if u < 0.9 {
+            "Black"
+        } else if u < 0.96 {
+            "Asian"
+        } else {
+            "Other"
+        }
+    }));
+
+    TableBuilder::new("parkinson")
+        .numeric("Age", age)
+        .numeric("Disease Duration Years", disease_duration)
+        .numeric("MDS-UPDRS Part I", updrs1)
+        .numeric("MDS-UPDRS Part II", updrs2)
+        .numeric("MDS-UPDRS Part III", updrs3)
+        .numeric("MDS-UPDRS Part IV", updrs4)
+        .numeric("Rigidity Score", rigidity)
+        .numeric("Bradykinesia Score", bradykinesia)
+        .numeric("Gait Score", gait)
+        .numeric("Rest Tremor Score", tremor_rest)
+        .numeric("Action Tremor Score", tremor_action)
+        .numeric("MoCA Score", moca)
+        .numeric("Semantic Fluency", semantic_fluency)
+        .numeric("Benton Judgment", benton)
+        .numeric("Levodopa Equivalent Dose", levodopa_dose)
+        .numeric("Education Years", education_years)
+        .numeric("Sleep Score", sleep_score)
+        .numeric("GDS Depression", gds_depression)
+        .numeric("SCOPA-AUT", scopa_aut)
+        .numeric("ESS Sleepiness", ess_sleepiness)
+        .numeric("CSF Alpha-Synuclein", csf_alpha_syn)
+        .numeric("CSF Abeta-42", csf_abeta)
+        .numeric("CSF Total Tau", csf_tau)
+        .numeric("Serum Urate", serum_urate)
+        .numeric("DaTscan Putamen SBR", datscan_putamen)
+        .numeric("DaTscan Caudate SBR", datscan_caudate)
+        .numeric("BMI", bmi)
+        .numeric("Systolic BP", systolic_bp)
+        .numeric("Diastolic BP", diastolic_bp)
+        .numeric("Heart Rate", heart_rate)
+        .numeric("Weight Kg", weight_kg)
+        .numeric("Height Cm", height_cm)
+        .numeric("QUIP Score", quip_score)
+        .numeric("STAI Anxiety", stai_anxiety)
+        .numeric("HVLT Recall", hvlt_recall)
+        .numeric("LNS Score", lns_score)
+        .numeric("Symbol Digit Modalities", sdm_score)
+        .numeric("UPSIT Smell Score", upsit_smell)
+        .numeric("RBD Screening Score", rbd_score)
+        .numeric("PASE Activity", pase_activity)
+        .numeric("Finger Tap Speed", tap_speed)
+        .numeric("Timed Walk Seconds", walk_time)
+        .numeric("PDQ-39 Quality Of Life", pdq39_quality)
+        .numeric("Followup Months", followup_months)
+        .column("Sex", sex)
+        .column("Cohort", cohort)
+        .column("Site", site)
+        .column("Handedness", handedness)
+        .column("Hoehn-Yahr Stage", hoehn_yahr)
+        .column("Medication", medication)
+        .column("Family History", family_history)
+        .column("Race", race)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// The canonical 2 000-patient Parkinson demo table (deterministic).
+pub fn parkinson() -> Table {
+    parkinson_with(1967, ROWS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = parkinson();
+        assert_eq!(t.n_rows(), 2_000);
+        assert_eq!(t.n_cols(), 52);
+        assert!(t.numeric_indices().len() >= 40);
+        assert!(t.categorical_indices().len() >= 8);
+    }
+
+    #[test]
+    fn updrs_parts_correlate_via_severity() {
+        let t = parkinson();
+        let a = t.numeric_by_name("MDS-UPDRS Part II").unwrap().values();
+        let b = t.numeric_by_name("MDS-UPDRS Part III").unwrap().values();
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let (mut sab, mut saa, mut sbb) = (0.0, 0.0, 0.0);
+        for (&x, &y) in a.iter().zip(b) {
+            sab += (x - ma) * (y - mb);
+            saa += (x - ma) * (x - ma);
+            sbb += (y - mb) * (y - mb);
+        }
+        let rho = sab / (saa * sbb).sqrt();
+        assert!(rho > 0.6, "updrs2~updrs3 rho = {rho}");
+    }
+
+    #[test]
+    fn tau_outliers_planted() {
+        let t = parkinson();
+        let tau = t.numeric_by_name("CSF Total Tau").unwrap().values();
+        let extreme = tau.iter().filter(|&&v| v > 1_500.0).count();
+        assert!(extreme >= 3, "only {extreme} extreme tau values");
+    }
+
+    #[test]
+    fn sleep_is_bimodal() {
+        let t = parkinson();
+        let sleep = t.numeric_by_name("Sleep Score").unwrap().values();
+        let low = sleep.iter().filter(|&&v| (3.0..5.0).contains(&v)).count();
+        let high = sleep.iter().filter(|&&v| (9.0..11.0).contains(&v)).count();
+        let mid = sleep.iter().filter(|&&v| (6.5..7.5).contains(&v)).count();
+        assert!(low > mid && high > mid, "low={low} mid={mid} high={high}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(parkinson_with(5, 100), parkinson_with(5, 100));
+    }
+}

@@ -1,0 +1,302 @@
+//! Configurable large-scale synthetic data — the benchmark workload.
+//!
+//! The paper targets "data items of the order of 100K and attributes that
+//! number in the hundreds" (§4.1). [`SynthConfig`] generates tables at that
+//! scale with a controllable amount of planted structure so every insight
+//! class has non-trivial instances to find, and so sketch-vs-exact
+//! experiments have ground truth:
+//!
+//! * numeric columns are generated in correlated pairs with known ρ drawn
+//!   from a configurable range (plus independent columns);
+//! * a configurable fraction of columns get skewed / heavy-tailed /
+//!   bimodal marginals;
+//! * categorical columns are Zipf-distributed with configurable cardinality;
+//! * optional missing values and planted outliers.
+
+use super::dist::{self, GaussianMixture, Zipf};
+use crate::column::CategoricalColumn;
+use crate::table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`synth`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of rows `n`.
+    pub rows: usize,
+    /// Number of numeric columns (the paper's set `B`).
+    pub numeric_cols: usize,
+    /// Number of categorical columns (the paper's set `C`).
+    pub categorical_cols: usize,
+    /// Fraction of numeric columns generated in correlated pairs (0..=1).
+    pub correlated_fraction: f64,
+    /// Range of |ρ| for planted pairs.
+    pub rho_range: (f64, f64),
+    /// Fraction of numeric columns given a right-skew marginal.
+    pub skewed_fraction: f64,
+    /// Fraction of numeric columns given a heavy-tail marginal.
+    pub heavy_fraction: f64,
+    /// Fraction of numeric columns given a bimodal marginal.
+    pub bimodal_fraction: f64,
+    /// Per-cell missing probability for numeric columns.
+    pub missing_rate: f64,
+    /// Number of extreme outliers planted per flagged column.
+    pub outliers_per_col: usize,
+    /// Cardinality of each categorical column.
+    pub categorical_cardinality: usize,
+    /// Zipf exponent for categorical columns.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            rows: 10_000,
+            numeric_cols: 50,
+            categorical_cols: 5,
+            correlated_fraction: 0.4,
+            rho_range: (0.3, 0.95),
+            skewed_fraction: 0.2,
+            heavy_fraction: 0.1,
+            bimodal_fraction: 0.1,
+            missing_rate: 0.0,
+            outliers_per_col: 0,
+            categorical_cardinality: 20,
+            zipf_exponent: 1.1,
+            seed: 7,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A benchmark-scale config: `rows × (numeric_cols + 4 categorical)`.
+    pub fn benchmark(rows: usize, numeric_cols: usize, seed: u64) -> Self {
+        Self {
+            rows,
+            numeric_cols,
+            categorical_cols: 4,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Ground truth about a generated table, for accuracy experiments.
+#[derive(Debug, Clone, Default)]
+pub struct SynthGroundTruth {
+    /// Planted correlated pairs `(col_i, col_j, ρ)` (latent, pre-marginal).
+    pub correlated_pairs: Vec<(usize, usize, f64)>,
+    /// Indices of columns with right-skew marginals.
+    pub skewed_cols: Vec<usize>,
+    /// Indices of columns with heavy-tail marginals.
+    pub heavy_cols: Vec<usize>,
+    /// Indices of columns with bimodal marginals.
+    pub bimodal_cols: Vec<usize>,
+    /// Indices of columns with planted extreme outliers.
+    pub outlier_cols: Vec<usize>,
+}
+
+/// Generates a synthetic table and its ground truth.
+pub fn synth(config: &SynthConfig) -> (Table, SynthGroundTruth) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.rows;
+    let d = config.numeric_cols;
+    let mut truth = SynthGroundTruth::default();
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(d);
+
+    // Correlated pairs first: generate (z, ρz + √(1-ρ²)·ε).
+    let n_pairs = ((d as f64 * config.correlated_fraction) as usize) / 2;
+    for _ in 0..n_pairs {
+        let rho_abs = rng.gen_range(config.rho_range.0..=config.rho_range.1);
+        let rho = if rng.gen::<bool>() { rho_abs } else { -rho_abs };
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        let resid = (1.0 - rho * rho).sqrt();
+        for i in 0..n {
+            let z = dist::std_normal(&mut rng);
+            a[i] = z;
+            b[i] = rho * z + resid * dist::std_normal(&mut rng);
+        }
+        truth
+            .correlated_pairs
+            .push((cols.len(), cols.len() + 1, rho));
+        cols.push(a);
+        cols.push(b);
+    }
+    // Independent columns for the remainder.
+    while cols.len() < d {
+        cols.push((0..n).map(|_| dist::std_normal(&mut rng)).collect());
+    }
+
+    // Apply special marginals to disjoint column ranges chosen from the
+    // *independent* tail, so planted correlations stay intact.
+    let first_free = 2 * n_pairs;
+    let mut cursor = first_free;
+    let take = |fraction: f64, cursor: &mut usize| -> Vec<usize> {
+        let count = (d as f64 * fraction) as usize;
+        let end = (*cursor + count).min(d);
+        let picked: Vec<usize> = (*cursor..end).collect();
+        *cursor = end;
+        picked
+    };
+
+    truth.skewed_cols = take(config.skewed_fraction, &mut cursor);
+    for &c in &truth.skewed_cols {
+        for v in &mut cols[c] {
+            *v = (0.9 * *v).exp();
+        }
+    }
+    truth.heavy_cols = take(config.heavy_fraction, &mut cursor);
+    for &c in &truth.heavy_cols {
+        for v in &mut cols[c] {
+            *v = 0.35 * (*v / 0.35).sinh();
+        }
+    }
+    truth.bimodal_cols = take(config.bimodal_fraction, &mut cursor);
+    let mix = GaussianMixture::bimodal(5.0);
+    for &c in &truth.bimodal_cols {
+        for v in &mut cols[c] {
+            *v = mix.sample(&mut rng);
+        }
+    }
+
+    // Outliers & missingness.
+    if config.outliers_per_col > 0 {
+        for (ci, col) in cols.iter_mut().enumerate().take(d) {
+            if ci % 5 == 0 {
+                truth.outlier_cols.push(ci);
+                for _ in 0..config.outliers_per_col {
+                    let i = rng.gen_range(0..n);
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    col[i] = sign * rng.gen_range(12.0..20.0);
+                }
+            }
+        }
+    }
+    if config.missing_rate > 0.0 {
+        for col in &mut cols {
+            for v in col.iter_mut() {
+                if rng.gen::<f64>() < config.missing_rate {
+                    *v = f64::NAN;
+                }
+            }
+        }
+    }
+
+    let mut builder = TableBuilder::new("synth");
+    for (i, col) in cols.into_iter().enumerate() {
+        builder = builder.numeric(format!("num_{i:03}"), col);
+    }
+    for c in 0..config.categorical_cols {
+        let z = Zipf::new(config.categorical_cardinality.max(1), config.zipf_exponent);
+        let col =
+            CategoricalColumn::from_strings((0..n).map(|_| format!("v{}", z.sample(&mut rng))));
+        builder = builder.column(format!("cat_{c:02}"), col);
+    }
+    (builder.build().expect("generated schema is valid"), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+            syy += (b - my) * (b - my);
+        }
+        sxy / (sxx * syy).sqrt()
+    }
+
+    #[test]
+    fn dimensions() {
+        let cfg = SynthConfig {
+            rows: 500,
+            numeric_cols: 20,
+            categorical_cols: 3,
+            ..Default::default()
+        };
+        let (t, _) = synth(&cfg);
+        assert_eq!(t.n_rows(), 500);
+        assert_eq!(t.n_cols(), 23);
+        assert_eq!(t.numeric_indices().len(), 20);
+    }
+
+    #[test]
+    fn planted_correlations_recoverable() {
+        let cfg = SynthConfig {
+            rows: 5_000,
+            numeric_cols: 10,
+            correlated_fraction: 0.6,
+            ..Default::default()
+        };
+        let (t, truth) = synth(&cfg);
+        assert!(!truth.correlated_pairs.is_empty());
+        for &(i, j, rho) in &truth.correlated_pairs {
+            let a = t.numeric(i).unwrap().values();
+            let b = t.numeric(j).unwrap().values();
+            assert!(
+                (pearson(a, b) - rho).abs() < 0.06,
+                "pair ({i},{j}): wanted {rho}, got {}",
+                pearson(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn special_marginals_disjoint_from_pairs() {
+        let cfg = SynthConfig {
+            rows: 200,
+            numeric_cols: 30,
+            ..Default::default()
+        };
+        let (_, truth) = synth(&cfg);
+        let paired: Vec<usize> = truth
+            .correlated_pairs
+            .iter()
+            .flat_map(|&(i, j, _)| [i, j])
+            .collect();
+        for &c in truth
+            .skewed_cols
+            .iter()
+            .chain(&truth.heavy_cols)
+            .chain(&truth.bimodal_cols)
+        {
+            assert!(!paired.contains(&c));
+        }
+    }
+
+    #[test]
+    fn missing_and_outliers() {
+        let cfg = SynthConfig {
+            rows: 2_000,
+            numeric_cols: 10,
+            missing_rate: 0.05,
+            outliers_per_col: 5,
+            correlated_fraction: 0.0,
+            skewed_fraction: 0.0,
+            heavy_fraction: 0.0,
+            bimodal_fraction: 0.0,
+            ..Default::default()
+        };
+        let (t, truth) = synth(&cfg);
+        assert!(!truth.outlier_cols.is_empty());
+        let c0 = t.numeric(0).unwrap();
+        assert!(c0.null_count() > 30, "missing = {}", c0.null_count());
+        let max = c0.present().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max > 10.0, "no outlier planted? max |v| = {max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SynthConfig::benchmark(300, 10, 11);
+        assert_eq!(synth(&cfg).0, synth(&cfg).0);
+    }
+}

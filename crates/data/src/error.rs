@@ -1,0 +1,66 @@
+//! Error types for the data layer.
+
+use thiserror::Error;
+
+/// Errors produced while building, reading, or manipulating tables.
+#[derive(Debug, Error)]
+pub enum DataError {
+    /// A column was referenced by a name that does not exist in the table.
+    #[error("unknown column `{0}`")]
+    UnknownColumn(String),
+
+    /// A column was referenced by an index past the end of the schema.
+    #[error("column index {index} out of bounds for table with {width} columns")]
+    ColumnIndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of columns in the table.
+        width: usize,
+    },
+
+    /// Two columns with the same name were added to one table.
+    #[error("duplicate column name `{0}`")]
+    DuplicateColumn(String),
+
+    /// Columns of differing lengths were combined into one table.
+    #[error("column `{name}` has {len} rows but the table has {expected}")]
+    LengthMismatch {
+        /// Name of the offending column.
+        name: String,
+        /// Its length.
+        len: usize,
+        /// The length every column in the table must have.
+        expected: usize,
+    },
+
+    /// A column had the wrong type for the requested operation.
+    #[error("column `{name}` is {actual}, expected {expected}")]
+    TypeMismatch {
+        /// Name of the offending column.
+        name: String,
+        /// The type the column actually has.
+        actual: &'static str,
+        /// The type the operation required.
+        expected: &'static str,
+    },
+
+    /// Malformed CSV input.
+    #[error("csv parse error at line {line}: {message}")]
+    Csv {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+
+    /// An underlying I/O failure.
+    #[error("i/o error: {0}")]
+    Io(#[from] std::io::Error),
+
+    /// An empty table or column where data was required.
+    #[error("empty input: {0}")]
+    Empty(&'static str),
+}
+
+/// Convenient alias used throughout the data crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,44 @@
+//! # foresight-data
+//!
+//! Column-oriented in-memory tables for the Foresight insight-recommendation
+//! system — the paper's input matrix `A(n×d)` with numeric (`B`) and
+//! categorical (`C`) attribute sets — plus CSV I/O, type inference, and
+//! synthetic generators for the three demo datasets (OECD, Parkinson, IMDB)
+//! and for benchmark-scale workloads.
+//!
+//! ## Quick start
+//! ```
+//! use foresight_data::prelude::*;
+//!
+//! let table = datasets::oecd();
+//! assert_eq!(table.n_rows(), 35);
+//! let leisure = table.numeric_by_name("Time Devoted To Leisure").unwrap();
+//! assert_eq!(leisure.len(), 35);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod datasets;
+pub mod error;
+pub mod infer;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::{CategoricalColumn, Column, ColumnType, NumericColumn};
+pub use error::{DataError, Result};
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::column::{CategoricalColumn, Column, ColumnType, NumericColumn};
+    pub use crate::datasets;
+    pub use crate::error::{DataError, Result};
+    pub use crate::schema::{Field, Schema};
+    pub use crate::table::{Table, TableBuilder};
+    pub use crate::value::Value;
+}

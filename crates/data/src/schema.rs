@@ -1,0 +1,161 @@
+//! Table schema: ordered, named, typed fields.
+
+use crate::column::ColumnType;
+use serde::{Deserialize, Serialize};
+
+/// One named, typed field of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a table).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// Optional semantic tag ("currency", "date", "percentage", …) used by
+    /// metadata-constrained insight queries.
+    #[serde(default)]
+    pub semantic: Option<String>,
+}
+
+impl Field {
+    /// Creates an untagged field.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            semantic: None,
+        }
+    }
+
+    /// Creates a field with a semantic tag.
+    pub fn with_semantic(name: impl Into<String>, ty: ColumnType, tag: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            semantic: Some(tag.into()),
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// The fields in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field at `index`.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// Names of all columns, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+
+    /// Indices of all columns of type `ty`, in order.
+    pub fn indices_of_type(&self, ty: ColumnType) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty == ty)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all columns tagged with semantic `tag`.
+    pub fn indices_with_semantic(&self, tag: &str) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.semantic.as_deref() == Some(tag))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub(crate) fn push(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+
+    pub(crate) fn set_semantic(&mut self, index: usize, tag: Option<String>) {
+        if let Some(f) = self.fields.get_mut(index) {
+            f.semantic = tag;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", ColumnType::Numeric),
+            Field::new("b", ColumnType::Categorical),
+            Field::new("c", ColumnType::Numeric),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zzz"), None);
+        assert_eq!(s.field(2).unwrap().name, "c");
+        assert!(s.field(3).is_none());
+    }
+
+    #[test]
+    fn type_partition() {
+        let s = schema();
+        assert_eq!(s.indices_of_type(ColumnType::Numeric), vec![0, 2]);
+        assert_eq!(s.indices_of_type(ColumnType::Categorical), vec![1]);
+    }
+
+    #[test]
+    fn semantic_tags() {
+        let mut s = schema();
+        assert!(s.indices_with_semantic("currency").is_empty());
+        s.set_semantic(0, Some("currency".into()));
+        s.set_semantic(2, Some("currency".into()));
+        assert_eq!(s.indices_with_semantic("currency"), vec![0, 2]);
+        assert_eq!(
+            Field::with_semantic("x", ColumnType::Numeric, "date")
+                .semantic
+                .as_deref(),
+            Some("date")
+        );
+    }
+
+    #[test]
+    fn names_in_order() {
+        let s = schema();
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+}

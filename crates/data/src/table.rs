@@ -1,0 +1,466 @@
+//! The in-memory, column-oriented table — the paper's input matrix `A(n×d)`.
+
+use crate::column::{CategoricalColumn, Column, ColumnType, NumericColumn};
+use crate::error::{DataError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A column-oriented table with a fixed schema.
+///
+/// This is Foresight's input: `n` data items (rows) by `d` attributes
+/// (columns), where every column is numeric (set `B`) or categorical
+/// (set `C`). Build one with [`TableBuilder`] or load one with
+/// [`crate::csv::read_csv`].
+///
+/// # Examples
+/// ```
+/// use foresight_data::table::TableBuilder;
+///
+/// let table = TableBuilder::new("demo")
+///     .numeric("x", vec![1.0, 2.0, 3.0])
+///     .categorical("label", ["a", "b", "a"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(table.n_rows(), 3);
+/// assert_eq!(table.n_cols(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// The table's name (dataset identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows `n`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns `d`.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at `index`.
+    pub fn column(&self, index: usize) -> Result<&Column> {
+        self.columns
+            .get(index)
+            .ok_or(DataError::ColumnIndexOutOfBounds {
+                index,
+                width: self.columns.len(),
+            })
+    }
+
+    /// Column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_owned()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.schema
+            .index_of(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_owned()))
+    }
+
+    /// The numeric column at `index`, or a type error.
+    pub fn numeric(&self, index: usize) -> Result<&NumericColumn> {
+        let col = self.column(index)?;
+        col.as_numeric().ok_or_else(|| DataError::TypeMismatch {
+            name: self
+                .schema
+                .field(index)
+                .map(|f| f.name.clone())
+                .unwrap_or_default(),
+            actual: col.column_type().name(),
+            expected: "numeric",
+        })
+    }
+
+    /// The categorical column at `index`, or a type error.
+    pub fn categorical(&self, index: usize) -> Result<&CategoricalColumn> {
+        let col = self.column(index)?;
+        col.as_categorical().ok_or_else(|| DataError::TypeMismatch {
+            name: self
+                .schema
+                .field(index)
+                .map(|f| f.name.clone())
+                .unwrap_or_default(),
+            actual: col.column_type().name(),
+            expected: "categorical",
+        })
+    }
+
+    /// The numeric column named `name`.
+    pub fn numeric_by_name(&self, name: &str) -> Result<&NumericColumn> {
+        self.numeric(self.index_of(name)?)
+    }
+
+    /// The categorical column named `name`.
+    pub fn categorical_by_name(&self, name: &str) -> Result<&CategoricalColumn> {
+        self.categorical(self.index_of(name)?)
+    }
+
+    /// Indices of the numeric columns — the paper's set `B`.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.schema.indices_of_type(ColumnType::Numeric)
+    }
+
+    /// Indices of the categorical columns — the paper's set `C`.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.schema.indices_of_type(ColumnType::Categorical)
+    }
+
+    /// The semantic tag of column `index`, if any.
+    pub fn semantic(&self, index: usize) -> Option<&str> {
+        self.schema.field(index).and_then(|f| f.semantic.as_deref())
+    }
+
+    /// One row materialized as boundary values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// A new table with only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut builder = TableBuilder::new(self.name.clone());
+        for &name in names {
+            let idx = self.index_of(name)?;
+            builder = builder.column(name, self.columns[idx].clone());
+        }
+        builder.build()
+    }
+
+    /// Concatenates another table's rows below this one's. Schemas must
+    /// match exactly (names, order, types); semantic tags follow `self`.
+    pub fn vstack(&self, other: &Table) -> Result<Table> {
+        if self.schema.len() != other.schema.len() {
+            return Err(DataError::LengthMismatch {
+                name: "<schema>".to_owned(),
+                len: other.schema.len(),
+                expected: self.schema.len(),
+            });
+        }
+        for (a, b) in self.schema.fields().iter().zip(other.schema.fields()) {
+            if a.name != b.name || a.ty != b.ty {
+                return Err(DataError::TypeMismatch {
+                    name: b.name.clone(),
+                    actual: b.ty.name(),
+                    expected: a.ty.name(),
+                });
+            }
+        }
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .zip(&other.columns)
+            .map(|(a, b)| match (a, b) {
+                (Column::Numeric(x), Column::Numeric(y)) => {
+                    let mut v = x.values().to_vec();
+                    v.extend_from_slice(y.values());
+                    Column::Numeric(NumericColumn::new(v))
+                }
+                (Column::Categorical(x), Column::Categorical(y)) => {
+                    let mut c = x.clone();
+                    for r in 0..y.len() {
+                        match y.get(r) {
+                            Some(label) => c.push(label),
+                            None => c.push_null(),
+                        }
+                    }
+                    Column::Categorical(c)
+                }
+                _ => unreachable!("schema types checked above"),
+            })
+            .collect();
+        Ok(Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            n_rows: self.n_rows + other.n_rows,
+        })
+    }
+
+    /// A new table containing the rows for which `keep` returns `true`.
+    pub fn filter_rows(&self, keep: impl Fn(usize) -> bool) -> Table {
+        let rows: Vec<usize> = (0..self.n_rows).filter(|&r| keep(r)).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Numeric(c) => Column::Numeric(NumericColumn::new(
+                    rows.iter().map(|&r| c.get(r).unwrap_or(f64::NAN)).collect(),
+                )),
+                Column::Categorical(c) => Column::Categorical(CategoricalColumn::from_options(
+                    rows.iter().map(|&r| c.get(r)),
+                )),
+            })
+            .collect();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+}
+
+/// Incremental builder for [`Table`].
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for a table named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a column of either type.
+    pub fn column(mut self, name: impl Into<String>, column: impl Into<Column>) -> Self {
+        let column = column.into();
+        self.schema.push(Field::new(name, column.column_type()));
+        self.columns.push(column);
+        self
+    }
+
+    /// Adds a numeric column (`NaN` = missing).
+    pub fn numeric(self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.column(name, NumericColumn::new(values))
+    }
+
+    /// Adds a categorical column (empty string = missing).
+    pub fn categorical<S: AsRef<str>>(
+        self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.column(name, CategoricalColumn::from_strings(values))
+    }
+
+    /// Tags the most recently added column with a semantic label (e.g.
+    /// "currency", "date"), enabling metadata-constrained insight queries.
+    ///
+    /// # Panics
+    /// Panics when called before any column is added.
+    pub fn semantic(mut self, tag: impl Into<String>) -> Self {
+        let last = self.schema.len().checked_sub(1).expect("no column to tag");
+        self.schema.set_semantic(last, Some(tag.into()));
+        self
+    }
+
+    /// Validates lengths and name uniqueness and produces the table.
+    pub fn build(self) -> Result<Table> {
+        let n_rows = self.columns.first().map(Column::len).unwrap_or(0);
+        for (field, column) in self.schema.fields().iter().zip(&self.columns) {
+            if column.len() != n_rows {
+                return Err(DataError::LengthMismatch {
+                    name: field.name.clone(),
+                    len: column.len(),
+                    expected: n_rows,
+                });
+            }
+        }
+        for (i, f) in self.schema.fields().iter().enumerate() {
+            if self.schema.fields()[..i].iter().any(|g| g.name == f.name) {
+                return Err(DataError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Table {
+            name: self.name,
+            schema: self.schema,
+            columns: self.columns,
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        TableBuilder::new("t")
+            .numeric("x", vec![1.0, 2.0, f64::NAN, 4.0])
+            .numeric("y", vec![4.0, 3.0, 2.0, 1.0])
+            .categorical("c", ["a", "b", "a", ""])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_access() {
+        let t = demo();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.numeric_by_name("x").unwrap().get(0), Some(1.0));
+        assert_eq!(t.categorical_by_name("c").unwrap().get(1), Some("b"));
+        assert_eq!(t.numeric_indices(), vec![0, 1]);
+        assert_eq!(t.categorical_indices(), vec![2]);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let t = demo();
+        assert!(matches!(
+            t.numeric_by_name("c"),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.categorical_by_name("x"),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.column_by_name("nope"),
+            Err(DataError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            t.column(99),
+            Err(DataError::ColumnIndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = TableBuilder::new("t")
+            .numeric("a", vec![1.0])
+            .numeric("b", vec![1.0, 2.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let err = TableBuilder::new("t")
+            .numeric("a", vec![1.0])
+            .numeric("a", vec![2.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn projection() {
+        let t = demo();
+        let p = t.project(&["y", "c"]).unwrap();
+        assert_eq!(p.n_cols(), 2);
+        assert_eq!(p.schema().names().collect::<Vec<_>>(), vec!["y", "c"]);
+        assert!(t.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn row_materialization() {
+        let t = demo();
+        let r = t.row(2);
+        assert!(r[0].is_null());
+        assert_eq!(r[1], Value::Number(2.0));
+        assert_eq!(r[2], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn filter_rows_keeps_schema_and_selects() {
+        let t = demo();
+        let f = t.filter_rows(|r| r % 2 == 0);
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.numeric_by_name("y").unwrap().values(), &[4.0, 2.0]);
+        // missing propagates
+        assert!(f.numeric_by_name("x").unwrap().values()[1].is_nan());
+        assert_eq!(f.categorical_by_name("c").unwrap().get(0), Some("a"));
+    }
+
+    #[test]
+    fn semantic_tagging() {
+        let t = TableBuilder::new("t")
+            .numeric("price", vec![1.0, 2.0])
+            .semantic("currency")
+            .numeric("qty", vec![3.0, 4.0])
+            .build()
+            .unwrap();
+        assert_eq!(t.semantic(0), Some("currency"));
+        assert_eq!(t.semantic(1), None);
+        assert_eq!(t.schema().indices_with_semantic("currency"), vec![0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = TableBuilder::new("a")
+            .numeric("x", vec![1.0, 2.0])
+            .categorical("c", ["p", "q"])
+            .build()
+            .unwrap();
+        let b = TableBuilder::new("b")
+            .numeric("x", vec![3.0, f64::NAN])
+            .categorical("c", ["q", ""])
+            .build()
+            .unwrap();
+        let stacked = a.vstack(&b).unwrap();
+        assert_eq!(stacked.n_rows(), 4);
+        assert_eq!(stacked.numeric_by_name("x").unwrap().get(2), Some(3.0));
+        assert_eq!(stacked.numeric_by_name("x").unwrap().get(3), None);
+        let c = stacked.categorical_by_name("c").unwrap();
+        assert_eq!(c.get(2), Some("q"));
+        assert_eq!(c.get(3), None);
+        // dictionary stays deduplicated
+        assert_eq!(c.cardinality(), 2);
+    }
+
+    #[test]
+    fn vstack_rejects_schema_mismatch() {
+        let a = TableBuilder::new("a")
+            .numeric("x", vec![1.0])
+            .build()
+            .unwrap();
+        let b = TableBuilder::new("b")
+            .numeric("y", vec![1.0])
+            .build()
+            .unwrap();
+        assert!(a.vstack(&b).is_err());
+        let c = TableBuilder::new("c")
+            .categorical("x", ["v"])
+            .build()
+            .unwrap();
+        assert!(a.vstack(&c).is_err());
+        let d = TableBuilder::new("d")
+            .numeric("x", vec![1.0])
+            .numeric("extra", vec![2.0])
+            .build()
+            .unwrap();
+        assert!(a.vstack(&d).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TableBuilder::new("e").build().unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Scalar cell values.
+
+use std::fmt;
+
+/// A single cell of a table, as seen through the row-oriented accessors.
+///
+/// Foresight stores data column-wise ([`crate::column::Column`]); `Value` is
+/// only materialized at the boundary — CSV parsing, row extraction, display.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing cell.
+    Null,
+    /// A numeric (floating point) cell.
+    Number(f64),
+    /// A categorical (string) cell.
+    Text(String),
+}
+
+impl Value {
+    /// Returns `true` when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the numeric payload, if any.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        if x.is_nan() {
+            Value::Null
+        } else {
+            Value::Number(x)
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_becomes_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert_eq!(Value::from(2.5), Value::Number(2.5));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Number(1.0).as_number(), Some(1.0));
+        assert_eq!(Value::Number(1.0).as_text(), None);
+        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Number(1.5).to_string(), "1.5");
+        assert_eq!(Value::Text("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,39 @@
+//! Engine error types.
+
+use thiserror::Error;
+
+/// Errors from the exploration engine.
+#[derive(Debug, Error)]
+pub enum EngineError {
+    /// The query named an insight class that is not registered.
+    #[error("unknown insight class `{0}`")]
+    UnknownClass(String),
+
+    /// The query named a metric the class does not offer.
+    #[error("class `{class}` has no metric `{metric}`")]
+    UnknownMetric {
+        /// The class id.
+        class: String,
+        /// The requested metric.
+        metric: String,
+    },
+
+    /// Approximate mode was requested without a sketch catalog.
+    #[error("approximate mode requires preprocess() to build the sketch catalog first")]
+    NoCatalog,
+
+    /// A column reference in the query does not exist.
+    #[error(transparent)]
+    Data(#[from] foresight_data::DataError),
+
+    /// Session (de)serialization failure.
+    #[error("session serialization: {0}")]
+    Session(#[from] serde_json::Error),
+
+    /// An I/O failure while persisting a session.
+    #[error("i/o error: {0}")]
+    Io(#[from] std::io::Error),
+}
+
+/// Convenient alias used throughout the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,436 @@
+//! Query execution: candidate enumeration → (exact or sketch) scoring →
+//! filtering → ranking. Optionally rayon-parallel across candidates (the
+//! paper's future-work "parallel search methods that speed up insight
+//! queries").
+
+use crate::error::{EngineError, Result};
+use crate::query::InsightQuery;
+use foresight_data::Table;
+use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
+use foresight_sketch::SketchCatalog;
+use rayon::prelude::*;
+
+/// How scores are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exact metrics over the raw columns.
+    Exact,
+    /// Sketch-backed approximations where a class supports them, exact
+    /// fallback otherwise. Requires a built [`SketchCatalog`].
+    Approximate,
+}
+
+/// Executes [`InsightQuery`]s against one table.
+pub struct Executor<'a> {
+    table: &'a Table,
+    registry: &'a InsightRegistry,
+    catalog: Option<&'a SketchCatalog>,
+    mode: Mode,
+    parallel: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// An exact-mode executor.
+    pub fn exact(table: &'a Table, registry: &'a InsightRegistry) -> Self {
+        Self {
+            table,
+            registry,
+            catalog: None,
+            mode: Mode::Exact,
+            parallel: false,
+        }
+    }
+
+    /// An approximate-mode executor over a prebuilt catalog.
+    pub fn approximate(
+        table: &'a Table,
+        registry: &'a InsightRegistry,
+        catalog: &'a SketchCatalog,
+    ) -> Self {
+        Self {
+            table,
+            registry,
+            catalog: Some(catalog),
+            mode: Mode::Approximate,
+            parallel: false,
+        }
+    }
+
+    /// Enables rayon-parallel candidate scoring.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn score_one(
+        &self,
+        class: &dyn InsightClass,
+        query: &InsightQuery,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        if let Some(metric) = &query.metric {
+            // alternative metrics always take the exact path
+            return class.score_metric(self.table, attrs, metric);
+        }
+        if self.mode == Mode::Approximate {
+            if let Some(catalog) = self.catalog {
+                if let Some(s) = class.score_sketch(catalog, self.table, attrs) {
+                    return Some(s);
+                }
+            }
+        }
+        class.score(self.table, attrs)
+    }
+
+    /// Runs a query, returning instances sorted by descending score.
+    pub fn execute(&self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        let class = self
+            .registry
+            .get(&query.class_id)
+            .ok_or_else(|| EngineError::UnknownClass(query.class_id.clone()))?;
+        if let Some(metric) = &query.metric {
+            let known =
+                metric == class.metric() || class.alternative_metrics().iter().any(|m| m == metric);
+            if !known {
+                return Err(EngineError::UnknownMetric {
+                    class: query.class_id.clone(),
+                    metric: metric.clone(),
+                });
+            }
+        }
+
+        let candidates: Vec<AttrTuple> = class
+            .candidates(self.table)
+            .into_iter()
+            .filter(|a| {
+                query.matches_fixed(a)
+                    && query.matches_semantic(self.table, a)
+                    && !query.exclude.contains(a)
+            })
+            .collect();
+
+        let score_fn = |attrs: &AttrTuple| -> Option<(AttrTuple, f64)> {
+            let score = self.score_one(class.as_ref(), query, attrs)?;
+            (score.is_finite() && query.matches_range(score)).then_some((*attrs, score))
+        };
+        let mut scored: Vec<(AttrTuple, f64)> = if self.parallel {
+            candidates.par_iter().filter_map(score_fn).collect()
+        } else {
+            candidates.iter().filter_map(score_fn).collect()
+        };
+
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("non-finite scores filtered")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        match query.diversify {
+            Some(lambda) if lambda > 0.0 => {
+                scored = diversify_scored(scored, query.top_k, lambda);
+            }
+            _ => scored.truncate(query.top_k),
+        }
+
+        Ok(scored
+            .into_iter()
+            .map(|(attrs, score)| InsightInstance {
+                class_id: query.class_id.clone(),
+                attrs,
+                score,
+                metric: query
+                    .metric
+                    .clone()
+                    .unwrap_or_else(|| class.metric().to_owned()),
+                detail: class.describe(self.table, &attrs, score),
+            })
+            .collect())
+    }
+}
+
+/// Greedy maximal-marginal-relevance selection: repeatedly picks the
+/// candidate maximizing `(1−λ)·normalized_score − λ·max_attr_overlap` with
+/// the already-selected set. Input must be sorted by descending score.
+pub(crate) fn diversify_scored(
+    scored: Vec<(AttrTuple, f64)>,
+    top_k: usize,
+    lambda: f64,
+) -> Vec<(AttrTuple, f64)> {
+    if scored.len() <= 1 {
+        return scored;
+    }
+    let max_score = scored
+        .iter()
+        .map(|(_, s)| s.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let overlap = |a: &AttrTuple, b: &AttrTuple| -> f64 {
+        let shared = a.overlap(b) as f64;
+        let union = (a.arity() + b.arity()) as f64 - shared;
+        shared / union.max(1.0)
+    };
+    let mut remaining = scored;
+    let mut selected: Vec<(AttrTuple, f64)> = vec![remaining.remove(0)];
+    while selected.len() < top_k && !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, (attrs, score))| {
+                let max_sim = selected
+                    .iter()
+                    .map(|(sel, _)| overlap(attrs, sel))
+                    .fold(0.0f64, f64::max);
+                (
+                    i,
+                    (1.0 - lambda) * (score.abs() / max_score) - lambda * max_sim,
+                )
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite mmr"))
+            .expect("remaining non-empty");
+        selected.push(remaining.remove(best_idx));
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+    use foresight_sketch::CatalogConfig;
+
+    fn table() -> Table {
+        let x: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let strong: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        let medium: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + ((i * 37) % 120) as f64 * 2.0)
+            .collect();
+        let noise: Vec<f64> = (0..300).map(|i| ((i * 37) % 300) as f64).collect();
+        TableBuilder::new("t")
+            .numeric("x", x)
+            .numeric("strong", strong)
+            .numeric("medium", medium)
+            .numeric("noise", noise)
+            .build()
+            .unwrap()
+    }
+
+    fn registry() -> InsightRegistry {
+        InsightRegistry::default()
+    }
+
+    #[test]
+    fn ranks_descending_and_truncates() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(&InsightQuery::class("linear-relationship").top_k(2))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].score >= out[1].score);
+        assert_eq!(out[0].attrs, AttrTuple::Two(0, 1)); // x ~ strong, ρ = 1
+        assert!(out[0].detail.contains("linear relationship"));
+    }
+
+    #[test]
+    fn fixed_attrs_restrict() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(
+                &InsightQuery::class("linear-relationship")
+                    .top_k(10)
+                    .fix_attr(3),
+            )
+            .unwrap();
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|i| i.attrs.contains(3)));
+    }
+
+    #[test]
+    fn score_range_filters_trivial_correlations() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(
+                &InsightQuery::class("linear-relationship")
+                    .top_k(10)
+                    .score_range(0.3, 0.95),
+            )
+            .unwrap();
+        assert!(out.iter().all(|i| i.score >= 0.3 && i.score <= 0.95));
+        // the perfect pair was filtered out
+        assert!(!out.iter().any(|i| i.attrs == AttrTuple::Two(0, 1)));
+    }
+
+    #[test]
+    fn exclusions_respected() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(
+                &InsightQuery::class("linear-relationship")
+                    .top_k(10)
+                    .exclude(AttrTuple::Two(0, 1)),
+            )
+            .unwrap();
+        assert!(!out.iter().any(|i| i.attrs == AttrTuple::Two(0, 1)));
+    }
+
+    #[test]
+    fn semantic_constraint_restricts_candidates() {
+        let t = TableBuilder::new("t")
+            .numeric("revenue", (0..60).map(|i| i as f64).collect())
+            .semantic("currency")
+            .numeric("cost", (0..60).map(|i| (2 * i) as f64).collect())
+            .semantic("currency")
+            .numeric("temperature", (0..60).map(|i| (3 * i) as f64).collect())
+            .build()
+            .unwrap();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(
+                &InsightQuery::class("linear-relationship")
+                    .top_k(10)
+                    .require_semantic("currency"),
+            )
+            .unwrap();
+        assert!(!out.is_empty());
+        for inst in &out {
+            assert!(
+                inst.attrs
+                    .indices()
+                    .iter()
+                    .any(|&i| t.semantic(i) == Some("currency")),
+                "{:?} has no currency attribute",
+                inst.attrs
+            );
+        }
+        // an unknown tag yields an empty result, not an error
+        let none = ex
+            .execute(&InsightQuery::class("linear-relationship").require_semantic("nope"))
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unknown_class_and_metric_rejected() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        assert!(matches!(
+            ex.execute(&InsightQuery::class("nope")),
+            Err(EngineError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            ex.execute(&InsightQuery::class("skew").metric("nope")),
+            Err(EngineError::UnknownMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn alternative_metric_path() {
+        let t = table();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let out = ex
+            .execute(&InsightQuery::class("linear-relationship").metric("|spearman|"))
+            .unwrap();
+        assert_eq!(out[0].metric, "|spearman|");
+        assert!((out[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_mode_agrees_on_top_pair() {
+        let t = table();
+        let r = registry();
+        let catalog = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            },
+        );
+        let approx = Executor::approximate(&t, &r, &catalog);
+        let out = approx
+            .execute(&InsightQuery::class("linear-relationship").top_k(1))
+            .unwrap();
+        assert_eq!(out[0].attrs, AttrTuple::Two(0, 1));
+        assert!(out[0].score > 0.9);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let t = table();
+        let r = registry();
+        let q = InsightQuery::class("linear-relationship").top_k(6);
+        let seq = Executor::exact(&t, &r).execute(&q).unwrap();
+        let par = Executor::exact(&t, &r).parallel(true).execute(&q).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn diversification_spreads_attributes() {
+        // hub column 0 correlates perfectly with 1, 2, 3; 4~5 is an
+        // independent strong pair that plain top-3 would miss
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let indep: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let t = TableBuilder::new("t")
+            .numeric("hub", base.clone())
+            .numeric("a", base.iter().map(|v| 2.0 * v).collect())
+            .numeric("b", base.iter().map(|v| 3.0 * v + 1.0).collect())
+            .numeric("c", base.iter().map(|v| 0.5 * v - 9.0).collect())
+            .numeric("x", indep.clone())
+            .numeric("y", indep.iter().map(|v| v + 0.5).collect())
+            .build()
+            .unwrap();
+        let r = registry();
+        let ex = Executor::exact(&t, &r);
+        let plain = ex
+            .execute(&InsightQuery::class("linear-relationship").top_k(3))
+            .unwrap();
+        // plain top-3 is all perfect pairs among {hub,a,b,c}
+        assert!(plain.iter().all(|i| !i.attrs.contains(4)));
+        let diverse = ex
+            .execute(
+                &InsightQuery::class("linear-relationship")
+                    .top_k(3)
+                    .diversify(0.6),
+            )
+            .unwrap();
+        assert!(
+            diverse.iter().any(|i| i.attrs == AttrTuple::Two(4, 5)),
+            "diversified top-3 still misses the independent pair: {:?}",
+            diverse.iter().map(|i| i.attrs).collect::<Vec<_>>()
+        );
+        // the overall strongest insight is always kept
+        assert_eq!(diverse[0].attrs, plain[0].attrs);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // two pairs with identical scores must order deterministically
+        let t = TableBuilder::new("t")
+            .numeric("a", (0..50).map(|i| i as f64).collect())
+            .numeric("b", (0..50).map(|i| i as f64 * 2.0).collect())
+            .numeric("c", (0..50).map(|i| i as f64 * 3.0).collect())
+            .build()
+            .unwrap();
+        let r = registry();
+        let out = Executor::exact(&t, &r)
+            .execute(&InsightQuery::class("linear-relationship").top_k(3))
+            .unwrap();
+        assert_eq!(out[0].attrs, AttrTuple::Two(0, 1));
+        assert_eq!(out[1].attrs, AttrTuple::Two(0, 2));
+        assert_eq!(out[2].attrs, AttrTuple::Two(1, 2));
+    }
+}

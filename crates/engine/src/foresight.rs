@@ -1,0 +1,413 @@
+//! The top-level [`Foresight`] facade: load a table, preprocess sketches,
+//! run insight queries, focus insights, assemble carousels, save sessions.
+
+use crate::error::{EngineError, Result};
+use crate::executor::{Executor, Mode};
+use crate::neighborhood::NeighborhoodWeights;
+use crate::query::InsightQuery;
+use crate::recommend::{carousels, Carousel};
+use crate::session::Session;
+use foresight_data::Table;
+use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
+use foresight_sketch::{CatalogConfig, SketchCatalog};
+use foresight_viz::ChartSpec;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The Foresight system over one dataset.
+///
+/// # Examples
+/// ```
+/// use foresight_engine::Foresight;
+/// use foresight_engine::query::InsightQuery;
+/// use foresight_data::datasets;
+///
+/// let mut fs = Foresight::new(datasets::oecd());
+/// let top = fs.query(&InsightQuery::class("linear-relationship").top_k(1)).unwrap();
+/// assert_eq!(top.len(), 1);
+/// ```
+pub struct Foresight {
+    table: Table,
+    registry: InsightRegistry,
+    catalog: Option<SketchCatalog>,
+    index: Option<crate::index::InsightIndex>,
+    session: Session,
+    mode: Mode,
+    parallel: bool,
+    weights: NeighborhoodWeights,
+}
+
+impl Foresight {
+    /// Opens a table with the 12 default insight classes, in exact mode.
+    pub fn new(table: Table) -> Self {
+        let session = Session::new(table.name());
+        Self {
+            table,
+            registry: InsightRegistry::default(),
+            catalog: None,
+            index: None,
+            session,
+            mode: Mode::Exact,
+            parallel: false,
+            weights: NeighborhoodWeights::default(),
+        }
+    }
+
+    /// Opens a table with a custom class roster.
+    pub fn with_registry(table: Table, registry: InsightRegistry) -> Self {
+        Self {
+            registry,
+            ..Self::new(table)
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The class registry (read-only).
+    pub fn registry(&self) -> &InsightRegistry {
+        &self.registry
+    }
+
+    /// Plugs in an insight class (§2.2 extensibility). Invalidates any
+    /// built insight index (rebuild with [`Foresight::build_index`]).
+    pub fn register_class(&mut self, class: Arc<dyn InsightClass>) {
+        self.registry.register(class);
+        self.index = None;
+    }
+
+    /// Materializes the insight index — the "indexes" of the paper's
+    /// preprocessing triad. Basic top-k queries are then answered from a
+    /// precomputed sorted list without re-scoring candidates. Uses sketch
+    /// scores when [`Foresight::preprocess`] ran first.
+    pub fn build_index(&mut self) -> &crate::index::InsightIndex {
+        let catalog = if self.mode == Mode::Approximate {
+            self.catalog.as_ref()
+        } else {
+            None
+        };
+        self.index = Some(crate::index::InsightIndex::build(
+            &self.table,
+            &self.registry,
+            catalog,
+        ));
+        self.index.as_ref().expect("just built")
+    }
+
+    /// The insight index, if one was built.
+    pub fn insight_index(&self) -> Option<&crate::index::InsightIndex> {
+        self.index.as_ref()
+    }
+
+    /// The current session state.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Replaces the session (e.g. one restored via [`Session::load`]).
+    pub fn restore_session(&mut self, session: Session) {
+        self.session = session;
+    }
+
+    /// Sets the neighborhood re-ranking weights.
+    pub fn set_weights(&mut self, weights: NeighborhoodWeights) {
+        self.weights = weights;
+    }
+
+    /// Enables rayon-parallel query execution.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Runs the paper's preprocessing phase: builds the sketch catalog and
+    /// switches the engine to approximate (interactive) mode. Any built
+    /// insight index is invalidated (its scores were computed in the old
+    /// mode); call [`Foresight::build_index`] again to re-materialize it.
+    pub fn preprocess(&mut self, config: &CatalogConfig) -> &SketchCatalog {
+        self.catalog = Some(SketchCatalog::build(&self.table, config));
+        self.mode = Mode::Approximate;
+        self.index = None;
+        self.catalog.as_ref().expect("just built")
+    }
+
+    /// Switches between exact and approximate scoring.
+    ///
+    /// # Errors
+    /// Approximate mode requires a prior [`Foresight::preprocess`].
+    pub fn set_mode(&mut self, mode: Mode) -> Result<()> {
+        if mode == Mode::Approximate && self.catalog.is_none() {
+            return Err(EngineError::NoCatalog);
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The sketch catalog, if preprocessing ran.
+    pub fn catalog(&self) -> Option<&SketchCatalog> {
+        self.catalog.as_ref()
+    }
+
+    fn executor(&self) -> Executor<'_> {
+        let ex = match (self.mode, self.catalog.as_ref()) {
+            (Mode::Approximate, Some(catalog)) => {
+                Executor::approximate(&self.table, &self.registry, catalog)
+            }
+            _ => Executor::exact(&self.table, &self.registry),
+        };
+        ex.parallel(self.parallel)
+    }
+
+    /// Runs an insight query and records it in the session history.
+    ///
+    /// Served from the insight index when one is built and covers the
+    /// query; otherwise scored by the executor (sketch or exact mode).
+    pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        let out = match self
+            .index
+            .as_ref()
+            .and_then(|i| i.query(&self.table, &self.registry, query))
+        {
+            Some(out) => out,
+            None => self.executor().execute(query)?,
+        };
+        self.session.record_query(query, out.len());
+        Ok(out)
+    }
+
+    /// Re-executes every query recorded in the current session's history
+    /// (e.g. one restored from a colleague's saved session) and returns the
+    /// per-query results. The replay itself is appended to the history.
+    pub fn replay_session(&mut self) -> Result<Vec<Vec<InsightInstance>>> {
+        let queries: Vec<InsightQuery> = self.session.queries().into_iter().cloned().collect();
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Builds all carousels (one per class), re-ranked toward the focus set.
+    pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
+        carousels(
+            &self.executor(),
+            &self.registry,
+            &self.session,
+            per_class,
+            self.weights,
+        )
+    }
+
+    /// Focuses an insight, steering future recommendations toward its
+    /// neighborhood.
+    pub fn focus(&mut self, instance: InsightInstance) {
+        self.session.focus(instance);
+    }
+
+    /// Removes a focused insight.
+    pub fn unfocus(&mut self, attrs: &foresight_insight::AttrTuple) -> bool {
+        self.session.unfocus(attrs)
+    }
+
+    /// Profiles the dataset: per-column summaries plus the strongest
+    /// instance of every registered class.
+    pub fn profile(&self) -> Result<crate::profile::DatasetProfile> {
+        crate::profile::profile(&self.table, &self.registry)
+    }
+
+    /// Persists the full engine state — session *and* sketch catalog — so a
+    /// later process can resume exploration without re-running the
+    /// preprocessing phase.
+    pub fn save_state(&self, writer: impl std::io::Write) -> Result<()> {
+        let state = PersistedState {
+            session: self.session.clone(),
+            catalog: self.catalog.clone(),
+        };
+        serde_json::to_writer(writer, &state)?;
+        Ok(())
+    }
+
+    /// Restores state saved with [`Foresight::save_state`]. When the saved
+    /// state includes a catalog, the engine switches to approximate mode.
+    pub fn load_state(&mut self, reader: impl std::io::Read) -> Result<()> {
+        let state: PersistedState = serde_json::from_reader(reader)?;
+        self.session = state.session;
+        if state.catalog.is_some() {
+            self.catalog = state.catalog;
+            self.mode = Mode::Approximate;
+        }
+        self.index = None;
+        Ok(())
+    }
+
+    /// Builds a self-contained HTML report: one carousel section per class
+    /// (top `per_class` charts each) plus every available class overview —
+    /// the library-shaped version of the paper's demo UI.
+    pub fn report(&self, per_class: usize) -> Result<foresight_viz::Report> {
+        let mut report =
+            foresight_viz::Report::new(format!("Foresight insights — {}", self.table.name()));
+        report.intro = format!(
+            "{} rows × {} columns; per-class carousels ranked strongest first",
+            self.table.n_rows(),
+            self.table.n_cols()
+        );
+        for carousel in self.carousels(per_class)? {
+            let mut charts = Vec::new();
+            for inst in &carousel.instances {
+                if let Some(spec) = self.chart(inst)? {
+                    charts.push(spec);
+                }
+            }
+            if !charts.is_empty() {
+                report.section(
+                    carousel.class_name,
+                    format!("ranked by {}", carousel.metric),
+                    charts,
+                );
+            }
+        }
+        if let Some(fig2) = self.overview("linear-relationship")? {
+            report.section("Correlation overview", "all pairwise ρ", vec![fig2]);
+        }
+        Ok(report)
+    }
+
+    /// The chart for one insight instance.
+    pub fn chart(&self, instance: &InsightInstance) -> Result<Option<ChartSpec>> {
+        let class = self
+            .registry
+            .get(&instance.class_id)
+            .ok_or_else(|| EngineError::UnknownClass(instance.class_id.clone()))?;
+        Ok(class.chart(&self.table, &instance.attrs))
+    }
+
+    /// The class-level overview chart (§2.1's third level of exploration;
+    /// Figure 2 for the linear-relationship class).
+    pub fn overview(&self, class_id: &str) -> Result<Option<ChartSpec>> {
+        let class = self
+            .registry
+            .get(class_id)
+            .ok_or_else(|| EngineError::UnknownClass(class_id.to_owned()))?;
+        Ok(class.overview(&self.table))
+    }
+}
+
+/// The serialized form of a [`Foresight`] engine's resumable state.
+#[derive(Serialize, Deserialize)]
+struct PersistedState {
+    session: Session,
+    catalog: Option<SketchCatalog>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets;
+    use foresight_insight::AttrTuple;
+
+    fn oecd() -> Foresight {
+        Foresight::new(datasets::oecd())
+    }
+
+    #[test]
+    fn query_and_history() {
+        let mut fs = oecd();
+        let out = fs
+            .query(&InsightQuery::class("linear-relationship").top_k(3))
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(fs.session().history.len(), 1);
+    }
+
+    #[test]
+    fn preprocess_switches_modes() {
+        let mut fs = oecd();
+        assert_eq!(fs.mode(), Mode::Exact);
+        assert!(matches!(
+            fs.set_mode(Mode::Approximate),
+            Err(EngineError::NoCatalog)
+        ));
+        fs.preprocess(&CatalogConfig::default());
+        assert_eq!(fs.mode(), Mode::Approximate);
+        fs.set_mode(Mode::Exact).unwrap();
+        fs.set_mode(Mode::Approximate).unwrap();
+    }
+
+    #[test]
+    fn charts_and_overviews() {
+        let mut fs = oecd();
+        let top = fs
+            .query(&InsightQuery::class("linear-relationship").top_k(1))
+            .unwrap();
+        let chart = fs.chart(&top[0]).unwrap().unwrap();
+        assert_eq!(chart.kind_name(), "scatter");
+        let fig2 = fs.overview("linear-relationship").unwrap().unwrap();
+        assert_eq!(fig2.kind_name(), "heatmap");
+        assert!(fs.overview("nope").is_err());
+    }
+
+    #[test]
+    fn focus_round_trip() {
+        let mut fs = oecd();
+        let top = fs
+            .query(&InsightQuery::class("linear-relationship").top_k(1))
+            .unwrap();
+        fs.focus(top[0].clone());
+        assert_eq!(fs.session().focus.len(), 1);
+        let attrs = top[0].attrs;
+        assert!(fs.unfocus(&attrs));
+        assert!(fs.session().focus.is_empty());
+    }
+
+    #[test]
+    fn full_state_round_trip_resumes_approximate_mode() {
+        let mut fs = oecd();
+        fs.preprocess(&CatalogConfig::default());
+        let q = InsightQuery::class("linear-relationship").top_k(3);
+        let before = fs.query(&q).unwrap();
+        let mut buf = Vec::new();
+        fs.save_state(&mut buf).unwrap();
+
+        let mut resumed = oecd();
+        assert_eq!(resumed.mode(), Mode::Exact);
+        resumed.load_state(buf.as_slice()).unwrap();
+        assert_eq!(resumed.mode(), Mode::Approximate);
+        // the restored catalog reproduces the sketch-backed results exactly
+        let after = resumed.query(&q).unwrap();
+        assert_eq!(before, after);
+        // and the history carried over (1 query before save + 1 after)
+        assert_eq!(resumed.session().queries().len(), 2);
+    }
+
+    #[test]
+    fn indexed_queries_match_executor_queries() {
+        let mut fs = oecd();
+        let q = InsightQuery::class("linear-relationship").top_k(4);
+        let unindexed = fs.query(&q).unwrap();
+        fs.build_index();
+        assert!(fs.insight_index().is_some());
+        let indexed = fs.query(&q).unwrap();
+        assert_eq!(unindexed, indexed);
+        // registering a class invalidates the index
+        fs.preprocess(&CatalogConfig::default());
+        assert!(fs.insight_index().is_none());
+    }
+
+    #[test]
+    fn session_survives_save_restore() {
+        let mut fs = oecd();
+        fs.focus(InsightInstance {
+            class_id: "skew".into(),
+            attrs: AttrTuple::One(5),
+            score: 1.2,
+            metric: "|skewness|".into(),
+            detail: "test".into(),
+        });
+        let json = fs.session().to_json().unwrap();
+        let mut fs2 = oecd();
+        fs2.restore_session(Session::from_json(&json).unwrap());
+        assert_eq!(fs.session(), fs2.session());
+    }
+}

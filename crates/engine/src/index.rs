@@ -1,0 +1,188 @@
+//! Insight indexes — the third leg of the paper's preprocessing triad
+//! ("sketches, samples, and **indexes** that will support fast approximate
+//! insight querying", §1/§3).
+//!
+//! An [`InsightIndex`] materializes every class's scored candidate list
+//! once (using sketch scores when a catalog is available), sorted by
+//! descending score. Basic insight queries then reduce to a filtered scan
+//! of a precomputed list — no metric evaluation at query time at all.
+
+use crate::query::InsightQuery;
+use foresight_data::Table;
+use foresight_insight::{AttrTuple, InsightInstance, InsightRegistry};
+use foresight_sketch::SketchCatalog;
+use std::collections::HashMap;
+
+/// Precomputed, descending-sorted candidate scores for every class.
+#[derive(Debug, Clone, Default)]
+pub struct InsightIndex {
+    entries: HashMap<String, Vec<(AttrTuple, f64)>>,
+}
+
+impl InsightIndex {
+    /// Scores every candidate of every registered class (sketch-backed
+    /// when `catalog` is given, exact otherwise) and sorts each list.
+    pub fn build(
+        table: &Table,
+        registry: &InsightRegistry,
+        catalog: Option<&SketchCatalog>,
+    ) -> Self {
+        let mut entries = HashMap::with_capacity(registry.len());
+        for class in registry.classes() {
+            let mut scored: Vec<(AttrTuple, f64)> = class
+                .candidates(table)
+                .into_iter()
+                .filter_map(|attrs| {
+                    let score = catalog
+                        .and_then(|c| class.score_sketch(c, table, &attrs))
+                        .or_else(|| class.score(table, &attrs))?;
+                    score.is_finite().then_some((attrs, score))
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("non-finite filtered")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            entries.insert(class.id().to_owned(), scored);
+        }
+        Self { entries }
+    }
+
+    /// Number of indexed classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total indexed `(class, tuple)` entries.
+    pub fn total_entries(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Answers a query from the index alone.
+    ///
+    /// Returns `None` when the query cannot be served from the index: the
+    /// class is not indexed, or the query overrides the ranking metric
+    /// (alternative metrics are not precomputed).
+    pub fn query(
+        &self,
+        table: &Table,
+        registry: &InsightRegistry,
+        query: &InsightQuery,
+    ) -> Option<Vec<InsightInstance>> {
+        if query.metric.is_some() {
+            return None;
+        }
+        let list = self.entries.get(&query.class_id)?;
+        let class = registry.get(&query.class_id)?;
+        let mut filtered: Vec<(AttrTuple, f64)> = Vec::with_capacity(query.top_k);
+        for &(attrs, score) in list {
+            if !query.matches_fixed(&attrs)
+                || !query.matches_semantic(table, &attrs)
+                || query.exclude.contains(&attrs)
+                || !query.matches_range(score)
+            {
+                continue;
+            }
+            filtered.push((attrs, score));
+            // without diversification the list is already rank-ordered, so
+            // the scan can stop as soon as top-k entries are collected
+            if query.diversify.unwrap_or(0.0) == 0.0 && filtered.len() == query.top_k {
+                break;
+            }
+        }
+        let selected = match query.diversify {
+            Some(lambda) if lambda > 0.0 => {
+                crate::executor::diversify_scored(filtered, query.top_k, lambda)
+            }
+            _ => filtered,
+        };
+        Some(
+            selected
+                .into_iter()
+                .map(|(attrs, score)| InsightInstance {
+                    class_id: query.class_id.clone(),
+                    attrs,
+                    score,
+                    metric: class.metric().to_owned(),
+                    detail: class.describe(table, &attrs, score),
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use foresight_data::TableBuilder;
+    use foresight_sketch::CatalogConfig;
+
+    fn table() -> Table {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        TableBuilder::new("t")
+            .numeric("x", x.clone())
+            .numeric("y", x.iter().map(|v| 2.0 * v).collect())
+            .numeric("z", (0..200).map(|i| ((i * 37) % 200) as f64).collect())
+            .categorical("c", (0..200).map(|i| if i % 2 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn index_agrees_with_executor() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let index = InsightIndex::build(&t, &r, None);
+        let ex = Executor::exact(&t, &r);
+        for q in [
+            InsightQuery::class("linear-relationship").top_k(3),
+            InsightQuery::class("skew").top_k(2),
+            InsightQuery::class("linear-relationship")
+                .top_k(5)
+                .fix_attr(2)
+                .score_range(0.0, 0.5),
+            InsightQuery::class("linear-relationship")
+                .top_k(2)
+                .exclude(foresight_insight::AttrTuple::Two(0, 1)),
+        ] {
+            let from_index = index.query(&t, &r, &q).expect("indexed");
+            let from_executor = ex.execute(&q).expect("valid");
+            assert_eq!(from_index, from_executor, "query {q:?} disagrees");
+        }
+    }
+
+    #[test]
+    fn metric_override_falls_through() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let index = InsightIndex::build(&t, &r, None);
+        let q = InsightQuery::class("linear-relationship").metric("|spearman|");
+        assert!(index.query(&t, &r, &q).is_none());
+        assert!(index
+            .query(&t, &r, &InsightQuery::class("not-a-class"))
+            .is_none());
+    }
+
+    #[test]
+    fn sketch_built_index_uses_sketch_scores() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let catalog = SketchCatalog::build(&t, &CatalogConfig::default());
+        let index = InsightIndex::build(&t, &r, Some(&catalog));
+        let approx = Executor::approximate(&t, &r, &catalog);
+        let q = InsightQuery::class("linear-relationship").top_k(3);
+        assert_eq!(
+            index.query(&t, &r, &q).unwrap(),
+            approx.execute(&q).unwrap()
+        );
+        assert_eq!(index.len(), 12);
+        assert!(index.total_entries() > 12);
+    }
+}

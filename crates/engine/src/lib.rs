@@ -1,0 +1,34 @@
+//! # foresight-engine
+//!
+//! The paper's core contribution, part 2: the exploration engine.
+//!
+//! * [`query`] — insight queries: top-k, fixed attributes, metric-range
+//!   filters, metric selection (§2.1)
+//! * [`executor`] — exact or sketch-backed query execution, optionally
+//!   rayon-parallel
+//! * [`neighborhood`] — insight similarity and focus-driven re-ranking
+//! * [`session`] — focus set, history, save/restore
+//! * [`recommend`] — Figure-1 carousel assembly
+//! * [`foresight`] — the [`Foresight`] facade tying everything together
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod executor;
+pub mod foresight;
+pub mod index;
+pub mod neighborhood;
+pub mod profile;
+pub mod query;
+pub mod recommend;
+pub mod session;
+
+pub use error::{EngineError, Result};
+pub use executor::{Executor, Mode};
+pub use foresight::Foresight;
+pub use index::InsightIndex;
+pub use neighborhood::NeighborhoodWeights;
+pub use profile::{profile, ColumnProfile, DatasetProfile};
+pub use query::InsightQuery;
+pub use recommend::Carousel;
+pub use session::{Session, SessionEvent};

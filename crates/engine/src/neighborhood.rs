@@ -1,0 +1,107 @@
+//! Insight neighborhoods (paper §2.1 / §4.1): when the user focuses an
+//! insight, recommendations are re-ranked toward "nearby" insights — those
+//! sharing attributes or having similar metric scores.
+
+use foresight_insight::InsightInstance;
+
+/// Weighting between raw strength and focus similarity when re-ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborhoodWeights {
+    /// Weight of similarity to the focus set (0 = ignore focus, 1 = only
+    /// similarity). The remainder weights the instance's own score.
+    pub similarity: f64,
+}
+
+impl Default for NeighborhoodWeights {
+    fn default() -> Self {
+        Self { similarity: 0.5 }
+    }
+}
+
+/// Similarity of `candidate` to the closest member of the focus set
+/// (0 when the focus set is empty).
+pub fn focus_similarity(candidate: &InsightInstance, focus: &[InsightInstance]) -> f64 {
+    focus
+        .iter()
+        .map(|f| candidate.similarity(f))
+        .fold(0.0, f64::max)
+}
+
+/// Blended relevance: `(1−w)·normalized_score + w·focus_similarity`.
+///
+/// Scores are normalized within the candidate list so classes with
+/// unbounded metrics (variance, kurtosis) blend on equal footing.
+pub fn rerank(
+    candidates: &mut [InsightInstance],
+    focus: &[InsightInstance],
+    weights: NeighborhoodWeights,
+) {
+    if focus.is_empty() || candidates.is_empty() {
+        return;
+    }
+    let max_score = candidates
+        .iter()
+        .map(|c| c.score.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let w = weights.similarity.clamp(0.0, 1.0);
+    let relevance = |c: &InsightInstance| -> f64 {
+        (1.0 - w) * (c.score.abs() / max_score) + w * focus_similarity(c, focus)
+    };
+    candidates.sort_by(|a, b| {
+        relevance(b)
+            .partial_cmp(&relevance(a))
+            .expect("finite relevance")
+            .then_with(|| a.attrs.cmp(&b.attrs))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_insight::AttrTuple;
+
+    fn inst(class: &str, attrs: AttrTuple, score: f64) -> InsightInstance {
+        InsightInstance {
+            class_id: class.into(),
+            attrs,
+            score,
+            metric: "m".into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn focus_similarity_is_max_over_focus() {
+        let focus = vec![
+            inst("c", AttrTuple::Two(1, 2), 0.9),
+            inst("c", AttrTuple::Two(5, 6), 0.9),
+        ];
+        let near = inst("c", AttrTuple::Two(2, 3), 0.9);
+        let far = inst("c", AttrTuple::Two(8, 9), 0.9);
+        assert!(focus_similarity(&near, &focus) > focus_similarity(&far, &focus));
+        assert_eq!(focus_similarity(&near, &[]), 0.0);
+    }
+
+    #[test]
+    fn rerank_promotes_neighbors_of_focus() {
+        let focus = vec![inst("c", AttrTuple::Two(1, 2), 0.9)];
+        // "related" shares attribute 1; "stronger" has a higher score but no overlap
+        let related = inst("c", AttrTuple::Two(1, 7), 0.7);
+        let stronger = inst("c", AttrTuple::Two(8, 9), 0.8);
+        let mut list = vec![stronger.clone(), related.clone()];
+        rerank(&mut list, &focus, NeighborhoodWeights { similarity: 0.8 });
+        assert_eq!(list[0].attrs, related.attrs);
+        // with similarity turned off, raw score order returns
+        rerank(&mut list, &focus, NeighborhoodWeights { similarity: 0.0 });
+        assert_eq!(list[0].attrs, stronger.attrs);
+    }
+
+    #[test]
+    fn empty_focus_is_noop() {
+        let a = inst("c", AttrTuple::One(0), 0.3);
+        let b = inst("c", AttrTuple::One(1), 0.9);
+        let mut list = vec![a.clone(), b.clone()];
+        rerank(&mut list, &[], NeighborhoodWeights::default());
+        assert_eq!(list[0].attrs, a.attrs); // untouched
+    }
+}

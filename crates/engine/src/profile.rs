@@ -1,0 +1,208 @@
+//! One-call dataset profiling: per-column descriptive summaries plus the
+//! strongest instance of every insight class — the "jump-start" overview a
+//! new user sees before issuing any query.
+
+use crate::error::Result;
+use crate::executor::Executor;
+use crate::query::InsightQuery;
+use foresight_data::{ColumnType, Table};
+use foresight_insight::{InsightInstance, InsightRegistry};
+use foresight_stats::{describe, Description, FrequencyTable};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnProfile {
+    /// A numeric column's descriptive statistics.
+    Numeric {
+        /// Column name.
+        name: String,
+        /// The summary (`None` when the column is all-missing).
+        summary: Option<Description>,
+    },
+    /// A categorical column's frequency profile.
+    Categorical {
+        /// Column name.
+        name: String,
+        /// Distinct values.
+        cardinality: usize,
+        /// Present count.
+        total: u64,
+        /// The most frequent value and its count.
+        top: Option<(String, u64)>,
+        /// Normalized entropy in [0, 1].
+        normalized_entropy: f64,
+    },
+}
+
+/// A whole-table profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Rows.
+    pub rows: usize,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<ColumnProfile>,
+    /// The strongest instance of each insight class that produced one,
+    /// in registry order.
+    pub headline_insights: Vec<InsightInstance>,
+}
+
+/// Profiles a table: summaries for every column and the top instance of
+/// every class in `registry`.
+pub fn profile(table: &Table, registry: &InsightRegistry) -> Result<DatasetProfile> {
+    let mut columns = Vec::with_capacity(table.n_cols());
+    for (idx, field) in table.schema().fields().iter().enumerate() {
+        match field.ty {
+            ColumnType::Numeric => {
+                let col = table.numeric(idx)?;
+                columns.push(ColumnProfile::Numeric {
+                    name: field.name.clone(),
+                    summary: describe(col.values()),
+                });
+            }
+            ColumnType::Categorical => {
+                let col = table.categorical(idx)?;
+                let ft = FrequencyTable::from_column(col);
+                columns.push(ColumnProfile::Categorical {
+                    name: field.name.clone(),
+                    cardinality: ft.cardinality(),
+                    total: ft.total,
+                    top: ft.top_k(1).first().cloned(),
+                    normalized_entropy: ft.normalized_entropy(),
+                });
+            }
+        }
+    }
+
+    let executor = Executor::exact(table, registry);
+    let mut headline_insights = Vec::new();
+    for class in registry.classes() {
+        if let Ok(mut top) = executor.execute(&InsightQuery::class(class.id()).top_k(1)) {
+            headline_insights.append(&mut top);
+        }
+    }
+
+    Ok(DatasetProfile {
+        name: table.name().to_owned(),
+        rows: table.n_rows(),
+        columns,
+        headline_insights,
+    })
+}
+
+impl DatasetProfile {
+    /// A human-readable multi-line rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "dataset `{}`: {} rows × {} columns\n\ncolumns:\n",
+            self.name,
+            self.rows,
+            self.columns.len()
+        );
+        for c in &self.columns {
+            match c {
+                ColumnProfile::Numeric { name, summary } => match summary {
+                    Some(d) => out.push_str(&format!(
+                        "  {name:<40} numeric  mean {:>10.3}  sd {:>10.3}  [{:.3}, {:.3}]  {} missing\n",
+                        d.mean, d.std, d.min, d.max, d.missing
+                    )),
+                    None => out.push_str(&format!("  {name:<40} numeric  (all missing)\n")),
+                },
+                ColumnProfile::Categorical {
+                    name,
+                    cardinality,
+                    total,
+                    top,
+                    normalized_entropy,
+                } => {
+                    let top_str = top
+                        .as_ref()
+                        .map(|(l, c)| format!("top `{l}` ×{c}"))
+                        .unwrap_or_else(|| "empty".to_owned());
+                    out.push_str(&format!(
+                        "  {name:<40} categorical  {cardinality} distinct / {total}  {top_str}  H̃ = {normalized_entropy:.2}\n"
+                    ));
+                }
+            }
+        }
+        out.push_str("\nheadline insights:\n");
+        for i in &self.headline_insights {
+            out.push_str(&format!(
+                "  [{:<26}] {:.3}  {}\n",
+                i.class_id, i.score, i.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("demo")
+            .numeric("x", (0..50).map(|i| i as f64).collect())
+            .numeric("y", (0..50).map(|i| (2 * i) as f64).collect())
+            .categorical("c", (0..50).map(|i| if i % 3 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn profile_covers_all_columns_and_classes() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let p = profile(&t, &r).unwrap();
+        assert_eq!(p.rows, 50);
+        assert_eq!(p.columns.len(), 3);
+        match &p.columns[0] {
+            ColumnProfile::Numeric { name, summary } => {
+                assert_eq!(name, "x");
+                assert_eq!(summary.as_ref().unwrap().count, 50);
+            }
+            _ => panic!("wrong kind"),
+        }
+        match &p.columns[2] {
+            ColumnProfile::Categorical {
+                cardinality, top, ..
+            } => {
+                assert_eq!(*cardinality, 2);
+                assert_eq!(top.as_ref().unwrap().0, "b");
+            }
+            _ => panic!("wrong kind"),
+        }
+        // at least the correlation/skew/dispersion classes produce headlines
+        assert!(p.headline_insights.len() >= 5);
+        let linear = p
+            .headline_insights
+            .iter()
+            .find(|i| i.class_id == "linear-relationship")
+            .unwrap();
+        assert!((linear.score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let text = profile(&t, &r).unwrap().to_text();
+        assert!(text.contains("demo"));
+        assert!(text.contains("numeric"));
+        assert!(text.contains("categorical"));
+        assert!(text.contains("linear-relationship"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = table();
+        let r = InsightRegistry::default();
+        let p = profile(&t, &r).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DatasetProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

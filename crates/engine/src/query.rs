@@ -1,0 +1,196 @@
+//! Insight queries (paper §2.1): top-k ranked instances of a class, with
+//! optional fixed attributes, metric-range filters, metric selection, and
+//! exclusions of already-seen tuples.
+
+use foresight_insight::AttrTuple;
+use serde::{Deserialize, Serialize};
+
+/// A declarative query against insight space.
+///
+/// # Examples
+/// ```
+/// use foresight_engine::query::InsightQuery;
+///
+/// // "the 5 attribute pairs most correlated with column 3, but not the
+/// //  trivially-perfect ones": fix x̄ = 3 and filter ρ ∈ [0.5, 0.8]
+/// let q = InsightQuery::class("linear-relationship")
+///     .top_k(5)
+///     .fix_attr(3)
+///     .score_range(0.5, 0.8);
+/// assert_eq!(q.fixed_attrs, vec![3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsightQuery {
+    /// Which insight class to query.
+    pub class_id: String,
+    /// How many instances to return.
+    pub top_k: usize,
+    /// Attributes every returned tuple must contain (the paper's
+    /// "fix x = x̄ and rank only pairs (x̄, y)").
+    pub fixed_attrs: Vec<usize>,
+    /// Ranking metric: `None` = the class's primary metric.
+    pub metric: Option<String>,
+    /// Inclusive score filter, e.g. `[0.5, 0.8]` "to filter out trivially
+    /// very high correlations".
+    pub score_range: Option<(f64, f64)>,
+    /// Tuples to exclude (already shown / already focused).
+    pub exclude: Vec<AttrTuple>,
+    /// Require every returned tuple to include at least one attribute with
+    /// this semantic tag (the paper's §2.1 metadata constraint: "search for
+    /// attributes that represent currency or dates").
+    #[serde(default)]
+    pub semantic: Option<String>,
+    /// Attribute-diversification strength λ ∈ [0, 1]. The paper notes that
+    /// when "many attribute tuples have similarly high insight-metric
+    /// scores … the particular set visualized for the user is somewhat
+    /// arbitrary" (§2.1); diversification replaces plain top-k with a
+    /// greedy maximal-marginal-relevance selection that penalizes attribute
+    /// overlap with already-selected results. `None`/0 = plain top-k.
+    #[serde(default)]
+    pub diversify: Option<f64>,
+}
+
+impl InsightQuery {
+    /// Starts a query for `class_id` with defaults (top 5, no filters).
+    pub fn class(class_id: impl Into<String>) -> Self {
+        Self {
+            class_id: class_id.into(),
+            top_k: 5,
+            fixed_attrs: Vec::new(),
+            metric: None,
+            score_range: None,
+            exclude: Vec::new(),
+            semantic: None,
+            diversify: None,
+        }
+    }
+
+    /// Sets the number of instances to return.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Requires every returned tuple to contain column `attr`.
+    pub fn fix_attr(mut self, attr: usize) -> Self {
+        self.fixed_attrs.push(attr);
+        self
+    }
+
+    /// Ranks by an alternative metric instead of the class default.
+    pub fn metric(mut self, name: impl Into<String>) -> Self {
+        self.metric = Some(name.into());
+        self
+    }
+
+    /// Keeps only instances with score in `[lo, hi]`.
+    pub fn score_range(mut self, lo: f64, hi: f64) -> Self {
+        self.score_range = Some((lo, hi));
+        self
+    }
+
+    /// Excludes a tuple from the results.
+    pub fn exclude(mut self, attrs: AttrTuple) -> Self {
+        self.exclude.push(attrs);
+        self
+    }
+
+    /// Diversifies the result set with MMR strength `lambda` (0 = none).
+    pub fn diversify(mut self, lambda: f64) -> Self {
+        self.diversify = Some(lambda.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Requires at least one attribute in every returned tuple to carry the
+    /// given semantic tag.
+    pub fn require_semantic(mut self, tag: impl Into<String>) -> Self {
+        self.semantic = Some(tag.into());
+        self
+    }
+
+    /// Does `attrs` satisfy the semantic constraint against `table`?
+    pub fn matches_semantic(&self, table: &foresight_data::Table, attrs: &AttrTuple) -> bool {
+        match &self.semantic {
+            None => true,
+            Some(tag) => attrs
+                .indices()
+                .iter()
+                .any(|&i| table.semantic(i) == Some(tag.as_str())),
+        }
+    }
+
+    /// Does `attrs` satisfy the fixed-attribute constraint?
+    pub fn matches_fixed(&self, attrs: &AttrTuple) -> bool {
+        self.fixed_attrs.iter().all(|&f| attrs.contains(f))
+    }
+
+    /// Does `score` pass the range filter?
+    pub fn matches_range(&self, score: f64) -> bool {
+        match self.score_range {
+            Some((lo, hi)) => score >= lo && score <= hi,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let q = InsightQuery::class("skew")
+            .top_k(7)
+            .fix_attr(1)
+            .fix_attr(2)
+            .metric("bimodality-coefficient")
+            .score_range(0.1, 0.9)
+            .exclude(AttrTuple::One(4));
+        assert_eq!(q.top_k, 7);
+        assert_eq!(q.fixed_attrs, vec![1, 2]);
+        assert_eq!(q.metric.as_deref(), Some("bimodality-coefficient"));
+        assert_eq!(q.score_range, Some((0.1, 0.9)));
+        assert_eq!(q.exclude, vec![AttrTuple::One(4)]);
+    }
+
+    #[test]
+    fn fixed_attr_matching() {
+        let q = InsightQuery::class("linear-relationship").fix_attr(3);
+        assert!(q.matches_fixed(&AttrTuple::Two(3, 9)));
+        assert!(q.matches_fixed(&AttrTuple::Two(1, 3)));
+        assert!(!q.matches_fixed(&AttrTuple::Two(1, 2)));
+        let q2 = q.fix_attr(9);
+        assert!(q2.matches_fixed(&AttrTuple::Two(3, 9)));
+        assert!(!q2.matches_fixed(&AttrTuple::Two(3, 4)));
+    }
+
+    #[test]
+    fn range_matching() {
+        let q = InsightQuery::class("x").score_range(0.5, 0.8);
+        assert!(q.matches_range(0.5) && q.matches_range(0.8));
+        assert!(!q.matches_range(0.49) && !q.matches_range(0.81));
+        assert!(InsightQuery::class("x").matches_range(f64::MAX));
+    }
+
+    #[test]
+    fn semantic_matching() {
+        let table = foresight_data::TableBuilder::new("t")
+            .numeric("price", vec![1.0])
+            .semantic("currency")
+            .numeric("qty", vec![2.0])
+            .build()
+            .unwrap();
+        let q = InsightQuery::class("linear-relationship").require_semantic("currency");
+        assert!(q.matches_semantic(&table, &AttrTuple::Two(0, 1)));
+        assert!(!q.matches_semantic(&table, &AttrTuple::One(1)));
+        let open = InsightQuery::class("linear-relationship");
+        assert!(open.matches_semantic(&table, &AttrTuple::One(1)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = InsightQuery::class("outliers").top_k(3).fix_attr(1);
+        let json = serde_json::to_string(&q).unwrap();
+        assert_eq!(serde_json::from_str::<InsightQuery>(&json).unwrap(), q);
+    }
+}

@@ -1,0 +1,135 @@
+//! Carousel assembly — the Figure-1 experience: one ranked row of insights
+//! per class, re-ranked toward the session's focused insights.
+
+use crate::error::Result;
+use crate::executor::Executor;
+use crate::neighborhood::{rerank, NeighborhoodWeights};
+use crate::query::InsightQuery;
+use crate::session::Session;
+use foresight_insight::{InsightInstance, InsightRegistry};
+
+/// One carousel: a ranked strip of insights from a single class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Carousel {
+    /// The class id.
+    pub class_id: String,
+    /// Display name.
+    pub class_name: String,
+    /// The ranking metric used.
+    pub metric: String,
+    /// Ranked instances, strongest (or most focus-relevant) first.
+    pub instances: Vec<InsightInstance>,
+}
+
+/// Builds one carousel per registered class.
+///
+/// Without a focus set this shows each class's strongest instances — the
+/// first, open-ended stage of exploration. With focused insights, each
+/// carousel is re-ranked toward the focus neighborhood (§4.1: "Foresight
+/// updates its recommendations by choosing a subset of insights within the
+/// neighborhood of the focused insight").
+pub fn carousels(
+    executor: &Executor<'_>,
+    registry: &InsightRegistry,
+    session: &Session,
+    per_class: usize,
+    weights: NeighborhoodWeights,
+) -> Result<Vec<Carousel>> {
+    let mut out = Vec::with_capacity(registry.len());
+    for class in registry.classes() {
+        // over-fetch so the neighborhood re-rank has material to promote
+        let fetch = if session.focus.is_empty() {
+            per_class
+        } else {
+            per_class * 4
+        };
+        let query = InsightQuery::class(class.id()).top_k(fetch);
+        let mut instances = executor.execute(&query)?;
+        rerank(&mut instances, &session.focus, weights);
+        instances.truncate(per_class);
+        out.push(Carousel {
+            class_id: class.id().to_owned(),
+            class_name: class.name().to_owned(),
+            metric: class.metric().to_owned(),
+            instances,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+    use foresight_insight::AttrTuple;
+
+    fn setup() -> (foresight_data::Table, InsightRegistry) {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let z: Vec<f64> = (0..200).map(|i| ((i * 37) % 200) as f64).collect();
+        let t = TableBuilder::new("t")
+            .numeric("x", x)
+            .numeric("y", y)
+            .numeric("z", z)
+            .categorical("c", (0..200).map(|i| if i % 2 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap();
+        (t, InsightRegistry::default())
+    }
+
+    #[test]
+    fn one_carousel_per_class() {
+        let (t, r) = setup();
+        let ex = Executor::exact(&t, &r);
+        let session = Session::new("t");
+        let cs = carousels(&ex, &r, &session, 3, NeighborhoodWeights::default()).unwrap();
+        assert_eq!(cs.len(), 12);
+        for c in &cs {
+            assert!(c.instances.len() <= 3);
+            for w in c.instances.windows(2) {
+                // without focus, carousels are strongest-first
+                assert!(w[0].score >= w[1].score, "{} not sorted", c.class_id);
+            }
+        }
+    }
+
+    #[test]
+    fn focus_changes_ranking() {
+        let (t, r) = setup();
+        let ex = Executor::exact(&t, &r);
+        let mut session = Session::new("t");
+        let unfocused = carousels(&ex, &r, &session, 3, NeighborhoodWeights::default()).unwrap();
+        // focus an insight about column z (index 2)
+        session.focus(InsightInstance {
+            class_id: "dispersion".into(),
+            attrs: AttrTuple::One(2),
+            score: 1.0,
+            metric: "variance".into(),
+            detail: String::new(),
+        });
+        let focused = carousels(
+            &ex,
+            &r,
+            &session,
+            3,
+            NeighborhoodWeights { similarity: 0.9 },
+        )
+        .unwrap();
+        // the linear carousel should now lead with pairs touching column 2
+        let linear = focused
+            .iter()
+            .find(|c| c.class_id == "linear-relationship")
+            .unwrap();
+        assert!(
+            linear.instances[0].attrs.contains(2),
+            "focus did not pull neighborhood forward: {:?}",
+            linear.instances[0].attrs
+        );
+        // and the unfocused ranking led with the perfect (0,1) pair
+        let linear_before = unfocused
+            .iter()
+            .find(|c| c.class_id == "linear-relationship")
+            .unwrap();
+        assert_eq!(linear_before.instances[0].attrs, AttrTuple::Two(0, 1));
+    }
+}

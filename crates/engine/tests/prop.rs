@@ -1,0 +1,109 @@
+//! Property-based tests for query-execution invariants.
+
+use foresight_data::TableBuilder;
+use foresight_engine::{Executor, InsightQuery, Session};
+use foresight_insight::{AttrTuple, InsightInstance, InsightRegistry};
+use proptest::prelude::*;
+
+fn table(cols: usize, rows: usize, seed: u64) -> foresight_data::Table {
+    let mut builder = TableBuilder::new("t");
+    for c in 0..cols {
+        let values: Vec<f64> = (0..rows)
+            .map(|r| {
+                let x = (r as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed + c as u64);
+                (x >> 33) as f64 / 1e9 + if c % 2 == 0 { r as f64 } else { 0.0 }
+            })
+            .collect();
+        builder = builder.numeric(format!("col{c}"), values);
+    }
+    builder.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn results_respect_all_query_constraints(
+        cols in 3usize..7,
+        rows in 20usize..80,
+        seed in 0u64..1000,
+        k in 1usize..10,
+        fixed in 0usize..3,
+        lo in 0.0f64..0.5,
+        span in 0.1f64..0.5,
+    ) {
+        let t = table(cols, rows, seed);
+        let registry = InsightRegistry::default();
+        let ex = Executor::exact(&t, &registry);
+        let q = InsightQuery::class("linear-relationship")
+            .top_k(k)
+            .fix_attr(fixed)
+            .score_range(lo, lo + span);
+        let out = ex.execute(&q).expect("valid query");
+        prop_assert!(out.len() <= k);
+        for w in out.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for inst in &out {
+            prop_assert!(inst.attrs.contains(fixed));
+            prop_assert!(inst.score >= lo && inst.score <= lo + span);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic(seed in 0u64..500) {
+        let t = table(5, 40, seed);
+        let registry = InsightRegistry::default();
+        let ex = Executor::exact(&t, &registry);
+        let q = InsightQuery::class("skew").top_k(5);
+        prop_assert_eq!(ex.execute(&q).unwrap(), ex.execute(&q).unwrap());
+    }
+
+    #[test]
+    fn session_round_trips(focus_count in 0usize..6, queries in 0usize..6) {
+        let mut s = Session::new("prop");
+        for i in 0..focus_count {
+            s.focus(InsightInstance {
+                class_id: format!("class{}", i % 3),
+                attrs: AttrTuple::Two(i, i + 1),
+                score: i as f64 / 10.0,
+                metric: "m".into(),
+                detail: format!("insight {i}"),
+            });
+        }
+        for i in 0..queries {
+            s.record_query(&InsightQuery::class("linear-relationship"), i);
+        }
+        let json = s.to_json().expect("serialize");
+        let back = Session::from_json(&json).expect("parse");
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded(
+        a1 in 0usize..6, a2 in 6usize..12, b1 in 0usize..6, b2 in 6usize..12,
+        s1 in 0.0f64..1.0, s2 in 0.0f64..1.0,
+    ) {
+        let x = InsightInstance {
+            class_id: "c".into(),
+            attrs: AttrTuple::Two(a1, a2),
+            score: s1,
+            metric: "m".into(),
+            detail: String::new(),
+        };
+        let y = InsightInstance {
+            class_id: "c".into(),
+            attrs: AttrTuple::Two(b1, b2),
+            score: s2,
+            metric: "m".into(),
+            detail: String::new(),
+        };
+        let sim = x.similarity(&y);
+        prop_assert!((0.0..=1.0).contains(&sim));
+        prop_assert!((sim - y.similarity(&x)).abs() < 1e-12);
+        // identity similarity is maximal
+        prop_assert!(x.similarity(&x) >= sim);
+    }
+}

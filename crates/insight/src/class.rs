@@ -1,0 +1,100 @@
+//! The [`InsightClass`] trait — the paper's extensibility point (§2.2:
+//! "Foresight is designed to be an extensible system where a data scientist
+//! can 'plug in' new insight classes along with their corresponding ranking
+//! measures and visualizations").
+
+use crate::types::AttrTuple;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_viz::ChartSpec;
+
+/// One insight class: applicability rule, ranking metric(s), visualization,
+/// and optional class-level overview visualization.
+pub trait InsightClass: Send + Sync {
+    /// Stable machine id, kebab-case (e.g. `"linear-relationship"`).
+    fn id(&self) -> &'static str;
+
+    /// Display name (e.g. `"Linear Relationship"`).
+    fn name(&self) -> &'static str;
+
+    /// One-sentence description of what a strong instance means.
+    fn description(&self) -> &'static str;
+
+    /// The primary ranking metric's name.
+    fn metric(&self) -> &'static str;
+
+    /// Names of alternative ranking metrics (may be empty). The §4.1
+    /// scenario switches a correlation carousel from Pearson to Spearman.
+    fn alternative_metrics(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// All attribute tuples this class applies to in `table` — the insight
+    /// class as a set of candidate feature tuples (§2.1).
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple>;
+
+    /// Exact score of `attrs` under the primary metric. Higher is stronger.
+    /// `None` when the tuple is degenerate (constant column, too few rows).
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64>;
+
+    /// Score under a named alternative metric; defaults to the primary.
+    fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
+        let _ = metric;
+        self.score(table, attrs)
+    }
+
+    /// Approximate score from the sketch catalog — used by the interactive
+    /// query path. `None` means this class has no sketch path; the engine
+    /// then falls back to the exact score.
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let _ = (catalog, table, attrs);
+        None
+    }
+
+    /// Human-readable strength sentence for a scored tuple.
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let names: Vec<&str> = attrs
+            .indices()
+            .iter()
+            .map(|&i| {
+                table
+                    .schema()
+                    .field(i)
+                    .map(|f| f.name.as_str())
+                    .unwrap_or("?")
+            })
+            .collect();
+        format!(
+            "{} of {}: {} = {:.3}",
+            self.name(),
+            names.join(" × "),
+            self.metric(),
+            score
+        )
+    }
+
+    /// The visualization of one instance (paper: each insight has one or
+    /// more associated data visualizations).
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec>;
+
+    /// The optional class-level overview visualization (paper §2.1; the
+    /// linear-relationship class's overview is the Figure 2 heatmap).
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        let _ = table;
+        None
+    }
+}
+
+/// Helper: the column name at `idx` (empty string if out of range).
+pub fn column_name(table: &Table, idx: usize) -> &str {
+    table
+        .schema()
+        .field(idx)
+        .map(|f| f.name.as_str())
+        .unwrap_or("")
+}

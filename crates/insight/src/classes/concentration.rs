@@ -1,0 +1,173 @@
+//! The **Concentration** insight: a categorical column whose empirical
+//! distribution is far from uniform, measured by `1 − H/ln(card)`
+//! (one minus normalized Shannon entropy). Complements
+//! [`crate::classes::hetero_freq`]: RelFreq looks only at the top-k head,
+//! entropy summarizes the whole distribution.
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_stats::FrequencyTable;
+use foresight_viz::{ChartKind, ChartSpec, ParetoSpec};
+
+/// The concentration (low-entropy) insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Concentration;
+
+impl InsightClass for Concentration {
+    fn id(&self) -> &'static str {
+        "concentration"
+    }
+
+    fn name(&self) -> &'static str {
+        "Concentration"
+    }
+
+    fn description(&self) -> &'static str {
+        "The value distribution is far more concentrated than uniform"
+    }
+
+    fn metric(&self) -> &'static str {
+        "1 - normalized entropy"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .categorical_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let ft = FrequencyTable::from_column(table.categorical(*idx).ok()?);
+        let ne = ft.normalized_entropy();
+        ne.is_finite().then(|| (1.0 - ne).clamp(0.0, 1.0))
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let s = catalog.categorical(*idx)?;
+        if s.cardinality < 2 {
+            return None;
+        }
+        let h = s.entropy.estimate();
+        if !h.is_finite() {
+            return None;
+        }
+        Some((1.0 - h / (s.cardinality as f64).ln()).clamp(0.0, 1.0))
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let name = attrs
+            .indices()
+            .first()
+            .map(|&i| column_name(table, i))
+            .unwrap_or("");
+        format!(
+            "{name} is {:.0}% more concentrated than a uniform distribution over its values",
+            100.0 * score
+        )
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let ft = FrequencyTable::from_column(table.categorical(*idx).ok()?);
+        let score = self.score(table, attrs)?;
+        Some(ChartSpec {
+            title: format!(
+                "{}: concentration {:.2} over {} values",
+                column_name(table, *idx),
+                score,
+                ft.cardinality()
+            ),
+            x_label: column_name(table, *idx).to_owned(),
+            y_label: "count".to_owned(),
+            kind: ChartKind::Pareto(ParetoSpec {
+                bars: ft.top_k(12).to_vec(),
+                total: ft.total,
+            }),
+        })
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Concentration by attribute (1 − entropy)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        let concentrated: Vec<String> = (0..400)
+            .map(|i| {
+                if i % 20 == 0 {
+                    format!("tail{}", i / 20)
+                } else {
+                    "head".to_owned()
+                }
+            })
+            .collect();
+        let uniform: Vec<String> = (0..400).map(|i| format!("u{}", i % 20)).collect();
+        TableBuilder::new("t")
+            .categorical("concentrated", concentrated.iter().map(String::as_str))
+            .categorical("uniform", uniform.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn concentrated_outranks_uniform() {
+        let c = Concentration;
+        let t = table();
+        let conc = c.score(&t, &AttrTuple::One(0)).unwrap();
+        let unif = c.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(conc > 0.5, "conc {conc}");
+        assert!(unif < 0.05, "unif {unif}");
+    }
+
+    #[test]
+    fn sketch_score_tracks_exact() {
+        let t = table();
+        let cat = foresight_sketch::SketchCatalog::build(
+            &t,
+            &foresight_sketch::CatalogConfig {
+                entropy_k: 1024,
+                ..Default::default()
+            },
+        );
+        let c = Concentration;
+        for idx in [0usize, 1] {
+            let exact = c.score(&t, &AttrTuple::One(idx)).unwrap();
+            let approx = c.score_sketch(&cat, &t, &AttrTuple::One(idx)).unwrap();
+            assert!(
+                (exact - approx).abs() < 0.12,
+                "col {idx}: exact {exact} approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn chart_is_pareto() {
+        let c = Concentration;
+        let spec = c.chart(&table(), &AttrTuple::One(0)).unwrap();
+        assert_eq!(spec.kind_name(), "pareto");
+        assert!(spec.title.contains("concentration"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Insight 1 (paper §2.2): **Dispersion** — very high dispersion of values
+//! around the mean, measured by the variance `σ²(b)` and visualized with a
+//! histogram.
+
+use crate::class::{column_name, InsightClass};
+use crate::types::AttrTuple;
+use crate::util::histogram_chart;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_viz::{BarSpec, ChartKind, ChartSpec};
+
+/// The dispersion insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dispersion;
+
+impl InsightClass for Dispersion {
+    fn id(&self) -> &'static str {
+        "dispersion"
+    }
+
+    fn name(&self) -> &'static str {
+        "Dispersion"
+    }
+
+    fn description(&self) -> &'static str {
+        "Values spread unusually widely around the mean"
+    }
+
+    fn metric(&self) -> &'static str {
+        "variance"
+    }
+
+    fn alternative_metrics(&self) -> Vec<&'static str> {
+        vec!["coefficient-of-variation"]
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let m = foresight_stats::Moments::from_slice(table.numeric(*idx).ok()?.values());
+        let v = m.population_variance();
+        v.is_finite().then_some(v)
+    }
+
+    fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
+        if metric != "coefficient-of-variation" {
+            return self.score(table, attrs);
+        }
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let m = foresight_stats::Moments::from_slice(table.numeric(*idx).ok()?.values());
+        let cv = m.coefficient_of_variation();
+        cv.is_finite().then_some(cv)
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let v = catalog.numeric(*idx)?.moments.population_variance();
+        v.is_finite().then_some(v)
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let name = attrs
+            .indices()
+            .first()
+            .map(|&i| column_name(table, i))
+            .unwrap_or("");
+        format!(
+            "{name} has very high dispersion (σ² = {}, σ = {})",
+            crate::util::fmt_compact(score),
+            crate::util::fmt_compact(score.sqrt())
+        )
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let score = self.score(table, attrs)?;
+        histogram_chart(
+            table,
+            *idx,
+            format!(
+                "{}: σ² = {}",
+                column_name(table, *idx),
+                crate::util::fmt_compact(score)
+            ),
+        )
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Dispersion by attribute (variance)")
+    }
+}
+
+/// Shared overview builder: one bar per candidate tuple, sorted descending —
+/// the paper's "metric over all tuples in the insight class".
+pub(crate) fn overview_bar(
+    class: &dyn InsightClass,
+    table: &Table,
+    title: &str,
+) -> Option<ChartSpec> {
+    let mut items: Vec<(String, f64)> = class
+        .candidates(table)
+        .iter()
+        .filter_map(|attrs| {
+            let score = class.score(table, attrs)?;
+            let name = attrs
+                .indices()
+                .iter()
+                .map(|&i| column_name(table, i))
+                .collect::<Vec<_>>()
+                .join(" × ");
+            Some((name, score))
+        })
+        .collect();
+    if items.is_empty() {
+        return None;
+    }
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    items.truncate(30);
+    let (labels, values) = items.into_iter().unzip();
+    Some(ChartSpec {
+        title: title.to_owned(),
+        x_label: class.metric().to_owned(),
+        y_label: String::new(),
+        kind: ChartKind::Bar(BarSpec { labels, values }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("t")
+            .numeric("wide", (0..100).map(|i| (i * 100) as f64).collect())
+            .numeric("narrow", (0..100).map(|i| (i % 3) as f64).collect())
+            .numeric("constant", vec![5.0; 100])
+            .categorical("c", (0..100).map(|_| "x"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn candidates_are_numeric_columns() {
+        let d = Dispersion;
+        assert_eq!(
+            d.candidates(&table()),
+            vec![AttrTuple::One(0), AttrTuple::One(1), AttrTuple::One(2)]
+        );
+    }
+
+    #[test]
+    fn wide_beats_narrow() {
+        let d = Dispersion;
+        let t = table();
+        let wide = d.score(&t, &AttrTuple::One(0)).unwrap();
+        let narrow = d.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(wide > narrow);
+        assert_eq!(d.score(&t, &AttrTuple::One(2)), Some(0.0));
+    }
+
+    #[test]
+    fn cv_is_scale_free() {
+        let d = Dispersion;
+        let t = TableBuilder::new("t")
+            .numeric("a", (0..50).map(|i| 10.0 + i as f64).collect())
+            .numeric(
+                "a_scaled",
+                (0..50).map(|i| 100.0 + 10.0 * i as f64).collect(),
+            )
+            .build()
+            .unwrap();
+        // a_scaled = 10·a exactly, so the CV (scale-free) agrees…
+        let cv_a = d
+            .score_metric(&t, &AttrTuple::One(0), "coefficient-of-variation")
+            .unwrap();
+        let cv_b = d
+            .score_metric(&t, &AttrTuple::One(1), "coefficient-of-variation")
+            .unwrap();
+        assert!((cv_a - cv_b).abs() < 1e-9);
+        // …while the plain variance differs by 100×
+        let va = d.score(&t, &AttrTuple::One(0)).unwrap();
+        let vb = d.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!((vb / va - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chart_is_histogram_with_metric_title() {
+        let d = Dispersion;
+        let c = d.chart(&table(), &AttrTuple::One(0)).unwrap();
+        assert_eq!(c.kind_name(), "histogram");
+        assert!(c.title.contains("σ²"));
+    }
+
+    #[test]
+    fn overview_sorted_descending() {
+        let d = Dispersion;
+        let o = d.overview(&table()).unwrap();
+        match o.kind {
+            ChartKind::Bar(b) => {
+                assert_eq!(b.labels[0], "wide");
+                assert!(b.values[0] >= b.values[1]);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_none() {
+        assert!(Dispersion.score(&table(), &AttrTuple::Two(0, 1)).is_none());
+    }
+}

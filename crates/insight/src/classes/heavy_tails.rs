@@ -1,0 +1,160 @@
+//! Insight 3 (paper §2.2): **Heavy Tails** — propensity toward extreme
+//! values, measured by kurtosis `Kurt(b)` and visualized with a histogram.
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use crate::util::histogram_chart;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_viz::ChartSpec;
+
+/// The heavy-tails insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HeavyTails;
+
+impl InsightClass for HeavyTails {
+    fn id(&self) -> &'static str {
+        "heavy-tails"
+    }
+
+    fn name(&self) -> &'static str {
+        "Heavy Tails"
+    }
+
+    fn description(&self) -> &'static str {
+        "The distribution produces extreme values far more often than a normal one"
+    }
+
+    fn metric(&self) -> &'static str {
+        "kurtosis"
+    }
+
+    fn alternative_metrics(&self) -> Vec<&'static str> {
+        vec!["excess-kurtosis"]
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let k = foresight_stats::Moments::from_slice(table.numeric(*idx).ok()?.values()).kurtosis();
+        k.is_finite().then_some(k)
+    }
+
+    fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
+        let k = self.score(table, attrs)?;
+        Some(if metric == "excess-kurtosis" {
+            k - 3.0
+        } else {
+            k
+        })
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let k = catalog.numeric(*idx)?.moments.kurtosis();
+        k.is_finite().then_some(k)
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let name = attrs
+            .indices()
+            .first()
+            .map(|&i| column_name(table, i))
+            .unwrap_or("");
+        let vs_normal = score / 3.0;
+        format!(
+            "{name} is heavy-tailed (kurtosis {} — {:.1}x the normal distribution's)",
+            crate::util::fmt_compact(score),
+            vs_normal
+        )
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let k = self.score(table, attrs)?;
+        histogram_chart(
+            table,
+            *idx,
+            format!("{}: kurtosis = {:.2}", column_name(table, *idx), k),
+        )
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Heavy-tailedness by attribute (kurtosis)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::dist::normal_quantile;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        let normal: Vec<f64> = (1..500)
+            .map(|i| normal_quantile(i as f64 / 500.0))
+            .collect();
+        let heavy: Vec<f64> = normal.iter().map(|z| 0.3 * (z / 0.3).sinh()).collect();
+        let light: Vec<f64> = (0..499).map(|i| (i % 100) as f64).collect(); // uniform
+        TableBuilder::new("t")
+            .numeric("heavy", heavy)
+            .numeric("normal", normal)
+            .numeric("uniform", light)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn heavy_outranks_normal_outranks_uniform() {
+        let h = HeavyTails;
+        let t = table();
+        let heavy = h.score(&t, &AttrTuple::One(0)).unwrap();
+        let normal = h.score(&t, &AttrTuple::One(1)).unwrap();
+        let uniform = h.score(&t, &AttrTuple::One(2)).unwrap();
+        assert!(
+            heavy > normal && normal > uniform,
+            "{heavy} {normal} {uniform}"
+        );
+        assert!((normal - 3.0).abs() < 0.3, "normal kurtosis {normal}");
+        assert!((uniform - 1.8).abs() < 0.1, "uniform kurtosis {uniform}");
+    }
+
+    #[test]
+    fn excess_metric_shifts_by_three() {
+        let h = HeavyTails;
+        let t = table();
+        let k = h.score(&t, &AttrTuple::One(1)).unwrap();
+        let e = h
+            .score_metric(&t, &AttrTuple::One(1), "excess-kurtosis")
+            .unwrap();
+        assert!((k - e - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_none() {
+        let t = TableBuilder::new("t")
+            .numeric("c", vec![1.0; 10])
+            .build()
+            .unwrap();
+        assert!(HeavyTails.score(&t, &AttrTuple::One(0)).is_none());
+    }
+}

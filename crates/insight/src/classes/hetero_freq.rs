@@ -1,0 +1,211 @@
+//! Insight 5 (paper §2.2): **Heterogeneous Frequencies** — a few "heavy
+//! hitter" values dominate a categorical column. Measured by `RelFreq(k, c)`,
+//! the total relative frequency of the `k` most frequent values, and
+//! visualized with a Pareto chart.
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_stats::FrequencyTable;
+use foresight_viz::{ChartKind, ChartSpec, ParetoSpec};
+
+/// The heterogeneous-frequencies insight class with its configurable `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct HeteroFreq {
+    /// The paper's "configurable parameter k" of `RelFreq(k, c)`.
+    pub k: usize,
+}
+
+impl Default for HeteroFreq {
+    fn default() -> Self {
+        Self { k: 3 }
+    }
+}
+
+impl HeteroFreq {
+    fn freq_table(&self, table: &Table, attrs: &AttrTuple) -> Option<FrequencyTable> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        Some(FrequencyTable::from_column(table.categorical(*idx).ok()?))
+    }
+}
+
+impl InsightClass for HeteroFreq {
+    fn id(&self) -> &'static str {
+        "heterogeneous-frequencies"
+    }
+
+    fn name(&self) -> &'static str {
+        "Heterogeneous Frequencies"
+    }
+
+    fn description(&self) -> &'static str {
+        "A few heavy-hitter values account for most of the column"
+    }
+
+    fn metric(&self) -> &'static str {
+        "RelFreq(k)"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .categorical_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let ft = self.freq_table(table, attrs)?;
+        // a column with ≤ k distinct values trivially has RelFreq = 1;
+        // that is not an insight, so such columns score 0
+        if ft.cardinality() <= self.k {
+            return Some(0.0);
+        }
+        Some(ft.rel_freq(self.k))
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let s = catalog.categorical(*idx)?;
+        if s.cardinality <= self.k {
+            return Some(0.0);
+        }
+        Some(s.heavy_hitters.rel_freq(self.k))
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let AttrTuple::One(idx) = attrs else {
+            return String::new();
+        };
+        let name = column_name(table, *idx);
+        match self.freq_table(table, attrs) {
+            Some(ft) if !ft.entries.is_empty() => format!(
+                "{name}: top {} of {} values hold {:.0}% of rows (most frequent: `{}`)",
+                self.k.min(ft.cardinality()),
+                ft.cardinality(),
+                100.0 * score,
+                ft.entries[0].0
+            ),
+            _ => format!("{name}: RelFreq({}) = {score:.2}", self.k),
+        }
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let ft = self.freq_table(table, attrs)?;
+        let score = self.score(table, attrs)?;
+        let bars: Vec<(String, u64)> = ft.top_k(12).to_vec();
+        Some(ChartSpec {
+            title: format!(
+                "{}: top {} values hold {:.0}% of rows",
+                column_name(table, *idx),
+                self.k,
+                100.0 * score
+            ),
+            x_label: column_name(table, *idx).to_owned(),
+            y_label: "count".to_owned(),
+            kind: ChartKind::Pareto(ParetoSpec {
+                bars,
+                total: ft.total,
+            }),
+        })
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(
+            self,
+            table,
+            "Frequency heterogeneity by attribute (RelFreq)",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        // "hot": one value dominates among many; "flat": uniform over many
+        let hot: Vec<String> = (0..300)
+            .map(|i| {
+                if i % 3 != 0 {
+                    "dominant".to_owned()
+                } else {
+                    format!("rare{}", i % 40)
+                }
+            })
+            .collect();
+        let flat: Vec<String> = (0..300).map(|i| format!("v{}", i % 50)).collect();
+        let tiny: Vec<&str> = (0..300)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
+        TableBuilder::new("t")
+            .categorical("hot", hot.iter().map(String::as_str))
+            .categorical("flat", flat.iter().map(String::as_str))
+            .categorical("tiny", tiny)
+            .numeric("n", vec![1.0; 300])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn candidates_are_categorical() {
+        let h = HeteroFreq::default();
+        assert_eq!(
+            h.candidates(&table()),
+            vec![AttrTuple::One(0), AttrTuple::One(1), AttrTuple::One(2)]
+        );
+    }
+
+    #[test]
+    fn hot_outranks_flat() {
+        let h = HeteroFreq::default();
+        let t = table();
+        let hot = h.score(&t, &AttrTuple::One(0)).unwrap();
+        let flat = h.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(hot > 0.6, "hot {hot}");
+        assert!(hot > flat + 0.3, "hot {hot} flat {flat}");
+    }
+
+    #[test]
+    fn low_cardinality_not_an_insight() {
+        let h = HeteroFreq::default();
+        assert_eq!(h.score(&table(), &AttrTuple::One(2)), Some(0.0));
+    }
+
+    #[test]
+    fn chart_is_pareto() {
+        let h = HeteroFreq::default();
+        let c = h.chart(&table(), &AttrTuple::One(0)).unwrap();
+        match c.kind {
+            ChartKind::Pareto(p) => {
+                assert_eq!(p.bars[0].0, "dominant");
+                assert_eq!(p.total, 300);
+                assert!(p.bars.len() <= 12);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn k_is_configurable() {
+        let t = table();
+        let k1 = HeteroFreq { k: 1 }.score(&t, &AttrTuple::One(0)).unwrap();
+        let k5 = HeteroFreq { k: 5 }.score(&t, &AttrTuple::One(0)).unwrap();
+        assert!(k5 > k1);
+    }
+}

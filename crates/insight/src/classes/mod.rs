@@ -1,0 +1,28 @@
+//! The 12 built-in insight classes (paper §2.2 plus the four
+//! "additional insights" it names, fleshed out).
+
+pub mod concentration;
+pub mod dependence;
+pub mod dispersion;
+pub mod heavy_tails;
+pub mod hetero_freq;
+pub mod linear;
+pub mod monotonic;
+pub mod multimodality;
+pub mod normality;
+pub mod outliers;
+pub mod segmentation;
+pub mod skew;
+
+pub use concentration::Concentration;
+pub use dependence::StatisticalDependence;
+pub use dispersion::Dispersion;
+pub use heavy_tails::HeavyTails;
+pub use hetero_freq::HeteroFreq;
+pub use linear::LinearRelationship;
+pub use monotonic::MonotonicRelationship;
+pub use multimodality::Multimodality;
+pub use normality::Normality;
+pub use outliers::Outliers;
+pub use segmentation::Segmentation;
+pub use skew::Skew;

@@ -1,0 +1,189 @@
+//! The **Multimodality** insight — named in the paper's "additional
+//! insights". Ranked by Hartigan's dip statistic and visualized with a
+//! kernel density curve (modes are much easier to see in a smooth density
+//! than in a histogram).
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use crate::util::histogram_chart;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_stats::kde::Kde;
+use foresight_stats::multimodal::{bimodality_coefficient, dip_statistic};
+use foresight_viz::{ChartKind, ChartSpec, DensitySpec};
+
+/// The multimodality insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Multimodality;
+
+impl InsightClass for Multimodality {
+    fn id(&self) -> &'static str {
+        "multimodality"
+    }
+
+    fn name(&self) -> &'static str {
+        "Multimodality"
+    }
+
+    fn description(&self) -> &'static str {
+        "The distribution has two or more distinct modes"
+    }
+
+    fn metric(&self) -> &'static str {
+        "dip statistic"
+    }
+
+    fn alternative_metrics(&self) -> Vec<&'static str> {
+        vec!["bimodality-coefficient"]
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        dip_statistic(table.numeric(*idx).ok()?.values())
+    }
+
+    fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
+        if metric != "bimodality-coefficient" {
+            return self.score(table, attrs);
+        }
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let bc = bimodality_coefficient(table.numeric(*idx).ok()?.values());
+        bc.is_finite().then_some(bc)
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        // The dip has no dedicated sketch; approximate it on the uniform
+        // reservoir sample, which preserves distribution shape.
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        dip_statistic(catalog.numeric(*idx)?.reservoir.sample())
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let AttrTuple::One(idx) = attrs else {
+            return String::new();
+        };
+        let name = column_name(table, *idx);
+        let modes = table
+            .numeric(*idx)
+            .ok()
+            .map(|col| crate::util::downsample_present(col.values(), 2_000))
+            .and_then(|sample| Kde::fit(&sample))
+            .map(|kde| kde.count_modes(256, 0.1));
+        match modes {
+            Some(m) if m >= 2 => {
+                format!("{name} has {m} distinct modes (dip = {score:.3})")
+            }
+            _ => format!("{name}: dip statistic = {score:.3}"),
+        }
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let dip = self.score(table, attrs)?;
+        let values = crate::util::downsample_present(table.numeric(*idx).ok()?.values(), 2_000);
+        let values = values.as_slice();
+        let title = format!("{}: dip = {:.3}", column_name(table, *idx), dip);
+        match Kde::fit(values) {
+            Some(kde) => {
+                let modes = kde.count_modes(256, 0.1);
+                let (xs, densities) = kde.grid(128);
+                Some(ChartSpec {
+                    title: format!("{title}, {modes} modes"),
+                    x_label: column_name(table, *idx).to_owned(),
+                    y_label: "density".to_owned(),
+                    kind: ChartKind::Density(DensitySpec { xs, densities }),
+                })
+            }
+            None => histogram_chart(table, *idx, title),
+        }
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Multimodality by attribute (dip)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::dist::normal_quantile;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        let uni: Vec<f64> = (1..400)
+            .map(|i| normal_quantile(i as f64 / 400.0))
+            .collect();
+        let mut bi: Vec<f64> = (1..200)
+            .map(|i| normal_quantile(i as f64 / 200.0))
+            .collect();
+        bi.extend((1..200).map(|i| normal_quantile(i as f64 / 200.0) + 7.0));
+        bi.push(0.0); // equalize length to 399
+        TableBuilder::new("t")
+            .numeric("unimodal", uni)
+            .numeric("bimodal", bi)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bimodal_outranks_unimodal() {
+        let m = Multimodality;
+        let t = table();
+        let bi = m.score(&t, &AttrTuple::One(1)).unwrap();
+        let uni = m.score(&t, &AttrTuple::One(0)).unwrap();
+        assert!(bi > 3.0 * uni, "bi {bi} uni {uni}");
+    }
+
+    #[test]
+    fn chart_reports_mode_count() {
+        let m = Multimodality;
+        let c = m.chart(&table(), &AttrTuple::One(1)).unwrap();
+        assert_eq!(c.kind_name(), "density");
+        assert!(c.title.contains("2 modes"), "{}", c.title);
+    }
+
+    #[test]
+    fn bimodality_coefficient_metric() {
+        let m = Multimodality;
+        let t = table();
+        let bc = m
+            .score_metric(&t, &AttrTuple::One(1), "bimodality-coefficient")
+            .unwrap();
+        assert!(bc > 5.0 / 9.0, "bc {bc}");
+    }
+
+    #[test]
+    fn constant_column_falls_back() {
+        let t = TableBuilder::new("t")
+            .numeric("c", vec![2.0; 50])
+            .build()
+            .unwrap();
+        let m = Multimodality;
+        assert_eq!(m.score(&t, &AttrTuple::One(0)), Some(0.0));
+        // KDE fails on zero spread; chart falls back to a histogram
+        let c = m.chart(&t, &AttrTuple::One(0)).unwrap();
+        assert_eq!(c.kind_name(), "histogram");
+    }
+}

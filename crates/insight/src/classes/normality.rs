@@ -1,0 +1,159 @@
+//! The **Normality** insight — the distribution-shape observation the §4.1
+//! scenario relies on ("Time Devoted To Leisure has a Normal distribution").
+//! Ranked by the Jarque–Bera p-value (most normal first) and visualized with
+//! a histogram overlaid conceptually against the fitted normal (the chart
+//! shows the KDE).
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use crate::util::histogram_chart;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_stats::kde::Kde;
+use foresight_stats::normality::{chi2_2_sf, jarque_bera_from_moments, normality_score};
+use foresight_viz::{ChartKind, ChartSpec, DensitySpec};
+
+/// The normality insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Normality;
+
+impl InsightClass for Normality {
+    fn id(&self) -> &'static str {
+        "normality"
+    }
+
+    fn name(&self) -> &'static str {
+        "Normality"
+    }
+
+    fn description(&self) -> &'static str {
+        "The distribution is consistent with a Normal distribution"
+    }
+
+    fn metric(&self) -> &'static str {
+        "Jarque-Bera p-value"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let p = normality_score(table.numeric(*idx).ok()?.values());
+        p.is_finite().then_some(p)
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        // JB is a pure function of the (exactly maintained) moments sketch.
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let jb = jarque_bera_from_moments(&catalog.numeric(*idx)?.moments);
+        jb.is_finite().then(|| chi2_2_sf(jb))
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let name = attrs
+            .indices()
+            .first()
+            .map(|&i| column_name(table, i))
+            .unwrap_or("");
+        if score > 0.05 {
+            format!("{name} is consistent with a Normal distribution (JB p = {score:.2})")
+        } else {
+            format!("{name} departs from normality (JB p = {score:.1e})")
+        }
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let p = self.score(table, attrs)?;
+        let values = crate::util::downsample_present(table.numeric(*idx).ok()?.values(), 2_000);
+        let values = values.as_slice();
+        let title = format!("{}: JB p = {:.2}", column_name(table, *idx), p);
+        match Kde::fit(values) {
+            Some(kde) => {
+                let (xs, densities) = kde.grid(128);
+                Some(ChartSpec {
+                    title,
+                    x_label: column_name(table, *idx).to_owned(),
+                    y_label: "density".to_owned(),
+                    kind: ChartKind::Density(DensitySpec { xs, densities }),
+                })
+            }
+            None => histogram_chart(table, *idx, title),
+        }
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Normality by attribute (JB p-value)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::dist::normal_quantile;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        let normal: Vec<f64> = (1..600)
+            .map(|i| normal_quantile(i as f64 / 600.0))
+            .collect();
+        let skewed: Vec<f64> = normal.iter().map(|z| z.exp()).collect();
+        TableBuilder::new("t")
+            .numeric("normal", normal)
+            .numeric("skewed", skewed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn normal_outranks_skewed() {
+        let n = Normality;
+        let t = table();
+        let good = n.score(&t, &AttrTuple::One(0)).unwrap();
+        let bad = n.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(good > 0.5, "normal p {good}");
+        assert!(bad < 1e-4, "skewed p {bad}");
+    }
+
+    #[test]
+    fn describe_states_conclusion() {
+        let n = Normality;
+        let t = table();
+        let good = n.score(&t, &AttrTuple::One(0)).unwrap();
+        assert!(n
+            .describe(&t, &AttrTuple::One(0), good)
+            .contains("consistent with a Normal"));
+        let bad = n.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(n.describe(&t, &AttrTuple::One(1), bad).contains("departs"));
+    }
+
+    #[test]
+    fn sketch_path_equals_exact() {
+        // JB from the moments sketch is exact by construction
+        let t = table();
+        let cat =
+            foresight_sketch::SketchCatalog::build(&t, &foresight_sketch::CatalogConfig::default());
+        let n = Normality;
+        let exact = n.score(&t, &AttrTuple::One(0)).unwrap();
+        let approx = n.score_sketch(&cat, &t, &AttrTuple::One(0)).unwrap();
+        assert!((exact - approx).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Insight 4 (paper §2.2): **Outliers** — presence and significance of
+//! extreme values. A user-configurable detector flags the outliers and the
+//! strength is "the average standardized distance of the outliers from the
+//! mean" (in standard deviations). Visualized with a box-and-whisker plot.
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_stats::outlier::{outlier_strength, IqrDetector, OutlierDetector};
+use foresight_stats::quantile;
+use foresight_viz::{BoxPlotSpec, ChartKind, ChartSpec};
+use std::sync::Arc;
+
+/// The outliers insight class with its pluggable detector.
+#[derive(Clone)]
+pub struct Outliers {
+    detector: Arc<dyn OutlierDetector>,
+}
+
+impl Default for Outliers {
+    /// Defaults to Tukey's IQR fences, matching the box-plot visualization.
+    fn default() -> Self {
+        Self {
+            detector: Arc::new(IqrDetector::default()),
+        }
+    }
+}
+
+impl Outliers {
+    /// Uses a custom detector — the paper's "user-configurable
+    /// outlier-detection algorithm".
+    pub fn with_detector(detector: Arc<dyn OutlierDetector>) -> Self {
+        Self { detector }
+    }
+
+    /// The configured detector.
+    pub fn detector(&self) -> &dyn OutlierDetector {
+        self.detector.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Outliers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Outliers")
+            .field("detector", &self.detector.name())
+            .finish()
+    }
+}
+
+impl InsightClass for Outliers {
+    fn id(&self) -> &'static str {
+        "outliers"
+    }
+
+    fn name(&self) -> &'static str {
+        "Outliers"
+    }
+
+    fn description(&self) -> &'static str {
+        "A few values sit extremely far from the bulk of the distribution"
+    }
+
+    fn metric(&self) -> &'static str {
+        "mean standardized outlier distance"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        Some(outlier_strength(
+            table.numeric(*idx).ok()?.values(),
+            self.detector.as_ref(),
+        ))
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        // Approximate path: run the detector over the reservoir sample.
+        // Extreme outliers are rare, so a fixed-size uniform sample may miss
+        // them; this is the documented accuracy trade-off of approx mode.
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let sample = catalog.numeric(*idx)?.reservoir.sample();
+        Some(outlier_strength(sample, self.detector.as_ref()))
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, score: f64) -> String {
+        let AttrTuple::One(idx) = attrs else {
+            return String::new();
+        };
+        let name = column_name(table, *idx);
+        let count = table
+            .numeric(*idx)
+            .map(|col| self.detector.detect(col.values()).len())
+            .unwrap_or(0);
+        format!(
+            "{name} has {count} outliers ({} detector), on average {score:.1}σ from the mean",
+            self.detector.name()
+        )
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let values = table.numeric(*idx).ok()?.values();
+        let qs = quantile::quantiles(values, &[0.25, 0.5, 0.75])?;
+        let (q1, median, q3) = (qs[0], qs[1], qs[2]);
+        let iqr = q3 - q1;
+        let (fence_lo, fence_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let whisker_lo = present
+            .iter()
+            .copied()
+            .filter(|&v| v >= fence_lo)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_hi = present
+            .iter()
+            .copied()
+            .filter(|&v| v <= fence_hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut outliers: Vec<f64> = self
+            .detector
+            .detect(values)
+            .into_iter()
+            .map(|i| values[i])
+            .collect();
+        outliers.sort_by(|a, b| a.partial_cmp(b).expect("detector skips NaN"));
+        outliers.truncate(100);
+        let score = self.score(table, attrs)?;
+        Some(ChartSpec {
+            title: format!(
+                "{}: {} outliers, mean distance {:.1}σ",
+                column_name(table, *idx),
+                outliers.len(),
+                score
+            ),
+            x_label: column_name(table, *idx).to_owned(),
+            y_label: String::new(),
+            kind: ChartKind::BoxPlot(BoxPlotSpec {
+                whisker_lo,
+                q1,
+                median,
+                q3,
+                whisker_hi,
+                outliers,
+            }),
+        })
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Outlier strength by attribute")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+    use foresight_stats::outlier::ZScoreDetector;
+
+    fn table() -> Table {
+        let mut with = (0..200).map(|i| (i % 20) as f64).collect::<Vec<_>>();
+        with.push(500.0);
+        with.push(-400.0);
+        let without: Vec<f64> = (0..202).map(|i| (i % 20) as f64).collect();
+        TableBuilder::new("t")
+            .numeric("dirty", with)
+            .numeric("clean", without)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dirty_outranks_clean() {
+        let o = Outliers::default();
+        let t = table();
+        let dirty = o.score(&t, &AttrTuple::One(0)).unwrap();
+        let clean = o.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(dirty > 3.0, "dirty {dirty}");
+        assert_eq!(clean, 0.0);
+    }
+
+    #[test]
+    fn detector_is_pluggable() {
+        let o = Outliers::with_detector(Arc::new(ZScoreDetector { threshold: 2.0 }));
+        assert_eq!(o.detector().name(), "z-score");
+        let t = table();
+        assert!(o.score(&t, &AttrTuple::One(0)).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn chart_is_boxplot_with_outlier_marks() {
+        let o = Outliers::default();
+        let c = o.chart(&table(), &AttrTuple::One(0)).unwrap();
+        match c.kind {
+            ChartKind::BoxPlot(b) => {
+                assert!(b.outliers.contains(&500.0));
+                assert!(b.outliers.contains(&-400.0));
+                assert!(b.whisker_lo <= b.q1 && b.q1 <= b.median);
+                assert!(b.median <= b.q3 && b.q3 <= b.whisker_hi);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn whiskers_are_data_values_within_fences() {
+        let o = Outliers::default();
+        let c = o.chart(&table(), &AttrTuple::One(1)).unwrap();
+        match c.kind {
+            ChartKind::BoxPlot(b) => {
+                assert_eq!(b.whisker_lo, 0.0);
+                assert_eq!(b.whisker_hi, 19.0);
+                assert!(b.outliers.is_empty());
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The **Segmentation** insight — the paper's "strong clustering of
+//! (x,y)-values according to z-values". Ranked by the mean silhouette of the
+//! standardized (x, y) points labeled by the categorical z, and visualized
+//! as a grouped scatter plot.
+
+use crate::class::{column_name, InsightClass};
+use crate::types::AttrTuple;
+use foresight_data::Table;
+use foresight_stats::kmeans::silhouette;
+use foresight_stats::Moments;
+use foresight_viz::{ChartKind, ChartSpec, GroupedScatterSpec};
+
+/// The segmentation insight class.
+#[derive(Debug, Clone, Copy)]
+pub struct Segmentation {
+    /// Maximum rows scored per tuple (silhouette is O(n²)).
+    pub sample_cap: usize,
+    /// Maximum distinct z-categories considered (beyond this the grouping
+    /// is treated as an identifier, not a segmentation).
+    pub max_groups: usize,
+}
+
+impl Default for Segmentation {
+    fn default() -> Self {
+        Self {
+            sample_cap: 400,
+            max_groups: 8,
+        }
+    }
+}
+
+/// Sampled standardized points, their group labels, and group names.
+type LabeledPoints = (Vec<[f64; 2]>, Vec<usize>, Vec<String>);
+
+impl Segmentation {
+    /// Standardized, labeled, sampled points for (x, y | z).
+    fn points(&self, table: &Table, x: usize, y: usize, z: usize) -> Option<LabeledPoints> {
+        let xv = table.numeric(x).ok()?;
+        let yv = table.numeric(y).ok()?;
+        let zv = table.categorical(z).ok()?;
+        if zv.cardinality() < 2 || zv.cardinality() > self.max_groups {
+            return None;
+        }
+        let mx = Moments::from_slice(xv.values());
+        let my = Moments::from_slice(yv.values());
+        let (sx, sy) = (mx.population_std(), my.population_std());
+        if !(sx > 0.0 && sy > 0.0) {
+            return None;
+        }
+        let complete: Vec<([f64; 2], usize)> = xv
+            .values()
+            .iter()
+            .zip(yv.values())
+            .zip(zv.codes())
+            .filter(|((a, b), &c)| {
+                !a.is_nan() && !b.is_nan() && c != foresight_data::column::NULL_CODE
+            })
+            .map(|((&a, &b), &c)| ([(a - mx.mean()) / sx, (b - my.mean()) / sy], c as usize))
+            .collect();
+        if complete.len() < 3 * zv.cardinality() {
+            return None;
+        }
+        let step = complete.len().div_ceil(self.sample_cap).max(1);
+        let (points, labels): (Vec<[f64; 2]>, Vec<usize>) =
+            complete.into_iter().step_by(step).unzip();
+        Some((points, labels, zv.labels().to_vec()))
+    }
+}
+
+impl InsightClass for Segmentation {
+    fn id(&self) -> &'static str {
+        "segmentation"
+    }
+
+    fn name(&self) -> &'static str {
+        "Segmentation"
+    }
+
+    fn description(&self) -> &'static str {
+        "A categorical attribute cleanly separates two numeric attributes into clusters"
+    }
+
+    fn metric(&self) -> &'static str {
+        "silhouette"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        // Only categorical columns with a usable number of groups qualify as
+        // z, which keeps the O(|B|²·|C|) candidate space in check.
+        let usable_z: Vec<usize> = table
+            .categorical_indices()
+            .into_iter()
+            .filter(|&z| {
+                table
+                    .categorical(z)
+                    .map(|c| (2..=self.max_groups).contains(&c.cardinality()))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let numeric = table.numeric_indices();
+        let mut out = Vec::new();
+        for (i, &x) in numeric.iter().enumerate() {
+            for &y in &numeric[i + 1..] {
+                for &z in &usable_z {
+                    out.push(AttrTuple::Three(x, y, z));
+                }
+            }
+        }
+        out
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::Three(x, y, z) = attrs else {
+            return None;
+        };
+        let (points, labels, _) = self.points(table, *x, *y, *z)?;
+        let s = silhouette(&points, &labels);
+        s.is_finite().then_some(s)
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::Three(x, y, z) = attrs else {
+            return None;
+        };
+        let score = self.score(table, attrs)?;
+        let (points, group_of, groups) = self.points(table, *x, *y, *z)?;
+        Some(ChartSpec {
+            title: format!(
+                "{} × {} segmented by {} (silhouette {:.2})",
+                column_name(table, *x),
+                column_name(table, *y),
+                column_name(table, *z),
+                score
+            ),
+            x_label: column_name(table, *x).to_owned(),
+            y_label: column_name(table, *y).to_owned(),
+            kind: ChartKind::GroupedScatter(GroupedScatterSpec {
+                points,
+                group_of,
+                groups,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        // two well-separated blobs labeled by z; plus a useless label
+        let n = 200;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i % 7) as f64 * 0.1
+                } else {
+                    10.0 + (i % 7) as f64 * 0.1
+                }
+            })
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i % 5) as f64 * 0.1
+                } else {
+                    10.0 + (i % 5) as f64 * 0.1
+                }
+            })
+            .collect();
+        let z: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "A" } else { "B" }).collect();
+        let junk: Vec<String> = (0..n).map(|i| format!("id{i}")).collect();
+        TableBuilder::new("t")
+            .numeric("x", x)
+            .numeric("y", y)
+            .categorical("z", z)
+            .categorical("id", junk.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn separating_label_scores_high() {
+        let s = Segmentation::default();
+        let t = table();
+        let score = s.score(&t, &AttrTuple::Three(0, 1, 2)).unwrap();
+        assert!(score > 0.8, "silhouette {score}");
+    }
+
+    #[test]
+    fn high_cardinality_z_excluded() {
+        let s = Segmentation::default();
+        let t = table();
+        let cands = s.candidates(&t);
+        assert_eq!(cands, vec![AttrTuple::Three(0, 1, 2)]);
+        assert!(s.score(&t, &AttrTuple::Three(0, 1, 3)).is_none());
+    }
+
+    #[test]
+    fn chart_is_grouped_scatter() {
+        let s = Segmentation::default();
+        let c = s.chart(&table(), &AttrTuple::Three(0, 1, 2)).unwrap();
+        match c.kind {
+            ChartKind::GroupedScatter(g) => {
+                assert_eq!(g.groups, vec!["A", "B"]);
+                assert_eq!(g.points.len(), g.group_of.len());
+                assert!(!g.points.is_empty());
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn sampling_cap_respected() {
+        let s = Segmentation {
+            sample_cap: 50,
+            max_groups: 8,
+        };
+        let (points, _, _) = s.points(&table(), 0, 1, 2).unwrap();
+        assert!(points.len() <= 50);
+    }
+}

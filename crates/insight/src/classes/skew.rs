@@ -1,0 +1,147 @@
+//! Insight 2 (paper §2.2): **Skew** — asymmetry of a univariate
+//! distribution, measured by the standardized skewness coefficient `γ₁(b)`
+//! and visualized with a histogram. Ranked by `|γ₁|` (either direction of
+//! asymmetry is an insight); the sign is reported in the description.
+
+use crate::class::{column_name, InsightClass};
+use crate::classes::dispersion::overview_bar;
+use crate::types::AttrTuple;
+use crate::util::histogram_chart;
+use foresight_data::Table;
+use foresight_sketch::SketchCatalog;
+use foresight_viz::ChartSpec;
+
+/// The skew insight class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Skew;
+
+impl Skew {
+    fn signed(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let g1 =
+            foresight_stats::Moments::from_slice(table.numeric(*idx).ok()?.values()).skewness();
+        g1.is_finite().then_some(g1)
+    }
+}
+
+impl InsightClass for Skew {
+    fn id(&self) -> &'static str {
+        "skew"
+    }
+
+    fn name(&self) -> &'static str {
+        "Skew"
+    }
+
+    fn description(&self) -> &'static str {
+        "The distribution is strongly asymmetric around its mean"
+    }
+
+    fn metric(&self) -> &'static str {
+        "|skewness|"
+    }
+
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        self.signed(table, attrs).map(f64::abs)
+    }
+
+    fn score_sketch(
+        &self,
+        catalog: &SketchCatalog,
+        _table: &Table,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let g1 = catalog.numeric(*idx)?.moments.skewness();
+        g1.is_finite().then_some(g1.abs())
+    }
+
+    fn describe(&self, table: &Table, attrs: &AttrTuple, _score: f64) -> String {
+        let name = attrs
+            .indices()
+            .first()
+            .map(|&i| column_name(table, i))
+            .unwrap_or("");
+        match self.signed(table, attrs) {
+            Some(g1) if g1 < 0.0 => format!("{name} is left-skewed (γ₁ = {g1:.2})"),
+            Some(g1) => format!("{name} is right-skewed (γ₁ = {g1:.2})"),
+            None => format!("{name}: skewness undefined"),
+        }
+    }
+
+    fn chart(&self, table: &Table, attrs: &AttrTuple) -> Option<ChartSpec> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let g1 = self.signed(table, attrs)?;
+        histogram_chart(
+            table,
+            *idx,
+            format!("{}: γ₁ = {:.2}", column_name(table, *idx), g1),
+        )
+    }
+
+    fn overview(&self, table: &Table) -> Option<ChartSpec> {
+        overview_bar(self, table, "Skewness by attribute (|γ₁|)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::TableBuilder;
+
+    fn table() -> Table {
+        // right-skewed: exp of uniform grid; symmetric: the grid itself
+        let grid: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) / 40.0).collect();
+        TableBuilder::new("t")
+            .numeric("skewed", grid.iter().map(|z| z.exp()).collect())
+            .numeric("symmetric", grid.clone())
+            .numeric("left", grid.iter().map(|z| -z.exp()).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn skewed_outranks_symmetric() {
+        let s = Skew;
+        let t = table();
+        let skewed = s.score(&t, &AttrTuple::One(0)).unwrap();
+        let symmetric = s.score(&t, &AttrTuple::One(1)).unwrap();
+        assert!(skewed > 1.0, "skewed score {skewed}");
+        assert!(symmetric < 0.2, "symmetric score {symmetric}");
+    }
+
+    #[test]
+    fn magnitude_ranks_but_sign_reported() {
+        let s = Skew;
+        let t = table();
+        let right = s.score(&t, &AttrTuple::One(0)).unwrap();
+        let left = s.score(&t, &AttrTuple::One(2)).unwrap();
+        assert!((right - left).abs() < 1e-9); // mirror images rank equally
+        assert!(s
+            .describe(&t, &AttrTuple::One(0), right)
+            .contains("right-skewed"));
+        assert!(s
+            .describe(&t, &AttrTuple::One(2), left)
+            .contains("left-skewed"));
+    }
+
+    #[test]
+    fn chart_title_has_gamma() {
+        let c = Skew.chart(&table(), &AttrTuple::One(0)).unwrap();
+        assert!(c.title.contains("γ₁"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # foresight-insight
+//!
+//! The paper's core contribution, part 1: the insight framework. An
+//! *insight* is a strong manifestation of a distributional property of 1–3
+//! attributes; each insight class carries ranking metric(s), a chart, and
+//! an optional class-level overview chart, and new classes plug in through
+//! the [`class::InsightClass`] trait (§2.2).
+//!
+//! Twelve classes ship by default ([`registry::InsightRegistry`]):
+//! linear & monotonic relationships, outliers, heavy tails, skew,
+//! dispersion, multimodality, normality, heterogeneous frequencies,
+//! concentration, statistical dependence, and segmentation.
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod classes;
+pub mod registry;
+pub mod types;
+pub mod util;
+
+pub use class::InsightClass;
+pub use registry::InsightRegistry;
+pub use types::{AttrTuple, InsightInstance};

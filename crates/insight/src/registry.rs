@@ -1,0 +1,154 @@
+//! The insight-class registry — Foresight ships 12 classes (Figure 1's
+//! caption: "3 of the 12 insight classes supported by Foresight") and lets
+//! a data scientist plug in more (§2.2).
+
+use crate::class::InsightClass;
+use crate::classes::*;
+use std::sync::Arc;
+
+/// An ordered, extensible collection of insight classes.
+#[derive(Clone)]
+pub struct InsightRegistry {
+    classes: Vec<Arc<dyn InsightClass>>,
+}
+
+impl std::fmt::Debug for InsightRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.classes.iter().map(|c| c.id()))
+            .finish()
+    }
+}
+
+impl Default for InsightRegistry {
+    /// The 12 built-in classes, in carousel display order.
+    fn default() -> Self {
+        Self {
+            classes: vec![
+                Arc::new(LinearRelationship),
+                Arc::new(MonotonicRelationship),
+                Arc::new(Outliers::default()),
+                Arc::new(HeavyTails),
+                Arc::new(Skew),
+                Arc::new(Dispersion),
+                Arc::new(Multimodality),
+                Arc::new(Normality),
+                Arc::new(HeteroFreq::default()),
+                Arc::new(Concentration),
+                Arc::new(StatisticalDependence),
+                Arc::new(Segmentation::default()),
+            ],
+        }
+    }
+}
+
+impl InsightRegistry {
+    /// An empty registry (build your own roster).
+    pub fn empty() -> Self {
+        Self {
+            classes: Vec::new(),
+        }
+    }
+
+    /// Registers a class (appended to the display order). Replaces any
+    /// existing class with the same id.
+    pub fn register(&mut self, class: Arc<dyn InsightClass>) {
+        self.classes.retain(|c| c.id() != class.id());
+        self.classes.push(class);
+    }
+
+    /// Removes a class by id; returns whether it was present.
+    pub fn unregister(&mut self, id: &str) -> bool {
+        let before = self.classes.len();
+        self.classes.retain(|c| c.id() != id);
+        self.classes.len() != before
+    }
+
+    /// All classes, in display order.
+    pub fn classes(&self) -> &[Arc<dyn InsightClass>] {
+        &self.classes
+    }
+
+    /// Looks up a class by id.
+    pub fn get(&self, id: &str) -> Option<&Arc<dyn InsightClass>> {
+        self.classes.iter().find(|c| c.id() == id)
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrTuple;
+    use foresight_data::Table;
+    use foresight_viz::ChartSpec;
+
+    #[test]
+    fn twelve_built_in_classes() {
+        let r = InsightRegistry::default();
+        assert_eq!(r.len(), 12);
+        // ids are unique
+        let mut ids: Vec<&str> = r.classes().iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+        assert!(r.get("linear-relationship").is_some());
+        assert!(r.get("segmentation").is_some());
+        assert!(r.get("nope").is_none());
+    }
+
+    struct Custom;
+
+    impl InsightClass for Custom {
+        fn id(&self) -> &'static str {
+            "custom-thirteenth"
+        }
+        fn name(&self) -> &'static str {
+            "Custom"
+        }
+        fn description(&self) -> &'static str {
+            "test plug-in"
+        }
+        fn metric(&self) -> &'static str {
+            "m"
+        }
+        fn candidates(&self, _table: &Table) -> Vec<AttrTuple> {
+            vec![]
+        }
+        fn score(&self, _table: &Table, _attrs: &AttrTuple) -> Option<f64> {
+            None
+        }
+        fn chart(&self, _table: &Table, _attrs: &AttrTuple) -> Option<ChartSpec> {
+            None
+        }
+    }
+
+    #[test]
+    fn plug_in_registration() {
+        let mut r = InsightRegistry::default();
+        r.register(Arc::new(Custom));
+        assert_eq!(r.len(), 13);
+        assert!(r.get("custom-thirteenth").is_some());
+        // re-registering replaces, not duplicates
+        r.register(Arc::new(Custom));
+        assert_eq!(r.len(), 13);
+        assert!(r.unregister("custom-thirteenth"));
+        assert_eq!(r.len(), 12);
+        assert!(!r.unregister("custom-thirteenth"));
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = InsightRegistry::empty();
+        assert!(r.is_empty());
+    }
+}

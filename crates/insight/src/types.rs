@@ -1,0 +1,144 @@
+//! Core vocabulary of the insight framework (paper §2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The attribute tuple an insight is about — the paper considers marginal
+/// distributions of one, two, or three attributes. Values are column
+/// indices into the table's schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttrTuple {
+    /// A univariate insight.
+    One(usize),
+    /// A bivariate insight (ordered so `a < b` for unordered pairs).
+    Two(usize, usize),
+    /// A trivariate insight, e.g. (x, y) segmented by z.
+    Three(usize, usize, usize),
+}
+
+impl AttrTuple {
+    /// The attribute indices, in declaration order.
+    pub fn indices(&self) -> Vec<usize> {
+        match *self {
+            AttrTuple::One(a) => vec![a],
+            AttrTuple::Two(a, b) => vec![a, b],
+            AttrTuple::Three(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Number of attributes (1–3).
+    pub fn arity(&self) -> usize {
+        match self {
+            AttrTuple::One(_) => 1,
+            AttrTuple::Two(..) => 2,
+            AttrTuple::Three(..) => 3,
+        }
+    }
+
+    /// Does the tuple mention attribute `idx`?
+    pub fn contains(&self, idx: usize) -> bool {
+        self.indices().contains(&idx)
+    }
+
+    /// Number of attributes shared with another tuple (the attribute-overlap
+    /// component of insight similarity, §2.1).
+    pub fn overlap(&self, other: &AttrTuple) -> usize {
+        self.indices()
+            .iter()
+            .filter(|i| other.contains(**i))
+            .count()
+    }
+}
+
+/// One scored member of an insight class: "attribute tuple T manifests
+/// insight I with strength s".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsightInstance {
+    /// Id of the insight class that produced this instance.
+    pub class_id: String,
+    /// The attribute tuple.
+    pub attrs: AttrTuple,
+    /// Ranking score — higher is always stronger, within one class.
+    pub score: f64,
+    /// Name of the metric that produced `score`.
+    pub metric: String,
+    /// Human-readable sentence (shown as the chart caption).
+    pub detail: String,
+}
+
+impl InsightInstance {
+    /// Similarity to another instance, in [0, 1]: the mean of attribute
+    /// overlap (Jaccard) and metric-score proximity. Instances of different
+    /// classes compare on attribute overlap only. This is the neighborhood
+    /// structure the exploration engine uses (paper §2.1: "two insights can
+    /// be considered similar if their metric scores are similar or if the
+    /// sets of fixed attributes are similar").
+    pub fn similarity(&self, other: &InsightInstance) -> f64 {
+        let union = {
+            let mut all = self.attrs.indices();
+            all.extend(other.attrs.indices());
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        };
+        let jaccard = self.attrs.overlap(&other.attrs) as f64 / union.max(1) as f64;
+        if self.class_id == other.class_id {
+            let score_prox = 1.0 - (self.score - other.score).abs().min(1.0);
+            (jaccard + score_prox) / 2.0
+        } else {
+            jaccard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_indices() {
+        assert_eq!(AttrTuple::One(3).arity(), 1);
+        assert_eq!(AttrTuple::Two(1, 2).indices(), vec![1, 2]);
+        assert_eq!(AttrTuple::Three(0, 1, 2).arity(), 3);
+        assert!(AttrTuple::Two(1, 2).contains(2));
+        assert!(!AttrTuple::Two(1, 2).contains(3));
+    }
+
+    #[test]
+    fn overlap_counts_shared() {
+        let a = AttrTuple::Two(1, 2);
+        assert_eq!(a.overlap(&AttrTuple::Two(2, 3)), 1);
+        assert_eq!(a.overlap(&AttrTuple::Two(1, 2)), 2);
+        assert_eq!(a.overlap(&AttrTuple::One(9)), 0);
+    }
+
+    fn inst(class: &str, attrs: AttrTuple, score: f64) -> InsightInstance {
+        InsightInstance {
+            class_id: class.into(),
+            attrs,
+            score,
+            metric: "m".into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn similarity_rewards_shared_attrs_and_close_scores() {
+        let a = inst("c", AttrTuple::Two(1, 2), 0.9);
+        let same_attr_close = inst("c", AttrTuple::Two(1, 2), 0.85);
+        let same_attr_far = inst("c", AttrTuple::Two(1, 2), 0.1);
+        let diff_attr = inst("c", AttrTuple::Two(7, 8), 0.9);
+        assert!(a.similarity(&same_attr_close) > a.similarity(&same_attr_far));
+        assert!(a.similarity(&same_attr_close) > a.similarity(&diff_attr));
+        // symmetric
+        assert_eq!(a.similarity(&diff_attr), diff_attr.similarity(&a));
+    }
+
+    #[test]
+    fn cross_class_similarity_uses_attrs_only() {
+        let a = inst("c1", AttrTuple::One(5), 0.9);
+        let b = inst("c2", AttrTuple::Two(5, 6), 0.1);
+        let c = inst("c2", AttrTuple::Two(6, 7), 0.1);
+        assert!(a.similarity(&b) > a.similarity(&c));
+        assert_eq!(a.similarity(&c), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Packed bit vectors with fast Hamming distance — the storage behind the
+//! random hyperplane sketch (the paper stores `|B|·k` **bits**, not bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bit vector packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds from booleans.
+    pub fn from_bools(bits: impl IntoIterator<Item = bool>) -> Self {
+        let mut v = Self::zeros(0);
+        for b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index out of range");
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, value);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another vector of the same length — the `H(x,y)`
+    /// in the paper's correlation estimator `cos(πH/k)`. Word-parallel XOR +
+    /// popcount.
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Memory consumed by the packed words, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn push_and_from_bools() {
+        let v = BitVec::from_bools([true, false, true, true]);
+        assert_eq!(v.len(), 4);
+        assert!(v.get(0) && !v.get(1) && v.get(2) && v.get(3));
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitVec::from_bools((0..100).map(|i| i % 2 == 0));
+        let b = BitVec::from_bools((0..100).map(|i| i % 2 == 1));
+        assert_eq!(a.hamming(&b), 100);
+        assert_eq!(a.hamming(&a), 0);
+        let c = BitVec::from_bools((0..100).map(|_| true));
+        assert_eq!(a.hamming(&c), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn hamming_length_mismatch_panics() {
+        let _ = BitVec::zeros(3).hamming(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn size_is_bits_not_bytes() {
+        // 256 bits = 4 words = 32 bytes (vs 2048 bytes as one byte per bit)
+        assert_eq!(BitVec::zeros(256).size_bytes(), 32);
+        assert_eq!(BitVec::zeros(0).size_bytes(), 0);
+        assert_eq!(BitVec::zeros(1).size_bytes(), 8);
+    }
+}

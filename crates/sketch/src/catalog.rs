@@ -1,0 +1,486 @@
+//! The per-table sketch catalog — the paper's preprocessing phase (§3).
+//!
+//! One build pass produces, for every numeric column: composable moments,
+//! a hyperplane (correlation) sketch, a KLL quantile sketch, and a
+//! reservoir sample; and for every categorical column: a SpaceSaving
+//! heavy-hitter sketch and a stable-projection entropy sketch. Insight
+//! queries are then answered from the catalog without touching the raw data.
+
+use crate::entropy::EntropySketch;
+use crate::freq::space_saving::SpaceSaving;
+use crate::hyperplane::{HyperplaneConfig, HyperplaneSketch, SharedHyperplanes};
+use crate::quantile::kll::KllSketch;
+use crate::sample::Reservoir;
+use foresight_data::Table;
+use foresight_stats::moments::Moments;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tuning knobs for catalog construction.
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// Hyperplane bits per column; `None` applies the paper's
+    /// `k = O(log²n)` rule via [`HyperplaneConfig::for_rows`].
+    pub hyperplane_k: Option<usize>,
+    /// KLL accuracy parameter.
+    pub kll_k: usize,
+    /// SpaceSaving counters per categorical column.
+    pub freq_counters: usize,
+    /// Entropy-sketch registers.
+    pub entropy_k: usize,
+    /// Reservoir sample size per numeric column.
+    pub reservoir: usize,
+    /// Seed for all shared randomness.
+    pub seed: u64,
+    /// Build columns in parallel with rayon (the paper's future-work
+    /// parallelism; ablated in the benchmarks).
+    pub parallel: bool,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            hyperplane_k: None,
+            kll_k: 200,
+            freq_counters: 64,
+            entropy_k: 256,
+            reservoir: 1_000,
+            seed: 0xF0E5,
+            parallel: false,
+        }
+    }
+}
+
+/// Sketches of one numeric column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NumericSketches {
+    /// Composable first-four-moments summary (dispersion, skew, kurtosis).
+    pub moments: Moments,
+    /// Random hyperplane sketch (pairwise correlation estimates).
+    pub hyperplane: HyperplaneSketch,
+    /// Hyperplane sketch of the rank-transformed column: since Spearman's ρ
+    /// is Pearson on ranks, two of these combine into a Spearman estimate.
+    pub rank_hyperplane: HyperplaneSketch,
+    /// KLL quantile sketch (approximate quantiles, IQR, box plots).
+    pub quantiles: KllSketch,
+    /// Uniform reservoir sample (shape metrics with no dedicated sketch).
+    pub reservoir: Reservoir,
+}
+
+/// Sketches of one categorical column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoricalSketches {
+    /// SpaceSaving heavy hitters (approximate `RelFreq(k)` and Pareto data).
+    pub heavy_hitters: SpaceSaving,
+    /// Stable-projection entropy sketch (concentration metric).
+    pub entropy: EntropySketch,
+    /// Present (non-missing) count.
+    pub total: u64,
+    /// Exact distinct-label count (known from dictionary encoding).
+    pub cardinality: usize,
+}
+
+/// All sketches of one table, keyed by column index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchCatalog {
+    numeric: HashMap<usize, NumericSketches>,
+    categorical: HashMap<usize, CategoricalSketches>,
+    rows: usize,
+    hyperplane_config: HyperplaneConfig,
+}
+
+impl SketchCatalog {
+    /// Builds the catalog for `table`.
+    pub fn build(table: &Table, config: &CatalogConfig) -> Self {
+        let hyperplane_config = match config.hyperplane_k {
+            Some(k) => HyperplaneConfig {
+                k,
+                seed: config.seed,
+                ..Default::default()
+            },
+            None => HyperplaneConfig::for_rows(table.n_rows(), config.seed),
+        };
+        let hp = SharedHyperplanes::new(hyperplane_config);
+
+        let numeric_indices = table.numeric_indices();
+        let numeric_cols: Vec<&[f64]> = numeric_indices
+            .iter()
+            .map(|&i| table.numeric(i).expect("index from schema").values())
+            .collect();
+
+        // Hyperplane sketches: shared randomness means each chunk of columns
+        // can re-stream the same Gaussian sequence independently, so
+        // column-chunk parallelism is exact, not approximate.
+        let sketch_all = |cols: &[&[f64]]| -> Vec<HyperplaneSketch> {
+            if config.parallel && cols.len() > 1 {
+                cols.par_chunks(8.max(cols.len() / rayon::current_num_threads().max(1)))
+                    .flat_map(|chunk| hp.sketch_columns(chunk))
+                    .collect()
+            } else {
+                hp.sketch_columns(cols)
+            }
+        };
+        let hyperplanes = sketch_all(&numeric_cols);
+
+        // Rank-transform each column (missing cells stay missing) and sketch
+        // the ranks with the same shared hyperplanes → Spearman estimates.
+        let rank_transform = |col: &&[f64]| -> Vec<f64> {
+            let present: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+            let ranks = foresight_stats::rank::fractional_ranks(&present);
+            let mut out = Vec::with_capacity(col.len());
+            let mut next = 0usize;
+            for &v in col.iter() {
+                if v.is_nan() {
+                    out.push(f64::NAN);
+                } else {
+                    out.push(ranks[next]);
+                    next += 1;
+                }
+            }
+            out
+        };
+        let ranked: Vec<Vec<f64>> = if config.parallel {
+            numeric_cols.par_iter().map(rank_transform).collect()
+        } else {
+            numeric_cols.iter().map(rank_transform).collect()
+        };
+        let ranked_refs: Vec<&[f64]> = ranked.iter().map(Vec::as_slice).collect();
+        let rank_hyperplanes = sketch_all(&ranked_refs);
+
+        type NumericJob<'a> = (
+            &'a usize,
+            ((&'a &'a [f64], &'a HyperplaneSketch), &'a HyperplaneSketch),
+        );
+        let build_one =
+            |(&idx, ((col, hyperplane), rank_hp)): NumericJob| -> (usize, NumericSketches) {
+                let mut quantiles = KllSketch::new(config.kll_k);
+                let mut reservoir =
+                    Reservoir::new(config.reservoir.max(1), config.seed ^ idx as u64);
+                for &v in col.iter() {
+                    quantiles.insert(v);
+                    reservoir.insert(v);
+                }
+                (
+                    idx,
+                    NumericSketches {
+                        moments: Moments::from_slice(col),
+                        hyperplane: hyperplane.clone(),
+                        rank_hyperplane: rank_hp.clone(),
+                        quantiles,
+                        reservoir,
+                    },
+                )
+            };
+
+        let zipped: Vec<NumericJob> = numeric_indices
+            .iter()
+            .zip(
+                numeric_cols
+                    .iter()
+                    .zip(hyperplanes.iter())
+                    .zip(rank_hyperplanes.iter()),
+            )
+            .collect();
+        let numeric: HashMap<usize, NumericSketches> = if config.parallel {
+            zipped.into_par_iter().map(build_one).collect()
+        } else {
+            zipped.into_iter().map(build_one).collect()
+        };
+
+        let cat_one = |&idx: &usize| -> (usize, CategoricalSketches) {
+            let col = table.categorical(idx).expect("index from schema");
+            // dictionary encoding gives exact per-label counts cheaply; the
+            // sketches absorb them as weighted inserts (equivalent to
+            // streaming every row, but O(cardinality·k) instead of O(n·k))
+            let mut counts = vec![0u64; col.cardinality()];
+            for code in col.present_codes() {
+                counts[code as usize] += 1;
+            }
+            let mut heavy = SpaceSaving::new(config.freq_counters);
+            let mut entropy = EntropySketch::new(config.entropy_k, config.seed);
+            for (code, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let label = &col.labels()[code];
+                    heavy.insert_weighted(label, c);
+                    entropy.insert_weighted(label, c);
+                }
+            }
+            let total = counts.iter().sum();
+            (
+                idx,
+                CategoricalSketches {
+                    heavy_hitters: heavy,
+                    entropy,
+                    total,
+                    cardinality: col.cardinality(),
+                },
+            )
+        };
+
+        let cat_indices = table.categorical_indices();
+        let categorical: HashMap<usize, CategoricalSketches> = if config.parallel {
+            cat_indices.par_iter().map(cat_one).collect()
+        } else {
+            cat_indices.iter().map(cat_one).collect()
+        };
+
+        Self {
+            numeric,
+            categorical,
+            rows: table.n_rows(),
+            hyperplane_config,
+        }
+    }
+
+    /// Rows of the sketched table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The hyperplane configuration in effect.
+    pub fn hyperplane_config(&self) -> HyperplaneConfig {
+        self.hyperplane_config
+    }
+
+    /// Sketches of the numeric column at `idx`.
+    pub fn numeric(&self, idx: usize) -> Option<&NumericSketches> {
+        self.numeric.get(&idx)
+    }
+
+    /// Sketches of the categorical column at `idx`.
+    pub fn categorical(&self, idx: usize) -> Option<&CategoricalSketches> {
+        self.categorical.get(&idx)
+    }
+
+    /// Indices of sketched numeric columns (unordered).
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.numeric.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Estimated Pearson correlation between two numeric columns, from the
+    /// hyperplane sketches alone — `O(k)` bits of work, no data access.
+    pub fn correlation(&self, i: usize, j: usize) -> Option<f64> {
+        let a = self.numeric.get(&i)?;
+        let b = self.numeric.get(&j)?;
+        a.hyperplane.correlation(&b.hyperplane).ok()
+    }
+
+    /// Estimated Spearman rank correlation between two numeric columns,
+    /// from the rank-transformed hyperplane sketches.
+    pub fn spearman(&self, i: usize, j: usize) -> Option<f64> {
+        let a = self.numeric.get(&i)?;
+        let b = self.numeric.get(&j)?;
+        a.rank_hyperplane.correlation(&b.rank_hyperplane).ok()
+    }
+
+    /// Serializes the catalog to JSON, so the preprocessing phase can run
+    /// once and be reused across sessions.
+    pub fn save(&self, writer: impl std::io::Write) -> serde_json::Result<()> {
+        serde_json::to_writer(writer, self)
+    }
+
+    /// Restores a catalog serialized with [`SketchCatalog::save`].
+    pub fn load(reader: impl std::io::Read) -> serde_json::Result<Self> {
+        serde_json::from_reader(reader)
+    }
+
+    /// Total memory consumed by the hyperplane bit vectors, in bytes —
+    /// the `|B|·k` bits the paper quotes.
+    pub fn hyperplane_bytes(&self) -> usize {
+        self.numeric
+            .values()
+            .map(|s| s.hyperplane.size_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::{synth, SynthConfig};
+    use foresight_stats::correlation::pearson;
+
+    fn table() -> (
+        foresight_data::Table,
+        foresight_data::datasets::SynthGroundTruth,
+    ) {
+        synth(&SynthConfig {
+            rows: 4_000,
+            numeric_cols: 12,
+            categorical_cols: 3,
+            correlated_fraction: 0.5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn covers_every_column() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        for idx in t.numeric_indices() {
+            assert!(cat.numeric(idx).is_some(), "numeric {idx} missing");
+        }
+        for idx in t.categorical_indices() {
+            assert!(cat.categorical(idx).is_some(), "categorical {idx} missing");
+        }
+        assert_eq!(cat.rows(), 4_000);
+    }
+
+    #[test]
+    fn sketch_correlations_track_exact() {
+        let (t, truth) = table();
+        let cat = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            },
+        );
+        for &(i, j, _) in &truth.correlated_pairs {
+            let est = cat.correlation(i, j).unwrap();
+            let exact = pearson(
+                t.numeric(i).unwrap().values(),
+                t.numeric(j).unwrap().values(),
+            );
+            assert!(
+                (est - exact).abs() < 0.12,
+                "pair ({i},{j}): est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (t, _) = table();
+        let seq = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let par = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        for idx in seq.numeric_indices() {
+            let a = seq.numeric(idx).unwrap();
+            let b = par.numeric(idx).unwrap();
+            assert_eq!(a.hyperplane, b.hyperplane, "column {idx} differs");
+            assert_eq!(a.moments, b.moments);
+            assert_eq!(a.quantiles, b.quantiles);
+        }
+    }
+
+    #[test]
+    fn sketch_spearman_tracks_exact() {
+        let (t, truth) = table();
+        let cat = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            },
+        );
+        for &(i, j, _) in &truth.correlated_pairs {
+            let est = cat.spearman(i, j).unwrap();
+            let exact = foresight_stats::correlation::spearman(
+                t.numeric(i).unwrap().values(),
+                t.numeric(j).unwrap().values(),
+            );
+            assert!(
+                (est - exact).abs() < 0.12,
+                "pair ({i},{j}): est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn moments_match_exact() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        let idx = t.numeric_indices()[0];
+        let exact = Moments::from_slice(t.numeric(idx).unwrap().values());
+        assert_eq!(cat.numeric(idx).unwrap().moments, exact);
+    }
+
+    #[test]
+    fn quantile_sketch_close_to_exact() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        let idx = t.numeric_indices()[0];
+        let values = t.numeric(idx).unwrap().values();
+        let exact = foresight_stats::quantile::quantile(values, 0.5).unwrap();
+        let est = cat.numeric(idx).unwrap().quantiles.quantile(0.5).unwrap();
+        let spread = foresight_stats::quantile::iqr(values).unwrap();
+        assert!(
+            (est - exact).abs() < 0.2 * spread,
+            "est {est} exact {exact}"
+        );
+    }
+
+    #[test]
+    fn categorical_sketches_sane() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        let idx = t.categorical_indices()[0];
+        let s = cat.categorical(idx).unwrap();
+        assert_eq!(s.total, 4_000);
+        assert!(s.cardinality > 1);
+        let ent = s.entropy.estimate();
+        assert!(ent > 0.0 && ent < (s.cardinality as f64).ln() + 0.5);
+        assert!(!s.heavy_hitters.top().is_empty());
+    }
+
+    #[test]
+    fn catalog_persists_through_serde() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        let mut buf = Vec::new();
+        cat.save(&mut buf).unwrap();
+        let back = SketchCatalog::load(buf.as_slice()).unwrap();
+        assert_eq!(back.rows(), cat.rows());
+        assert_eq!(back.hyperplane_config(), cat.hyperplane_config());
+        for idx in cat.numeric_indices() {
+            assert_eq!(
+                back.correlation(idx, cat.numeric_indices()[0]),
+                cat.correlation(idx, cat.numeric_indices()[0])
+            );
+            assert_eq!(
+                back.numeric(idx).unwrap().moments,
+                cat.numeric(idx).unwrap().moments
+            );
+            assert_eq!(
+                back.numeric(idx).unwrap().quantiles.quantile(0.5),
+                cat.numeric(idx).unwrap().quantiles.quantile(0.5)
+            );
+        }
+        for idx in t.categorical_indices() {
+            assert_eq!(
+                back.categorical(idx).unwrap().heavy_hitters.top(),
+                cat.categorical(idx).unwrap().heavy_hitters.top()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_sizing_rule_applied_by_default() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(&t, &CatalogConfig::default());
+        assert_eq!(
+            cat.hyperplane_config().k,
+            HyperplaneConfig::for_rows(4_000, 0xF0E5).k
+        );
+        // |B| columns × k bits
+        assert_eq!(
+            cat.hyperplane_bytes(),
+            t.numeric_indices().len() * cat.hyperplane_config().k / 8
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! The Count-Min sketch (Cormode–Muthukrishnan 2005).
+//!
+//! A `depth × width` array of counters with pairwise-independent row hashes.
+//! Point queries return upper bounds: with width `⌈e/ε⌉` and depth
+//! `⌈ln(1/δ)⌉`, the overcount is at most `εn` with probability `1−δ`.
+
+use crate::traits::{MergeError, Mergeable, Sketch};
+use serde::{Deserialize, Serialize};
+
+/// A Count-Min sketch over string items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMin {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    table: Vec<u64>,
+    n: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 2 && depth >= 1, "degenerate dimensions");
+        Self {
+            width,
+            depth,
+            seed,
+            table: vec![0; width * depth],
+            n: 0,
+        }
+    }
+
+    /// Creates a sketch meeting an `(ε, δ)` guarantee: overcount ≤ `εn`
+    /// with probability ≥ `1−δ`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width.max(2), depth, seed)
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of hash rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// FNV-1a based row hash; `row` salts the hash so rows are independent.
+    fn index(&self, item: &str, row: usize) -> usize {
+        let mut h: u64 =
+            0xcbf2_9ce4_8422_2325 ^ self.seed ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in item.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // final avalanche to decorrelate rows further
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h % self.width as u64) as usize
+    }
+
+    /// Absorbs `weight` occurrences of `item`.
+    pub fn insert_weighted(&mut self, item: &str, weight: u64) {
+        for row in 0..self.depth {
+            let idx = row * self.width + self.index(item, row);
+            self.table[idx] += weight;
+        }
+        self.n += weight;
+    }
+
+    /// Absorbs one occurrence.
+    pub fn insert(&mut self, item: &str) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Point-query upper bound on the count of `item`.
+    pub fn estimate(&self, item: &str) -> u64 {
+        (0..self.depth)
+            .map(|row| self.table[row * self.width + self.index(item, row)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl Sketch<str> for CountMin {
+    fn update(&mut self, item: &str) {
+        self.insert(item);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Mergeable for CountMin {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(MergeError::SizeMismatch(
+                self.width * self.depth,
+                other.width * other.depth,
+            ));
+        }
+        if self.seed != other.seed {
+            return Err(MergeError::SeedMismatch);
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cm = CountMin::new(64, 4, 7);
+        for i in 0..1_000 {
+            cm.insert(&format!("item{}", i % 50));
+        }
+        for i in 0..50 {
+            assert!(cm.estimate(&format!("item{i}")) >= 20);
+        }
+    }
+
+    #[test]
+    fn epsilon_bound_holds() {
+        let eps = 0.01;
+        let mut cm = CountMin::with_error(eps, 0.01, 3);
+        let n = 50_000u64;
+        for i in 0..n {
+            cm.insert(&format!("k{}", i % 1_000));
+        }
+        let mut violations = 0;
+        for i in 0..1_000 {
+            let est = cm.estimate(&format!("k{i}"));
+            let true_count = n / 1_000;
+            assert!(est >= true_count);
+            if est - true_count > (eps * n as f64) as u64 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 10, "{violations} items exceed the εn bound");
+    }
+
+    #[test]
+    fn unseen_items_small() {
+        let mut cm = CountMin::with_error(0.001, 0.01, 11);
+        for i in 0..10_000 {
+            cm.insert(&format!("x{i}"));
+        }
+        assert!(cm.estimate("never-seen") <= 10);
+    }
+
+    #[test]
+    fn weighted_inserts() {
+        let mut cm = CountMin::new(128, 4, 1);
+        cm.insert_weighted("a", 500);
+        cm.insert("a");
+        assert!(cm.estimate("a") >= 501);
+        assert_eq!(cm.count(), 501);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = CountMin::new(256, 4, 9);
+        let mut b = CountMin::new(256, 4, 9);
+        for i in 0..500 {
+            a.insert(&format!("i{}", i % 20));
+            b.insert(&format!("i{}", i % 30));
+        }
+        let mut whole = CountMin::new(256, 4, 9);
+        for i in 0..500 {
+            whole.insert(&format!("i{}", i % 20));
+            whole.insert(&format!("i{}", i % 30));
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_incompatible() {
+        let mut a = CountMin::new(64, 4, 1);
+        assert!(matches!(
+            a.merge(&CountMin::new(32, 4, 1)),
+            Err(MergeError::SizeMismatch(..))
+        ));
+        assert!(matches!(
+            a.merge(&CountMin::new(64, 4, 2)),
+            Err(MergeError::SeedMismatch)
+        ));
+    }
+
+    #[test]
+    fn dimension_rules() {
+        let cm = CountMin::with_error(0.01, 0.05, 0);
+        assert!(cm.width() >= 271);
+        assert_eq!(cm.depth(), 3);
+    }
+}

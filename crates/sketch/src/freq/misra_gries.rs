@@ -1,0 +1,258 @@
+//! The Misra–Gries frequent-items summary.
+//!
+//! With `m` counters over a stream of `n` items, every reported count
+//! undercounts the true frequency by at most `n/(m+1)`, and every item with
+//! true frequency above `n/(m+1)` is guaranteed to be present. This is the
+//! sketch behind the approximate `RelFreq(k)` metric.
+
+use crate::traits::{MergeError, Mergeable, Sketch};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A Misra–Gries summary with `m` counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisraGries {
+    m: usize,
+    counters: HashMap<String, u64>,
+    n: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `m ≥ 1` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one counter");
+        Self {
+            m,
+            counters: HashMap::with_capacity(m + 1),
+            n: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Absorbs one occurrence of `item`.
+    pub fn insert(&mut self, item: &str) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Absorbs `weight` occurrences of `item` (used by merge).
+    pub fn insert_weighted(&mut self, item: &str, weight: u64) {
+        self.n += weight;
+        if let Some(c) = self.counters.get_mut(item) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.m {
+            self.counters.insert(item.to_owned(), weight);
+            return;
+        }
+        // decrement-all step, weighted: subtract the largest amount that
+        // empties at least one counter or consumes the new item's weight
+        let min_count = self.counters.values().copied().min().unwrap_or(0);
+        let dec = min_count.min(weight);
+        let leftover = weight - dec;
+        for c in self.counters.values_mut() {
+            *c -= dec;
+        }
+        self.counters.retain(|_, c| *c > 0);
+        if leftover > 0 && self.counters.len() < self.m {
+            self.counters.insert(item.to_owned(), leftover);
+        }
+        // else: a rare corner (all counters equal and larger than
+        // weight); the item's weight is absorbed by the decrements
+    }
+
+    /// Estimated count of `item` (a lower bound on the true count; the true
+    /// count exceeds it by at most `n/(m+1)`).
+    pub fn estimate(&self, item: &str) -> u64 {
+        self.counters.get(item).copied().unwrap_or(0)
+    }
+
+    /// Maximum undercount `n/(m+1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.n / (self.m as u64 + 1)
+    }
+
+    /// The tracked items and their (lower-bound) counts, most frequent first.
+    pub fn top(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> =
+            self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Approximate `RelFreq(k)`: estimated total relative frequency of the
+    /// `k` most frequent items (a lower bound).
+    pub fn rel_freq(&self, k: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.top().iter().take(k).map(|(_, c)| c).sum();
+        top as f64 / self.n as f64
+    }
+}
+
+impl Sketch<str> for MisraGries {
+    fn update(&mut self, item: &str) {
+        self.insert(item);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Mergeable for MisraGries {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.m != other.m {
+            return Err(MergeError::SizeMismatch(self.m, other.m));
+        }
+        // Standard MG merge: add counter maps, then keep the top m after
+        // subtracting the (m+1)-st largest count.
+        let mut combined: HashMap<String, u64> = self.counters.clone();
+        for (k, &c) in &other.counters {
+            *combined.entry(k.clone()).or_insert(0) += c;
+        }
+        let mut counts: Vec<u64> = combined.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let cut = counts.get(self.m).copied().unwrap_or(0);
+        let mut kept: HashMap<String, u64> = combined
+            .into_iter()
+            .filter_map(|(k, c)| (c > cut).then(|| (k, c - cut)))
+            .collect();
+        std::mem::swap(&mut self.counters, &mut kept);
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Zipf-ish stream with known exact counts.
+    fn stream() -> (Vec<String>, HashMap<String, u64>) {
+        let mut items = Vec::new();
+        let mut exact: HashMap<String, u64> = HashMap::new();
+        for i in 0..200u64 {
+            let copies = 2_000 / (i + 1); // heavy head
+            for _ in 0..copies {
+                let label = format!("item{i}");
+                items.push(label.clone());
+                *exact.entry(label).or_insert(0) += 1;
+            }
+        }
+        // deterministic interleave so heavy items are spread out
+        let n = items.len();
+        let mut shuffled = vec![String::new(); n];
+        let mut idx = 0usize;
+        for (placed, item) in items.into_iter().enumerate() {
+            shuffled[idx] = item;
+            if placed + 1 == n {
+                break; // no empty slot remains to probe for
+            }
+            idx = (idx + 7919) % n;
+            while !shuffled[idx].is_empty() {
+                idx = (idx + 1) % n;
+            }
+        }
+        (shuffled, exact)
+    }
+
+    #[test]
+    fn undercount_bounded() {
+        let (items, exact) = stream();
+        let mut mg = MisraGries::new(20);
+        for it in &items {
+            mg.insert(it);
+        }
+        let bound = mg.error_bound();
+        for (item, &true_count) in &exact {
+            let est = mg.estimate(item);
+            assert!(est <= true_count, "{item}: overcount {est} > {true_count}");
+            assert!(
+                true_count - est <= bound,
+                "{item}: undercount {} > bound {bound}",
+                true_count - est
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_guaranteed_present() {
+        let (items, exact) = stream();
+        let mut mg = MisraGries::new(20);
+        for it in &items {
+            mg.insert(it);
+        }
+        let threshold = mg.count() / 21;
+        for (item, &c) in &exact {
+            if c > threshold {
+                assert!(mg.estimate(item) > 0, "heavy hitter {item} evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn rel_freq_lower_bounds_exact() {
+        let (items, exact) = stream();
+        let mut mg = MisraGries::new(30);
+        for it in &items {
+            mg.insert(it);
+        }
+        let mut counts: Vec<u64> = exact.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let exact_rf: f64 = counts.iter().take(5).sum::<u64>() as f64 / items.len() as f64;
+        let est_rf = mg.rel_freq(5);
+        assert!(est_rf <= exact_rf + 1e-12);
+        // each of the 5 counts undercounts by at most n/(m+1)
+        let bound = 5.0 * mg.error_bound() as f64 / items.len() as f64;
+        assert!(
+            exact_rf - est_rf <= bound,
+            "rf est {est_rf} vs {exact_rf} (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn merge_preserves_bounds() {
+        let (items, exact) = stream();
+        let mid = items.len() / 2;
+        let mut a = MisraGries::new(20);
+        let mut b = MisraGries::new(20);
+        for it in &items[..mid] {
+            a.insert(it);
+        }
+        for it in &items[mid..] {
+            b.insert(it);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), items.len() as u64);
+        let bound = a.count() / 10; // merged bound is looser (2·n/(m+1))
+        for (item, &true_count) in &exact {
+            let est = a.estimate(item);
+            assert!(est <= true_count);
+            assert!(true_count - est <= bound);
+        }
+    }
+
+    #[test]
+    fn merge_size_mismatch() {
+        let mut a = MisraGries::new(4);
+        assert!(a.merge(&MisraGries::new(8)).is_err());
+    }
+
+    #[test]
+    fn small_stream_exact() {
+        let mut mg = MisraGries::new(10);
+        for it in ["a", "b", "a", "c", "a"] {
+            mg.insert(it);
+        }
+        assert_eq!(mg.estimate("a"), 3);
+        assert_eq!(mg.estimate("b"), 1);
+        assert_eq!(mg.estimate("zzz"), 0);
+        assert_eq!(mg.top()[0].0, "a");
+    }
+}

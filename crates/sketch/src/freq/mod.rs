@@ -1,0 +1,10 @@
+//! Frequent-items sketches: Misra–Gries (lower bounds), SpaceSaving (upper
+//! bounds; used by the catalog), and Count-Min (point-query upper bounds).
+
+pub mod count_min;
+pub mod misra_gries;
+pub mod space_saving;
+
+pub use count_min::CountMin;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;

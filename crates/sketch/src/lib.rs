@@ -1,0 +1,38 @@
+//! # foresight-sketch
+//!
+//! The paper's §3 sketching substrate: lossy, single-pass, composable
+//! summaries that make insight queries interactive on large tables.
+//!
+//! * [`hyperplane`] — random hyperplane (SimHash) correlation sketch, the
+//!   paper's worked example: `ρ̂ = cos(πH/k)` from `|B|·k` bits
+//! * [`quantile`] — Greenwald–Khanna and KLL quantile sketches
+//! * [`freq`] — Misra–Gries, SpaceSaving, Count-Min frequent-items sketches
+//! * [`hll`] — HyperLogLog distinct counting
+//! * [`entropy`] — maximally-skewed-stable entropy sketch
+//! * [`projection`] — Johnson–Lindenstrauss random projections (F₂, dots)
+//! * [`sample`] — reservoir samples (plain and row-aligned pairs)
+//! * [`catalog`] — the per-table catalog built in the preprocessing phase
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod catalog;
+pub mod entropy;
+pub mod freq;
+pub mod hll;
+pub mod hyperplane;
+pub mod projection;
+pub mod quantile;
+pub mod sample;
+pub mod traits;
+
+pub use bits::BitVec;
+pub use catalog::{CatalogConfig, SketchCatalog};
+pub use entropy::EntropySketch;
+pub use freq::{CountMin, MisraGries, SpaceSaving};
+pub use hll::HyperLogLog;
+pub use hyperplane::{HyperplaneConfig, HyperplaneSketch, SharedHyperplanes};
+pub use projection::{ProjectionConfig, ProjectionSketch, SharedProjections};
+pub use quantile::{GkSketch, KllSketch};
+pub use sample::{PairReservoir, Reservoir};
+pub use traits::{MergeError, Mergeable, Sketch};

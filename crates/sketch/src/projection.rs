@@ -1,0 +1,255 @@
+//! Random projection (Johnson–Lindenstrauss / AMS-style) sketch.
+//!
+//! Each column is projected onto `k` shared random Gaussian directions:
+//! `yᵢ = (1/√k)·Σⱼ xⱼ·gᵢⱼ`. Inner products, Euclidean norms (F₂ moments),
+//! and distances between columns are preserved in expectation with variance
+//! `O(1/k)` — the real-valued sibling of the hyperplane sketch, used when a
+//! magnitude (not just an angle) is needed.
+
+use crate::traits::{MergeError, Mergeable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared across all projections of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectionConfig {
+    /// Number of random directions.
+    pub k: usize,
+    /// Seed of the shared directions.
+    pub seed: u64,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> Self {
+        Self {
+            k: 128,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Builds projection sketches with shared randomness.
+#[derive(Debug, Clone)]
+pub struct SharedProjections {
+    config: ProjectionConfig,
+}
+
+impl SharedProjections {
+    /// Creates the shared family.
+    pub fn new(config: ProjectionConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        Self { config }
+    }
+
+    /// Projects several equal-length columns in one pass over the rows,
+    /// streaming the shared Gaussian directions. `NaN` entries contribute 0.
+    pub fn project_columns(&self, columns: &[&[f64]]) -> Vec<ProjectionSketch> {
+        let k = self.config.k;
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in columns {
+            assert_eq!(c.len(), n, "all columns must have equal length");
+        }
+        let mut acc = vec![vec![0.0f64; k]; columns.len()];
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut g = vec![0.0f64; k];
+        for j in 0..n {
+            fill_gaussians(&mut rng, &mut g);
+            for (c, col) in columns.iter().enumerate() {
+                let v = col[j];
+                if v.is_nan() || v == 0.0 {
+                    continue;
+                }
+                let acc_c = &mut acc[c];
+                for i in 0..k {
+                    acc_c[i] += v * g[i];
+                }
+            }
+        }
+        let scale = 1.0 / (k as f64).sqrt();
+        acc.into_iter()
+            .map(|mut y| {
+                for v in &mut y {
+                    *v *= scale;
+                }
+                ProjectionSketch {
+                    y,
+                    config: self.config,
+                    rows: n as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Projects a single column.
+    pub fn project_column(&self, column: &[f64]) -> ProjectionSketch {
+        self.project_columns(&[column])
+            .pop()
+            .expect("one column in, one sketch out")
+    }
+}
+
+fn fill_gaussians(rng: &mut StdRng, out: &mut [f64]) {
+    let mut i = 0;
+    while i < out.len() {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out[i] = r * theta.cos();
+        i += 1;
+        if i < out.len() {
+            out[i] = r * theta.sin();
+            i += 1;
+        }
+    }
+}
+
+/// A projected column: `k` real numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionSketch {
+    y: Vec<f64>,
+    config: ProjectionConfig,
+    rows: u64,
+}
+
+impl ProjectionSketch {
+    /// The projected coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Estimated squared Euclidean norm `‖x‖²` (the F₂ moment).
+    pub fn norm_squared(&self) -> f64 {
+        self.y.iter().map(|v| v * v).sum()
+    }
+
+    /// Estimated inner product `⟨x, z⟩` with another column's sketch.
+    pub fn dot(&self, other: &Self) -> Result<f64, MergeError> {
+        self.check(other)?;
+        Ok(self.y.iter().zip(&other.y).map(|(a, b)| a * b).sum())
+    }
+
+    /// Estimated squared Euclidean distance `‖x − z‖²`.
+    pub fn distance_squared(&self, other: &Self) -> Result<f64, MergeError> {
+        self.check(other)?;
+        Ok(self
+            .y
+            .iter()
+            .zip(&other.y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum())
+    }
+
+    fn check(&self, other: &Self) -> Result<(), MergeError> {
+        if self.config.k != other.config.k {
+            return Err(MergeError::SizeMismatch(self.config.k, other.config.k));
+        }
+        if self.config.seed != other.config.seed {
+            return Err(MergeError::SeedMismatch);
+        }
+        if self.rows != other.rows {
+            return Err(MergeError::ParameterMismatch("row universe"));
+        }
+        Ok(())
+    }
+}
+
+impl Mergeable for ProjectionSketch {
+    /// Merging sketches of disjoint row partitions (with disjoint shared
+    /// randomness streams) is coordinate-wise addition by linearity.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.config.k != other.config.k {
+            return Err(MergeError::SizeMismatch(self.config.k, other.config.k));
+        }
+        if self.config.seed != other.config.seed {
+            return Err(MergeError::SeedMismatch);
+        }
+        for (a, b) in self.y.iter_mut().zip(&other.y) {
+            *a += b;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_vectors(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // x, a scaled copy, and an orthogonal-ish vector
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 100) as f64 - 50.0) / 50.0)
+            .collect();
+        let scaled: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let orth: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { x[i + 1] } else { -x[i - 1] })
+            .collect();
+        (x, scaled, orth)
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let (x, _, _) = unit_vectors(2_000);
+        let sp = SharedProjections::new(ProjectionConfig { k: 512, seed: 1 });
+        let s = sp.project_column(&x);
+        let exact: f64 = x.iter().map(|v| v * v).sum();
+        assert!(
+            (s.norm_squared() - exact).abs() / exact < 0.15,
+            "est {} exact {exact}",
+            s.norm_squared()
+        );
+    }
+
+    #[test]
+    fn dot_products_preserved() {
+        let (x, scaled, orth) = unit_vectors(2_000);
+        let sp = SharedProjections::new(ProjectionConfig { k: 1024, seed: 2 });
+        let sk = sp.project_columns(&[&x, &scaled, &orth]);
+        let exact_xs: f64 = x.iter().zip(&scaled).map(|(a, b)| a * b).sum();
+        let est = sk[0].dot(&sk[1]).unwrap();
+        assert!((est - exact_xs).abs() / exact_xs < 0.15, "est {est}");
+        // orthogonal vectors: dot near zero relative to norms
+        let est_orth = sk[0].dot(&sk[2]).unwrap();
+        assert!(est_orth.abs() < 0.15 * exact_xs, "orth dot {est_orth}");
+    }
+
+    #[test]
+    fn distances_preserved() {
+        let (x, scaled, _) = unit_vectors(1_000);
+        let sp = SharedProjections::new(ProjectionConfig { k: 1024, seed: 3 });
+        let sk = sp.project_columns(&[&x, &scaled]);
+        let exact: f64 = x.iter().zip(&scaled).map(|(a, b)| (a - b) * (a - b)).sum();
+        let est = sk[0].distance_squared(&sk[1]).unwrap();
+        assert!((est - exact).abs() / exact < 0.2, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn incompatible_rejected() {
+        let x = vec![1.0, 2.0];
+        let a = SharedProjections::new(ProjectionConfig { k: 64, seed: 1 }).project_column(&x);
+        let b = SharedProjections::new(ProjectionConfig { k: 64, seed: 9 }).project_column(&x);
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn nan_treated_as_zero() {
+        let x = vec![1.0, f64::NAN, 3.0];
+        let z = vec![1.0, 0.0, 3.0];
+        let sp = SharedProjections::new(ProjectionConfig { k: 64, seed: 4 });
+        assert_eq!(sp.project_column(&x), sp.project_column(&z));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let sp = SharedProjections::new(ProjectionConfig { k: 32, seed: 5 });
+        let x = vec![1.0, 2.0, 3.0];
+        let mut a = sp.project_column(&x);
+        let b = sp.project_column(&x);
+        a.merge(&b).unwrap();
+        for (m, s) in a.coords().iter().zip(b.coords()) {
+            assert!((m - 2.0 * s).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The Greenwald–Khanna ε-approximate quantile summary.
+//!
+//! Maintains `O((1/ε)·log(εn))` tuples `(v, g, Δ)` and answers any quantile
+//! query with rank error at most `εn`. GK is the classic insert-only
+//! quantile sketch; the mergeable alternative is [`crate::quantile::kll`].
+
+use crate::traits::Sketch;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Tuple {
+    v: f64,
+    /// Difference between this tuple's minimum rank and its predecessor's.
+    g: u64,
+    /// Uncertainty in this tuple's rank.
+    delta: u64,
+}
+
+/// A GK quantile summary with error parameter `ε`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GkSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    inserts_since_compress: u64,
+}
+
+impl GkSketch {
+    /// Creates a summary with rank-error bound `ε·n` (`0 < ε < 1`).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            epsilon,
+            tuples: Vec::new(),
+            n: 0,
+            inserts_since_compress: 0,
+        }
+    }
+
+    /// The configured error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of retained tuples (the space cost).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Inserts one value (NaN ignored).
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0
+        } else {
+            (2.0 * self.epsilon * self.n as f64).floor() as u64
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.inserts_since_compress += 1;
+        if self.inserts_since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined uncertainty stays within 2εn.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        // middle tuples may be absorbed into their successor
+        for i in 1..self.tuples.len() {
+            let cur = self.tuples[i];
+            let prev = *out.last().expect("non-empty");
+            // never absorb the first tuple; keep the last tuple intact
+            let absorbable = out.len() > 1 && prev.g + cur.g + cur.delta <= threshold;
+            if absorbable {
+                let merged = Tuple {
+                    v: cur.v,
+                    g: prev.g + cur.g,
+                    delta: cur.delta,
+                };
+                *out.last_mut().expect("non-empty") = merged;
+            } else {
+                out.push(cur);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// The estimated `q`-quantile (`0 ≤ q ≤ 1`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let rank = (q * self.n as f64).ceil().max(1.0) as u64;
+        let bound = (self.epsilon * self.n as f64) as u64;
+        let mut r_min = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            r_min += t.g;
+            let r_max = r_min + t.delta;
+            if rank + bound < r_max {
+                // overshot: previous tuple was the answer
+                return Some(self.tuples[i.saturating_sub(1)].v);
+            }
+            if rank <= r_min + bound && r_max <= rank + bound {
+                return Some(t.v);
+            }
+        }
+        Some(self.tuples.last().expect("non-empty").v)
+    }
+
+    /// Estimated rank (fraction ≤ x).
+    pub fn rank(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let mut r = 0u64;
+        for t in &self.tuples {
+            if t.v <= x {
+                r += t.g;
+            } else {
+                break;
+            }
+        }
+        r as f64 / self.n as f64
+    }
+}
+
+impl Sketch<f64> for GkSketch {
+    fn update(&mut self, item: &f64) {
+        self.insert(*item);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_stats::quantile::quantile as exact_quantile;
+
+    fn check_errors(data: &[f64], eps: f64) {
+        let mut sk = GkSketch::new(eps);
+        for &v in data {
+            sk.insert(v);
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = sk.quantile(q).unwrap();
+            // rank error of the returned value must be ≤ ~eps (+ slack for
+            // interpolation-free answers)
+            let rank = sorted.iter().filter(|&&v| v <= est).count() as f64 / sorted.len() as f64;
+            assert!(
+                (rank - q).abs() <= 2.0 * eps + 1.0 / sorted.len() as f64,
+                "q={q}: est {est} has rank {rank} (eps {eps})"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_bound_uniform() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i * 7919 % 20_000) as f64).collect();
+        check_errors(&data, 0.01);
+    }
+
+    #[test]
+    fn rank_error_bound_skewed() {
+        let data: Vec<f64> = (1..10_000)
+            .map(|i| (i as f64).ln().exp2().powi(3))
+            .collect();
+        check_errors(&data, 0.02);
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..100_000 {
+            sk.insert((i * 31 % 100_000) as f64);
+        }
+        assert!(
+            sk.tuple_count() < 2_000,
+            "GK kept {} tuples for 100k items",
+            sk.tuple_count()
+        );
+        assert_eq!(sk.count(), 100_000);
+    }
+
+    #[test]
+    fn small_streams_exact() {
+        let mut sk = GkSketch::new(0.1);
+        for v in [5.0, 1.0, 3.0] {
+            sk.insert(v);
+        }
+        assert_eq!(sk.quantile(0.0), Some(1.0));
+        assert_eq!(sk.quantile(1.0), Some(5.0));
+        assert_eq!(sk.quantile(0.5), Some(3.0));
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        let mut sk = GkSketch::new(0.05);
+        assert_eq!(sk.quantile(0.5), None);
+        assert!(sk.rank(1.0).is_nan());
+        sk.insert(f64::NAN);
+        assert_eq!(sk.count(), 0);
+    }
+
+    #[test]
+    fn rank_estimates() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..1_000 {
+            sk.insert(i as f64);
+        }
+        assert!((sk.rank(500.0) - 0.5).abs() < 0.03);
+        assert!((sk.rank(-5.0) - 0.0).abs() < 0.01);
+        assert!((sk.rank(2_000.0) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_exact_on_median() {
+        let data: Vec<f64> = (0..5_000)
+            .map(|i| ((i * 2_654_435_761u64) % 5_000) as f64)
+            .collect();
+        let mut sk = GkSketch::new(0.01);
+        for &v in &data {
+            sk.insert(v);
+        }
+        let exact = exact_quantile(&data, 0.5).unwrap();
+        let est = sk.quantile(0.5).unwrap();
+        assert!(
+            (est - exact).abs() / 5_000.0 < 0.02,
+            "est {est} exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The KLL quantile sketch (Karnin–Lang–Liberty 2016).
+//!
+//! A hierarchy of compactors: level `h` holds items of weight `2^h`; when a
+//! level overflows, it is sorted and every other item (random offset) is
+//! promoted to the next level. KLL is fully **mergeable**, which is what the
+//! catalog needs to compose per-partition sketches (§3 "composability").
+
+use crate::traits::{MergeError, Mergeable, Sketch};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic coin for compaction offsets (so tests are reproducible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Coin(u64);
+
+impl Coin {
+    fn flip(&mut self) -> bool {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x & 1 == 1
+    }
+}
+
+/// A KLL sketch with accuracy parameter `k` (≈200 gives ~1% rank error).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KllSketch {
+    k: usize,
+    levels: Vec<Vec<f64>>,
+    n: u64,
+    coin: Coin,
+    min: f64,
+    max: f64,
+    /// Incrementally maintained Σ levels[h].len() (hot-path bookkeeping).
+    retained_count: usize,
+    /// Cached Σ capacity(h); recomputed only when the level count changes.
+    capacity_cache: usize,
+}
+
+const C: f64 = 2.0 / 3.0;
+
+impl KllSketch {
+    /// Creates a sketch with accuracy parameter `k ≥ 8`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 8, "k must be at least 8");
+        let mut sk = Self {
+            k,
+            levels: vec![Vec::new()],
+            n: 0,
+            coin: Coin(0x243F_6A88_85A3_08D3),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            retained_count: 0,
+            capacity_cache: 0,
+        };
+        sk.capacity_cache = sk.total_capacity();
+        sk
+    }
+
+    /// The accuracy parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inserts one value (NaN ignored).
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.levels[0].push(v);
+        self.retained_count += 1;
+        self.n += 1;
+        if self.retained_count > self.capacity_cache {
+            self.compact_if_needed();
+        }
+    }
+
+    fn capacity(&self, level: usize) -> usize {
+        let depth = self.levels.len() - 1 - level;
+        ((self.k as f64 * C.powi(depth as i32)).ceil() as usize).max(2)
+    }
+
+    fn total_retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    fn total_capacity(&self) -> usize {
+        (0..self.levels.len()).map(|h| self.capacity(h)).sum()
+    }
+
+    fn compact_if_needed(&mut self) {
+        while self.total_retained() > self.total_capacity() {
+            // (both totals are cheap: the level count is O(log n))
+            // find the lowest level over its individual capacity; if every
+            // level is within budget the totals cannot disagree, but guard
+            // against a degenerate loop anyway
+            let Some(h) = (0..self.levels.len()).find(|&h| self.levels[h].len() > self.capacity(h))
+            else {
+                break;
+            };
+            self.compact_level(h);
+        }
+    }
+
+    fn compact_level(&mut self, h: usize) {
+        if self.levels[h].len() < 2 {
+            return;
+        }
+        if h + 1 == self.levels.len() {
+            self.levels.push(Vec::new());
+            self.capacity_cache = self.total_capacity();
+        }
+        let mut items = std::mem::take(&mut self.levels[h]);
+        let before = items.len();
+        items.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+        let offset = usize::from(self.coin.flip());
+        // odd-length leftovers stay at level h to keep weights exact
+        if items.len() % 2 == 1 {
+            let keep = items.pop().expect("non-empty");
+            self.levels[h].push(keep);
+        }
+        for (i, v) in items.into_iter().enumerate() {
+            if i % 2 == offset {
+                self.levels[h + 1].push(v);
+            }
+        }
+        let after: usize = self.levels[h].len() + (before - self.levels[h].len()) / 2;
+        self.retained_count -= before - after;
+    }
+
+    /// Number of retained items (the space cost).
+    pub fn retained(&self) -> usize {
+        self.total_retained()
+    }
+
+    /// All retained `(value, weight)` pairs, sorted by value.
+    fn weighted(&self) -> Vec<(f64, u64)> {
+        let mut out: Vec<(f64, u64)> = Vec::with_capacity(self.total_retained());
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            out.extend(level.iter().map(|&v| (v, w)));
+        }
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN stored"));
+        out
+    }
+
+    /// The estimated `q`-quantile; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+        if self.n == 0 {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let weighted = self.weighted();
+        let total: u64 = weighted.iter().map(|(_, w)| w).sum();
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (v, w) in &weighted {
+            cum += w;
+            if cum >= target {
+                return Some(*v);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Estimated rank of `x` (fraction of values ≤ x).
+    pub fn rank(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let mut below = 0u64;
+        let mut total = 0u64;
+        for (h, level) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            for &v in level {
+                total += w;
+                if v <= x {
+                    below += w;
+                }
+            }
+        }
+        below as f64 / total as f64
+    }
+
+    /// Exact minimum seen.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum seen.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Sketch<f64> for KllSketch {
+    fn update(&mut self, item: &f64) {
+        self.insert(*item);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Mergeable for KllSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.k != other.k {
+            return Err(MergeError::SizeMismatch(self.k, other.k));
+        }
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (h, level) in other.levels.iter().enumerate() {
+            self.levels[h].extend_from_slice(level);
+            self.retained_count += level.len();
+        }
+        self.capacity_cache = self.total_capacity();
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.compact_if_needed();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(data: impl IntoIterator<Item = f64>, k: usize) -> KllSketch {
+        let mut sk = KllSketch::new(k);
+        for v in data {
+            sk.insert(v);
+        }
+        sk
+    }
+
+    fn scrambled(n: u64) -> impl Iterator<Item = f64> {
+        (0..n).map(move |i| ((i.wrapping_mul(2_654_435_761)) % n) as f64)
+    }
+
+    #[test]
+    fn rank_error_small() {
+        let n = 100_000u64;
+        let sk = filled(scrambled(n), 200);
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let est = sk.quantile(q).unwrap();
+            let true_rank = (est + 1.0) / n as f64;
+            assert!(
+                (true_rank - q).abs() < 0.025,
+                "q={q}: est {est} (rank {true_rank})"
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let sk = filled(scrambled(10_000), 64);
+        assert_eq!(sk.quantile(0.0), Some(0.0));
+        assert_eq!(sk.quantile(1.0), Some(9_999.0));
+        assert_eq!(sk.min(), 0.0);
+        assert_eq!(sk.max(), 9_999.0);
+    }
+
+    #[test]
+    fn space_sublinear() {
+        let sk = filled(scrambled(1_000_000), 200);
+        assert!(sk.retained() < 3_000, "retained {}", sk.retained());
+        assert_eq!(sk.count(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = filled((0..50_000).map(|i| i as f64), 200);
+        let b = filled((50_000..100_000).map(|i| i as f64), 200);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 100_000);
+        for &q in &[0.25, 0.5, 0.75] {
+            let est = a.quantile(q).unwrap();
+            let expect = q * 100_000.0;
+            assert!(
+                (est - expect).abs() / 100_000.0 < 0.03,
+                "q={q}: est {est} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_requires_same_k() {
+        let mut a = KllSketch::new(64);
+        let b = KllSketch::new(128);
+        assert!(matches!(
+            a.merge(&b),
+            Err(MergeError::SizeMismatch(64, 128))
+        ));
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        let mut sk = KllSketch::new(64);
+        assert_eq!(sk.quantile(0.5), None);
+        assert!(sk.rank(0.0).is_nan());
+        assert!(sk.min().is_nan());
+        sk.insert(f64::NAN);
+        assert_eq!(sk.count(), 0);
+        sk.insert(7.0);
+        assert_eq!(sk.quantile(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn rank_monotone() {
+        let sk = filled(scrambled(10_000), 128);
+        let mut prev = 0.0;
+        for x in (0..10).map(|i| i as f64 * 1_000.0) {
+            let r = sk.rank(x);
+            assert!(r >= prev, "rank not monotone at {x}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = filled(scrambled(30_000), 100);
+        let b = filled(scrambled(30_000), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_conserved() {
+        // total weight across levels must equal n at all times
+        let sk = filled(scrambled(77_777), 150);
+        let total: u64 = sk
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (1u64 << h) * l.len() as u64)
+            .sum();
+        assert_eq!(total, 77_777);
+    }
+}

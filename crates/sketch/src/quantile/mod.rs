@@ -1,0 +1,8 @@
+//! Quantile sketches: the classic insert-only GK summary and the mergeable
+//! KLL sketch the catalog uses.
+
+pub mod gk;
+pub mod kll;
+
+pub use gk::GkSketch;
+pub use kll::KllSketch;

@@ -1,0 +1,220 @@
+//! Reservoir sampling — the "samples" in the paper's synopsis toolbox.
+//!
+//! A fixed-size uniform random sample maintained in one pass (Vitter's
+//! Algorithm R). Used for preview scatter plots and for approximating
+//! metrics with no dedicated sketch (e.g. the dip statistic at scale).
+
+use crate::traits::Sketch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A uniform reservoir sample of capacity `m`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    items: Vec<f64>,
+    n: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+    seed: u64,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl PartialEq for Reservoir {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.items == other.items
+            && self.n == other.n
+            && self.seed == other.seed
+    }
+}
+
+impl Reservoir {
+    /// Creates a reservoir of `capacity ≥ 1` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            n: 0,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Absorbs one value (NaN ignored).
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(v);
+        } else {
+            let j = self.rng.gen_range(0..self.n);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = v;
+            }
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[f64] {
+        &self.items
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Sketch<f64> for Reservoir {
+    fn update(&mut self, item: &f64) {
+        self.insert(*item);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A paired reservoir: samples row indices so that `(x, y)` pairs stay
+/// aligned — needed for scatter-plot previews of two columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairReservoir {
+    capacity: usize,
+    pairs: Vec<[f64; 2]>,
+    n: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+impl PairReservoir {
+    /// Creates a paired reservoir of `capacity ≥ 1` rows.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            pairs: Vec::with_capacity(capacity),
+            n: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Absorbs one row (skipped when either coordinate is missing).
+    pub fn insert(&mut self, x: f64, y: f64) {
+        if x.is_nan() || y.is_nan() {
+            return;
+        }
+        self.n += 1;
+        if self.pairs.len() < self.capacity {
+            self.pairs.push([x, y]);
+        } else {
+            let j = self.rng.gen_range(0..self.n);
+            if (j as usize) < self.capacity {
+                self.pairs[j as usize] = [x, y];
+            }
+        }
+    }
+
+    /// The sampled rows.
+    pub fn sample(&self) -> &[[f64; 2]] {
+        &self.pairs
+    }
+
+    /// Rows seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..50 {
+            r.insert(i as f64);
+        }
+        assert_eq!(r.sample().len(), 50);
+        assert_eq!(r.count(), 50);
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut r = Reservoir::new(64, 2);
+        for i in 0..10_000 {
+            r.insert(i as f64);
+        }
+        assert_eq!(r.sample().len(), 64);
+        assert_eq!(r.count(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // mean of a uniform stream's sample should be near the stream mean
+        let mut means = Vec::new();
+        for seed in 0..20 {
+            let mut r = Reservoir::new(200, seed);
+            for i in 0..20_000 {
+                r.insert(i as f64);
+            }
+            means.push(r.sample().iter().sum::<f64>() / 200.0);
+        }
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(
+            (grand - 10_000.0).abs() < 500.0,
+            "grand mean {grand} biased"
+        );
+    }
+
+    #[test]
+    fn nan_skipped() {
+        let mut r = Reservoir::new(10, 3);
+        r.insert(f64::NAN);
+        r.insert(1.0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.sample(), &[1.0]);
+    }
+
+    #[test]
+    fn pair_reservoir_alignment() {
+        let mut r = PairReservoir::new(50, 4);
+        for i in 0..5_000 {
+            r.insert(i as f64, 2.0 * i as f64 + 1.0);
+        }
+        assert_eq!(r.sample().len(), 50);
+        for &[x, y] in r.sample() {
+            assert_eq!(y, 2.0 * x + 1.0, "pair broken: ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn pair_reservoir_skips_incomplete_rows() {
+        let mut r = PairReservoir::new(10, 5);
+        r.insert(1.0, f64::NAN);
+        r.insert(f64::NAN, 1.0);
+        r.insert(2.0, 3.0);
+        assert_eq!(r.count(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let fill = |seed| {
+            let mut r = Reservoir::new(32, seed);
+            for i in 0..1_000 {
+                r.insert(i as f64);
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(fill(7), fill(7));
+        assert_ne!(fill(7), fill(8));
+    }
+}

@@ -1,0 +1,44 @@
+//! Core sketch abstractions.
+//!
+//! The paper (§3) relies on two properties of its sketches:
+//!
+//! 1. **single-pass construction** — every sketch here implements
+//!    [`Sketch::update`] and can be built in one scan of a column;
+//! 2. **composability** — sketches of disjoint data partitions can be
+//!    [`Mergeable::merge`]d into the sketch of the union, and sketches of
+//!    *different columns* built with shared randomness can be *combined*
+//!    (e.g. two hyperplane sketches yield a correlation estimate).
+
+/// A streaming summary over items of type `T`.
+pub trait Sketch<T: ?Sized> {
+    /// Absorbs one item.
+    fn update(&mut self, item: &T);
+
+    /// Number of items absorbed so far.
+    fn count(&self) -> u64;
+}
+
+/// Sketches of disjoint partitions that can be combined into the sketch of
+/// the union.
+pub trait Mergeable: Sized {
+    /// Merges `other` into `self`.
+    ///
+    /// # Errors
+    /// Returns `Err` when the sketches are incompatible (different widths,
+    /// seeds, or error parameters).
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+/// Why two sketches could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum MergeError {
+    /// Different configured sizes/widths.
+    #[error("sketch size mismatch: {0} vs {1}")]
+    SizeMismatch(usize, usize),
+    /// Different random seeds (shared randomness is required to combine).
+    #[error("sketch seed mismatch")]
+    SeedMismatch,
+    /// Different error parameters.
+    #[error("sketch parameter mismatch: {0}")]
+    ParameterMismatch(&'static str),
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the sketch guarantees.
+
+use foresight_sketch::freq::MisraGries;
+use foresight_sketch::hyperplane::{HyperplaneConfig, SharedHyperplanes};
+use foresight_sketch::quantile::{GkSketch, KllSketch};
+use foresight_sketch::{CountMin, Mergeable, Sketch};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gk_rank_error_bounded(values in proptest::collection::vec(-1e6f64..1e6, 50..800)) {
+        let eps = 0.05;
+        let mut sk = GkSketch::new(eps);
+        for &v in &values {
+            sk.insert(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.5, 0.9] {
+            let est = sk.quantile(q).unwrap();
+            let rank = sorted.iter().filter(|&&v| v <= est).count() as f64 / sorted.len() as f64;
+            prop_assert!((rank - q).abs() <= 2.0 * eps + 1.0 / sorted.len() as f64,
+                "q={} est-rank={}", q, rank);
+        }
+    }
+
+    #[test]
+    fn kll_merge_equals_union_ranks(a in proptest::collection::vec(-1e6f64..1e6, 20..400),
+                                     b in proptest::collection::vec(-1e6f64..1e6, 20..400)) {
+        let mut left = KllSketch::new(100);
+        for &v in &a {
+            left.insert(v);
+        }
+        let mut right = KllSketch::new(100);
+        for &v in &b {
+            right.insert(v);
+        }
+        left.merge(&right).expect("same k");
+        prop_assert_eq!(left.count(), (a.len() + b.len()) as u64);
+        let mut all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        all.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let med = left.quantile(0.5).unwrap();
+        let rank = all.iter().filter(|&&v| v <= med).count() as f64 / all.len() as f64;
+        prop_assert!((rank - 0.5).abs() < 0.12, "merged median rank {}", rank);
+    }
+
+    #[test]
+    fn kll_min_max_exact(values in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut sk = KllSketch::new(64);
+        for &v in &values {
+            sk.insert(v);
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(sk.quantile(0.0), Some(lo));
+        prop_assert_eq!(sk.quantile(1.0), Some(hi));
+    }
+
+    #[test]
+    fn misra_gries_undercount_bound(stream in proptest::collection::vec(0u8..40, 1..600)) {
+        let m = 10;
+        let mut mg = MisraGries::new(m);
+        let mut exact: HashMap<u8, u64> = HashMap::new();
+        for &item in &stream {
+            mg.insert(&item.to_string());
+            *exact.entry(item).or_insert(0) += 1;
+        }
+        let bound = stream.len() as u64 / (m as u64 + 1);
+        for (item, &count) in &exact {
+            let est = mg.estimate(&item.to_string());
+            prop_assert!(est <= count, "overcount of {}", item);
+            prop_assert!(count - est <= bound, "undercount {} > bound {}", count - est, bound);
+        }
+    }
+
+    #[test]
+    fn count_min_never_undercounts(stream in proptest::collection::vec(0u8..60, 1..500)) {
+        let mut cm = CountMin::new(64, 4, 7);
+        let mut exact: HashMap<u8, u64> = HashMap::new();
+        for &item in &stream {
+            cm.insert(&item.to_string());
+            *exact.entry(item).or_insert(0) += 1;
+        }
+        for (item, &count) in &exact {
+            prop_assert!(cm.estimate(&item.to_string()) >= count);
+        }
+    }
+
+    #[test]
+    fn hyperplane_self_and_negation(values in proptest::collection::vec(-1e3f64..1e3, 10..300)) {
+        // degenerate constant columns are excluded by construction
+        let spread = values.iter().copied().fold(f64::INFINITY, f64::min)
+            != values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(spread);
+        let hp = SharedHyperplanes::new(HyperplaneConfig { k: 128, seed: 5, ..Default::default() });
+        let neg: Vec<f64> = values.iter().map(|v| -v).collect();
+        let sk = hp.sketch_columns(&[&values, &neg]);
+        prop_assert_eq!(sk[0].correlation(&sk[0]).unwrap(), 1.0);
+        prop_assert!((sk[0].correlation(&sk[1]).unwrap() + 1.0).abs() < 1e-12);
+        // symmetry
+        prop_assert_eq!(
+            sk[0].correlation(&sk[1]).unwrap(),
+            sk[1].correlation(&sk[0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn hyperplane_estimate_bounded(a in proptest::collection::vec(-1e3f64..1e3, 10..200),
+                                    shift in -10.0f64..10.0) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + shift * (i as f64).sin()).collect();
+        let hp = SharedHyperplanes::new(HyperplaneConfig { k: 64, seed: 11, ..Default::default() });
+        let sk = hp.sketch_columns(&[&a, &b]);
+        let est = sk[0].correlation(&sk[1]).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&est));
+    }
+}

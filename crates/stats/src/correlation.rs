@@ -1,0 +1,216 @@
+//! Bivariate association measures: Pearson's ρ, Spearman's ρ, Kendall's τ-b.
+//!
+//! Pearson is the paper's primary linear-relationship metric (§2.2 item 6);
+//! Spearman is the alternative ranking metric the §4.1 scenario switches to;
+//! Kendall rounds out the monotonic-relationship insight class.
+
+use crate::rank::{fractional_ranks, tie_group_sizes};
+
+/// Pairwise-complete filter: returns the rows where both columns are present.
+fn complete_pairs(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = Vec::with_capacity(x.len());
+    let mut ys = Vec::with_capacity(y.len());
+    for (&a, &b) in x.iter().zip(y) {
+        if !a.is_nan() && !b.is_nan() {
+            xs.push(a);
+            ys.push(b);
+        }
+    }
+    (xs, ys)
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// `ρ(x,y) = Σ(xᵢ−μx)(yᵢ−μy) / (n·σx·σy)`. Missing values are excluded
+/// pairwise. Returns `NaN` for fewer than 2 complete pairs or zero variance.
+///
+/// # Examples
+/// ```
+/// use foresight_stats::correlation::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    let (xs, ys) = complete_pairs(x, y);
+    pearson_complete(&xs, &ys)
+}
+
+/// Pearson on data already known to be NaN-free.
+pub fn pearson_complete(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation: Pearson on fractional ranks. Captures any
+/// monotonic (not just linear) relationship; missing values excluded pairwise.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    let (xs, ys) = complete_pairs(x, y);
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let rx = fractional_ranks(&xs);
+    let ry = fractional_ranks(&ys);
+    pearson_complete(&rx, &ry)
+}
+
+/// Kendall's τ-b with tie correction.
+///
+/// O(n²) pair counting — fine for the column lengths Foresight visualizes;
+/// for ranking at scale the Spearman metric (O(n log n)) is preferred.
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    let (xs, ys) = complete_pairs(x, y);
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            let s = dx * dy;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let t1: f64 = tie_group_sizes(&xs)
+        .iter()
+        .map(|&t| (t * (t - 1) / 2) as f64)
+        .sum();
+    let t2: f64 = tie_group_sizes(&ys)
+        .iter()
+        .map(|&t| (t * (t - 1) / 2) as f64)
+        .sum();
+    let denom = ((n0 - t1) * (n0 - t2)).sqrt();
+    if denom == 0.0 {
+        return f64::NAN;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// All pairwise Pearson correlations among `columns`, returned as a dense
+/// symmetric matrix with unit diagonal — the data behind the paper's
+/// Figure 2 overview heatmap. O(d²·n).
+pub fn pearson_matrix(columns: &[&[f64]]) -> Vec<Vec<f64>> {
+    let d = columns.len();
+    let mut m = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        m[i][i] = 1.0;
+        for j in (i + 1)..d {
+            let rho = pearson(columns[i], columns[j]);
+            m[i][j] = rho;
+            m[j][i] = rho;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_separates_metrics() {
+        let x: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(5)).collect();
+        // Spearman sees a perfect monotone relationship
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson is dragged below 1 by the curvature
+        assert!(pearson(&x, &y) < 0.9);
+    }
+
+    #[test]
+    fn independence_is_near_zero() {
+        // x alternates fast; y is slowly increasing — essentially uncorrelated
+        let x: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let y: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        assert!(pearson(&x, &y).abs() < 0.05);
+    }
+
+    #[test]
+    fn missing_values_pairwise_deleted() {
+        let x = [1.0, 2.0, f64::NAN, 4.0, 5.0];
+        let y = [2.0, 4.0, 100.0, 8.0, f64::NAN];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan()); // zero variance
+        assert!(spearman(&[], &[]).is_nan());
+        assert!(kendall_tau_b(&[3.0, 3.0], &[1.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn kendall_with_ties_matches_known_value() {
+        // hand-checkable example
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        // pairs: (1,2):c (1,2):c (1,3):c (2,2): tie x (2,3):c (2,3):c → C=5,D=0
+        // t1 = 1 pair tied in x, t2 = 0
+        let n0 = 6.0f64;
+        let expected = 5.0 / ((n0 - 1.0) * n0).sqrt();
+        assert!((kendall_tau_b(&x, &y) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_symmetric_unit_diagonal() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * v).collect();
+        let c: Vec<f64> = a.iter().map(|v| -v).collect();
+        let m = pearson_matrix(&[&a, &b, &c]);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!((m[0][2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform() {
+        let x = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.6];
+        let y = [2.0f64, 7.0, 1.0, 8.0, 2.0, 8.0, 3.0];
+        let y_t: Vec<f64> = y.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - spearman(&x, &y_t)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! One-stop column summary combining moments, quantiles, and shape metrics.
+
+use crate::moments::Moments;
+use crate::quantile;
+use serde::{Deserialize, Serialize};
+
+/// A descriptive summary of one numeric column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Description {
+    /// Present (non-missing) count.
+    pub count: u64,
+    /// Missing count.
+    pub missing: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Standardized skewness γ₁.
+    pub skewness: f64,
+    /// Kurtosis (normal = 3).
+    pub kurtosis: f64,
+}
+
+/// Summarizes a numeric slice (NaN = missing).
+pub fn describe(values: &[f64]) -> Option<Description> {
+    let m = Moments::from_slice(values);
+    if m.count() == 0 {
+        return None;
+    }
+    let qs = quantile::quantiles(values, &[0.25, 0.5, 0.75])?;
+    Some(Description {
+        count: m.count(),
+        missing: values.len() as u64 - m.count(),
+        mean: m.mean(),
+        std: m.population_std(),
+        min: m.min(),
+        q1: qs[0],
+        median: qs[1],
+        q3: qs[2],
+        max: m.max(),
+        skewness: m.skewness(),
+        kurtosis: m.kurtosis(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_fields_consistent() {
+        let v = [1.0, 2.0, f64::NAN, 3.0, 4.0, 5.0];
+        let d = describe(&v).unwrap();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.missing, 1);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 5.0);
+        assert!(d.q1 < d.median && d.median < d.q3);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(describe(&[]).is_none());
+        assert!(describe(&[f64::NAN]).is_none());
+    }
+}

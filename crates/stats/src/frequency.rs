@@ -1,0 +1,161 @@
+//! Frequency statistics for categorical columns: counts, heavy hitters,
+//! `RelFreq(k)` (the paper's heterogeneous-frequencies metric), and entropy.
+
+use foresight_data::CategoricalColumn;
+
+/// A frequency table over a categorical column, sorted most-frequent first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyTable {
+    /// `(label, count)` pairs, descending by count (ties broken by label).
+    pub entries: Vec<(String, u64)>,
+    /// Total present (non-missing) count.
+    pub total: u64,
+}
+
+impl FrequencyTable {
+    /// Builds the table from a categorical column.
+    pub fn from_column(col: &CategoricalColumn) -> Self {
+        let mut counts = vec![0u64; col.cardinality()];
+        let mut total = 0u64;
+        for code in col.present_codes() {
+            counts[code as usize] += 1;
+            total += 1;
+        }
+        let mut entries: Vec<(String, u64)> = col
+            .labels()
+            .iter()
+            .cloned()
+            .zip(counts)
+            .filter(|(_, c)| *c > 0)
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Self { entries, total }
+    }
+
+    /// Builds a table from discrete numeric values (the paper allows the
+    /// heterogeneous-frequency insight on "discrete numerical" columns too).
+    pub fn from_numeric(values: &[f64]) -> Self {
+        let mut map: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut total = 0u64;
+        for &v in values {
+            if !v.is_nan() {
+                *map.entry(format!("{v}")).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let mut entries: Vec<(String, u64)> = map.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Self { entries, total }
+    }
+
+    /// Number of distinct observed values.
+    pub fn cardinality(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The paper's `RelFreq(k, c)`: total relative frequency of the `k` most
+    /// frequent values. High values ⇒ a few heavy hitters dominate.
+    pub fn rel_freq(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.entries.iter().take(k).map(|(_, c)| c).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Shannon entropy (nats) of the empirical distribution.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.entries
+            .iter()
+            .map(|(_, c)| {
+                let p = *c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Entropy normalized by `ln(cardinality)` ∈ [0, 1]; 1 = uniform.
+    /// `1 − normalized_entropy` is the concentration insight metric.
+    pub fn normalized_entropy(&self) -> f64 {
+        let card = self.cardinality();
+        if card <= 1 {
+            return if card == 1 { 0.0 } else { f64::NAN };
+        }
+        self.entropy() / (card as f64).ln()
+    }
+
+    /// The `k` most frequent `(label, count)` pairs.
+    pub fn top_k(&self, k: usize) -> &[(String, u64)] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(values: &[&str]) -> CategoricalColumn {
+        CategoricalColumn::from_strings(values.iter().copied())
+    }
+
+    #[test]
+    fn counts_sorted_descending() {
+        let t = FrequencyTable::from_column(&col(&["a", "b", "a", "c", "a", "b"]));
+        assert_eq!(t.total, 6);
+        assert_eq!(t.entries[0], ("a".into(), 3));
+        assert_eq!(t.entries[1], ("b".into(), 2));
+        assert_eq!(t.entries[2], ("c".into(), 1));
+    }
+
+    #[test]
+    fn rel_freq_matches_paper_definition() {
+        let t = FrequencyTable::from_column(&col(&["a", "b", "a", "c", "a", "b"]));
+        assert!((t.rel_freq(1) - 0.5).abs() < 1e-12);
+        assert!((t.rel_freq(2) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(t.rel_freq(99), 1.0);
+        assert_eq!(t.rel_freq(0), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_vs_concentrated() {
+        let uniform = FrequencyTable::from_column(&col(&["a", "b", "c", "d"]));
+        assert!((uniform.entropy() - (4.0f64).ln()).abs() < 1e-12);
+        assert!((uniform.normalized_entropy() - 1.0).abs() < 1e-12);
+        let conc = FrequencyTable::from_column(&col(&["a", "a", "a", "a", "a", "b"]));
+        assert!(conc.normalized_entropy() < 0.7);
+    }
+
+    #[test]
+    fn missing_excluded() {
+        let t = FrequencyTable::from_column(&col(&["a", "", "a", ""]));
+        assert_eq!(t.total, 2);
+        assert_eq!(t.cardinality(), 1);
+        assert_eq!(t.normalized_entropy(), 0.0);
+    }
+
+    #[test]
+    fn numeric_discretization() {
+        let t = FrequencyTable::from_numeric(&[1.0, 2.0, 1.0, f64::NAN, 1.0]);
+        assert_eq!(t.total, 4);
+        assert_eq!(t.entries[0], ("1".into(), 3));
+    }
+
+    #[test]
+    fn empty_table_degenerate() {
+        let t = FrequencyTable::from_column(&CategoricalColumn::default());
+        assert_eq!(t.total, 0);
+        assert_eq!(t.rel_freq(3), 0.0);
+        assert_eq!(t.entropy(), 0.0);
+        assert!(t.normalized_entropy().is_nan());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let t = FrequencyTable::from_column(&col(&["b", "a"]));
+        assert_eq!(t.entries[0].0, "a");
+    }
+}

@@ -1,0 +1,186 @@
+//! Equal-width histograms with standard bin-count rules.
+//!
+//! The histogram is the paper's visualization for the dispersion, skew, and
+//! heavy-tails insights; it is also the binning substrate for the mutual
+//! information estimator in [`crate::dependence`].
+
+use serde::{Deserialize, Serialize};
+
+/// How many bins to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BinRule {
+    /// A fixed number of bins.
+    Fixed(usize),
+    /// Sturges' rule: `⌈log₂ n⌉ + 1`.
+    Sturges,
+    /// Freedman–Diaconis: width `2·IQR/n^{1/3}` (robust to outliers).
+    FreedmanDiaconis,
+    /// Square-root rule: `⌈√n⌉`.
+    SquareRoot,
+}
+
+/// An equal-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` (NaNs skipped) using `rule`.
+    ///
+    /// Returns `None` when there are no present values.
+    pub fn build(values: &[f64], rule: BinRule) -> Option<Self> {
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if present.is_empty() {
+            return None;
+        }
+        let n = present.len();
+        let min = present.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let bins = match rule {
+            BinRule::Fixed(b) => b.max(1),
+            BinRule::Sturges => (n as f64).log2().ceil() as usize + 1,
+            BinRule::SquareRoot => (n as f64).sqrt().ceil() as usize,
+            BinRule::FreedmanDiaconis => {
+                let iqr = crate::quantile::iqr(&present).unwrap_or(0.0);
+                if iqr <= 0.0 || max == min {
+                    (n as f64).log2().ceil() as usize + 1
+                } else {
+                    let width = 2.0 * iqr / (n as f64).cbrt();
+                    (((max - min) / width).ceil() as usize).clamp(1, 512)
+                }
+            }
+        };
+        let mut h = Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+        };
+        for &v in &present {
+            let b = h.bin_of(v);
+            h.counts[b] += 1;
+            h.total += 1;
+        }
+        Some(h)
+    }
+
+    /// Index of the bin containing `v` (clamped to the range).
+    pub fn bin_of(&self, v: f64) -> usize {
+        if self.max == self.min {
+            return 0;
+        }
+        let frac = (v - self.min) / (self.max - self.min);
+        ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Range minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Range maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `[lo, hi)` edges of bin `b` (last bin is closed).
+    pub fn bin_edges(&self, b: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (
+            self.min + b as f64 * width,
+            self.min + (b + 1) as f64 * width,
+        )
+    }
+
+    /// Per-bin densities (count / total / width); integrates to 1.
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        if width == 0.0 || self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64 / width)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bins_uniform_data() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&v, BinRule::Fixed(10)).unwrap();
+        assert_eq!(h.n_bins(), 10);
+        assert_eq!(h.total(), 100);
+        for &c in h.counts() {
+            assert_eq!(c, 10);
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::build(&[0.0, 10.0], BinRule::Fixed(5)).unwrap();
+        assert_eq!(h.bin_of(10.0), 4);
+        assert_eq!(h.bin_of(0.0), 0);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn sturges_count() {
+        let v: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+        let h = Histogram::build(&v, BinRule::Sturges).unwrap();
+        assert_eq!(h.n_bins(), 11);
+    }
+
+    #[test]
+    fn constant_column_single_bin_ok() {
+        let h = Histogram::build(&[3.0, 3.0, 3.0], BinRule::FreedmanDiaconis).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bin_of(3.0), 0);
+    }
+
+    #[test]
+    fn empty_or_all_nan() {
+        assert!(Histogram::build(&[], BinRule::Sturges).is_none());
+        assert!(Histogram::build(&[f64::NAN], BinRule::Sturges).is_none());
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let v: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let h = Histogram::build(&v, BinRule::Fixed(20)).unwrap();
+        let width = (h.max() - h.min()) / 20.0;
+        let integral: f64 = h.densities().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let v: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let h = Histogram::build(&v, BinRule::Fixed(7)).unwrap();
+        assert_eq!(h.bin_edges(0).0, 0.0);
+        assert!((h.bin_edges(6).1 - 49.0).abs() < 1e-12);
+    }
+}

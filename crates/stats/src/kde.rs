@@ -1,0 +1,147 @@
+//! Gaussian kernel density estimation with Silverman's bandwidth rule.
+//! Used by the density visualization and by KDE-based mode counting.
+
+use crate::moments::Moments;
+use crate::quantile;
+
+/// A Gaussian KDE over a numeric sample.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth
+    /// `0.9·min(σ, IQR/1.34)·n^{−1/5}`. NaNs are skipped.
+    ///
+    /// Returns `None` for empty input or zero spread.
+    pub fn fit(values: &[f64]) -> Option<Self> {
+        let data: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if data.is_empty() {
+            return None;
+        }
+        let m = Moments::from_slice(&data);
+        let sd = m.population_std();
+        let iqr = quantile::iqr(&data).unwrap_or(0.0);
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        if spread <= 0.0 {
+            return None;
+        }
+        let bandwidth = 0.9 * spread * (data.len() as f64).powf(-0.2);
+        Some(Self { data, bandwidth })
+    }
+
+    /// Fits with an explicit bandwidth (> 0).
+    pub fn with_bandwidth(values: &[f64], bandwidth: f64) -> Option<Self> {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        let data: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if data.is_empty() {
+            return None;
+        }
+        Some(Self { data, bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.data.len() as f64);
+        self.data
+            .iter()
+            .map(|&xi| (-0.5 * ((x - xi) / h).powi(2)).exp())
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Density evaluated on a uniform grid of `points` spanning the data
+    /// range padded by 3 bandwidths. Returns `(xs, densities)`.
+    pub fn grid(&self, points: usize) -> (Vec<f64>, Vec<f64>) {
+        let min = self.data.iter().copied().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let max =
+            self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let step = (max - min) / (points.max(2) - 1) as f64;
+        let xs: Vec<f64> = (0..points).map(|i| min + i as f64 * step).collect();
+        let ds = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ds)
+    }
+
+    /// Counts local maxima of the KDE on a grid, ignoring peaks whose height
+    /// is below `min_height_frac` of the tallest peak. A robust mode counter.
+    pub fn count_modes(&self, grid_points: usize, min_height_frac: f64) -> usize {
+        let (_, ds) = self.grid(grid_points);
+        let peak = ds.iter().copied().fold(0.0f64, f64::max);
+        if peak <= 0.0 {
+            return 0;
+        }
+        let mut modes = 0;
+        for i in 1..ds.len().saturating_sub(1) {
+            if ds[i] > ds[i - 1] && ds[i] >= ds[i + 1] && ds[i] >= min_height_frac * peak {
+                modes += 1;
+            }
+        }
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::dist::normal_quantile;
+
+    fn normal_sample(n: usize) -> Vec<f64> {
+        (1..n)
+            .map(|i| normal_quantile(i as f64 / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let kde = Kde::fit(&normal_sample(500)).unwrap();
+        let (xs, ds) = kde.grid(400);
+        let step = xs[1] - xs[0];
+        let integral: f64 = ds.iter().map(|d| d * step).sum();
+        assert!((integral - 1.0).abs() < 0.01, "integral {integral}");
+    }
+
+    #[test]
+    fn normal_has_one_mode() {
+        let kde = Kde::fit(&normal_sample(1000)).unwrap();
+        assert_eq!(kde.count_modes(256, 0.1), 1);
+    }
+
+    #[test]
+    fn separated_mixture_has_two_modes() {
+        let mut data = normal_sample(400);
+        data.extend(normal_sample(400).iter().map(|v| v + 8.0));
+        let kde = Kde::fit(&data).unwrap();
+        assert_eq!(kde.count_modes(512, 0.1), 2);
+    }
+
+    #[test]
+    fn density_peaks_at_data_mass() {
+        let kde = Kde::fit(&normal_sample(500)).unwrap();
+        assert!(kde.density(0.0) > kde.density(2.5));
+        assert!(kde.density(0.0) > kde.density(-2.5));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Kde::fit(&[]).is_none());
+        assert!(Kde::fit(&[f64::NAN]).is_none());
+        assert!(Kde::fit(&[1.0, 1.0, 1.0]).is_none());
+        assert!(Kde::with_bandwidth(&[1.0, 1.0], 0.5).is_some());
+    }
+
+    #[test]
+    fn explicit_bandwidth_respected() {
+        let kde = Kde::with_bandwidth(&[0.0, 10.0], 1.0).unwrap();
+        assert_eq!(kde.bandwidth(), 1.0);
+        // with narrow bandwidth the two points are separate modes
+        assert_eq!(kde.count_modes(512, 0.1), 2);
+    }
+}

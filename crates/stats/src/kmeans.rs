@@ -1,0 +1,265 @@
+//! k-means clustering and silhouette scoring — the substrate for the
+//! paper's segmentation insight ("a strong clustering of (x,y)-values
+//! according to z-values").
+
+/// Result of a k-means run on 2-D points.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centers.
+    pub centers: Vec<[f64; 2]>,
+    /// Per-point cluster assignment.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// A tiny deterministic xorshift RNG so clustering is reproducible without
+/// threading a generic RNG through the engine.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_range(&mut self, n: usize) -> usize {
+        (self.next_f64() * n as f64) as usize % n
+    }
+}
+
+fn dist2(a: [f64; 2], b: [f64; 2]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+/// Runs k-means++ seeded k-means on 2-D points. Deterministic for a fixed
+/// `seed`. Panics if `k == 0`; returns a degenerate single-cluster result
+/// when there are fewer points than `k`.
+pub fn kmeans(points: &[[f64; 2]], k: usize, seed: u64, max_iter: usize) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return KMeansResult {
+            centers: Vec::new(),
+            assignment: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = XorShift(seed | 1);
+
+    // k-means++ seeding.
+    let mut centers: Vec<[f64; 2]> = Vec::with_capacity(k);
+    centers.push(points[rng.next_range(n)]);
+    let mut d2: Vec<f64> = points.iter().map(|&p| dist2(p, centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            points[rng.next_range(n)]
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            points[chosen]
+        };
+        centers.push(next);
+        for (i, &p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, next));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..max_iter {
+        iterations = iter + 1;
+        let mut changed = false;
+        for (i, &p) in points.iter().enumerate() {
+            let best = (0..centers.len())
+                .min_by(|&a, &b| {
+                    dist2(p, centers[a])
+                        .partial_cmp(&dist2(p, centers[b]))
+                        .expect("finite distances")
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![[0.0f64; 2]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (i, &p) in points.iter().enumerate() {
+            sums[assignment[i]][0] += p[0];
+            sums[assignment[i]][1] += p[1];
+            counts[assignment[i]] += 1;
+        }
+        for c in 0..centers.len() {
+            if counts[c] > 0 {
+                centers[c] = [sums[c][0] / counts[c] as f64, sums[c][1] / counts[c] as f64];
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(&p, &a)| dist2(p, centers[a]))
+        .sum();
+    KMeansResult {
+        centers,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+/// Mean silhouette coefficient of a labeled 2-D point set, in [−1, 1].
+/// Near 1 ⇒ tight, well-separated clusters (a strong segmentation insight);
+/// near 0 ⇒ overlapping; negative ⇒ misassigned.
+///
+/// O(n²); callers should sample large point sets first.
+pub fn silhouette(points: &[[f64; 2]], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "labels must match points");
+    let n = points.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let k = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    if k < 2 {
+        return f64::NAN;
+    }
+    let counts = {
+        let mut c = vec![0usize; k];
+        for &l in labels {
+            c[l] += 1;
+        }
+        c
+    };
+    let mut total = 0.0;
+    let mut scored = 0usize;
+    for i in 0..n {
+        if counts[labels[i]] < 2 {
+            continue; // silhouette undefined for singleton clusters
+        }
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist2(points[i], points[j]).sqrt();
+            }
+        }
+        let a = sums[labels[i]] / (counts[labels[i]] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != labels[i] && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+            scored += 1;
+        }
+    }
+    if scored == 0 {
+        f64::NAN
+    } else {
+        total / scored as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<[f64; 2]>, Vec<usize>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            pts.push([t.sin() * 0.3, t.cos() * 0.3]);
+            labels.push(0);
+            pts.push([10.0 + t.sin() * 0.3, 10.0 + t.cos() * 0.3]);
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let (pts, truth) = two_blobs();
+        let r = kmeans(&pts, 2, 42, 100);
+        // all points in the same blob share an assignment
+        let a0 = r.assignment[0];
+        for (i, &l) in truth.iter().enumerate() {
+            if l == 0 {
+                assert_eq!(r.assignment[i], a0);
+            } else {
+                assert_ne!(r.assignment[i], a0);
+            }
+        }
+        assert!(r.inertia < 20.0);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (pts, labels) = two_blobs();
+        let s = silhouette(&pts, &labels);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_random_labels() {
+        let (pts, _) = two_blobs();
+        // points alternate blobs at even/odd indices, so (i/2) % 2 puts half
+        // of each blob in each label — a genuinely bad clustering
+        let labels: Vec<usize> = (0..pts.len()).map(|i| (i / 2) % 2).collect();
+        let s = silhouette(&pts, &labels);
+        assert!(s < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (pts, _) = two_blobs();
+        let a = kmeans(&pts, 3, 7, 50);
+        let b = kmeans(&pts, 3, 7, 50);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kmeans(&[], 2, 1, 10).assignment.is_empty());
+        let one = kmeans(&[[1.0, 2.0]], 3, 1, 10);
+        assert_eq!(one.centers.len(), 1);
+        assert!(silhouette(&[[0.0, 0.0]], &[0]).is_nan());
+        assert!(silhouette(&[[0.0, 0.0], [1.0, 1.0]], &[0, 0]).is_nan());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (pts, _) = two_blobs();
+        let r1 = kmeans(&pts, 1, 3, 50);
+        let r2 = kmeans(&pts, 2, 3, 50);
+        assert!(r2.inertia < r1.inertia);
+    }
+}

@@ -1,0 +1,321 @@
+//! Multimodality measures — the paper's multimodality insight class.
+//!
+//! The primary ranking metric is **Hartigan's dip statistic** (Hartigan &
+//! Hartigan, 1985): the maximum distance between the empirical CDF and the
+//! closest unimodal CDF. The implementation is a faithful translation of the
+//! published algorithm (AS 217, as refined in Maechler's `diptest`). The dip
+//! lies in `[1/(2n), 0.25]`; larger values mean stronger multimodality.
+//!
+//! A KDE mode count ([`crate::kde::Kde::count_modes`]) and the bimodality
+//! coefficient are provided as secondary metrics.
+
+use crate::moments::Moments;
+
+/// Computes Hartigan's dip statistic of a sample (NaNs skipped).
+///
+/// Returns `None` for an empty sample; returns `Some(0.0)` for constant or
+/// single-point samples (perfectly unimodal).
+///
+/// # Examples
+/// ```
+/// use foresight_stats::multimodal::dip_statistic;
+/// // two point masses: the most bimodal sample possible → dip = 0.25
+/// let d = dip_statistic(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+/// assert!((d - 0.25).abs() < 1e-12);
+/// ```
+pub fn dip_statistic(values: &[f64]) -> Option<f64> {
+    let mut x: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if x.is_empty() {
+        return None;
+    }
+    x.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered"));
+    Some(dip_sorted(&x))
+}
+
+/// Dip of an already-sorted, NaN-free sample.
+///
+/// Index arithmetic below is 1-based (`x[1..=n]`) to mirror the reference
+/// implementation line by line; `xv[0]` is a sentinel.
+pub fn dip_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n < 2 || sorted[n - 1] == sorted[0] {
+        return 0.0;
+    }
+    // 1-based copy.
+    let mut x = Vec::with_capacity(n + 1);
+    x.push(f64::NAN);
+    x.extend_from_slice(sorted);
+
+    let mut low: usize = 1;
+    let mut high: usize = n;
+    // Work in "count" units; the final result is divided by 2n, so the
+    // initial 1.0 is the 1/(2n) floor.
+    let mut dip: f64 = 1.0;
+
+    let mut mn = vec![0usize; n + 1];
+    let mut mj = vec![0usize; n + 1];
+    let mut gcm = vec![0usize; n + 2];
+    let mut lcm = vec![0usize; n + 2];
+
+    // Indices over which combination is necessary for the convex minorant.
+    mn[1] = 1;
+    for j in 2..=n {
+        mn[j] = j - 1;
+        loop {
+            let mnj = mn[j];
+            if mnj == 1 {
+                break;
+            }
+            let mnmnj = mn[mnj];
+            if (x[j] - x[mnj]) * (mnj as f64 - mnmnj as f64)
+                < (x[mnj] - x[mnmnj]) * (j as f64 - mnj as f64)
+            {
+                break;
+            }
+            mn[j] = mnmnj;
+        }
+    }
+    // Indices for the concave majorant.
+    mj[n] = n;
+    for k in (1..n).rev() {
+        mj[k] = k + 1;
+        loop {
+            let mjk = mj[k];
+            if mjk == n {
+                break;
+            }
+            let mjmjk = mj[mjk];
+            if (x[k] - x[mjk]) * (mjk as f64 - mjmjk as f64)
+                < (x[mjk] - x[mjmjk]) * (k as f64 - mjk as f64)
+            {
+                break;
+            }
+            mj[k] = mjmjk;
+        }
+    }
+
+    // The cycling: repeatedly narrow [low, high] to the modal interval.
+    loop {
+        // GCM change points from high down to low.
+        gcm[1] = high;
+        let mut i = 1;
+        while gcm[i] > low {
+            gcm[i + 1] = mn[gcm[i]];
+            i += 1;
+        }
+        let l_gcm = i;
+        let mut ig = l_gcm;
+        let mut ix = ig as i64 - 1;
+
+        // LCM change points from low up to high.
+        lcm[1] = low;
+        let mut i = 1;
+        while lcm[i] < high {
+            lcm[i + 1] = mj[lcm[i]];
+            i += 1;
+        }
+        let l_lcm = i;
+        let mut ih = l_lcm;
+        let mut iv: usize = 2;
+
+        // Largest distance between GCM and LCM on [low, high].
+        let mut d = 0.0f64;
+        if l_gcm != 2 || l_lcm != 2 {
+            loop {
+                let gcmix = gcm[ix as usize];
+                let lcmiv = lcm[iv];
+                if gcmix > lcmiv {
+                    // Next envelope point comes from the LCM.
+                    let gcmi1 = gcm[(ix + 1) as usize];
+                    let dx = (lcmiv as f64 - gcmi1 as f64 + 1.0)
+                        - (x[lcmiv] - x[gcmi1]) * (gcmix as f64 - gcmi1 as f64)
+                            / (x[gcmix] - x[gcmi1]);
+                    iv += 1;
+                    if dx >= d {
+                        d = dx;
+                        ig = (ix + 1) as usize;
+                        ih = iv - 1;
+                    }
+                } else {
+                    // Next envelope point comes from the GCM.
+                    let lcmiv1 = lcm[iv - 1];
+                    let dx = (x[gcmix] - x[lcmiv1]) * (lcmiv as f64 - lcmiv1 as f64)
+                        / (x[lcmiv] - x[lcmiv1])
+                        - (gcmix as f64 - lcmiv1 as f64 - 1.0);
+                    ix -= 1;
+                    if dx >= d {
+                        d = dx;
+                        ig = (ix + 1) as usize;
+                        ih = iv;
+                    }
+                }
+                if ix < 1 {
+                    ix = 1;
+                }
+                if iv > l_lcm {
+                    iv = l_lcm;
+                }
+                if gcm[ix as usize] == lcm[iv] {
+                    break;
+                }
+            }
+        } else {
+            d = 1.0;
+        }
+        if d < dip {
+            break;
+        }
+
+        // Dip within the current convex minorant.
+        let mut dip_l = 0.0f64;
+        for j in ig..l_gcm {
+            let mut max_t = 1.0f64;
+            let (jb, je) = (gcm[j + 1], gcm[j]);
+            if je > jb + 1 && x[je] != x[jb] {
+                let c = (je - jb) as f64 / (x[je] - x[jb]);
+                for jj in jb..=je {
+                    let t = (jj - jb + 1) as f64 - (x[jj] - x[jb]) * c;
+                    if t > max_t {
+                        max_t = t;
+                    }
+                }
+            }
+            if max_t > dip_l {
+                dip_l = max_t;
+            }
+        }
+        // Dip within the current concave majorant.
+        let mut dip_u = 0.0f64;
+        for j in ih..l_lcm {
+            let mut max_t = 1.0f64;
+            let (jb, je) = (lcm[j], lcm[j + 1]);
+            if je > jb + 1 && x[je] != x[jb] {
+                let c = (je - jb) as f64 / (x[je] - x[jb]);
+                for jj in jb..=je {
+                    let t = (x[jj] - x[jb]) * c - (jj as f64 - jb as f64 - 1.0);
+                    if t > max_t {
+                        max_t = t;
+                    }
+                }
+            }
+            if max_t > dip_u {
+                dip_u = max_t;
+            }
+        }
+
+        let dipnew = dip_l.max(dip_u);
+        if dipnew > dip {
+            dip = dipnew;
+        }
+
+        if low == gcm[ig] && high == lcm[ih] {
+            break; // no further improvement possible
+        }
+        low = gcm[ig];
+        high = lcm[ih];
+    }
+    dip / (2.0 * n as f64)
+}
+
+/// The bimodality coefficient `BC = (γ₁² + 1)/κ` (population form), in
+/// (0, 1]; values above ~5/9 suggest bimodality. A cheap secondary metric
+/// computable from the composable moments sketch.
+pub fn bimodality_coefficient(values: &[f64]) -> f64 {
+    let m = Moments::from_slice(values);
+    let kurt = m.kurtosis();
+    if !kurt.is_finite() || kurt == 0.0 {
+        return f64::NAN;
+    }
+    let skew = m.skewness();
+    (skew * skew + 1.0) / kurt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets::dist::normal_quantile;
+
+    fn normal_sample(n: usize) -> Vec<f64> {
+        (1..n)
+            .map(|i| normal_quantile(i as f64 / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_spacing_has_minimal_dip() {
+        // perfectly uniform data is exactly unimodal: dip = 1/(2n)
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = dip_statistic(&x).unwrap();
+        assert!((d - 1.0 / 200.0).abs() < 1e-12, "dip = {d}");
+    }
+
+    #[test]
+    fn two_point_masses_reach_max_dip() {
+        let d = dip_statistic(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((d - 0.25).abs() < 1e-12, "dip = {d}");
+    }
+
+    #[test]
+    fn bimodal_beats_unimodal() {
+        let uni = normal_sample(800);
+        let mut bi = normal_sample(400);
+        bi.extend(normal_sample(400).iter().map(|v| v + 6.0));
+        let d_uni = dip_statistic(&uni).unwrap();
+        let d_bi = dip_statistic(&bi).unwrap();
+        assert!(
+            d_bi > 3.0 * d_uni,
+            "bimodal dip {d_bi} not ≫ unimodal dip {d_uni}"
+        );
+    }
+
+    #[test]
+    fn dip_bounds_hold() {
+        for data in [
+            normal_sample(50),
+            (0..30).map(|i| (i * i) as f64).collect::<Vec<_>>(),
+            vec![1.0, 1.0, 2.0, 2.0, 3.0],
+        ] {
+            let n = data.len() as f64;
+            let d = dip_statistic(&data).unwrap();
+            assert!(d >= 1.0 / (2.0 * n) - 1e-12, "dip {d} below floor");
+            assert!(d <= 0.25 + 1e-12, "dip {d} above ceiling");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(dip_statistic(&[]).is_none());
+        assert_eq!(dip_statistic(&[5.0]), Some(0.0));
+        assert_eq!(dip_statistic(&[3.0, 3.0, 3.0]), Some(0.0));
+        assert_eq!(dip_statistic(&[f64::NAN, 2.0]), Some(0.0));
+    }
+
+    #[test]
+    fn insensitive_to_order() {
+        let a = vec![5.0, 1.0, 3.0, 2.0, 4.0, 1.5, 3.5];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(dip_statistic(&a), dip_statistic(&b));
+    }
+
+    #[test]
+    fn trimodal_still_detected() {
+        let mut tri = normal_sample(300);
+        tri.extend(normal_sample(300).iter().map(|v| v + 7.0));
+        tri.extend(normal_sample(300).iter().map(|v| v + 14.0));
+        let d = dip_statistic(&tri).unwrap();
+        let d_uni = dip_statistic(&normal_sample(900)).unwrap();
+        assert!(d > 3.0 * d_uni, "trimodal dip {d} vs unimodal {d_uni}");
+    }
+
+    #[test]
+    fn bimodality_coefficient_separates() {
+        let uni = normal_sample(2000);
+        let mut bi = normal_sample(1000);
+        bi.extend(normal_sample(1000).iter().map(|v| v + 6.0));
+        let bc_uni = bimodality_coefficient(&uni);
+        let bc_bi = bimodality_coefficient(&bi);
+        assert!(bc_uni < 5.0 / 9.0, "uni BC = {bc_uni}");
+        assert!(bc_bi > 5.0 / 9.0, "bi BC = {bc_bi}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Outlier detection — the paper's insight #4.
+//!
+//! The paper specifies "a user-configurable outlier-detection algorithm"
+//! whose flagged points are scored by "the average standardized distance of
+//! the outliers from the mean" (in standard deviations). [`OutlierDetector`]
+//! is that plug-in point; three standard detectors from Aggarwal's *Outlier
+//! Analysis* are provided.
+
+use crate::moments::Moments;
+use crate::quantile;
+
+/// A pluggable outlier detector over a numeric column.
+pub trait OutlierDetector: Send + Sync {
+    /// Human-readable name used in UI and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Returns the indices of detected outliers. `values` may contain NaN
+    /// (missing) entries, which are never outliers.
+    fn detect(&self, values: &[f64]) -> Vec<usize>;
+}
+
+/// Flags points more than `threshold` standard deviations from the mean.
+#[derive(Debug, Clone, Copy)]
+pub struct ZScoreDetector {
+    /// Distance threshold in standard deviations (commonly 3).
+    pub threshold: f64,
+}
+
+impl Default for ZScoreDetector {
+    fn default() -> Self {
+        Self { threshold: 3.0 }
+    }
+}
+
+impl OutlierDetector for ZScoreDetector {
+    fn name(&self) -> &'static str {
+        "z-score"
+    }
+
+    fn detect(&self, values: &[f64]) -> Vec<usize> {
+        let m = Moments::from_slice(values);
+        let (mu, sd) = (m.mean(), m.population_std());
+        if !sd.is_finite() || sd == 0.0 {
+            return Vec::new();
+        }
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| !v.is_nan() && ((v - mu) / sd).abs() > self.threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Tukey's fences: flags points outside `[Q1 − k·IQR, Q3 + k·IQR]`
+/// (`k = 1.5` is the classic box-and-whisker convention, matching the
+/// paper's box-plot visualization for this insight).
+#[derive(Debug, Clone, Copy)]
+pub struct IqrDetector {
+    /// Fence multiplier (1.5 = outliers, 3.0 = far outliers).
+    pub k: f64,
+}
+
+impl Default for IqrDetector {
+    fn default() -> Self {
+        Self { k: 1.5 }
+    }
+}
+
+impl OutlierDetector for IqrDetector {
+    fn name(&self) -> &'static str {
+        "iqr"
+    }
+
+    fn detect(&self, values: &[f64]) -> Vec<usize> {
+        let Some(qs) = quantile::quantiles(values, &[0.25, 0.75]) else {
+            return Vec::new();
+        };
+        let (q1, q3) = (qs[0], qs[1]);
+        let iqr = q3 - q1;
+        let lo = q1 - self.k * iqr;
+        let hi = q3 + self.k * iqr;
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| !v.is_nan() && (v < lo || v > hi))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Median-absolute-deviation detector: robust z-score
+/// `0.6745·|x − median| / MAD > threshold`.
+#[derive(Debug, Clone, Copy)]
+pub struct MadDetector {
+    /// Robust z threshold (commonly 3.5, per Iglewicz & Hoaglin).
+    pub threshold: f64,
+}
+
+impl Default for MadDetector {
+    fn default() -> Self {
+        Self { threshold: 3.5 }
+    }
+}
+
+impl OutlierDetector for MadDetector {
+    fn name(&self) -> &'static str {
+        "mad"
+    }
+
+    fn detect(&self, values: &[f64]) -> Vec<usize> {
+        let Some(med) = quantile::median(values) else {
+            return Vec::new();
+        };
+        let deviations: Vec<f64> = values
+            .iter()
+            .map(|v| {
+                if v.is_nan() {
+                    f64::NAN
+                } else {
+                    (v - med).abs()
+                }
+            })
+            .collect();
+        let Some(mad) = quantile::median(&deviations) else {
+            return Vec::new();
+        };
+        if mad == 0.0 {
+            return Vec::new();
+        }
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| !v.is_nan() && 0.6745 * (v - med).abs() / mad > self.threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The paper's outlier-insight score: mean standardized distance (in
+/// standard deviations) of the detected outliers from the column mean.
+/// Zero when no outliers are detected.
+pub fn outlier_strength(values: &[f64], detector: &dyn OutlierDetector) -> f64 {
+    let outliers = detector.detect(values);
+    if outliers.is_empty() {
+        return 0.0;
+    }
+    let m = Moments::from_slice(values);
+    let (mu, sd) = (m.mean(), m.population_std());
+    if !sd.is_finite() || sd == 0.0 {
+        return 0.0;
+    }
+    outliers
+        .iter()
+        .map(|&i| ((values[i] - mu) / sd).abs())
+        .sum::<f64>()
+        / outliers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_outlier() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        v.push(1000.0);
+        v
+    }
+
+    #[test]
+    fn zscore_finds_planted_outlier() {
+        let v = with_outlier();
+        let found = ZScoreDetector::default().detect(&v);
+        assert_eq!(found, vec![100]);
+    }
+
+    #[test]
+    fn iqr_finds_planted_outlier() {
+        let v = with_outlier();
+        let found = IqrDetector::default().detect(&v);
+        assert!(found.contains(&100));
+    }
+
+    #[test]
+    fn mad_finds_planted_outlier_and_resists_masking() {
+        // two huge outliers inflate the sd enough to weaken z-score;
+        // MAD is unaffected
+        let mut v: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        v.push(1e6);
+        v.push(-1e6);
+        let mad_found = MadDetector::default().detect(&v);
+        assert!(mad_found.contains(&50) && mad_found.contains(&51));
+    }
+
+    #[test]
+    fn clean_data_no_outliers() {
+        let v: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        assert!(ZScoreDetector::default().detect(&v).is_empty());
+        assert!(MadDetector::default().detect(&v).is_empty());
+        assert_eq!(outlier_strength(&v, &ZScoreDetector::default()), 0.0);
+    }
+
+    #[test]
+    fn strength_grows_with_extremity() {
+        let mut near: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let mut far = near.clone();
+        near.push(40.0);
+        far.push(400.0);
+        let d = ZScoreDetector::default();
+        assert!(outlier_strength(&far, &d) > outlier_strength(&near, &d));
+    }
+
+    #[test]
+    fn nan_never_flagged() {
+        let v = [1.0, 2.0, f64::NAN, 3.0, 100.0];
+        for det in [
+            &ZScoreDetector::default() as &dyn OutlierDetector,
+            &IqrDetector::default(),
+            &MadDetector::default(),
+        ] {
+            assert!(!det.detect(&v).contains(&2), "{} flagged NaN", det.name());
+        }
+    }
+
+    #[test]
+    fn constant_data_degenerate() {
+        let v = [5.0; 20];
+        assert!(ZScoreDetector::default().detect(&v).is_empty());
+        assert!(MadDetector::default().detect(&v).is_empty());
+        assert_eq!(outlier_strength(&v, &IqrDetector::default()), 0.0);
+    }
+}

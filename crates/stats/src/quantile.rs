@@ -1,0 +1,124 @@
+//! Exact quantiles and order statistics (the ground truth that quantile
+//! sketches are measured against).
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation
+/// between order statistics (type-7, the R/NumPy default). NaNs are skipped.
+///
+/// # Examples
+/// ```
+/// use foresight_stats::quantile::quantile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&v, 0.5), Some(2.5));
+/// assert_eq!(quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(quantile(&v, 1.0), Some(4.0));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted, NaN-free slice (type-7 interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Several quantiles in one sort.
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered"));
+    Some(qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect())
+}
+
+/// Median shorthand.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Interquartile range `Q3 − Q1`.
+pub fn iqr(values: &[f64]) -> Option<f64> {
+    let qs = quantiles(values, &[0.25, 0.75])?;
+    Some(qs[1] - qs[0])
+}
+
+/// The rank of `x` in `values`: the fraction of values ≤ x. This is the
+/// quantity quantile sketches guarantee error on (ε·n rank error).
+pub fn rank_of(values: &[f64], x: f64) -> f64 {
+    let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if present.is_empty() {
+        return f64::NAN;
+    }
+    present.iter().filter(|&&v| v <= x).count() as f64 / present.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&v, 0.25), Some(20.0));
+        assert_eq!(quantile(&v, 0.1), Some(14.0));
+    }
+
+    #[test]
+    fn nan_and_empty() {
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[f64::NAN, 7.0], 0.5), Some(7.0));
+    }
+
+    #[test]
+    fn iqr_of_uniform() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(iqr(&v), Some(50.0));
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(quantile(&[42.0], 0.3), Some(42.0));
+    }
+
+    #[test]
+    fn rank_of_fraction() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(rank_of(&v, 2.0), 0.5);
+        assert_eq!(rank_of(&v, 0.0), 0.0);
+        assert_eq!(rank_of(&v, 9.0), 1.0);
+        assert!(rank_of(&[], 1.0).is_nan());
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let v = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let qs = quantiles(&v, &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(qs[0], quantile(&v, 0.0).unwrap());
+        assert_eq!(qs[1], quantile(&v, 0.5).unwrap());
+        assert_eq!(qs[2], quantile(&v, 1.0).unwrap());
+    }
+}

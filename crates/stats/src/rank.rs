@@ -1,0 +1,100 @@
+//! Fractional ranking with tie handling (average ranks).
+
+/// Assigns 1-based fractional ranks to `values`; ties receive the average of
+/// the ranks they span (the convention Spearman's ρ requires).
+///
+/// NaNs are ranked last and should be filtered by callers that care.
+///
+/// # Examples
+/// ```
+/// use foresight_stats::rank::fractional_ranks;
+/// assert_eq!(fractional_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or_else(|| values[a].is_nan().cmp(&values[b].is_nan()))
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 (1-based) are tied; assign their average
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Counts, for each element, how many tie groups exist and their sizes —
+/// used by tie-corrected statistics (Kendall τ-b).
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered"));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            groups.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties() {
+        assert_eq!(fractional_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(fractional_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mixed_ties() {
+        // sorted: 1(r1) 2(r2,3 -> 2.5) 2 4(r4)
+        assert_eq!(
+            fractional_ranks(&[2.0, 1.0, 4.0, 2.0]),
+            vec![2.5, 1.0, 4.0, 2.5]
+        );
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // sum of ranks must always be n(n+1)/2
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let ranks = fractional_ranks(&values);
+        let sum: f64 = ranks.iter().sum();
+        assert_eq!(sum, 55.0);
+    }
+
+    #[test]
+    fn tie_groups() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]), Vec::<usize>::new());
+        assert_eq!(tie_group_sizes(&[1.0, 1.0, 2.0, 2.0, 2.0]), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(fractional_ranks(&[]).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Simple ordinary-least-squares line fit, for the scatter plot's
+//! superimposed best-fit line (paper §2.2, insight 6).
+
+/// An OLS line `y = slope·x + intercept` with its fit quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ [0, 1].
+    pub r_squared: f64,
+    /// Number of complete pairs used.
+    pub n: usize,
+}
+
+/// Fits `y ~ x` by least squares, excluding missing values pairwise.
+/// Returns `None` with fewer than 2 complete pairs or zero x-variance.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    let (mut sx, mut sy, mut n) = (0.0, 0.0, 0usize);
+    for (&a, &b) in x.iter().zip(y) {
+        if !a.is_nan() && !b.is_nan() {
+            sx += a;
+            sy += b;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        return None;
+    }
+    let mx = sx / n as f64;
+    let my = sy / n as f64;
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        if !a.is_nan() && !b.is_nan() {
+            sxx += (a - mx) * (a - mx);
+            sxy += (a - mx) * (b - my);
+            syy += (b - my) * (b - my);
+        }
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy <= 0.0 {
+        1.0
+    } else {
+        (sxy * sxy / (sxx * syy)).min(1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 4.0).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 4.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(f.n, 20);
+    }
+
+    #[test]
+    fn r_squared_equals_pearson_squared() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [2.1, 3.9, 6.2, 8.1, 9.7, 12.5];
+        let f = linear_fit(&x, &y).unwrap();
+        let rho = crate::correlation::pearson(&x, &y);
+        assert!((f.r_squared - rho * rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_pairs_excluded() {
+        let x = [1.0, f64::NAN, 3.0, 4.0];
+        let y = [2.0, 100.0, 6.0, 8.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert_eq!(f.n, 3);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0], &[1.0, 2.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_r2_one_slope_zero() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the exact statistics.
+
+use foresight_stats::correlation::{pearson, spearman};
+use foresight_stats::moments::Moments;
+use foresight_stats::multimodal::dip_statistic;
+use foresight_stats::quantile::{quantile, rank_of};
+use foresight_stats::rank::fractional_ranks;
+use proptest::prelude::*;
+
+fn data(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn moments_merge_associative(a in data(50), b in data(50), c in data(50)) {
+        // (a ⊕ b) ⊕ c == summary of concatenation, within float tolerance
+        let mut left = Moments::from_slice(&a);
+        left.merge(&Moments::from_slice(&b));
+        left.merge(&Moments::from_slice(&c));
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let whole = Moments::from_slice(&all);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= whole.mean().abs() * 1e-9 + 1e-9);
+        let (va, vb) = (left.population_variance(), whole.population_variance());
+        prop_assert!((va - vb).abs() <= vb.abs() * 1e-6 + 1e-6, "var {} vs {}", va, vb);
+    }
+
+    #[test]
+    fn moments_min_max_exact(values in data(100)) {
+        let m = Moments::from_slice(&values);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(m.min(), lo);
+        prop_assert_eq!(m.max(), hi);
+        prop_assert!(m.population_variance() >= 0.0);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_average(values in data(80)) {
+        let ranks = fractional_ranks(&values);
+        let sum: f64 = ranks.iter().sum();
+        let n = values.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        // ranks are order-consistent
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlations_bounded_and_symmetric(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..60)) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            prop_assert!((r - pearson(&y, &x)).abs() < 1e-12);
+        }
+        let s = spearman(&x, &y);
+        if s.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariant(values in data(50), a in 0.1f64..10.0, b in -100.0f64..100.0) {
+        let y: Vec<f64> = values.iter().map(|v| a * v + b).collect();
+        let r = pearson(&values, &y);
+        if r.is_finite() {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone(values in data(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b);
+        // quantile is always within the data range
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn rank_of_quantile_consistent(values in data(100), q in 0.05f64..0.95) {
+        let v = quantile(&values, q).unwrap();
+        let r = rank_of(&values, v);
+        // type-7 interpolation guarantees count(≤ v) ≥ ⌊q(n−1)⌋ + 1,
+        // i.e. rank ≥ q − 1/n
+        let n = values.len() as f64;
+        prop_assert!(r + 1.0 / n + 1e-9 >= q, "rank {} < q {} - 1/n", r, q);
+    }
+
+    #[test]
+    fn dip_bounds(values in data(100)) {
+        let d = dip_statistic(&values).unwrap();
+        let n = values.len() as f64;
+        prop_assert!(d <= 0.25 + 1e-12, "dip {}", d);
+        // distinct-value samples respect the floor; ties can push below it
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        if sorted.len() == values.len() {
+            prop_assert!(d + 1e-12 >= 1.0 / (2.0 * n), "dip {}", d);
+        }
+    }
+
+    #[test]
+    fn dip_translation_and_scale_invariant(values in data(60), shift in -1e3f64..1e3, scale in 0.1f64..10.0) {
+        let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+        let d1 = dip_statistic(&values).unwrap();
+        let d2 = dip_statistic(&transformed).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9, "{} vs {}", d1, d2);
+    }
+}

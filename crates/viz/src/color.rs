@@ -1,0 +1,109 @@
+//! Color ramps for the renderers: a diverging blue–white–red ramp for the
+//! correlation heatmap (Figure 2) and a categorical palette for groups.
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// CSS hex form, e.g. `#1f77b4`.
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+}
+
+fn lerp(a: u8, b: u8, t: f64) -> u8 {
+    (a as f64 + (b as f64 - a as f64) * t)
+        .round()
+        .clamp(0.0, 255.0) as u8
+}
+
+fn mix(a: Rgb, b: Rgb, t: f64) -> Rgb {
+    Rgb(lerp(a.0, b.0, t), lerp(a.1, b.1, t), lerp(a.2, b.2, t))
+}
+
+/// Diverging ramp for values in [−1, 1]: deep blue → white → deep red
+/// (the RdBu convention used by the paper's Figure 2). Out-of-range values
+/// are clamped; NaN maps to gray.
+pub fn diverging(v: f64) -> Rgb {
+    if v.is_nan() {
+        return Rgb(0xBD, 0xBD, 0xBD);
+    }
+    const BLUE: Rgb = Rgb(0x21, 0x66, 0xAC);
+    const WHITE: Rgb = Rgb(0xF7, 0xF7, 0xF7);
+    const RED: Rgb = Rgb(0xB2, 0x18, 0x2B);
+    let v = v.clamp(-1.0, 1.0);
+    if v < 0.0 {
+        mix(WHITE, BLUE, -v)
+    } else {
+        mix(WHITE, RED, v)
+    }
+}
+
+/// Sequential ramp for values in [0, 1]: light → saturated blue.
+pub fn sequential(v: f64) -> Rgb {
+    if v.is_nan() {
+        return Rgb(0xBD, 0xBD, 0xBD);
+    }
+    const LIGHT: Rgb = Rgb(0xDE, 0xEB, 0xF7);
+    const DARK: Rgb = Rgb(0x08, 0x45, 0x94);
+    mix(LIGHT, DARK, v.clamp(0.0, 1.0))
+}
+
+/// A 10-color categorical palette (Tableau-10 style) for grouped marks.
+pub fn categorical(i: usize) -> Rgb {
+    const PALETTE: [Rgb; 10] = [
+        Rgb(0x1F, 0x77, 0xB4),
+        Rgb(0xFF, 0x7F, 0x0E),
+        Rgb(0x2C, 0xA0, 0x2C),
+        Rgb(0xD6, 0x27, 0x28),
+        Rgb(0x94, 0x67, 0xBD),
+        Rgb(0x8C, 0x56, 0x4B),
+        Rgb(0xE3, 0x77, 0xC2),
+        Rgb(0x7F, 0x7F, 0x7F),
+        Rgb(0xBC, 0xBD, 0x22),
+        Rgb(0x17, 0xBE, 0xCF),
+    ];
+    PALETTE[i % PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diverging_endpoints() {
+        assert_eq!(diverging(0.0), Rgb(0xF7, 0xF7, 0xF7));
+        assert_eq!(diverging(1.0), Rgb(0xB2, 0x18, 0x2B));
+        assert_eq!(diverging(-1.0), Rgb(0x21, 0x66, 0xAC));
+        // clamped
+        assert_eq!(diverging(5.0), diverging(1.0));
+        assert_eq!(diverging(f64::NAN), Rgb(0xBD, 0xBD, 0xBD));
+    }
+
+    #[test]
+    fn diverging_is_monotone_in_redness() {
+        let weak = diverging(0.2);
+        let strong = diverging(0.9);
+        // stronger positive correlation → less green/blue (more saturated red)
+        assert!(strong.1 < weak.1);
+        assert!(strong.2 < weak.2);
+    }
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(Rgb(255, 0, 16).hex(), "#ff0010");
+    }
+
+    #[test]
+    fn categorical_cycles() {
+        assert_eq!(categorical(0), categorical(10));
+        assert_ne!(categorical(0), categorical(1));
+    }
+
+    #[test]
+    fn sequential_endpoints() {
+        assert_eq!(sequential(0.0), Rgb(0xDE, 0xEB, 0xF7));
+        assert_eq!(sequential(1.0), Rgb(0x08, 0x45, 0x94));
+    }
+}

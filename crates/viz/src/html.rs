@@ -1,0 +1,155 @@
+//! Standalone HTML report generation — the library-shaped counterpart of
+//! the paper's web demo UI. A report embeds the SVG charts directly, so the
+//! output is a single self-contained file.
+
+use crate::spec::ChartSpec;
+use crate::svg::{render_svg, SvgOptions};
+use std::fmt::Write as _;
+
+/// One carousel section of a report.
+#[derive(Debug, Clone)]
+pub struct ReportSection {
+    /// Section heading (usually the insight-class name).
+    pub title: String,
+    /// Optional explanatory line (usually the ranking metric).
+    pub subtitle: String,
+    /// Charts shown side by side, strongest first.
+    pub charts: Vec<ChartSpec>,
+}
+
+/// A multi-section report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Page title.
+    pub title: String,
+    /// Free-text introduction (plain text; HTML-escaped on render).
+    pub intro: String,
+    /// The carousel sections.
+    pub sections: Vec<ReportSection>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+impl Report {
+    /// Starts an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Appends a section.
+    pub fn section(
+        &mut self,
+        title: impl Into<String>,
+        subtitle: impl Into<String>,
+        charts: Vec<ChartSpec>,
+    ) -> &mut Self {
+        self.sections.push(ReportSection {
+            title: title.into(),
+            subtitle: subtitle.into(),
+            charts,
+        });
+        self
+    }
+
+    /// Renders the report as a self-contained HTML document.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+             <title>{}</title><style>{}</style></head><body>\n",
+            esc(&self.title),
+            STYLE
+        );
+        let _ = writeln!(out, "<h1>{}</h1>", esc(&self.title));
+        if !self.intro.is_empty() {
+            let _ = writeln!(out, "<p class=\"intro\">{}</p>", esc(&self.intro));
+        }
+        let opts = SvgOptions {
+            width: 360.0,
+            height: 240.0,
+            margin: 30.0,
+        };
+        for s in &self.sections {
+            let _ = write!(out, "<section><h2>{}</h2>", esc(&s.title));
+            if !s.subtitle.is_empty() {
+                let _ = write!(out, "<p class=\"sub\">{}</p>", esc(&s.subtitle));
+            }
+            out.push_str("<div class=\"carousel\">");
+            for chart in &s.charts {
+                let svg = if matches!(chart.kind, crate::spec::ChartKind::CorrelationHeatmap(_)) {
+                    render_svg(
+                        chart,
+                        SvgOptions {
+                            width: 640.0,
+                            height: 640.0,
+                            margin: 36.0,
+                        },
+                    )
+                } else {
+                    render_svg(chart, opts)
+                };
+                let _ = write!(out, "<figure>{svg}</figure>");
+            }
+            out.push_str("</div></section>\n");
+        }
+        out.push_str("</body></html>\n");
+        out
+    }
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:1200px;color:#222}\
+h1{border-bottom:2px solid #4C78A8;padding-bottom:.3rem}\
+h2{margin:1.5rem 0 .2rem;color:#2a4d69}\
+.sub{color:#777;margin:.1rem 0 .5rem;font-size:.9rem}\
+.intro{color:#444}\
+.carousel{display:flex;gap:12px;overflow-x:auto;padding-bottom:8px}\
+figure{margin:0;border:1px solid #ddd;border-radius:6px;padding:4px;background:#fff}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChartKind, HistogramSpec};
+
+    fn chart(title: &str) -> ChartSpec {
+        ChartSpec {
+            title: title.into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind: ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 1.0,
+                counts: vec![3, 1, 4],
+            }),
+        }
+    }
+
+    #[test]
+    fn report_embeds_svgs() {
+        let mut r = Report::new("Insights for <demo>");
+        r.intro = "auto-generated".into();
+        r.section("Skew", "ranked by |γ₁|", vec![chart("a"), chart("b")]);
+        r.section("Empty", "", vec![]);
+        let html = r.to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("Insights for &lt;demo&gt;"));
+        assert_eq!(html.matches("<svg").count(), 2);
+        assert_eq!(html.matches("<section>").count(), 2);
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let html = Report::new("empty").to_html();
+        assert!(html.contains("<h1>empty</h1>"));
+        assert!(!html.contains("<section>"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # foresight-viz
+//!
+//! Visualization layer for Foresight: typed chart specifications for every
+//! insight class (histogram, box plot, Pareto, scatter + fit, correlation
+//! heatmap, grouped scatter, density) and three renderers — SVG documents,
+//! Unicode terminal blocks (the CLI carousel), and Vega-Lite JSON.
+
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod html;
+pub mod scale;
+pub mod spec;
+pub mod svg;
+pub mod text;
+pub mod vega;
+
+pub use html::{Report, ReportSection};
+pub use spec::{
+    BarSpec, BoxPlotSpec, ChartKind, ChartSpec, DensitySpec, GroupedScatterSpec, HeatmapSpec,
+    HistogramSpec, ParetoSpec, ScatterSpec,
+};
+pub use svg::{render_svg, SvgOptions};
+pub use text::{carousel, render_text};
+pub use vega::to_vega_lite;

@@ -1,0 +1,136 @@
+//! Linear scales and "nice" tick generation for axes.
+
+/// A linear mapping from a data domain to a pixel range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+impl LinearScale {
+    /// Creates a scale; a degenerate domain is widened symmetrically so the
+    /// mapping stays well-defined.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        let domain = if domain.0 == domain.1 {
+            (domain.0 - 0.5, domain.1 + 0.5)
+        } else {
+            domain
+        };
+        Self { domain, range }
+    }
+
+    /// Maps a data value to the pixel range (clamped).
+    pub fn apply(&self, v: f64) -> f64 {
+        let t = (v - self.domain.0) / (self.domain.1 - self.domain.0);
+        let t = t.clamp(0.0, 1.0);
+        self.range.0 + t * (self.range.1 - self.range.0)
+    }
+
+    /// The (possibly widened) domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+}
+
+/// Returns ~`count` tick positions covering `[lo, hi]` at a "nice" step
+/// (1, 2, or 5 × 10^k).
+pub fn nice_ticks(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    if !lo.is_finite() || !hi.is_finite() || count == 0 {
+        return Vec::new();
+    }
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let raw_step = span / count as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        // snap values like 0.30000000000000004 back to a clean multiple
+        ticks.push((t / step).round() * step);
+        t += step;
+    }
+    ticks
+}
+
+/// Formats a tick value compactly (trims trailing zeros, switches to
+/// scientific notation for extreme magnitudes).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        return format!("{v:.1e}");
+    }
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_endpoints() {
+        let s = LinearScale::new((0.0, 10.0), (0.0, 100.0));
+        assert_eq!(s.apply(0.0), 0.0);
+        assert_eq!(s.apply(10.0), 100.0);
+        assert_eq!(s.apply(5.0), 50.0);
+        // clamped
+        assert_eq!(s.apply(-5.0), 0.0);
+        assert_eq!(s.apply(20.0), 100.0);
+    }
+
+    #[test]
+    fn inverted_range_supported() {
+        // SVG y-axes grow downward
+        let s = LinearScale::new((0.0, 1.0), (100.0, 0.0));
+        assert_eq!(s.apply(0.0), 100.0);
+        assert_eq!(s.apply(1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_domain_widened() {
+        let s = LinearScale::new((5.0, 5.0), (0.0, 10.0));
+        assert_eq!(s.apply(5.0), 5.0);
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover() {
+        let ticks = nice_ticks(0.0, 100.0, 5);
+        assert!(!ticks.is_empty());
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0] - 20.0).abs() < 1e-9);
+        }
+        assert!(ticks[0] >= 0.0 && *ticks.last().unwrap() <= 100.0);
+    }
+
+    #[test]
+    fn ticks_handle_small_and_negative_ranges() {
+        let ticks = nice_ticks(-0.37, 0.41, 4);
+        assert!(ticks.contains(&0.0));
+        assert!(nice_ticks(f64::NAN, 1.0, 4).is_empty());
+        assert!(!nice_ticks(3.0, 1.0, 4).is_empty()); // reversed input ok
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(20.0), "20");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert!(format_tick(1.5e7).contains('e'));
+        assert!(format_tick(1e-5).contains('e'));
+    }
+}

@@ -1,0 +1,181 @@
+//! Typed chart specifications — the "visualization method" attached to each
+//! insight class (paper §2).
+//!
+//! A [`ChartSpec`] is renderer-independent: the SVG renderer draws it, the
+//! text renderer sketches it in a terminal carousel, and the Vega emitter
+//! serializes it to a Vega-Lite JSON document.
+
+use serde::{Deserialize, Serialize};
+
+/// A renderable chart, plus its framing (title, axis labels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSpec {
+    /// Chart title (usually the insight description).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The mark-level content.
+    pub kind: ChartKind,
+}
+
+/// The chart families Foresight's insight classes use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChartKind {
+    /// Histogram: dispersion, skew, heavy tails, normality, multimodality.
+    Histogram(HistogramSpec),
+    /// Box-and-whisker plot: outliers.
+    BoxPlot(BoxPlotSpec),
+    /// Pareto chart (sorted bars + cumulative line): heterogeneous
+    /// frequencies, concentration.
+    Pareto(ParetoSpec),
+    /// Scatter plot with optional best-fit line: linear/monotonic
+    /// relationships, dependence.
+    Scatter(ScatterSpec),
+    /// Colored-circle matrix: the Figure-2 correlation overview.
+    CorrelationHeatmap(HeatmapSpec),
+    /// Grouped scatter: segmentation.
+    GroupedScatter(GroupedScatterSpec),
+    /// Smooth density curve: distribution-shape insights.
+    Density(DensitySpec),
+    /// Labeled horizontal bars of real values: per-class overview charts
+    /// ("metric over all tuples in the insight class", paper §2.1).
+    Bar(BarSpec),
+}
+
+/// Histogram bars over a numeric range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSpec {
+    /// Range minimum.
+    pub min: f64,
+    /// Range maximum.
+    pub max: f64,
+    /// Per-bin counts (equal-width bins spanning `[min, max]`).
+    pub counts: Vec<u64>,
+}
+
+/// Five-number summary plus flagged outliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlotSpec {
+    /// Lower whisker end.
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker end.
+    pub whisker_hi: f64,
+    /// Values beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Sorted category bars with cumulative share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoSpec {
+    /// `(label, count)` sorted descending by count.
+    pub bars: Vec<(String, u64)>,
+    /// Total count (bars may be truncated to the top ones).
+    pub total: u64,
+}
+
+/// Scatter points with an optional fitted line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScatterSpec {
+    /// Sampled `(x, y)` points.
+    pub points: Vec<[f64; 2]>,
+    /// Best-fit line `(slope, intercept)`, if meaningful.
+    pub fit: Option<(f64, f64)>,
+}
+
+/// A symmetric matrix of values in [−1, 1] with row/column labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapSpec {
+    /// Attribute labels, in matrix order.
+    pub labels: Vec<String>,
+    /// Row-major matrix values.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Scatter points labeled by group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupedScatterSpec {
+    /// Sampled `(x, y)` points.
+    pub points: Vec<[f64; 2]>,
+    /// Per-point group index into `groups`.
+    pub group_of: Vec<usize>,
+    /// Group display names.
+    pub groups: Vec<String>,
+}
+
+/// Labeled real-valued bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BarSpec {
+    /// Bar labels.
+    pub labels: Vec<String>,
+    /// Bar values (any real numbers; negative values draw leftward).
+    pub values: Vec<f64>,
+}
+
+/// A smooth density estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensitySpec {
+    /// Grid x-positions.
+    pub xs: Vec<f64>,
+    /// Densities at the grid positions.
+    pub densities: Vec<f64>,
+}
+
+impl ChartSpec {
+    /// A short tag naming the chart family (used in file names and tests).
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            ChartKind::Histogram(_) => "histogram",
+            ChartKind::BoxPlot(_) => "boxplot",
+            ChartKind::Pareto(_) => "pareto",
+            ChartKind::Scatter(_) => "scatter",
+            ChartKind::CorrelationHeatmap(_) => "heatmap",
+            ChartKind::GroupedScatter(_) => "grouped-scatter",
+            ChartKind::Density(_) => "density",
+            ChartKind::Bar(_) => "bar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        let spec = ChartSpec {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind: ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 1.0,
+                counts: vec![1, 2],
+            }),
+        };
+        assert_eq!(spec.kind_name(), "histogram");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = ChartSpec {
+            title: "scatter".into(),
+            x_label: "a".into(),
+            y_label: "b".into(),
+            kind: ChartKind::Scatter(ScatterSpec {
+                points: vec![[1.0, 2.0], [3.0, 4.0]],
+                fit: Some((2.0, -1.0)),
+            }),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ChartSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

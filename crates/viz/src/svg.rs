@@ -1,0 +1,561 @@
+//! SVG renderer for every [`ChartSpec`] — the chart images behind the
+//! paper's Figure 1 carousels and the Figure 2 correlation overview.
+
+use crate::color::{categorical, diverging};
+use crate::scale::{format_tick, nice_ticks, LinearScale};
+use crate::spec::*;
+use std::fmt::Write as _;
+
+/// Canvas geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total width in pixels.
+    pub width: f64,
+    /// Total height in pixels.
+    pub height: f64,
+    /// Margin around the plot area (left margin is doubled for y labels).
+    pub margin: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 480.0,
+            height: 320.0,
+            margin: 36.0,
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+struct Canvas {
+    out: String,
+    opts: SvgOptions,
+}
+
+impl Canvas {
+    fn new(opts: SvgOptions, title: &str) -> Self {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"##,
+            w = opts.width,
+            h = opts.height
+        );
+        let _ = write!(
+            out,
+            r##"<rect width="{w}" height="{h}" fill="white"/><text x="{cx}" y="16" text-anchor="middle" font-size="13" font-weight="bold">{t}</text>"##,
+            w = opts.width,
+            h = opts.height,
+            cx = opts.width / 2.0,
+            t = esc(title)
+        );
+        Self { out, opts }
+    }
+
+    /// Plot-area rectangle `(x0, y0, x1, y1)`.
+    fn plot_area(&self) -> (f64, f64, f64, f64) {
+        let m = self.opts.margin;
+        (2.0 * m, m, self.opts.width - m, self.opts.height - m)
+    }
+
+    fn axes(&mut self, xs: &LinearScale, ys: &LinearScale, x_label: &str, y_label: &str) {
+        let (x0, y0, x1, y1) = self.plot_area();
+        let _ = write!(
+            self.out,
+            r##"<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" stroke="#333"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#333"/>"##
+        );
+        let (dx0, dx1) = xs.domain();
+        for t in nice_ticks(dx0, dx1, 5) {
+            let px = xs.apply(t);
+            let _ = write!(
+                self.out,
+                r##"<line x1="{px}" y1="{y1}" x2="{px}" y2="{yt}" stroke="#333"/><text x="{px}" y="{yl}" text-anchor="middle" font-size="9">{lab}</text>"##,
+                yt = y1 + 4.0,
+                yl = y1 + 14.0,
+                lab = format_tick(t)
+            );
+        }
+        let (dy0, dy1) = ys.domain();
+        for t in nice_ticks(dy0, dy1, 5) {
+            let py = ys.apply(t);
+            let _ = write!(
+                self.out,
+                r##"<line x1="{xt}" y1="{py}" x2="{x0}" y2="{py}" stroke="#333"/><text x="{xl}" y="{yt}" text-anchor="end" font-size="9">{lab}</text>"##,
+                xt = x0 - 4.0,
+                xl = x0 - 6.0,
+                yt = py + 3.0,
+                lab = format_tick(t)
+            );
+        }
+        let _ = write!(
+            self.out,
+            r##"<text x="{cx}" y="{by}" text-anchor="middle" font-size="11">{xl}</text><text x="12" y="{cy}" text-anchor="middle" font-size="11" transform="rotate(-90 12 {cy})">{yl}</text>"##,
+            cx = (x0 + x1) / 2.0,
+            by = self.opts.height - 6.0,
+            cy = (y0 + y1) / 2.0,
+            xl = esc(x_label),
+            yl = esc(y_label)
+        );
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("</svg>");
+        self.out
+    }
+}
+
+/// Renders any chart spec to a standalone SVG document.
+pub fn render_svg(spec: &ChartSpec, opts: SvgOptions) -> String {
+    match &spec.kind {
+        ChartKind::Histogram(h) => histogram(spec, h, opts),
+        ChartKind::BoxPlot(b) => boxplot(spec, b, opts),
+        ChartKind::Pareto(p) => pareto(spec, p, opts),
+        ChartKind::Scatter(s) => scatter(spec, s, opts),
+        ChartKind::CorrelationHeatmap(h) => heatmap(spec, h, opts),
+        ChartKind::GroupedScatter(g) => grouped_scatter(spec, g, opts),
+        ChartKind::Density(d) => density(spec, d, opts),
+        ChartKind::Bar(b) => bar(spec, b, opts),
+    }
+}
+
+fn bar(spec: &ChartSpec, b: &BarSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let lo = b.values.iter().copied().fold(0.0f64, f64::min);
+    let hi = b.values.iter().copied().fold(0.0f64, f64::max);
+    let xs = LinearScale::new((lo, hi), (x0, x1));
+    let n = b.labels.len().max(1) as f64;
+    let bh = ((y1 - y0) / n).min(22.0);
+    for (i, (label, &v)) in b.labels.iter().zip(&b.values).enumerate() {
+        let ty = y0 + i as f64 * bh;
+        let zero = xs.apply(0.0);
+        let px = xs.apply(v);
+        let (bx, bw) = if px >= zero {
+            (zero, px - zero)
+        } else {
+            (px, zero - px)
+        };
+        let _ = write!(
+            c.out,
+            r##"<rect x="{bx:.1}" y="{ty:.1}" width="{w:.1}" height="{h:.1}" fill="{col}"/><text x="{lx}" y="{ly:.1}" text-anchor="end" font-size="8">{t}</text>"##,
+            w = bw.max(1.0),
+            h = (bh * 0.8).max(1.0),
+            col = if v >= 0.0 { "#4C78A8" } else { "#E45756" },
+            lx = x0 - 4.0,
+            ly = ty + bh * 0.6,
+            t = esc(label)
+        );
+    }
+    let axis_ticks = nice_ticks(xs.domain().0, xs.domain().1, 5);
+    for t in axis_ticks {
+        let px = xs.apply(t);
+        let _ = write!(
+            c.out,
+            r##"<text x="{px}" y="{yl}" text-anchor="middle" font-size="9">{lab}</text>"##,
+            yl = y1 + 14.0,
+            lab = format_tick(t)
+        );
+    }
+    c.finish()
+}
+
+fn histogram(spec: &ChartSpec, h: &HistogramSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let max_count = h.counts.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let xs = LinearScale::new((h.min, h.max), (x0, x1));
+    let ys = LinearScale::new((0.0, max_count), (y1, y0));
+    c.axes(&xs, &ys, &spec.x_label, &spec.y_label);
+    let n = h.counts.len().max(1) as f64;
+    let bw = (x1 - x0) / n;
+    for (i, &count) in h.counts.iter().enumerate() {
+        let bx = x0 + i as f64 * bw;
+        let by = ys.apply(count as f64);
+        let _ = write!(
+            c.out,
+            r##"<rect x="{bx:.1}" y="{by:.1}" width="{w:.1}" height="{h:.1}" fill="#4C78A8" stroke="white" stroke-width="0.5"/>"##,
+            w = bw.max(1.0),
+            h = (y1 - by).max(0.0)
+        );
+    }
+    c.finish()
+}
+
+fn density(spec: &ChartSpec, d: &DensitySpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let (lo, hi) = (
+        d.xs.first().copied().unwrap_or(0.0),
+        d.xs.last().copied().unwrap_or(1.0),
+    );
+    let peak = d
+        .densities
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let xs = LinearScale::new((lo, hi), (x0, x1));
+    let ys = LinearScale::new((0.0, peak), (y1, y0));
+    c.axes(&xs, &ys, &spec.x_label, &spec.y_label);
+    let mut path = String::new();
+    for (i, (&x, &dy)) in d.xs.iter().zip(&d.densities).enumerate() {
+        let cmd = if i == 0 { 'M' } else { 'L' };
+        let _ = write!(path, "{cmd}{:.1},{:.1} ", xs.apply(x), ys.apply(dy));
+    }
+    let _ = write!(
+        c.out,
+        r##"<path d="{path}" fill="none" stroke="#4C78A8" stroke-width="2"/>"##
+    );
+    c.finish()
+}
+
+fn boxplot(spec: &ChartSpec, b: &BoxPlotSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let lo = b.outliers.iter().copied().fold(b.whisker_lo, f64::min);
+    let hi = b.outliers.iter().copied().fold(b.whisker_hi, f64::max);
+    let pad = (hi - lo).max(1e-9) * 0.05;
+    let xs = LinearScale::new((lo - pad, hi + pad), (x0, x1));
+    let ys = LinearScale::new((0.0, 1.0), (y1, y0));
+    c.axes(&xs, &ys, &spec.x_label, "");
+    let cy = (y0 + y1) / 2.0;
+    let half = (y1 - y0) * 0.18;
+    // whiskers
+    let _ = write!(
+        c.out,
+        r##"<line x1="{a}" y1="{cy}" x2="{b1}" y2="{cy}" stroke="#333"/><line x1="{c1}" y1="{cy}" x2="{d}" y2="{cy}" stroke="#333"/>"##,
+        a = xs.apply(b.whisker_lo),
+        b1 = xs.apply(b.q1),
+        c1 = xs.apply(b.q3),
+        d = xs.apply(b.whisker_hi)
+    );
+    for v in [b.whisker_lo, b.whisker_hi] {
+        let px = xs.apply(v);
+        let _ = write!(
+            c.out,
+            r##"<line x1="{px}" y1="{t}" x2="{px}" y2="{b2}" stroke="#333"/>"##,
+            t = cy - half / 2.0,
+            b2 = cy + half / 2.0
+        );
+    }
+    // box + median
+    let _ = write!(
+        c.out,
+        r##"<rect x="{bx}" y="{ty}" width="{bw}" height="{bh}" fill="#A0C4E8" stroke="#333"/><line x1="{mx}" y1="{ty}" x2="{mx}" y2="{by}" stroke="#333" stroke-width="2"/>"##,
+        bx = xs.apply(b.q1),
+        ty = cy - half,
+        bw = (xs.apply(b.q3) - xs.apply(b.q1)).max(1.0),
+        bh = 2.0 * half,
+        mx = xs.apply(b.median),
+        by = cy + half
+    );
+    for &o in &b.outliers {
+        let _ = write!(
+            c.out,
+            r##"<circle cx="{px}" cy="{cy}" r="3" fill="none" stroke="#D62728"/>"##,
+            px = xs.apply(o)
+        );
+    }
+    c.finish()
+}
+
+fn pareto(spec: &ChartSpec, p: &ParetoSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let max_count = p.bars.iter().map(|(_, n)| *n).max().unwrap_or(1).max(1) as f64;
+    let ys = LinearScale::new((0.0, max_count), (y1, y0));
+    let xs = LinearScale::new((0.0, p.bars.len() as f64), (x0, x1));
+    c.axes(&xs, &ys, &spec.x_label, &spec.y_label);
+    let bw = (x1 - x0) / p.bars.len().max(1) as f64;
+    let mut cum = 0u64;
+    let mut path = String::new();
+    for (i, (label, count)) in p.bars.iter().enumerate() {
+        let bx = x0 + i as f64 * bw;
+        let by = ys.apply(*count as f64);
+        let _ = write!(
+            c.out,
+            r##"<rect x="{bx:.1}" y="{by:.1}" width="{w:.1}" height="{h:.1}" fill="#4C78A8" stroke="white" stroke-width="0.5"><title>{t}</title></rect>"##,
+            w = (bw * 0.9).max(1.0),
+            h = (y1 - by).max(0.0),
+            t = esc(label)
+        );
+        cum += count;
+        let frac = cum as f64 / p.total.max(1) as f64;
+        let py = y1 - frac * (y1 - y0);
+        let cmd = if i == 0 { 'M' } else { 'L' };
+        let _ = write!(path, "{cmd}{:.1},{:.1} ", bx + bw / 2.0, py);
+    }
+    let _ = write!(
+        c.out,
+        r##"<path d="{path}" fill="none" stroke="#E45756" stroke-width="2"/>"##
+    );
+    c.finish()
+}
+
+fn scatter(spec: &ChartSpec, s: &ScatterSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &[x, y] in &s.points {
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    if s.points.is_empty() {
+        (lo_x, hi_x, lo_y, hi_y) = (0.0, 1.0, 0.0, 1.0);
+    }
+    let xs = LinearScale::new((lo_x, hi_x), (x0, x1));
+    let ys = LinearScale::new((lo_y, hi_y), (y1, y0));
+    c.axes(&xs, &ys, &spec.x_label, &spec.y_label);
+    for &[x, y] in &s.points {
+        let _ = write!(
+            c.out,
+            r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="2.5" fill="#4C78A8" fill-opacity="0.55"/>"##,
+            cx = xs.apply(x),
+            cy = ys.apply(y)
+        );
+    }
+    if let Some((slope, intercept)) = s.fit {
+        let (dx0, dx1) = xs.domain();
+        let _ = write!(
+            c.out,
+            r##"<line x1="{ax}" y1="{ay}" x2="{bx}" y2="{by}" stroke="#E45756" stroke-width="2"/>"##,
+            ax = xs.apply(dx0),
+            ay = ys.apply(slope * dx0 + intercept),
+            bx = xs.apply(dx1),
+            by = ys.apply(slope * dx1 + intercept)
+        );
+    }
+    c.finish()
+}
+
+fn grouped_scatter(spec: &ChartSpec, g: &GroupedScatterSpec, opts: SvgOptions) -> String {
+    let mut c = Canvas::new(opts, &spec.title);
+    let (x0, y0, x1, y1) = c.plot_area();
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &[x, y] in &g.points {
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    if g.points.is_empty() {
+        (lo_x, hi_x, lo_y, hi_y) = (0.0, 1.0, 0.0, 1.0);
+    }
+    let xs = LinearScale::new((lo_x, hi_x), (x0, x1));
+    let ys = LinearScale::new((lo_y, hi_y), (y1, y0));
+    c.axes(&xs, &ys, &spec.x_label, &spec.y_label);
+    for (&[x, y], &grp) in g.points.iter().zip(&g.group_of) {
+        let _ = write!(
+            c.out,
+            r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="2.5" fill="{col}" fill-opacity="0.6"/>"##,
+            cx = xs.apply(x),
+            cy = ys.apply(y),
+            col = categorical(grp).hex()
+        );
+    }
+    // legend
+    for (i, name) in g.groups.iter().enumerate() {
+        let ly = y0 + 12.0 * i as f64;
+        let _ = write!(
+            c.out,
+            r##"<circle cx="{lx}" cy="{ly}" r="4" fill="{col}"/><text x="{tx}" y="{ty}" font-size="9">{n}</text>"##,
+            lx = x1 - 90.0,
+            col = categorical(i).hex(),
+            tx = x1 - 82.0,
+            ty = ly + 3.0,
+            n = esc(name)
+        );
+    }
+    c.finish()
+}
+
+fn heatmap(spec: &ChartSpec, h: &HeatmapSpec, opts: SvgOptions) -> String {
+    // Figure 2: a d×d grid of circles, color = sign, size & intensity = |ρ|.
+    let d = h.labels.len().max(1);
+    let side = (opts.width.min(opts.height) - 3.0 * opts.margin).max(50.0);
+    let cell = side / d as f64;
+    let (gx, gy) = (2.2 * opts.margin, 1.4 * opts.margin);
+    let mut c = Canvas::new(opts, &spec.title);
+    for (i, row) in h.values.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            let cx = gx + (j as f64 + 0.5) * cell;
+            let cy = gy + (i as f64 + 0.5) * cell;
+            let r = (v.abs().sqrt() * cell * 0.45).clamp(0.5, cell * 0.48);
+            let _ = write!(
+                c.out,
+                r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{col}"><title>{a} × {b}: {v:.2}</title></circle>"##,
+                col = diverging(v).hex(),
+                a = esc(&h.labels[i]),
+                b = esc(&h.labels[j]),
+            );
+        }
+    }
+    for (i, label) in h.labels.iter().enumerate() {
+        let pos = (i as f64 + 0.5) * cell;
+        let _ = write!(
+            c.out,
+            r##"<text x="{lx}" y="{ly}" text-anchor="end" font-size="7">{t}</text><text x="{tx}" y="{ty}" text-anchor="start" font-size="7" transform="rotate(-65 {tx} {ty})">{t}</text>"##,
+            lx = gx - 4.0,
+            ly = gy + pos + 2.0,
+            tx = gx + pos,
+            ty = gy + side + 10.0,
+            t = esc(label)
+        );
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: ChartKind) -> ChartSpec {
+        ChartSpec {
+            title: "T<est> & more".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind,
+        }
+    }
+
+    fn assert_valid(svg: &str) {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // crude well-formedness: every opened tag type closes or self-closes
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert!(!svg.contains("NaN"), "NaN leaked into SVG");
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let svg = render_svg(
+            &spec(ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 10.0,
+                counts: vec![1, 5, 9, 3, 0, 2],
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert_eq!(svg.matches("<rect").count(), 7); // 6 bars + background
+        assert!(svg.contains("T&lt;est&gt; &amp; more"));
+    }
+
+    #[test]
+    fn boxplot_renders_outliers() {
+        let svg = render_svg(
+            &spec(ChartKind::BoxPlot(BoxPlotSpec {
+                whisker_lo: 0.0,
+                q1: 2.0,
+                median: 3.0,
+                q3: 4.0,
+                whisker_hi: 6.0,
+                outliers: vec![9.5, 11.0],
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert!(svg.matches("stroke=\"#D62728\"").count() == 2);
+    }
+
+    #[test]
+    fn pareto_renders_cumulative_line() {
+        let svg = render_svg(
+            &spec(ChartKind::Pareto(ParetoSpec {
+                bars: vec![("a".into(), 50), ("b".into(), 30), ("c".into(), 20)],
+                total: 100,
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert!(svg.contains("path"));
+    }
+
+    #[test]
+    fn scatter_renders_fit_line() {
+        let svg = render_svg(
+            &spec(ChartKind::Scatter(ScatterSpec {
+                points: vec![[0.0, 0.0], [1.0, 2.0], [2.0, 4.0]],
+                fit: Some((2.0, 0.0)),
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("stroke=\"#E45756\""));
+    }
+
+    #[test]
+    fn heatmap_renders_d_squared_circles() {
+        let svg = render_svg(
+            &spec(ChartKind::CorrelationHeatmap(HeatmapSpec {
+                labels: vec!["A".into(), "B".into(), "C".into()],
+                values: vec![
+                    vec![1.0, -0.5, 0.1],
+                    vec![-0.5, 1.0, 0.0],
+                    vec![0.1, 0.0, 1.0],
+                ],
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert_eq!(svg.matches("<circle").count(), 9);
+    }
+
+    #[test]
+    fn empty_scatter_does_not_panic() {
+        let svg = render_svg(
+            &spec(ChartKind::Scatter(ScatterSpec {
+                points: vec![],
+                fit: None,
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+    }
+
+    #[test]
+    fn grouped_scatter_legend() {
+        let svg = render_svg(
+            &spec(ChartKind::GroupedScatter(GroupedScatterSpec {
+                points: vec![[0.0, 0.0], [5.0, 5.0]],
+                group_of: vec![0, 1],
+                groups: vec!["g1".into(), "g2".into()],
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert!(svg.contains("g1") && svg.contains("g2"));
+    }
+
+    #[test]
+    fn density_renders_path() {
+        let svg = render_svg(
+            &spec(ChartKind::Density(DensitySpec {
+                xs: vec![0.0, 0.5, 1.0],
+                densities: vec![0.1, 0.9, 0.1],
+            })),
+            SvgOptions::default(),
+        );
+        assert_valid(&svg);
+        assert!(svg.contains("<path"));
+    }
+}

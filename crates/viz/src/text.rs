@@ -1,0 +1,366 @@
+//! Unicode terminal renderer — the CLI stand-in for the paper's carousel UI
+//! (Figure 1). Each chart becomes a fixed-width block of text; carousels lay
+//! several blocks side by side.
+
+use crate::spec::*;
+
+const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn bar_char(frac: f64) -> char {
+    let idx = (frac.clamp(0.0, 1.0) * 8.0).round() as usize;
+    BLOCKS[idx.min(8)]
+}
+
+/// Renders a chart spec as plain text, `width` characters wide.
+pub fn render_text(spec: &ChartSpec, width: usize) -> String {
+    let width = width.max(24);
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(truncate(&spec.title, width));
+    match &spec.kind {
+        ChartKind::Histogram(h) => {
+            lines.push(sparkline(
+                &h.counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+                width,
+            ));
+            lines.push(format!(
+                "{}{}",
+                pad_right(&short(h.min), width / 2),
+                pad_left(&short(h.max), width - width / 2)
+            ));
+        }
+        ChartKind::Density(d) => {
+            lines.push(sparkline(&d.densities, width));
+            let lo = d.xs.first().copied().unwrap_or(0.0);
+            let hi = d.xs.last().copied().unwrap_or(0.0);
+            lines.push(format!(
+                "{}{}",
+                pad_right(&short(lo), width / 2),
+                pad_left(&short(hi), width - width / 2)
+            ));
+        }
+        ChartKind::BoxPlot(b) => {
+            lines.push(box_line(b, width));
+            lines.push(format!(
+                "med {}  iqr [{}, {}]  {} outliers",
+                short(b.median),
+                short(b.q1),
+                short(b.q3),
+                b.outliers.len()
+            ));
+        }
+        ChartKind::Pareto(p) => {
+            let max = p.bars.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+            let mut cum = 0u64;
+            for (label, count) in p.bars.iter().take(6) {
+                cum += count;
+                let bar_w = ((*count as f64 / max as f64) * (width as f64 * 0.4)) as usize;
+                lines.push(format!(
+                    "{} {} {:>4.0}% cum",
+                    pad_right(&truncate(label, width * 2 / 5), width * 2 / 5),
+                    "█".repeat(bar_w.max(1)),
+                    100.0 * cum as f64 / p.total.max(1) as f64
+                ));
+            }
+            if p.bars.len() > 6 {
+                lines.push(format!("… {} more", p.bars.len() - 6));
+            }
+        }
+        ChartKind::Scatter(s) => {
+            lines.extend(dot_grid(&s.points, width, 8));
+            if let Some((slope, _)) = s.fit {
+                lines.push(format!("fit slope {}", short(slope)));
+            }
+        }
+        ChartKind::GroupedScatter(g) => {
+            lines.extend(dot_grid(&g.points, width, 8));
+            lines.push(format!("{} groups", g.groups.len()));
+        }
+        ChartKind::Bar(b) => {
+            let max = b.values.iter().map(|v| v.abs()).fold(1e-12f64, f64::max);
+            for (label, &v) in b.labels.iter().zip(&b.values).take(8) {
+                let bar_w = ((v.abs() / max) * (width as f64 * 0.4)) as usize;
+                lines.push(format!(
+                    "{} {} {}",
+                    pad_right(&truncate(label, width * 2 / 5), width * 2 / 5),
+                    "█".repeat(bar_w.max(1)),
+                    short(v)
+                ));
+            }
+            if b.labels.len() > 8 {
+                lines.push(format!("… {} more", b.labels.len() - 8));
+            }
+        }
+        ChartKind::CorrelationHeatmap(h) => {
+            // compact glyph matrix: ·/▫/▪/█ by |ρ|, upper triangle only
+            for (i, row) in h.values.iter().enumerate() {
+                let mut line = String::new();
+                for (j, &v) in row.iter().enumerate() {
+                    let glyph = if j < i {
+                        ' '
+                    } else if v.is_nan() {
+                        '?'
+                    } else {
+                        match v.abs() {
+                            a if a > 0.75 => '█',
+                            a if a > 0.5 => '▓',
+                            a if a > 0.25 => '▒',
+                            _ => '·',
+                        }
+                    };
+                    line.push(glyph);
+                }
+                lines.push(truncate(
+                    &format!(
+                        "{line} {}",
+                        h.labels.get(i).map(String::as_str).unwrap_or("")
+                    ),
+                    width,
+                ));
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_owned()
+    } else {
+        let mut out: String = s.chars().take(width.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+fn pad_right(s: &str, width: usize) -> String {
+    let mut out = s.to_owned();
+    while out.chars().count() < width {
+        out.push(' ');
+    }
+    out
+}
+
+fn pad_left(s: &str, width: usize) -> String {
+    let mut out = String::new();
+    let len = s.chars().count();
+    for _ in len..width {
+        out.push(' ');
+    }
+    out.push_str(s);
+    out
+}
+
+fn short(v: f64) -> String {
+    crate::scale::format_tick(v)
+}
+
+/// A one-line sparkline resampled to `width` characters.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return " ".repeat(width);
+    }
+    let max = values.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    (0..width)
+        .map(|i| {
+            let idx = i * values.len() / width;
+            bar_char(values[idx] / max)
+        })
+        .collect()
+}
+
+fn box_line(b: &BoxPlotSpec, width: usize) -> String {
+    let lo = b.outliers.iter().copied().fold(b.whisker_lo, f64::min);
+    let hi = b.outliers.iter().copied().fold(b.whisker_hi, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let pos = |v: f64| (((v - lo) / span) * (width - 1) as f64) as usize;
+    let mut chars: Vec<char> = vec![' '; width];
+    for i in pos(b.whisker_lo)..=pos(b.whisker_hi) {
+        chars[i] = '─';
+    }
+    for i in pos(b.q1)..=pos(b.q3) {
+        chars[i] = '█';
+    }
+    chars[pos(b.median)] = '┃';
+    for &o in &b.outliers {
+        chars[pos(o)] = '●';
+    }
+    chars.into_iter().collect()
+}
+
+fn dot_grid(points: &[[f64; 2]], width: usize, height: usize) -> Vec<String> {
+    if points.is_empty() {
+        return vec!["(no points)".to_owned()];
+    }
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &[x, y] in points {
+        lo_x = lo_x.min(x);
+        hi_x = hi_x.max(x);
+        lo_y = lo_y.min(y);
+        hi_y = hi_y.max(y);
+    }
+    let sx = (hi_x - lo_x).max(1e-12);
+    let sy = (hi_y - lo_y).max(1e-12);
+    let mut grid = vec![vec![0u32; width]; height];
+    for &[x, y] in points {
+        let cx = (((x - lo_x) / sx) * (width - 1) as f64) as usize;
+        let cy = (((y - lo_y) / sy) * (height - 1) as f64) as usize;
+        grid[height - 1 - cy][cx] += 1;
+    }
+    grid.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|c| match c {
+                    0 => ' ',
+                    1 => '·',
+                    2..=3 => '∘',
+                    _ => '●',
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Lays out chart blocks side by side — one carousel row (Figure 1).
+pub fn carousel(blocks: &[String], gap: usize) -> String {
+    if blocks.is_empty() {
+        return String::new();
+    }
+    let split: Vec<Vec<&str>> = blocks.iter().map(|b| b.lines().collect()).collect();
+    let widths: Vec<usize> = split
+        .iter()
+        .map(|lines| lines.iter().map(|l| l.chars().count()).max().unwrap_or(0))
+        .collect();
+    let rows = split.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for r in 0..rows {
+        for (b, lines) in split.iter().enumerate() {
+            let cell = lines.get(r).copied().unwrap_or("");
+            out.push_str(&pad_right(cell, widths[b]));
+            if b + 1 < split.len() {
+                out.push_str(&" ".repeat(gap));
+                out.push('│');
+                out.push_str(&" ".repeat(gap));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_spec() -> ChartSpec {
+        ChartSpec {
+            title: "Dispersion of X".into(),
+            x_label: "x".into(),
+            y_label: "count".into(),
+            kind: ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 100.0,
+                counts: vec![2, 10, 30, 10, 2],
+            }),
+        }
+    }
+
+    #[test]
+    fn histogram_block() {
+        let block = render_text(&histogram_spec(), 40);
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines[0], "Dispersion of X");
+        assert_eq!(lines[1].chars().count(), 40);
+        assert!(lines[2].contains('0') && lines[2].contains("100"));
+    }
+
+    #[test]
+    fn sparkline_peaks_where_data_peaks() {
+        let line = sparkline(&[0.0, 0.0, 10.0, 0.0], 4);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars[2], '█');
+        assert_eq!(chars[0], ' ');
+    }
+
+    #[test]
+    fn boxplot_block_shows_outliers() {
+        let spec = ChartSpec {
+            title: "box".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            kind: ChartKind::BoxPlot(BoxPlotSpec {
+                whisker_lo: 0.0,
+                q1: 1.0,
+                median: 2.0,
+                q3: 3.0,
+                whisker_hi: 4.0,
+                outliers: vec![10.0],
+            }),
+        };
+        let block = render_text(&spec, 40);
+        assert!(block.contains('●'));
+        assert!(block.contains("1 outliers"));
+    }
+
+    #[test]
+    fn pareto_block_truncates() {
+        let bars: Vec<(String, u64)> = (0..10).map(|i| (format!("cat{i}"), 100 - i)).collect();
+        let spec = ChartSpec {
+            title: "pareto".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            kind: ChartKind::Pareto(ParetoSpec { bars, total: 955 }),
+        };
+        let block = render_text(&spec, 48);
+        assert!(block.contains("… 4 more"));
+        assert!(block.contains("cat0"));
+    }
+
+    #[test]
+    fn scatter_grid_dimensions() {
+        let spec = ChartSpec {
+            title: "sc".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            kind: ChartKind::Scatter(ScatterSpec {
+                points: vec![[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]],
+                fit: Some((1.0, 0.0)),
+            }),
+        };
+        let block = render_text(&spec, 30);
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines.len(), 1 + 8 + 1); // title + grid + fit line
+        assert!(block.contains("fit slope 1"));
+    }
+
+    #[test]
+    fn carousel_layout() {
+        let a = "AAA\naaa".to_owned();
+        let b = "BB\nbb\nextra".to_owned();
+        let row = carousel(&[a, b], 1);
+        let lines: Vec<&str> = row.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("AAA") && lines[0].contains("BB"));
+        assert!(lines[0].contains('│'));
+        assert!(lines[2].contains("extra"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(carousel(&[], 2), "");
+        assert_eq!(sparkline(&[], 5), "     ");
+    }
+
+    #[test]
+    fn long_title_truncated() {
+        let mut spec = histogram_spec();
+        spec.title = "x".repeat(100);
+        let block = render_text(&spec, 30);
+        assert!(block.lines().next().unwrap().chars().count() <= 30);
+        assert!(block.lines().next().unwrap().ends_with('…'));
+    }
+}

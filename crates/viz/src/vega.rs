@@ -1,0 +1,319 @@
+//! Vega-Lite emission: serialize any [`ChartSpec`] to a Vega-Lite v5 JSON
+//! document, so Foresight charts can be rendered by standard web tooling
+//! (the demo paper's UI used a web front end).
+
+use crate::spec::*;
+use serde_json::{json, Value};
+
+/// Converts a chart spec to a Vega-Lite v5 JSON document.
+pub fn to_vega_lite(spec: &ChartSpec) -> Value {
+    let mut doc = match &spec.kind {
+        ChartKind::Histogram(h) => histogram(h),
+        ChartKind::Density(d) => density(d),
+        ChartKind::BoxPlot(b) => boxplot(b),
+        ChartKind::Pareto(p) => pareto(p),
+        ChartKind::Scatter(s) => scatter(s, &spec.x_label, &spec.y_label),
+        ChartKind::GroupedScatter(g) => grouped_scatter(g, &spec.x_label, &spec.y_label),
+        ChartKind::CorrelationHeatmap(h) => heatmap(h),
+        ChartKind::Bar(b) => bar(b),
+    };
+    if let Value::Object(o) = &mut doc {
+        o.insert(
+            "$schema".into(),
+            json!("https://vega.github.io/schema/vega-lite/v5.json"),
+        );
+        o.insert("title".into(), json!(spec.title));
+    }
+    doc
+}
+
+fn histogram(h: &HistogramSpec) -> Value {
+    let width = (h.max - h.min) / h.counts.len().max(1) as f64;
+    let rows: Vec<Value> = h
+        .counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            json!({
+                "bin_start": h.min + i as f64 * width,
+                "bin_end": h.min + (i + 1) as f64 * width,
+                "count": c,
+            })
+        })
+        .collect();
+    json!({
+        "data": {"values": rows},
+        "mark": "bar",
+        "encoding": {
+            "x": {"field": "bin_start", "bin": {"binned": true}, "type": "quantitative"},
+            "x2": {"field": "bin_end"},
+            "y": {"field": "count", "type": "quantitative"},
+        }
+    })
+}
+
+fn density(d: &DensitySpec) -> Value {
+    let rows: Vec<Value> =
+        d.xs.iter()
+            .zip(&d.densities)
+            .map(|(&x, &y)| json!({"x": x, "density": y}))
+            .collect();
+    json!({
+        "data": {"values": rows},
+        "mark": "line",
+        "encoding": {
+            "x": {"field": "x", "type": "quantitative"},
+            "y": {"field": "density", "type": "quantitative"},
+        }
+    })
+}
+
+fn boxplot(b: &BoxPlotSpec) -> Value {
+    json!({
+        "data": {"values": [{
+            "lower": b.whisker_lo, "q1": b.q1, "median": b.median,
+            "q3": b.q3, "upper": b.whisker_hi,
+            "outliers": b.outliers,
+        }]},
+        "layer": [
+            {"mark": {"type": "rule"},
+             "encoding": {"x": {"field": "lower", "type": "quantitative"},
+                          "x2": {"field": "upper"}}},
+            {"mark": {"type": "bar", "height": 24},
+             "encoding": {"x": {"field": "q1", "type": "quantitative"},
+                          "x2": {"field": "q3"}}},
+            {"mark": {"type": "tick", "color": "white"},
+             "encoding": {"x": {"field": "median", "type": "quantitative"}}},
+            {"transform": [{"flatten": ["outliers"]}],
+             "mark": {"type": "point", "color": "red"},
+             "encoding": {"x": {"field": "outliers", "type": "quantitative"}}}
+        ]
+    })
+}
+
+fn pareto(p: &ParetoSpec) -> Value {
+    let mut cum = 0u64;
+    let rows: Vec<Value> = p
+        .bars
+        .iter()
+        .map(|(label, count)| {
+            cum += count;
+            json!({
+                "category": label,
+                "count": count,
+                "cumulative": cum as f64 / p.total.max(1) as f64,
+            })
+        })
+        .collect();
+    json!({
+        "data": {"values": rows},
+        "layer": [
+            {"mark": "bar",
+             "encoding": {
+                 "x": {"field": "category", "type": "nominal", "sort": "-y"},
+                 "y": {"field": "count", "type": "quantitative"}}},
+            {"mark": {"type": "line", "color": "firebrick", "point": true},
+             "encoding": {
+                 "x": {"field": "category", "type": "nominal", "sort": null},
+                 "y": {"field": "cumulative", "type": "quantitative",
+                        "axis": {"format": ".0%"}}}}
+        ],
+        "resolve": {"scale": {"y": "independent"}}
+    })
+}
+
+fn scatter(s: &ScatterSpec, x_label: &str, y_label: &str) -> Value {
+    let rows: Vec<Value> = s
+        .points
+        .iter()
+        .map(|&[x, y]| json!({"x": x, "y": y}))
+        .collect();
+    let points = json!({
+        "mark": {"type": "point", "opacity": 0.55},
+        "encoding": {
+            "x": {"field": "x", "type": "quantitative", "title": x_label},
+            "y": {"field": "y", "type": "quantitative", "title": y_label},
+        }
+    });
+    match s.fit {
+        Some((slope, intercept)) => {
+            let (lo, hi) = s
+                .points
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &[x, _]| {
+                    (lo.min(x), hi.max(x))
+                });
+            let (lo, hi) = if lo.is_finite() { (lo, hi) } else { (0.0, 1.0) };
+            json!({
+                "data": {"values": rows},
+                "layer": [
+                    points,
+                    {"data": {"values": [
+                        {"x": lo, "y": slope * lo + intercept},
+                        {"x": hi, "y": slope * hi + intercept}]},
+                     "mark": {"type": "line", "color": "firebrick"},
+                     "encoding": {
+                        "x": {"field": "x", "type": "quantitative"},
+                        "y": {"field": "y", "type": "quantitative"}}}
+                ]
+            })
+        }
+        None => json!({"data": {"values": rows}, "layer": [points]}),
+    }
+}
+
+fn grouped_scatter(g: &GroupedScatterSpec, x_label: &str, y_label: &str) -> Value {
+    let rows: Vec<Value> = g
+        .points
+        .iter()
+        .zip(&g.group_of)
+        .map(|(&[x, y], &grp)| {
+            json!({"x": x, "y": y,
+                   "group": g.groups.get(grp).cloned().unwrap_or_else(|| grp.to_string())})
+        })
+        .collect();
+    json!({
+        "data": {"values": rows},
+        "mark": {"type": "point", "opacity": 0.6},
+        "encoding": {
+            "x": {"field": "x", "type": "quantitative", "title": x_label},
+            "y": {"field": "y", "type": "quantitative", "title": y_label},
+            "color": {"field": "group", "type": "nominal"},
+        }
+    })
+}
+
+fn bar(b: &BarSpec) -> Value {
+    let rows: Vec<Value> = b
+        .labels
+        .iter()
+        .zip(&b.values)
+        .map(|(l, &v)| json!({"label": l, "value": v}))
+        .collect();
+    json!({
+        "data": {"values": rows},
+        "mark": "bar",
+        "encoding": {
+            "y": {"field": "label", "type": "nominal", "sort": "-x"},
+            "x": {"field": "value", "type": "quantitative"},
+        }
+    })
+}
+
+fn heatmap(h: &HeatmapSpec) -> Value {
+    let mut rows = Vec::new();
+    for (i, row) in h.values.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            rows.push(json!({
+                "a": h.labels[i], "b": h.labels[j],
+                "value": if v.is_nan() { Value::Null } else { json!(v) },
+                "abs": if v.is_nan() { Value::Null } else { json!(v.abs()) },
+            }));
+        }
+    }
+    json!({
+        "data": {"values": rows},
+        "mark": "circle",
+        "encoding": {
+            "x": {"field": "b", "type": "nominal", "sort": null},
+            "y": {"field": "a", "type": "nominal", "sort": null},
+            "size": {"field": "abs", "type": "quantitative",
+                     "scale": {"domain": [0, 1]}, "legend": null},
+            "color": {"field": "value", "type": "quantitative",
+                      "scale": {"domain": [-1, 1], "scheme": "redblue", "reverse": true}},
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrap(kind: ChartKind) -> ChartSpec {
+        ChartSpec {
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn all_kinds_emit_schema_and_title() {
+        let specs = vec![
+            wrap(ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 1.0,
+                counts: vec![1, 2],
+            })),
+            wrap(ChartKind::BoxPlot(BoxPlotSpec {
+                whisker_lo: 0.0,
+                q1: 1.0,
+                median: 2.0,
+                q3: 3.0,
+                whisker_hi: 4.0,
+                outliers: vec![],
+            })),
+            wrap(ChartKind::Pareto(ParetoSpec {
+                bars: vec![("a".into(), 3)],
+                total: 3,
+            })),
+            wrap(ChartKind::Scatter(ScatterSpec {
+                points: vec![[0.0, 1.0]],
+                fit: Some((1.0, 0.0)),
+            })),
+            wrap(ChartKind::CorrelationHeatmap(HeatmapSpec {
+                labels: vec!["A".into()],
+                values: vec![vec![1.0]],
+            })),
+            wrap(ChartKind::GroupedScatter(GroupedScatterSpec {
+                points: vec![[0.0, 0.0]],
+                group_of: vec![0],
+                groups: vec!["g".into()],
+            })),
+            wrap(ChartKind::Density(DensitySpec {
+                xs: vec![0.0, 1.0],
+                densities: vec![0.5, 0.5],
+            })),
+        ];
+        for s in specs {
+            let v = to_vega_lite(&s);
+            assert!(v["$schema"].as_str().unwrap().contains("vega-lite"));
+            assert_eq!(v["title"], "test");
+            // the document must be serializable
+            assert!(!serde_json::to_string(&v).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn pareto_cumulative_reaches_one() {
+        let v = to_vega_lite(&wrap(ChartKind::Pareto(ParetoSpec {
+            bars: vec![("a".into(), 6), ("b".into(), 4)],
+            total: 10,
+        })));
+        let rows = v["data"]["values"].as_array().unwrap();
+        assert_eq!(rows[1]["cumulative"], 1.0);
+        assert_eq!(rows[0]["cumulative"], 0.6);
+    }
+
+    #[test]
+    fn heatmap_nan_becomes_null() {
+        let v = to_vega_lite(&wrap(ChartKind::CorrelationHeatmap(HeatmapSpec {
+            labels: vec!["A".into(), "B".into()],
+            values: vec![vec![1.0, f64::NAN], vec![f64::NAN, 1.0]],
+        })));
+        let rows = v["data"]["values"].as_array().unwrap();
+        assert!(rows[1]["value"].is_null());
+    }
+
+    #[test]
+    fn scatter_fit_layer_present() {
+        let v = to_vega_lite(&wrap(ChartKind::Scatter(ScatterSpec {
+            points: vec![[0.0, 0.0], [2.0, 4.0]],
+            fit: Some((2.0, 0.0)),
+        })));
+        assert_eq!(v["layer"].as_array().unwrap().len(), 2);
+        let line_data = &v["layer"][1]["data"]["values"];
+        assert_eq!(line_data[1]["y"], 4.0);
+    }
+}

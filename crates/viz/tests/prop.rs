@@ -1,0 +1,114 @@
+//! Property-based tests: every renderer must accept arbitrary (even
+//! adversarial) chart specs without panicking, and SVG output must stay
+//! structurally sound.
+
+use foresight_viz::*;
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = ChartSpec> {
+    let title = "[\\PC]{0,30}";
+    let values = proptest::collection::vec(-1e9f64..1e9, 0..40);
+    let counts = proptest::collection::vec(0u64..10_000, 0..40);
+    let labels = proptest::collection::vec("[a-z<>&\"]{0,8}", 0..12);
+
+    let histogram =
+        (title, -1e6f64..1e6, 0.0f64..1e6, counts.clone()).prop_map(|(t, min, span, counts)| {
+            ChartSpec {
+                title: t,
+                x_label: "x".into(),
+                y_label: "y".into(),
+                kind: ChartKind::Histogram(HistogramSpec {
+                    min,
+                    max: min + span,
+                    counts,
+                }),
+            }
+        });
+    let scatter = (values.clone(), values.clone()).prop_map(|(xs, ys)| ChartSpec {
+        title: "s".into(),
+        x_label: "x".into(),
+        y_label: "y".into(),
+        kind: ChartKind::Scatter(ScatterSpec {
+            points: xs.iter().zip(&ys).map(|(&x, &y)| [x, y]).collect(),
+            fit: None,
+        }),
+    });
+    let bar = (labels.clone(), values.clone()).prop_map(|(ls, vs)| {
+        let n = ls.len().min(vs.len());
+        ChartSpec {
+            title: "b".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind: ChartKind::Bar(BarSpec {
+                labels: ls.into_iter().take(n).collect(),
+                values: vs.into_iter().take(n).collect(),
+            }),
+        }
+    });
+    let pareto = (labels, counts).prop_map(|(ls, cs)| {
+        let n = ls.len().min(cs.len());
+        let bars: Vec<(String, u64)> = ls.into_iter().zip(cs).take(n).collect();
+        let total = bars.iter().map(|(_, c)| c).sum();
+        ChartSpec {
+            title: "p".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            kind: ChartKind::Pareto(ParetoSpec { bars, total }),
+        }
+    });
+    let heatmap = (2usize..6).prop_flat_map(|d| {
+        proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, d), d).prop_map(
+            move |values| ChartSpec {
+                title: "h".into(),
+                x_label: String::new(),
+                y_label: String::new(),
+                kind: ChartKind::CorrelationHeatmap(HeatmapSpec {
+                    labels: (0..d).map(|i| format!("c{i}")).collect(),
+                    values,
+                }),
+            },
+        )
+    });
+    prop_oneof![histogram, scatter, bar, pareto, heatmap]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_renderers_accept_arbitrary_specs(spec in arbitrary_spec()) {
+        let svg = render_svg(&spec, SvgOptions::default());
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>"));
+        prop_assert!(!svg.contains("NaN"), "NaN leaked into SVG");
+        // every raw < in user text must have been escaped
+        prop_assert!(!svg.contains("<<"));
+
+        let text = render_text(&spec, 40);
+        prop_assert!(!text.is_empty());
+
+        let vega = to_vega_lite(&spec);
+        prop_assert!(vega["$schema"].is_string());
+        prop_assert!(serde_json::to_string(&vega).is_ok());
+
+        let mut report = Report::new("prop");
+        report.section("s", "", vec![spec]);
+        let html = report.to_html();
+        prop_assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn carousel_never_misaligns(blocks in proptest::collection::vec("[a-z\\n ]{0,40}", 0..5)) {
+        let rendered = carousel(&blocks, 1);
+        // every line of the carousel has the same display width
+        let widths: Vec<usize> = rendered.lines().map(|l| l.chars().count()).collect();
+        if let Some(&first) = widths.first() {
+            prop_assert!(widths.iter().all(|&w| w == first), "ragged carousel: {:?}", widths);
+        }
+    }
+
+    #[test]
+    fn sparkline_width_is_exact(values in proptest::collection::vec(0.0f64..1e6, 0..50), width in 1usize..120) {
+        prop_assert_eq!(foresight_viz::text::sparkline(&values, width).chars().count(), width);
+    }
+}

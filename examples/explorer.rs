@@ -1,0 +1,293 @@
+//! An interactive terminal explorer — the CLI stand-in for the paper's demo
+//! UI. Load a dataset (bundled generator or any CSV), browse ranked insight
+//! carousels, run constrained insight queries, focus insights to steer the
+//! recommendations, inspect overview charts, and save/restore sessions.
+//!
+//! ```sh
+//! cargo run --release --example explorer                # OECD
+//! cargo run --release --example explorer -- imdb        # bundled dataset
+//! cargo run --release --example explorer -- data.csv    # your data
+//! echo -e "top linear-relationship 3\nquit" | cargo run --example explorer
+//! ```
+
+use foresight::data::csv::read_csv;
+use foresight::data::infer::InferOptions;
+use foresight::prelude::*;
+use std::io::{self, BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  classes                      list the registered insight classes
+  top <class> [k]              top-k insights of a class (respects fix/range)
+  fix <column name>            constrain queries to tuples containing a column
+  range <lo> <hi>              constrain the metric score range
+  semantic <tag>               require a semantic tag (currency, year, ...)
+  clear                        drop all query constraints
+  show <idx>                   render the chart of result #idx from the last query
+  focus <idx>                  focus result #idx (steers recommendations)
+  unfocus                      clear the focus set
+  carousels [k]                one ranked strip per class (Figure 1)
+  profile                      dataset profile: column summaries + headline insights
+  overview <class>             the class overview chart (Figure 2 for linear)
+  mode exact|approx            switch scoring mode (approx builds sketches once)
+  save <path> / load <path>    persist / restore the session
+  help / quit";
+
+struct Repl {
+    engine: Foresight,
+    fixed: Vec<usize>,
+    range: Option<(f64, f64)>,
+    semantic: Option<String>,
+    last: Vec<InsightInstance>,
+}
+
+impl Repl {
+    fn build_query(&self, class: &str, k: usize) -> InsightQuery {
+        let mut q = InsightQuery::class(class).top_k(k);
+        for &f in &self.fixed {
+            q = q.fix_attr(f);
+        }
+        if let Some((lo, hi)) = self.range {
+            q = q.score_range(lo, hi);
+        }
+        if let Some(tag) = &self.semantic {
+            q = q.require_semantic(tag.clone());
+        }
+        q
+    }
+
+    fn command(&mut self, line: &str) -> bool {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return true;
+        };
+        let rest: Vec<&str> = parts.collect();
+        match cmd {
+            "quit" | "exit" => return false,
+            "help" => println!("{HELP}"),
+            "classes" => {
+                for c in self.engine.registry().classes() {
+                    println!("  {:<28} {:<32} {}", c.id(), c.metric(), c.description());
+                }
+            }
+            "top" => {
+                let Some(class) = rest.first() else {
+                    println!("usage: top <class> [k]");
+                    return true;
+                };
+                let k = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+                match self.engine.query(&self.build_query(class, k)) {
+                    Ok(out) => {
+                        self.last = out;
+                        if self.last.is_empty() {
+                            println!("(no insights match the current constraints)");
+                        }
+                        for (i, inst) in self.last.iter().enumerate() {
+                            println!("  [{i}] {:.3}  {}", inst.score, inst.detail);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "fix" => {
+                let name = rest.join(" ");
+                match self.engine.table().index_of(&name) {
+                    Ok(idx) => {
+                        self.fixed.push(idx);
+                        println!("fixed attribute: {name} (#{idx})");
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "range" => {
+                match (
+                    rest.first().and_then(|s| s.parse().ok()),
+                    rest.get(1).and_then(|s| s.parse().ok()),
+                ) {
+                    (Some(lo), Some(hi)) => {
+                        self.range = Some((lo, hi));
+                        println!("score range: [{lo}, {hi}]");
+                    }
+                    _ => println!("usage: range <lo> <hi>"),
+                }
+            }
+            "semantic" => match rest.first() {
+                Some(tag) => {
+                    self.semantic = Some(tag.to_string());
+                    println!("requiring semantic tag: {tag}");
+                }
+                None => println!("usage: semantic <tag>"),
+            },
+            "clear" => {
+                self.fixed.clear();
+                self.range = None;
+                self.semantic = None;
+                println!("constraints cleared");
+            }
+            "show" => {
+                let Some(idx) = rest.first().and_then(|s| s.parse::<usize>().ok()) else {
+                    println!("usage: show <idx>");
+                    return true;
+                };
+                match self.last.get(idx) {
+                    Some(inst) => match self.engine.chart(inst) {
+                        Ok(Some(spec)) => println!("{}", render_text(&spec, 72)),
+                        Ok(None) => println!("(no chart for this insight)"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("no result #{idx}; run `top` first"),
+                }
+            }
+            "focus" => {
+                let Some(idx) = rest.first().and_then(|s| s.parse::<usize>().ok()) else {
+                    println!("usage: focus <idx>");
+                    return true;
+                };
+                match self.last.get(idx) {
+                    Some(inst) => {
+                        println!("focused: {}", inst.detail);
+                        self.engine.focus(inst.clone());
+                    }
+                    None => println!("no result #{idx}; run `top` first"),
+                }
+            }
+            "unfocus" => {
+                let attrs: Vec<_> = self
+                    .engine
+                    .session()
+                    .focus
+                    .iter()
+                    .map(|f| f.attrs)
+                    .collect();
+                for a in attrs {
+                    self.engine.unfocus(&a);
+                }
+                println!("focus cleared");
+            }
+            "profile" => match self.engine.profile() {
+                Ok(p) => println!("{}", p.to_text()),
+                Err(e) => println!("error: {e}"),
+            },
+            "carousels" => {
+                let k = rest.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+                match self.engine.carousels(k) {
+                    Ok(cs) => {
+                        for c in cs.iter().filter(|c| !c.instances.is_empty()) {
+                            println!("── {} ──", c.class_name);
+                            for inst in &c.instances {
+                                println!("    {:.3}  {}", inst.score, inst.detail);
+                            }
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "overview" => {
+                let Some(class) = rest.first() else {
+                    println!("usage: overview <class>");
+                    return true;
+                };
+                match self.engine.overview(class) {
+                    Ok(Some(spec)) => println!("{}", render_text(&spec, 100)),
+                    Ok(None) => println!("(this class has no overview chart)"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "mode" => match rest.first() {
+                Some(&"approx") => {
+                    if self.engine.catalog().is_none() {
+                        println!("building sketch catalog…");
+                        self.engine.preprocess(&CatalogConfig::default());
+                    } else {
+                        self.engine
+                            .set_mode(Mode::Approximate)
+                            .expect("catalog built");
+                    }
+                    println!("mode: approximate (sketch-backed)");
+                }
+                Some(&"exact") => {
+                    self.engine
+                        .set_mode(Mode::Exact)
+                        .expect("exact always works");
+                    println!("mode: exact");
+                }
+                _ => println!("usage: mode exact|approx"),
+            },
+            "save" => match rest.first() {
+                Some(path) => match std::fs::File::create(path)
+                    .map_err(foresight::engine::EngineError::from)
+                    .and_then(|f| self.engine.session().save(f))
+                {
+                    Ok(()) => println!("session saved to {path}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: save <path>"),
+            },
+            "load" => match rest.first() {
+                Some(path) => match std::fs::File::open(path)
+                    .map_err(foresight::engine::EngineError::from)
+                    .and_then(Session::load)
+                {
+                    Ok(s) => {
+                        println!(
+                            "restored session: {} focused insights, {} events",
+                            s.focus.len(),
+                            s.history.len()
+                        );
+                        self.engine.restore_session(s);
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: load <path>"),
+            },
+            other => println!("unknown command `{other}` (try `help`)"),
+        }
+        true
+    }
+}
+
+fn load_table(arg: Option<&str>) -> Table {
+    match arg {
+        None | Some("oecd") => datasets::oecd(),
+        Some("imdb") => datasets::imdb(),
+        Some("parkinson") => datasets::parkinson(),
+        Some(path) => read_csv(path, &InferOptions::default())
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let table = load_table(arg.as_deref());
+    println!(
+        "Foresight explorer — `{}`: {} rows × {} columns (type `help`)",
+        table.name(),
+        table.n_rows(),
+        table.n_cols()
+    );
+    let mut repl = Repl {
+        engine: Foresight::new(table),
+        fixed: Vec::new(),
+        range: None,
+        semantic: None,
+        last: Vec::new(),
+    };
+    let stdin = io::stdin();
+    loop {
+        print!("foresight> ");
+        io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if !repl.command(line.trim()) {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

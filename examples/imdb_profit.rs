@@ -1,0 +1,100 @@
+//! The IMDB demo questions (paper §4.2): *what factors correlate highly
+//! with a film's profitability?* and *how are critical responses and
+//! commercial success interrelated?* — answered with insight queries, then
+//! rendered as SVG charts in `target/imdb_charts/`.
+//!
+//! ```sh
+//! cargo run --release --example imdb_profit
+//! ```
+
+use foresight::prelude::*;
+use foresight::viz::SvgOptions;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let table = datasets::imdb();
+    println!(
+        "IMDB: {} movies × {} features",
+        table.n_rows(),
+        table.n_cols()
+    );
+    let profit = table.index_of("Profit").unwrap();
+    let score = table.index_of("IMDB Score").unwrap();
+    let gross = table.index_of("Gross").unwrap();
+
+    let mut engine = Foresight::new(table);
+    engine.preprocess(&CatalogConfig::default());
+
+    // Q1: what correlates with profitability? Monotonic (Spearman) handles
+    // the heavy-tailed dollar scales better than Pearson.
+    let correlates = engine
+        .query(
+            &InsightQuery::class("monotonic-relationship")
+                .top_k(6)
+                .fix_attr(profit),
+        )
+        .unwrap();
+    println!("\nwhat moves with Profit (Spearman):");
+    for c in &correlates {
+        println!("  {:.2}  {}", c.score, c.detail);
+    }
+
+    // Q2: critical response vs commercial success.
+    let critic_vs_gross = engine
+        .query(
+            &InsightQuery::class("monotonic-relationship")
+                .top_k(1)
+                .fix_attr(score)
+                .fix_attr(gross),
+        )
+        .unwrap();
+    println!("\ncritical response vs commercial success:");
+    println!("  {}", critic_vs_gross[0].detail);
+
+    // Bonus: the movie-business distributions are wild — show the
+    // heavy-tails carousel.
+    let heavy = engine
+        .query(&InsightQuery::class("heavy-tails").top_k(4))
+        .unwrap();
+    println!("\nheaviest-tailed features:");
+    for h in &heavy {
+        println!("  kurt = {:.0}  {}", h.score, h.detail);
+    }
+
+    // Render the headline charts to SVG.
+    let out_dir = Path::new("target/imdb_charts");
+    fs::create_dir_all(out_dir).expect("create output dir");
+    let mut rendered = 0;
+    for inst in correlates.iter().take(2).chain(&critic_vs_gross) {
+        if let Ok(Some(spec)) = engine.chart(inst) {
+            let svg = render_svg(&spec, SvgOptions::default());
+            let path = out_dir.join(format!("{}_{rendered}.svg", spec.kind_name()));
+            fs::write(&path, svg).expect("write svg");
+            rendered += 1;
+        }
+    }
+    // and the Figure-2-style overview for the whole dataset
+    if let Ok(Some(fig2)) = engine.overview("linear-relationship") {
+        fs::write(
+            out_dir.join("correlation_overview.svg"),
+            render_svg(
+                &fig2,
+                SvgOptions {
+                    width: 760.0,
+                    height: 760.0,
+                    margin: 40.0,
+                },
+            ),
+        )
+        .expect("write svg");
+        rendered += 1;
+    }
+    println!("\nwrote {rendered} SVG charts to {}", out_dir.display());
+
+    // and a self-contained HTML report of every carousel
+    let report = engine.report(3).expect("default classes");
+    let report_path = out_dir.join("report.html");
+    fs::write(&report_path, report.to_html()).expect("write report");
+    println!("wrote {}", report_path.display());
+}

@@ -1,0 +1,87 @@
+//! Exercises Foresight at the paper's target scale — "data items of the
+//! order of 100K and attributes that number in the hundreds" (§4.1) —
+//! and prints the preprocessing/query timings that make the case for
+//! sketching.
+//!
+//! ```sh
+//! cargo run --release --example large_scale [rows] [numeric_cols]
+//! ```
+
+use foresight::data::datasets::{synth, SynthConfig};
+use foresight::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let cols: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+
+    println!("generating {rows} × {cols} synthetic table with planted structure…");
+    let t0 = Instant::now();
+    let (table, truth) = synth(&SynthConfig::benchmark(rows, cols, 42));
+    println!(
+        "  generated in {:.1?} ({} planted correlated pairs)",
+        t0.elapsed(),
+        truth.correlated_pairs.len()
+    );
+
+    let mut engine = Foresight::new(table);
+    engine.set_parallel(true);
+
+    // Preprocessing: one pass building every sketch.
+    let t0 = Instant::now();
+    let catalog = engine.preprocess(&CatalogConfig {
+        parallel: true,
+        ..Default::default()
+    });
+    let k = catalog.hyperplane_config().k;
+    let bytes = catalog.hyperplane_bytes();
+    println!(
+        "  sketch catalog built in {:.1?} (hyperplane k = {k}, correlation bits = {bytes} bytes total)",
+        t0.elapsed()
+    );
+
+    // Interactive queries over the catalog.
+    for (name, query) in [
+        (
+            "top-5 correlations",
+            InsightQuery::class("linear-relationship").top_k(5),
+        ),
+        (
+            "correlations with col 0 in [0.3, 0.9]",
+            InsightQuery::class("linear-relationship")
+                .top_k(5)
+                .fix_attr(0)
+                .score_range(0.3, 0.9),
+        ),
+        ("top-5 skews", InsightQuery::class("skew").top_k(5)),
+        (
+            "top-5 heavy tails",
+            InsightQuery::class("heavy-tails").top_k(5),
+        ),
+        (
+            "top-5 monotonic",
+            InsightQuery::class("monotonic-relationship").top_k(5),
+        ),
+    ] {
+        let t0 = Instant::now();
+        let out = engine.query(&query).unwrap();
+        println!("  {name}: {:.1?} → {} results", t0.elapsed(), out.len());
+        if let Some(first) = out.first() {
+            println!("      #1: {}", first.detail);
+        }
+    }
+
+    // Sanity: the strongest sketch-ranked correlation should be a planted
+    // pair (or its equal); report the agreement.
+    let top = engine
+        .query(&InsightQuery::class("linear-relationship").top_k(10))
+        .unwrap();
+    let planted: Vec<AttrTuple> = truth
+        .correlated_pairs
+        .iter()
+        .map(|&(i, j, _)| AttrTuple::Two(i, j))
+        .collect();
+    let hits = top.iter().filter(|t| planted.contains(&t.attrs)).count();
+    println!("\n  {hits}/10 of the sketch-ranked top-10 pairs are planted ground truth");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: load a dataset, preprocess sketches, and print the top
+//! insights from every class as a terminal carousel (the paper's Figure 1
+//! experience in a CLI).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use foresight::prelude::*;
+
+fn main() {
+    // 1. Load data. Any CSV works via foresight::data::csv::read_csv;
+    //    here we use the bundled OECD wellbeing generator (35 × 25).
+    let table = datasets::oecd();
+    println!(
+        "dataset `{}`: {} rows × {} columns\n",
+        table.name(),
+        table.n_rows(),
+        table.n_cols()
+    );
+
+    let mut fs = Foresight::new(table);
+
+    // 2. Preprocess: build the sketch catalog (hyperplane correlation bits,
+    //    KLL quantiles, heavy hitters, entropy registers…) and switch to
+    //    interactive approximate mode.
+    fs.preprocess(&CatalogConfig::default());
+
+    // 3. First stage of exploration: every class's strongest insights.
+    let carousels = fs.carousels(3).expect("default classes never fail");
+    for c in &carousels {
+        if c.instances.is_empty() {
+            continue;
+        }
+        println!("── {} (ranked by {}) ──", c.class_name, c.metric);
+        let blocks: Vec<String> = c
+            .instances
+            .iter()
+            .filter_map(|inst| fs.chart(inst).ok().flatten())
+            .map(|spec| render_text(&spec, 36))
+            .collect();
+        print!("{}", carousel(&blocks, 1));
+        println!();
+    }
+
+    // 4. Dive deeper: an insight query with a fixed attribute and a score
+    //    filter (find what correlates with Life Satisfaction, excluding
+    //    trivially-perfect pairs).
+    let ls = fs.table().index_of("Life Satisfaction").unwrap();
+    let related = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(5)
+                .fix_attr(ls)
+                .score_range(0.3, 0.95),
+        )
+        .unwrap();
+    println!("most correlated with Life Satisfaction (0.3 ≤ |ρ| ≤ 0.95):");
+    for inst in &related {
+        println!("  {:.2}  {}", inst.score, inst.detail);
+    }
+}

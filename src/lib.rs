@@ -1,0 +1,59 @@
+//! # Foresight
+//!
+//! A Rust implementation of **"Foresight: Recommending Visual Insights"**
+//! (Demiralp, Haas, Parthasarathy, Pedapati — VLDB 2017): a system that
+//! recommends *visual insights* — strong manifestations of distributional
+//! properties — over large, high-dimensional tables, and lets the user
+//! explore the space of insights directly through insight queries,
+//! focus-driven neighborhoods, and class-level overview visualizations,
+//! with sketch-based approximation for interactive speed.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`data`] | column-oriented tables, CSV, type inference, demo datasets |
+//! | [`stats`] | exact ranking metrics (moments, correlation, dip, …) |
+//! | [`sketch`] | hyperplane/KLL/GK/SpaceSaving/entropy/… sketches + catalog |
+//! | [`viz`] | chart specs + SVG / terminal / Vega-Lite renderers |
+//! | [`insight`] | the 12 insight classes and the plug-in registry |
+//! | [`engine`] | insight queries, neighborhoods, sessions, carousels |
+//!
+//! ## Quick start
+//! ```
+//! use foresight::prelude::*;
+//!
+//! // load a demo dataset and ask for the strongest correlations
+//! let mut fs = Foresight::new(datasets::oecd());
+//! let top = fs
+//!     .query(&InsightQuery::class("linear-relationship").top_k(3))
+//!     .unwrap();
+//! assert_eq!(top.len(), 3);
+//!
+//! // switch to interactive (sketch-backed) mode
+//! fs.preprocess(&CatalogConfig::default());
+//! let carousels = fs.carousels(3).unwrap();
+//! assert_eq!(carousels.len(), 12);
+//! ```
+
+pub use foresight_data as data;
+pub use foresight_engine as engine;
+pub use foresight_insight as insight;
+pub use foresight_sketch as sketch;
+pub use foresight_stats as stats;
+pub use foresight_viz as viz;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use foresight_data::datasets;
+    pub use foresight_data::{Table, TableBuilder};
+    pub use foresight_engine::{
+        profile, Carousel, DatasetProfile, EngineError, Executor, Foresight, InsightQuery, Mode,
+        NeighborhoodWeights, Session,
+    };
+    pub use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
+    pub use foresight_sketch::{CatalogConfig, SketchCatalog};
+    pub use foresight_viz::{
+        carousel, render_svg, render_text, to_vega_lite, ChartSpec, Report, SvgOptions,
+    };
+}

@@ -1,0 +1,134 @@
+//! Robustness under degenerate inputs: empty tables, single rows, constant
+//! and all-missing columns. The engine must degrade to empty results —
+//! never panic — so a malformed upload can't take the system down.
+
+use foresight::prelude::*;
+
+fn explore_everything(mut fs: Foresight) {
+    let class_ids: Vec<String> = fs
+        .registry()
+        .classes()
+        .iter()
+        .map(|c| c.id().to_owned())
+        .collect();
+    for id in class_ids {
+        let out = fs
+            .query(&InsightQuery::class(&id).top_k(5))
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        for inst in &out {
+            assert!(inst.score.is_finite(), "{id} produced non-finite score");
+            let _ = fs.chart(&inst.clone()).expect("chart never errors");
+        }
+        let _ = fs.overview(&id).expect("overview never errors");
+    }
+    let carousels = fs.carousels(3).expect("carousels never error");
+    assert_eq!(carousels.len(), 12);
+    let _ = fs.profile().expect("profile never errors");
+}
+
+#[test]
+fn empty_table() {
+    let table = TableBuilder::new("empty").build().unwrap();
+    explore_everything(Foresight::new(table));
+}
+
+#[test]
+fn zero_rows_with_columns() {
+    let table = TableBuilder::new("no-rows")
+        .numeric("x", vec![])
+        .categorical("c", Vec::<&str>::new())
+        .build()
+        .unwrap();
+    explore_everything(Foresight::new(table));
+}
+
+#[test]
+fn single_row() {
+    let table = TableBuilder::new("one")
+        .numeric("x", vec![1.0])
+        .numeric("y", vec![2.0])
+        .categorical("c", ["a"])
+        .build()
+        .unwrap();
+    explore_everything(Foresight::new(table));
+}
+
+#[test]
+fn constant_and_all_missing_columns() {
+    let table = TableBuilder::new("degenerate")
+        .numeric("constant", vec![7.0; 50])
+        .numeric("all_missing", vec![f64::NAN; 50])
+        .numeric(
+            "half_missing",
+            (0..50)
+                .map(|i| if i % 2 == 0 { i as f64 } else { f64::NAN })
+                .collect(),
+        )
+        .numeric("normal", (0..50).map(|i| i as f64).collect())
+        .categorical("single_label", (0..50).map(|_| "only"))
+        .categorical("all_null", (0..50).map(|_| ""))
+        .build()
+        .unwrap();
+    explore_everything(Foresight::new(table));
+}
+
+#[test]
+fn degenerate_tables_survive_preprocessing() {
+    for table in [
+        TableBuilder::new("empty").build().unwrap(),
+        TableBuilder::new("tiny")
+            .numeric("x", vec![1.0, 2.0])
+            .build()
+            .unwrap(),
+        TableBuilder::new("weird")
+            .numeric("constant", vec![3.0; 20])
+            .numeric("missing", vec![f64::NAN; 20])
+            .categorical("c", (0..20).map(|_| "x"))
+            .build()
+            .unwrap(),
+    ] {
+        let mut fs = Foresight::new(table);
+        fs.preprocess(&CatalogConfig::default());
+        fs.build_index();
+        explore_everything(fs);
+    }
+}
+
+#[test]
+fn extreme_values_do_not_poison_charts() {
+    let table = TableBuilder::new("extreme")
+        .numeric("huge", (0..100).map(|i| i as f64 * 1e300).collect())
+        .numeric("tiny", (0..100).map(|i| i as f64 * 1e-300).collect())
+        .numeric(
+            "mixed",
+            (0..100)
+                .map(|i| if i == 50 { 1e12 } else { i as f64 })
+                .collect(),
+        )
+        .build()
+        .unwrap();
+    let mut fs = Foresight::new(table);
+    for id in ["dispersion", "skew", "outliers", "heavy-tails"] {
+        let out = fs.query(&InsightQuery::class(id).top_k(3)).unwrap();
+        for inst in out {
+            if let Some(spec) = fs.chart(&inst).unwrap() {
+                let svg = render_svg(&spec, SvgOptions::default());
+                assert!(!svg.contains("NaN"), "{id} chart leaked NaN");
+                let _ = render_text(&spec, 40);
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_heavy_table() {
+    // every value identical across two columns: correlations are undefined,
+    // frequencies are trivially concentrated — nothing should panic
+    let table = TableBuilder::new("dups")
+        .numeric("a", vec![5.0; 300])
+        .numeric("b", vec![5.0; 300])
+        .categorical("c", (0..300).map(|_| "same"))
+        .build()
+        .unwrap();
+    explore_everything(Foresight::new(table));
+}

@@ -1,0 +1,116 @@
+//! The paper's §2.2 extensibility claim, end to end: a data scientist can
+//! plug a new insight class — with its own ranking metric and chart — into
+//! a running engine, and it participates in queries and carousels.
+
+use foresight::prelude::*;
+use foresight::viz::{ChartKind, HistogramSpec};
+use std::sync::Arc;
+
+/// A toy 13th class: "negativity" — fraction of negative values.
+struct Negativity;
+
+impl InsightClass for Negativity {
+    fn id(&self) -> &'static str {
+        "negativity"
+    }
+    fn name(&self) -> &'static str {
+        "Negativity"
+    }
+    fn description(&self) -> &'static str {
+        "Most values are below zero"
+    }
+    fn metric(&self) -> &'static str {
+        "negative fraction"
+    }
+    fn candidates(&self, table: &Table) -> Vec<AttrTuple> {
+        table
+            .numeric_indices()
+            .into_iter()
+            .map(AttrTuple::One)
+            .collect()
+    }
+    fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
+        let AttrTuple::One(idx) = attrs else {
+            return None;
+        };
+        let col = table.numeric(*idx).ok()?;
+        let present: Vec<f64> = col.present().collect();
+        if present.is_empty() {
+            return None;
+        }
+        Some(present.iter().filter(|&&v| v < 0.0).count() as f64 / present.len() as f64)
+    }
+    fn chart(&self, _table: &Table, _attrs: &AttrTuple) -> Option<foresight::viz::ChartSpec> {
+        Some(foresight::viz::ChartSpec {
+            title: "negativity".into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            kind: ChartKind::Histogram(HistogramSpec {
+                min: 0.0,
+                max: 1.0,
+                counts: vec![1],
+            }),
+        })
+    }
+}
+
+fn table() -> Table {
+    TableBuilder::new("t")
+        .numeric(
+            "mostly_negative",
+            (0..100).map(|i| -(i as f64) + 5.0).collect(),
+        )
+        .numeric("positive", (0..100).map(|i| i as f64 + 1.0).collect())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn custom_class_participates_in_queries() {
+    let mut fs = Foresight::new(table());
+    fs.register_class(Arc::new(Negativity));
+    let out = fs
+        .query(&InsightQuery::class("negativity").top_k(2))
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].attrs, AttrTuple::One(0));
+    assert!((out[0].score - 0.94).abs() < 1e-9);
+    assert_eq!(out[1].score, 0.0);
+}
+
+#[test]
+fn custom_class_appears_in_carousels() {
+    let mut fs = Foresight::new(table());
+    fs.register_class(Arc::new(Negativity));
+    let carousels = fs.carousels(2).unwrap();
+    assert_eq!(carousels.len(), 13);
+    let neg = carousels
+        .iter()
+        .find(|c| c.class_id == "negativity")
+        .unwrap();
+    assert_eq!(neg.class_name, "Negativity");
+    assert!(!neg.instances.is_empty());
+}
+
+#[test]
+fn custom_class_charts_render_everywhere() {
+    let mut fs = Foresight::new(table());
+    fs.register_class(Arc::new(Negativity));
+    let out = fs
+        .query(&InsightQuery::class("negativity").top_k(1))
+        .unwrap();
+    let spec = fs.chart(&out[0]).unwrap().unwrap();
+    assert!(render_svg(&spec, SvgOptions::default()).starts_with("<svg"));
+    assert!(!render_text(&spec, 40).is_empty());
+    assert!(to_vega_lite(&spec)["$schema"].is_string());
+}
+
+#[test]
+fn custom_registry_from_scratch() {
+    let mut registry = InsightRegistry::empty();
+    registry.register(Arc::new(Negativity));
+    let mut fs = Foresight::with_registry(table(), registry);
+    assert_eq!(fs.registry().len(), 1);
+    assert!(fs.query(&InsightQuery::class("skew")).is_err());
+    assert!(fs.query(&InsightQuery::class("negativity")).is_ok());
+}

@@ -1,0 +1,78 @@
+//! Missing-data behavior end to end: every insight class must tolerate
+//! substantial missingness (pairwise/listwise deletion per metric), and
+//! results must track the complete-data results on the planted structure.
+
+use foresight::data::datasets::{synth, SynthConfig};
+use foresight::prelude::*;
+
+fn dataset(missing_rate: f64) -> (Table, foresight::data::datasets::SynthGroundTruth) {
+    synth(&SynthConfig {
+        rows: 4_000,
+        numeric_cols: 14,
+        categorical_cols: 2,
+        correlated_fraction: 0.5,
+        missing_rate,
+        seed: 31,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn all_classes_survive_twenty_percent_missing() {
+    let (table, _) = dataset(0.2);
+    // sanity: the missingness is real
+    let nulls = table.numeric(0).unwrap().null_count();
+    assert!(nulls > 500, "only {nulls} nulls planted");
+
+    let mut fs = Foresight::new(table);
+    for class in fs.registry().classes().to_vec() {
+        let out = fs
+            .query(&InsightQuery::class(class.id()).top_k(3))
+            .unwrap_or_else(|e| panic!("{}: {e}", class.id()));
+        for inst in out {
+            assert!(inst.score.is_finite(), "{} non-finite score", class.id());
+        }
+    }
+}
+
+#[test]
+fn planted_correlations_survive_missingness() {
+    let (table, truth) = dataset(0.15);
+    let planted: Vec<AttrTuple> = truth
+        .correlated_pairs
+        .iter()
+        .filter(|&&(_, _, rho)| rho.abs() > 0.6)
+        .map(|&(i, j, _)| AttrTuple::Two(i, j))
+        .collect();
+    assert!(!planted.is_empty());
+    let mut fs = Foresight::new(table);
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(planted.len() + 2))
+        .unwrap();
+    let hits = top.iter().filter(|t| planted.contains(&t.attrs)).count();
+    assert!(
+        hits >= planted.len().div_ceil(2),
+        "only {hits}/{} planted pairs found under missingness",
+        planted.len()
+    );
+}
+
+#[test]
+fn sketch_mode_tolerates_missingness() {
+    let (table, truth) = dataset(0.15);
+    let (i, j, rho) = *truth
+        .correlated_pairs
+        .iter()
+        .max_by(|a, b| a.2.abs().partial_cmp(&b.2.abs()).unwrap())
+        .unwrap();
+    let mut fs = Foresight::new(table);
+    fs.preprocess(&CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    });
+    let est = fs.catalog().unwrap().correlation(i, j).unwrap();
+    assert!(
+        (est - rho).abs() < 0.2,
+        "sketch ρ̂ {est} far from planted {rho} under missingness"
+    );
+}

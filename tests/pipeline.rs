@@ -1,0 +1,123 @@
+//! Full-pipeline integration tests: CSV in → engine → charts out through
+//! every renderer, across all three demo datasets.
+
+use foresight::data::csv::{read_csv_str, write_csv_string};
+use foresight::data::infer::InferOptions;
+use foresight::prelude::*;
+
+#[test]
+fn csv_to_insights_to_charts() {
+    // build a CSV by hand, read it back with type inference, and explore it
+    let mut csv = String::from("height,weight,city\n");
+    for i in 0..200 {
+        let h = 150.0 + (i % 50) as f64;
+        let w = 0.9 * h - 80.0 + (i % 7) as f64;
+        let city = ["Oslo", "Lima", "Pune"][i % 3];
+        csv.push_str(&format!("{h},{w},{city}\n"));
+    }
+    let table = read_csv_str(&csv, "people", &InferOptions::default()).unwrap();
+    assert_eq!(table.n_rows(), 200);
+
+    let mut fs = Foresight::new(table);
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    assert!(top[0].score > 0.9, "height~weight rho {}", top[0].score);
+
+    let spec = fs.chart(&top[0]).unwrap().unwrap();
+    let svg = render_svg(&spec, SvgOptions::default());
+    assert!(svg.contains("circle") && svg.ends_with("</svg>"));
+    let text = render_text(&spec, 40);
+    assert!(text.lines().count() > 3);
+    let vega = to_vega_lite(&spec);
+    assert!(vega["layer"].is_array());
+}
+
+#[test]
+fn csv_round_trip_preserves_insights() {
+    let table = datasets::oecd();
+    let csv = write_csv_string(&table).unwrap();
+    let back = read_csv_str(&csv, "oecd", &InferOptions::default()).unwrap();
+    assert_eq!(back.n_rows(), table.n_rows());
+    assert_eq!(back.n_cols(), table.n_cols());
+
+    // the headline insight survives serialization
+    let mut fs = Foresight::new(back);
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    assert!(top[0].detail.contains("Time Devoted To Leisure"));
+}
+
+#[test]
+fn all_demo_datasets_explore_cleanly() {
+    for table in [datasets::oecd(), datasets::parkinson(), datasets::imdb()] {
+        let name = table.name().to_owned();
+        let fs = Foresight::new(table);
+        let carousels = fs.carousels(2).unwrap();
+        assert_eq!(carousels.len(), 12, "{name}");
+        // every non-empty carousel instance must chart in every renderer
+        let mut charted = 0;
+        for c in &carousels {
+            for inst in &c.instances {
+                if let Some(spec) = fs.chart(inst).unwrap() {
+                    let svg = render_svg(&spec, SvgOptions::default());
+                    assert!(svg.starts_with("<svg"), "{name}/{}", c.class_id);
+                    assert!(!svg.contains("NaN"), "{name}/{} has NaN", c.class_id);
+                    charted += 1;
+                }
+            }
+        }
+        assert!(charted >= 15, "{name}: only {charted} charts rendered");
+    }
+}
+
+#[test]
+fn every_class_overview_renders_when_present() {
+    let fs = Foresight::new(datasets::oecd());
+    let mut overviews = 0;
+    for class in fs.registry().classes() {
+        if let Some(spec) = fs.overview(class.id()).unwrap() {
+            let svg = render_svg(&spec, SvgOptions::default());
+            assert!(svg.starts_with("<svg"), "{}", class.id());
+            overviews += 1;
+        }
+    }
+    assert!(overviews >= 10, "only {overviews} overviews");
+}
+
+#[test]
+fn html_report_renders_for_all_datasets() {
+    for table in [datasets::oecd(), datasets::imdb()] {
+        let name = table.name().to_owned();
+        let fs = Foresight::new(table);
+        let html = fs.report(2).unwrap().to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"), "{name}");
+        // at least 8 class sections plus the correlation overview
+        assert!(html.matches("<section>").count() >= 9, "{name}");
+        assert!(html.matches("<svg").count() >= 12, "{name}");
+        assert!(!html.contains("NaN"), "{name}: NaN leaked into report");
+    }
+}
+
+#[test]
+fn approximate_mode_full_pipeline_on_parkinson() {
+    let mut fs = Foresight::new(datasets::parkinson());
+    fs.preprocess(&CatalogConfig::default());
+    fs.set_parallel(true);
+    let carousels = fs.carousels(3).unwrap();
+    let non_empty = carousels.iter().filter(|c| !c.instances.is_empty()).count();
+    assert!(non_empty >= 10, "only {non_empty} non-empty carousels");
+    // the outlier carousel must produce sensible ranked scores in approx mode
+    let outliers = fs.query(&InsightQuery::class("outliers").top_k(8)).unwrap();
+    assert!(outliers.len() == 8);
+    assert!(outliers.iter().all(|i| i.score > 1.5));
+    // the planted tau lab errors are extreme under a z-score detector even
+    // if the IQR mean-distance metric dilutes them among lognormal tails
+    let tau = fs.table().index_of("CSF Total Tau").unwrap();
+    let strength = foresight::stats::outlier::outlier_strength(
+        fs.table().numeric(tau).unwrap().values(),
+        &foresight::stats::outlier::ZScoreDetector { threshold: 6.0 },
+    );
+    assert!(strength > 8.0, "tau z-score strength {strength}");
+}

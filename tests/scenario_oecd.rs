@@ -1,0 +1,184 @@
+//! End-to-end replication of the paper's §4.1 usage scenario (experiment
+//! S1 in DESIGN.md): every distributional fact the narrative relies on must
+//! be discoverable through the public engine API.
+
+use foresight::prelude::*;
+
+fn engine() -> Foresight {
+    Foresight::new(datasets::oecd())
+}
+
+#[test]
+fn headline_insight_is_long_hours_vs_leisure() {
+    let mut fs = engine();
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    let d = &top[0].detail;
+    assert!(
+        d.contains("Employees Working Very Long Hours") && d.contains("Time Devoted To Leisure"),
+        "got: {d}"
+    );
+    assert!(d.contains("negative"), "got: {d}");
+    assert!(top[0].score > 0.75, "|rho| = {}", top[0].score);
+}
+
+#[test]
+fn leisure_is_uncorrelated_with_health() {
+    let fs = engine();
+    let leisure = fs.table().index_of("Time Devoted To Leisure").unwrap();
+    let health = fs.table().index_of("Self Reported Health").unwrap();
+    let rho = foresight::stats::correlation::pearson(
+        fs.table().numeric(leisure).unwrap().values(),
+        fs.table().numeric(health).unwrap().values(),
+    );
+    assert!(rho.abs() < 0.3, "rho = {rho}");
+}
+
+#[test]
+fn leisure_ranks_among_most_normal_attributes() {
+    let mut fs = engine();
+    let normal = fs
+        .query(&InsightQuery::class("normality").top_k(8))
+        .unwrap();
+    assert!(
+        normal
+            .iter()
+            .any(|i| i.detail.contains("Time Devoted To Leisure")),
+        "normality top-8: {:?}",
+        normal.iter().map(|i| &i.detail).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn health_is_left_skewed() {
+    let mut fs = engine();
+    let health = fs.table().index_of("Self Reported Health").unwrap();
+    let skews = fs.query(&InsightQuery::class("skew").top_k(24)).unwrap();
+    let h = skews
+        .iter()
+        .find(|i| i.attrs.contains(health))
+        .expect("health scored");
+    assert!(h.detail.contains("left-skewed"), "got: {}", h.detail);
+}
+
+#[test]
+fn life_satisfaction_correlates_with_health() {
+    let mut fs = engine();
+    let health = fs.table().index_of("Self Reported Health").unwrap();
+    let top = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(1)
+                .fix_attr(health),
+        )
+        .unwrap();
+    assert!(
+        top[0].detail.contains("Life Satisfaction"),
+        "got: {}",
+        top[0].detail
+    );
+    assert!(top[0].score > 0.5);
+}
+
+#[test]
+fn focusing_steers_recommendations_toward_neighborhood() {
+    let mut fs = engine();
+    fs.set_weights(NeighborhoodWeights { similarity: 0.9 });
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    let focused_attrs = top[0].attrs;
+    fs.focus(top[0].clone());
+    let carousels = fs.carousels(5).unwrap();
+    let linear = carousels
+        .iter()
+        .find(|c| c.class_id == "linear-relationship")
+        .unwrap();
+    // the carousel should now lead with insights overlapping the focus
+    let lead_overlap = linear.instances[0].attrs.overlap(&focused_attrs);
+    assert!(
+        lead_overlap >= 1,
+        "lead {:?} shares no attribute with focus {:?}",
+        linear.instances[0].attrs,
+        focused_attrs
+    );
+}
+
+#[test]
+fn full_scenario_session_replay() {
+    // the whole §4.1 walk-through as one session, then save/restore
+    let mut fs = engine();
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    fs.focus(top[0].clone());
+
+    let spearman = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(5)
+                .metric("|spearman|"),
+        )
+        .unwrap();
+    assert!(!spearman.is_empty());
+
+    let health = fs.table().index_of("Self Reported Health").unwrap();
+    let skews = fs.query(&InsightQuery::class("skew").top_k(24)).unwrap();
+    let health_skew = skews.iter().find(|i| i.attrs.contains(health)).unwrap();
+    fs.focus(health_skew.clone());
+
+    let correlates = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(3)
+                .fix_attr(health),
+        )
+        .unwrap();
+    assert!(correlates[0].detail.contains("Life Satisfaction"));
+
+    let json = fs.session().to_json().unwrap();
+    let restored = Session::from_json(&json).unwrap();
+    assert_eq!(restored.focus.len(), 2);
+    assert_eq!(restored.dataset, "oecd");
+    assert!(restored.history.len() >= 5);
+}
+
+#[test]
+fn restored_session_replays_identically() {
+    // the §4.1 ending: the analyst shares her session; a colleague replays
+    // the same exploration on their own copy of the data
+    let mut original = engine();
+    let q1 = InsightQuery::class("linear-relationship").top_k(3);
+    let q2 = InsightQuery::class("skew").top_k(5).score_range(0.5, 10.0);
+    let r1 = original.query(&q1).unwrap();
+    let r2 = original.query(&q2).unwrap();
+    let json = original.session().to_json().unwrap();
+
+    let mut colleague = engine();
+    colleague.restore_session(Session::from_json(&json).unwrap());
+    let replayed = colleague.replay_session().unwrap();
+    assert_eq!(replayed.len(), 2);
+    assert_eq!(replayed[0], r1);
+    assert_eq!(replayed[1], r2);
+}
+
+#[test]
+fn overview_heatmap_matches_figure_two_shape() {
+    let fs = engine();
+    let fig2 = fs.overview("linear-relationship").unwrap().unwrap();
+    match fig2.kind {
+        foresight::viz::ChartKind::CorrelationHeatmap(h) => {
+            assert_eq!(h.labels.len(), 24); // 24 numeric indicators
+            assert_eq!(h.values.len(), 24);
+            for i in 0..24 {
+                assert_eq!(h.values[i][i], 1.0);
+                for j in 0..24 {
+                    assert_eq!(h.values[i][j], h.values[j][i]);
+                    assert!(h.values[i][j] >= -1.0 && h.values[i][j] <= 1.0);
+                }
+            }
+        }
+        _ => panic!("expected heatmap"),
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-mode integration tests: the sketch-backed (approximate) engine
+//! must broadly agree with the exact engine on what the strongest insights
+//! are — the property that makes interactive exploration trustworthy.
+
+use foresight::data::datasets::{synth, SynthConfig};
+use foresight::prelude::*;
+
+fn setup() -> (Foresight, foresight::data::datasets::SynthGroundTruth) {
+    let (table, truth) = synth(&SynthConfig {
+        rows: 3_000,
+        numeric_cols: 16,
+        categorical_cols: 3,
+        correlated_fraction: 0.5,
+        seed: 99,
+        ..Default::default()
+    });
+    (Foresight::new(table), truth)
+}
+
+#[test]
+fn top_correlations_agree_between_modes() {
+    let (mut fs, _) = setup();
+    let exact: Vec<AttrTuple> = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(4))
+        .unwrap()
+        .into_iter()
+        .map(|i| i.attrs)
+        .collect();
+    fs.preprocess(&CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    });
+    let approx: Vec<AttrTuple> = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(4))
+        .unwrap()
+        .into_iter()
+        .map(|i| i.attrs)
+        .collect();
+    let overlap = exact.iter().filter(|a| approx.contains(a)).count();
+    assert!(overlap >= 3, "exact {exact:?} vs approx {approx:?}");
+}
+
+#[test]
+fn planted_pairs_dominate_both_rankings() {
+    let (mut fs, truth) = setup();
+    let planted: Vec<AttrTuple> = truth
+        .correlated_pairs
+        .iter()
+        .filter(|&&(_, _, rho)| rho.abs() > 0.5)
+        .map(|&(i, j, _)| AttrTuple::Two(i, j))
+        .collect();
+    assert!(!planted.is_empty());
+    for preprocess in [false, true] {
+        if preprocess {
+            fs.preprocess(&CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            });
+        }
+        let top = fs
+            .query(&InsightQuery::class("linear-relationship").top_k(planted.len()))
+            .unwrap();
+        let hits = top.iter().filter(|t| planted.contains(&t.attrs)).count();
+        assert!(
+            hits * 2 >= planted.len(),
+            "mode preprocess={preprocess}: only {hits}/{} planted pairs in top",
+            planted.len()
+        );
+    }
+}
+
+#[test]
+fn moment_insights_identical_between_modes() {
+    // moments are maintained exactly, so dispersion/skew/kurtosis rankings
+    // must match exactly
+    let (mut fs, _) = setup();
+    let classes = ["dispersion", "skew", "heavy-tails", "normality"];
+    let mut exact = Vec::new();
+    for c in classes {
+        exact.push(fs.query(&InsightQuery::class(c).top_k(5)).unwrap());
+    }
+    fs.preprocess(&CatalogConfig::default());
+    for (c, expected) in classes.iter().zip(exact) {
+        let approx = fs.query(&InsightQuery::class(*c).top_k(5)).unwrap();
+        let ea: Vec<AttrTuple> = expected.iter().map(|i| i.attrs).collect();
+        let aa: Vec<AttrTuple> = approx.iter().map(|i| i.attrs).collect();
+        assert_eq!(ea, aa, "class {c} disagrees");
+        for (e, a) in expected.iter().zip(&approx) {
+            assert!((e.score - a.score).abs() < 1e-9, "class {c} score drift");
+        }
+    }
+}
+
+#[test]
+fn rel_freq_agrees_between_modes() {
+    let (mut fs, _) = setup();
+    let exact = fs
+        .query(&InsightQuery::class("heterogeneous-frequencies").top_k(3))
+        .unwrap();
+    fs.preprocess(&CatalogConfig::default());
+    let approx = fs
+        .query(&InsightQuery::class("heterogeneous-frequencies").top_k(3))
+        .unwrap();
+    assert_eq!(exact.len(), approx.len());
+    for (e, a) in exact.iter().zip(&approx) {
+        assert!(
+            (e.score - a.score).abs() < 0.05,
+            "exact {} vs approx {}",
+            e.score,
+            a.score
+        );
+    }
+}
+
+#[test]
+fn spearman_sketch_ranks_monotonic_pairs() {
+    let (mut fs, truth) = setup();
+    fs.preprocess(&CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    });
+    let top = fs
+        .query(&InsightQuery::class("monotonic-relationship").top_k(3))
+        .unwrap();
+    let planted: Vec<AttrTuple> = truth
+        .correlated_pairs
+        .iter()
+        .map(|&(i, j, _)| AttrTuple::Two(i, j))
+        .collect();
+    assert!(
+        top.iter().any(|t| planted.contains(&t.attrs)),
+        "no planted pair in sketch-ranked monotonic top-3"
+    );
+}
+
+#[test]
+fn fixed_attr_queries_work_in_approx_mode() {
+    let (mut fs, truth) = setup();
+    fs.preprocess(&CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    });
+    let (i, j, _) = truth.correlated_pairs[0];
+    let out = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(1)
+                .fix_attr(i),
+        )
+        .unwrap();
+    assert_eq!(out[0].attrs, AttrTuple::Two(i.min(j), i.max(j)));
+}
