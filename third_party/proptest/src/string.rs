@@ -1,0 +1,168 @@
+//! Character-class regex strategies (`"[a-z]{1,5}"`, `string_regex`).
+//!
+//! Supports the `[class]{min,max}` shape this workspace's tests use:
+//! literal characters, `a-z` ranges, escapes (`\n`, `\t`, `\"`, `\\`),
+//! and the Unicode-category shorthand `\PC` ("not control"), which is
+//! approximated by a printable pool mixing ASCII with multibyte
+//! characters so width/escaping logic still gets exercised.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy generating strings from one character class with a length range.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    pool: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let span = (self.max_len - self.min_len) as u64 + 1;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len)
+            .map(|_| self.pool[rng.below(self.pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Printable pool standing in for `\PC` (any non-control character).
+fn not_control_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+    // A few multibyte characters so Unicode handling is exercised too.
+    pool.extend("éüñßΩλ中✓€😀".chars());
+    pool
+}
+
+/// Build a strategy from a `[class]{min,max}` pattern.
+pub fn compile(pattern: &str) -> Result<RegexStrategy, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    if chars.get(pos) != Some(&'[') {
+        return Err("pattern must start with a character class `[...]`".into());
+    }
+    pos += 1;
+    let mut pool: Vec<char> = Vec::new();
+    loop {
+        let c = *chars
+            .get(pos)
+            .ok_or_else(|| "unterminated character class".to_string())?;
+        pos += 1;
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = *chars
+                    .get(pos)
+                    .ok_or_else(|| "dangling escape".to_string())?;
+                pos += 1;
+                match esc {
+                    'n' => pool.push('\n'),
+                    't' => pool.push('\t'),
+                    'r' => pool.push('\r'),
+                    'P' | 'p' => {
+                        // Category shorthand: consume the category letter.
+                        if chars.get(pos).is_none() {
+                            return Err("dangling \\P category".into());
+                        }
+                        pos += 1;
+                        pool.extend(not_control_pool());
+                    }
+                    other => pool.push(other),
+                }
+            }
+            lo => {
+                // Range `a-z`? Only if a `-` follows and is not class-final.
+                if chars.get(pos) == Some(&'-') && chars.get(pos + 1).is_some_and(|&c| c != ']') {
+                    let hi = chars[pos + 1];
+                    pos += 2;
+                    if (hi as u32) < (lo as u32) {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    pool.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                } else {
+                    pool.push(lo);
+                }
+            }
+        }
+    }
+    if pool.is_empty() {
+        return Err("empty character class".into());
+    }
+    if chars.get(pos) != Some(&'{') {
+        return Err("expected `{min,max}` repetition after class".into());
+    }
+    pos += 1;
+    let rest: String = chars[pos..].iter().collect();
+    let close = rest
+        .find('}')
+        .ok_or_else(|| "unterminated repetition".to_string())?;
+    if rest[close + 1..].chars().any(|c| !c.is_whitespace()) {
+        return Err("trailing characters after repetition".into());
+    }
+    let body = &rest[..close];
+    let (min_len, max_len) = match body.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse::<usize>().map_err(|e| e.to_string())?,
+            b.trim().parse::<usize>().map_err(|e| e.to_string())?,
+        ),
+        None => {
+            let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+            (n, n)
+        }
+    };
+    if max_len < min_len {
+        return Err("repetition max below min".into());
+    }
+    Ok(RegexStrategy {
+        pool,
+        min_len,
+        max_len,
+    })
+}
+
+/// Public constructor mirroring `proptest::string::string_regex`.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+    compile(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let s = compile("[a-zA-Z0-9 ,\"\n_.-]{0,12}").expect("valid regex");
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v.chars().count() <= 12);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,\"\n_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn not_control_shorthand() {
+        let s = compile("[\\PC]{0,30}").expect("valid regex");
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            assert!(s.new_value(&mut rng).chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_lengths_respected() {
+        let s = compile("[a-z]{1,5}").expect("valid regex");
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let n = s.new_value(&mut rng).chars().count();
+            assert!((1..=5).contains(&n), "bad length {n}");
+        }
+    }
+}

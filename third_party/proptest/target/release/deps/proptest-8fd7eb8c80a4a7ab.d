@@ -1,0 +1,10 @@
+/root/repo/third_party/proptest/target/release/deps/proptest-8fd7eb8c80a4a7ab.d: src/lib.rs src/collection.rs src/string.rs src/strategy.rs
+
+/root/repo/third_party/proptest/target/release/deps/libproptest-8fd7eb8c80a4a7ab.rlib: src/lib.rs src/collection.rs src/string.rs src/strategy.rs
+
+/root/repo/third_party/proptest/target/release/deps/libproptest-8fd7eb8c80a4a7ab.rmeta: src/lib.rs src/collection.rs src/string.rs src/strategy.rs
+
+src/lib.rs:
+src/collection.rs:
+src/string.rs:
+src/strategy.rs:

@@ -1,0 +1,8 @@
+/root/repo/third_party/proptest/target/release/deps/proptest-eb51d4de7c506ff8.d: src/lib.rs src/collection.rs src/string.rs src/strategy.rs
+
+/root/repo/third_party/proptest/target/release/deps/proptest-eb51d4de7c506ff8: src/lib.rs src/collection.rs src/string.rs src/strategy.rs
+
+src/lib.rs:
+src/collection.rs:
+src/string.rs:
+src/strategy.rs:

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of the rayon API this workspace uses:
+//! `par_iter` / `par_chunks` / `into_par_iter` with `map` / `filter_map` /
+//! `flat_map` adapters and order-preserving `collect`, plus
+//! [`current_num_threads`]. Unlike rayon's lazy work-stealing model, each
+//! adapter here is an *eager* pass: the input is split into contiguous
+//! chunks, one scoped `std::thread` per chunk, and results are re-joined
+//! in input order. On a single-core host (or tiny inputs) everything runs
+//! inline with zero thread overhead.
+
+use std::thread;
+
+/// Number of worker threads a parallel pass will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Inputs below this size are never worth a thread spawn.
+const MIN_ITEMS_PER_THREAD: usize = 16;
+
+/// Run `f` over `items`, preserving order, using up to
+/// [`current_num_threads`] scoped threads. `None` results are dropped
+/// (this single primitive backs `map`, `filter_map`, and `flat_map`).
+fn run_pass<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() < 2 * MIN_ITEMS_PER_THREAD {
+        return items.into_iter().filter_map(f).collect();
+    }
+    let n_chunks = threads.min(items.len() / MIN_ITEMS_PER_THREAD).max(1);
+    let chunk_size = items.len().div_ceil(n_chunks);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n_chunks);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().filter_map(f).collect::<Vec<R>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-stub worker panicked"))
+            .collect();
+    });
+    let mut flat = Vec::with_capacity(out.iter().map(Vec::len).sum());
+    for part in out {
+        flat.extend(part);
+    }
+    flat
+}
+
+/// An eagerly-evaluated "parallel iterator": adapters each run one
+/// threaded pass and store the materialized, order-preserved results.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_pass(self.items, |x| Some(f(x))),
+        }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParIter {
+            items: run_pass(self.items, f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: run_pass(self.items, |x| if f(&x) { Some(x) } else { None }),
+        }
+    }
+
+    pub fn flat_map<R, I, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = run_pass(self.items, |x| Some(f(x).into_iter().collect::<Vec<R>>()));
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter` / `par_chunks` over slices (and anything that derefs to a
+/// slice, e.g. `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.as_parallel_slice().iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        ParIter {
+            items: self.as_parallel_slice().chunks(chunk_size).collect(),
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_and_flat_map() {
+        let v: Vec<i64> = (0..100).collect();
+        let evens: Vec<i64> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 50);
+        let doubled: Vec<i64> = v.par_chunks(7).flat_map(|c| c.to_vec()).collect();
+        assert_eq!(doubled, v);
+    }
+
+    #[test]
+    fn collect_into_hashmap() {
+        let pairs: Vec<(usize, usize)> = (0..50).map(|i| (i, i * i)).collect();
+        let m: HashMap<usize, usize> = pairs.into_par_iter().map(|(k, v)| (k, v)).collect();
+        assert_eq!(m[&7], 49);
+        assert_eq!(m.len(), 50);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

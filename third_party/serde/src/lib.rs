@@ -1,0 +1,442 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy model, this stub routes
+//! everything through a small self-describing [`Content`] tree: types
+//! serialize *into* a `Content` and deserialize *from* one. Data formats
+//! (here: the sibling `serde_json` stub) convert `Content` to and from
+//! text. This loses streaming but keeps the exact `derive` +
+//! `to_string`/`from_str` surface the workspace uses, with round-trip
+//! fidelity for every type in the repo.
+//!
+//! Representation choices mirror serde's defaults so persisted state
+//! stays interoperable with real serde_json output:
+//! * structs → objects keyed by field name;
+//! * unit enum variants → the variant name as a string;
+//! * newtype/tuple/struct variants → externally tagged single-key objects;
+//! * maps → objects with stringified keys;
+//! * non-finite floats → `null` (and `null` deserializes to `f64::NAN`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value: the interchange format between
+/// `derive`d impls and data formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Struct / map / externally-tagged enum payload. Order-preserving so
+    /// emitted JSON keeps field declaration order, like real serde.
+    Obj(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_obj(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Obj(_) => "object",
+        }
+    }
+}
+
+/// Lookup helper used by derive-generated code.
+pub fn obj_get<'a>(obj: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn unexpected(expected: &str, found: &Content) -> Self {
+        DeError(format!("expected {expected}, found {}", found.type_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] tree (subset of `serde::Serialize`).
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+/// Deserialization from a [`Content`] tree (subset of `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) if *v <= i64::MAX as u64 => *v as i64,
+                    other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        // JSON has no NaN/±inf; serde_json emits null for them.
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::deserialize(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let seq = c
+                    .as_seq()
+                    .ok_or_else(|| DeError::unexpected("tuple array", c))?;
+                if seq.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {LEN}, found {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys serializable as JSON object keys.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::custom(format!("invalid integer map key `{key}`")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S: ::std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Content {
+        // Sort keys so output is deterministic (HashMap iteration is not).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Obj(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let obj = c.as_obj().ok_or_else(|| DeError::unexpected("object", c))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let obj = c.as_obj().ok_or_else(|| DeError::unexpected("object", c))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+        assert_eq!(
+            String::deserialize(&"hi".serialize()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            Option::<u32>::deserialize(&Content::Null).unwrap(),
+            None::<u32>
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let arr = [0.5f64, 0.25];
+        assert_eq!(<[f64; 2]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let mut m = HashMap::new();
+        m.insert(3usize, "x".to_string());
+        let back = HashMap::<usize, String>::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+        let t = ("a".to_string(), 9u64);
+        assert_eq!(
+            <(String, u64)>::deserialize(&t.serialize()).unwrap(),
+            t
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stub.
+//!
+//! Parses the deriving item from the raw `TokenStream` (no syn/quote
+//! available offline) and generates impls of the stub's `Content`-tree
+//! traits. Supported shapes — the full inventory used by this workspace:
+//!
+//! * structs with named fields (incl. `#[serde(default)]` and
+//!   `#[serde(skip, default = "path")]`);
+//! * enums with unit, newtype, tuple, and struct variants, encoded with
+//!   serde's externally-tagged default representation.
+//!
+//! Anything else (generics, tuple structs, renames) panics at expansion
+//! time so unsupported syntax fails the build loudly.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip: bool,
+    /// Path from `default = "path"`, without the quotes.
+    default_path: Option<String>,
+}
+
+/// Consume leading attributes, folding any `#[serde(...)]` markers into a
+/// single `SerdeAttrs`.
+fn parse_attrs(c: &mut Cursor) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        c.bump();
+        let Some(TokenTree::Group(g)) = c.bump() else {
+            panic!("serde derive: malformed attribute");
+        };
+        let mut inner = Cursor::new(g.stream());
+        if !inner.eat_ident("serde") {
+            continue; // #[doc], #[derive], etc.
+        }
+        let Some(TokenTree::Group(payload)) = inner.bump() else {
+            continue;
+        };
+        let mut p = Cursor::new(payload.stream());
+        while p.peek().is_some() {
+            let name = p.expect_ident("serde attribute");
+            match name.as_str() {
+                "default" => {
+                    if p.eat_punct('=') {
+                        match p.bump() {
+                            Some(TokenTree::Literal(l)) => {
+                                let s = l.to_string();
+                                out.default_path =
+                                    Some(s.trim_matches('"').to_string());
+                            }
+                            other => panic!("serde derive: expected path literal, found {other:?}"),
+                        }
+                    } else {
+                        out.default = true;
+                    }
+                }
+                "skip" => out.skip = true,
+                other => panic!("serde derive: unsupported attribute `{other}` (offline stub)"),
+            }
+            p.eat_punct(',');
+        }
+    }
+    out
+}
+
+fn skip_visibility(c: &mut Cursor) {
+    if c.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Skip a field's type: consume until a top-level comma, tracking angle
+/// bracket depth (the stub's generated code never needs the type itself —
+/// inference supplies it at every use site).
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(tt) = c.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        c.bump();
+    }
+    c.eat_punct(',');
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields (newtype when N == 1).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let mut c = Cursor::new(group.stream());
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c);
+        skip_visibility(&mut c);
+        let name = c.expect_ident("field name");
+        assert!(c.eat_punct(':'), "serde derive: expected `:` after field `{name}`");
+        skip_type_until_comma(&mut c);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut c = Cursor::new(group.stream());
+    let mut n = 0;
+    while c.peek().is_some() {
+        let _ = parse_attrs(&mut c);
+        skip_visibility(&mut c);
+        skip_type_until_comma(&mut c);
+        n += 1;
+    }
+    n
+}
+
+fn parse_input(input: TokenStream) -> (String, Input) {
+    let mut c = Cursor::new(input);
+    let _ = parse_attrs(&mut c);
+    skip_visibility(&mut c);
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    let body = match c.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            return (name, Input::TupleStruct(count_tuple_fields(&g)));
+        }
+        other => panic!(
+            "serde derive: only brace-bodied non-generic types are supported \
+             (offline stub), found {other:?} after `{name}`"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => (name, Input::Struct(parse_named_fields(&body))),
+        "enum" => {
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                let _ = parse_attrs(&mut vc);
+                let vname = vc.expect_ident("variant name");
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g);
+                        vc.bump();
+                        VariantShape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g);
+                        vc.bump();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                vc.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            (name, Input::Enum(variants))
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn struct_serialize_body(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::from(
+        "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let fname = &f.name;
+        body.push_str(&format!(
+            "__o.push((::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::serialize(&{access_prefix}{fname})));\n"
+        ));
+    }
+    body.push_str("::serde::Content::Obj(__o)\n");
+    body
+}
+
+fn struct_deserialize_fields(fields: &[Field], type_name: &str) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.attrs.skip {
+            let init = match &f.attrs.default_path {
+                Some(path) => format!("{path}()"),
+                None => "::std::default::Default::default()".to_string(),
+            };
+            body.push_str(&format!("{fname}: {init},\n"));
+            continue;
+        }
+        let missing = match (&f.attrs.default_path, f.attrs.default) {
+            (Some(path), _) => format!("{path}()"),
+            (None, true) => "::std::default::Default::default()".to_string(),
+            (None, false) => format!(
+                "return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"missing field `{fname}` in {type_name}\"))"
+            ),
+        };
+        body.push_str(&format!(
+            "{fname}: match ::serde::obj_get(__obj, \"{fname}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    body
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, input) = parse_input(input);
+    let body = match input {
+        Input::Struct(fields) => struct_serialize_body(&fields, "self."),
+        // Newtype structs serialize transparently; wider tuple structs as
+        // arrays — serde's default representations.
+        Input::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)\n".to_string(),
+        Input::TupleStruct(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Content::Seq(::std::vec![{}])\n",
+                items.join(", ")
+            )
+        }
+        Input::Enum(variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__v0) => ::serde::Content::Obj(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::serialize(__v0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Obj(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = struct_serialize_body(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let __payload = {{ {inner} }};\n\
+                             ::serde::Content::Obj(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), __payload)])\n\
+                             }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         #[allow(clippy::all)]\n\
+         fn serialize(&self) -> ::serde::Content {{\n{body}}}\n\
+         }}\n"
+    );
+    out.parse().expect("serde derive: generated Serialize failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, input) = parse_input(input);
+    let body = match input {
+        Input::Struct(fields) => {
+            let field_inits = struct_deserialize_fields(&fields, &name);
+            format!(
+                "let __obj = match __c.as_obj() {{\n\
+                 ::std::option::Option::Some(__o) => __o,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::DeError::unexpected(\"object for {name}\", __c)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{field_inits}}})\n"
+            )
+        }
+        Input::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))\n")
+        }
+        Input::TupleStruct(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = match __c.as_seq() {{\n\
+                 ::std::option::Option::Some(__s) if __s.len() == {n} => __s,\n\
+                 _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name} expects a {n}-element array\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({}))\n",
+                items.join(", ")
+            )
+        }
+        Input::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tag_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __seq = match __payload.as_seq() {{\n\
+                             ::std::option::Option::Some(__s) if __s.len() == {n} => __s,\n\
+                             _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"variant {name}::{vn} expects a {n}-element array\")),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let field_inits = struct_deserialize_fields(fields, &format!("{name}::{vn}"));
+                        tag_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = match __payload.as_obj() {{\n\
+                             ::std::option::Option::Some(__o) => __o,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\
+                             ::serde::DeError::unexpected(\"object for {name}::{vn}\", __payload)),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{field_inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Obj(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tag_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unexpected(\"enum {name}\", __other)),\n\
+                 }}\n"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         #[allow(clippy::all)]\n\
+         fn deserialize(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n\
+         }}\n"
+    );
+    out.parse().expect("serde derive: generated Deserialize failed to parse")
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Bridges the serde stub's `Content` tree to JSON text. Provides the
+//! API surface this workspace uses: `to_string` / `to_string_pretty` /
+//! `to_writer` / `from_str` / `from_reader`, the [`Value`] model with
+//! indexing and `as_*` accessors, and the [`json!`] macro.
+//!
+//! Matches real serde_json behavior where the workspace can observe it:
+//! floats print via Rust's shortest round-trip formatting, non-finite
+//! floats serialize as `null`, object keys are ordered (BTreeMap), and
+//! string escapes cover `\u` sequences including surrogate pairs.
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+mod parse;
+mod value;
+mod write;
+
+pub use value::{Map, Value};
+
+/// Error raised by JSON serialization, deserialization, or I/O.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(format!("i/o: {e}"))
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::compact(&value.serialize()))
+}
+
+/// Serialize a value to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::pretty(&value.serialize()))
+}
+
+/// Serialize a value as JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(write::compact(&value.serialize()).as_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = parse::parse(s)?;
+    Ok(T::deserialize(&content)?)
+}
+
+/// Deserialize a value from a reader producing JSON text.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value::content_to_value(value.serialize()))
+}
+
+/// Convert a [`Value`] tree into any deserializable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    let content = value.serialize();
+    Ok(T::deserialize(&content)?)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value::content_to_value(value.serialize())
+}
+
+/// Construct a [`Value`] from a JSON-like literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_items!(__arr; []; $($tt)+);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)+ }) => {{
+        let mut __map: $crate::Map<::std::string::String, $crate::Value> = $crate::Map::new();
+        $crate::__json_entries!(__map; $($tt)+);
+        $crate::Value::Object(__map)
+    }};
+    ($e:expr) => { $crate::__to_value(&$e) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_items {
+    ($arr:ident; [];) => {};
+    ($arr:ident; [$($v:tt)+]; , $($rest:tt)*) => {
+        $arr.push($crate::json!($($v)+));
+        $crate::__json_items!($arr; []; $($rest)*);
+    };
+    ($arr:ident; [$($v:tt)+];) => {
+        $arr.push($crate::json!($($v)+));
+    };
+    ($arr:ident; [$($v:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::__json_items!($arr; [$($v)* $t]; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $k:literal : $($rest:tt)*) => {
+        $crate::__json_entry_value!($map; $k; []; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_entry_value {
+    ($map:ident; $k:literal; [$($v:tt)+]; , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($k), $crate::json!($($v)+));
+        $crate::__json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $k:literal; [$($v:tt)+];) => {
+        $map.insert(::std::string::String::from($k), $crate::json!($($v)+));
+    };
+    ($map:ident; $k:literal; [$($v:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::__json_entry_value!($map; $k; [$($v)* $t]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": [1.5, null, "x"],
+            "nested": {"k": true},
+            "expr": 2 + 2,
+        });
+        assert_eq!(v["a"], 1.0);
+        assert_eq!(v["b"][0], 1.5);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x");
+        assert_eq!(v["nested"]["k"], true);
+        assert_eq!(v["expr"], 4.0);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({"s": "a\"b\\c\nd\te\u{1F600}", "n": -0.125, "big": 123456789});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        let text = to_string(&f64::NAN).unwrap();
+        assert_eq!(text, "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = json!([{"a": [1, 2]}, "txt"]);
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(v, "Aé😀");
+    }
+}

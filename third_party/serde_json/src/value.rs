@@ -1,0 +1,231 @@
+//! The dynamic JSON [`Value`] model.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::ops::Index;
+
+/// Ordered map used for JSON objects (key-sorted, like default serde_json).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers are carried as `f64`, ample for this workspace's
+    /// statistics-sized payloads.
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! num_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.as_f64() == Some(*self as f64)
+            }
+        }
+    )*};
+}
+
+num_eq!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&crate::write::compact(&self.serialize()))
+    }
+}
+
+pub(crate) fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(v) => Value::Number(v as f64),
+        Content::I64(v) => Value::Number(v as f64),
+        Content::F64(v) => {
+            if v.is_finite() {
+                Value::Number(v)
+            } else {
+                Value::Null
+            }
+        }
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Obj(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    Content::F64(*n)
+                } else {
+                    Content::Null
+                }
+            }
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(a) => Content::Seq(a.iter().map(Serialize::serialize).collect()),
+            Value::Object(o) => Content::Obj(
+                o.iter()
+                    .map(|(k, v)| (k.clone(), v.serialize()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        Ok(content_to_value(c.clone()))
+    }
+}

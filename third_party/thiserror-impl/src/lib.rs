@@ -1,0 +1,351 @@
+//! Hand-rolled `#[derive(Error)]` for the offline thiserror stub.
+//!
+//! Parses the deriving enum straight from the raw `TokenStream` (no
+//! syn/quote in this offline environment) and emits `Display`,
+//! `std::error::Error`, and `From` impls covering the subset of
+//! thiserror syntax this workspace uses:
+//!
+//! * `#[error("literal with {0} / {named} placeholders")]`
+//! * `#[error(transparent)]`
+//! * `#[from]` / `#[source]` on newtype or named fields
+//!
+//! Unsupported shapes panic at expansion time with a clear message, so a
+//! drift between this stub and a future call site fails loudly at build
+//! time rather than silently misformatting.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive(Error): expected {what}, found {other:?}"),
+        }
+    }
+}
+
+struct Attr {
+    name: String,
+    payload: Option<Group>,
+}
+
+fn parse_attrs(c: &mut Cursor) -> Vec<Attr> {
+    let mut out = Vec::new();
+    while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        c.bump();
+        let Some(TokenTree::Group(g)) = c.bump() else {
+            panic!("derive(Error): malformed attribute");
+        };
+        let mut inner = Cursor::new(g.stream());
+        let name = inner.expect_ident("attribute name");
+        let payload = match inner.bump() {
+            Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Parenthesis => Some(pg),
+            _ => None,
+        };
+        out.push(Attr { name, payload });
+    }
+    out
+}
+
+fn skip_visibility(c: &mut Cursor) {
+    if c.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Collect tokens until a top-level comma (tracking `<...>` depth so
+/// generic argument commas stay inside one field).
+fn take_type_until_comma(c: &mut Cursor) -> String {
+    let mut depth = 0i32;
+    let mut out: Vec<TokenTree> = Vec::new();
+    while let Some(tt) = c.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        out.push(c.bump().unwrap());
+    }
+    c.eat_punct(',');
+    out.into_iter().collect::<TokenStream>().to_string()
+}
+
+enum DisplayAttr {
+    /// Format-string literal, stored with its surrounding quotes/escapes.
+    Fmt(String),
+    Transparent,
+}
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    is_source: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+    display: DisplayAttr,
+}
+
+fn parse_display_attr(attrs: &[Attr], variant: &str) -> DisplayAttr {
+    let payload = attrs
+        .iter()
+        .find(|a| a.name == "error")
+        .unwrap_or_else(|| panic!("derive(Error): variant `{variant}` lacks #[error(...)]"))
+        .payload
+        .as_ref()
+        .unwrap_or_else(|| panic!("derive(Error): #[error] on `{variant}` needs arguments"));
+    let mut inner = Cursor::new(payload.stream());
+    match inner.bump() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "transparent" => DisplayAttr::Transparent,
+        Some(TokenTree::Literal(l)) => {
+            if inner.peek().is_some() {
+                panic!("derive(Error): explicit format args in #[error] are not supported by the offline stub (variant `{variant}`)");
+            }
+            DisplayAttr::Fmt(l.to_string())
+        }
+        other => panic!("derive(Error): unsupported #[error] payload on `{variant}`: {other:?}"),
+    }
+}
+
+fn parse_fields(group: &Group, named: bool) -> Vec<Field> {
+    let mut c = Cursor::new(group.stream());
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c);
+        let is_source = attrs.iter().any(|a| a.name == "from" || a.name == "source");
+        skip_visibility(&mut c);
+        let name = if named {
+            let n = c.expect_ident("field name");
+            assert!(c.eat_punct(':'), "derive(Error): expected `:` after field");
+            Some(n)
+        } else {
+            None
+        };
+        let ty = take_type_until_comma(&mut c);
+        // `#[from]` implies the variant is constructible from the field,
+        // which only makes sense for that exact field type.
+        fields.push(Field { name, ty, is_source });
+    }
+    fields
+}
+
+fn parse_enum(input: TokenStream) -> (String, Vec<Variant>) {
+    let mut c = Cursor::new(input);
+    let _ = parse_attrs(&mut c);
+    skip_visibility(&mut c);
+    assert!(
+        c.eat_ident("enum"),
+        "derive(Error): the offline stub only supports enums"
+    );
+    let name = c.expect_ident("enum name");
+    let body = match c.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!("derive(Error): generics are not supported by the offline stub"),
+    };
+    let mut vc = Cursor::new(body.stream());
+    let mut variants = Vec::new();
+    while vc.peek().is_some() {
+        let attrs = parse_attrs(&mut vc);
+        let vname = vc.expect_ident("variant name");
+        let display = parse_display_attr(&attrs, &vname);
+        let shape = match vc.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_fields(g, false);
+                vc.bump();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g, true);
+                vc.bump();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        vc.eat_punct(',');
+        variants.push(Variant {
+            name: vname,
+            shape,
+            display,
+        });
+    }
+    (name, variants)
+}
+
+/// Highest positional `{N…}` placeholder used in a format literal, if any.
+fn max_positional_used(lit: &str, n_fields: usize) -> usize {
+    let mut used = 0;
+    for i in 0..n_fields {
+        let open = format!("{{{i}");
+        if lit.contains(&open) {
+            used = used.max(i + 1);
+        }
+    }
+    used
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let (name, variants) = parse_enum(input);
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+    let mut any_without_source = false;
+
+    for v in &variants {
+        let vn = &v.name;
+        let (pattern, bindings): (String, Vec<String>) = match &v.shape {
+            Shape::Unit => (format!("{name}::{vn}"), Vec::new()),
+            Shape::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("v{i}")).collect();
+                (format!("{name}::{vn}({})", binds.join(", ")), binds)
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> =
+                    fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                (format!("{name}::{vn} {{ {} }}", binds.join(", ")), binds)
+            }
+        };
+
+        match &v.display {
+            DisplayAttr::Transparent => {
+                let inner = bindings.first().unwrap_or_else(|| {
+                    panic!("derive(Error): #[error(transparent)] on `{vn}` needs one field")
+                });
+                display_arms.push_str(&format!(
+                    "{pattern} => ::core::fmt::Display::fmt({inner}, __f),\n"
+                ));
+            }
+            DisplayAttr::Fmt(lit) => {
+                let args = match &v.shape {
+                    Shape::Tuple(fields) => {
+                        let n = max_positional_used(lit, fields.len());
+                        bindings[..n].join(", ")
+                    }
+                    // Named fields rely on implicit format captures.
+                    _ => String::new(),
+                };
+                if args.is_empty() {
+                    display_arms.push_str(&format!("{pattern} => ::core::write!(__f, {lit}),\n"));
+                } else {
+                    display_arms
+                        .push_str(&format!("{pattern} => ::core::write!(__f, {lit}, {args}),\n"));
+                }
+            }
+        }
+
+        let fields = match &v.shape {
+            Shape::Unit => &[][..],
+            Shape::Tuple(f) | Shape::Named(f) => f.as_slice(),
+        };
+        if let Some(idx) = fields.iter().position(|f| f.is_source) {
+            let bind = &bindings[idx];
+            source_arms.push_str(&format!(
+                "{pattern} => ::core::option::Option::Some({bind}),\n"
+            ));
+            let field = &fields[idx];
+            assert!(
+                fields.len() == 1,
+                "derive(Error): #[from] variants must have exactly one field (`{vn}`)"
+            );
+            let ty = &field.ty;
+            let construct = match &field.name {
+                Some(fname) => format!("{name}::{vn} {{ {fname}: value }}"),
+                None => format!("{name}::{vn}(value)"),
+            };
+            from_impls.push_str(&format!(
+                "impl ::core::convert::From<{ty}> for {name} {{\n\
+                 fn from(value: {ty}) -> Self {{ {construct} }}\n\
+                 }}\n"
+            ));
+        } else {
+            any_without_source = true;
+        }
+    }
+
+    let source_body = if source_arms.is_empty() {
+        "::core::option::Option::None".to_string()
+    } else {
+        let fallback = if any_without_source {
+            "_ => ::core::option::Option::None,\n"
+        } else {
+            ""
+        };
+        format!("match self {{\n{source_arms}{fallback}}}")
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::core::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         fn fmt(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         match self {{\n{display_arms}}}\n\
+         }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         impl ::std::error::Error for {name} {{\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         {source_body}\n\
+         }}\n\
+         }}\n\
+         {from_impls}"
+    );
+    out.parse().expect("derive(Error): generated code failed to parse")
+}

@@ -1,0 +1,4 @@
+//! Offline stand-in for the `thiserror` crate: re-exports the derive
+//! macro implemented in `thiserror-impl`.
+
+pub use thiserror_impl::Error;
