@@ -1,0 +1,128 @@
+//! **Experiment T5 — cross-query score cache and parallel carousel
+//! assembly.** Measures the exploration engine's repeated-workload
+//! performance: assembling all 12 class carousels cold (empty cache),
+//! cold with the parallel/batch path, and warm (every score cached) —
+//! the situation after any focus change, filter tweak, or session replay.
+//!
+//! Emits `BENCH_query_cache.json` into the working directory (run from the
+//! repository root) alongside a human-readable table on stdout.
+
+use foresight_bench::{fmt_duration, workload};
+use foresight_data::datasets::{oecd, oecd_with};
+use foresight_data::Table;
+use foresight_engine::Foresight;
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+const PER_CLASS: usize = 5;
+const REPS: usize = 5;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Median wall-clock of `f` over [`REPS`] runs; `reset` runs before each
+/// timed run (outside the clock) to restore the starting state.
+fn bench(mut reset: impl FnMut(&mut Foresight), fs: &mut Foresight) -> Duration {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        reset(fs);
+        let t0 = Instant::now();
+        let out = fs.carousels(PER_CLASS).expect("carousels");
+        times.push(t0.elapsed());
+        assert_eq!(out.len(), fs.registry().len());
+        std::hint::black_box(out);
+    }
+    median(times)
+}
+
+fn measure(name: &str, table: Table) -> Value {
+    let rows = table.n_rows();
+    let numeric_cols = table.numeric_indices().len();
+
+    // serial: batch scoring and parallel assembly off
+    let mut serial = Foresight::new(table.clone());
+    let n_classes = serial.registry().len();
+    serial.set_parallel(false);
+    let cold_serial = bench(|fs| fs.clear_score_cache(), &mut serial);
+
+    // parallel: batch scoring + parallel carousel assembly
+    let mut parallel = Foresight::new(table);
+    parallel.set_parallel(true);
+    let cold_parallel = bench(|fs| fs.clear_score_cache(), &mut parallel);
+
+    // both paths must agree exactly before any number is worth reporting
+    assert_eq!(
+        serial.carousels(PER_CLASS).expect("serial"),
+        parallel.carousels(PER_CLASS).expect("parallel"),
+        "parallel carousels diverged from serial on {name}"
+    );
+
+    // warm: same workload, every score already cached
+    let warm = bench(|_| {}, &mut parallel);
+    let stats = parallel.cache_stats();
+
+    let ratio = |a: Duration, b: Duration| a.as_secs_f64() / b.as_secs_f64().max(1e-9);
+    let warm_speedup = ratio(cold_parallel, warm);
+    let parallel_speedup = ratio(cold_serial, cold_parallel);
+
+    println!(
+        "| {name:<12} | {rows:>7} | {:>12} | {:>12} | {:>12} | {warm_speedup:>7.1}x | {parallel_speedup:>7.2}x |",
+        fmt_duration(cold_serial),
+        fmt_duration(cold_parallel),
+        fmt_duration(warm),
+    );
+
+    json!({
+        "dataset": name,
+        "rows": rows,
+        "numeric_cols": numeric_cols,
+        "per_class": PER_CLASS,
+        "classes": n_classes,
+        "cold_serial_ms": cold_serial.as_secs_f64() * 1e3,
+        "cold_parallel_ms": cold_parallel.as_secs_f64() * 1e3,
+        "warm_ms": warm.as_secs_f64() * 1e3,
+        "warm_speedup_vs_cold": warm_speedup,
+        "parallel_speedup_vs_serial": parallel_speedup,
+        "cache_entries": stats.entries,
+        "cache_hit_rate": stats.hit_rate(),
+    })
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    println!("# Experiment T5: score cache + parallel carousel assembly");
+    println!("# rayon threads: {threads} (on 1 thread the parallel column measures batch scoring alone)\n");
+    println!(
+        "| {:<12} | {:>7} | {:>12} | {:>12} | {:>12} | {:>8} | {:>8} |",
+        "dataset", "rows", "cold serial", "cold parallel", "warm", "warm spd", "par spd"
+    );
+    println!("|{}|", "-".repeat(94));
+
+    let datasets = vec![
+        ("oecd", oecd()),
+        ("oecd-10k", oecd_with(2017, 10_000)),
+        ("synth-20kx16", workload(20_000, 16, 7).0),
+    ];
+    let results: Vec<Value> = datasets
+        .into_iter()
+        .map(|(name, table)| measure(name, table))
+        .collect();
+
+    let report = json!({
+        "experiment": "query_cache",
+        "description": "full carousel assembly (12 classes x top-5): cold vs warm vs parallel",
+        "reps": REPS,
+        "statistic": "median",
+        "rayon_threads": threads,
+        "datasets": results,
+    });
+    let path = "BENCH_query_cache.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_query_cache.json");
+    println!("\nwrote {path}");
+}

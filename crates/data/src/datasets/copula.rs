@@ -86,12 +86,9 @@ impl Cholesky {
         for e in &mut eps {
             *e = std_normal(rng);
         }
-        for i in 0..self.d {
-            let mut acc = 0.0;
-            for k in 0..=i {
-                acc += self.l[i * self.d + k] * eps[k];
-            }
-            out[i] = acc;
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.l[i * self.d..i * self.d + i + 1];
+            *o = row.iter().zip(&eps).map(|(l, e)| l * e).sum();
         }
     }
 

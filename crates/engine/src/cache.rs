@@ -1,0 +1,348 @@
+//! Cross-query score caching.
+//!
+//! Insight exploration is repetitive by nature: carousels re-run one query
+//! per class on every focus change, sessions get replayed, and §4.1-style
+//! drill-downs re-score the same attribute tuples under narrower filters.
+//! The [`ScoreCache`] memoizes the expensive part — per-tuple metric
+//! evaluation — across queries, keyed by everything that determines a score:
+//! `(class, attribute tuple, execution mode, metric)`.
+//!
+//! Filters (score ranges, fixed attributes, exclusions, top-k) are *not*
+//! part of the key: they select among scores but never change them, so a
+//! tuple scored once serves every later query that touches it.
+//!
+//! The cache is sharded: each shard is an independent [`RwLock`]ed map, so
+//! parallel candidate scoring mostly touches distinct locks. Degenerate
+//! results (`None` — constant columns, too few rows) are cached too;
+//! re-proving a column degenerate costs as much as scoring it.
+
+use crate::executor::Mode;
+use foresight_insight::AttrTuple;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 16;
+
+/// A fast, non-cryptographic multiply-rotate hasher (FxHash-style). Cache
+/// keys are tiny, trusted, and looked up on the hot path of every warm
+/// query, where SipHash's per-lookup cost is measurable; collision-quality
+/// beyond "good enough for a HashMap" buys nothing here.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    class_id: &'static str,
+    attrs: AttrTuple,
+    mode: Mode,
+    metric: Option<String>,
+}
+
+/// Key for memoized [`InsightClass::describe`] output: the description is a
+/// pure function of `(class, tuple, score)` — the score enters as raw bits
+/// so distinct metrics/modes (which produce distinct scores) never collide.
+///
+/// [`InsightClass::describe`]: foresight_insight::InsightClass::describe
+type DetailKey = (&'static str, AttrTuple, u64);
+
+/// Hit/miss counters and current size of a [`ScoreCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to scoring.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe memo of per-tuple insight scores.
+///
+/// Owned by [`Foresight`](crate::Foresight) and consulted by the
+/// [`Executor`](crate::Executor); safe to share across threads (interior
+/// mutability via per-shard [`RwLock`]s and atomic counters).
+pub struct ScoreCache {
+    shards: Vec<RwLock<FxMap<CacheKey, Option<f64>>>>,
+    /// Memoized `describe()` strings. Only the handful of top-k winners per
+    /// query ever land here (not the full candidate set), and they are
+    /// written after ranking, outside the parallel scoring loop — a single
+    /// unsharded map suffices.
+    details: RwLock<FxMap<DetailKey, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
+            details: RwLock::new(FxMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<FxMap<CacheKey, Option<f64>>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // multiply-based hashes concentrate entropy in the high bits
+        &self.shards[(h.finish() >> 60) as usize % SHARDS]
+    }
+
+    /// Looks up a previously stored score.
+    ///
+    /// `Some(score)` is a hit — including `Some(None)`, a tuple already
+    /// proven degenerate. `None` means the tuple was never scored under this
+    /// `(mode, metric)` and the caller must compute (and [`store`]) it.
+    ///
+    /// [`store`]: ScoreCache::store
+    pub fn lookup(
+        &self,
+        class_id: &'static str,
+        attrs: &AttrTuple,
+        mode: Mode,
+        metric: Option<&str>,
+    ) -> Option<Option<f64>> {
+        let key = CacheKey {
+            class_id,
+            attrs: *attrs,
+            mode,
+            metric: metric.map(str::to_owned),
+        };
+        let found = self.shard(&key).read().get(&key).copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed score (or a degenerate `None`).
+    pub fn store(
+        &self,
+        class_id: &'static str,
+        attrs: &AttrTuple,
+        mode: Mode,
+        metric: Option<&str>,
+        score: Option<f64>,
+    ) {
+        let key = CacheKey {
+            class_id,
+            attrs: *attrs,
+            mode,
+            metric: metric.map(str::to_owned),
+        };
+        self.shard(&key).write().insert(key, score);
+    }
+
+    /// Returns the memoized description for `(class, attrs, score)`,
+    /// computing and storing it via `describe` on first sight.
+    ///
+    /// Sound because `InsightClass::describe` is a pure function of the
+    /// table, the tuple, and the score — and the table is fixed for the
+    /// lifetime of the cache (every table change goes through
+    /// [`clear`](ScoreCache::clear)). Descriptions are far cheaper than
+    /// scores in most classes but not all: multimodality re-fits a KDE per
+    /// call, which would otherwise dominate warm queries.
+    pub fn detail(
+        &self,
+        class_id: &'static str,
+        attrs: &AttrTuple,
+        score: f64,
+        describe: impl FnOnce() -> String,
+    ) -> String {
+        let key = (class_id, *attrs, score.to_bits());
+        if let Some(found) = self.details.read().get(&key) {
+            return found.clone();
+        }
+        let fresh = describe();
+        self.details.write().entry(key).or_insert(fresh).clone()
+    }
+
+    /// Drops every entry and resets the hit/miss counters. Called whenever
+    /// scores could change: a class is (re-)registered, the sketch catalog
+    /// is rebuilt, or persisted state is loaded.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.details.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ScoreCache::new();
+        let attrs = AttrTuple::Two(0, 1);
+        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None), None);
+        cache.store("c", &attrs, Mode::Exact, None, Some(0.75));
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Exact, None),
+            Some(Some(0.75))
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_none_is_a_hit() {
+        let cache = ScoreCache::new();
+        let attrs = AttrTuple::One(3);
+        cache.store("c", &attrs, Mode::Exact, None, None);
+        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None), Some(None));
+    }
+
+    #[test]
+    fn key_distinguishes_mode_and_metric() {
+        let cache = ScoreCache::new();
+        let attrs = AttrTuple::Two(1, 2);
+        cache.store("c", &attrs, Mode::Exact, None, Some(1.0));
+        cache.store("c", &attrs, Mode::Approximate, None, Some(2.0));
+        cache.store("c", &attrs, Mode::Exact, Some("|spearman|"), Some(3.0));
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Exact, None),
+            Some(Some(1.0))
+        );
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Approximate, None),
+            Some(Some(2.0))
+        );
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Exact, Some("|spearman|")),
+            Some(Some(3.0))
+        );
+        assert_eq!(cache.lookup("d", &attrs, Mode::Exact, None), None);
+    }
+
+    #[test]
+    fn detail_is_computed_once_per_key() {
+        let cache = ScoreCache::new();
+        let attrs = AttrTuple::One(2);
+        let mut calls = 0;
+        let first = cache.detail("c", &attrs, 0.5, || {
+            calls += 1;
+            "three modes".into()
+        });
+        let second = cache.detail("c", &attrs, 0.5, || {
+            calls += 1;
+            "never built".into()
+        });
+        assert_eq!(first, "three modes");
+        assert_eq!(second, "three modes");
+        assert_eq!(calls, 1);
+        // a different score is a different description
+        let other = cache.detail("c", &attrs, 0.25, || "two modes".into());
+        assert_eq!(other, "two modes");
+        cache.clear();
+        assert_eq!(
+            cache.detail("c", &attrs, 0.5, || "rebuilt".into()),
+            "rebuilt"
+        );
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let cache = ScoreCache::new();
+        for i in 0..100 {
+            cache.store("c", &AttrTuple::One(i), Mode::Exact, None, Some(i as f64));
+        }
+        assert_eq!(cache.len(), 100);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

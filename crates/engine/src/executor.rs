@@ -3,15 +3,17 @@
 //! paper's future-work "parallel search methods that speed up insight
 //! queries").
 
+use crate::cache::ScoreCache;
 use crate::error::{EngineError, Result};
 use crate::query::InsightQuery;
 use foresight_data::Table;
 use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::SketchCatalog;
 use rayon::prelude::*;
+use std::cmp::Ordering;
 
 /// How scores are computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Exact metrics over the raw columns.
     Exact,
@@ -25,6 +27,7 @@ pub struct Executor<'a> {
     table: &'a Table,
     registry: &'a InsightRegistry,
     catalog: Option<&'a SketchCatalog>,
+    cache: Option<&'a ScoreCache>,
     mode: Mode,
     parallel: bool,
 }
@@ -36,6 +39,7 @@ impl<'a> Executor<'a> {
             table,
             registry,
             catalog: None,
+            cache: None,
             mode: Mode::Exact,
             parallel: false,
         }
@@ -51,14 +55,26 @@ impl<'a> Executor<'a> {
             table,
             registry,
             catalog: Some(catalog),
+            cache: None,
             mode: Mode::Approximate,
             parallel: false,
         }
     }
 
-    /// Enables rayon-parallel candidate scoring.
+    /// Enables rayon-parallel candidate scoring. The parallel path also
+    /// scores exact primary-metric queries through
+    /// [`InsightClass::score_batch`], which lets classes share per-column
+    /// work across candidates (bit-identical to per-candidate scoring).
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Attaches a cross-query [`ScoreCache`]. Scores are looked up before
+    /// computing and stored after; the caller owns invalidation (clear the
+    /// cache whenever the registry or catalog changes).
+    pub fn with_cache(mut self, cache: &'a ScoreCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -68,6 +84,31 @@ impl<'a> Executor<'a> {
     }
 
     fn score_one(
+        &self,
+        class: &dyn InsightClass,
+        query: &InsightQuery,
+        attrs: &AttrTuple,
+    ) -> Option<f64> {
+        if let Some(cache) = self.cache {
+            if let Some(cached) =
+                cache.lookup(class.id(), attrs, self.mode, query.metric.as_deref())
+            {
+                return cached;
+            }
+            let computed = self.score_uncached(class, query, attrs);
+            cache.store(
+                class.id(),
+                attrs,
+                self.mode,
+                query.metric.as_deref(),
+                computed,
+            );
+            return computed;
+        }
+        self.score_uncached(class, query, attrs)
+    }
+
+    fn score_uncached(
         &self,
         class: &dyn InsightClass,
         query: &InsightQuery,
@@ -85,6 +126,51 @@ impl<'a> Executor<'a> {
             }
         }
         class.score(self.table, attrs)
+    }
+
+    /// Scores candidates through [`InsightClass::score_batch`], serving what
+    /// it can from the cache and storing the rest. Only valid for exact-mode
+    /// primary-metric queries (the one configuration where `score_batch` is
+    /// contractually bit-identical to `score`).
+    fn score_batch_cached(
+        &self,
+        class: &dyn InsightClass,
+        candidates: &[AttrTuple],
+    ) -> Vec<Option<f64>> {
+        let (mut out, pending): (Vec<Option<Option<f64>>>, Vec<usize>) = match self.cache {
+            Some(cache) => {
+                let mut out = Vec::with_capacity(candidates.len());
+                let mut pending = Vec::new();
+                for (idx, attrs) in candidates.iter().enumerate() {
+                    match cache.lookup(class.id(), attrs, self.mode, None) {
+                        Some(hit) => out.push(Some(hit)),
+                        None => {
+                            out.push(None);
+                            pending.push(idx);
+                        }
+                    }
+                }
+                (out, pending)
+            }
+            None => (
+                vec![None; candidates.len()],
+                (0..candidates.len()).collect(),
+            ),
+        };
+        if !pending.is_empty() {
+            let missing: Vec<AttrTuple> = pending.iter().map(|&i| candidates[i]).collect();
+            let scores = class.score_batch(self.table, &missing);
+            debug_assert_eq!(scores.len(), missing.len());
+            for (&idx, score) in pending.iter().zip(scores) {
+                if let Some(cache) = self.cache {
+                    cache.store(class.id(), &candidates[idx], self.mode, None, score);
+                }
+                out[idx] = Some(score);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
     }
 
     /// Runs a query, returning instances sorted by descending score.
@@ -114,26 +200,33 @@ impl<'a> Executor<'a> {
             })
             .collect();
 
-        let score_fn = |attrs: &AttrTuple| -> Option<(AttrTuple, f64)> {
-            let score = self.score_one(class.as_ref(), query, attrs)?;
+        let keep = |attrs: &AttrTuple, score: Option<f64>| -> Option<(AttrTuple, f64)> {
+            let score = score?;
             (score.is_finite() && query.matches_range(score)).then_some((*attrs, score))
         };
-        let mut scored: Vec<(AttrTuple, f64)> = if self.parallel {
-            candidates.par_iter().filter_map(score_fn).collect()
-        } else {
-            candidates.iter().filter_map(score_fn).collect()
-        };
+        let score_fn =
+            |attrs: &AttrTuple| keep(attrs, self.score_one(class.as_ref(), query, attrs));
+        let mut scored: Vec<(AttrTuple, f64)> =
+            if self.parallel && query.metric.is_none() && self.mode == Mode::Exact {
+                // batch path: classes share per-column work across candidates
+                self.score_batch_cached(class.as_ref(), &candidates)
+                    .into_iter()
+                    .zip(&candidates)
+                    .filter_map(|(score, attrs)| keep(attrs, score))
+                    .collect()
+            } else if self.parallel {
+                candidates.par_iter().filter_map(score_fn).collect()
+            } else {
+                candidates.iter().filter_map(score_fn).collect()
+            };
 
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("non-finite scores filtered")
-                .then_with(|| a.0.cmp(&b.0))
-        });
         match query.diversify {
             Some(lambda) if lambda > 0.0 => {
+                // MMR needs the full descending-score ordering as input
+                scored.sort_by(rank_order);
                 scored = diversify_scored(scored, query.top_k, lambda);
             }
-            _ => scored.truncate(query.top_k),
+            _ => scored = rank_top_k(scored, query.top_k),
         }
 
         Ok(scored
@@ -146,15 +239,58 @@ impl<'a> Executor<'a> {
                     .metric
                     .clone()
                     .unwrap_or_else(|| class.metric().to_owned()),
-                detail: class.describe(self.table, &attrs, score),
+                detail: match self.cache {
+                    // `describe` is pure in (table, attrs, score); memoizing
+                    // it spares per-result model refits (multimodality's KDE)
+                    // on every warm carousel refresh.
+                    Some(cache) => cache.detail(class.id(), &attrs, score, || {
+                        class.describe(self.table, &attrs, score)
+                    }),
+                    None => class.describe(self.table, &attrs, score),
+                },
             })
             .collect())
     }
 }
 
+/// The ranking order: descending score, ties broken by ascending attribute
+/// tuple (deterministic across runs, threads, and scoring paths).
+fn rank_order(a: &(AttrTuple, f64), b: &(AttrTuple, f64)) -> Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("non-finite scores filtered")
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// Selects and sorts the top `k` of `scored` under the ranking order
+/// (descending score, ascending attribute tuple on ties).
+///
+/// Uses quickselect to partition the top `k` before sorting only that
+/// prefix — `O(n + k log k)` instead of the `O(n log n)` full sort, which
+/// matters when a query enumerates thousands of candidate tuples to return
+/// a carousel of five. Output is identical to sort-then-truncate (the
+/// engine's property tests assert as much).
+pub fn rank_top_k(mut scored: Vec<(AttrTuple, f64)>, k: usize) -> Vec<(AttrTuple, f64)> {
+    if k == 0 {
+        scored.clear();
+        return scored;
+    }
+    if scored.len() > k {
+        scored.select_nth_unstable_by(k - 1, rank_order);
+        scored.truncate(k);
+    }
+    scored.sort_by(rank_order);
+    scored
+}
+
 /// Greedy maximal-marginal-relevance selection: repeatedly picks the
 /// candidate maximizing `(1−λ)·normalized_score − λ·max_attr_overlap` with
 /// the already-selected set. Input must be sorted by descending score.
+///
+/// Candidates are tombstoned in place and the per-candidate similarity to
+/// the selected set is maintained incrementally (only the most recently
+/// selected tuple can raise it), so selection is `O(k·n)` rather than the
+/// `O(k·n²)` of rescanning the selected set and `Vec::remove`-compacting
+/// the remainder on every round.
 pub(crate) fn diversify_scored(
     scored: Vec<(AttrTuple, f64)>,
     top_k: usize,
@@ -172,25 +308,36 @@ pub(crate) fn diversify_scored(
         let union = (a.arity() + b.arity()) as f64 - shared;
         shared / union.max(1.0)
     };
-    let mut remaining = scored;
-    let mut selected: Vec<(AttrTuple, f64)> = vec![remaining.remove(0)];
-    while selected.len() < top_k && !remaining.is_empty() {
-        let (best_idx, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, (attrs, score))| {
-                let max_sim = selected
-                    .iter()
-                    .map(|(sel, _)| overlap(attrs, sel))
-                    .fold(0.0f64, f64::max);
-                (
-                    i,
-                    (1.0 - lambda) * (score.abs() / max_score) - lambda * max_sim,
-                )
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite mmr"))
-            .expect("remaining non-empty");
-        selected.push(remaining.remove(best_idx));
+    let n = scored.len();
+    let mut alive = vec![true; n];
+    let mut selected: Vec<(AttrTuple, f64)> = Vec::with_capacity(top_k.min(n));
+    alive[0] = false;
+    selected.push(scored[0]);
+    // best_sim[i] = max overlap between candidate i and the selected set
+    let mut best_sim: Vec<f64> = scored
+        .iter()
+        .map(|(attrs, _)| overlap(attrs, &scored[0].0))
+        .collect();
+    while selected.len() < top_k && selected.len() < n {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (_, score)) in scored.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let mmr = (1.0 - lambda) * (score.abs() / max_score) - lambda * best_sim[i];
+            // `>=` keeps the last maximum, matching `Iterator::max_by`
+            if best.is_none() || mmr >= best.expect("just checked").1 {
+                best = Some((i, mmr));
+            }
+        }
+        let (chosen, _) = best.expect("alive candidates remain");
+        alive[chosen] = false;
+        selected.push(scored[chosen]);
+        for (i, (attrs, _)) in scored.iter().enumerate() {
+            if alive[i] {
+                best_sim[i] = best_sim[i].max(overlap(attrs, &scored[chosen].0));
+            }
+        }
     }
     selected
 }
@@ -376,6 +523,83 @@ mod tests {
         let seq = Executor::exact(&t, &r).execute(&q).unwrap();
         let par = Executor::exact(&t, &r).parallel(true).execute(&q).unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cached_executor_matches_uncached_and_hits_on_rerun() {
+        let t = table();
+        let r = registry();
+        let cache = ScoreCache::new();
+        let q = InsightQuery::class("linear-relationship").top_k(4);
+        let plain = Executor::exact(&t, &r).execute(&q).unwrap();
+        let cold = Executor::exact(&t, &r)
+            .with_cache(&cache)
+            .execute(&q)
+            .unwrap();
+        assert_eq!(plain, cold);
+        assert!(cache.stats().entries > 0);
+        let warm = Executor::exact(&t, &r)
+            .with_cache(&cache)
+            .execute(&q)
+            .unwrap();
+        assert_eq!(plain, warm);
+        let stats = cache.stats();
+        assert!(stats.hits >= 6, "expected warm hits, got {stats:?}");
+    }
+
+    #[test]
+    fn cache_serves_narrower_followup_queries() {
+        let t = table();
+        let r = registry();
+        let cache = ScoreCache::new();
+        let ex = Executor::exact(&t, &r).with_cache(&cache);
+        ex.execute(&InsightQuery::class("linear-relationship").top_k(10))
+            .unwrap();
+        let misses_after_broad = cache.stats().misses;
+        // drill-down with filters re-uses every score
+        ex.execute(
+            &InsightQuery::class("linear-relationship")
+                .top_k(3)
+                .fix_attr(0)
+                .score_range(0.0, 0.9),
+        )
+        .unwrap();
+        assert_eq!(cache.stats().misses, misses_after_broad);
+    }
+
+    #[test]
+    fn parallel_batch_path_matches_serial_with_cache() {
+        let t = table();
+        let r = registry();
+        let cache = ScoreCache::new();
+        let q = InsightQuery::class("monotonic-relationship").top_k(6);
+        let serial = Executor::exact(&t, &r).execute(&q).unwrap();
+        let batch = Executor::exact(&t, &r)
+            .parallel(true)
+            .with_cache(&cache)
+            .execute(&q)
+            .unwrap();
+        assert_eq!(serial, batch);
+        // second run is served from the cache, still identical
+        let warm = Executor::exact(&t, &r)
+            .parallel(true)
+            .with_cache(&cache)
+            .execute(&q)
+            .unwrap();
+        assert_eq!(serial, warm);
+    }
+
+    #[test]
+    fn rank_top_k_matches_sort_truncate() {
+        let scored: Vec<(AttrTuple, f64)> = (0..40)
+            .map(|i| (AttrTuple::Two(i, i + 1), ((i * 7) % 5) as f64))
+            .collect();
+        for k in [0, 1, 3, 39, 40, 100] {
+            let mut reference = scored.clone();
+            reference.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+            reference.truncate(k);
+            assert_eq!(rank_top_k(scored.clone(), k), reference, "k = {k}");
+        }
     }
 
     #[test]

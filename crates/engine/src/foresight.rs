@@ -1,11 +1,12 @@
 //! The top-level [`Foresight`] facade: load a table, preprocess sketches,
 //! run insight queries, focus insights, assemble carousels, save sessions.
 
+use crate::cache::{CacheStats, ScoreCache};
 use crate::error::{EngineError, Result};
 use crate::executor::{Executor, Mode};
 use crate::neighborhood::NeighborhoodWeights;
 use crate::query::InsightQuery;
-use crate::recommend::{carousels, Carousel};
+use crate::recommend::{carousels_with, Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
 use crate::session::Session;
 use foresight_data::Table;
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
@@ -32,13 +33,19 @@ pub struct Foresight {
     catalog: Option<SketchCatalog>,
     index: Option<crate::index::InsightIndex>,
     session: Session,
+    cache: ScoreCache,
     mode: Mode,
     parallel: bool,
+    focus_overfetch: usize,
     weights: NeighborhoodWeights,
 }
 
 impl Foresight {
     /// Opens a table with the 12 default insight classes, in exact mode.
+    ///
+    /// Parallel execution (batch scoring, multi-threaded candidate scoring,
+    /// parallel carousel assembly) is on by default when the process has
+    /// more than one rayon thread available.
     pub fn new(table: Table) -> Self {
         let session = Session::new(table.name());
         Self {
@@ -47,8 +54,10 @@ impl Foresight {
             catalog: None,
             index: None,
             session,
+            cache: ScoreCache::new(),
             mode: Mode::Exact,
-            parallel: false,
+            parallel: rayon::current_num_threads() > 1,
+            focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
             weights: NeighborhoodWeights::default(),
         }
     }
@@ -72,10 +81,12 @@ impl Foresight {
     }
 
     /// Plugs in an insight class (§2.2 extensibility). Invalidates any
-    /// built insight index (rebuild with [`Foresight::build_index`]).
+    /// built insight index (rebuild with [`Foresight::build_index`]) and
+    /// the score cache (a re-registered id may score differently).
     pub fn register_class(&mut self, class: Arc<dyn InsightClass>) {
         self.registry.register(class);
         self.index = None;
+        self.cache.clear();
     }
 
     /// Materializes the insight index — the "indexes" of the paper's
@@ -116,9 +127,27 @@ impl Foresight {
         self.weights = weights;
     }
 
-    /// Enables rayon-parallel query execution.
+    /// Enables rayon-parallel query execution and carousel assembly (on by
+    /// default when more than one thread is available).
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
+    }
+
+    /// Sets the focus over-fetch factor used by carousel assembly (see
+    /// [`DEFAULT_FOCUS_OVERFETCH`]); values below 1 are treated as 1.
+    pub fn set_focus_overfetch(&mut self, factor: usize) {
+        self.focus_overfetch = factor.max(1);
+    }
+
+    /// Hit/miss/size counters of the cross-query score cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached score. Normally unnecessary — the engine clears
+    /// the cache itself whenever scores could change.
+    pub fn clear_score_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// Runs the paper's preprocessing phase: builds the sketch catalog and
@@ -129,6 +158,8 @@ impl Foresight {
         self.catalog = Some(SketchCatalog::build(&self.table, config));
         self.mode = Mode::Approximate;
         self.index = None;
+        // approximate-mode entries would reflect the old catalog
+        self.cache.clear();
         self.catalog.as_ref().expect("just built")
     }
 
@@ -161,7 +192,7 @@ impl Foresight {
             }
             _ => Executor::exact(&self.table, &self.registry),
         };
-        ex.parallel(self.parallel)
+        ex.parallel(self.parallel).with_cache(&self.cache)
     }
 
     /// Runs an insight query and records it in the session history.
@@ -190,13 +221,18 @@ impl Foresight {
     }
 
     /// Builds all carousels (one per class), re-ranked toward the focus set.
+    /// Assembled in parallel (one task per class) when parallelism is on.
     pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
-        carousels(
+        carousels_with(
             &self.executor(),
             &self.registry,
             &self.session,
-            per_class,
-            self.weights,
+            &CarouselConfig {
+                per_class,
+                weights: self.weights,
+                focus_overfetch: self.focus_overfetch,
+                parallel: self.parallel,
+            },
         )
     }
 
@@ -239,6 +275,8 @@ impl Foresight {
             self.mode = Mode::Approximate;
         }
         self.index = None;
+        // the restored catalog is not the one cached scores came from
+        self.cache.clear();
         Ok(())
     }
 

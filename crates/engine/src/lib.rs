@@ -5,7 +5,8 @@
 //! * [`query`] — insight queries: top-k, fixed attributes, metric-range
 //!   filters, metric selection (§2.1)
 //! * [`executor`] — exact or sketch-backed query execution, optionally
-//!   rayon-parallel
+//!   rayon-parallel with batch scoring and quickselect top-k
+//! * [`cache`] — the cross-query score cache
 //! * [`neighborhood`] — insight similarity and focus-driven re-ranking
 //! * [`session`] — focus set, history, save/restore
 //! * [`recommend`] — Figure-1 carousel assembly
@@ -13,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod foresight;
@@ -23,6 +25,7 @@ pub mod query;
 pub mod recommend;
 pub mod session;
 
+pub use cache::{CacheStats, ScoreCache};
 pub use error::{EngineError, Result};
 pub use executor::{Executor, Mode};
 pub use foresight::Foresight;
@@ -30,5 +33,5 @@ pub use index::InsightIndex;
 pub use neighborhood::NeighborhoodWeights;
 pub use profile::{profile, ColumnProfile, DatasetProfile};
 pub use query::InsightQuery;
-pub use recommend::Carousel;
+pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};

@@ -6,7 +6,18 @@ use crate::executor::Executor;
 use crate::neighborhood::{rerank, NeighborhoodWeights};
 use crate::query::InsightQuery;
 use crate::session::Session;
-use foresight_insight::{InsightInstance, InsightRegistry};
+use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Default focus over-fetch factor: with a non-empty focus set, each
+/// carousel query fetches `per_class ×` this many instances before the
+/// neighborhood re-rank (§4.1) trims back to `per_class`. The re-rank can
+/// only promote insights the query returned, so the factor bounds how far
+/// outside the raw top-k the focus neighborhood can reach; 4 keeps the
+/// over-fetch cheap while giving the re-rank a candidate pool several
+/// times the strip width.
+pub const DEFAULT_FOCUS_OVERFETCH: usize = 4;
 
 /// One carousel: a ranked strip of insights from a single class.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +30,31 @@ pub struct Carousel {
     pub metric: String,
     /// Ranked instances, strongest (or most focus-relevant) first.
     pub instances: Vec<InsightInstance>,
+}
+
+/// How carousels are assembled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarouselConfig {
+    /// Instances per carousel.
+    pub per_class: usize,
+    /// Neighborhood re-ranking weights.
+    pub weights: NeighborhoodWeights,
+    /// Focus over-fetch factor (see [`DEFAULT_FOCUS_OVERFETCH`]).
+    pub focus_overfetch: usize,
+    /// Assemble carousels in parallel — one task per class, output order
+    /// preserved. Results are identical to serial assembly.
+    pub parallel: bool,
+}
+
+impl Default for CarouselConfig {
+    fn default() -> Self {
+        Self {
+            per_class: 5,
+            weights: NeighborhoodWeights::default(),
+            focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
+            parallel: false,
+        }
+    }
 }
 
 /// Builds one carousel per registered class.
@@ -35,26 +71,50 @@ pub fn carousels(
     per_class: usize,
     weights: NeighborhoodWeights,
 ) -> Result<Vec<Carousel>> {
-    let mut out = Vec::with_capacity(registry.len());
-    for class in registry.classes() {
+    carousels_with(
+        executor,
+        registry,
+        session,
+        &CarouselConfig {
+            per_class,
+            weights,
+            ..CarouselConfig::default()
+        },
+    )
+}
+
+/// Builds one carousel per registered class under an explicit
+/// [`CarouselConfig`] — the configurable form of [`carousels`].
+pub fn carousels_with(
+    executor: &Executor<'_>,
+    registry: &InsightRegistry,
+    session: &Session,
+    config: &CarouselConfig,
+) -> Result<Vec<Carousel>> {
+    let one = |class: &Arc<dyn InsightClass>| -> Result<Carousel> {
         // over-fetch so the neighborhood re-rank has material to promote
         let fetch = if session.focus.is_empty() {
-            per_class
+            config.per_class
         } else {
-            per_class * 4
+            config.per_class * config.focus_overfetch.max(1)
         };
         let query = InsightQuery::class(class.id()).top_k(fetch);
         let mut instances = executor.execute(&query)?;
-        rerank(&mut instances, &session.focus, weights);
-        instances.truncate(per_class);
-        out.push(Carousel {
+        rerank(&mut instances, &session.focus, config.weights);
+        instances.truncate(config.per_class);
+        Ok(Carousel {
             class_id: class.id().to_owned(),
             class_name: class.name().to_owned(),
             metric: class.metric().to_owned(),
             instances,
-        });
+        })
+    };
+    if config.parallel {
+        // one task per class; collect preserves registry order
+        registry.classes().par_iter().map(one).collect()
+    } else {
+        registry.classes().iter().map(one).collect()
     }
-    Ok(out)
 }
 
 #[cfg(test)]

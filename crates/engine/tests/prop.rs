@@ -1,7 +1,12 @@
-//! Property-based tests for query-execution invariants.
+//! Property-based tests for query-execution invariants, including the
+//! performance machinery: every fast path (score cache, batch scoring,
+//! parallel assembly, quickselect top-k) must be observationally identical
+//! to the slow path it replaces.
 
 use foresight_data::TableBuilder;
-use foresight_engine::{Executor, InsightQuery, Session};
+use foresight_engine::executor::rank_top_k;
+use foresight_engine::recommend::{carousels_with, CarouselConfig};
+use foresight_engine::{Executor, InsightQuery, NeighborhoodWeights, ScoreCache, Session};
 use foresight_insight::{AttrTuple, InsightInstance, InsightRegistry};
 use proptest::prelude::*;
 
@@ -105,5 +110,151 @@ proptest! {
         prop_assert!((sim - y.similarity(&x)).abs() < 1e-12);
         // identity similarity is maximal
         prop_assert!(x.similarity(&x) >= sim);
+    }
+}
+
+/// Cell values with deliberate ties (a small integer grid), occasional
+/// missing values, and a continuous component — every scoring edge case the
+/// fast paths must reproduce exactly.
+fn cell() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -40.0..40.0f64,
+        (0..6i32).prop_map(f64::from),
+        Just(f64::NAN),
+    ]
+}
+
+/// Equal-length numeric columns plus a categorical column, so all 12
+/// default classes have candidates.
+fn mixed_table(columns: Vec<Vec<f64>>) -> foresight_data::Table {
+    let rows = columns[0].len();
+    let mut builder = TableBuilder::new("prop");
+    for (i, col) in columns.into_iter().enumerate() {
+        builder = builder.numeric(format!("n{i}"), col);
+    }
+    builder = builder.categorical(
+        "cat",
+        (0..rows).map(|i| match i % 3 {
+            0 => "a",
+            1 => "b",
+            _ => "c",
+        }),
+    );
+    builder.build().expect("uniform columns")
+}
+
+fn numeric_columns() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(cell(), 36), 3..5)
+}
+
+fn assert_bit_identical(a: &[InsightInstance], b: &[InsightInstance], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: result counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: scores differ on {:?}: {} vs {}",
+            x.attrs,
+            x.score,
+            y.score
+        );
+        assert_eq!(x, y, "{ctx}: instances differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cached, warm-cached, and parallel (batch-scored) execution are all
+    /// bit-identical to plain serial execution, for every registered class.
+    #[test]
+    fn all_execution_paths_bit_identical(cols in numeric_columns()) {
+        let t = mixed_table(cols);
+        let r = InsightRegistry::default();
+        let cache = ScoreCache::new();
+        for class in r.classes() {
+            let q = InsightQuery::class(class.id()).top_k(6);
+            let serial = Executor::exact(&t, &r).execute(&q).expect("serial");
+            let parallel = Executor::exact(&t, &r)
+                .parallel(true)
+                .execute(&q)
+                .expect("parallel");
+            assert_bit_identical(&serial, &parallel, &format!("{} parallel", class.id()));
+            let cold = Executor::exact(&t, &r)
+                .parallel(true)
+                .with_cache(&cache)
+                .execute(&q)
+                .expect("cold cache");
+            assert_bit_identical(&serial, &cold, &format!("{} cold cache", class.id()));
+            let warm = Executor::exact(&t, &r)
+                .parallel(true)
+                .with_cache(&cache)
+                .execute(&q)
+                .expect("warm cache");
+            assert_bit_identical(&serial, &warm, &format!("{} warm cache", class.id()));
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "warm pass never hit the cache: {:?}", stats);
+    }
+
+    /// Parallel carousel assembly returns exactly the serial output, in the
+    /// same (registry) order — with and without a focus set.
+    #[test]
+    fn parallel_carousels_equal_serial(cols in numeric_columns(), focused in (0u32..2).prop_map(|b| b == 1)) {
+        let t = mixed_table(cols);
+        let r = InsightRegistry::default();
+        let cache = ScoreCache::new();
+        let ex = Executor::exact(&t, &r).with_cache(&cache);
+        let mut session = Session::new("prop");
+        if focused {
+            session.focus(InsightInstance {
+                class_id: "dispersion".into(),
+                attrs: AttrTuple::One(1),
+                score: 1.0,
+                metric: "variance".into(),
+                detail: String::new(),
+            });
+        }
+        let base = CarouselConfig {
+            per_class: 3,
+            weights: NeighborhoodWeights::default(),
+            focus_overfetch: 4,
+            parallel: false,
+        };
+        let serial = carousels_with(&ex, &r, &session, &base).expect("serial");
+        let parallel_ex = Executor::exact(&t, &r).parallel(true).with_cache(&cache);
+        let parallel = carousels_with(
+            &parallel_ex,
+            &r,
+            &session,
+            &CarouselConfig { parallel: true, ..base },
+        )
+        .expect("parallel");
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Quickselect top-k returns exactly sort-then-truncate, including the
+    /// deterministic attribute-tuple tie-break on equal scores.
+    #[test]
+    fn rank_top_k_equals_sort_truncate(
+        entries in proptest::collection::vec((0usize..12, 0usize..12, 0i32..4), 0..60),
+        k in 0usize..70,
+    ) {
+        let scored: Vec<(AttrTuple, f64)> = entries
+            .into_iter()
+            .map(|(a, b, s)| {
+                let (lo, hi) = if a <= b { (a, b + 1) } else { (b, a + 1) };
+                // coarse score grid forces plenty of ties
+                (AttrTuple::Two(lo, hi), f64::from(s) * 0.5)
+            })
+            .collect();
+        let mut reference = scored.clone();
+        reference.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        reference.truncate(k);
+        prop_assert_eq!(rank_top_k(scored, k), reference);
     }
 }

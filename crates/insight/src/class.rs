@@ -37,6 +37,22 @@ pub trait InsightClass: Send + Sync {
     /// `None` when the tuple is degenerate (constant column, too few rows).
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64>;
 
+    /// Exact scores for a whole batch of candidate tuples under the primary
+    /// metric, in input order.
+    ///
+    /// The default delegates to [`InsightClass::score`] per tuple. Classes
+    /// whose metric shares per-column work across tuples (centering for
+    /// Pearson, ranking for Spearman) override this to materialize that work
+    /// once per column instead of once per pair — the executor's batch path
+    /// uses it for every tuple a query has to score.
+    ///
+    /// **Contract:** `score_batch(t, attrs)[i]` must be *bit-identical* to
+    /// `score(t, &attrs[i])` for every tuple; the engine's property tests
+    /// assert this across all registered classes.
+    fn score_batch(&self, table: &Table, attrs: &[AttrTuple]) -> Vec<Option<f64>> {
+        attrs.iter().map(|a| self.score(table, a)).collect()
+    }
+
     /// Score under a named alternative metric; defaults to the primary.
     fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
         let _ = metric;

@@ -9,8 +9,29 @@ use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
 use foresight_data::Table;
 use foresight_sketch::SketchCatalog;
-use foresight_stats::correlation::{pearson, spearman};
+use foresight_stats::correlation::{center, pearson, pearson_centered, spearman, CenteredColumn};
 use foresight_viz::{ChartKind, ChartSpec, HeatmapSpec};
+use std::collections::HashMap;
+
+/// Centers every distinct column referenced by `attrs` once. `None` entries
+/// mark columns that cannot share centering (missing values, too short, not
+/// numeric) — pairs touching them take the per-pair fallback path.
+pub(crate) fn center_columns(
+    table: &Table,
+    attrs: &[AttrTuple],
+    transform: impl Fn(&[f64]) -> Option<Vec<f64>>,
+) -> HashMap<usize, Option<CenteredColumn>> {
+    let mut cols: HashMap<usize, Option<CenteredColumn>> = HashMap::new();
+    for a in attrs {
+        for &i in &a.indices() {
+            cols.entry(i).or_insert_with(|| {
+                let values = table.numeric(i).ok()?.values().to_vec();
+                center(&transform(values.as_slice())?)
+            });
+        }
+    }
+    cols
+}
 
 /// The linear-relationship insight class.
 #[derive(Debug, Default, Clone, Copy)]
@@ -105,6 +126,28 @@ impl InsightClass for LinearRelationship {
 
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
         self.signed(table, attrs).map(f64::abs)
+    }
+
+    fn score_batch(&self, table: &Table, attrs: &[AttrTuple]) -> Vec<Option<f64>> {
+        // center each distinct column once, then one fused pass per pair;
+        // bit-identical to `score` (see `pearson_centered`), with a per-pair
+        // fallback for columns that carry missing values
+        let cols = center_columns(table, attrs, |v| Some(v.to_vec()));
+        attrs
+            .iter()
+            .map(|a| {
+                let AttrTuple::Two(i, j) = a else {
+                    return None;
+                };
+                match (cols.get(i), cols.get(j)) {
+                    (Some(Some(cx)), Some(Some(cy))) => {
+                        let rho = pearson_centered(cx, cy);
+                        rho.is_finite().then_some(rho.abs())
+                    }
+                    _ => self.score(table, a),
+                }
+            })
+            .collect()
     }
 
     fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
@@ -235,6 +278,36 @@ mod tests {
             _ => panic!("wrong kind"),
         }
         assert!(c.title.contains("ρ"));
+    }
+
+    #[test]
+    fn batch_scores_bit_identical_to_single() {
+        let l = LinearRelationship;
+        let mut builder = TableBuilder::new("t");
+        // mix of clean columns, a missing-value column, and a constant column
+        let clean: Vec<f64> = (0..90).map(|i| (i as f64).sin() * 1e5).collect();
+        let linear: Vec<f64> = (0..90).map(|i| i as f64 * 0.37 - 5.0).collect();
+        let holes: Vec<f64> = (0..90)
+            .map(|i| if i % 7 == 0 { f64::NAN } else { i as f64 })
+            .collect();
+        let flat = vec![4.0; 90];
+        builder = builder
+            .numeric("clean", clean)
+            .numeric("linear", linear)
+            .numeric("holes", holes)
+            .numeric("flat", flat);
+        let t = builder.build().unwrap();
+        let cands = l.candidates(&t);
+        assert_eq!(cands.len(), 6);
+        let batch = l.score_batch(&t, &cands);
+        for (a, b) in cands.iter().zip(&batch) {
+            let single = l.score(&t, a);
+            assert_eq!(
+                single.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "batch diverges on {a:?}"
+            );
+        }
     }
 
     #[test]

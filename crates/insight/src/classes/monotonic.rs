@@ -9,11 +9,13 @@
 //! already explain).
 
 use crate::class::{column_name, InsightClass};
+use crate::classes::linear::center_columns;
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
 use foresight_data::Table;
 use foresight_sketch::SketchCatalog;
-use foresight_stats::correlation::{kendall_tau_b, pearson, spearman};
+use foresight_stats::correlation::{kendall_tau_b, pearson, pearson_centered, spearman};
+use foresight_stats::rank::fractional_ranks;
 use foresight_viz::ChartSpec;
 
 /// The monotonic-relationship insight class.
@@ -63,6 +65,31 @@ impl InsightClass for MonotonicRelationship {
 
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {
         self.signed(table, attrs).map(f64::abs)
+    }
+
+    fn score_batch(&self, table: &Table, attrs: &[AttrTuple]) -> Vec<Option<f64>> {
+        // rank and center each distinct column once; Spearman is then one
+        // fused Pearson pass over the shared rank vectors. Columns with
+        // missing values rank differently per pair (pairwise deletion), so
+        // tuples touching them fall back to the per-pair path.
+        let cols = center_columns(table, attrs, |v| {
+            v.iter().all(|x| !x.is_nan()).then(|| fractional_ranks(v))
+        });
+        attrs
+            .iter()
+            .map(|a| {
+                let AttrTuple::Two(i, j) = a else {
+                    return None;
+                };
+                match (cols.get(i), cols.get(j)) {
+                    (Some(Some(rx)), Some(Some(ry))) => {
+                        let rho = pearson_centered(rx, ry);
+                        rho.is_finite().then_some(rho.abs())
+                    }
+                    _ => self.score(table, a),
+                }
+            })
+            .collect()
     }
 
     fn score_metric(&self, table: &Table, attrs: &AttrTuple, metric: &str) -> Option<f64> {
@@ -199,6 +226,37 @@ mod tests {
         let t = table();
         assert!((m.score(&t, &AttrTuple::Two(0, 1)).unwrap() - 1.0).abs() < 1e-9);
         assert!(m.score(&t, &AttrTuple::Two(0, 2)).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn batch_scores_bit_identical_to_single() {
+        let m = MonotonicRelationship;
+        let quad: Vec<f64> = (0..80).map(|i| (i as f64 - 40.0).powi(2)).collect();
+        let holes: Vec<f64> = (0..80)
+            .map(|i| {
+                if i % 11 == 3 {
+                    f64::NAN
+                } else {
+                    (i * i) as f64
+                }
+            })
+            .collect();
+        let ascending: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let t = TableBuilder::new("t")
+            .numeric("quad", quad)
+            .numeric("holes", holes)
+            .numeric("ascending", ascending)
+            .build()
+            .unwrap();
+        let cands = m.candidates(&t);
+        let batch = m.score_batch(&t, &cands);
+        for (a, b) in cands.iter().zip(&batch) {
+            assert_eq!(
+                m.score(&t, a).map(f64::to_bits),
+                b.map(f64::to_bits),
+                "batch diverges on {a:?}"
+            );
+        }
     }
 
     #[test]

@@ -174,12 +174,8 @@ fn box_line(b: &BoxPlotSpec, width: usize) -> String {
     let span = (hi - lo).max(1e-12);
     let pos = |v: f64| (((v - lo) / span) * (width - 1) as f64) as usize;
     let mut chars: Vec<char> = vec![' '; width];
-    for i in pos(b.whisker_lo)..=pos(b.whisker_hi) {
-        chars[i] = '─';
-    }
-    for i in pos(b.q1)..=pos(b.q3) {
-        chars[i] = '█';
-    }
+    chars[pos(b.whisker_lo)..=pos(b.whisker_hi)].fill('─');
+    chars[pos(b.q1)..=pos(b.q3)].fill('█');
     chars[pos(b.median)] = '┃';
     for &o in &b.outliers {
         chars[pos(o)] = '●';

@@ -64,8 +64,8 @@ fn main() {
 
         let mut kll = KllSketch::new(200);
         let mut hll = HyperLogLog::new(12, 1);
-        for r in lo..hi {
-            kll.insert(x[r]);
+        for (r, &v) in x.iter().enumerate().take(hi).skip(lo) {
+            kll.insert(v);
             if let Some(label) = cat.get(r) {
                 hll.insert(label);
             }
