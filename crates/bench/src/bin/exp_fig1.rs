@@ -17,7 +17,9 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create output dir");
 
     let mut engine = Foresight::new(datasets::oecd());
-    engine.preprocess(&CatalogConfig::default());
+    engine
+        .preprocess(&CatalogConfig::default())
+        .expect("raw table present");
     let carousels = engine.carousels(3).expect("default classes");
 
     println!("# Figure 1: insight carousels (OECD, top 3 per class)\n");

@@ -1,0 +1,172 @@
+//! **Experiment T6 — partition-native ingest.** Measures the sharded
+//! pipeline end to end: per-shard catalog builds as the shard count grows
+//! 1→8 (rayon fan-out), the cost of merging the per-shard catalogs, and
+//! whether a merged catalog answers approximate queries as fast as one
+//! built in a single pass over the concatenated rows.
+//!
+//! Emits `BENCH_partition.json` into the working directory (run from the
+//! repository root) alongside a human-readable table on stdout.
+
+use foresight_bench::{fmt_duration, workload};
+use foresight_data::{Table, TableSource};
+use foresight_engine::{Foresight, InsightQuery};
+use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 100_000;
+const COLS: usize = 12;
+const REPS: usize = 5;
+const PER_CLASS: usize = 3;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn bench<T>(mut f: impl FnMut() -> T) -> Duration {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    median(times)
+}
+
+fn split(table: &Table, parts: usize) -> Vec<Table> {
+    let per = table.n_rows().div_ceil(parts);
+    (0..parts)
+        .map(|p| table.filter_rows(|r| r / per == p))
+        .collect()
+}
+
+/// Build the sharded catalog for `parts` shards: total build wall-clock
+/// (fan-out included) and the merge-only cost of folding prebuilt
+/// per-shard catalogs.
+fn measure_build(table: &Table, config: &CatalogConfig, parts: usize) -> Value {
+    let shards = split(table, parts);
+    let refs: Vec<&Table> = shards.iter().collect();
+
+    let build = bench(|| SketchCatalog::build_sharded(&refs, config).expect("one config"));
+
+    // merge cost alone: per-shard catalogs are prebuilt outside the clock
+    let resolved = config.resolved_for_rows(table.n_rows());
+    let mut offset = 0u64;
+    let catalogs: Vec<SketchCatalog> = shards
+        .iter()
+        .map(|s| {
+            let c = SketchCatalog::build_shard(s, &resolved, offset);
+            offset += s.n_rows() as u64;
+            c
+        })
+        .collect();
+    let merge = bench(|| {
+        let mut iter = catalogs.iter();
+        let mut merged = iter.next().expect("at least one shard").clone();
+        for c in iter {
+            merged.merge(c).expect("same config");
+        }
+        merged
+    });
+
+    println!(
+        "| {parts:>6} | {:>12} | {:>12} |",
+        fmt_duration(build),
+        fmt_duration(merge)
+    );
+    json!({
+        "shards": parts,
+        "build_ms": build.as_secs_f64() * 1e3,
+        "merge_ms": merge.as_secs_f64() * 1e3,
+    })
+}
+
+/// Approximate-mode query + carousel latency off a merged catalog vs a
+/// single-pass one, with a result-agreement check before any timing.
+fn measure_queries(table: &Table, config: &CatalogConfig, parts: usize) -> Value {
+    let mut single = Foresight::new(table.clone());
+    single.preprocess(config).expect("materialized build");
+
+    let mut merged =
+        Foresight::from_source(TableSource::sharded(split(table, parts)).expect("one schema"));
+    merged.preprocess(config).expect("sharded build");
+
+    let query = InsightQuery::class("linear-relationship").top_k(5);
+    let a = single.query(&query).expect("single-pass query");
+    let b = merged.query(&query).expect("merged query");
+    assert_eq!(
+        a.iter().map(|i| &i.attrs).collect::<Vec<_>>(),
+        b.iter().map(|i| &i.attrs).collect::<Vec<_>>(),
+        "merged catalog ranked differently from the single-pass build"
+    );
+
+    let single_query = bench(|| single.query(&query).expect("query"));
+    let merged_query = bench(|| merged.query(&query).expect("query"));
+    let single_carousels = bench(|| single.carousels(PER_CLASS).expect("carousels"));
+    let merged_carousels = bench(|| merged.carousels(PER_CLASS).expect("carousels"));
+
+    println!(
+        "| {:<22} | {:>12} | {:>12} |",
+        "top-5 linear query",
+        fmt_duration(single_query),
+        fmt_duration(merged_query)
+    );
+    println!(
+        "| {:<22} | {:>12} | {:>12} |",
+        "carousels (12 x top-3)",
+        fmt_duration(single_carousels),
+        fmt_duration(merged_carousels)
+    );
+    json!({
+        "query_shards": parts,
+        "single_pass_query_ms": single_query.as_secs_f64() * 1e3,
+        "merged_query_ms": merged_query.as_secs_f64() * 1e3,
+        "single_pass_carousels_ms": single_carousels.as_secs_f64() * 1e3,
+        "merged_carousels_ms": merged_carousels.as_secs_f64() * 1e3,
+    })
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let (table, _) = workload(ROWS, COLS, 7);
+    let config = CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    };
+
+    println!("# Experiment T6: partition-native ingest");
+    println!("# workload: {ROWS} rows x {COLS} numeric cols, rayon threads: {threads}\n");
+    println!("| {:>6} | {:>12} | {:>12} |", "shards", "build", "merge");
+    println!("|{}|", "-".repeat(38));
+    let scaling: Vec<Value> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&parts| measure_build(&table, &config, parts))
+        .collect();
+
+    println!(
+        "\n| {:<22} | {:>12} | {:>12} |",
+        "workload", "single-pass", "merged"
+    );
+    println!("|{}|", "-".repeat(54));
+    let queries = measure_queries(&table, &config, 4);
+
+    let report = json!({
+        "experiment": "partition",
+        "description": "sharded catalog build scaling, merge cost, and merged-vs-single-pass query latency",
+        "rows": ROWS,
+        "numeric_cols": COLS,
+        "reps": REPS,
+        "statistic": "median",
+        "rayon_threads": threads,
+        "build_scaling": scaling,
+        "query_latency": queries,
+    });
+    let path = "BENCH_partition.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_partition.json");
+    println!("\nwrote {path}");
+}

@@ -60,6 +60,10 @@ pub enum DataError {
     /// An empty table or column where data was required.
     #[error("empty input: {0}")]
     Empty(&'static str),
+
+    /// Raw rows were requested from a source that kept only sketches.
+    #[error("source is sketch-only: {0}")]
+    SketchOnly(&'static str),
 }
 
 /// Convenient alias used throughout the data crate.

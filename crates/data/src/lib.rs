@@ -24,12 +24,14 @@ pub mod datasets;
 pub mod error;
 pub mod infer;
 pub mod schema;
+pub mod source;
 pub mod table;
 pub mod value;
 
 pub use column::{CategoricalColumn, Column, ColumnType, NumericColumn};
 pub use error::{DataError, Result};
 pub use schema::{Field, Schema};
+pub use source::TableSource;
 pub use table::{Table, TableBuilder};
 pub use value::Value;
 
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use crate::datasets;
     pub use crate::error::{DataError, Result};
     pub use crate::schema::{Field, Schema};
+    pub use crate::source::TableSource;
     pub use crate::table::{Table, TableBuilder};
     pub use crate::value::Value;
 }

@@ -80,6 +80,11 @@ struct CacheKey {
     attrs: AttrTuple,
     mode: Mode,
     metric: Option<String>,
+    /// Data-generation counter: every [`ScoreCache::bump_epoch`] (one per
+    /// appended shard) moves lookups to a fresh keyspace, so scores computed
+    /// against the previous generation of the data are unreachable without
+    /// the cache having to be fully cleared.
+    epoch: u64,
 }
 
 /// Key for memoized [`InsightClass::describe`] output: the description is a
@@ -124,6 +129,8 @@ pub struct ScoreCache {
     /// written after ranking, outside the parallel scoring loop — a single
     /// unsharded map suffices.
     details: RwLock<FxMap<DetailKey, String>>,
+    /// Current data generation; stamped into every score key.
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -140,8 +147,30 @@ impl ScoreCache {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
             details: RwLock::new(FxMap::default()),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The current data-generation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advances the data generation — called when rows are *added* (e.g. a
+    /// shard appended to the source) rather than replaced wholesale.
+    ///
+    /// Score entries from earlier generations become unreachable immediately
+    /// (the epoch is part of the key) and are purged to bound memory. The
+    /// `details` map survives: a description is keyed by `(class, tuple,
+    /// score-bits)`, so a tuple whose score is unchanged by the new rows
+    /// keeps its memoized description, while a shifted score misses into a
+    /// fresh key naturally. Hit/miss counters are preserved.
+    pub fn bump_epoch(&self) {
+        let current = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        for shard in &self.shards {
+            shard.write().retain(|k, _| k.epoch == current);
         }
     }
 
@@ -171,6 +200,7 @@ impl ScoreCache {
             attrs: *attrs,
             mode,
             metric: metric.map(str::to_owned),
+            epoch: self.epoch(),
         };
         let found = self.shard(&key).read().get(&key).copied();
         match found {
@@ -199,6 +229,7 @@ impl ScoreCache {
             attrs: *attrs,
             mode,
             metric: metric.map(str::to_owned),
+            epoch: self.epoch(),
         };
         self.shard(&key).write().insert(key, score);
     }
@@ -207,11 +238,13 @@ impl ScoreCache {
     /// computing and storing it via `describe` on first sight.
     ///
     /// Sound because `InsightClass::describe` is a pure function of the
-    /// table, the tuple, and the score — and the table is fixed for the
-    /// lifetime of the cache (every table change goes through
-    /// [`clear`](ScoreCache::clear)). Descriptions are far cheaper than
-    /// scores in most classes but not all: multimodality re-fits a KDE per
-    /// call, which would otherwise dominate warm queries.
+    /// table, the tuple, and the score: wholesale table swaps go through
+    /// [`clear`](ScoreCache::clear), and appended rows go through
+    /// [`bump_epoch`](ScoreCache::bump_epoch) — a tuple whose score moved
+    /// lands on a new `(…, score-bits)` key, while an unchanged score means
+    /// an unchanged description. Descriptions are far cheaper than scores in
+    /// most classes but not all: multimodality re-fits a KDE per call, which
+    /// would otherwise dominate warm queries.
     pub fn detail(
         &self,
         class_id: &'static str,
@@ -332,6 +365,45 @@ mod tests {
             cache.detail("c", &attrs, 0.5, || "rebuilt".into()),
             "rebuilt"
         );
+    }
+
+    #[test]
+    fn epoch_bump_retires_scores_but_keeps_details() {
+        let cache = ScoreCache::new();
+        let attrs = AttrTuple::Two(0, 1);
+        cache.store("c", &attrs, Mode::Approximate, None, Some(0.5));
+        let mut calls = 0;
+        cache.detail("c", &attrs, 0.5, || {
+            calls += 1;
+            "steady description".into()
+        });
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Approximate, None),
+            Some(Some(0.5))
+        );
+        assert_eq!(cache.epoch(), 0);
+
+        cache.bump_epoch();
+        assert_eq!(cache.epoch(), 1);
+        // the pre-bump score is unreachable and was purged
+        assert_eq!(cache.lookup("c", &attrs, Mode::Approximate, None), None);
+        assert!(cache.is_empty());
+        // but the describe memoization for the unchanged (tuple, score)
+        // generation is still served without recomputation
+        let d = cache.detail("c", &attrs, 0.5, || {
+            calls += 1;
+            "never rebuilt".into()
+        });
+        assert_eq!(d, "steady description");
+        assert_eq!(calls, 1);
+        // the new generation stores and serves fresh scores normally
+        cache.store("c", &attrs, Mode::Approximate, None, Some(0.7));
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Approximate, None),
+            Some(Some(0.7))
+        );
+        // counters survived the bump (2 hits: pre-bump + post-bump)
+        assert!(cache.stats().hits >= 2);
     }
 
     #[test]

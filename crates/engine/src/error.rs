@@ -22,6 +22,16 @@ pub enum EngineError {
     #[error("approximate mode requires preprocess() to build the sketch catalog first")]
     NoCatalog,
 
+    /// Raw rows were needed (exact scoring, alternative metrics, charts)
+    /// but the source cannot provide them.
+    #[error("exact data unavailable: {0}")]
+    ExactUnavailable(&'static str),
+
+    /// Per-shard sketch catalogs could not be combined (mismatched seeds,
+    /// hyperplane widths, or sketch parameters).
+    #[error("catalog merge: {0}")]
+    Merge(#[from] foresight_sketch::MergeError),
+
     /// A column reference in the query does not exist.
     #[error(transparent)]
     Data(#[from] foresight_data::DataError),

@@ -30,6 +30,7 @@ pub struct Executor<'a> {
     cache: Option<&'a ScoreCache>,
     mode: Mode,
     parallel: bool,
+    sketch_only: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -42,6 +43,7 @@ impl<'a> Executor<'a> {
             cache: None,
             mode: Mode::Exact,
             parallel: false,
+            sketch_only: false,
         }
     }
 
@@ -58,7 +60,19 @@ impl<'a> Executor<'a> {
             cache: None,
             mode: Mode::Approximate,
             parallel: false,
+            sketch_only: false,
         }
+    }
+
+    /// Marks the table as schema-only: candidate enumeration and semantic
+    /// filters still consult it, but its raw rows are absent (a sharded or
+    /// sketch-only [`TableSource`](foresight_data::TableSource)). Exact
+    /// fallback scoring is disabled — classes without a sketch path simply
+    /// produce no instances — alternative-metric queries become a typed
+    /// error, and details are rendered from the sketch score alone.
+    pub fn sketch_only(mut self, on: bool) -> Self {
+        self.sketch_only = on;
+        self
     }
 
     /// Enables rayon-parallel candidate scoring. The parallel path also
@@ -124,6 +138,10 @@ impl<'a> Executor<'a> {
                     return Some(s);
                 }
             }
+            if self.sketch_only {
+                // no raw rows to fall back to; the candidate is dropped
+                return None;
+            }
         }
         class.score(self.table, attrs)
     }
@@ -188,6 +206,12 @@ impl<'a> Executor<'a> {
                     metric: metric.clone(),
                 });
             }
+            if self.sketch_only {
+                return Err(EngineError::ExactUnavailable(
+                    "alternative metrics are scored over raw rows, which a \
+                     sharded source does not expose in approximate mode",
+                ));
+            }
         }
 
         let candidates: Vec<AttrTuple> = class
@@ -239,14 +263,23 @@ impl<'a> Executor<'a> {
                     .metric
                     .clone()
                     .unwrap_or_else(|| class.metric().to_owned()),
-                detail: match self.cache {
-                    // `describe` is pure in (table, attrs, score); memoizing
-                    // it spares per-result model refits (multimodality's KDE)
-                    // on every warm carousel refresh.
-                    Some(cache) => cache.detail(class.id(), &attrs, score, || {
-                        class.describe(self.table, &attrs, score)
-                    }),
-                    None => class.describe(self.table, &attrs, score),
+                detail: if self.sketch_only {
+                    // `describe` reads raw columns the source doesn't have
+                    format!(
+                        "{} ≈ {score:.3} (estimated from merged shard sketches)",
+                        class.metric()
+                    )
+                } else {
+                    match self.cache {
+                        // `describe` is pure in (table, attrs, score);
+                        // memoizing it spares per-result model refits
+                        // (multimodality's KDE) on every warm carousel
+                        // refresh.
+                        Some(cache) => cache.detail(class.id(), &attrs, score, || {
+                            class.describe(self.table, &attrs, score)
+                        }),
+                        None => class.describe(self.table, &attrs, score),
+                    }
                 },
             })
             .collect())
@@ -513,6 +546,45 @@ mod tests {
             .unwrap();
         assert_eq!(out[0].attrs, AttrTuple::Two(0, 1));
         assert!(out[0].score > 0.9);
+    }
+
+    #[test]
+    fn sketch_only_scores_without_raw_rows() {
+        let x: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let t = TableBuilder::new("t")
+            .numeric("x", x.clone())
+            .numeric("strong", x.iter().map(|v| 3.0 * v).collect())
+            .categorical("grp", (0..300).map(|i| if i % 3 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap();
+        let r = registry();
+        let catalog = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            },
+        );
+        // the executor sees only the schema — zero rows of data
+        let schema_only = foresight_data::TableSource::materialized(t).schema_table();
+        assert_eq!(schema_only.n_rows(), 0);
+        let ex = Executor::approximate(&schema_only, &r, &catalog).sketch_only(true);
+        let out = ex
+            .execute(&InsightQuery::class("linear-relationship").top_k(1))
+            .unwrap();
+        assert_eq!(out[0].attrs, AttrTuple::Two(0, 1));
+        assert!(out[0].score > 0.9);
+        assert!(out[0].detail.contains("sketch"));
+        // alternative metrics need raw rows → typed error
+        assert!(matches!(
+            ex.execute(&InsightQuery::class("linear-relationship").metric("|spearman|")),
+            Err(crate::error::EngineError::ExactUnavailable(_))
+        ));
+        // a class with no sketch path yields no instances, not a panic
+        let none = ex
+            .execute(&InsightQuery::class("statistical-dependence").top_k(3))
+            .unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The top-level [`Foresight`] facade: load a table, preprocess sketches,
-//! run insight queries, focus insights, assemble carousels, save sessions.
+//! The top-level [`Foresight`] facade: load a table (or a partitioned
+//! [`TableSource`]), preprocess sketches, run insight queries, focus
+//! insights, assemble carousels, save sessions.
 
 use crate::cache::{CacheStats, ScoreCache};
 use crate::error::{EngineError, Result};
@@ -8,12 +9,12 @@ use crate::neighborhood::NeighborhoodWeights;
 use crate::query::InsightQuery;
 use crate::recommend::{carousels_with, Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
 use crate::session::Session;
-use foresight_data::Table;
+use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
-use foresight_sketch::{CatalogConfig, SketchCatalog};
+use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
 use foresight_viz::ChartSpec;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The Foresight system over one dataset.
 ///
@@ -27,8 +28,23 @@ use std::sync::Arc;
 /// let top = fs.query(&InsightQuery::class("linear-relationship").top_k(1)).unwrap();
 /// assert_eq!(top.len(), 1);
 /// ```
+///
+/// ## Partitioned ingest
+///
+/// A [`TableSource::Sharded`] source keeps its row partitions separate;
+/// after [`Foresight::preprocess`], approximate-mode queries, carousels,
+/// and profiles are answered from the *merged* per-shard sketch catalog —
+/// the shards are never concatenated. Exact mode materializes the shards
+/// lazily on first use (and errors with
+/// [`EngineError::ExactUnavailable`] when the source kept only sketches).
 pub struct Foresight {
-    table: Table,
+    source: TableSource,
+    /// Lazy vstack of a sharded source, built on first exact-mode use.
+    materialized: OnceLock<Table>,
+    /// Lazy zero-row table carrying the schema (and semantic tags) — what
+    /// the executor enumerates candidates against when the raw rows stay
+    /// sharded.
+    schema_table: OnceLock<Table>,
     registry: InsightRegistry,
     catalog: Option<SketchCatalog>,
     index: Option<crate::index::InsightIndex>,
@@ -47,9 +63,17 @@ impl Foresight {
     /// parallel carousel assembly) is on by default when the process has
     /// more than one rayon thread available.
     pub fn new(table: Table) -> Self {
-        let session = Session::new(table.name());
+        Self::from_source(TableSource::materialized(table))
+    }
+
+    /// Opens any [`TableSource`] — materialized or sharded — with the
+    /// default class roster.
+    pub fn from_source(source: TableSource) -> Self {
+        let session = Session::new(source.name());
         Self {
-            table,
+            source,
+            materialized: OnceLock::new(),
+            schema_table: OnceLock::new(),
             registry: InsightRegistry::default(),
             catalog: None,
             index: None,
@@ -70,9 +94,54 @@ impl Foresight {
         }
     }
 
-    /// The underlying table.
+    /// The underlying source (materialized table or row shards).
+    pub fn source(&self) -> &TableSource {
+        &self.source
+    }
+
+    /// The underlying table, materializing a sharded source on first call.
+    ///
+    /// # Panics
+    /// When the source is sketch-only (raw rows dropped); use
+    /// [`Foresight::try_table`] to handle that case as an error.
     pub fn table(&self) -> &Table {
-        &self.table
+        self.try_table()
+            .expect("raw rows unavailable (sketch-only source); use try_table()")
+    }
+
+    /// The underlying table, concatenating a sharded source lazily (the
+    /// vstack happens once, on first need; approximate-mode work never
+    /// triggers it).
+    pub fn try_table(&self) -> Result<&Table> {
+        if let Some(t) = self.source.as_materialized() {
+            return Ok(t);
+        }
+        if let Some(t) = self.materialized.get() {
+            return Ok(t);
+        }
+        let t = self.source.materialize()?;
+        Ok(self.materialized.get_or_init(|| t))
+    }
+
+    fn schema_table(&self) -> &Table {
+        self.schema_table.get_or_init(|| self.source.schema_table())
+    }
+
+    /// Whether approximate-mode execution runs off the merged catalog with
+    /// no raw-row fallback.
+    fn sketch_backed(&self) -> bool {
+        self.source.as_materialized().is_none() && self.mode == Mode::Approximate
+    }
+
+    /// The table the executor (and insight index) runs against under the
+    /// current mode: the real rows when available and needed, a zero-row
+    /// schema table when a sharded source answers from sketches alone.
+    fn exec_table(&self) -> Result<&Table> {
+        if self.sketch_backed() {
+            Ok(self.schema_table())
+        } else {
+            self.try_table()
+        }
     }
 
     /// The class registry (read-only).
@@ -93,18 +162,29 @@ impl Foresight {
     /// preprocessing triad. Basic top-k queries are then answered from a
     /// precomputed sorted list without re-scoring candidates. Uses sketch
     /// scores when [`Foresight::preprocess`] ran first.
-    pub fn build_index(&mut self) -> &crate::index::InsightIndex {
-        let catalog = if self.mode == Mode::Approximate {
-            self.catalog.as_ref()
+    ///
+    /// # Errors
+    /// [`EngineError::ExactUnavailable`] when the index would need raw rows
+    /// a sketch-only source cannot provide (exact mode without materialized
+    /// data).
+    pub fn build_index(&mut self) -> Result<&crate::index::InsightIndex> {
+        let index = if self.sketch_backed() {
+            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
+            crate::index::InsightIndex::build_sketch_only(
+                self.schema_table(),
+                &self.registry,
+                catalog,
+            )
         } else {
-            None
+            let catalog = if self.mode == Mode::Approximate {
+                self.catalog.as_ref()
+            } else {
+                None
+            };
+            crate::index::InsightIndex::build(self.try_table()?, &self.registry, catalog)
         };
-        self.index = Some(crate::index::InsightIndex::build(
-            &self.table,
-            &self.registry,
-            catalog,
-        ));
-        self.index.as_ref().expect("just built")
+        self.index = Some(index);
+        Ok(self.index.as_ref().expect("just built"))
     }
 
     /// The insight index, if one was built.
@@ -151,28 +231,83 @@ impl Foresight {
     }
 
     /// Runs the paper's preprocessing phase: builds the sketch catalog and
-    /// switches the engine to approximate (interactive) mode. Any built
-    /// insight index is invalidated (its scores were computed in the old
-    /// mode); call [`Foresight::build_index`] again to re-materialize it.
-    pub fn preprocess(&mut self, config: &CatalogConfig) -> &SketchCatalog {
-        self.catalog = Some(SketchCatalog::build(&self.table, config));
+    /// switches the engine to approximate (interactive) mode. For a sharded
+    /// source the per-shard catalogs are built independently (fanned out
+    /// with rayon when `config.parallel` is set) and merged — the shards
+    /// themselves are never concatenated. Any built insight index is
+    /// invalidated (its scores were computed in the old mode); call
+    /// [`Foresight::build_index`] again to re-materialize it.
+    ///
+    /// # Errors
+    /// [`EngineError::ExactUnavailable`] when the raw shards were dropped
+    /// (a sketch-only source cannot be re-sketched);
+    /// [`EngineError::Merge`] if per-shard catalogs fail to combine.
+    pub fn preprocess(&mut self, config: &CatalogConfig) -> Result<&SketchCatalog> {
+        let catalog = match self.source.as_materialized() {
+            Some(t) => SketchCatalog::build(t, config),
+            None => {
+                if self.source.is_sketch_only() {
+                    return Err(EngineError::ExactUnavailable(
+                        "cannot rebuild the catalog: the raw shards were dropped",
+                    ));
+                }
+                let shards: Vec<&Table> = self.source.shards().collect();
+                SketchCatalog::build_sharded(&shards, config)?
+            }
+        };
+        self.catalog = Some(catalog);
         self.mode = Mode::Approximate;
         self.index = None;
         // approximate-mode entries would reflect the old catalog
         self.cache.clear();
-        self.catalog.as_ref().expect("just built")
+        Ok(self.catalog.as_ref().expect("just built"))
+    }
+
+    /// Ingests one more disjoint row partition.
+    ///
+    /// The shard is appended to the source (a materialized table is
+    /// promoted to a sharded source in place) and, when a catalog exists,
+    /// sketched at its global row offset and merged in — no rebuild, no
+    /// concatenation. The insight index is invalidated, any lazily
+    /// materialized concatenation is discarded, and the score cache's data
+    /// generation is bumped: stale scores become unreachable without
+    /// discarding still-valid describe memoization.
+    ///
+    /// Returns the appended shard's global row offset.
+    ///
+    /// # Errors
+    /// Schema mismatches surface as [`EngineError::Data`]; catalog merge
+    /// failures as [`EngineError::Merge`].
+    pub fn append_shard(&mut self, shard: Table) -> Result<usize> {
+        let offset = self.source.append_shard(shard)?;
+        if let Some(catalog) = self.catalog.as_mut() {
+            let added = self.source.shards().last().expect("shard just appended");
+            let config = catalog.config().clone();
+            let shard_catalog = SketchCatalog::build_shard(added, &config, offset as u64);
+            catalog.merge(&shard_catalog)?;
+        }
+        self.index = None;
+        self.materialized = OnceLock::new();
+        self.cache.bump_epoch();
+        Ok(offset)
     }
 
     /// Switches between exact and approximate scoring.
     ///
     /// # Errors
-    /// Approximate mode requires a prior [`Foresight::preprocess`].
+    /// Approximate mode requires a prior [`Foresight::preprocess`]; exact
+    /// mode requires raw rows the source can still provide.
     pub fn set_mode(&mut self, mode: Mode) -> Result<()> {
-        if mode == Mode::Approximate && self.catalog.is_none() {
-            return Err(EngineError::NoCatalog);
+        match mode {
+            Mode::Approximate if self.catalog.is_none() => Err(EngineError::NoCatalog),
+            Mode::Exact if self.source.is_sketch_only() => Err(EngineError::ExactUnavailable(
+                "exact mode needs raw rows, but this source kept only sketches",
+            )),
+            _ => {
+                self.mode = mode;
+                Ok(())
+            }
         }
-        self.mode = mode;
-        Ok(())
     }
 
     /// The current mode.
@@ -185,14 +320,15 @@ impl Foresight {
         self.catalog.as_ref()
     }
 
-    fn executor(&self) -> Executor<'_> {
+    fn executor(&self) -> Result<Executor<'_>> {
         let ex = match (self.mode, self.catalog.as_ref()) {
             (Mode::Approximate, Some(catalog)) => {
-                Executor::approximate(&self.table, &self.registry, catalog)
+                Executor::approximate(self.exec_table()?, &self.registry, catalog)
+                    .sketch_only(self.sketch_backed())
             }
-            _ => Executor::exact(&self.table, &self.registry),
+            _ => Executor::exact(self.try_table()?, &self.registry),
         };
-        ex.parallel(self.parallel).with_cache(&self.cache)
+        Ok(ex.parallel(self.parallel).with_cache(&self.cache))
     }
 
     /// Runs an insight query and records it in the session history.
@@ -200,13 +336,13 @@ impl Foresight {
     /// Served from the insight index when one is built and covers the
     /// query; otherwise scored by the executor (sketch or exact mode).
     pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
-        let out = match self
-            .index
-            .as_ref()
-            .and_then(|i| i.query(&self.table, &self.registry, query))
-        {
+        let indexed = match self.index.as_ref() {
+            Some(i) => i.query(self.exec_table()?, &self.registry, query),
+            None => None,
+        };
+        let out = match indexed {
             Some(out) => out,
-            None => self.executor().execute(query)?,
+            None => self.executor()?.execute(query)?,
         };
         self.session.record_query(query, out.len());
         Ok(out)
@@ -224,7 +360,7 @@ impl Foresight {
     /// Assembled in parallel (one task per class) when parallelism is on.
     pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
         carousels_with(
-            &self.executor(),
+            &self.executor()?,
             &self.registry,
             &self.session,
             &CarouselConfig {
@@ -248,9 +384,21 @@ impl Foresight {
     }
 
     /// Profiles the dataset: per-column summaries plus the strongest
-    /// instance of every registered class.
+    /// instance of every registered class. A sharded source in approximate
+    /// mode is profiled entirely from the merged catalog (moments, KLL
+    /// quantiles, heavy hitters, entropy, HLL cardinality) — no shard
+    /// concatenation.
     pub fn profile(&self) -> Result<crate::profile::DatasetProfile> {
-        crate::profile::profile(&self.table, &self.registry)
+        if self.sketch_backed() {
+            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
+            return crate::profile::profile_from_catalog(
+                &self.source,
+                catalog,
+                &self.registry,
+                self.schema_table(),
+            );
+        }
+        crate::profile::profile(self.try_table()?, &self.registry)
     }
 
     /// Persists the full engine state — session *and* sketch catalog — so a
@@ -282,14 +430,15 @@ impl Foresight {
 
     /// Builds a self-contained HTML report: one carousel section per class
     /// (top `per_class` charts each) plus every available class overview —
-    /// the library-shaped version of the paper's demo UI.
+    /// the library-shaped version of the paper's demo UI. Charts read raw
+    /// rows, so a sketch-only source cannot be reported on.
     pub fn report(&self, per_class: usize) -> Result<foresight_viz::Report> {
         let mut report =
-            foresight_viz::Report::new(format!("Foresight insights — {}", self.table.name()));
+            foresight_viz::Report::new(format!("Foresight insights — {}", self.source.name()));
         report.intro = format!(
             "{} rows × {} columns; per-class carousels ranked strongest first",
-            self.table.n_rows(),
-            self.table.n_cols()
+            self.source.n_rows(),
+            self.source.n_cols()
         );
         for carousel in self.carousels(per_class)? {
             let mut charts = Vec::new();
@@ -312,23 +461,24 @@ impl Foresight {
         Ok(report)
     }
 
-    /// The chart for one insight instance.
+    /// The chart for one insight instance (reads raw rows — errors on a
+    /// sketch-only source).
     pub fn chart(&self, instance: &InsightInstance) -> Result<Option<ChartSpec>> {
         let class = self
             .registry
             .get(&instance.class_id)
             .ok_or_else(|| EngineError::UnknownClass(instance.class_id.clone()))?;
-        Ok(class.chart(&self.table, &instance.attrs))
+        Ok(class.chart(self.try_table()?, &instance.attrs))
     }
 
     /// The class-level overview chart (§2.1's third level of exploration;
-    /// Figure 2 for the linear-relationship class).
+    /// Figure 2 for the linear-relationship class). Reads raw rows.
     pub fn overview(&self, class_id: &str) -> Result<Option<ChartSpec>> {
         let class = self
             .registry
             .get(class_id)
             .ok_or_else(|| EngineError::UnknownClass(class_id.to_owned()))?;
-        Ok(class.overview(&self.table))
+        Ok(class.overview(self.try_table()?))
     }
 }
 
@@ -342,11 +492,40 @@ struct PersistedState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use foresight_data::datasets;
+    use foresight_data::{datasets, TableBuilder};
     use foresight_insight::AttrTuple;
 
     fn oecd() -> Foresight {
         Foresight::new(datasets::oecd())
+    }
+
+    /// One synthetic table plus the same rows cut into `bounds`-delimited
+    /// shards.
+    fn whole_and_shards(n: usize, bounds: &[usize]) -> (Table, Vec<Table>) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let z: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+        let cats: Vec<&str> = (0..n)
+            .map(|i| if i % 4 == 0 { "gold" } else { "base" })
+            .collect();
+        let build = |name: &str, lo: usize, hi: usize| {
+            TableBuilder::new(name)
+                .numeric("x", x[lo..hi].to_vec())
+                .numeric("y", y[lo..hi].to_vec())
+                .numeric("z", z[lo..hi].to_vec())
+                .categorical("c", cats[lo..hi].iter().copied())
+                .build()
+                .unwrap()
+        };
+        let whole = build("whole", 0, n);
+        let mut edges = vec![0];
+        edges.extend_from_slice(bounds);
+        edges.push(n);
+        let shards = edges
+            .windows(2)
+            .map(|w| build("shard", w[0], w[1]))
+            .collect();
+        (whole, shards)
     }
 
     #[test]
@@ -367,7 +546,7 @@ mod tests {
             fs.set_mode(Mode::Approximate),
             Err(EngineError::NoCatalog)
         ));
-        fs.preprocess(&CatalogConfig::default());
+        fs.preprocess(&CatalogConfig::default()).unwrap();
         assert_eq!(fs.mode(), Mode::Approximate);
         fs.set_mode(Mode::Exact).unwrap();
         fs.set_mode(Mode::Approximate).unwrap();
@@ -402,7 +581,7 @@ mod tests {
     #[test]
     fn full_state_round_trip_resumes_approximate_mode() {
         let mut fs = oecd();
-        fs.preprocess(&CatalogConfig::default());
+        fs.preprocess(&CatalogConfig::default()).unwrap();
         let q = InsightQuery::class("linear-relationship").top_k(3);
         let before = fs.query(&q).unwrap();
         let mut buf = Vec::new();
@@ -424,12 +603,12 @@ mod tests {
         let mut fs = oecd();
         let q = InsightQuery::class("linear-relationship").top_k(4);
         let unindexed = fs.query(&q).unwrap();
-        fs.build_index();
+        fs.build_index().unwrap();
         assert!(fs.insight_index().is_some());
         let indexed = fs.query(&q).unwrap();
         assert_eq!(unindexed, indexed);
         // registering a class invalidates the index
-        fs.preprocess(&CatalogConfig::default());
+        fs.preprocess(&CatalogConfig::default()).unwrap();
         assert!(fs.insight_index().is_none());
     }
 
@@ -447,5 +626,129 @@ mod tests {
         let mut fs2 = oecd();
         fs2.restore_session(Session::from_json(&json).unwrap());
         assert_eq!(fs.session(), fs2.session());
+    }
+
+    #[test]
+    fn sharded_source_answers_from_merged_catalog() {
+        let (whole, shards) = whole_and_shards(600, &[150, 400]);
+        let config = CatalogConfig {
+            hyperplane_k: Some(1024),
+            ..Default::default()
+        };
+
+        let mut mono = Foresight::new(whole);
+        mono.preprocess(&config).unwrap();
+        let mut sharded = Foresight::from_source(TableSource::sharded(shards).unwrap());
+        sharded.preprocess(&config).unwrap();
+        assert_eq!(sharded.source().shard_count(), 3);
+
+        let q = InsightQuery::class("linear-relationship").top_k(2);
+        let a = mono.query(&q).unwrap();
+        let b = sharded.query(&q).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].attrs, b[0].attrs, "top pair must agree");
+        // sketch-only details make no claims raw rows would be needed for
+        assert!(b[0].detail.contains("sketch"));
+
+        // carousels and profiles run without ever concatenating the shards
+        let carousels = sharded.carousels(2).unwrap();
+        assert!(!carousels.is_empty());
+        let profile = sharded.profile().unwrap();
+        assert_eq!(profile.rows, 600);
+        assert!(sharded.source().as_materialized().is_none());
+    }
+
+    #[test]
+    fn sharded_exact_mode_materializes_lazily() {
+        let (whole, shards) = whole_and_shards(300, &[100]);
+        let mut sharded = Foresight::from_source(TableSource::sharded(shards).unwrap());
+        // exact mode concatenates on first query and matches the whole table
+        let q = InsightQuery::class("linear-relationship").top_k(1);
+        let exact = sharded.query(&q).unwrap();
+        let mut mono = Foresight::new(whole);
+        assert_eq!(exact, mono.query(&q).unwrap());
+    }
+
+    #[test]
+    fn sketch_only_source_rejects_exact_paths() {
+        let (_, shards) = whole_and_shards(400, &[200]);
+        let mut source = TableSource::sharded(shards).unwrap();
+        let mut fs = Foresight::from_source(source.clone());
+        fs.preprocess(&CatalogConfig::default()).unwrap();
+
+        // drop the raw rows *after* sketching: queries keep working…
+        source.drop_raw();
+        let mut lean = Foresight::from_source(source);
+        let mut buf = Vec::new();
+        fs.save_state(&mut buf).unwrap();
+        lean.load_state(buf.as_slice()).unwrap();
+        let out = lean.query(&InsightQuery::class("skew").top_k(1)).unwrap();
+        assert_eq!(out.len(), 1);
+
+        // …but every raw-row path is a typed error, not a panic
+        assert!(matches!(
+            lean.set_mode(Mode::Exact),
+            Err(EngineError::ExactUnavailable(_))
+        ));
+        assert!(lean.try_table().is_err());
+        assert!(lean.chart(&out[0]).is_err());
+        assert!(matches!(
+            lean.preprocess(&CatalogConfig::default()),
+            Err(EngineError::ExactUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn append_shard_merges_into_catalog_and_bumps_epoch() {
+        let (_, mut shards) = whole_and_shards(800, &[300, 600]);
+        let last = shards.pop().expect("three shards");
+        let mut fs = Foresight::from_source(TableSource::sharded(shards).unwrap());
+        fs.preprocess(&CatalogConfig {
+            hyperplane_k: Some(1024),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(fs.catalog().unwrap().rows(), 600);
+
+        let q = InsightQuery::class("linear-relationship").top_k(1);
+        fs.query(&q).unwrap();
+        let entries_before = fs.cache_stats().entries;
+        assert!(entries_before > 0);
+
+        let offset = fs.append_shard(last).unwrap();
+        assert_eq!(offset, 600);
+        assert_eq!(fs.source().n_rows(), 800);
+        // the epoch bump retired every pre-append score
+        assert_eq!(fs.cache_stats().entries, 0);
+        // the merged catalog now covers every row — identical to sketching
+        // the full partition set in one preprocess
+        assert_eq!(fs.catalog().unwrap().rows(), 800);
+        let mut all_at_once = Foresight::from_source(
+            TableSource::sharded(whole_and_shards(800, &[300, 600]).1).unwrap(),
+        );
+        all_at_once
+            .preprocess(&CatalogConfig {
+                hyperplane_k: Some(1024),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(fs.query(&q).unwrap(), all_at_once.query(&q).unwrap());
+    }
+
+    #[test]
+    fn append_shard_promotes_materialized_sources() {
+        let (whole, shards) = whole_and_shards(200, &[120]);
+        let mut fs = Foresight::new(shards[0].clone());
+        assert!(fs.source().as_materialized().is_some());
+        let offset = fs.append_shard(shards[1].clone()).unwrap();
+        assert_eq!(offset, 120);
+        assert!(fs.source().as_materialized().is_none());
+        assert_eq!(fs.source().n_rows(), 200);
+        // exact mode still works — the shards concatenate lazily
+        let q = InsightQuery::class("linear-relationship").top_k(1);
+        assert_eq!(
+            fs.query(&q).unwrap(),
+            Foresight::new(whole).query(&q).unwrap()
+        );
     }
 }

@@ -17,6 +17,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct InsightIndex {
     entries: HashMap<String, Vec<(AttrTuple, f64)>>,
+    /// Built against a schema-only table: no exact fallback was available
+    /// at build time and `describe` cannot run at query time.
+    sketch_only: bool,
 }
 
 impl InsightIndex {
@@ -27,15 +30,38 @@ impl InsightIndex {
         registry: &InsightRegistry,
         catalog: Option<&SketchCatalog>,
     ) -> Self {
+        Self::build_inner(table, registry, catalog, false)
+    }
+
+    /// Builds the index for a sharded/sketch-only source: `table` carries
+    /// only the schema, every score comes from the merged `catalog`, and
+    /// classes without a sketch path index no candidates.
+    pub fn build_sketch_only(
+        table: &Table,
+        registry: &InsightRegistry,
+        catalog: &SketchCatalog,
+    ) -> Self {
+        Self::build_inner(table, registry, Some(catalog), true)
+    }
+
+    fn build_inner(
+        table: &Table,
+        registry: &InsightRegistry,
+        catalog: Option<&SketchCatalog>,
+        sketch_only: bool,
+    ) -> Self {
         let mut entries = HashMap::with_capacity(registry.len());
         for class in registry.classes() {
             let mut scored: Vec<(AttrTuple, f64)> = class
                 .candidates(table)
                 .into_iter()
                 .filter_map(|attrs| {
-                    let score = catalog
-                        .and_then(|c| class.score_sketch(c, table, &attrs))
-                        .or_else(|| class.score(table, &attrs))?;
+                    let sketched = catalog.and_then(|c| class.score_sketch(c, table, &attrs));
+                    let score = if sketch_only {
+                        sketched?
+                    } else {
+                        sketched.or_else(|| class.score(table, &attrs))?
+                    };
                     score.is_finite().then_some((attrs, score))
                 })
                 .collect();
@@ -46,7 +72,10 @@ impl InsightIndex {
             });
             entries.insert(class.id().to_owned(), scored);
         }
-        Self { entries }
+        Self {
+            entries,
+            sketch_only,
+        }
     }
 
     /// Number of indexed classes.
@@ -110,7 +139,14 @@ impl InsightIndex {
                     attrs,
                     score,
                     metric: class.metric().to_owned(),
-                    detail: class.describe(table, &attrs, score),
+                    detail: if self.sketch_only {
+                        format!(
+                            "{} ≈ {score:.3} (estimated from merged shard sketches)",
+                            class.metric()
+                        )
+                    } else {
+                        class.describe(table, &attrs, score)
+                    },
                 })
                 .collect(),
         )

@@ -31,7 +31,7 @@ pub use executor::{Executor, Mode};
 pub use foresight::Foresight;
 pub use index::InsightIndex;
 pub use neighborhood::NeighborhoodWeights;
-pub use profile::{profile, ColumnProfile, DatasetProfile};
+pub use profile::{profile, profile_from_catalog, ColumnProfile, DatasetProfile};
 pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};

@@ -5,8 +5,9 @@
 use crate::error::Result;
 use crate::executor::Executor;
 use crate::query::InsightQuery;
-use foresight_data::{ColumnType, Table};
+use foresight_data::{ColumnType, Table, TableSource};
 use foresight_insight::{InsightInstance, InsightRegistry};
+use foresight_sketch::SketchCatalog;
 use foresight_stats::{describe, Description, FrequencyTable};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,103 @@ pub fn profile(table: &Table, registry: &InsightRegistry) -> Result<DatasetProfi
     Ok(DatasetProfile {
         name: table.name().to_owned(),
         rows: table.n_rows(),
+        columns,
+        headline_insights,
+    })
+}
+
+/// Profiles a partitioned source entirely from its merged sketch catalog —
+/// moments for the numeric summaries, KLL for the quartiles, SpaceSaving /
+/// entropy-sketch / HLL for the categorical profiles, and a sketch-only
+/// executor for the headline insights. No shard is ever read back or
+/// concatenated; `schema_table` is the zero-row table the executor
+/// enumerates candidates against.
+///
+/// Numeric summaries differ from the exact [`profile`] only in the
+/// quartiles (KLL rank error); count/mean/std/min/max/skewness/kurtosis are
+/// moments-derived and match a single-pass build bit-for-bit.
+pub fn profile_from_catalog(
+    source: &TableSource,
+    catalog: &SketchCatalog,
+    registry: &InsightRegistry,
+    schema_table: &Table,
+) -> Result<DatasetProfile> {
+    let rows = source.n_rows();
+    let mut columns = Vec::with_capacity(source.n_cols());
+    for (idx, field) in source.schema().fields().iter().enumerate() {
+        match field.ty {
+            ColumnType::Numeric => {
+                let summary = catalog.numeric(idx).and_then(|s| {
+                    let m = &s.moments;
+                    if m.count() == 0 {
+                        return None;
+                    }
+                    Some(Description {
+                        count: m.count(),
+                        missing: rows as u64 - m.count(),
+                        mean: m.mean(),
+                        std: m.population_std(),
+                        min: m.min(),
+                        q1: s.quantiles.quantile(0.25).unwrap_or(m.min()),
+                        median: s.quantiles.quantile(0.5).unwrap_or(m.mean()),
+                        q3: s.quantiles.quantile(0.75).unwrap_or(m.max()),
+                        max: m.max(),
+                        skewness: m.skewness(),
+                        kurtosis: m.kurtosis(),
+                    })
+                });
+                columns.push(ColumnProfile::Numeric {
+                    name: field.name.clone(),
+                    summary,
+                });
+            }
+            ColumnType::Categorical => {
+                let profile = match catalog.categorical(idx) {
+                    Some(s) => {
+                        let top = s
+                            .heavy_hitters
+                            .top()
+                            .first()
+                            .map(|(label, count, _)| (label.clone(), *count));
+                        let normalized_entropy = if s.cardinality > 1 {
+                            (s.entropy.estimate() / (s.cardinality as f64).ln()).clamp(0.0, 1.0)
+                        } else if s.cardinality == 1 {
+                            0.0
+                        } else {
+                            f64::NAN
+                        };
+                        ColumnProfile::Categorical {
+                            name: field.name.clone(),
+                            cardinality: s.cardinality,
+                            total: s.total,
+                            top,
+                            normalized_entropy,
+                        }
+                    }
+                    None => ColumnProfile::Categorical {
+                        name: field.name.clone(),
+                        cardinality: 0,
+                        total: 0,
+                        top: None,
+                        normalized_entropy: f64::NAN,
+                    },
+                };
+                columns.push(profile);
+            }
+        }
+    }
+
+    let executor = Executor::approximate(schema_table, registry, catalog).sketch_only(true);
+    let mut headline_insights = Vec::new();
+    for class in registry.classes() {
+        if let Ok(mut top) = executor.execute(&InsightQuery::class(class.id()).top_k(1)) {
+            headline_insights.append(&mut top);
+        }
+    }
+
+    Ok(DatasetProfile {
+        name: source.name().to_owned(),
+        rows,
         columns,
         headline_insights,
     })
@@ -194,6 +292,88 @@ mod tests {
         assert!(text.contains("numeric"));
         assert!(text.contains("categorical"));
         assert!(text.contains("linear-relationship"));
+    }
+
+    #[test]
+    fn catalog_profile_tracks_exact_profile() {
+        let n = 500;
+        let t = TableBuilder::new("demo")
+            .numeric("x", (0..n).map(|i| i as f64).collect())
+            .numeric("y", (0..n).map(|i| (2 * i) as f64).collect())
+            .categorical("c", (0..n).map(|i| if i % 3 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap();
+        let r = InsightRegistry::default();
+        let exact = profile(&t, &r).unwrap();
+
+        let source = foresight_data::TableSource::materialized(t.clone());
+        let config = foresight_sketch::CatalogConfig {
+            hyperplane_k: Some(1024),
+            ..Default::default()
+        };
+        let catalog = SketchCatalog::build(&t, &config);
+        let schema_table = source.schema_table();
+        let approx = profile_from_catalog(&source, &catalog, &r, &schema_table).unwrap();
+
+        assert_eq!(approx.rows, exact.rows);
+        assert_eq!(approx.columns.len(), exact.columns.len());
+        match (&approx.columns[0], &exact.columns[0]) {
+            (
+                ColumnProfile::Numeric {
+                    summary: Some(a), ..
+                },
+                ColumnProfile::Numeric {
+                    summary: Some(e), ..
+                },
+            ) => {
+                // moments-derived fields are exact; quartiles within KLL error
+                assert_eq!(a.count, e.count);
+                assert_eq!(a.min, e.min);
+                assert_eq!(a.max, e.max);
+                assert!((a.mean - e.mean).abs() < 1e-9);
+                assert!((a.median - e.median).abs() < 0.05 * (e.max - e.min));
+            }
+            _ => panic!("wrong kinds"),
+        }
+        match (&approx.columns[2], &exact.columns[2]) {
+            (
+                ColumnProfile::Categorical {
+                    cardinality: ac,
+                    total: at,
+                    top: atop,
+                    normalized_entropy: ah,
+                    ..
+                },
+                ColumnProfile::Categorical {
+                    cardinality: ec,
+                    total: et,
+                    top: etop,
+                    normalized_entropy: eh,
+                    ..
+                },
+            ) => {
+                assert_eq!(ac, ec);
+                assert_eq!(at, et);
+                assert_eq!(
+                    atop.as_ref().map(|(l, _)| l.clone()),
+                    etop.as_ref().map(|(l, _)| l.clone())
+                );
+                // the entropy sketch carries O(1/√k) noise — this is a
+                // sanity band, not an accuracy claim (those live in the
+                // sketch crate's own tests)
+                assert!((ah - eh).abs() < 0.35, "entropy {ah} vs {eh}");
+                assert!((0.0..=1.0).contains(ah));
+            }
+            _ => panic!("wrong kinds"),
+        }
+        // headline classes with sketch paths show up with finite scores
+        assert!(!approx.headline_insights.is_empty());
+        let linear = approx
+            .headline_insights
+            .iter()
+            .find(|i| i.class_id == "linear-relationship")
+            .unwrap();
+        assert!(linear.score > 0.9);
     }
 
     #[test]

@@ -3,22 +3,63 @@
 //! One build pass produces, for every numeric column: composable moments,
 //! a hyperplane (correlation) sketch, a KLL quantile sketch, and a
 //! reservoir sample; and for every categorical column: a SpaceSaving
-//! heavy-hitter sketch and a stable-projection entropy sketch. Insight
-//! queries are then answered from the catalog without touching the raw data.
+//! heavy-hitter sketch, a stable-projection entropy sketch, and a
+//! HyperLogLog distinct counter. Insight queries are then answered from the
+//! catalog without touching the raw data.
+//!
+//! # Partition-native builds
+//!
+//! The catalog itself is [`Mergeable`]: disjoint row shards of one table can
+//! be sketched independently ([`SketchCatalog::build_shard`], fanned out
+//! with rayon by [`SketchCatalog::build_sharded`]) and merged field-by-field
+//! into a catalog equivalent to a single-pass build. The whole-table
+//! [`SketchCatalog::build`] is just the one-shard special case, so both
+//! paths share one code path and one set of guarantees:
+//!
+//! * **moments** — bit-identical to the single-pass build for any shard
+//!   split (canonical dyadic reduction, see [`MomentForest`]);
+//! * **hyperplane correlation** — shards sketch at their global row offsets
+//!   under one row-keyed random family, so merged accumulators cover exactly
+//!   the rows a single pass would (estimates agree to float-summation
+//!   rounding, ≪ the sketch's own `O(1/√k)` error);
+//! * **KLL / entropy / HLL / SpaceSaving** — standard mergeable sketches
+//!   with their documented error bounds; HLL merges are exactly
+//!   order-invariant;
+//! * **Spearman (rank hyperplane)** — ranks are computed *per shard* and
+//!   normalized to `(0, 1)`; local ranks approximate global ranks for
+//!   random row splits, so merged Spearman estimates carry an extra ε on
+//!   top of the sketch error (adversarially sorted splits can distort them);
+//! * **reservoir** — merging draws a uniform sample of the union
+//!   (distributional, not bit-equal to a single-pass reservoir).
+//!
+//! Mergeability demands shared randomness and shared error parameters:
+//! every shard must be built under one [`CatalogConfig`] whose
+//! `hyperplane_k` was pinned against the *total* row count
+//! ([`CatalogConfig::resolved_for_rows`]). Mismatched seeds or widths are
+//! typed [`MergeError`]s, never silently wrong estimates.
 
+use crate::dyadic::MomentForest;
 use crate::entropy::EntropySketch;
 use crate::freq::space_saving::SpaceSaving;
-use crate::hyperplane::{HyperplaneConfig, HyperplaneSketch, SharedHyperplanes};
+use crate::hll::HyperLogLog;
+use crate::hyperplane::{
+    HyperplaneAccumulator, HyperplaneConfig, HyperplaneSketch, SharedHyperplanes,
+};
 use crate::quantile::kll::KllSketch;
 use crate::sample::Reservoir;
+use crate::traits::{MergeError, Mergeable};
 use foresight_data::Table;
 use foresight_stats::moments::Moments;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// HLL registers for the categorical distinct counter: 2¹² registers ≈ 1.6%
+/// relative error, 4 KiB per column.
+const DISTINCT_PRECISION: u8 = 12;
+
 /// Tuning knobs for catalog construction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CatalogConfig {
     /// Hyperplane bits per column; `None` applies the paper's
     /// `k = O(log²n)` rule via [`HyperplaneConfig::for_rows`].
@@ -52,7 +93,59 @@ impl Default for CatalogConfig {
     }
 }
 
+impl CatalogConfig {
+    /// Pins `hyperplane_k` by applying the paper's sizing rule to
+    /// `total_rows` (a no-op when already set). Per-shard builds of one
+    /// logical table **must** share a config resolved against the *total*
+    /// row count, otherwise shards would size their hyperplane families
+    /// from their own row counts and refuse to merge.
+    pub fn resolved_for_rows(&self, total_rows: usize) -> Self {
+        let mut resolved = self.clone();
+        if resolved.hyperplane_k.is_none() {
+            resolved.hyperplane_k = Some(HyperplaneConfig::for_rows(total_rows, self.seed).k);
+        }
+        resolved
+    }
+
+    fn hyperplane_config(&self, rows: usize) -> HyperplaneConfig {
+        match self.hyperplane_k {
+            Some(k) => HyperplaneConfig {
+                k,
+                seed: self.seed,
+                ..Default::default()
+            },
+            None => HyperplaneConfig::for_rows(rows, self.seed),
+        }
+    }
+
+    /// Checks every field that governs sketch compatibility (`parallel` is
+    /// execution strategy, not identity).
+    fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
+        if self.seed != other.seed {
+            return Err(MergeError::SeedMismatch);
+        }
+        if self.kll_k != other.kll_k {
+            return Err(MergeError::ParameterMismatch("kll_k"));
+        }
+        if self.freq_counters != other.freq_counters {
+            return Err(MergeError::ParameterMismatch("freq_counters"));
+        }
+        if self.entropy_k != other.entropy_k {
+            return Err(MergeError::ParameterMismatch("entropy_k"));
+        }
+        if self.reservoir != other.reservoir {
+            return Err(MergeError::ParameterMismatch("reservoir"));
+        }
+        Ok(())
+    }
+}
+
 /// Sketches of one numeric column.
+///
+/// The public fields are the *finalized* views every insight class reads;
+/// the private partition state (moment forest, hyperplane accumulators) is
+/// what makes two `NumericSketches` of disjoint shards mergeable, and the
+/// finalized views are refreshed from it after every merge.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NumericSketches {
     /// Composable first-four-moments summary (dispersion, skew, kurtosis).
@@ -66,6 +159,21 @@ pub struct NumericSketches {
     pub quantiles: KllSketch,
     /// Uniform reservoir sample (shape metrics with no dedicated sketch).
     pub reservoir: Reservoir,
+    /// Partition-invariant moments state (finalizes into `moments`).
+    moment_forest: MomentForest,
+    /// Pre-quantization hyperplane state (finalizes into `hyperplane`).
+    hyperplane_acc: HyperplaneAccumulator,
+    /// Pre-quantization rank-hyperplane state.
+    rank_hyperplane_acc: HyperplaneAccumulator,
+}
+
+impl NumericSketches {
+    /// Re-derives the finalized views from the partition state.
+    fn refresh(&mut self) {
+        self.moments = self.moment_forest.finalize();
+        self.hyperplane = self.hyperplane_acc.finalize();
+        self.rank_hyperplane = self.rank_hyperplane_acc.finalize();
+    }
 }
 
 /// Sketches of one categorical column.
@@ -77,8 +185,13 @@ pub struct CategoricalSketches {
     pub entropy: EntropySketch,
     /// Present (non-missing) count.
     pub total: u64,
-    /// Exact distinct-label count (known from dictionary encoding).
+    /// Distinct-label count: exact for a single-shard build (dictionary
+    /// encoding), HLL-estimated (±~1.6%) after merging shards whose label
+    /// universes may overlap.
     pub cardinality: usize,
+    /// HyperLogLog over labels, for cardinality across merges (per-shard
+    /// dictionaries are not aligned, so exact counts don't add).
+    pub distinct: HyperLogLog,
 }
 
 /// All sketches of one table, keyed by column index.
@@ -88,19 +201,25 @@ pub struct SketchCatalog {
     categorical: HashMap<usize, CategoricalSketches>,
     rows: usize,
     hyperplane_config: HyperplaneConfig,
+    config: CatalogConfig,
 }
 
 impl SketchCatalog {
-    /// Builds the catalog for `table`.
+    /// Builds the catalog for a whole `table` — the one-shard special case
+    /// of [`SketchCatalog::build_shard`].
     pub fn build(table: &Table, config: &CatalogConfig) -> Self {
-        let hyperplane_config = match config.hyperplane_k {
-            Some(k) => HyperplaneConfig {
-                k,
-                seed: config.seed,
-                ..Default::default()
-            },
-            None => HyperplaneConfig::for_rows(table.n_rows(), config.seed),
-        };
+        Self::build_shard(table, config, 0)
+    }
+
+    /// Builds the catalog for one shard whose rows start at global row
+    /// `row_offset`.
+    ///
+    /// When sketching one shard of a larger table, pass a config resolved
+    /// via [`CatalogConfig::resolved_for_rows`] on the **total** row count;
+    /// an unresolved `hyperplane_k` falls back to this shard's own row
+    /// count, which only suits whole-table builds.
+    pub fn build_shard(table: &Table, config: &CatalogConfig, row_offset: u64) -> Self {
+        let hyperplane_config = config.hyperplane_config(table.n_rows());
         let hp = SharedHyperplanes::new(hyperplane_config);
 
         let numeric_indices = table.numeric_indices();
@@ -109,32 +228,37 @@ impl SketchCatalog {
             .map(|&i| table.numeric(i).expect("index from schema").values())
             .collect();
 
-        // Hyperplane sketches: shared randomness means each chunk of columns
-        // can re-stream the same Gaussian sequence independently, so
-        // column-chunk parallelism is exact, not approximate.
-        let sketch_all = |cols: &[&[f64]]| -> Vec<HyperplaneSketch> {
+        // Hyperplane accumulators: shared row-keyed randomness means each
+        // chunk of columns can re-stream the same component sequence
+        // independently, so column-chunk parallelism is exact, not
+        // approximate — and identical to the sequential build.
+        let accumulate_all = |cols: &[&[f64]]| -> Vec<HyperplaneAccumulator> {
             if config.parallel && cols.len() > 1 {
                 cols.par_chunks(8.max(cols.len() / rayon::current_num_threads().max(1)))
-                    .flat_map(|chunk| hp.sketch_columns(chunk))
+                    .flat_map(|chunk| hp.accumulate_columns(chunk, row_offset))
                     .collect()
             } else {
-                hp.sketch_columns(cols)
+                hp.accumulate_columns(cols, row_offset)
             }
         };
-        let hyperplanes = sketch_all(&numeric_cols);
+        let accs = accumulate_all(&numeric_cols);
 
         // Rank-transform each column (missing cells stay missing) and sketch
         // the ranks with the same shared hyperplanes → Spearman estimates.
+        // Ranks are local to the shard, normalized to (0, 1) so shards of
+        // different sizes speak one scale; see the module docs for the ε
+        // this adds to merged Spearman estimates.
         let rank_transform = |col: &&[f64]| -> Vec<f64> {
             let present: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
             let ranks = foresight_stats::rank::fractional_ranks(&present);
+            let scale = 1.0 / (present.len() as f64 + 1.0);
             let mut out = Vec::with_capacity(col.len());
             let mut next = 0usize;
             for &v in col.iter() {
                 if v.is_nan() {
                     out.push(f64::NAN);
                 } else {
-                    out.push(ranks[next]);
+                    out.push(ranks[next] * scale);
                     next += 1;
                 }
             }
@@ -146,41 +270,42 @@ impl SketchCatalog {
             numeric_cols.iter().map(rank_transform).collect()
         };
         let ranked_refs: Vec<&[f64]> = ranked.iter().map(Vec::as_slice).collect();
-        let rank_hyperplanes = sketch_all(&ranked_refs);
+        let rank_accs = accumulate_all(&ranked_refs);
 
         type NumericJob<'a> = (
-            &'a usize,
-            ((&'a &'a [f64], &'a HyperplaneSketch), &'a HyperplaneSketch),
+            usize,
+            (
+                (&'a &'a [f64], HyperplaneAccumulator),
+                HyperplaneAccumulator,
+            ),
         );
-        let build_one =
-            |(&idx, ((col, hyperplane), rank_hp)): NumericJob| -> (usize, NumericSketches) {
-                let mut quantiles = KllSketch::new(config.kll_k);
-                let mut reservoir =
-                    Reservoir::new(config.reservoir.max(1), config.seed ^ idx as u64);
-                for &v in col.iter() {
-                    quantiles.insert(v);
-                    reservoir.insert(v);
-                }
-                (
-                    idx,
-                    NumericSketches {
-                        moments: Moments::from_slice(col),
-                        hyperplane: hyperplane.clone(),
-                        rank_hyperplane: rank_hp.clone(),
-                        quantiles,
-                        reservoir,
-                    },
-                )
+        let build_one = |(idx, ((col, acc), rank_acc)): NumericJob| -> (usize, NumericSketches) {
+            let mut quantiles = KllSketch::new(config.kll_k);
+            let mut reservoir = Reservoir::new(config.reservoir.max(1), config.seed ^ idx as u64);
+            for &v in col.iter() {
+                quantiles.insert(v);
+                reservoir.insert(v);
+            }
+            let mut moment_forest = MomentForest::new();
+            moment_forest.update_rows(col, row_offset);
+            let mut sketches = NumericSketches {
+                moments: Moments::new(),
+                hyperplane: acc.finalize(),
+                rank_hyperplane: rank_acc.finalize(),
+                quantiles,
+                reservoir,
+                moment_forest,
+                hyperplane_acc: acc,
+                rank_hyperplane_acc: rank_acc,
             };
+            sketches.moments = sketches.moment_forest.finalize();
+            (idx, sketches)
+        };
 
         let zipped: Vec<NumericJob> = numeric_indices
             .iter()
-            .zip(
-                numeric_cols
-                    .iter()
-                    .zip(hyperplanes.iter())
-                    .zip(rank_hyperplanes.iter()),
-            )
+            .copied()
+            .zip(numeric_cols.iter().zip(accs).zip(rank_accs))
             .collect();
         let numeric: HashMap<usize, NumericSketches> = if config.parallel {
             zipped.into_par_iter().map(build_one).collect()
@@ -199,11 +324,13 @@ impl SketchCatalog {
             }
             let mut heavy = SpaceSaving::new(config.freq_counters);
             let mut entropy = EntropySketch::new(config.entropy_k, config.seed);
+            let mut distinct = HyperLogLog::new(DISTINCT_PRECISION, config.seed);
             for (code, &c) in counts.iter().enumerate() {
                 if c > 0 {
                     let label = &col.labels()[code];
                     heavy.insert_weighted(label, c);
                     entropy.insert_weighted(label, c);
+                    distinct.insert(label);
                 }
             }
             let total = counts.iter().sum();
@@ -214,6 +341,7 @@ impl SketchCatalog {
                     entropy,
                     total,
                     cardinality: col.cardinality(),
+                    distinct,
                 },
             )
         };
@@ -225,12 +353,63 @@ impl SketchCatalog {
             cat_indices.iter().map(cat_one).collect()
         };
 
+        // pin the resolved hyperplane width so `config()` can be handed to
+        // later `build_shard` calls (an unresolved width would re-resolve
+        // against the *new* shard's row count and fail to merge)
+        let mut stored = config.clone();
+        stored.hyperplane_k = Some(hyperplane_config.k);
         Self {
             numeric,
             categorical,
             rows: table.n_rows(),
             hyperplane_config,
+            config: stored,
         }
+    }
+
+    /// Builds per-shard catalogs for disjoint row partitions of one table
+    /// (in storage order) and merges them. Shard builds fan out with rayon
+    /// when `config.parallel` is set; the merge itself folds sequentially so
+    /// the result is deterministic.
+    ///
+    /// The config's `hyperplane_k` is resolved against the **total** row
+    /// count, so every shard shares one hyperplane family regardless of its
+    /// own size — the invariant that makes the shard catalogs mergeable.
+    ///
+    /// # Errors
+    /// `ParameterMismatch("no shards")` for an empty slice; any per-field
+    /// merge error from [`Mergeable::merge`] (only possible when the shards
+    /// disagree on schema-derived column sets).
+    pub fn build_sharded(shards: &[&Table], config: &CatalogConfig) -> Result<Self, MergeError> {
+        if shards.is_empty() {
+            return Err(MergeError::ParameterMismatch("no shards"));
+        }
+        let total: usize = shards.iter().map(|s| s.n_rows()).sum();
+        let resolved = config.resolved_for_rows(total);
+        let mut offset = 0u64;
+        let jobs: Vec<(u64, &Table)> = shards
+            .iter()
+            .map(|&t| {
+                let job = (offset, t);
+                offset += t.n_rows() as u64;
+                job
+            })
+            .collect();
+        let catalogs: Vec<SketchCatalog> = if resolved.parallel {
+            jobs.par_iter()
+                .map(|&(off, t)| Self::build_shard(t, &resolved, off))
+                .collect()
+        } else {
+            jobs.iter()
+                .map(|&(off, t)| Self::build_shard(t, &resolved, off))
+                .collect()
+        };
+        let mut iter = catalogs.into_iter();
+        let mut merged = iter.next().expect("non-empty checked above");
+        for shard_catalog in iter {
+            merged.merge(&shard_catalog)?;
+        }
+        Ok(merged)
     }
 
     /// Rows of the sketched table.
@@ -241,6 +420,12 @@ impl SketchCatalog {
     /// The hyperplane configuration in effect.
     pub fn hyperplane_config(&self) -> HyperplaneConfig {
         self.hyperplane_config
+    }
+
+    /// The (resolved) build configuration — reuse it to sketch additional
+    /// shards destined to merge into this catalog.
+    pub fn config(&self) -> &CatalogConfig {
+        &self.config
     }
 
     /// Sketches of the numeric column at `idx`.
@@ -297,9 +482,76 @@ impl SketchCatalog {
     }
 }
 
+impl Mergeable for SketchCatalog {
+    /// Merges the catalog of a disjoint row shard into `self`, field by
+    /// field, and refreshes every finalized view. On error `self` is left
+    /// unchanged (the merge is staged on a copy).
+    ///
+    /// # Errors
+    /// * [`MergeError::SizeMismatch`] — different hyperplane `k`
+    /// * [`MergeError::SeedMismatch`] — different shared-randomness seeds
+    /// * [`MergeError::ParameterMismatch`] — different error parameters
+    ///   (`kll_k`, `freq_counters`, …), column sets, or overlapping row
+    ///   ranges
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        let hp_a = self.hyperplane_config;
+        let hp_b = other.hyperplane_config;
+        if hp_a.k != hp_b.k {
+            return Err(MergeError::SizeMismatch(hp_a.k, hp_b.k));
+        }
+        if hp_a.seed != hp_b.seed || hp_a.kind != hp_b.kind {
+            return Err(MergeError::SeedMismatch);
+        }
+        self.config.check_compatible(&other.config)?;
+        if self.numeric.len() != other.numeric.len()
+            || self.numeric.keys().any(|k| !other.numeric.contains_key(k))
+            || self.categorical.len() != other.categorical.len()
+            || self
+                .categorical
+                .keys()
+                .any(|k| !other.categorical.contains_key(k))
+        {
+            return Err(MergeError::ParameterMismatch("column sets differ"));
+        }
+
+        // stage on a copy so a mid-merge error can't leave self half-merged
+        let mut numeric = self.numeric.clone();
+        for (idx, sketches) in numeric.iter_mut() {
+            let theirs = &other.numeric[idx];
+            sketches.moment_forest.merge(&theirs.moment_forest)?;
+            sketches.hyperplane_acc.merge(&theirs.hyperplane_acc)?;
+            sketches
+                .rank_hyperplane_acc
+                .merge(&theirs.rank_hyperplane_acc)?;
+            sketches.quantiles.merge(&theirs.quantiles)?;
+            sketches.reservoir.merge(&theirs.reservoir)?;
+            sketches.refresh();
+        }
+        let mut categorical = self.categorical.clone();
+        for (idx, sketches) in categorical.iter_mut() {
+            let theirs = &other.categorical[idx];
+            sketches.heavy_hitters.merge(&theirs.heavy_hitters)?;
+            sketches.entropy.merge(&theirs.entropy)?;
+            sketches.distinct.merge(&theirs.distinct)?;
+            sketches.total += theirs.total;
+            // per-shard dictionaries aren't aligned: distinct labels of the
+            // union come from the HLL, floored by each side's exact count
+            sketches.cardinality = sketches
+                .cardinality
+                .max(theirs.cardinality)
+                .max(sketches.distinct.estimate().round() as usize);
+        }
+        self.numeric = numeric;
+        self.categorical = categorical;
+        self.rows += other.rows;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::Sketch;
     use foresight_data::datasets::{synth, SynthConfig};
     use foresight_stats::correlation::pearson;
 
@@ -314,6 +566,14 @@ mod tests {
             correlated_fraction: 0.5,
             ..Default::default()
         })
+    }
+
+    /// Splits a table's rows at the given boundaries via `filter_rows`.
+    fn split_rows(t: &foresight_data::Table, bounds: &[usize]) -> Vec<foresight_data::Table> {
+        bounds
+            .windows(2)
+            .map(|w| t.filter_rows(|r| r >= w[0] && r < w[1]))
+            .collect()
     }
 
     #[test]
@@ -403,11 +663,20 @@ mod tests {
 
     #[test]
     fn moments_match_exact() {
+        // catalog moments come from the canonical dyadic reduction: same
+        // count/min/max as a sequential pass, higher moments within float
+        // tolerance (pairwise summation is at least as accurate)
         let (t, _) = table();
         let cat = SketchCatalog::build(&t, &CatalogConfig::default());
         let idx = t.numeric_indices()[0];
         let exact = Moments::from_slice(t.numeric(idx).unwrap().values());
-        assert_eq!(cat.numeric(idx).unwrap().moments, exact);
+        let got = cat.numeric(idx).unwrap().moments;
+        assert_eq!(got.count(), exact.count());
+        assert_eq!(got.min(), exact.min());
+        assert_eq!(got.max(), exact.max());
+        assert!((got.mean() - exact.mean()).abs() < 1e-10);
+        assert!((got.skewness() - exact.skewness()).abs() < 1e-8);
+        assert!((got.kurtosis() - exact.kurtosis()).abs() < 1e-8);
     }
 
     #[test]
@@ -436,6 +705,12 @@ mod tests {
         let ent = s.entropy.estimate();
         assert!(ent > 0.0 && ent < (s.cardinality as f64).ln() + 0.5);
         assert!(!s.heavy_hitters.top().is_empty());
+        let est = s.distinct.estimate();
+        assert!(
+            (est - s.cardinality as f64).abs() < 0.05 * s.cardinality as f64 + 3.0,
+            "HLL {est} vs exact {}",
+            s.cardinality
+        );
     }
 
     #[test]
@@ -447,6 +722,7 @@ mod tests {
         let back = SketchCatalog::load(buf.as_slice()).unwrap();
         assert_eq!(back.rows(), cat.rows());
         assert_eq!(back.hyperplane_config(), cat.hyperplane_config());
+        assert_eq!(back.config(), cat.config());
         for idx in cat.numeric_indices() {
             assert_eq!(
                 back.correlation(idx, cat.numeric_indices()[0]),
@@ -482,5 +758,146 @@ mod tests {
             cat.hyperplane_bytes(),
             t.numeric_indices().len() * cat.hyperplane_config().k / 8
         );
+    }
+
+    #[test]
+    fn sharded_build_matches_single_pass() {
+        let (t, _) = table();
+        let config = CatalogConfig::default().resolved_for_rows(t.n_rows());
+        let single = SketchCatalog::build(&t, &config);
+        let shards = split_rows(&t, &[0, 1_000, 1_700, 4_000]);
+        let refs: Vec<&foresight_data::Table> = shards.iter().collect();
+        let merged = SketchCatalog::build_sharded(&refs, &config).unwrap();
+
+        assert_eq!(merged.rows(), single.rows());
+        assert_eq!(merged.hyperplane_config(), single.hyperplane_config());
+        for idx in single.numeric_indices() {
+            let s = single.numeric(idx).unwrap();
+            let m = merged.numeric(idx).unwrap();
+            // moments: bit-identical by the dyadic-forest construction
+            assert_eq!(m.moments, s.moments, "moments differ on column {idx}");
+            // correlations agree to summation rounding, far inside sketch error
+            for jdx in single.numeric_indices() {
+                if jdx <= idx {
+                    continue;
+                }
+                let a = merged.correlation(idx, jdx).unwrap();
+                let b = single.correlation(idx, jdx).unwrap();
+                assert!(
+                    (a - b).abs() < 0.05,
+                    "ρ({idx},{jdx}): merged {a} single {b}"
+                );
+            }
+            // KLL medians within the sketch's own rank error of each other
+            let qa = m.quantiles.quantile(0.5).unwrap();
+            let qb = s.quantiles.quantile(0.5).unwrap();
+            let spread = s.moments.max() - s.moments.min();
+            assert!((qa - qb).abs() < 0.1 * spread, "median {qa} vs {qb}");
+            assert_eq!(m.reservoir.count(), s.reservoir.count());
+        }
+        for idx in t.categorical_indices() {
+            let s = single.categorical(idx).unwrap();
+            let m = merged.categorical(idx).unwrap();
+            assert_eq!(m.total, s.total);
+            // HLL register-max is exactly order-invariant
+            assert_eq!(m.distinct.estimate(), s.distinct.estimate());
+            assert!((m.entropy.estimate() - s.entropy.estimate()).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn seed_mismatch_is_a_typed_error() {
+        let (t, _) = table();
+        let shards = split_rows(&t, &[0, 2_000, 4_000]);
+        let base = CatalogConfig {
+            hyperplane_k: Some(256),
+            ..Default::default()
+        };
+        let a = SketchCatalog::build_shard(&shards[0], &base, 0);
+        let reseeded = CatalogConfig {
+            seed: base.seed ^ 1,
+            ..base.clone()
+        };
+        let b = SketchCatalog::build_shard(&shards[1], &reseeded, 2_000);
+        let mut merged = a.clone();
+        assert_eq!(merged.merge(&b), Err(MergeError::SeedMismatch));
+        // staged merge: the failed attempt left no partial state behind
+        assert_eq!(merged.rows(), a.rows());
+        assert_eq!(
+            merged.numeric(0).map(|s| s.moments),
+            a.numeric(0).map(|s| s.moments)
+        );
+    }
+
+    #[test]
+    fn hyperplane_width_mismatch_is_a_typed_error() {
+        let (t, _) = table();
+        let shards = split_rows(&t, &[0, 2_000, 4_000]);
+        let a = SketchCatalog::build_shard(
+            &shards[0],
+            &CatalogConfig {
+                hyperplane_k: Some(256),
+                ..Default::default()
+            },
+            0,
+        );
+        let b = SketchCatalog::build_shard(
+            &shards[1],
+            &CatalogConfig {
+                hyperplane_k: Some(512),
+                ..Default::default()
+            },
+            2_000,
+        );
+        let mut merged = a;
+        assert_eq!(merged.merge(&b), Err(MergeError::SizeMismatch(256, 512)));
+    }
+
+    #[test]
+    fn error_parameter_mismatch_is_typed() {
+        let (t, _) = table();
+        let shards = split_rows(&t, &[0, 2_000, 4_000]);
+        let base = CatalogConfig {
+            hyperplane_k: Some(256),
+            ..Default::default()
+        };
+        let a = SketchCatalog::build_shard(&shards[0], &base, 0);
+        let b =
+            SketchCatalog::build_shard(&shards[1], &CatalogConfig { kll_k: 100, ..base }, 2_000);
+        let mut merged = a;
+        assert_eq!(
+            merged.merge(&b),
+            Err(MergeError::ParameterMismatch("kll_k"))
+        );
+    }
+
+    #[test]
+    fn append_style_incremental_merge() {
+        // simulate streaming ingest: catalog grows one shard at a time and
+        // the result still equals the all-at-once sharded build
+        let (t, _) = table();
+        let config = CatalogConfig::default().resolved_for_rows(t.n_rows());
+        let shards = split_rows(&t, &[0, 1_500, 2_500, 4_000]);
+        let refs: Vec<&foresight_data::Table> = shards.iter().collect();
+        let all_at_once = SketchCatalog::build_sharded(&refs, &config).unwrap();
+
+        let mut incremental = SketchCatalog::build_shard(&shards[0], &config, 0);
+        let mut offset = shards[0].n_rows() as u64;
+        for shard in &shards[1..] {
+            let next = SketchCatalog::build_shard(shard, incremental.config(), offset);
+            incremental.merge(&next).unwrap();
+            offset += shard.n_rows() as u64;
+        }
+        assert_eq!(incremental.rows(), all_at_once.rows());
+        for idx in all_at_once.numeric_indices() {
+            assert_eq!(
+                incremental.numeric(idx).unwrap().moments,
+                all_at_once.numeric(idx).unwrap().moments
+            );
+            assert_eq!(
+                incremental.numeric(idx).unwrap().hyperplane,
+                all_at_once.numeric(idx).unwrap().hyperplane
+            );
+        }
     }
 }

@@ -17,6 +17,7 @@
 
 pub mod bits;
 pub mod catalog;
+pub mod dyadic;
 pub mod entropy;
 pub mod freq;
 pub mod hll;
@@ -28,6 +29,7 @@ pub mod traits;
 
 pub use bits::BitVec;
 pub use catalog::{CatalogConfig, SketchCatalog};
+pub use dyadic::MomentForest;
 pub use entropy::EntropySketch;
 pub use freq::{CountMin, MisraGries, SpaceSaving};
 pub use hll::HyperLogLog;

@@ -4,7 +4,7 @@
 //! Algorithm R). Used for preview scatter plots and for approximating
 //! metrics with no dedicated sketch (e.g. the dip statistic at scale).
 
-use crate::traits::Sketch;
+use crate::traits::{MergeError, Mergeable, Sketch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,59 @@ impl Sketch<f64> for Reservoir {
 
     fn count(&self) -> u64 {
         self.n
+    }
+}
+
+impl Mergeable for Reservoir {
+    /// Combines two reservoirs over disjoint streams into a sample of their
+    /// union. When the union fits, the merge is exact (concatenation);
+    /// otherwise each survivor slot is drawn from the left sample with
+    /// probability `n_left / (n_left + n_right)` and the winners are picked
+    /// without replacement — the guarantee is *distributional* (the result
+    /// is a uniform sample of the union), not bit-equality with a
+    /// single-pass reservoir over the concatenated stream. Deterministic for
+    /// a given pair of inputs: the merge RNG is keyed off both seeds and
+    /// both stream lengths.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.capacity != other.capacity {
+            return Err(MergeError::SizeMismatch(self.capacity, other.capacity));
+        }
+        let total = self.n + other.n;
+        if total <= self.capacity as u64 {
+            self.items.extend_from_slice(&other.items);
+            self.n = total;
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ other.seed.rotate_left(17)
+                ^ self.n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ other.n.rotate_left(32),
+        );
+        let mut from_self = 0usize;
+        for _ in 0..self.capacity {
+            if rng.gen_range(0..total) < self.n {
+                from_self += 1;
+            }
+        }
+        // clamp to what each side can actually supply
+        let from_self = from_self
+            .max(self.capacity.saturating_sub(other.items.len()))
+            .min(self.items.len());
+        let pick = |src: &[f64], m: usize, rng: &mut StdRng| -> Vec<f64> {
+            // partial Fisher–Yates: m distinct survivors, order randomized
+            let mut idx: Vec<usize> = (0..src.len()).collect();
+            for i in 0..m {
+                let j = i + rng.gen_range(0..(idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..m].iter().map(|&i| src[i]).collect()
+        };
+        let mut merged = pick(&self.items, from_self, &mut rng);
+        merged.extend(pick(&other.items, self.capacity - from_self, &mut rng));
+        self.items = merged;
+        self.n = total;
+        Ok(())
     }
 }
 
@@ -216,5 +269,67 @@ mod tests {
         };
         assert_eq!(fill(7), fill(7));
         assert_ne!(fill(7), fill(8));
+    }
+
+    #[test]
+    fn merge_under_capacity_is_exact_concat() {
+        let mut a = Reservoir::new(100, 1);
+        let mut b = Reservoir::new(100, 2);
+        for i in 0..30 {
+            a.insert(i as f64);
+            b.insert(100.0 + i as f64);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 60);
+        assert_eq!(a.sample().len(), 60);
+        assert!(a.sample().iter().any(|&v| v >= 100.0));
+    }
+
+    #[test]
+    fn merge_capacity_mismatch_rejected() {
+        let mut a = Reservoir::new(10, 1);
+        let b = Reservoir::new(20, 1);
+        assert!(matches!(a.merge(&b), Err(MergeError::SizeMismatch(10, 20))));
+    }
+
+    #[test]
+    fn merged_sample_is_uniform_over_union() {
+        // streams of very different sizes: the merged sample's share from
+        // each side must track the stream-size proportions
+        let mut left_share = 0.0;
+        for seed in 0..20u64 {
+            let mut a = Reservoir::new(200, seed);
+            let mut b = Reservoir::new(200, 1_000 + seed);
+            for i in 0..30_000 {
+                a.insert(i as f64); // values < 30_000
+            }
+            for i in 0..10_000 {
+                b.insert(100_000.0 + i as f64);
+            }
+            a.merge(&b).unwrap();
+            assert_eq!(a.count(), 40_000);
+            assert_eq!(a.sample().len(), 200);
+            left_share += a.sample().iter().filter(|&&v| v < 30_000.0).count() as f64 / 200.0;
+        }
+        left_share /= 20.0;
+        assert!(
+            (left_share - 0.75).abs() < 0.05,
+            "left share {left_share}, want ≈ 0.75"
+        );
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let build = || {
+            let mut a = Reservoir::new(50, 3);
+            let mut b = Reservoir::new(50, 4);
+            for i in 0..1_000 {
+                a.insert(i as f64);
+                b.insert(-(i as f64) - 1.0);
+            }
+            a.merge(&b).unwrap();
+            a.sample().to_vec()
+        };
+        assert_eq!(build(), build());
     }
 }

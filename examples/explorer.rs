@@ -197,7 +197,9 @@ impl Repl {
                 Some(&"approx") => {
                     if self.engine.catalog().is_none() {
                         println!("building sketch catalog…");
-                        self.engine.preprocess(&CatalogConfig::default());
+                        self.engine
+                            .preprocess(&CatalogConfig::default())
+                            .expect("raw table present");
                     } else {
                         self.engine
                             .set_mode(Mode::Approximate)

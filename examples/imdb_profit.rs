@@ -24,7 +24,9 @@ fn main() {
     let gross = table.index_of("Gross").unwrap();
 
     let mut engine = Foresight::new(table);
-    engine.preprocess(&CatalogConfig::default());
+    engine
+        .preprocess(&CatalogConfig::default())
+        .expect("raw table present");
 
     // Q1: what correlates with profitability? Monotonic (Spearman) handles
     // the heavy-tailed dollar scales better than Pearson.

@@ -30,10 +30,12 @@ fn main() {
 
     // Preprocessing: one pass building every sketch.
     let t0 = Instant::now();
-    let catalog = engine.preprocess(&CatalogConfig {
-        parallel: true,
-        ..Default::default()
-    });
+    let catalog = engine
+        .preprocess(&CatalogConfig {
+            parallel: true,
+            ..Default::default()
+        })
+        .expect("raw table present");
     let k = catalog.hyperplane_config().k;
     let bytes = catalog.hyperplane_bytes();
     println!(

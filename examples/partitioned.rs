@@ -1,15 +1,16 @@
-//! Sketch composability across data partitions (paper §3): build sketches
-//! on four disjoint shards of a dataset — as a distributed ingest would —
-//! merge them, and answer the same insight questions as a single-pass
-//! build, without ever holding the raw shards together.
+//! Sketch composability across data partitions (paper §3): build a full
+//! sketch catalog on each of four disjoint shards of a dataset — as a
+//! distributed ingest would — merge the catalogs, and answer the same
+//! insight questions as a single-pass build, without ever holding the raw
+//! shards together.
 //!
 //! ```sh
 //! cargo run --release --example partitioned
 //! ```
 
 use foresight::data::datasets::{synth, SynthConfig};
-use foresight::sketch::hyperplane::{HyperplaneConfig, SharedHyperplanes};
-use foresight::sketch::{HyperLogLog, KllSketch, Mergeable};
+use foresight::data::Table;
+use foresight::sketch::{CatalogConfig, Mergeable, SketchCatalog};
 use foresight::stats::Moments;
 
 fn main() {
@@ -30,64 +31,53 @@ fn main() {
     let x = table.numeric(i).unwrap().values();
     let y = table.numeric(j).unwrap().values();
     let parts = 4;
-    let shard = x.len().div_ceil(parts);
+    let per = table.n_rows().div_ceil(parts);
     println!(
-        "dataset: {} rows split into {parts} shards of {shard}; planted ρ(num_{i:03}, num_{j:03}) = {planted_rho:.2}\n",
-        x.len()
+        "dataset: {} rows split into {parts} shards of {per}; planted ρ(num_{i:03}, num_{j:03}) = {planted_rho:.2}\n",
+        table.n_rows()
     );
 
-    // each shard builds its own sketches — no shard ever sees another
-    let hp = SharedHyperplanes::new(HyperplaneConfig {
-        k: 1024,
+    let shards: Vec<Table> = (0..parts)
+        .map(|p| table.filter_rows(|r| r / per == p))
+        .collect();
+
+    // one config — same seed, same hyperplane family — resolved against the
+    // TOTAL row count: the invariant that makes per-shard catalogs mergeable
+    let config = CatalogConfig {
+        hyperplane_k: Some(1024),
         ..Default::default()
-    });
-    let mut acc_x = hp.accumulator();
-    let mut acc_y = hp.accumulator();
-    let mut moments = Moments::new();
-    let mut quantiles = KllSketch::new(200);
-    let mut distinct = HyperLogLog::new(12, 1);
-    let cat = table.categorical(table.categorical_indices()[0]).unwrap();
-
-    for p in 0..parts {
-        let lo = p * shard;
-        let hi = ((p + 1) * shard).min(x.len());
-        // hyperplane accumulators carry their global row offsets, so the
-        // row-keyed random components line up across shards
-        let mut ax = hp.accumulator();
-        ax.update_rows(&x[lo..hi], lo as u64);
-        acc_x.merge(&ax).unwrap();
-        let mut ay = hp.accumulator();
-        ay.update_rows(&y[lo..hi], lo as u64);
-        acc_y.merge(&ay).unwrap();
-
-        moments.merge(&Moments::from_slice(&x[lo..hi]));
-
-        let mut kll = KllSketch::new(200);
-        let mut hll = HyperLogLog::new(12, 1);
-        for (r, &v) in x.iter().enumerate().take(hi).skip(lo) {
-            kll.insert(v);
-            if let Some(label) = cat.get(r) {
-                hll.insert(label);
-            }
-        }
-        quantiles.merge(&kll).unwrap();
-        distinct.merge(&hll).unwrap();
-        println!("  shard {p}: rows {lo}..{hi} sketched and merged");
     }
+    .resolved_for_rows(table.n_rows());
 
-    // merged sketches answer the questions
-    let est_rho = acc_x
-        .finalize()
-        .correlation(&acc_y.finalize())
-        .expect("same config");
+    // each shard builds a complete catalog at its global row offset — no
+    // shard ever sees another — then the catalogs merge field by field
+    let mut merged: Option<SketchCatalog> = None;
+    let mut offset = 0u64;
+    for (p, shard) in shards.iter().enumerate() {
+        let catalog = SketchCatalog::build_shard(shard, &config, offset);
+        println!(
+            "  shard {p}: rows {offset}..{} sketched and merged",
+            offset + shard.n_rows() as u64
+        );
+        offset += shard.n_rows() as u64;
+        match merged.as_mut() {
+            None => merged = Some(catalog),
+            Some(m) => m.merge(&catalog).expect("same config"),
+        }
+    }
+    let merged = merged.expect("at least one shard");
+
+    // the same questions, answered by the merged catalog vs exact passes
+    let est_rho = merged.correlation(i, j).expect("both columns sketched");
     let exact_rho = foresight::stats::correlation::pearson(x, y);
-    println!("\ncorrelation:  merged-sketch {est_rho:.3}  vs exact {exact_rho:.3}");
+    println!("\ncorrelation:  merged-catalog {est_rho:.3}  vs exact {exact_rho:.3}");
 
+    let sketches = merged.numeric(i).expect("column sketched");
     let exact_m = Moments::from_slice(x);
     println!(
         "moments:      merged mean {:.4} / skew {:.4}  vs exact {:.4} / {:.4}",
-        moments.mean(),
-        moments.skewness(),
+        sketches.moments.mean(),
+        sketches.moments.skewness(),
         exact_m.mean(),
         exact_m.skewness()
     );
@@ -95,19 +85,28 @@ fn main() {
     let exact_median = foresight::stats::quantile::median(x).unwrap();
     println!(
         "median:       merged KLL {:.4}  vs exact {:.4}",
-        quantiles.quantile(0.5).unwrap(),
+        sketches.quantiles.quantile(0.5).unwrap(),
         exact_median
     );
 
+    let cat_idx = table.categorical_indices()[0];
+    let cat = table.categorical(cat_idx).unwrap();
+    let cat_sketches = merged.categorical(cat_idx).expect("column sketched");
     println!(
         "distinct:     merged HLL {:.0}  vs exact {}",
-        distinct.estimate(),
+        cat_sketches.distinct.estimate(),
         cat.cardinality()
     );
 
-    // the exact-merge guarantee: the merged hyperplane bits equal a
-    // single-pass build over the whole column
-    let single_pass = hp.sketch_column(x);
-    assert_eq!(acc_x.finalize(), single_pass);
-    println!("\nmerged hyperplane sketch is bit-identical to the single-pass build ✓");
+    // the composability guarantee: the shard-merged catalog answers exactly
+    // like one built in a single pass over the whole table — bit-identical
+    // hyperplane sketches and moments, not merely close
+    let single_pass = SketchCatalog::build(&table, &config);
+    assert_eq!(
+        sketches.hyperplane,
+        single_pass.numeric(i).unwrap().hyperplane
+    );
+    assert_eq!(sketches.moments, single_pass.numeric(i).unwrap().moments);
+    assert_eq!(merged.rows(), single_pass.rows());
+    println!("\nmerged catalog is bit-identical to the single-pass build (hyperplanes, moments) ✓");
 }

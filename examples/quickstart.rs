@@ -24,7 +24,8 @@ fn main() {
     // 2. Preprocess: build the sketch catalog (hyperplane correlation bits,
     //    KLL quantiles, heavy hitters, entropy registers…) and switch to
     //    interactive approximate mode.
-    fs.preprocess(&CatalogConfig::default());
+    fs.preprocess(&CatalogConfig::default())
+        .expect("raw table present");
 
     // 3. First stage of exploration: every class's strongest insights.
     let carousels = fs.carousels(3).expect("default classes never fail");

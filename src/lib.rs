@@ -31,9 +31,28 @@
 //! assert_eq!(top.len(), 3);
 //!
 //! // switch to interactive (sketch-backed) mode
-//! fs.preprocess(&CatalogConfig::default());
+//! fs.preprocess(&CatalogConfig::default()).unwrap();
 //! let carousels = fs.carousels(3).unwrap();
 //! assert_eq!(carousels.len(), 12);
+//! ```
+//!
+//! ## Partitioned ingest
+//! ```
+//! use foresight::prelude::*;
+//!
+//! // rows arrive as disjoint shards; they are sketched per-shard and the
+//! // catalogs merged — the shards are never concatenated
+//! let whole = datasets::oecd();
+//! let shards: Vec<Table> = vec![
+//!     whole.filter_rows(|r| r < 20),
+//!     whole.filter_rows(|r| r >= 20),
+//! ];
+//! let mut fs = Foresight::from_source(TableSource::sharded(shards).unwrap());
+//! fs.preprocess(&CatalogConfig::default()).unwrap();
+//! let top = fs
+//!     .query(&InsightQuery::class("skew").top_k(1))
+//!     .unwrap();
+//! assert_eq!(top.len(), 1);
 //! ```
 
 pub use foresight_data as data;
@@ -46,7 +65,7 @@ pub use foresight_viz as viz;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use foresight_data::datasets;
-    pub use foresight_data::{Table, TableBuilder};
+    pub use foresight_data::{Table, TableBuilder, TableSource};
     pub use foresight_engine::{
         profile, Carousel, DatasetProfile, EngineError, Executor, Foresight, InsightQuery, Mode,
         NeighborhoodWeights, Session,

@@ -160,3 +160,70 @@ fn categorical_sketches_merge_across_partitions() {
         assert!(ss_est == 0 || ss_est >= c, "SS undercounted a tracked item");
     }
 }
+
+/// The engine-level guarantee the sketch merges exist for: approximate-mode
+/// insight queries answer the same whether the rows arrive as one
+/// materialized table or as disjoint shards whose per-shard catalogs are
+/// merged — across several split patterns, including an empty shard.
+#[test]
+fn engine_queries_agree_between_materialized_and_sharded() {
+    use foresight::prelude::*;
+
+    let (table, _) = synth(&SynthConfig {
+        rows: 3_000,
+        numeric_cols: 4,
+        categorical_cols: 1,
+        correlated_fraction: 0.5,
+        seed: 99,
+        ..Default::default()
+    });
+    let config = CatalogConfig {
+        hyperplane_k: Some(1024),
+        ..Default::default()
+    };
+
+    let mut mono = Foresight::new(table.clone());
+    mono.preprocess(&config).unwrap();
+
+    let n = table.n_rows();
+    // uneven thirds; a run of tiny shards; a split with an empty shard
+    let split_patterns: Vec<Vec<usize>> = vec![
+        vec![0, 700, 1_900, n],
+        vec![0, 100, 200, 300, 400, n],
+        vec![0, 1_500, 1_500, n],
+    ];
+
+    for edges in split_patterns {
+        let shards: Vec<Table> = edges
+            .windows(2)
+            .map(|w| table.filter_rows(|r| r >= w[0] && r < w[1]))
+            .collect();
+        let mut sharded = Foresight::from_source(TableSource::sharded(shards).unwrap());
+        sharded.preprocess(&config).unwrap();
+
+        for class in ["linear-relationship", "skew", "heavy-tails"] {
+            let query = InsightQuery::class(class).top_k(3);
+            let from_mono = mono.query(&query).unwrap();
+            let from_shards = sharded.query(&query).unwrap();
+            assert!(!from_mono.is_empty(), "{class}: no results to compare");
+            assert_eq!(
+                from_mono.len(),
+                from_shards.len(),
+                "{class}: result count diverged for edges {edges:?}"
+            );
+            for (a, b) in from_mono.iter().zip(&from_shards) {
+                assert_eq!(a.attrs, b.attrs, "{class}: ranking diverged");
+                assert!(
+                    (a.score - b.score).abs() <= 1e-6,
+                    "{class}: score {} vs {}",
+                    a.score,
+                    b.score
+                );
+            }
+        }
+        assert_eq!(
+            mono.carousels(2).unwrap().len(),
+            sharded.carousels(2).unwrap().len()
+        );
+    }
+}

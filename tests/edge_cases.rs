@@ -88,8 +88,8 @@ fn degenerate_tables_survive_preprocessing() {
             .unwrap(),
     ] {
         let mut fs = Foresight::new(table);
-        fs.preprocess(&CatalogConfig::default());
-        fs.build_index();
+        fs.preprocess(&CatalogConfig::default()).unwrap();
+        fs.build_index().unwrap();
         explore_everything(fs);
     }
 }

@@ -69,7 +69,8 @@ fn sketch_mode_tolerates_missingness() {
     fs.preprocess(&CatalogConfig {
         hyperplane_k: Some(1024),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let est = fs.catalog().unwrap().correlation(i, j).unwrap();
     assert!(
         (est - rho).abs() < 0.2,

@@ -103,7 +103,7 @@ fn html_report_renders_for_all_datasets() {
 #[test]
 fn approximate_mode_full_pipeline_on_parkinson() {
     let mut fs = Foresight::new(datasets::parkinson());
-    fs.preprocess(&CatalogConfig::default());
+    fs.preprocess(&CatalogConfig::default()).unwrap();
     fs.set_parallel(true);
     let carousels = fs.carousels(3).unwrap();
     let non_empty = carousels.iter().filter(|c| !c.instances.is_empty()).count();

@@ -29,7 +29,8 @@ fn top_correlations_agree_between_modes() {
     fs.preprocess(&CatalogConfig {
         hyperplane_k: Some(1024),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let approx: Vec<AttrTuple> = fs
         .query(&InsightQuery::class("linear-relationship").top_k(4))
         .unwrap()
@@ -55,7 +56,8 @@ fn planted_pairs_dominate_both_rankings() {
             fs.preprocess(&CatalogConfig {
                 hyperplane_k: Some(1024),
                 ..Default::default()
-            });
+            })
+            .unwrap();
         }
         let top = fs
             .query(&InsightQuery::class("linear-relationship").top_k(planted.len()))
@@ -79,7 +81,7 @@ fn moment_insights_identical_between_modes() {
     for c in classes {
         exact.push(fs.query(&InsightQuery::class(c).top_k(5)).unwrap());
     }
-    fs.preprocess(&CatalogConfig::default());
+    fs.preprocess(&CatalogConfig::default()).unwrap();
     for (c, expected) in classes.iter().zip(exact) {
         let approx = fs.query(&InsightQuery::class(*c).top_k(5)).unwrap();
         let ea: Vec<AttrTuple> = expected.iter().map(|i| i.attrs).collect();
@@ -97,7 +99,7 @@ fn rel_freq_agrees_between_modes() {
     let exact = fs
         .query(&InsightQuery::class("heterogeneous-frequencies").top_k(3))
         .unwrap();
-    fs.preprocess(&CatalogConfig::default());
+    fs.preprocess(&CatalogConfig::default()).unwrap();
     let approx = fs
         .query(&InsightQuery::class("heterogeneous-frequencies").top_k(3))
         .unwrap();
@@ -118,7 +120,8 @@ fn spearman_sketch_ranks_monotonic_pairs() {
     fs.preprocess(&CatalogConfig {
         hyperplane_k: Some(1024),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let top = fs
         .query(&InsightQuery::class("monotonic-relationship").top_k(3))
         .unwrap();
@@ -139,7 +142,8 @@ fn fixed_attr_queries_work_in_approx_mode() {
     fs.preprocess(&CatalogConfig {
         hyperplane_k: Some(1024),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let (i, j, _) = truth.correlated_pairs[0];
     let out = fs
         .query(
