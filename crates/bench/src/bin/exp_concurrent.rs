@@ -1,0 +1,169 @@
+//! **Experiment T6 — concurrent serving over a shared engine core.**
+//! Measures insight-query throughput as independent session handles on
+//! 1/2/4/8 OS threads share one `Arc<EngineCore>` — the paper's
+//! multi-analyst deployment shape — with the score cache cold (first
+//! visit) and warm (steady-state exploration). Per-query rayon
+//! parallelism is off so the scaling measured is session concurrency,
+//! not intra-query fan-out.
+//!
+//! The `scaling` column is warm throughput relative to one session and is
+//! bounded by the host's available parallelism (recorded as `host_cpus` in
+//! the output): on a single-core host the ideal is a *flat* ~1.0x — added
+//! sessions cost nothing in synchronization — while on an N-core host it
+//! approaches min(threads, N).
+//!
+//! Emits `BENCH_concurrent.json` into the working directory (run from the
+//! repository root) alongside a human-readable table on stdout.
+
+use foresight_bench::workload;
+use foresight_data::datasets::oecd;
+use foresight_data::{Table, TableSource};
+use foresight_engine::{CoreBuilder, EngineCore, InsightQuery};
+use foresight_sketch::CatalogConfig;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Queries per session: every thread drains the full mix, so total work
+/// grows with the thread count and throughput is sessions x mix / wall.
+const QUERIES: usize = 960;
+const REPS: usize = 5;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// The mixed workload every measurement runs: round-robin over the class
+/// roster with varying k, so threads contend on overlapping score keys.
+fn query_mix(core: &EngineCore) -> Vec<InsightQuery> {
+    let classes = core.registry().classes();
+    (0..QUERIES)
+        .map(|i| InsightQuery::class(classes[i % classes.len()].id()).top_k(1 + i % 5))
+        .collect()
+}
+
+/// Wall-clock for `threads` sessions to each drain the full mix. The mix
+/// is rotated per session so concurrent users overlap without being in
+/// lockstep on the same key.
+fn run_once(core: &Arc<EngineCore>, queries: &[InsightQuery], threads: usize) -> Duration {
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let core = Arc::clone(core);
+            let mut mix = queries.to_vec();
+            mix.rotate_left((t * queries.len()) / threads.max(1));
+            std::thread::spawn(move || {
+                let mut session = core.handle();
+                session.set_parallel(false);
+                let mut total = 0usize;
+                for q in &mix {
+                    total += session.query(q).expect("query").len();
+                }
+                total
+            })
+        })
+        .collect();
+    let answered: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    let elapsed = t0.elapsed();
+    std::hint::black_box(answered);
+    elapsed
+}
+
+fn qps(total: usize, wall: Duration) -> f64 {
+    total as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn measure(name: &str, table: Table) -> Value {
+    let rows = table.n_rows();
+    let mut builder = CoreBuilder::new(TableSource::materialized(table));
+    builder
+        .preprocess(&CatalogConfig::default())
+        .expect("raw table present");
+    let core = builder.freeze();
+    let queries = query_mix(&core);
+
+    let mut per_thread_results = Vec::new();
+    let mut warm_1t = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let mut cold_times = Vec::with_capacity(REPS);
+        let mut warm_times = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            core.cache().clear();
+            cold_times.push(run_once(&core, &queries, threads));
+            warm_times.push(run_once(&core, &queries, threads));
+        }
+        let cold = median(cold_times);
+        let warm = median(warm_times);
+        let (cold_qps, warm_qps) = (qps(QUERIES * threads, cold), qps(QUERIES * threads, warm));
+        if threads == 1 {
+            warm_1t = warm_qps;
+        }
+        let scaling = warm_qps / warm_1t.max(1e-9);
+        println!(
+            "| {name:<12} | {threads:>7} | {cold_qps:>11.0} | {warm_qps:>11.0} | {scaling:>6.2}x |"
+        );
+        per_thread_results.push(json!({
+            "threads": threads,
+            "cold_wall_ms": cold.as_secs_f64() * 1e3,
+            "warm_wall_ms": warm.as_secs_f64() * 1e3,
+            "cold_qps": cold_qps,
+            "warm_qps": warm_qps,
+            "warm_scaling_vs_1_thread": scaling,
+        }));
+    }
+
+    let stats = core.cache_stats();
+    json!({
+        "dataset": name,
+        "rows": rows,
+        "queries_per_session": QUERIES,
+        "cache_hit_rate": stats.hit_rate(),
+        "by_threads": per_thread_results,
+    })
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# Experiment T6: query throughput vs session threads over one shared core");
+    println!("# {QUERIES} approximate-mode queries per session thread; per-query rayon off");
+    println!(
+        "# host exposes {cpus} CPU(s): ideal warm scaling is min(threads, {cpus}).00x; \
+         a flat 1.00x on one CPU means sessions add zero contention\n"
+    );
+    println!(
+        "| {:<12} | {:>7} | {:>11} | {:>11} | {:>7} |",
+        "dataset", "threads", "cold q/s", "warm q/s", "scaling"
+    );
+    println!("|{}|", "-".repeat(64));
+
+    let datasets = vec![
+        ("oecd", oecd()),
+        ("synth-20kx16", workload(20_000, 16, 7).0),
+    ];
+    let results: Vec<Value> = datasets
+        .into_iter()
+        .map(|(name, table)| measure(name, table))
+        .collect();
+
+    let report = json!({
+        "experiment": "concurrent",
+        "description": "shared EngineCore + per-thread SessionHandles: query throughput vs thread count, cold and warm score cache",
+        "reps": REPS,
+        "statistic": "median",
+        "host_cpus": cpus,
+        "queries_per_session": QUERIES,
+        "thread_counts": THREAD_COUNTS.to_vec(),
+        "datasets": results,
+    });
+    let path = "BENCH_concurrent.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_concurrent.json");
+    println!("\nwrote {path}");
+}

@@ -14,6 +14,10 @@
 //! keep working off the merged catalog, while exact-mode access fails with
 //! a typed [`DataError::SketchOnly`] instead of silently recomputing from
 //! partial data.
+//!
+//! A `TableSource` is plain owned data — `Send + Sync` (asserted below),
+//! so the engine can hold one inside an `Arc`-shared core snapshot and
+//! answer any number of concurrent read-only sessions from it.
 
 use crate::column::ColumnType;
 use crate::error::{DataError, Result};
@@ -249,6 +253,14 @@ impl From<Table> for TableSource {
         TableSource::Materialized(table)
     }
 }
+
+// The engine shares one source across every session thread; keep it plain
+// owned data so this holds.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TableSource>();
+    assert_send_sync::<Table>();
+};
 
 /// Shards must agree with the source schema on names, order, and types
 /// (semantic tags follow the source, as in [`Table::vstack`]).

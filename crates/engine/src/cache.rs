@@ -15,6 +15,14 @@
 //! parallel candidate scoring mostly touches distinct locks. Degenerate
 //! results (`None` — constant columns, too few rows) are cached too;
 //! re-proving a column degenerate costs as much as scoring it.
+//!
+//! One cache outlives many [`EngineCore`](crate::EngineCore) snapshots:
+//! every score key carries the *data-generation epoch* of the snapshot that
+//! computed it, and the writer path mints a fresh epoch (via
+//! [`ScoreCache::bump_epoch`]) whenever it republishes a core whose scores
+//! could differ. Readers still holding an older snapshot keep looking up —
+//! and storing — under their own epoch, so they can never serve a stale
+//! score to (or poison the keyspace of) a newer snapshot.
 
 use crate::executor::Mode;
 use foresight_insight::AttrTuple;
@@ -23,7 +31,10 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const SHARDS: usize = 16;
+/// Number of independent lock shards in a [`ScoreCache`].
+pub const CACHE_SHARDS: usize = 16;
+
+const SHARDS: usize = CACHE_SHARDS;
 
 /// A fast, non-cryptographic multiply-rotate hasher (FxHash-style). Cache
 /// keys are tiny, trusted, and looked up on the hot path of every warm
@@ -81,9 +92,12 @@ struct CacheKey {
     mode: Mode,
     metric: Option<String>,
     /// Data-generation counter: every [`ScoreCache::bump_epoch`] (one per
-    /// appended shard) moves lookups to a fresh keyspace, so scores computed
-    /// against the previous generation of the data are unreachable without
-    /// the cache having to be fully cleared.
+    /// republished core snapshot whose scores could differ) moves lookups to
+    /// a fresh keyspace, so scores computed against a previous generation of
+    /// the data are unreachable without the cache having to be fully
+    /// cleared. The epoch is supplied by the caller (it is part of the
+    /// engine-core snapshot), so readers of an old snapshot stay in their
+    /// own keyspace even while a newer snapshot is being served.
     epoch: u64,
 }
 
@@ -94,7 +108,13 @@ struct CacheKey {
 /// [`InsightClass::describe`]: foresight_insight::InsightClass::describe
 type DetailKey = (&'static str, AttrTuple, u64);
 
-/// Hit/miss counters and current size of a [`ScoreCache`].
+/// Hit/miss/purge counters and current occupancy of a [`ScoreCache`],
+/// in aggregate and per lock shard.
+///
+/// All counters are maintained with per-shard atomics (each shard's
+/// counters live on that shard's own cache line, so concurrent sessions
+/// never contend on a shared counter), and a snapshot is cheap and safe
+/// to take while other threads are querying through the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -103,6 +123,18 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Entries retired by epoch bumps (stale data generations purged).
+    pub purges: u64,
+    /// Current entry count of each of the [`CACHE_SHARDS`] lock shards —
+    /// the spread shows how evenly parallel scoring distributes over the
+    /// locks.
+    pub shard_entries: [usize; CACHE_SHARDS],
+    /// Per-shard hit counts.
+    pub shard_hits: [u64; CACHE_SHARDS],
+    /// Per-shard miss counts.
+    pub shard_misses: [u64; CACHE_SHARDS],
+    /// Per-shard purge counts (entries retired by epoch bumps).
+    pub shard_purges: [u64; CACHE_SHARDS],
 }
 
 impl CacheStats {
@@ -119,20 +151,34 @@ impl CacheStats {
 
 /// A sharded, thread-safe memo of per-tuple insight scores.
 ///
-/// Owned by [`Foresight`](crate::Foresight) and consulted by the
-/// [`Executor`](crate::Executor); safe to share across threads (interior
-/// mutability via per-shard [`RwLock`]s and atomic counters).
+/// Owned (behind an `Arc`) by the [`EngineCore`](crate::EngineCore) — and
+/// shared by every snapshot the writer path republishes from it — and
+/// consulted by the [`Executor`](crate::Executor); safe to share across
+/// threads (interior mutability via per-shard [`RwLock`]s and atomic
+/// counters).
 pub struct ScoreCache {
-    shards: Vec<RwLock<FxMap<CacheKey, Option<f64>>>>,
+    shards: Vec<Shard>,
     /// Memoized `describe()` strings. Only the handful of top-k winners per
     /// query ever land here (not the full candidate set), and they are
     /// written after ranking, outside the parallel scoring loop — a single
     /// unsharded map suffices.
     details: RwLock<FxMap<DetailKey, String>>,
-    /// Current data generation; stamped into every score key.
+    /// Latest minted data generation (see [`ScoreCache::bump_epoch`]).
     epoch: AtomicU64,
+}
+
+/// One lock shard with its own counters, padded to a cache line so that
+/// sessions hammering different shards never false-share a counter — at
+/// warm-cache throughput the hit counter is incremented hundreds of
+/// thousands of times per second, and a single shared `AtomicU64` becomes
+/// the scaling bottleneck before any lock does.
+#[repr(align(128))]
+#[derive(Default)]
+struct Shard {
+    map: RwLock<FxMap<CacheKey, Option<f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    purges: AtomicU64,
 }
 
 impl Default for ScoreCache {
@@ -145,47 +191,62 @@ impl ScoreCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(FxMap::default())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             details: RwLock::new(FxMap::default()),
             epoch: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
-    /// The current data-generation epoch.
+    /// The most recently minted data-generation epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Advances the data generation — called when rows are *added* (e.g. a
-    /// shard appended to the source) rather than replaced wholesale.
+    /// Mints the next data generation and returns it — called by the writer
+    /// path whenever it republishes a core snapshot whose scores could
+    /// differ (shard appended, class re-registered, catalog rebuilt or
+    /// restored).
     ///
-    /// Score entries from earlier generations become unreachable immediately
-    /// (the epoch is part of the key) and are purged to bound memory. The
-    /// `details` map survives: a description is keyed by `(class, tuple,
-    /// score-bits)`, so a tuple whose score is unchanged by the new rows
-    /// keeps its memoized description, while a shifted score misses into a
-    /// fresh key naturally. Hit/miss counters are preserved.
-    pub fn bump_epoch(&self) {
+    /// Score entries from earlier generations become unreachable to the new
+    /// snapshot immediately (the epoch is part of the key) and are purged to
+    /// bound memory — readers still on an old snapshot simply recompute what
+    /// they need into their own keyspace. The `details` map survives: a
+    /// description is keyed by `(class, tuple, score-bits)`, so a tuple
+    /// whose score is unchanged by the new generation keeps its memoized
+    /// description, while a shifted score misses into a fresh key naturally.
+    /// Hit/miss counters are preserved; retired entries are counted in
+    /// [`CacheStats::purges`].
+    pub fn bump_epoch(&self) -> u64 {
         let current = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         for shard in &self.shards {
-            shard.write().retain(|k, _| k.epoch == current);
+            let mut map = shard.map.write();
+            let before = map.len();
+            map.retain(|k, _| k.epoch == current);
+            shard
+                .purges
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
         }
+        current
     }
 
-    fn shard(&self, key: &CacheKey) -> &RwLock<FxMap<CacheKey, Option<f64>>> {
+    fn shard_index(key: &CacheKey) -> usize {
         let mut h = FxHasher::default();
         key.hash(&mut h);
         // multiply-based hashes concentrate entropy in the high bits
-        &self.shards[(h.finish() >> 60) as usize % SHARDS]
+        (h.finish() >> 60) as usize % SHARDS
     }
 
-    /// Looks up a previously stored score.
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    /// Looks up a previously stored score in the `epoch` keyspace.
     ///
     /// `Some(score)` is a hit — including `Some(None)`, a tuple already
     /// proven degenerate. `None` means the tuple was never scored under this
-    /// `(mode, metric)` and the caller must compute (and [`store`]) it.
+    /// `(mode, metric, epoch)` and the caller must compute (and [`store`])
+    /// it. The epoch comes from the engine-core snapshot the caller is
+    /// reading through, not from the cache, so snapshots never cross-talk.
     ///
     /// [`store`]: ScoreCache::store
     pub fn lookup(
@@ -194,28 +255,31 @@ impl ScoreCache {
         attrs: &AttrTuple,
         mode: Mode,
         metric: Option<&str>,
+        epoch: u64,
     ) -> Option<Option<f64>> {
         let key = CacheKey {
             class_id,
             attrs: *attrs,
             mode,
             metric: metric.map(str::to_owned),
-            epoch: self.epoch(),
+            epoch,
         };
-        let found = self.shard(&key).read().get(&key).copied();
+        let shard = self.shard(&key);
+        let found = shard.map.read().get(&key).copied();
         match found {
             Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a computed score (or a degenerate `None`).
+    /// Stores a computed score (or a degenerate `None`) in the `epoch`
+    /// keyspace.
     pub fn store(
         &self,
         class_id: &'static str,
@@ -223,15 +287,115 @@ impl ScoreCache {
         mode: Mode,
         metric: Option<&str>,
         score: Option<f64>,
+        epoch: u64,
     ) {
         let key = CacheKey {
             class_id,
             attrs: *attrs,
             mode,
             metric: metric.map(str::to_owned),
-            epoch: self.epoch(),
+            epoch,
         };
-        self.shard(&key).write().insert(key, score);
+        let shard = self.shard(&key);
+        shard.map.write().insert(key, score);
+    }
+
+    /// Looks up every candidate of one query in a single pass: keys are
+    /// grouped by shard, so each touched shard is read-locked **once** and
+    /// its hit/miss counters updated **once**, rather than per candidate.
+    ///
+    /// This is the warm-query hot path under concurrent sessions. A query
+    /// enumerates hundreds of candidate tuples; taking a lock and bumping an
+    /// atomic for each one puts tens of millions of contended
+    /// read-modify-writes per second on the shard cache lines, which
+    /// serializes otherwise-independent sessions. Batching collapses that to
+    /// at most [`CACHE_SHARDS`] lock acquisitions per query. Results are
+    /// positionally aligned with `candidates`; `None` means "never scored
+    /// under this `(mode, metric, epoch)`" exactly as in
+    /// [`lookup`](ScoreCache::lookup).
+    pub fn lookup_batch(
+        &self,
+        class_id: &'static str,
+        candidates: &[AttrTuple],
+        mode: Mode,
+        metric: Option<&str>,
+        epoch: u64,
+    ) -> Vec<Option<Option<f64>>> {
+        let keys: Vec<CacheKey> = candidates
+            .iter()
+            .map(|attrs| CacheKey {
+                class_id,
+                attrs: *attrs,
+                mode,
+                metric: metric.map(str::to_owned),
+                epoch,
+            })
+            .collect();
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[Self::shard_index(key)].push(i);
+        }
+        let mut out = vec![None; candidates.len()];
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut hits = 0u64;
+            {
+                let map = shard.map.read();
+                for &i in indices {
+                    if let Some(found) = map.get(&keys[i]) {
+                        out[i] = Some(*found);
+                        hits += 1;
+                    }
+                }
+            }
+            let misses = indices.len() as u64 - hits;
+            if hits > 0 {
+                shard.hits.fetch_add(hits, Ordering::Relaxed);
+            }
+            if misses > 0 {
+                shard.misses.fetch_add(misses, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Stores one query's freshly computed scores, write-locking each
+    /// touched shard once — the storing counterpart of
+    /// [`lookup_batch`](ScoreCache::lookup_batch).
+    pub fn store_batch(
+        &self,
+        class_id: &'static str,
+        entries: &[(AttrTuple, Option<f64>)],
+        mode: Mode,
+        metric: Option<&str>,
+        epoch: u64,
+    ) {
+        let keys: Vec<CacheKey> = entries
+            .iter()
+            .map(|(attrs, _)| CacheKey {
+                class_id,
+                attrs: *attrs,
+                mode,
+                metric: metric.map(str::to_owned),
+                epoch,
+            })
+            .collect();
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[Self::shard_index(key)].push(i);
+        }
+        let mut keys: Vec<Option<CacheKey>> = keys.into_iter().map(Some).collect();
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut map = shard.map.write();
+            for &i in indices {
+                map.insert(keys[i].take().expect("each key stored once"), entries[i].1);
+            }
+        }
     }
 
     /// Returns the memoized description for `(class, attrs, score)`,
@@ -265,16 +429,17 @@ impl ScoreCache {
     /// is rebuilt, or persisted state is loaded.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            shard.map.write().clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+            shard.purges.store(0, Ordering::Relaxed);
         }
         self.details.write().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.map.read().len()).sum()
     }
 
     /// Is the cache empty?
@@ -282,12 +447,27 @@ impl ScoreCache {
         self.len() == 0
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the aggregate and per-shard counters and occupancy.
     pub fn stats(&self) -> CacheStats {
+        let mut shard_entries = [0usize; CACHE_SHARDS];
+        let mut shard_hits = [0u64; CACHE_SHARDS];
+        let mut shard_misses = [0u64; CACHE_SHARDS];
+        let mut shard_purges = [0u64; CACHE_SHARDS];
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard_entries[i] = shard.map.read().len();
+            shard_hits[i] = shard.hits.load(Ordering::Relaxed);
+            shard_misses[i] = shard.misses.load(Ordering::Relaxed);
+            shard_purges[i] = shard.purges.load(Ordering::Relaxed);
+        }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            hits: shard_hits.iter().sum(),
+            misses: shard_misses.iter().sum(),
+            entries: shard_entries.iter().sum(),
+            purges: shard_purges.iter().sum(),
+            shard_entries,
+            shard_hits,
+            shard_misses,
+            shard_purges,
         }
     }
 }
@@ -300,10 +480,10 @@ mod tests {
     fn miss_then_hit() {
         let cache = ScoreCache::new();
         let attrs = AttrTuple::Two(0, 1);
-        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None), None);
-        cache.store("c", &attrs, Mode::Exact, None, Some(0.75));
+        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None, 0), None);
+        cache.store("c", &attrs, Mode::Exact, None, Some(0.75), 0);
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Exact, None),
+            cache.lookup("c", &attrs, Mode::Exact, None, 0),
             Some(Some(0.75))
         );
         let stats = cache.stats();
@@ -315,30 +495,30 @@ mod tests {
     fn degenerate_none_is_a_hit() {
         let cache = ScoreCache::new();
         let attrs = AttrTuple::One(3);
-        cache.store("c", &attrs, Mode::Exact, None, None);
-        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None), Some(None));
+        cache.store("c", &attrs, Mode::Exact, None, None, 0);
+        assert_eq!(cache.lookup("c", &attrs, Mode::Exact, None, 0), Some(None));
     }
 
     #[test]
     fn key_distinguishes_mode_and_metric() {
         let cache = ScoreCache::new();
         let attrs = AttrTuple::Two(1, 2);
-        cache.store("c", &attrs, Mode::Exact, None, Some(1.0));
-        cache.store("c", &attrs, Mode::Approximate, None, Some(2.0));
-        cache.store("c", &attrs, Mode::Exact, Some("|spearman|"), Some(3.0));
+        cache.store("c", &attrs, Mode::Exact, None, Some(1.0), 0);
+        cache.store("c", &attrs, Mode::Approximate, None, Some(2.0), 0);
+        cache.store("c", &attrs, Mode::Exact, Some("|spearman|"), Some(3.0), 0);
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Exact, None),
+            cache.lookup("c", &attrs, Mode::Exact, None, 0),
             Some(Some(1.0))
         );
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Approximate, None),
+            cache.lookup("c", &attrs, Mode::Approximate, None, 0),
             Some(Some(2.0))
         );
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Exact, Some("|spearman|")),
+            cache.lookup("c", &attrs, Mode::Exact, Some("|spearman|"), 0),
             Some(Some(3.0))
         );
-        assert_eq!(cache.lookup("d", &attrs, Mode::Exact, None), None);
+        assert_eq!(cache.lookup("d", &attrs, Mode::Exact, None, 0), None);
     }
 
     #[test]
@@ -371,23 +551,24 @@ mod tests {
     fn epoch_bump_retires_scores_but_keeps_details() {
         let cache = ScoreCache::new();
         let attrs = AttrTuple::Two(0, 1);
-        cache.store("c", &attrs, Mode::Approximate, None, Some(0.5));
+        cache.store("c", &attrs, Mode::Approximate, None, Some(0.5), 0);
         let mut calls = 0;
         cache.detail("c", &attrs, 0.5, || {
             calls += 1;
             "steady description".into()
         });
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Approximate, None),
+            cache.lookup("c", &attrs, Mode::Approximate, None, 0),
             Some(Some(0.5))
         );
         assert_eq!(cache.epoch(), 0);
 
-        cache.bump_epoch();
+        assert_eq!(cache.bump_epoch(), 1);
         assert_eq!(cache.epoch(), 1);
-        // the pre-bump score is unreachable and was purged
-        assert_eq!(cache.lookup("c", &attrs, Mode::Approximate, None), None);
+        // the pre-bump score is unreachable from the new epoch and purged
+        assert_eq!(cache.lookup("c", &attrs, Mode::Approximate, None, 1), None);
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().purges, 1);
         // but the describe memoization for the unchanged (tuple, score)
         // generation is still served without recomputation
         let d = cache.detail("c", &attrs, 0.5, || {
@@ -397,9 +578,16 @@ mod tests {
         assert_eq!(d, "steady description");
         assert_eq!(calls, 1);
         // the new generation stores and serves fresh scores normally
-        cache.store("c", &attrs, Mode::Approximate, None, Some(0.7));
+        cache.store("c", &attrs, Mode::Approximate, None, Some(0.7), 1);
         assert_eq!(
-            cache.lookup("c", &attrs, Mode::Approximate, None),
+            cache.lookup("c", &attrs, Mode::Approximate, None, 1),
+            Some(Some(0.7))
+        );
+        // a straggler still reading the old snapshot writes into its own
+        // keyspace and never pollutes the new generation
+        cache.store("c", &attrs, Mode::Approximate, None, Some(0.4), 0);
+        assert_eq!(
+            cache.lookup("c", &attrs, Mode::Approximate, None, 1),
             Some(Some(0.7))
         );
         // counters survived the bump (2 hits: pre-bump + post-bump)
@@ -410,7 +598,14 @@ mod tests {
     fn clear_resets_entries_and_counters() {
         let cache = ScoreCache::new();
         for i in 0..100 {
-            cache.store("c", &AttrTuple::One(i), Mode::Exact, None, Some(i as f64));
+            cache.store(
+                "c",
+                &AttrTuple::One(i),
+                Mode::Exact,
+                None,
+                Some(i as f64),
+                0,
+            );
         }
         assert_eq!(cache.len(), 100);
         cache.clear();

@@ -1,0 +1,628 @@
+//! The shared service core and its writer path.
+//!
+//! [`EngineCore`] is the immutable heart of the engine: the table source,
+//! the merged sketch catalog, the optional insight index, the frozen class
+//! registry, and the (internally synchronized) score cache. Every read
+//! path — queries, carousels, profiles, charts — takes `&self`, so one
+//! `Arc<EngineCore>` serves any number of concurrent sessions without a
+//! lock around the engine itself.
+//!
+//! Mutations go through [`CoreBuilder`]: take (or clone out of) a
+//! published core, apply `register_class` / `preprocess` / `append_shard` /
+//! catalog restores, and [`CoreBuilder::freeze`] a *new* snapshot. Readers
+//! holding the old `Arc` keep answering from a consistent catalog; the
+//! freeze mints a fresh score-cache epoch whenever scores could have
+//! changed, so snapshots never exchange stale scores (see
+//! [`crate::cache`]).
+
+use crate::cache::{CacheStats, ScoreCache};
+use crate::error::{EngineError, Result};
+use crate::executor::{Executor, Mode};
+use crate::profile::DatasetProfile;
+use crate::query::InsightQuery;
+use crate::recommend::{carousels_with, Carousel, CarouselConfig};
+use crate::session::Session;
+use foresight_data::{Table, TableSource};
+use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
+use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
+use foresight_viz::ChartSpec;
+use std::sync::{Arc, OnceLock};
+
+/// An insight index together with the mode whose scores it memoizes. The
+/// index only serves queries executed under that same mode; a session that
+/// overrides its mode falls back to the executor.
+#[derive(Clone)]
+struct IndexedAt {
+    index: crate::index::InsightIndex,
+    mode: Mode,
+}
+
+/// The immutable, `Arc`-shareable engine core: everything about a dataset
+/// that is *not* per-user exploration state.
+///
+/// All query paths take `&self`; the only interior mutability is the
+/// sharded [`ScoreCache`] and two `OnceLock` memos (lazy shard
+/// concatenation and the zero-row schema table), each of which is
+/// synchronized and write-once. The type is `Send + Sync` by
+/// construction — share it across threads with [`Arc`] and hand each user
+/// a [`crate::SessionHandle`].
+pub struct EngineCore {
+    source: TableSource,
+    /// Lazy vstack of a sharded source, built on first exact-mode use.
+    materialized: OnceLock<Table>,
+    /// Lazy zero-row table carrying the schema (and semantic tags) — what
+    /// the executor enumerates candidates against when the raw rows stay
+    /// sharded.
+    schema_table: OnceLock<Table>,
+    registry: Arc<InsightRegistry>,
+    catalog: Option<SketchCatalog>,
+    index: Option<IndexedAt>,
+    cache: Arc<ScoreCache>,
+    /// The score-cache data generation this snapshot reads and writes.
+    /// Fixed at freeze time: readers of an older snapshot keep their own
+    /// keyspace even while a newer snapshot is live.
+    epoch: u64,
+    /// The published default mode (sessions may override per-handle).
+    mode: Mode,
+    /// The published default for rayon-parallel execution.
+    parallel: bool,
+}
+
+// The whole point of the core: one snapshot, many threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineCore>();
+};
+
+impl EngineCore {
+    /// Starts a [`CoreBuilder`] over a source — the writer path.
+    pub fn builder(source: TableSource) -> CoreBuilder {
+        CoreBuilder::new(source)
+    }
+
+    /// A fresh per-user [`crate::SessionHandle`] borrowing this core.
+    pub fn handle(self: &Arc<Self>) -> crate::SessionHandle {
+        crate::SessionHandle::new(Arc::clone(self))
+    }
+
+    /// The underlying source (materialized table or row shards).
+    pub fn source(&self) -> &TableSource {
+        &self.source
+    }
+
+    /// The frozen class registry.
+    pub fn registry(&self) -> &InsightRegistry {
+        &self.registry
+    }
+
+    /// The sketch catalog, if preprocessing ran.
+    pub fn catalog(&self) -> Option<&SketchCatalog> {
+        self.catalog.as_ref()
+    }
+
+    /// The insight index, if one was built.
+    pub fn insight_index(&self) -> Option<&crate::index::InsightIndex> {
+        self.index.as_ref().map(|ix| &ix.index)
+    }
+
+    /// The published default mode (snapshots built after
+    /// [`CoreBuilder::preprocess`] default to approximate).
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Whether rayon-parallel execution is the published default.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// The score-cache data generation this snapshot reads through.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared cross-query score cache.
+    pub fn cache(&self) -> &ScoreCache {
+        &self.cache
+    }
+
+    /// Hit/miss/occupancy/purge counters of the shared score cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying table, materializing a sharded source on first call.
+    ///
+    /// # Panics
+    /// When the source is sketch-only (raw rows dropped); use
+    /// [`EngineCore::try_table`] to handle that case as an error.
+    pub fn table(&self) -> &Table {
+        self.try_table()
+            .expect("raw rows unavailable (sketch-only source); use try_table()")
+    }
+
+    /// The underlying table, concatenating a sharded source lazily (the
+    /// vstack happens once, on first need; approximate-mode work never
+    /// triggers it).
+    pub fn try_table(&self) -> Result<&Table> {
+        if let Some(t) = self.source.as_materialized() {
+            return Ok(t);
+        }
+        if let Some(t) = self.materialized.get() {
+            return Ok(t);
+        }
+        let t = self.source.materialize()?;
+        Ok(self.materialized.get_or_init(|| t))
+    }
+
+    fn schema_table(&self) -> &Table {
+        self.schema_table.get_or_init(|| self.source.schema_table())
+    }
+
+    /// Whether `mode` runs off the merged catalog with no raw-row fallback.
+    fn sketch_backed_at(&self, mode: Mode) -> bool {
+        self.source.as_materialized().is_none() && mode == Mode::Approximate
+    }
+
+    /// The table the executor (and insight index) runs against under
+    /// `mode`: the real rows when available and needed, a zero-row schema
+    /// table when a sharded source answers from sketches alone.
+    fn exec_table_at(&self, mode: Mode) -> Result<&Table> {
+        if self.sketch_backed_at(mode) {
+            Ok(self.schema_table())
+        } else {
+            self.try_table()
+        }
+    }
+
+    /// An executor over this snapshot under an explicit mode/parallelism —
+    /// the building block sessions use. Scores read and write the shared
+    /// cache in this snapshot's epoch keyspace.
+    pub fn executor_at(&self, mode: Mode, parallel: bool) -> Result<Executor<'_>> {
+        let ex = match (mode, self.catalog.as_ref()) {
+            (Mode::Approximate, Some(catalog)) => {
+                Executor::approximate(self.exec_table_at(mode)?, &self.registry, catalog)
+                    .sketch_only(self.sketch_backed_at(mode))
+            }
+            (Mode::Approximate, None) => return Err(EngineError::NoCatalog),
+            _ => Executor::exact(self.try_table()?, &self.registry),
+        };
+        Ok(ex.parallel(parallel).with_cache_at(&self.cache, self.epoch))
+    }
+
+    /// An executor under the published defaults.
+    pub fn executor(&self) -> Result<Executor<'_>> {
+        self.executor_at(self.mode, self.parallel)
+    }
+
+    /// Runs an insight query under the published defaults. Stateless —
+    /// nothing is recorded; sessions record their own history.
+    pub fn run_query(&self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        self.run_query_at(query, self.mode, self.parallel)
+    }
+
+    /// Runs an insight query under an explicit mode/parallelism.
+    ///
+    /// Served from the insight index when one is built for the same mode
+    /// and covers the query; otherwise scored by the executor.
+    pub fn run_query_at(
+        &self,
+        query: &InsightQuery,
+        mode: Mode,
+        parallel: bool,
+    ) -> Result<Vec<InsightInstance>> {
+        if let Some(ix) = self.index.as_ref().filter(|ix| ix.mode == mode) {
+            if let Some(out) = ix
+                .index
+                .query(self.exec_table_at(mode)?, &self.registry, query)
+            {
+                return Ok(out);
+            }
+        }
+        self.executor_at(mode, parallel)?.execute(query)
+    }
+
+    /// Builds all carousels (one per class) for a session's focus set,
+    /// under an explicit mode. Assembled in parallel (one task per class)
+    /// when `config.parallel` is set.
+    pub fn carousels_for(
+        &self,
+        session: &Session,
+        config: &CarouselConfig,
+        mode: Mode,
+    ) -> Result<Vec<Carousel>> {
+        let executor = self.executor_at(mode, config.parallel)?;
+        carousels_with(&executor, &self.registry, session, config)
+    }
+
+    /// Profiles the dataset under an explicit mode: per-column summaries
+    /// plus the strongest instance of every registered class. A sharded
+    /// source in approximate mode is profiled entirely from the merged
+    /// catalog — no shard concatenation.
+    pub fn profile_at(&self, mode: Mode) -> Result<DatasetProfile> {
+        if self.sketch_backed_at(mode) {
+            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
+            return crate::profile::profile_from_catalog(
+                &self.source,
+                catalog,
+                &self.registry,
+                self.schema_table(),
+            );
+        }
+        crate::profile::profile(self.try_table()?, &self.registry)
+    }
+
+    /// Profiles the dataset under the published default mode.
+    pub fn profile(&self) -> Result<DatasetProfile> {
+        self.profile_at(self.mode)
+    }
+
+    /// The chart for one insight instance (reads raw rows — errors on a
+    /// sketch-only source).
+    pub fn chart(&self, instance: &InsightInstance) -> Result<Option<ChartSpec>> {
+        let class = self
+            .registry
+            .get(&instance.class_id)
+            .ok_or_else(|| EngineError::UnknownClass(instance.class_id.clone()))?;
+        Ok(class.chart(self.try_table()?, &instance.attrs))
+    }
+
+    /// The class-level overview chart (§2.1's third level of exploration).
+    /// Reads raw rows.
+    pub fn overview(&self, class_id: &str) -> Result<Option<ChartSpec>> {
+        let class = self
+            .registry
+            .get(class_id)
+            .ok_or_else(|| EngineError::UnknownClass(class_id.to_owned()))?;
+        Ok(class.overview(self.try_table()?))
+    }
+}
+
+/// The writer path: stages mutations against a (new or taken-over) core
+/// and [`freeze`](CoreBuilder::freeze)s them into a fresh immutable
+/// snapshot.
+///
+/// A builder made with [`CoreBuilder::from_arc`] inherits the published
+/// core's source, catalog, registry, *and score cache*; when any staged
+/// mutation could change scores, the freeze bumps the shared cache's epoch
+/// so the new snapshot starts from a clean keyspace while readers of the
+/// old snapshot continue unharmed (their stores land in the retired
+/// epoch, never the new one).
+pub struct CoreBuilder {
+    source: TableSource,
+    materialized: OnceLock<Table>,
+    schema_table: OnceLock<Table>,
+    registry: Arc<InsightRegistry>,
+    catalog: Option<SketchCatalog>,
+    index: Option<IndexedAt>,
+    cache: Arc<ScoreCache>,
+    epoch: u64,
+    mode: Mode,
+    parallel: bool,
+    /// Whether a staged mutation could have changed scores (freeze then
+    /// mints a fresh cache epoch).
+    dirty: bool,
+}
+
+impl CoreBuilder {
+    /// A builder over a fresh source with the 12 default insight classes,
+    /// in exact mode, with a new score cache.
+    pub fn new(source: TableSource) -> Self {
+        let cache = Arc::new(ScoreCache::new());
+        let epoch = cache.epoch();
+        Self {
+            source,
+            materialized: OnceLock::new(),
+            schema_table: OnceLock::new(),
+            registry: InsightRegistry::default().freeze(),
+            catalog: None,
+            index: None,
+            cache,
+            epoch,
+            mode: Mode::Exact,
+            parallel: rayon::current_num_threads() > 1,
+            dirty: false,
+        }
+    }
+
+    /// Takes over a published core for editing. When the `Arc` is uniquely
+    /// held the core is moved (no copies); otherwise the shared pieces are
+    /// cloned (the lazy materialization memo is dropped rather than copied
+    /// — it rebuilds on demand) and readers of the original are untouched.
+    pub fn from_arc(core: Arc<EngineCore>) -> Self {
+        match Arc::try_unwrap(core) {
+            Ok(core) => Self {
+                source: core.source,
+                materialized: core.materialized,
+                schema_table: core.schema_table,
+                registry: core.registry,
+                catalog: core.catalog,
+                index: core.index,
+                cache: core.cache,
+                epoch: core.epoch,
+                mode: core.mode,
+                parallel: core.parallel,
+                dirty: false,
+            },
+            Err(shared) => Self {
+                source: shared.source.clone(),
+                materialized: OnceLock::new(),
+                schema_table: OnceLock::new(),
+                registry: Arc::clone(&shared.registry),
+                catalog: shared.catalog.clone(),
+                index: shared.index.clone(),
+                cache: Arc::clone(&shared.cache),
+                epoch: shared.epoch,
+                mode: shared.mode,
+                parallel: shared.parallel,
+                dirty: false,
+            },
+        }
+    }
+
+    /// Replaces the class roster wholesale (drops any staged index and
+    /// marks scores dirty).
+    pub fn with_registry(mut self, registry: InsightRegistry) -> Self {
+        self.registry = registry.freeze();
+        self.index = None;
+        self.dirty = true;
+        self
+    }
+
+    /// Plugs in an insight class (§2.2 extensibility). Drops any staged
+    /// index; a re-registered id may score differently, so the freeze will
+    /// mint a fresh cache epoch.
+    pub fn register_class(&mut self, class: Arc<dyn InsightClass>) {
+        Arc::make_mut(&mut self.registry).register(class);
+        self.index = None;
+        self.dirty = true;
+    }
+
+    fn try_table(&self) -> Result<&Table> {
+        if let Some(t) = self.source.as_materialized() {
+            return Ok(t);
+        }
+        if let Some(t) = self.materialized.get() {
+            return Ok(t);
+        }
+        let t = self.source.materialize()?;
+        Ok(self.materialized.get_or_init(|| t))
+    }
+
+    fn schema_table(&self) -> &Table {
+        self.schema_table.get_or_init(|| self.source.schema_table())
+    }
+
+    fn sketch_backed(&self) -> bool {
+        self.source.as_materialized().is_none() && self.mode == Mode::Approximate
+    }
+
+    /// Runs the paper's preprocessing phase: builds the sketch catalog and
+    /// switches the published mode to approximate (interactive). For a
+    /// sharded source the per-shard catalogs are built independently
+    /// (fanned out with rayon when `config.parallel` is set) and merged —
+    /// the shards themselves are never concatenated. Any staged insight
+    /// index is dropped (its scores were computed in the old mode).
+    ///
+    /// # Errors
+    /// [`EngineError::ExactUnavailable`] when the raw shards were dropped
+    /// (a sketch-only source cannot be re-sketched);
+    /// [`EngineError::Merge`] if per-shard catalogs fail to combine.
+    pub fn preprocess(&mut self, config: &CatalogConfig) -> Result<()> {
+        let catalog = match self.source.as_materialized() {
+            Some(t) => SketchCatalog::build(t, config),
+            None => {
+                if self.source.is_sketch_only() {
+                    return Err(EngineError::ExactUnavailable(
+                        "cannot rebuild the catalog: the raw shards were dropped",
+                    ));
+                }
+                let shards: Vec<&Table> = self.source.shards().collect();
+                SketchCatalog::build_sharded(&shards, config)?
+            }
+        };
+        self.catalog = Some(catalog);
+        self.mode = Mode::Approximate;
+        self.index = None;
+        // approximate-mode entries would reflect the old catalog
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Ingests one more disjoint row partition.
+    ///
+    /// The shard is appended to the source (a materialized table is
+    /// promoted to a sharded source in place) and, when a catalog exists,
+    /// sketched at its global row offset and merged in — no rebuild, no
+    /// concatenation. Any staged index and lazy concatenation are dropped,
+    /// and the freeze will mint a fresh cache epoch: stale scores become
+    /// unreachable without discarding still-valid describe memoization.
+    ///
+    /// Returns the appended shard's global row offset.
+    ///
+    /// # Errors
+    /// Schema mismatches surface as [`EngineError::Data`]; catalog merge
+    /// failures as [`EngineError::Merge`].
+    pub fn append_shard(&mut self, shard: Table) -> Result<usize> {
+        let offset = self.source.append_shard(shard)?;
+        self.index = None;
+        self.materialized = OnceLock::new();
+        self.dirty = true;
+        if let Some(catalog) = self.catalog.as_mut() {
+            let added = self.source.shards().last().expect("shard just appended");
+            let config = catalog.config().clone();
+            let shard_catalog = SketchCatalog::build_shard(added, &config, offset as u64);
+            catalog.merge(&shard_catalog)?;
+        }
+        Ok(offset)
+    }
+
+    /// Sets the published default between exact and approximate scoring.
+    /// Cached scores stay valid — the mode is part of every cache key.
+    ///
+    /// # Errors
+    /// Approximate mode requires a prior [`CoreBuilder::preprocess`];
+    /// exact mode requires raw rows the source can still provide.
+    pub fn set_mode(&mut self, mode: Mode) -> Result<()> {
+        match mode {
+            Mode::Approximate if self.catalog.is_none() => Err(EngineError::NoCatalog),
+            Mode::Exact if self.source.is_sketch_only() => Err(EngineError::ExactUnavailable(
+                "exact mode needs raw rows, but this source kept only sketches",
+            )),
+            _ => {
+                self.mode = mode;
+                Ok(())
+            }
+        }
+    }
+
+    /// Sets the published default for rayon-parallel execution.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Stages the insight index — the "indexes" of the paper's
+    /// preprocessing triad, built eagerly against the current source,
+    /// catalog, and mode. Basic top-k queries on the frozen core are then
+    /// answered from a precomputed sorted list without re-scoring.
+    ///
+    /// # Errors
+    /// [`EngineError::ExactUnavailable`] when the index would need raw
+    /// rows a sketch-only source cannot provide; [`EngineError::NoCatalog`]
+    /// for a sketch-only source with no catalog restored.
+    pub fn build_index(&mut self) -> Result<()> {
+        let index = if self.sketch_backed() {
+            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
+            crate::index::InsightIndex::build_sketch_only(
+                self.schema_table(),
+                &self.registry,
+                catalog,
+            )
+        } else {
+            let catalog = if self.mode == Mode::Approximate {
+                self.catalog.as_ref()
+            } else {
+                None
+            };
+            crate::index::InsightIndex::build(self.try_table()?, &self.registry, catalog)
+        };
+        self.index = Some(IndexedAt {
+            index,
+            mode: self.mode,
+        });
+        Ok(())
+    }
+
+    /// Restores a previously persisted catalog (or lack of one) as part of
+    /// [`crate::Foresight::load_state`]. A restored catalog switches the
+    /// published mode to approximate. The restored catalog is not the one
+    /// cached scores came from, so the freeze mints a fresh epoch.
+    pub fn restore_catalog(&mut self, catalog: Option<SketchCatalog>) {
+        if catalog.is_some() {
+            self.catalog = catalog;
+            self.mode = Mode::Approximate;
+        }
+        self.index = None;
+        self.dirty = true;
+    }
+
+    /// Publishes the staged state as a new immutable snapshot.
+    ///
+    /// When any staged mutation could have changed scores, the shared
+    /// cache's epoch is bumped here — exactly once per republish — and the
+    /// new snapshot reads through the fresh epoch. Readers of older
+    /// snapshots keep their own (now-retired) keyspace.
+    pub fn freeze(self) -> Arc<EngineCore> {
+        let epoch = if self.dirty {
+            self.cache.bump_epoch()
+        } else {
+            self.epoch
+        };
+        Arc::new(EngineCore {
+            source: self.source,
+            materialized: self.materialized,
+            schema_table: self.schema_table,
+            registry: self.registry,
+            catalog: self.catalog,
+            index: self.index,
+            cache: self.cache,
+            epoch,
+            mode: self.mode,
+            parallel: self.parallel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foresight_data::datasets;
+
+    #[test]
+    fn core_is_send_sync_and_shareable() {
+        let core = CoreBuilder::new(TableSource::materialized(datasets::oecd())).freeze();
+        let q = InsightQuery::class("linear-relationship").top_k(2);
+        let a = core.run_query(&q).unwrap();
+        let other = Arc::clone(&core);
+        let b = std::thread::spawn(move || other.run_query(&q).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn republish_keeps_old_snapshot_consistent() {
+        let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
+        builder.preprocess(&CatalogConfig::default()).unwrap();
+        let old = builder.freeze();
+        let q = InsightQuery::class("skew").top_k(3);
+        let before = old.run_query(&q).unwrap();
+
+        // writer republishes with a different roster; the old Arc is live
+        let mut writer = CoreBuilder::from_arc(Arc::clone(&old));
+        writer.register_class(InsightRegistry::default().classes()[0].clone());
+        let new = writer.freeze();
+
+        assert_ne!(old.epoch(), new.epoch(), "republish mints a new epoch");
+        // the old snapshot still answers, bit-identically
+        assert_eq!(old.run_query(&q).unwrap(), before);
+        assert_eq!(new.run_query(&q).unwrap(), before);
+    }
+
+    #[test]
+    fn clean_republish_keeps_epoch_and_cache() {
+        let core = CoreBuilder::new(TableSource::materialized(datasets::oecd())).freeze();
+        core.run_query(&InsightQuery::class("skew").top_k(2))
+            .unwrap();
+        let entries = core.cache_stats().entries;
+        assert!(entries > 0);
+        let mut writer = CoreBuilder::from_arc(Arc::clone(&core));
+        writer.set_parallel(false);
+        let new = writer.freeze();
+        assert_eq!(core.epoch(), new.epoch());
+        assert_eq!(new.cache_stats().entries, entries, "warm cache survives");
+    }
+
+    #[test]
+    fn mode_tagged_index_only_serves_matching_mode() {
+        let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
+        builder.build_index().unwrap();
+        builder.preprocess(&CatalogConfig::default()).unwrap();
+        // preprocess dropped the exact-mode index
+        let core = builder.freeze();
+        assert!(core.insight_index().is_none());
+
+        let mut builder = CoreBuilder::from_arc(core);
+        builder.build_index().unwrap();
+        let core = builder.freeze();
+        assert!(core.insight_index().is_some());
+        let q = InsightQuery::class("linear-relationship").top_k(2);
+        // approximate (the index's mode) and exact both answer; exact must
+        // come from the executor, not the approximate index
+        let approx = core.run_query_at(&q, Mode::Approximate, false).unwrap();
+        let exact = core.run_query_at(&q, Mode::Exact, false).unwrap();
+        assert_eq!(approx.len(), 2);
+        assert_eq!(exact.len(), 2);
+        assert!(exact[0].detail != approx[0].detail || exact[0].score != approx[0].score);
+    }
+}

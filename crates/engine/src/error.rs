@@ -36,6 +36,16 @@ pub enum EngineError {
     #[error(transparent)]
     Data(#[from] foresight_data::DataError),
 
+    /// A persisted-state payload declared a format version this build
+    /// does not understand (written by a newer release).
+    #[error("persisted state format version {found} is unsupported (this build reads up to {supported})")]
+    StateVersion {
+        /// The version declared by the payload.
+        found: u32,
+        /// The newest version this build reads.
+        supported: u32,
+    },
+
     /// Session (de)serialization failure.
     #[error("session serialization: {0}")]
     Session(#[from] serde_json::Error),

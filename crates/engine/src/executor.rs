@@ -27,7 +27,9 @@ pub struct Executor<'a> {
     table: &'a Table,
     registry: &'a InsightRegistry,
     catalog: Option<&'a SketchCatalog>,
-    cache: Option<&'a ScoreCache>,
+    /// The shared score cache plus the data-generation epoch of the core
+    /// snapshot this executor reads through (0 for a standalone cache).
+    cache: Option<(&'a ScoreCache, u64)>,
     mode: Mode,
     parallel: bool,
     sketch_only: bool,
@@ -85,41 +87,29 @@ impl<'a> Executor<'a> {
     }
 
     /// Attaches a cross-query [`ScoreCache`]. Scores are looked up before
-    /// computing and stored after; the caller owns invalidation (clear the
-    /// cache whenever the registry or catalog changes).
-    pub fn with_cache(mut self, cache: &'a ScoreCache) -> Self {
-        self.cache = Some(cache);
+    /// computing and stored after, always in the cache's current epoch
+    /// keyspace; the caller owns invalidation (clear the cache — or
+    /// republish a new core snapshot, which mints a fresh epoch — whenever
+    /// the registry or catalog changes).
+    pub fn with_cache(self, cache: &'a ScoreCache) -> Self {
+        let epoch = cache.epoch();
+        self.with_cache_at(cache, epoch)
+    }
+
+    /// Attaches a cross-query [`ScoreCache`] pinned to an explicit
+    /// data-generation epoch — the form used by [`EngineCore`] snapshots,
+    /// whose epoch is fixed at publish time so concurrent readers of
+    /// different snapshots never exchange scores.
+    ///
+    /// [`EngineCore`]: crate::EngineCore
+    pub fn with_cache_at(mut self, cache: &'a ScoreCache, epoch: u64) -> Self {
+        self.cache = Some((cache, epoch));
         self
     }
 
     /// The execution mode.
     pub fn mode(&self) -> Mode {
         self.mode
-    }
-
-    fn score_one(
-        &self,
-        class: &dyn InsightClass,
-        query: &InsightQuery,
-        attrs: &AttrTuple,
-    ) -> Option<f64> {
-        if let Some(cache) = self.cache {
-            if let Some(cached) =
-                cache.lookup(class.id(), attrs, self.mode, query.metric.as_deref())
-            {
-                return cached;
-            }
-            let computed = self.score_uncached(class, query, attrs);
-            cache.store(
-                class.id(),
-                attrs,
-                self.mode,
-                query.metric.as_deref(),
-                computed,
-            );
-            return computed;
-        }
-        self.score_uncached(class, query, attrs)
     }
 
     fn score_uncached(
@@ -146,44 +136,57 @@ impl<'a> Executor<'a> {
         class.score(self.table, attrs)
     }
 
-    /// Scores candidates through [`InsightClass::score_batch`], serving what
-    /// it can from the cache and storing the rest. Only valid for exact-mode
-    /// primary-metric queries (the one configuration where `score_batch` is
-    /// contractually bit-identical to `score`).
-    fn score_batch_cached(
+    /// Is this query eligible for [`InsightClass::score_batch`]? Only
+    /// exact-mode primary-metric queries are — the one configuration where
+    /// `score_batch` is contractually bit-identical to `score` — and the
+    /// parallel flag opts into it (it exists to share per-column work).
+    fn batchable(&self, query: &InsightQuery) -> bool {
+        self.parallel && query.metric.is_none() && self.mode == Mode::Exact
+    }
+
+    /// Scores every candidate through the shared cache: one batched lookup
+    /// pass (a single lock acquisition per touched shard), then only the
+    /// misses are computed — via [`InsightClass::score_batch`] when
+    /// [`batchable`](Self::batchable), rayon-parallel or serial otherwise —
+    /// and written back with one batched store. Results align positionally
+    /// with `candidates` and are bit-identical to the uncached paths.
+    fn score_all_cached(
         &self,
         class: &dyn InsightClass,
+        query: &InsightQuery,
         candidates: &[AttrTuple],
+        cache: &ScoreCache,
+        epoch: u64,
     ) -> Vec<Option<f64>> {
-        let (mut out, pending): (Vec<Option<Option<f64>>>, Vec<usize>) = match self.cache {
-            Some(cache) => {
-                let mut out = Vec::with_capacity(candidates.len());
-                let mut pending = Vec::new();
-                for (idx, attrs) in candidates.iter().enumerate() {
-                    match cache.lookup(class.id(), attrs, self.mode, None) {
-                        Some(hit) => out.push(Some(hit)),
-                        None => {
-                            out.push(None);
-                            pending.push(idx);
-                        }
-                    }
-                }
-                (out, pending)
-            }
-            None => (
-                vec![None; candidates.len()],
-                (0..candidates.len()).collect(),
-            ),
-        };
+        let metric = query.metric.as_deref();
+        let mut out = cache.lookup_batch(class.id(), candidates, self.mode, metric, epoch);
+        let pending: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
         if !pending.is_empty() {
-            let missing: Vec<AttrTuple> = pending.iter().map(|&i| candidates[i]).collect();
-            let scores = class.score_batch(self.table, &missing);
-            debug_assert_eq!(scores.len(), missing.len());
-            for (&idx, score) in pending.iter().zip(scores) {
-                if let Some(cache) = self.cache {
-                    cache.store(class.id(), &candidates[idx], self.mode, None, score);
+            let fresh: Vec<(AttrTuple, Option<f64>)> = if self.batchable(query) {
+                let missing: Vec<AttrTuple> = pending.iter().map(|&i| candidates[i]).collect();
+                let scores = class.score_batch(self.table, &missing);
+                debug_assert_eq!(scores.len(), missing.len());
+                missing.into_iter().zip(scores).collect()
+            } else {
+                let compute = |&i: &usize| {
+                    (
+                        candidates[i],
+                        self.score_uncached(class, query, &candidates[i]),
+                    )
+                };
+                if self.parallel {
+                    pending.par_iter().map(compute).collect()
+                } else {
+                    pending.iter().map(compute).collect()
                 }
-                out[idx] = Some(score);
+            };
+            cache.store_batch(class.id(), &fresh, self.mode, metric, epoch);
+            for (&i, (_, score)) in pending.iter().zip(&fresh) {
+                out[i] = Some(*score);
             }
         }
         out.into_iter()
@@ -229,20 +232,26 @@ impl<'a> Executor<'a> {
             (score.is_finite() && query.matches_range(score)).then_some((*attrs, score))
         };
         let score_fn =
-            |attrs: &AttrTuple| keep(attrs, self.score_one(class.as_ref(), query, attrs));
-        let mut scored: Vec<(AttrTuple, f64)> =
-            if self.parallel && query.metric.is_none() && self.mode == Mode::Exact {
+            |attrs: &AttrTuple| keep(attrs, self.score_uncached(class.as_ref(), query, attrs));
+        let mut scored: Vec<(AttrTuple, f64)> = match self.cache {
+            Some((cache, epoch)) => self
+                .score_all_cached(class.as_ref(), query, &candidates, cache, epoch)
+                .into_iter()
+                .zip(&candidates)
+                .filter_map(|(score, attrs)| keep(attrs, score))
+                .collect(),
+            None if self.batchable(query) => {
                 // batch path: classes share per-column work across candidates
-                self.score_batch_cached(class.as_ref(), &candidates)
+                class
+                    .score_batch(self.table, &candidates)
                     .into_iter()
                     .zip(&candidates)
                     .filter_map(|(score, attrs)| keep(attrs, score))
                     .collect()
-            } else if self.parallel {
-                candidates.par_iter().filter_map(score_fn).collect()
-            } else {
-                candidates.iter().filter_map(score_fn).collect()
-            };
+            }
+            None if self.parallel => candidates.par_iter().filter_map(score_fn).collect(),
+            None => candidates.iter().filter_map(score_fn).collect(),
+        };
 
         match query.diversify {
             Some(lambda) if lambda > 0.0 => {
@@ -275,7 +284,7 @@ impl<'a> Executor<'a> {
                         // memoizing it spares per-result model refits
                         // (multimodality's KDE) on every warm carousel
                         // refresh.
-                        Some(cache) => cache.detail(class.id(), &attrs, score, || {
+                        Some((cache, _)) => cache.detail(class.id(), &attrs, score, || {
                             class.describe(self.table, &attrs, score)
                         }),
                         None => class.describe(self.table, &attrs, score),

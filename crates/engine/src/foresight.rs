@@ -1,22 +1,36 @@
 //! The top-level [`Foresight`] facade: load a table (or a partitioned
 //! [`TableSource`]), preprocess sketches, run insight queries, focus
 //! insights, assemble carousels, save sessions.
+//!
+//! The facade is a thin convenience over the real split: an immutable,
+//! shareable [`EngineCore`] plus one owned [`Session`]. Mutating calls
+//! (`register_class`, `preprocess`, `append_shard`, `load_state`,
+//! `set_mode`) republish the core through [`CoreBuilder`]; read calls
+//! delegate to the current snapshot. Call [`Foresight::core`] /
+//! [`Foresight::handle`] to serve additional concurrent users over the
+//! same snapshot.
 
-use crate::cache::{CacheStats, ScoreCache};
+use crate::cache::CacheStats;
+use crate::core::{CoreBuilder, EngineCore};
 use crate::error::{EngineError, Result};
-use crate::executor::{Executor, Mode};
+use crate::executor::Mode;
 use crate::neighborhood::NeighborhoodWeights;
 use crate::query::InsightQuery;
-use crate::recommend::{carousels_with, Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
+use crate::recommend::{Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
 use crate::session::Session;
 use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
-use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
+use foresight_sketch::{CatalogConfig, SketchCatalog};
 use foresight_viz::ChartSpec;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-/// The Foresight system over one dataset.
+/// The newest persisted-state format this build writes (and the highest it
+/// reads). Version 0 is the legacy pre-versioning format, still accepted.
+pub const STATE_FORMAT_VERSION: u32 = 1;
+
+/// The Foresight system over one dataset: a shared [`EngineCore`] snapshot
+/// plus this caller's own [`Session`].
 ///
 /// # Examples
 /// ```
@@ -37,21 +51,19 @@ use std::sync::{Arc, OnceLock};
 /// the shards are never concatenated. Exact mode materializes the shards
 /// lazily on first use (and errors with
 /// [`EngineError::ExactUnavailable`] when the source kept only sketches).
+///
+/// ## Concurrent serving
+///
+/// Every query path runs `&self` on the underlying core. To serve many
+/// users over one dataset, share [`Foresight::core`] and give each user a
+/// [`crate::SessionHandle`] via [`Foresight::handle`]; the facade's own
+/// mutating methods republish a fresh snapshot without disturbing
+/// handles that hold the old one.
 pub struct Foresight {
-    source: TableSource,
-    /// Lazy vstack of a sharded source, built on first exact-mode use.
-    materialized: OnceLock<Table>,
-    /// Lazy zero-row table carrying the schema (and semantic tags) — what
-    /// the executor enumerates candidates against when the raw rows stay
-    /// sharded.
-    schema_table: OnceLock<Table>,
-    registry: InsightRegistry,
-    catalog: Option<SketchCatalog>,
-    index: Option<crate::index::InsightIndex>,
+    /// Always `Some` between method calls; taken transiently while the
+    /// writer path republishes a new snapshot.
+    core: Option<Arc<EngineCore>>,
     session: Session,
-    cache: ScoreCache,
-    mode: Mode,
-    parallel: bool,
     focus_overfetch: usize,
     weights: NeighborhoodWeights,
 }
@@ -69,34 +81,57 @@ impl Foresight {
     /// Opens any [`TableSource`] — materialized or sharded — with the
     /// default class roster.
     pub fn from_source(source: TableSource) -> Self {
-        let session = Session::new(source.name());
+        Self::from_core(CoreBuilder::new(source).freeze())
+    }
+
+    /// Opens a table with a custom class roster.
+    pub fn with_registry(table: Table, registry: InsightRegistry) -> Self {
+        Self::from_core(
+            CoreBuilder::new(TableSource::materialized(table))
+                .with_registry(registry)
+                .freeze(),
+        )
+    }
+
+    /// Wraps an already-published core snapshot (plus a fresh session).
+    pub fn from_core(core: Arc<EngineCore>) -> Self {
+        let session = Session::new(core.source().name());
         Self {
-            source,
-            materialized: OnceLock::new(),
-            schema_table: OnceLock::new(),
-            registry: InsightRegistry::default(),
-            catalog: None,
-            index: None,
+            core: Some(core),
             session,
-            cache: ScoreCache::new(),
-            mode: Mode::Exact,
-            parallel: rayon::current_num_threads() > 1,
             focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
             weights: NeighborhoodWeights::default(),
         }
     }
 
-    /// Opens a table with a custom class roster.
-    pub fn with_registry(table: Table, registry: InsightRegistry) -> Self {
-        Self {
-            registry,
-            ..Self::new(table)
-        }
+    /// The current core snapshot — share it (via [`Arc::clone`]) to serve
+    /// concurrent sessions.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        self.core.as_ref().expect("engine core always present")
+    }
+
+    /// A fresh per-user [`crate::SessionHandle`] over the current
+    /// snapshot. Later mutations of this facade republish a *new*
+    /// snapshot; existing handles keep the one they were created with.
+    pub fn handle(&self) -> crate::SessionHandle {
+        self.core().handle()
+    }
+
+    /// Runs a mutation through the writer path: takes the snapshot,
+    /// stages edits on a [`CoreBuilder`], and republishes. When the facade
+    /// is the sole owner the core is edited in place (no copies).
+    fn edit<R>(&mut self, f: impl FnOnce(&mut CoreBuilder) -> Result<R>) -> Result<R> {
+        let arc = self.core.take().expect("engine core always present");
+        let mut builder = CoreBuilder::from_arc(arc);
+        let out = f(&mut builder);
+        // republish even on error: failed stages leave prior state intact
+        self.core = Some(builder.freeze());
+        out
     }
 
     /// The underlying source (materialized table or row shards).
     pub fn source(&self) -> &TableSource {
-        &self.source
+        self.core().source()
     }
 
     /// The underlying table, materializing a sharded source on first call.
@@ -105,57 +140,31 @@ impl Foresight {
     /// When the source is sketch-only (raw rows dropped); use
     /// [`Foresight::try_table`] to handle that case as an error.
     pub fn table(&self) -> &Table {
-        self.try_table()
-            .expect("raw rows unavailable (sketch-only source); use try_table()")
+        self.core().table()
     }
 
     /// The underlying table, concatenating a sharded source lazily (the
     /// vstack happens once, on first need; approximate-mode work never
     /// triggers it).
     pub fn try_table(&self) -> Result<&Table> {
-        if let Some(t) = self.source.as_materialized() {
-            return Ok(t);
-        }
-        if let Some(t) = self.materialized.get() {
-            return Ok(t);
-        }
-        let t = self.source.materialize()?;
-        Ok(self.materialized.get_or_init(|| t))
-    }
-
-    fn schema_table(&self) -> &Table {
-        self.schema_table.get_or_init(|| self.source.schema_table())
-    }
-
-    /// Whether approximate-mode execution runs off the merged catalog with
-    /// no raw-row fallback.
-    fn sketch_backed(&self) -> bool {
-        self.source.as_materialized().is_none() && self.mode == Mode::Approximate
-    }
-
-    /// The table the executor (and insight index) runs against under the
-    /// current mode: the real rows when available and needed, a zero-row
-    /// schema table when a sharded source answers from sketches alone.
-    fn exec_table(&self) -> Result<&Table> {
-        if self.sketch_backed() {
-            Ok(self.schema_table())
-        } else {
-            self.try_table()
-        }
+        self.core().try_table()
     }
 
     /// The class registry (read-only).
     pub fn registry(&self) -> &InsightRegistry {
-        &self.registry
+        self.core().registry()
     }
 
-    /// Plugs in an insight class (§2.2 extensibility). Invalidates any
-    /// built insight index (rebuild with [`Foresight::build_index`]) and
-    /// the score cache (a re-registered id may score differently).
+    /// Plugs in an insight class (§2.2 extensibility). Republishes the
+    /// core: any built insight index is dropped (rebuild with
+    /// [`Foresight::build_index`]) and a fresh score-cache epoch is minted
+    /// (a re-registered id may score differently).
     pub fn register_class(&mut self, class: Arc<dyn InsightClass>) {
-        self.registry.register(class);
-        self.index = None;
-        self.cache.clear();
+        self.edit(|b| {
+            b.register_class(class);
+            Ok(())
+        })
+        .expect("register_class cannot fail");
     }
 
     /// Materializes the insight index — the "indexes" of the paper's
@@ -168,28 +177,13 @@ impl Foresight {
     /// a sketch-only source cannot provide (exact mode without materialized
     /// data).
     pub fn build_index(&mut self) -> Result<&crate::index::InsightIndex> {
-        let index = if self.sketch_backed() {
-            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
-            crate::index::InsightIndex::build_sketch_only(
-                self.schema_table(),
-                &self.registry,
-                catalog,
-            )
-        } else {
-            let catalog = if self.mode == Mode::Approximate {
-                self.catalog.as_ref()
-            } else {
-                None
-            };
-            crate::index::InsightIndex::build(self.try_table()?, &self.registry, catalog)
-        };
-        self.index = Some(index);
-        Ok(self.index.as_ref().expect("just built"))
+        self.edit(|b| b.build_index())?;
+        Ok(self.core().insight_index().expect("just built"))
     }
 
     /// The insight index, if one was built.
     pub fn insight_index(&self) -> Option<&crate::index::InsightIndex> {
-        self.index.as_ref()
+        self.core().insight_index()
     }
 
     /// The current session state.
@@ -208,9 +202,14 @@ impl Foresight {
     }
 
     /// Enables rayon-parallel query execution and carousel assembly (on by
-    /// default when more than one thread is available).
+    /// default when more than one thread is available). Republishes the
+    /// core with the new default; cached scores survive.
     pub fn set_parallel(&mut self, on: bool) {
-        self.parallel = on;
+        self.edit(|b| {
+            b.set_parallel(on);
+            Ok(())
+        })
+        .expect("set_parallel cannot fail");
     }
 
     /// Sets the focus over-fetch factor used by carousel assembly (see
@@ -219,15 +218,15 @@ impl Foresight {
         self.focus_overfetch = factor.max(1);
     }
 
-    /// Hit/miss/size counters of the cross-query score cache.
+    /// Hit/miss/occupancy/purge counters of the cross-query score cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.core().cache_stats()
     }
 
-    /// Drops every cached score. Normally unnecessary — the engine clears
-    /// the cache itself whenever scores could change.
+    /// Drops every cached score. Normally unnecessary — the engine retires
+    /// stale scores itself whenever they could change.
     pub fn clear_score_cache(&mut self) {
-        self.cache.clear();
+        self.core().cache().clear();
     }
 
     /// Runs the paper's preprocessing phase: builds the sketch catalog and
@@ -243,24 +242,8 @@ impl Foresight {
     /// (a sketch-only source cannot be re-sketched);
     /// [`EngineError::Merge`] if per-shard catalogs fail to combine.
     pub fn preprocess(&mut self, config: &CatalogConfig) -> Result<&SketchCatalog> {
-        let catalog = match self.source.as_materialized() {
-            Some(t) => SketchCatalog::build(t, config),
-            None => {
-                if self.source.is_sketch_only() {
-                    return Err(EngineError::ExactUnavailable(
-                        "cannot rebuild the catalog: the raw shards were dropped",
-                    ));
-                }
-                let shards: Vec<&Table> = self.source.shards().collect();
-                SketchCatalog::build_sharded(&shards, config)?
-            }
-        };
-        self.catalog = Some(catalog);
-        self.mode = Mode::Approximate;
-        self.index = None;
-        // approximate-mode entries would reflect the old catalog
-        self.cache.clear();
-        Ok(self.catalog.as_ref().expect("just built"))
+        self.edit(|b| b.preprocess(config))?;
+        Ok(self.core().catalog().expect("just built"))
     }
 
     /// Ingests one more disjoint row partition.
@@ -279,17 +262,7 @@ impl Foresight {
     /// Schema mismatches surface as [`EngineError::Data`]; catalog merge
     /// failures as [`EngineError::Merge`].
     pub fn append_shard(&mut self, shard: Table) -> Result<usize> {
-        let offset = self.source.append_shard(shard)?;
-        if let Some(catalog) = self.catalog.as_mut() {
-            let added = self.source.shards().last().expect("shard just appended");
-            let config = catalog.config().clone();
-            let shard_catalog = SketchCatalog::build_shard(added, &config, offset as u64);
-            catalog.merge(&shard_catalog)?;
-        }
-        self.index = None;
-        self.materialized = OnceLock::new();
-        self.cache.bump_epoch();
-        Ok(offset)
+        self.edit(|b| b.append_shard(shard))
     }
 
     /// Switches between exact and approximate scoring.
@@ -298,52 +271,28 @@ impl Foresight {
     /// Approximate mode requires a prior [`Foresight::preprocess`]; exact
     /// mode requires raw rows the source can still provide.
     pub fn set_mode(&mut self, mode: Mode) -> Result<()> {
-        match mode {
-            Mode::Approximate if self.catalog.is_none() => Err(EngineError::NoCatalog),
-            Mode::Exact if self.source.is_sketch_only() => Err(EngineError::ExactUnavailable(
-                "exact mode needs raw rows, but this source kept only sketches",
-            )),
-            _ => {
-                self.mode = mode;
-                Ok(())
-            }
-        }
+        self.edit(|b| b.set_mode(mode))
     }
 
     /// The current mode.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.core().mode()
     }
 
     /// The sketch catalog, if preprocessing ran.
     pub fn catalog(&self) -> Option<&SketchCatalog> {
-        self.catalog.as_ref()
-    }
-
-    fn executor(&self) -> Result<Executor<'_>> {
-        let ex = match (self.mode, self.catalog.as_ref()) {
-            (Mode::Approximate, Some(catalog)) => {
-                Executor::approximate(self.exec_table()?, &self.registry, catalog)
-                    .sketch_only(self.sketch_backed())
-            }
-            _ => Executor::exact(self.try_table()?, &self.registry),
-        };
-        Ok(ex.parallel(self.parallel).with_cache(&self.cache))
+        self.core().catalog()
     }
 
     /// Runs an insight query and records it in the session history.
     ///
     /// Served from the insight index when one is built and covers the
     /// query; otherwise scored by the executor (sketch or exact mode).
+    /// Only the history append needs `&mut` — the core itself is
+    /// read-only (see [`EngineCore::run_query`]).
     pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
-        let indexed = match self.index.as_ref() {
-            Some(i) => i.query(self.exec_table()?, &self.registry, query),
-            None => None,
-        };
-        let out = match indexed {
-            Some(out) => out,
-            None => self.executor()?.execute(query)?,
-        };
+        let core = self.core();
+        let out = core.run_query(query)?;
         self.session.record_query(query, out.len());
         Ok(out)
     }
@@ -359,16 +308,16 @@ impl Foresight {
     /// Builds all carousels (one per class), re-ranked toward the focus set.
     /// Assembled in parallel (one task per class) when parallelism is on.
     pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
-        carousels_with(
-            &self.executor()?,
-            &self.registry,
+        let core = self.core();
+        core.carousels_for(
             &self.session,
             &CarouselConfig {
                 per_class,
                 weights: self.weights,
                 focus_overfetch: self.focus_overfetch,
-                parallel: self.parallel,
+                parallel: core.parallel(),
             },
+            core.mode(),
         )
     }
 
@@ -389,25 +338,17 @@ impl Foresight {
     /// quantiles, heavy hitters, entropy, HLL cardinality) — no shard
     /// concatenation.
     pub fn profile(&self) -> Result<crate::profile::DatasetProfile> {
-        if self.sketch_backed() {
-            let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
-            return crate::profile::profile_from_catalog(
-                &self.source,
-                catalog,
-                &self.registry,
-                self.schema_table(),
-            );
-        }
-        crate::profile::profile(self.try_table()?, &self.registry)
+        self.core().profile()
     }
 
-    /// Persists the full engine state — session *and* sketch catalog — so a
-    /// later process can resume exploration without re-running the
-    /// preprocessing phase.
+    /// Persists the full engine state — session *and* sketch catalog,
+    /// under [`STATE_FORMAT_VERSION`] — so a later process can resume
+    /// exploration without re-running the preprocessing phase.
     pub fn save_state(&self, writer: impl std::io::Write) -> Result<()> {
         let state = PersistedState {
+            version: STATE_FORMAT_VERSION,
             session: self.session.clone(),
-            catalog: self.catalog.clone(),
+            catalog: self.core().catalog().cloned(),
         };
         serde_json::to_writer(writer, &state)?;
         Ok(())
@@ -415,17 +356,24 @@ impl Foresight {
 
     /// Restores state saved with [`Foresight::save_state`]. When the saved
     /// state includes a catalog, the engine switches to approximate mode.
+    ///
+    /// # Errors
+    /// [`EngineError::StateVersion`] when the payload declares a format
+    /// version newer than [`STATE_FORMAT_VERSION`] (version 0, the legacy
+    /// unversioned format, still loads).
     pub fn load_state(&mut self, reader: impl std::io::Read) -> Result<()> {
         let state: PersistedState = serde_json::from_reader(reader)?;
-        self.session = state.session;
-        if state.catalog.is_some() {
-            self.catalog = state.catalog;
-            self.mode = Mode::Approximate;
+        if state.version > STATE_FORMAT_VERSION {
+            return Err(EngineError::StateVersion {
+                found: state.version,
+                supported: STATE_FORMAT_VERSION,
+            });
         }
-        self.index = None;
-        // the restored catalog is not the one cached scores came from
-        self.cache.clear();
-        Ok(())
+        self.session = state.session;
+        self.edit(|b| {
+            b.restore_catalog(state.catalog);
+            Ok(())
+        })
     }
 
     /// Builds a self-contained HTML report: one carousel section per class
@@ -433,12 +381,13 @@ impl Foresight {
     /// the library-shaped version of the paper's demo UI. Charts read raw
     /// rows, so a sketch-only source cannot be reported on.
     pub fn report(&self, per_class: usize) -> Result<foresight_viz::Report> {
+        let source = self.core().source();
         let mut report =
-            foresight_viz::Report::new(format!("Foresight insights — {}", self.source.name()));
+            foresight_viz::Report::new(format!("Foresight insights — {}", source.name()));
         report.intro = format!(
             "{} rows × {} columns; per-class carousels ranked strongest first",
-            self.source.n_rows(),
-            self.source.n_cols()
+            source.n_rows(),
+            source.n_cols()
         );
         for carousel in self.carousels(per_class)? {
             let mut charts = Vec::new();
@@ -464,27 +413,22 @@ impl Foresight {
     /// The chart for one insight instance (reads raw rows — errors on a
     /// sketch-only source).
     pub fn chart(&self, instance: &InsightInstance) -> Result<Option<ChartSpec>> {
-        let class = self
-            .registry
-            .get(&instance.class_id)
-            .ok_or_else(|| EngineError::UnknownClass(instance.class_id.clone()))?;
-        Ok(class.chart(self.try_table()?, &instance.attrs))
+        self.core().chart(instance)
     }
 
     /// The class-level overview chart (§2.1's third level of exploration;
     /// Figure 2 for the linear-relationship class). Reads raw rows.
     pub fn overview(&self, class_id: &str) -> Result<Option<ChartSpec>> {
-        let class = self
-            .registry
-            .get(class_id)
-            .ok_or_else(|| EngineError::UnknownClass(class_id.to_owned()))?;
-        Ok(class.overview(self.try_table()?))
+        self.core().overview(class_id)
     }
 }
 
 /// The serialized form of a [`Foresight`] engine's resumable state.
 #[derive(Serialize, Deserialize)]
 struct PersistedState {
+    /// Format version; absent in legacy payloads (deserializes to 0).
+    #[serde(default)]
+    version: u32,
     session: Session,
     catalog: Option<SketchCatalog>,
 }
@@ -599,6 +543,35 @@ mod tests {
     }
 
     #[test]
+    fn save_state_is_versioned_and_future_versions_are_rejected() {
+        let fs = oecd();
+        let mut buf = Vec::new();
+        fs.save_state(&mut buf).unwrap();
+        let saved = String::from_utf8(buf).unwrap();
+        let tag = format!("\"version\":{STATE_FORMAT_VERSION}");
+        assert!(saved.contains(&tag), "state is tagged with the version");
+
+        // a payload from a newer build fails with the typed error…
+        let newer = saved.replacen(
+            &tag,
+            &format!("\"version\":{}", STATE_FORMAT_VERSION + 7),
+            1,
+        );
+        let mut fs2 = oecd();
+        let err = fs2.load_state(newer.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::StateVersion { found, supported }
+                if found == STATE_FORMAT_VERSION + 7 && supported == STATE_FORMAT_VERSION
+        ));
+
+        // …while a legacy unversioned payload (version 0) still loads
+        let legacy = saved.replacen(&format!("{tag},"), "", 1);
+        assert!(!legacy.contains("version"));
+        fs2.load_state(legacy.as_bytes()).unwrap();
+    }
+
+    #[test]
     fn indexed_queries_match_executor_queries() {
         let mut fs = oecd();
         let q = InsightQuery::class("linear-relationship").top_k(4);
@@ -626,6 +599,26 @@ mod tests {
         let mut fs2 = oecd();
         fs2.restore_session(Session::from_json(&json).unwrap());
         assert_eq!(fs.session(), fs2.session());
+    }
+
+    #[test]
+    fn facade_mutation_republishes_while_handles_keep_old_snapshot() {
+        let mut fs = oecd();
+        let q = InsightQuery::class("linear-relationship").top_k(2);
+        let mut handle = fs.handle();
+        let before_core = Arc::clone(fs.core());
+        let baseline = handle.query(&q).unwrap();
+
+        fs.preprocess(&CatalogConfig::default()).unwrap();
+        assert!(
+            !Arc::ptr_eq(fs.core(), &before_core),
+            "mutation republished a new snapshot"
+        );
+        // the old handle still answers from its exact-mode snapshot
+        assert_eq!(handle.query(&q).unwrap(), baseline);
+        assert_eq!(handle.mode(), Mode::Exact);
+        // a fresh handle sees the new approximate-mode snapshot
+        assert_eq!(fs.handle().mode(), Mode::Approximate);
     }
 
     #[test]

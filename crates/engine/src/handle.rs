@@ -1,0 +1,240 @@
+//! Per-user session handles over a shared [`EngineCore`].
+//!
+//! A [`SessionHandle`] owns only the §4.1 exploration state — the focus
+//! set, the event log, and per-user knobs (mode override, focus
+//! over-fetch, re-ranking weights) — and borrows everything heavy from an
+//! `Arc<EngineCore>`. Handles are cheap to create, independent of each
+//! other, and `Send`: spawn one per user (or per thread) over a single
+//! core snapshot.
+
+use crate::core::EngineCore;
+use crate::error::{EngineError, Result};
+use crate::executor::Mode;
+use crate::neighborhood::NeighborhoodWeights;
+use crate::query::InsightQuery;
+use crate::recommend::{Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
+use crate::session::Session;
+use foresight_insight::{AttrTuple, InsightInstance};
+use std::sync::Arc;
+
+/// One user's view of a shared engine core: exploration state plus
+/// per-user execution knobs. All heavy state lives in the
+/// [`EngineCore`]; queries on a handle never block other handles.
+pub struct SessionHandle {
+    core: Arc<EngineCore>,
+    session: Session,
+    /// This user's scoring mode (seeded from the core's published default).
+    mode: Mode,
+    /// This user's parallel-execution preference.
+    parallel: bool,
+    focus_overfetch: usize,
+    weights: NeighborhoodWeights,
+}
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SessionHandle>();
+};
+
+impl SessionHandle {
+    /// A fresh session over `core`, inheriting the core's published mode
+    /// and parallelism defaults.
+    pub fn new(core: Arc<EngineCore>) -> Self {
+        let session = Session::new(core.source().name());
+        let mode = core.mode();
+        let parallel = core.parallel();
+        Self {
+            core,
+            session,
+            mode,
+            parallel,
+            focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
+            weights: NeighborhoodWeights::default(),
+        }
+    }
+
+    /// The shared core this handle reads through.
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// This user's exploration state.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Replaces the session (e.g. one restored via [`Session::load`] from
+    /// a colleague's save).
+    pub fn restore_session(&mut self, session: Session) {
+        self.session = session;
+    }
+
+    /// This user's scoring mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Overrides the scoring mode for this session only.
+    ///
+    /// # Errors
+    /// Approximate mode requires the core to carry a sketch catalog; exact
+    /// mode requires raw rows the source can still provide.
+    pub fn set_mode(&mut self, mode: Mode) -> Result<()> {
+        match mode {
+            Mode::Approximate if self.core.catalog().is_none() => Err(EngineError::NoCatalog),
+            Mode::Exact if self.core.source().is_sketch_only() => {
+                Err(EngineError::ExactUnavailable(
+                    "exact mode needs raw rows, but this source kept only sketches",
+                ))
+            }
+            _ => {
+                self.mode = mode;
+                Ok(())
+            }
+        }
+    }
+
+    /// Enables rayon-parallel execution for this session's queries.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Sets this session's neighborhood re-ranking weights.
+    pub fn set_weights(&mut self, weights: NeighborhoodWeights) {
+        self.weights = weights;
+    }
+
+    /// Sets this session's focus over-fetch factor used by carousel
+    /// assembly (see [`DEFAULT_FOCUS_OVERFETCH`]); values below 1 are
+    /// treated as 1.
+    pub fn set_focus_overfetch(&mut self, factor: usize) {
+        self.focus_overfetch = factor.max(1);
+    }
+
+    /// Runs an insight query against the shared core and records it in
+    /// this session's history. `&mut self` guards only the history append
+    /// — the core is read-only throughout.
+    pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        let out = self.core.run_query_at(query, self.mode, self.parallel)?;
+        self.session.record_query(query, out.len());
+        Ok(out)
+    }
+
+    /// Re-executes every query recorded in this session's history (e.g.
+    /// one restored from a colleague's saved session) and returns the
+    /// per-query results. The replay itself is appended to the history.
+    pub fn replay_session(&mut self) -> Result<Vec<Vec<InsightInstance>>> {
+        let queries: Vec<InsightQuery> = self.session.queries().into_iter().cloned().collect();
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Builds all carousels (one per class), re-ranked toward this
+    /// session's focus set.
+    pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
+        self.core.carousels_for(
+            &self.session,
+            &CarouselConfig {
+                per_class,
+                weights: self.weights,
+                focus_overfetch: self.focus_overfetch,
+                parallel: self.parallel,
+            },
+            self.mode,
+        )
+    }
+
+    /// Focuses an insight, steering this session's future recommendations
+    /// toward its neighborhood.
+    pub fn focus(&mut self, instance: InsightInstance) {
+        self.session.focus(instance);
+    }
+
+    /// Removes a focused insight from this session.
+    pub fn unfocus(&mut self, attrs: &AttrTuple) -> bool {
+        self.session.unfocus(attrs)
+    }
+
+    /// Clears this session's focus set.
+    pub fn clear_focus(&mut self) {
+        self.session.clear_focus();
+    }
+
+    /// Profiles the dataset under this session's mode.
+    pub fn profile(&self) -> Result<crate::profile::DatasetProfile> {
+        self.core.profile_at(self.mode)
+    }
+
+    /// Writes this session's state (focus set + history) to any writer.
+    pub fn save_session(&self, writer: impl std::io::Write) -> Result<()> {
+        self.session.save(writer)
+    }
+
+    /// Restores session state written by [`SessionHandle::save_session`].
+    pub fn load_session(&mut self, reader: impl std::io::Read) -> Result<()> {
+        self.session = Session::load(reader)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreBuilder;
+    use foresight_data::{datasets, TableSource};
+
+    fn shared_core() -> Arc<EngineCore> {
+        CoreBuilder::new(TableSource::materialized(datasets::oecd())).freeze()
+    }
+
+    #[test]
+    fn handles_share_one_core_without_interference() {
+        let core = shared_core();
+        let mut alice = core.handle();
+        let mut bob = core.handle();
+        let q = InsightQuery::class("linear-relationship").top_k(2);
+        let a = alice.query(&q).unwrap();
+        alice.focus(a[0].clone());
+        assert_eq!(alice.session().focus.len(), 1);
+        assert!(bob.session().focus.is_empty());
+        assert!(bob.session().history.is_empty());
+        assert_eq!(bob.query(&q).unwrap(), a);
+        assert_eq!(alice.session().history.len(), 2); // query + focus
+        assert_eq!(bob.session().history.len(), 1);
+    }
+
+    #[test]
+    fn session_round_trips_between_handles() {
+        let core = shared_core();
+        let mut alice = core.handle();
+        let q = InsightQuery::class("skew").top_k(1);
+        let top = alice.query(&q).unwrap();
+        alice.focus(top[0].clone());
+        let mut buf = Vec::new();
+        alice.save_session(&mut buf).unwrap();
+
+        let mut colleague = core.handle();
+        colleague.load_session(buf.as_slice()).unwrap();
+        assert_eq!(colleague.session(), alice.session());
+        let replayed = colleague.replay_session().unwrap();
+        assert_eq!(replayed, vec![top]);
+    }
+
+    #[test]
+    fn mode_override_is_per_handle() {
+        let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
+        builder
+            .preprocess(&foresight_sketch::CatalogConfig::default())
+            .unwrap();
+        let core = builder.freeze();
+        let mut approx = core.handle();
+        let mut exact = core.handle();
+        assert_eq!(approx.mode(), Mode::Approximate);
+        exact.set_mode(Mode::Exact).unwrap();
+        let q = InsightQuery::class("linear-relationship").top_k(1);
+        let a = approx.query(&q).unwrap();
+        let e = exact.query(&q).unwrap();
+        assert_eq!(approx.mode(), Mode::Approximate, "unchanged by neighbor");
+        assert_eq!(a.len(), 1);
+        assert_eq!(e.len(), 1);
+    }
+}

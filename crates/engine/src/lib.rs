@@ -7,6 +7,9 @@
 //! * [`executor`] — exact or sketch-backed query execution, optionally
 //!   rayon-parallel with batch scoring and quickselect top-k
 //! * [`cache`] — the cross-query score cache
+//! * [`core`] — the shared, `Send + Sync` [`EngineCore`] snapshot and its
+//!   [`CoreBuilder`] writer path
+//! * [`handle`] — cheap per-user [`SessionHandle`]s over one core
 //! * [`neighborhood`] — insight similarity and focus-driven re-ranking
 //! * [`session`] — focus set, history, save/restore
 //! * [`recommend`] — Figure-1 carousel assembly
@@ -15,9 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod core;
 pub mod error;
 pub mod executor;
 pub mod foresight;
+pub mod handle;
 pub mod index;
 pub mod neighborhood;
 pub mod profile;
@@ -25,10 +30,12 @@ pub mod query;
 pub mod recommend;
 pub mod session;
 
-pub use cache::{CacheStats, ScoreCache};
+pub use crate::core::{CoreBuilder, EngineCore};
+pub use cache::{CacheStats, ScoreCache, CACHE_SHARDS};
 pub use error::{EngineError, Result};
 pub use executor::{Executor, Mode};
-pub use foresight::Foresight;
+pub use foresight::{Foresight, STATE_FORMAT_VERSION};
+pub use handle::SessionHandle;
 pub use index::InsightIndex;
 pub use neighborhood::NeighborhoodWeights;
 pub use profile::{profile, profile_from_catalog, ColumnProfile, DatasetProfile};

@@ -83,7 +83,24 @@ impl InsightRegistry {
     pub fn is_empty(&self) -> bool {
         self.classes.is_empty()
     }
+
+    /// Freezes the roster into a shared, immutable handle.
+    ///
+    /// [`InsightClass`] requires `Send + Sync`, so a frozen registry can be
+    /// read from any number of threads at once — this is the form the
+    /// engine's shared core holds. Editing after a freeze means building a
+    /// new roster (clone, mutate, freeze again), which is exactly the
+    /// snapshot-republish discipline the engine's writer path follows.
+    pub fn freeze(self) -> Arc<Self> {
+        Arc::new(self)
+    }
 }
+
+// A frozen registry is shared across every session thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<InsightRegistry>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -144,6 +161,16 @@ mod tests {
         assert!(r.unregister("custom-thirteenth"));
         assert_eq!(r.len(), 12);
         assert!(!r.unregister("custom-thirteenth"));
+    }
+
+    #[test]
+    fn freeze_shares_across_threads() {
+        let frozen = InsightRegistry::default().freeze();
+        let other = Arc::clone(&frozen);
+        let id = std::thread::spawn(move || other.classes()[0].id().to_owned())
+            .join()
+            .unwrap();
+        assert_eq!(id, frozen.classes()[0].id());
     }
 
     #[test]

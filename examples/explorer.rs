@@ -30,6 +30,7 @@ commands:
   profile                      dataset profile: column summaries + headline insights
   overview <class>             the class overview chart (Figure 2 for linear)
   mode exact|approx            switch scoring mode (approx builds sketches once)
+  stats                        score-cache counters (hits, misses, purges, shards)
   save <path> / load <path>    persist / restore the session
   help / quit";
 
@@ -215,6 +216,26 @@ impl Repl {
                 }
                 _ => println!("usage: mode exact|approx"),
             },
+            "stats" => {
+                let stats = self.engine.cache_stats();
+                let total = stats.hits + stats.misses;
+                let rate = if total > 0 {
+                    100.0 * stats.hits as f64 / total as f64
+                } else {
+                    0.0
+                };
+                println!(
+                    "score cache: {} hits / {} misses ({rate:.1}% hit rate), {} entries, {} purged by epoch bumps",
+                    stats.hits, stats.misses, stats.entries, stats.purges
+                );
+                let occupied = stats.shard_entries.iter().filter(|&&n| n > 0).count();
+                let busiest = stats.shard_entries.iter().max().copied().unwrap_or(0);
+                println!(
+                    "shards: {occupied}/{} occupied, busiest holds {busiest} entries",
+                    stats.shard_entries.len()
+                );
+                println!("  per-shard: {:?}", stats.shard_entries);
+            }
             "save" => match rest.first() {
                 Some(path) => match std::fs::File::create(path)
                     .map_err(foresight::engine::EngineError::from)

@@ -54,6 +54,26 @@
 //!     .unwrap();
 //! assert_eq!(top.len(), 1);
 //! ```
+//!
+//! ## Concurrent serving
+//! ```
+//! use foresight::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // one immutable core snapshot, any number of per-user sessions
+//! let core = EngineCore::builder(TableSource::materialized(datasets::oecd())).freeze();
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let mut h = core.handle();
+//!         std::thread::spawn(move || {
+//!             h.query(&InsightQuery::class("skew").top_k(2)).unwrap()
+//!         })
+//!     })
+//!     .collect();
+//! let results: Vec<_> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+//! assert!(results.windows(2).all(|w| w[0] == w[1]));
+//! # let _ = Arc::strong_count(&core);
+//! ```
 
 pub use foresight_data as data;
 pub use foresight_engine as engine;
@@ -67,8 +87,8 @@ pub mod prelude {
     pub use foresight_data::datasets;
     pub use foresight_data::{Table, TableBuilder, TableSource};
     pub use foresight_engine::{
-        profile, Carousel, DatasetProfile, EngineError, Executor, Foresight, InsightQuery, Mode,
-        NeighborhoodWeights, Session,
+        profile, Carousel, CoreBuilder, DatasetProfile, EngineCore, EngineError, Executor,
+        Foresight, InsightQuery, Mode, NeighborhoodWeights, Session, SessionHandle,
     };
     pub use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
     pub use foresight_sketch::{CatalogConfig, SketchCatalog};
