@@ -1,0 +1,173 @@
+//! **Experiment T7 — telemetry instrumentation overhead.**
+//!
+//! The telemetry layer promises to be free when compiled out and nearly
+//! free when compiled in: a whole query costs four TSC reads, a handful of
+//! relaxed atomic adds, and one read-locked class-counter bump. This
+//! experiment measures the promise on the paper's warm-path workload — the
+//! OECD dataset with a hot score cache, the same query shape
+//! `exp_concurrent` drains — and **fails (exit 1) if instrumented queries
+//! are more than 3% slower** than the uninstrumented path.
+//!
+//! Built **with** `--features telemetry`, the binary compares recording
+//! enabled vs. runtime-disabled (the disabled path is one relaxed bool
+//! load per timer — the compiled-out path minus exactly that load, so the
+//! measured gap is an upper bound on the feature's cost). Built without
+//! the feature, both paths are no-ops; the run reports the baseline and
+//! `telemetry_compiled: false`.
+//!
+//! # Estimator
+//!
+//! The effect under test (~100–300 ns/query) is far below this kind of
+//! host's scheduling noise (occasional ±1 µs/query swings per drain), so
+//! naive min-over-reps comparisons of two long runs do not converge.
+//! Instead the drain is kept *short* (~1 ms — short enough that a min over
+//! a dozen repetitions finds a preemption-free window), enabled/disabled
+//! sides are measured in adjacent pairs (cancelling slow CPU-state drift,
+//! with each pair's slowdown normalized against its *own* baseline), and
+//! the reported overhead is the **median of the per-pair ratios** — robust
+//! to the heavy-tailed spikes that survive everything else.
+//!
+//! Emits `BENCH_telemetry.json` (run from the repository root) with the
+//! per-stage latency snapshot of the instrumented run folded in.
+//!
+//! ```sh
+//! cargo run --release -p foresight-bench --features telemetry --bin exp_telemetry
+//! ```
+
+use foresight_data::{datasets, TableSource};
+use foresight_engine::{CoreBuilder, EngineCore, InsightQuery};
+use foresight_sketch::CatalogConfig;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Queries per drain: the full class roster round-robined with varying k
+/// (the `exp_concurrent` mix), sized so one drain is ~1 ms.
+const QUERIES: usize = 96;
+/// Enabled/disabled drain pairs measured.
+const PAIRS: usize = 31;
+/// Drains per side of a pair; each side keeps its minimum.
+const MINS_OF: usize = 12;
+/// The overhead regression threshold, in percent.
+const MAX_OVERHEAD_PCT: f64 = 3.0;
+
+fn query_mix(core: &EngineCore) -> Vec<InsightQuery> {
+    let classes = core.registry().classes();
+    (0..QUERIES)
+        .map(|i| InsightQuery::class(classes[i % classes.len()].id()).top_k(1 + i % 5))
+        .collect()
+}
+
+/// Wall-clock for one session to drain the mix (score cache warm).
+fn drain(core: &Arc<EngineCore>, queries: &[InsightQuery]) -> Duration {
+    let mut session = core.handle();
+    session.set_parallel(false);
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for q in queries {
+        total += session.query(q).expect("query").len();
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(total);
+    elapsed
+}
+
+/// The cleanest of `MINS_OF` back-to-back drains: scheduler noise is
+/// additive, so the minimum is the least-disturbed run.
+fn min_drain(core: &Arc<EngineCore>, queries: &[InsightQuery]) -> Duration {
+    (0..MINS_OF)
+        .map(|_| drain(core, queries))
+        .min()
+        .expect("MINS_OF > 0")
+}
+
+fn main() {
+    let compiled_in = cfg!(feature = "telemetry");
+    println!("# Experiment T7: telemetry overhead on warm OECD queries");
+    println!(
+        "# telemetry feature compiled {}; {QUERIES} queries/drain, median of {PAIRS} \
+         interleaved pair ratios, min of {MINS_OF} drains per side\n",
+        if compiled_in { "IN" } else { "OUT" }
+    );
+
+    let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
+    builder
+        .preprocess(&CatalogConfig::default())
+        .expect("raw table present");
+    let core = builder.freeze();
+    let queries = query_mix(&core);
+
+    // warm the score cache (and every lazy memo) before measuring
+    for _ in 0..20 {
+        drain(&core, &queries);
+    }
+
+    // each pair yields a *ratio* (e − d) / d, so a pair measured in a slow
+    // CPU phase normalizes against that same phase's baseline
+    let mut ratios: Vec<f64> = Vec::with_capacity(PAIRS);
+    let mut deltas_ns: Vec<i64> = Vec::with_capacity(PAIRS);
+    let mut best_enabled = Duration::MAX;
+    let mut best_disabled = Duration::MAX;
+    for _ in 0..PAIRS {
+        core.metrics().set_enabled(true);
+        let e = min_drain(&core, &queries);
+        core.metrics().set_enabled(false);
+        let d = min_drain(&core, &queries);
+        best_enabled = best_enabled.min(e);
+        best_disabled = best_disabled.min(d);
+        deltas_ns.push(e.as_nanos() as i64 - d.as_nanos() as i64);
+        ratios.push(e.as_secs_f64() / d.as_secs_f64() - 1.0);
+    }
+    core.metrics().set_enabled(true);
+    let snapshot = core.metrics_snapshot();
+
+    deltas_ns.sort_unstable();
+    ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median_delta_ns_q = deltas_ns[PAIRS / 2] as f64 / QUERIES as f64;
+    let enabled_us_q = best_enabled.as_secs_f64() * 1e6 / QUERIES as f64;
+    let disabled_us_q = best_disabled.as_secs_f64() * 1e6 / QUERIES as f64;
+    let overhead_pct = ratios[PAIRS / 2] * 100.0;
+    let pass = !compiled_in || overhead_pct <= MAX_OVERHEAD_PCT;
+
+    println!("| {:<22} | {:>12} |", "path", "us/query");
+    println!("|{}|", "-".repeat(39));
+    println!("| {:<22} | {:>12.3} |", "recording enabled", enabled_us_q);
+    println!("| {:<22} | {:>12.3} |", "recording disabled", disabled_us_q);
+    println!(
+        "\nmedian instrumentation cost: {median_delta_ns_q:+.0} ns/query \
+         → {overhead_pct:+.2}% (threshold {MAX_OVERHEAD_PCT}%) → {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let report = json!({
+        "experiment": "telemetry",
+        "description": "instrumentation overhead on warm-path OECD queries: recording enabled vs runtime-disabled (upper bound on the compiled-out gap)",
+        "telemetry_compiled": compiled_in,
+        "queries_per_drain": QUERIES,
+        "pairs": PAIRS,
+        "mins_of": MINS_OF,
+        "estimator": "median of per-pair (enabled/disabled - 1) ratios, min-of-12 drains per side",
+        "enabled_us_per_query": enabled_us_q,
+        "disabled_us_per_query": disabled_us_q,
+        "overhead_ns_per_query": median_delta_ns_q,
+        "overhead_pct": overhead_pct,
+        "threshold_pct": MAX_OVERHEAD_PCT,
+        "pass": pass,
+        "snapshot": serde_json::to_value(&snapshot).expect("snapshot serializes"),
+    });
+    let path = "BENCH_telemetry.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_telemetry.json");
+    println!("wrote {path}");
+
+    if !pass {
+        eprintln!(
+            "telemetry overhead regression: {overhead_pct:.2}% > {MAX_OVERHEAD_PCT}% \
+             on warm queries"
+        );
+        std::process::exit(1);
+    }
+}

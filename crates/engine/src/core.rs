@@ -22,6 +22,7 @@ use crate::profile::DatasetProfile;
 use crate::query::InsightQuery;
 use crate::recommend::{carousels_with, Carousel, CarouselConfig};
 use crate::session::Session;
+use crate::telemetry::{Metrics, MetricsSnapshot, Stage};
 use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
@@ -66,6 +67,10 @@ pub struct EngineCore {
     mode: Mode,
     /// The published default for rayon-parallel execution.
     parallel: bool,
+    /// Shared telemetry registry — like the cache, one registry outlives
+    /// many republished snapshots, so stage histograms accumulate across
+    /// the core's whole service life.
+    metrics: Arc<Metrics>,
 }
 
 // The whole point of the core: one snapshot, many threads.
@@ -131,6 +136,18 @@ impl EngineCore {
         self.cache.stats()
     }
 
+    /// The shared telemetry registry (live counters; see
+    /// [`EngineCore::metrics_snapshot`] for the plain-data view).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A deterministic point-in-time snapshot of the telemetry registry,
+    /// with score-cache traffic folded in.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot_with_cache(Some(&self.cache.stats()))
+    }
+
     /// The underlying table, materializing a sharded source on first call.
     ///
     /// # Panics
@@ -187,7 +204,10 @@ impl EngineCore {
             (Mode::Approximate, None) => return Err(EngineError::NoCatalog),
             _ => Executor::exact(self.try_table()?, &self.registry),
         };
-        Ok(ex.parallel(parallel).with_cache_at(&self.cache, self.epoch))
+        Ok(ex
+            .parallel(parallel)
+            .with_cache_at(&self.cache, self.epoch)
+            .with_metrics(&self.metrics))
     }
 
     /// An executor under the published defaults.
@@ -212,14 +232,21 @@ impl EngineCore {
         parallel: bool,
     ) -> Result<Vec<InsightInstance>> {
         if let Some(ix) = self.index.as_ref().filter(|ix| ix.mode == mode) {
+            let span = self.metrics.span(Stage::IndexServe);
             if let Some(out) = ix
                 .index
                 .query(self.exec_table_at(mode)?, &self.registry, query)
             {
+                drop(span);
+                self.metrics.record_query(&query.class_id, mode, true);
                 return Ok(out);
             }
+            // the index didn't cover the query; don't count a serve
+            span.cancel();
         }
-        self.executor_at(mode, parallel)?.execute(query)
+        let out = self.executor_at(mode, parallel)?.execute(query)?;
+        self.metrics.record_query(&query.class_id, mode, false);
+        Ok(out)
     }
 
     /// Builds all carousels (one per class) for a session's focus set,
@@ -240,6 +267,7 @@ impl EngineCore {
     /// source in approximate mode is profiled entirely from the merged
     /// catalog — no shard concatenation.
     pub fn profile_at(&self, mode: Mode) -> Result<DatasetProfile> {
+        let _span = self.metrics.span(Stage::Profile);
         if self.sketch_backed_at(mode) {
             let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
             return crate::profile::profile_from_catalog(
@@ -299,6 +327,7 @@ pub struct CoreBuilder {
     epoch: u64,
     mode: Mode,
     parallel: bool,
+    metrics: Arc<Metrics>,
     /// Whether a staged mutation could have changed scores (freeze then
     /// mints a fresh cache epoch).
     dirty: bool,
@@ -321,6 +350,7 @@ impl CoreBuilder {
             epoch,
             mode: Mode::Exact,
             parallel: rayon::current_num_threads() > 1,
+            metrics: Arc::new(Metrics::new()),
             dirty: false,
         }
     }
@@ -342,6 +372,7 @@ impl CoreBuilder {
                 epoch: core.epoch,
                 mode: core.mode,
                 parallel: core.parallel,
+                metrics: core.metrics,
                 dirty: false,
             },
             Err(shared) => Self {
@@ -355,6 +386,7 @@ impl CoreBuilder {
                 epoch: shared.epoch,
                 mode: shared.mode,
                 parallel: shared.parallel,
+                metrics: Arc::clone(&shared.metrics),
                 dirty: false,
             },
         }
@@ -409,14 +441,21 @@ impl CoreBuilder {
     /// (a sketch-only source cannot be re-sketched);
     /// [`EngineError::Merge`] if per-shard catalogs fail to combine.
     pub fn preprocess(&mut self, config: &CatalogConfig) -> Result<()> {
+        let _span = self.metrics.span(Stage::Preprocess);
         let catalog = match self.source.as_materialized() {
-            Some(t) => SketchCatalog::build(t, config),
+            Some(t) => {
+                let _build = self.metrics.span(Stage::SketchBuild);
+                SketchCatalog::build(t, config)
+            }
             None => {
                 if self.source.is_sketch_only() {
                     return Err(EngineError::ExactUnavailable(
                         "cannot rebuild the catalog: the raw shards were dropped",
                     ));
                 }
+                // per-shard builds + the sequential merge fold both happen
+                // inside build_sharded; the whole fan-out is one build span
+                let _build = self.metrics.span(Stage::SketchBuild);
                 let shards: Vec<&Table> = self.source.shards().collect();
                 SketchCatalog::build_sharded(&shards, config)?
             }
@@ -451,7 +490,10 @@ impl CoreBuilder {
         if let Some(catalog) = self.catalog.as_mut() {
             let added = self.source.shards().last().expect("shard just appended");
             let config = catalog.config().clone();
+            let build = self.metrics.span(Stage::SketchBuild);
             let shard_catalog = SketchCatalog::build_shard(added, &config, offset as u64);
+            drop(build);
+            let _merge = self.metrics.span(Stage::SketchMerge);
             catalog.merge(&shard_catalog)?;
         }
         Ok(offset)
@@ -491,6 +533,7 @@ impl CoreBuilder {
     /// rows a sketch-only source cannot provide; [`EngineError::NoCatalog`]
     /// for a sketch-only source with no catalog restored.
     pub fn build_index(&mut self) -> Result<()> {
+        let _span = self.metrics.span(Stage::IndexBuild);
         let index = if self.sketch_backed() {
             let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
             crate::index::InsightIndex::build_sketch_only(
@@ -533,6 +576,9 @@ impl CoreBuilder {
     /// new snapshot reads through the fresh epoch. Readers of older
     /// snapshots keep their own (now-retired) keyspace.
     pub fn freeze(self) -> Arc<EngineCore> {
+        // keep the registry alive past the field-by-field move below
+        let metrics = Arc::clone(&self.metrics);
+        let _span = metrics.span(Stage::Freeze);
         let epoch = if self.dirty {
             self.cache.bump_epoch()
         } else {
@@ -549,6 +595,7 @@ impl CoreBuilder {
             epoch,
             mode: self.mode,
             parallel: self.parallel,
+            metrics: self.metrics,
         })
     }
 }

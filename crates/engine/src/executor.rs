@@ -6,6 +6,7 @@
 use crate::cache::ScoreCache;
 use crate::error::{EngineError, Result};
 use crate::query::InsightQuery;
+use crate::telemetry::{Lap, Metrics, Stage};
 use foresight_data::Table;
 use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::SketchCatalog;
@@ -30,6 +31,9 @@ pub struct Executor<'a> {
     /// The shared score cache plus the data-generation epoch of the core
     /// snapshot this executor reads through (0 for a standalone cache).
     cache: Option<(&'a ScoreCache, u64)>,
+    /// The core's telemetry registry, when attached (standalone executors
+    /// run unobserved).
+    metrics: Option<&'a Metrics>,
     mode: Mode,
     parallel: bool,
     sketch_only: bool,
@@ -43,6 +47,7 @@ impl<'a> Executor<'a> {
             registry,
             catalog: None,
             cache: None,
+            metrics: None,
             mode: Mode::Exact,
             parallel: false,
             sketch_only: false,
@@ -60,6 +65,7 @@ impl<'a> Executor<'a> {
             registry,
             catalog: Some(catalog),
             cache: None,
+            metrics: None,
             mode: Mode::Approximate,
             parallel: false,
             sketch_only: false,
@@ -107,6 +113,21 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attaches a [`Metrics`] registry: stage spans (score, rank,
+    /// diversify, describe, carousel) and sketch-fallback counts are
+    /// recorded into it. A no-op build (no `telemetry` feature) records
+    /// nothing either way.
+    pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached telemetry registry, if any (used by carousel assembly
+    /// to time per-class work against the same registry).
+    pub fn metrics(&self) -> Option<&'a Metrics> {
+        self.metrics
+    }
+
     /// The execution mode.
     pub fn mode(&self) -> Mode {
         self.mode
@@ -131,6 +152,9 @@ impl<'a> Executor<'a> {
             if self.sketch_only {
                 // no raw rows to fall back to; the candidate is dropped
                 return None;
+            }
+            if let Some(metrics) = self.metrics {
+                metrics.record_sketch_fallback();
             }
         }
         class.score(self.table, attrs)
@@ -233,6 +257,9 @@ impl<'a> Executor<'a> {
         };
         let score_fn =
             |attrs: &AttrTuple| keep(attrs, self.score_uncached(class.as_ref(), query, attrs));
+        // one lap timer across score → rank/diversify → describe: each
+        // boundary is a single clock read shared by the adjacent stages
+        let mut lap = Lap::start(self.metrics);
         let mut scored: Vec<(AttrTuple, f64)> = match self.cache {
             Some((cache, epoch)) => self
                 .score_all_cached(class.as_ref(), query, &candidates, cache, epoch)
@@ -252,17 +279,22 @@ impl<'a> Executor<'a> {
             None if self.parallel => candidates.par_iter().filter_map(score_fn).collect(),
             None => candidates.iter().filter_map(score_fn).collect(),
         };
+        lap.mark(Stage::Score);
 
         match query.diversify {
             Some(lambda) if lambda > 0.0 => {
                 // MMR needs the full descending-score ordering as input
                 scored.sort_by(rank_order);
                 scored = diversify_scored(scored, query.top_k, lambda);
+                lap.mark(Stage::Diversify);
             }
-            _ => scored = rank_top_k(scored, query.top_k),
+            _ => {
+                scored = rank_top_k(scored, query.top_k);
+                lap.mark(Stage::Rank);
+            }
         }
 
-        Ok(scored
+        let out: Vec<InsightInstance> = scored
             .into_iter()
             .map(|(attrs, score)| InsightInstance {
                 class_id: query.class_id.clone(),
@@ -291,7 +323,9 @@ impl<'a> Executor<'a> {
                     }
                 },
             })
-            .collect())
+            .collect();
+        lap.mark(Stage::Describe);
+        Ok(out)
     }
 }
 

@@ -223,6 +223,14 @@ impl Foresight {
         self.core().cache_stats()
     }
 
+    /// A deterministic snapshot of the engine's telemetry — per-stage
+    /// latency histograms, query counters, and score-cache traffic. The
+    /// registry survives republishes, so preprocess/freeze timings stay
+    /// visible after later mutations.
+    pub fn metrics(&self) -> crate::telemetry::MetricsSnapshot {
+        self.core().metrics_snapshot()
+    }
+
     /// Drops every cached score. Normally unnecessary — the engine retires
     /// stale scores itself whenever they could change.
     pub fn clear_score_cache(&mut self) {

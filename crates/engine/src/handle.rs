@@ -164,6 +164,13 @@ impl SessionHandle {
         self.core.profile_at(self.mode)
     }
 
+    /// A deterministic snapshot of the shared core's telemetry — per-stage
+    /// latency histograms, query counters, and score-cache traffic. All
+    /// sessions over one core see the same registry.
+    pub fn metrics(&self) -> crate::telemetry::MetricsSnapshot {
+        self.core.metrics_snapshot()
+    }
+
     /// Writes this session's state (focus set + history) to any writer.
     pub fn save_session(&self, writer: impl std::io::Write) -> Result<()> {
         self.session.save(writer)
@@ -217,6 +224,74 @@ mod tests {
         assert_eq!(colleague.session(), alice.session());
         let replayed = colleague.replay_session().unwrap();
         assert_eq!(replayed, vec![top]);
+    }
+
+    #[test]
+    fn metrics_cover_every_query_stage() {
+        let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
+        builder
+            .preprocess(&foresight_sketch::CatalogConfig::default())
+            .unwrap();
+        let core = builder.freeze();
+        let mut h = core.handle();
+        h.query(&InsightQuery::class("linear-relationship").top_k(3))
+            .unwrap();
+        h.query(&InsightQuery::class("skew").top_k(3).diversify(0.5))
+            .unwrap();
+        h.carousels(2).unwrap();
+        h.profile().unwrap();
+        let snap = h.metrics();
+        if cfg!(feature = "telemetry") {
+            for stage in [
+                "preprocess",
+                "sketch_build",
+                "score",
+                "rank",
+                "diversify",
+                "describe",
+                "carousel",
+                "profile",
+                "freeze",
+            ] {
+                assert!(
+                    snap.stage(stage).unwrap().count > 0,
+                    "stage {stage} has no samples:\n{}",
+                    snap.to_text()
+                );
+            }
+            assert_eq!(snap.queries.total, 2);
+            assert_eq!(snap.queries.approximate, 2);
+            assert_eq!(snap.queries.by_class["skew"], 1);
+        } else {
+            assert_eq!(snap.queries.total, 0);
+            assert!(snap.stages.iter().all(|s| s.count == 0));
+        }
+        // cache counters flow regardless of the telemetry feature
+        let cache = snap.cache.expect("core snapshots carry cache traffic");
+        assert!(cache.hits + cache.misses > 0);
+    }
+
+    #[test]
+    fn metrics_registry_survives_republish() {
+        let core = shared_core();
+        core.handle()
+            .query(&InsightQuery::class("skew").top_k(1))
+            .unwrap();
+        let before = core.metrics_snapshot().queries.total;
+        let mut writer = CoreBuilder::from_arc(Arc::clone(&core));
+        writer.set_parallel(false);
+        let republished = writer.freeze();
+        assert_eq!(republished.metrics_snapshot().queries.total, before);
+        if cfg!(feature = "telemetry") {
+            assert!(
+                republished
+                    .metrics_snapshot()
+                    .stage("freeze")
+                    .unwrap()
+                    .count
+                    >= 2
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`neighborhood`] — insight similarity and focus-driven re-ranking
 //! * [`session`] — focus set, history, save/restore
 //! * [`recommend`] — Figure-1 carousel assembly
+//! * [`telemetry`] — per-stage latency histograms and query counters
+//!   (compiled out without the `telemetry` cargo feature)
 //! * [`foresight`] — the [`Foresight`] facade tying everything together
 
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod profile;
 pub mod query;
 pub mod recommend;
 pub mod session;
+pub mod telemetry;
 
 pub use crate::core::{CoreBuilder, EngineCore};
 pub use cache::{CacheStats, ScoreCache, CACHE_SHARDS};
@@ -42,3 +45,4 @@ pub use profile::{profile, profile_from_catalog, ColumnProfile, DatasetProfile};
 pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
+pub use telemetry::{Metrics, MetricsSnapshot, Stage};

@@ -6,6 +6,7 @@ use crate::executor::Executor;
 use crate::neighborhood::{rerank, NeighborhoodWeights};
 use crate::query::InsightQuery;
 use crate::session::Session;
+use crate::telemetry::{maybe_span, Stage};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -92,6 +93,9 @@ pub fn carousels_with(
     config: &CarouselConfig,
 ) -> Result<Vec<Carousel>> {
     let one = |class: &Arc<dyn InsightClass>| -> Result<Carousel> {
+        // one span per class: parallel assembly records one sample per
+        // carousel either way
+        let _span = maybe_span(executor.metrics(), Stage::Carousel);
         // over-fetch so the neighborhood re-rank has material to promote
         let fetch = if session.focus.is_empty() {
             config.per_class

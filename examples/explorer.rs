@@ -31,6 +31,7 @@ commands:
   overview <class>             the class overview chart (Figure 2 for linear)
   mode exact|approx            switch scoring mode (approx builds sketches once)
   stats                        score-cache counters (hits, misses, purges, shards)
+  metrics [json]               engine telemetry: per-stage latencies + query counters
   save <path> / load <path>    persist / restore the session
   help / quit";
 
@@ -235,6 +236,14 @@ impl Repl {
                     stats.shard_entries.len()
                 );
                 println!("  per-shard: {:?}", stats.shard_entries);
+            }
+            "metrics" => {
+                let snap = self.engine.metrics();
+                if rest.first() == Some(&"json") {
+                    println!("{}", snap.to_json());
+                } else {
+                    print!("{}", snap.to_text());
+                }
             }
             "save" => match rest.first() {
                 Some(path) => match std::fs::File::create(path)

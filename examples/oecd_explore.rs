@@ -7,7 +7,11 @@
 //! 4. Leisure turns out uncorrelated with Self-Reported Health;
 //! 5. the univariate carousels show Leisure ≈ Normal, Health left-skewed;
 //! 6. focusing Health surfaces Life-Satisfaction ↔ Health;
-//! 7. the session is saved (and could be shared).
+//! 7. the session is saved (and could be shared);
+//! 8. the preprocessing phase switches to interactive (sketch-backed) mode,
+//!    a diversified query and the full carousel set run, and the engine's
+//!    telemetry snapshot shows where every stage spent its time (build with
+//!    `--features telemetry` to see non-zero samples).
 //!
 //! ```sh
 //! cargo run --release --example oecd_explore
@@ -108,4 +112,48 @@ fn main() {
         restored.history.len(),
         json.len()
     );
+
+    // Step 8: the preprocessing phase — sketch the table, go interactive,
+    // and run the remaining query shapes (diversified top-k, carousels) so
+    // the telemetry snapshot covers the whole query path.
+    fs.preprocess(&CatalogConfig::default()).unwrap();
+    let diverse = fs
+        .query(
+            &InsightQuery::class("linear-relationship")
+                .top_k(3)
+                .diversify(0.5),
+        )
+        .unwrap();
+    println!("\ndiversified correlation picks (sketch-backed):");
+    for t in &diverse {
+        println!("  {:.2}  {}", t.score, t.detail);
+    }
+    let carousels = fs.carousels(3).unwrap();
+    println!(
+        "assembled {} carousels ({} insights)",
+        carousels.len(),
+        carousels.iter().map(|c| c.instances.len()).sum::<usize>()
+    );
+
+    let snap = fs.metrics();
+    println!("\nengine telemetry:\n{}", snap.to_text());
+    if snap.telemetry_compiled {
+        // every stage of the query path must have samples by now
+        for stage in [
+            "preprocess",
+            "sketch_build",
+            "score",
+            "rank",
+            "diversify",
+            "describe",
+            "carousel",
+            "freeze",
+        ] {
+            assert!(
+                snap.stage(stage).expect("known stage").count > 0,
+                "stage {stage} recorded no samples"
+            );
+        }
+        assert!(snap.queries.total >= 6, "all scenario queries counted");
+    }
 }

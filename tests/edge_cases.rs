@@ -120,6 +120,116 @@ fn extreme_values_do_not_poison_charts() {
     }
 }
 
+/// A table mixing healthy columns with every degenerate shape the scorers
+/// must skip: zero variance, all-NaN, mostly-NaN, single-label, all-null.
+fn degenerate_mix() -> Table {
+    TableBuilder::new("degenerate-mix")
+        .numeric("constant", vec![7.0; 60])
+        .numeric("all_missing", vec![f64::NAN; 60])
+        .numeric(
+            "one_present",
+            (0..60)
+                .map(|i| if i == 17 { 3.0 } else { f64::NAN })
+                .collect(),
+        )
+        .numeric(
+            "normal_a",
+            (0..60).map(|i| (i as f64).sin() * 10.0).collect(),
+        )
+        .numeric("normal_b", (0..60).map(|i| i as f64).collect())
+        .categorical("single_label", (0..60).map(|_| "only"))
+        .categorical("all_null", (0..60).map(|_| ""))
+        .categorical("mixed", (0..60).map(|i| if i % 3 == 0 { "x" } else { "y" }))
+        .build()
+        .unwrap()
+}
+
+/// Degenerate columns must be skipped with a **typed `None`**, never scored
+/// `Some(NaN)`: a NaN that reaches the ranker has no defined sort order and
+/// silently scrambles top-k. This pins the contract at the scorer level,
+/// for every registered class, for both the scalar and the batch path.
+#[test]
+fn degenerate_columns_skip_typed_not_nan() {
+    let table = degenerate_mix();
+    let registry = InsightRegistry::default();
+    for class in registry.classes() {
+        for attrs in class.candidates(&table) {
+            let scalar = class.score(&table, &attrs);
+            if let Some(s) = scalar {
+                assert!(
+                    s.is_finite(),
+                    "{} scored {attrs:?} as Some({s}) — degenerate columns \
+                     must skip with None, not a non-finite score",
+                    class.id()
+                );
+            }
+            // the batch path must make the same skip decision, or the
+            // cached/batched executors would disagree with the scalar one
+            let batch = class.score_batch(&table, &[attrs]);
+            match (scalar, batch[0]) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{}: batch score {b} != scalar score {a} on {attrs:?}",
+                    class.id()
+                ),
+                (a, b) => panic!(
+                    "{}: scalar={a:?} but batch={b:?} on {attrs:?} — skip \
+                     decisions must agree",
+                    class.id()
+                ),
+            }
+        }
+    }
+}
+
+/// The same typed-skip contract on the sketch path: approximate mode
+/// queries over a catalog built from degenerate columns must never surface
+/// a non-finite score either.
+#[test]
+fn degenerate_columns_skip_typed_in_approximate_mode() {
+    let mut fs = Foresight::new(degenerate_mix());
+    fs.preprocess(&CatalogConfig::default()).unwrap();
+    fs.set_mode(Mode::Approximate).unwrap();
+    explore_everything(fs);
+}
+
+/// NaN never enters the ranking order: with degenerate and healthy columns
+/// side by side, every class's ranking is finite and sorted descending —
+/// the healthy columns still surface, the degenerate ones are absent or
+/// score a legitimate finite value (e.g. dispersion 0 for a constant).
+#[test]
+fn rankings_stay_sorted_with_degenerate_columns_present() {
+    let mut fs = Foresight::new(degenerate_mix());
+    let class_ids: Vec<String> = fs
+        .registry()
+        .classes()
+        .iter()
+        .map(|c| c.id().to_owned())
+        .collect();
+    for id in &class_ids {
+        let out = fs.query(&InsightQuery::class(id).top_k(50)).unwrap();
+        for pair in out.windows(2) {
+            assert!(
+                pair[0].score >= pair[1].score,
+                "{id}: ranking not descending ({} then {})",
+                pair[0].score,
+                pair[1].score
+            );
+        }
+        for inst in &out {
+            assert!(inst.score.is_finite(), "{id}: non-finite score ranked");
+        }
+    }
+    // the healthy numeric pair must still win linear-relationship: the
+    // degenerate columns may be skipped but must not suppress real work
+    let top = fs
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    assert!(!top.is_empty(), "healthy columns produced no correlation");
+    assert!(top[0].score.is_finite());
+}
+
 #[test]
 fn duplicate_heavy_table() {
     // every value identical across two columns: correlations are undefined,
