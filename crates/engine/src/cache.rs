@@ -149,6 +149,23 @@ impl CacheStats {
     }
 }
 
+/// What one [`ScoreCache::lookup_batch`] call saw: the positionally
+/// aligned scores plus this call's own hit/miss counts, so a traced query
+/// can report *its* cache traffic rather than only moving the aggregate
+/// [`CacheStats`] counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLookup {
+    /// Per-candidate result, aligned with the `candidates` argument.
+    /// `Some(score)` is a hit (including `Some(None)`, a tuple proven
+    /// degenerate); `None` means never scored under this
+    /// `(mode, metric, epoch)`.
+    pub scores: Vec<Option<Option<f64>>>,
+    /// Candidates answered from the cache by this call.
+    pub hits: u64,
+    /// Candidates that fell through to scoring in this call.
+    pub misses: u64,
+}
+
 /// A sharded, thread-safe memo of per-tuple insight scores.
 ///
 /// Owned (behind an `Arc`) by the [`EngineCore`](crate::EngineCore) — and
@@ -309,10 +326,12 @@ impl ScoreCache {
     /// atomic for each one puts tens of millions of contended
     /// read-modify-writes per second on the shard cache lines, which
     /// serializes otherwise-independent sessions. Batching collapses that to
-    /// at most [`CACHE_SHARDS`] lock acquisitions per query. Results are
-    /// positionally aligned with `candidates`; `None` means "never scored
-    /// under this `(mode, metric, epoch)`" exactly as in
-    /// [`lookup`](ScoreCache::lookup).
+    /// at most [`CACHE_SHARDS`] lock acquisitions per query. The returned
+    /// [`BatchLookup`] carries the scores — positionally aligned with
+    /// `candidates`, `None` meaning "never scored under this
+    /// `(mode, metric, epoch)`" exactly as in [`lookup`](ScoreCache::lookup)
+    /// — together with this call's own hit/miss counts for per-query
+    /// attribution (tracing, EXPLAIN).
     pub fn lookup_batch(
         &self,
         class_id: &'static str,
@@ -320,7 +339,7 @@ impl ScoreCache {
         mode: Mode,
         metric: Option<&str>,
         epoch: u64,
-    ) -> Vec<Option<Option<f64>>> {
+    ) -> BatchLookup {
         let keys: Vec<CacheKey> = candidates
             .iter()
             .map(|attrs| CacheKey {
@@ -336,6 +355,7 @@ impl ScoreCache {
             by_shard[Self::shard_index(key)].push(i);
         }
         let mut out = vec![None; candidates.len()];
+        let mut total_hits = 0u64;
         for (shard, indices) in self.shards.iter().zip(&by_shard) {
             if indices.is_empty() {
                 continue;
@@ -357,13 +377,19 @@ impl ScoreCache {
             if misses > 0 {
                 shard.misses.fetch_add(misses, Ordering::Relaxed);
             }
+            total_hits += hits;
         }
-        out
+        BatchLookup {
+            hits: total_hits,
+            misses: candidates.len() as u64 - total_hits,
+            scores: out,
+        }
     }
 
     /// Stores one query's freshly computed scores, write-locking each
     /// touched shard once — the storing counterpart of
-    /// [`lookup_batch`](ScoreCache::lookup_batch).
+    /// [`lookup_batch`](ScoreCache::lookup_batch). Returns the number of
+    /// entries written (for per-query attribution).
     pub fn store_batch(
         &self,
         class_id: &'static str,
@@ -371,7 +397,7 @@ impl ScoreCache {
         mode: Mode,
         metric: Option<&str>,
         epoch: u64,
-    ) {
+    ) -> u64 {
         let keys: Vec<CacheKey> = entries
             .iter()
             .map(|(attrs, _)| CacheKey {
@@ -396,6 +422,7 @@ impl ScoreCache {
                 map.insert(keys[i].take().expect("each key stored once"), entries[i].1);
             }
         }
+        entries.len() as u64
     }
 
     /// Returns the memoized description for `(class, attrs, score)`,
@@ -592,6 +619,31 @@ mod tests {
         );
         // counters survived the bump (2 hits: pre-bump + post-bump)
         assert!(cache.stats().hits >= 2);
+    }
+
+    #[test]
+    fn batch_lookup_reports_per_call_traffic() {
+        let cache = ScoreCache::new();
+        let candidates: Vec<AttrTuple> = (0..10).map(AttrTuple::One).collect();
+        let cold = cache.lookup_batch("c", &candidates, Mode::Exact, None, 0);
+        assert_eq!((cold.hits, cold.misses), (0, 10));
+        assert!(cold.scores.iter().all(Option::is_none));
+
+        let fresh: Vec<(AttrTuple, Option<f64>)> =
+            candidates.iter().take(7).map(|&a| (a, Some(0.5))).collect();
+        assert_eq!(
+            cache.store_batch("c", &fresh, Mode::Exact, None, 0),
+            7,
+            "store_batch reports entries written"
+        );
+
+        let warm = cache.lookup_batch("c", &candidates, Mode::Exact, None, 0);
+        assert_eq!((warm.hits, warm.misses), (7, 3));
+        assert_eq!(warm.scores[0], Some(Some(0.5)));
+        assert_eq!(warm.scores[9], None);
+        // per-call counts line up with the aggregate counters' deltas
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (7, 13));
     }
 
     #[test]

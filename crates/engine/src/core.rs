@@ -22,7 +22,8 @@ use crate::profile::DatasetProfile;
 use crate::query::InsightQuery;
 use crate::recommend::{carousels_with, Carousel, CarouselConfig};
 use crate::session::Session;
-use crate::telemetry::{Metrics, MetricsSnapshot, Stage};
+use crate::telemetry::{clock, Metrics, MetricsSnapshot, Stage};
+use crate::trace::{QueryTrace, TraceBuilder, Tracer};
 use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
@@ -71,6 +72,10 @@ pub struct EngineCore {
     /// many republished snapshots, so stage histograms accumulate across
     /// the core's whole service life.
     metrics: Arc<Metrics>,
+    /// Shared request-tracing registry: the query-id counter, the ring of
+    /// recently finished traces, and the slow-query log. Shared across
+    /// republished snapshots like `metrics`.
+    tracer: Arc<Tracer>,
 }
 
 // The whole point of the core: one snapshot, many threads.
@@ -146,6 +151,12 @@ impl EngineCore {
     /// with score-cache traffic folded in.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot_with_cache(Some(&self.cache.stats()))
+    }
+
+    /// The shared request-tracing registry: recent traces, the slow-query
+    /// log, and their runtime switches.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The underlying table, materializing a sharded source on first call.
@@ -231,20 +242,89 @@ impl EngineCore {
         mode: Mode,
         parallel: bool,
     ) -> Result<Vec<InsightInstance>> {
+        // the entire cost of the dormant trace layer on the untraced path:
+        // one relaxed load of the slow-query threshold
+        if cfg!(feature = "trace") && self.tracer.slow_threshold_ns() > 0 {
+            let start = clock::now_ns();
+            let out = self.run_query_with(query, mode, parallel, &mut TraceBuilder::disabled())?;
+            self.tracer.maybe_record_slow(
+                query,
+                mode,
+                clock::now_ns().saturating_sub(start),
+                out.len(),
+                None,
+            );
+            return Ok(out);
+        }
+        self.run_query_with(query, mode, parallel, &mut TraceBuilder::disabled())
+    }
+
+    /// Runs an insight query and captures a [`QueryTrace`] for it — the
+    /// path behind [`explain`](crate::SessionHandle::explain) (`forced`)
+    /// and per-session trace sampling. The trace is `None` when the `trace`
+    /// cargo feature is compiled out, or when the trace was not forced and
+    /// the tracer's runtime switch is off; the results are bit-identical to
+    /// [`run_query_at`](Self::run_query_at) either way.
+    pub fn run_query_traced(
+        &self,
+        query: &InsightQuery,
+        mode: Mode,
+        parallel: bool,
+        forced: bool,
+    ) -> Result<(Vec<InsightInstance>, Option<Arc<QueryTrace>>)> {
+        let mut trace = self.tracer.begin_trace(query, mode, forced);
+        if !trace.is_active() {
+            return Ok((self.run_query_at(query, mode, parallel)?, None));
+        }
+        let start = clock::now_ns();
+        let out = self.run_query_with(query, mode, parallel, &mut trace)?;
+        let trace = self.tracer.finish(trace);
+        self.tracer.maybe_record_slow(
+            query,
+            mode,
+            clock::now_ns().saturating_sub(start),
+            out.len(),
+            trace.clone(),
+        );
+        Ok((out, trace))
+    }
+
+    fn run_query_with(
+        &self,
+        query: &InsightQuery,
+        mode: Mode,
+        parallel: bool,
+        trace: &mut TraceBuilder,
+    ) -> Result<Vec<InsightInstance>> {
         if let Some(ix) = self.index.as_ref().filter(|ix| ix.mode == mode) {
             let span = self.metrics.span(Stage::IndexServe);
+            trace.begin("index_serve");
             if let Some(out) = ix
                 .index
                 .query(self.exec_table_at(mode)?, &self.registry, query)
             {
                 drop(span);
                 self.metrics.record_query(&query.class_id, mode, true);
+                trace.set_index_served();
+                trace.attr("results", || out.len().to_string());
+                trace.end();
+                if trace.is_active() {
+                    if let Some(first) = out.first() {
+                        trace.set_metric(&first.metric);
+                    }
+                    trace.set_candidates(out.len(), out.len());
+                    trace.record_results(self.exec_table_at(mode)?, &out);
+                }
                 return Ok(out);
             }
             // the index didn't cover the query; don't count a serve
+            trace.attr("covered", || "false".to_owned());
+            trace.end();
             span.cancel();
         }
-        let out = self.executor_at(mode, parallel)?.execute(query)?;
+        let out = self
+            .executor_at(mode, parallel)?
+            .execute_traced(query, trace)?;
         self.metrics.record_query(&query.class_id, mode, false);
         Ok(out)
     }
@@ -328,6 +408,7 @@ pub struct CoreBuilder {
     mode: Mode,
     parallel: bool,
     metrics: Arc<Metrics>,
+    tracer: Arc<Tracer>,
     /// Whether a staged mutation could have changed scores (freeze then
     /// mints a fresh cache epoch).
     dirty: bool,
@@ -351,6 +432,7 @@ impl CoreBuilder {
             mode: Mode::Exact,
             parallel: rayon::current_num_threads() > 1,
             metrics: Arc::new(Metrics::new()),
+            tracer: Arc::new(Tracer::new()),
             dirty: false,
         }
     }
@@ -373,6 +455,7 @@ impl CoreBuilder {
                 mode: core.mode,
                 parallel: core.parallel,
                 metrics: core.metrics,
+                tracer: core.tracer,
                 dirty: false,
             },
             Err(shared) => Self {
@@ -387,6 +470,7 @@ impl CoreBuilder {
                 mode: shared.mode,
                 parallel: shared.parallel,
                 metrics: Arc::clone(&shared.metrics),
+                tracer: Arc::clone(&shared.tracer),
                 dirty: false,
             },
         }
@@ -596,6 +680,7 @@ impl CoreBuilder {
             mode: self.mode,
             parallel: self.parallel,
             metrics: self.metrics,
+            tracer: self.tracer,
         })
     }
 }

@@ -7,6 +7,7 @@ use crate::cache::ScoreCache;
 use crate::error::{EngineError, Result};
 use crate::query::InsightQuery;
 use crate::telemetry::{Lap, Metrics, Stage};
+use crate::trace::{ScorePath, TraceBuilder};
 use foresight_data::Table;
 use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::SketchCatalog;
@@ -21,6 +22,17 @@ pub enum Mode {
     /// Sketch-backed approximations where a class supports them, exact
     /// fallback otherwise. Requires a built [`SketchCatalog`].
     Approximate,
+}
+
+impl Mode {
+    /// The stable lowercase name (`exact` / `approximate`) used in traces,
+    /// the slow-query log, and renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Exact => "exact",
+            Mode::Approximate => "approximate",
+        }
+    }
 }
 
 /// Executes [`InsightQuery`]s against one table.
@@ -139,25 +151,44 @@ impl<'a> Executor<'a> {
         query: &InsightQuery,
         attrs: &AttrTuple,
     ) -> Option<f64> {
+        self.score_uncached_tagged(class, query, attrs).0
+    }
+
+    /// The single scoring implementation, returning which path produced the
+    /// score alongside it — [`score_uncached`](Self::score_uncached) is the
+    /// thin untraced view of this.
+    fn score_uncached_tagged(
+        &self,
+        class: &dyn InsightClass,
+        query: &InsightQuery,
+        attrs: &AttrTuple,
+    ) -> (Option<f64>, ScorePath) {
         if let Some(metric) = &query.metric {
             // alternative metrics always take the exact path
-            return class.score_metric(self.table, attrs, metric);
+            return (
+                class.score_metric(self.table, attrs, metric),
+                ScorePath::Exact,
+            );
         }
         if self.mode == Mode::Approximate {
             if let Some(catalog) = self.catalog {
                 if let Some(s) = class.score_sketch(catalog, self.table, attrs) {
-                    return Some(s);
+                    return (Some(s), ScorePath::Sketch);
                 }
             }
             if self.sketch_only {
                 // no raw rows to fall back to; the candidate is dropped
-                return None;
+                return (None, ScorePath::NoSketch);
             }
             if let Some(metrics) = self.metrics {
                 metrics.record_sketch_fallback();
             }
+            return (
+                class.score(self.table, attrs),
+                ScorePath::SketchFallbackExact,
+            );
         }
-        class.score(self.table, attrs)
+        (class.score(self.table, attrs), ScorePath::Exact)
     }
 
     /// Is this query eligible for [`InsightClass::score_batch`]? Only
@@ -183,7 +214,9 @@ impl<'a> Executor<'a> {
         epoch: u64,
     ) -> Vec<Option<f64>> {
         let metric = query.metric.as_deref();
-        let mut out = cache.lookup_batch(class.id(), candidates, self.mode, metric, epoch);
+        let mut out = cache
+            .lookup_batch(class.id(), candidates, self.mode, metric, epoch)
+            .scores;
         let pending: Vec<usize> = out
             .iter()
             .enumerate()
@@ -218,8 +251,99 @@ impl<'a> Executor<'a> {
             .collect()
     }
 
+    /// Traced scoring: sequential, positionally aligned with `candidates`,
+    /// returning per-candidate `(cache-hit, path)` provenance alongside the
+    /// scores and recording this query's cache traffic on the trace.
+    ///
+    /// Bit-identical to the untraced paths — `score_batch` and parallel
+    /// scoring are contractually identical to serial per-candidate scoring
+    /// (the engine's property tests pin both) — so tracing a query never
+    /// changes its results.
+    fn score_aligned_traced(
+        &self,
+        class: &dyn InsightClass,
+        query: &InsightQuery,
+        candidates: &[AttrTuple],
+        trace: &mut TraceBuilder,
+    ) -> (Vec<Option<f64>>, Vec<(bool, ScorePath)>) {
+        let metric = query.metric.as_deref();
+        let Some((cache, epoch)) = self.cache else {
+            return if self.batchable(query) {
+                let scores = class.score_batch(self.table, candidates);
+                (scores, vec![(false, ScorePath::Exact); candidates.len()])
+            } else {
+                let mut provenance = Vec::with_capacity(candidates.len());
+                let scores = candidates
+                    .iter()
+                    .map(|attrs| {
+                        let (score, path) = self.score_uncached_tagged(class, query, attrs);
+                        provenance.push((false, path));
+                        score
+                    })
+                    .collect();
+                (scores, provenance)
+            };
+        };
+        let looked = cache.lookup_batch(class.id(), candidates, self.mode, metric, epoch);
+        let mut scores = looked.scores;
+        let mut provenance = vec![(true, ScorePath::Cache); candidates.len()];
+        let pending: Vec<usize> = scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
+        let mut stored = 0;
+        if !pending.is_empty() {
+            let fresh: Vec<(AttrTuple, Option<f64>)> = if self.batchable(query) {
+                let missing: Vec<AttrTuple> = pending.iter().map(|&i| candidates[i]).collect();
+                let batch = class.score_batch(self.table, &missing);
+                debug_assert_eq!(batch.len(), missing.len());
+                for &i in &pending {
+                    provenance[i] = (false, ScorePath::Exact);
+                }
+                missing.into_iter().zip(batch).collect()
+            } else {
+                pending
+                    .iter()
+                    .map(|&i| {
+                        let (score, path) =
+                            self.score_uncached_tagged(class, query, &candidates[i]);
+                        provenance[i] = (false, path);
+                        (candidates[i], score)
+                    })
+                    .collect()
+            };
+            stored = cache.store_batch(class.id(), &fresh, self.mode, metric, epoch);
+            for (&i, (_, score)) in pending.iter().zip(&fresh) {
+                scores[i] = Some(*score);
+            }
+        }
+        trace.set_cache_traffic(looked.hits, looked.misses, stored);
+        trace.attr("cache_hits", || looked.hits.to_string());
+        trace.attr("cache_misses", || looked.misses.to_string());
+        trace.attr("stored", || stored.to_string());
+        (
+            scores
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
+            provenance,
+        )
+    }
+
     /// Runs a query, returning instances sorted by descending score.
     pub fn execute(&self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        self.execute_traced(query, &mut TraceBuilder::disabled())
+    }
+
+    /// [`execute`](Self::execute) with a request-scoped trace collector.
+    /// With an inert builder (the untraced path, and every build without
+    /// the `trace` feature) each trace call is an empty inlined no-op.
+    pub(crate) fn execute_traced(
+        &self,
+        query: &InsightQuery,
+        trace: &mut TraceBuilder,
+    ) -> Result<Vec<InsightInstance>> {
         let class = self
             .registry
             .get(&query.class_id)
@@ -241,8 +365,11 @@ impl<'a> Executor<'a> {
             }
         }
 
-        let candidates: Vec<AttrTuple> = class
-            .candidates(self.table)
+        trace.set_metric(query.metric.as_deref().unwrap_or_else(|| class.metric()));
+        trace.begin("candidates");
+        let raw = class.candidates(self.table);
+        let generated = raw.len();
+        let candidates: Vec<AttrTuple> = raw
             .into_iter()
             .filter(|a| {
                 query.matches_fixed(a)
@@ -250,6 +377,10 @@ impl<'a> Executor<'a> {
                     && !query.exclude.contains(a)
             })
             .collect();
+        trace.set_candidates(generated, candidates.len());
+        trace.attr("generated", || generated.to_string());
+        trace.attr("eligible", || candidates.len().to_string());
+        trace.end();
 
         let keep = |attrs: &AttrTuple, score: Option<f64>| -> Option<(AttrTuple, f64)> {
             let score = score?;
@@ -260,40 +391,68 @@ impl<'a> Executor<'a> {
         // one lap timer across score → rank/diversify → describe: each
         // boundary is a single clock read shared by the adjacent stages
         let mut lap = Lap::start(self.metrics);
-        let mut scored: Vec<(AttrTuple, f64)> = match self.cache {
-            Some((cache, epoch)) => self
-                .score_all_cached(class.as_ref(), query, &candidates, cache, epoch)
+        trace.begin("score");
+        let mut scored: Vec<(AttrTuple, f64)> = if trace.is_active() {
+            let (scores, provenance) =
+                self.score_aligned_traced(class.as_ref(), query, &candidates, trace);
+            trace.record_scoring(self.table, query, &candidates, &scores, &provenance);
+            scores
                 .into_iter()
                 .zip(&candidates)
                 .filter_map(|(score, attrs)| keep(attrs, score))
-                .collect(),
-            None if self.batchable(query) => {
-                // batch path: classes share per-column work across candidates
-                class
-                    .score_batch(self.table, &candidates)
+                .collect()
+        } else {
+            match self.cache {
+                Some((cache, epoch)) => self
+                    .score_all_cached(class.as_ref(), query, &candidates, cache, epoch)
                     .into_iter()
                     .zip(&candidates)
                     .filter_map(|(score, attrs)| keep(attrs, score))
-                    .collect()
+                    .collect(),
+                None if self.batchable(query) => {
+                    // batch path: classes share per-column work across candidates
+                    class
+                        .score_batch(self.table, &candidates)
+                        .into_iter()
+                        .zip(&candidates)
+                        .filter_map(|(score, attrs)| keep(attrs, score))
+                        .collect()
+                }
+                None if self.parallel => candidates.par_iter().filter_map(score_fn).collect(),
+                None => candidates.iter().filter_map(score_fn).collect(),
             }
-            None if self.parallel => candidates.par_iter().filter_map(score_fn).collect(),
-            None => candidates.iter().filter_map(score_fn).collect(),
         };
+        trace.attr("survivors", || scored.len().to_string());
+        trace.end();
         lap.mark(Stage::Score);
 
         match query.diversify {
             Some(lambda) if lambda > 0.0 => {
+                trace.begin("diversify");
                 // MMR needs the full descending-score ordering as input
                 scored.sort_by(rank_order);
+                if trace.is_active() {
+                    // snapshot the plain ranking so final ranks get deltas
+                    trace.set_undiversified(scored.iter().map(|(a, _)| *a).collect());
+                }
+                trace.attr("lambda", || lambda.to_string());
+                trace.attr("pool", || scored.len().to_string());
+                trace.attr("k", || query.top_k.to_string());
                 scored = diversify_scored(scored, query.top_k, lambda);
+                trace.end();
                 lap.mark(Stage::Diversify);
             }
             _ => {
+                trace.begin("rank");
+                trace.attr("pool", || scored.len().to_string());
+                trace.attr("k", || query.top_k.to_string());
                 scored = rank_top_k(scored, query.top_k);
+                trace.end();
                 lap.mark(Stage::Rank);
             }
         }
 
+        trace.begin("describe");
         let out: Vec<InsightInstance> = scored
             .into_iter()
             .map(|(attrs, score)| InsightInstance {
@@ -324,7 +483,10 @@ impl<'a> Executor<'a> {
                 },
             })
             .collect();
+        trace.attr("results", || out.len().to_string());
+        trace.end();
         lap.mark(Stage::Describe);
+        trace.record_results(self.table, &out);
         Ok(out)
     }
 }

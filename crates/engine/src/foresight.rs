@@ -305,6 +305,31 @@ impl Foresight {
         Ok(out)
     }
 
+    /// EXPLAIN: runs the query with a forced trace and returns the results
+    /// together with the captured [`QueryTrace`] — per-stage timings, this
+    /// query's cache hits and misses, each candidate's sketch-vs-exact
+    /// path, typed skip reasons, and the final top-k with rank deltas.
+    /// Results are bit-identical to [`query`](Self::query); the trace is
+    /// `None` only when the `trace` cargo feature is compiled out. Recorded
+    /// in the session history like any other query.
+    ///
+    /// [`QueryTrace`]: crate::trace::QueryTrace
+    pub fn explain(&mut self, query: &InsightQuery) -> Result<crate::trace::Explained> {
+        let core = self.core();
+        let (results, trace) = core.run_query_traced(query, core.mode(), core.parallel(), true)?;
+        self.session.record_query(query, results.len());
+        Ok(crate::trace::Explained { results, trace })
+    }
+
+    /// The shared request-tracing registry — recent [`QueryTrace`]s, the
+    /// slow-query log, and their runtime switches. Survives republishes
+    /// like the telemetry registry.
+    ///
+    /// [`QueryTrace`]: crate::trace::QueryTrace
+    pub fn tracer(&self) -> &crate::trace::Tracer {
+        self.core().tracer()
+    }
+
     /// Re-executes every query recorded in the current session's history
     /// (e.g. one restored from a colleague's saved session) and returns the
     /// per-query results. The replay itself is appended to the history.

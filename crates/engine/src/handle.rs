@@ -14,6 +14,7 @@ use crate::neighborhood::NeighborhoodWeights;
 use crate::query::InsightQuery;
 use crate::recommend::{Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
 use crate::session::Session;
+use crate::trace::Explained;
 use foresight_insight::{AttrTuple, InsightInstance};
 use std::sync::Arc;
 
@@ -29,6 +30,16 @@ pub struct SessionHandle {
     parallel: bool,
     focus_overfetch: usize,
     weights: NeighborhoodWeights,
+    /// Trace one query in every `trace_every` (0 = sampling off). Plain
+    /// fields, not atomics: the handle is per-user `&mut` state, so a
+    /// sampled-out query costs no synchronized operation at all.
+    trace_every: u64,
+    /// Which residue of the counter is traced — derived from the sampling
+    /// seed, so distinct seeds trace distinct (but each reproducible)
+    /// query subsets.
+    trace_phase: u64,
+    /// Queries issued since sampling was configured.
+    trace_counter: u64,
 }
 
 const _: () = {
@@ -50,6 +61,9 @@ impl SessionHandle {
             parallel,
             focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
             weights: NeighborhoodWeights::default(),
+            trace_every: 0,
+            trace_phase: 0,
+            trace_counter: 0,
         }
     }
 
@@ -111,13 +125,72 @@ impl SessionHandle {
         self.focus_overfetch = factor.max(1);
     }
 
+    /// Configures deterministic trace sampling for this session: roughly
+    /// one query in `1/rate` is captured as a full [`QueryTrace`] into the
+    /// core's trace ring (`rate` = 0 turns sampling off; ≥ 1 traces every
+    /// query). The sampled subset is a fixed residue of a per-handle query
+    /// counter — seeded by `seed`, free of RNG on the query path — so the
+    /// same (rate, seed, query sequence) always traces the same queries.
+    ///
+    /// Requires the `trace` cargo feature to have any effect; see also
+    /// [`explain`](Self::explain) for forcing a single query's trace.
+    ///
+    /// [`QueryTrace`]: crate::trace::QueryTrace
+    pub fn set_trace_sampling(&mut self, rate: f64, seed: u64) {
+        if rate.is_nan() || rate <= 0.0 {
+            self.trace_every = 0;
+            self.trace_phase = 0;
+            self.trace_counter = 0;
+            return;
+        }
+        let every = (1.0 / rate.min(1.0)).round().max(1.0) as u64;
+        self.trace_every = every;
+        self.trace_phase = seed % every;
+        self.trace_counter = 0;
+    }
+
+    /// Does the sampling schedule select the next query? Advances the
+    /// per-handle counter; zero atomics when sampled out.
+    fn sample_this_query(&mut self) -> bool {
+        if !cfg!(feature = "trace") || self.trace_every == 0 {
+            return false;
+        }
+        let n = self.trace_counter;
+        self.trace_counter += 1;
+        n % self.trace_every == self.trace_phase
+    }
+
     /// Runs an insight query against the shared core and records it in
     /// this session's history. `&mut self` guards only the history append
-    /// — the core is read-only throughout.
+    /// — the core is read-only throughout. When the sampling schedule set
+    /// by [`set_trace_sampling`](Self::set_trace_sampling) selects this
+    /// query, its trace is captured into the core's ring as a side effect.
     pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
-        let out = self.core.run_query_at(query, self.mode, self.parallel)?;
+        let out = if self.sample_this_query() {
+            self.core
+                .run_query_traced(query, self.mode, self.parallel, false)?
+                .0
+        } else {
+            self.core.run_query_at(query, self.mode, self.parallel)?
+        };
         self.session.record_query(query, out.len());
         Ok(out)
+    }
+
+    /// EXPLAIN: runs the query with a forced trace — regardless of the
+    /// sampling schedule or the tracer's runtime switch — and returns the
+    /// results together with the captured [`QueryTrace`]. Results are
+    /// bit-identical to [`query`](Self::query); the trace is `None` only
+    /// when the `trace` cargo feature is compiled out. The query is
+    /// recorded in this session's history like any other.
+    ///
+    /// [`QueryTrace`]: crate::trace::QueryTrace
+    pub fn explain(&mut self, query: &InsightQuery) -> Result<Explained> {
+        let (results, trace) = self
+            .core
+            .run_query_traced(query, self.mode, self.parallel, true)?;
+        self.session.record_query(query, results.len());
+        Ok(Explained { results, trace })
     }
 
     /// Re-executes every query recorded in this session's history (e.g.

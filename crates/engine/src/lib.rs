@@ -15,6 +15,9 @@
 //! * [`recommend`] — Figure-1 carousel assembly
 //! * [`telemetry`] — per-stage latency histograms and query counters
 //!   (compiled out without the `telemetry` cargo feature)
+//! * [`trace`] — request-scoped tracing: per-query span trees, EXPLAIN,
+//!   the trace ring, and the slow-query log (compiled out without the
+//!   `trace` cargo feature)
 //! * [`foresight`] — the [`Foresight`] facade tying everything together
 
 #![warn(missing_docs)]
@@ -32,9 +35,10 @@ pub mod query;
 pub mod recommend;
 pub mod session;
 pub mod telemetry;
+pub mod trace;
 
 pub use crate::core::{CoreBuilder, EngineCore};
-pub use cache::{CacheStats, ScoreCache, CACHE_SHARDS};
+pub use cache::{BatchLookup, CacheStats, ScoreCache, CACHE_SHARDS};
 pub use error::{EngineError, Result};
 pub use executor::{Executor, Mode};
 pub use foresight::{Foresight, STATE_FORMAT_VERSION};
@@ -46,3 +50,7 @@ pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
 pub use telemetry::{Metrics, MetricsSnapshot, Stage};
+pub use trace::{
+    Explained, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,
+    SLOW_LOG_CAPACITY, TRACE_RING_CAPACITY,
+};

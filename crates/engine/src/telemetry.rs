@@ -58,7 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// crosses several span boundaries. On x86_64 we read the invariant TSC
 /// instead (a few ns) and convert to nanoseconds with a once-per-process
 /// calibration against the OS clock; elsewhere we fall back to `Instant`.
-mod clock {
+pub(crate) mod clock {
     use std::sync::OnceLock;
     use std::time::Instant;
 

@@ -1,0 +1,80 @@
+//! Property tests pinning the tracing layer's zero-interference contract:
+//! a traced query — forced via `explain` or selected by sampling — must
+//! return bit-identical results to the same query run untraced, across
+//! exact and approximate modes, serial and parallel execution, cold and
+//! warm caches, with and without diversification.
+
+use foresight_data::{TableBuilder, TableSource};
+use foresight_engine::{EngineCore, InsightQuery, Mode};
+use foresight_sketch::CatalogConfig;
+use proptest::prelude::*;
+
+fn table(cols: usize, rows: usize, seed: u64) -> foresight_data::Table {
+    let mut builder = TableBuilder::new("t");
+    for c in 0..cols {
+        let values: Vec<f64> = (0..rows)
+            .map(|r| {
+                let x = (r as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed + c as u64);
+                (x >> 33) as f64 / 1e9 + if c % 2 == 0 { r as f64 } else { 0.0 }
+            })
+            .collect();
+        builder = builder.numeric(format!("col{c}"), values);
+    }
+    builder.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traced_and_untraced_runs_are_bit_identical(
+        cols in 3usize..7,
+        rows in 30usize..80,
+        seed in 0u64..1000,
+        k in 1usize..8,
+        approx in 0u8..2,
+        parallel in 0u8..2,
+        lambda in 0.0f64..0.9,
+    ) {
+        let mut builder = EngineCore::builder(TableSource::materialized(table(cols, rows, seed)));
+        let mode = if approx == 1 {
+            builder.preprocess(&CatalogConfig::default()).expect("preprocess");
+            Mode::Approximate
+        } else {
+            Mode::Exact
+        };
+        let core = builder.freeze();
+        let mut q = InsightQuery::class("linear-relationship").top_k(k);
+        if lambda > 0.05 {
+            q = q.diversify(lambda);
+        }
+        let parallel = parallel == 1;
+
+        // cold cache: the forced trace runs first, so the instrumented
+        // scoring path itself fills the cache other runs then hit
+        let (traced, trace) = core
+            .run_query_traced(&q, mode, parallel, true)
+            .expect("traced run");
+        let untraced = core.run_query_at(&q, mode, parallel).expect("untraced run");
+        prop_assert_eq!(&traced, &untraced);
+
+        if cfg!(feature = "trace") {
+            let trace = trace.expect("forced trace is captured");
+            prop_assert_eq!(trace.results.len(), untraced.len());
+            for (rec, inst) in trace.results.iter().zip(&untraced) {
+                // scores in the trace are the served scores, bit for bit
+                prop_assert_eq!(rec.score.to_bits(), inst.score.to_bits());
+            }
+        } else {
+            prop_assert!(trace.is_none(), "no trace without the feature");
+        }
+
+        // warm cache + sampled (not forced) tracing through a session
+        // handle: still identical
+        let mut sampled = core.handle();
+        sampled.set_trace_sampling(1.0, seed);
+        prop_assert_eq!(sampled.query(&q).expect("sampled run"), untraced);
+    }
+}

@@ -31,7 +31,12 @@ commands:
   overview <class>             the class overview chart (Figure 2 for linear)
   mode exact|approx            switch scoring mode (approx builds sketches once)
   stats                        score-cache counters (hits, misses, purges, shards)
-  metrics [json]               engine telemetry: per-stage latencies + query counters
+  metrics [json|reset]         engine telemetry: per-stage latencies + query counters
+  explain <class> [k]          run a query with a forced trace and show the full
+                               span tree, per-candidate cache/path provenance,
+                               skip reasons, and rank deltas (needs --features trace)
+  trace last [json|chrome]     re-render the most recent trace (chrome = Perfetto)
+  slowlog [ms|off]             show the slow-query log, or arm/disarm its threshold
   save <path> / load <path>    persist / restore the session
   help / quit";
 
@@ -237,14 +242,82 @@ impl Repl {
                 );
                 println!("  per-shard: {:?}", stats.shard_entries);
             }
-            "metrics" => {
-                let snap = self.engine.metrics();
-                if rest.first() == Some(&"json") {
-                    println!("{}", snap.to_json());
-                } else {
-                    print!("{}", snap.to_text());
+            "metrics" => match rest.first() {
+                Some(&"json") => println!("{}", self.engine.metrics().to_json()),
+                Some(&"reset") => {
+                    self.engine.core().metrics().reset();
+                    println!("telemetry counters reset");
+                }
+                None => print!("{}", self.engine.metrics().to_text()),
+                Some(other) => println!("unknown metrics subcommand `{other}` (usage: metrics [json|reset])"),
+            },
+            "explain" => {
+                let Some(class) = rest.first() else {
+                    println!("usage: explain <class> [k]");
+                    return true;
+                };
+                let k = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+                match self.engine.explain(&self.build_query(class, k)) {
+                    Ok(explained) => {
+                        self.last = explained.results;
+                        match explained.trace {
+                            Some(trace) => print!("{}", trace.to_text()),
+                            None => println!(
+                                "(no trace captured — rebuild with `--features trace`)"
+                            ),
+                        }
+                        for (i, inst) in self.last.iter().enumerate() {
+                            println!("  [{i}] {:.3}  {}", inst.score, inst.detail);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
                 }
             }
+            "trace" => match (rest.first(), rest.get(1)) {
+                (Some(&"last"), fmt) => match self.engine.tracer().last() {
+                    Some(trace) => match fmt {
+                        None => print!("{}", trace.to_text()),
+                        Some(&"json") => println!("{}", trace.to_json()),
+                        Some(&"chrome") => println!("{}", trace.to_chrome_json()),
+                        Some(other) => {
+                            println!("unknown trace format `{other}` (usage: trace last [json|chrome])")
+                        }
+                    },
+                    None => println!(
+                        "(no traces captured yet — run `explain`, or rebuild with `--features trace`)"
+                    ),
+                },
+                _ => println!("usage: trace last [json|chrome]"),
+            },
+            "slowlog" => match rest.first() {
+                Some(&"off") => {
+                    self.engine.tracer().set_slow_threshold_ns(0);
+                    println!("slow-query log disarmed");
+                }
+                Some(ms) => match ms.parse::<f64>() {
+                    Ok(ms) if ms >= 0.0 => {
+                        // 0 ns disarms the tracer, so "slowlog 0" arms at
+                        // 1 ns instead: log every query
+                        self.engine
+                            .tracer()
+                            .set_slow_threshold_ns(((ms * 1e6) as u64).max(1));
+                        println!("slow-query log armed at {ms} ms");
+                    }
+                    _ => println!("usage: slowlog [ms|off]"),
+                },
+                None => {
+                    let entries = self.engine.tracer().slow_queries();
+                    if entries.is_empty() {
+                        println!(
+                            "(slow-query log empty — arm it with `slowlog <ms>`, threshold now {} ms)",
+                            self.engine.tracer().slow_threshold_ns() as f64 / 1e6
+                        );
+                    }
+                    for entry in entries {
+                        println!("  {}", entry.to_line());
+                    }
+                }
+            },
             "save" => match rest.first() {
                 Some(path) => match std::fs::File::create(path)
                     .map_err(foresight::engine::EngineError::from)

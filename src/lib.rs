@@ -88,8 +88,8 @@ pub mod prelude {
     pub use foresight_data::{Table, TableBuilder, TableSource};
     pub use foresight_engine::{
         profile, Carousel, CoreBuilder, DatasetProfile, EngineCore, EngineError, Executor,
-        Foresight, InsightQuery, Metrics, MetricsSnapshot, Mode, NeighborhoodWeights, Session,
-        SessionHandle,
+        Explained, Foresight, InsightQuery, Metrics, MetricsSnapshot, Mode, NeighborhoodWeights,
+        QueryTrace, Session, SessionHandle, SlowQuery, Tracer,
     };
     pub use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
     pub use foresight_sketch::{CatalogConfig, SketchCatalog};
