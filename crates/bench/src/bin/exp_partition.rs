@@ -127,8 +127,39 @@ fn measure_queries(table: &Table, config: &CatalogConfig, parts: usize) -> Value
     })
 }
 
-fn main() {
+/// Cold sharded builds on a forced multi-worker pool with a parallel
+/// config — the datapoint the sequential rows above can't show. The pool
+/// is pinned explicitly (a 1-CPU container would otherwise fan out to a
+/// single thread while claiming parallelism) and restored afterwards.
+fn measure_parallel_build(table: &Table, config: &CatalogConfig) -> Value {
+    const FORCED_THREADS: usize = 4;
+    rayon::set_num_threads(FORCED_THREADS);
     let threads = rayon::current_num_threads();
+    let par_config = CatalogConfig {
+        parallel: true,
+        ..config.clone()
+    };
+    let single = bench(|| SketchCatalog::build(table, &par_config));
+    let shards = split(table, FORCED_THREADS);
+    let refs: Vec<&Table> = shards.iter().collect();
+    let sharded = bench(|| SketchCatalog::build_sharded(&refs, &par_config).expect("one config"));
+    rayon::set_num_threads(0);
+
+    println!(
+        "| {:<22} | {:>12} | {:>12} |",
+        format!("parallel build ({threads} thr)"),
+        fmt_duration(single),
+        fmt_duration(sharded)
+    );
+    json!({
+        "threads": threads,
+        "single_pass_build_ms": single.as_secs_f64() * 1e3,
+        "sharded_build_ms": sharded.as_secs_f64() * 1e3,
+    })
+}
+
+fn main() {
+    let threads = foresight_bench::configure_threads();
     let (table, _) = workload(ROWS, COLS, 7);
     let config = CatalogConfig {
         hyperplane_k: Some(1024),
@@ -151,6 +182,13 @@ fn main() {
     println!("|{}|", "-".repeat(54));
     let queries = measure_queries(&table, &config, 4);
 
+    println!(
+        "\n| {:<22} | {:>12} | {:>12} |",
+        "cold build", "single-pass", "4-shard"
+    );
+    println!("|{}|", "-".repeat(54));
+    let parallel_build = measure_parallel_build(&table, &config);
+
     let report = json!({
         "experiment": "partition",
         "description": "sharded catalog build scaling, merge cost, and merged-vs-single-pass query latency",
@@ -161,6 +199,7 @@ fn main() {
         "rayon_threads": threads,
         "build_scaling": scaling,
         "query_latency": queries,
+        "parallel_build": parallel_build,
     });
     let path = "BENCH_partition.json";
     std::fs::write(

@@ -74,6 +74,26 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, t0.elapsed())
 }
 
+/// Configures the rayon pool for a benchmark run and returns the effective
+/// worker-thread count — the number every `BENCH_*.json` should record.
+///
+/// Honors `FORESIGHT_BENCH_THREADS` (explicit pool size for this run) by
+/// pinning the pool via `rayon::set_num_threads`; otherwise leaves the pool
+/// on its automatic size (`RAYON_NUM_THREADS` or machine parallelism).
+/// Benchmarks previously recorded `rayon::current_num_threads()` without
+/// ever configuring the pool, so "parallel" datapoints on a 1-CPU container
+/// silently reported (and used) a single thread.
+pub fn configure_threads() -> usize {
+    if let Some(n) = std::env::var("FORESIGHT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        rayon::set_num_threads(n);
+    }
+    rayon::current_num_threads()
+}
+
 /// Builds the standard benchmark workload.
 pub fn workload(rows: usize, numeric_cols: usize, seed: u64) -> (Table, SynthGroundTruth) {
     synth(&SynthConfig::benchmark(rows, numeric_cols, seed))

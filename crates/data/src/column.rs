@@ -77,6 +77,13 @@ impl NumericColumn {
         self.values.iter().filter(|v| v.is_nan()).count()
     }
 
+    /// Packed presence bitmask (bit set ⇔ row present). One `is_nan` sweep
+    /// here lets pairwise-complete kernels AND two masks per pair instead of
+    /// re-testing every row — see [`crate::mask::PresenceMask`].
+    pub fn presence(&self) -> crate::mask::PresenceMask {
+        crate::mask::PresenceMask::from_values(&self.values)
+    }
+
     /// Value at `row` (`None` when missing or out of range).
     pub fn get(&self, row: usize) -> Option<f64> {
         self.values.get(row).copied().filter(|v| !v.is_nan())

@@ -23,6 +23,7 @@ pub mod csv;
 pub mod datasets;
 pub mod error;
 pub mod infer;
+pub mod mask;
 pub mod schema;
 pub mod source;
 pub mod table;
@@ -30,6 +31,7 @@ pub mod value;
 
 pub use column::{CategoricalColumn, Column, ColumnType, NumericColumn};
 pub use error::{DataError, Result};
+pub use mask::PresenceMask;
 pub use schema::{Field, Schema};
 pub use source::TableSource;
 pub use table::{Table, TableBuilder};
@@ -40,6 +42,7 @@ pub mod prelude {
     pub use crate::column::{CategoricalColumn, Column, ColumnType, NumericColumn};
     pub use crate::datasets;
     pub use crate::error::{DataError, Result};
+    pub use crate::mask::PresenceMask;
     pub use crate::schema::{Field, Schema};
     pub use crate::source::TableSource;
     pub use crate::table::{Table, TableBuilder};

@@ -1,0 +1,159 @@
+//! Packed presence bitmasks for numeric columns.
+//!
+//! A [`PresenceMask`] records, one bit per row, whether a column's value is
+//! present (`1`) or missing/NaN (`0`). Building the mask costs one `is_nan`
+//! sweep per column; after that, pairwise-complete operations over any pair
+//! of columns reduce to ANDing the two masks word-by-word and visiting only
+//! the set bits — no per-row NaN test, no branch per element. The stats and
+//! sketch kernels consume these masks to keep their inner loops branch-free
+//! over contiguous `f64` slices.
+
+/// One bit per row; bit set ⇔ value present (not NaN). Bits are packed
+/// little-endian into `u64` words (row `i` lives in word `i / 64`, bit
+/// `i % 64`); trailing bits past `len` are always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceMask {
+    words: Vec<u64>,
+    len: usize,
+    present: usize,
+}
+
+impl PresenceMask {
+    /// Builds the mask from a raw value slice; `NaN` marks a missing row.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut words = vec![0u64; values.len().div_ceil(64)];
+        let mut present = 0usize;
+        for (i, chunk) in values.chunks(64).enumerate() {
+            let mut w = 0u64;
+            for (b, v) in chunk.iter().enumerate() {
+                // branchless: bool → 0/1 shifted into place
+                w |= u64::from(!v.is_nan()) << b;
+            }
+            present += w.count_ones() as usize;
+            words[i] = w;
+        }
+        Self {
+            words,
+            len: values.len(),
+            present,
+        }
+    }
+
+    /// Number of rows covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of present (non-missing) rows.
+    pub fn count_present(&self) -> usize {
+        self.present
+    }
+
+    /// `true` when every row is present — the fast path where kernels can
+    /// run over the raw slice with no compaction at all.
+    pub fn all_present(&self) -> bool {
+        self.present == self.len
+    }
+
+    /// Whether row `i` is present.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "row {i} out of bounds for mask of len {}",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The packed words, little-endian bit order; trailing bits past
+    /// [`len`](Self::len) are zero, so two masks of equal length can be
+    /// combined word-by-word without edge handling.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of rows present in *both* masks — the pairwise-complete count,
+    /// computed without touching the value arrays.
+    ///
+    /// # Panics
+    /// Panics if the masks cover different numbers of rows.
+    pub fn and_count(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_tracks_nans() {
+        let v = [1.0, f64::NAN, 3.0, f64::NAN, 5.0];
+        let m = PresenceMask::from_values(&v);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.count_present(), 3);
+        assert!(!m.all_present());
+        let bits: Vec<bool> = (0..5).map(|i| m.get(i)).collect();
+        assert_eq!(bits, [true, false, true, false, true]);
+    }
+
+    #[test]
+    fn word_boundaries_and_trailing_zeros() {
+        // 130 rows = 2 full words + 2 bits; every 64th row missing
+        let v: Vec<f64> = (0..130)
+            .map(|i| if i % 64 == 0 { f64::NAN } else { i as f64 })
+            .collect();
+        let m = PresenceMask::from_values(&v);
+        assert_eq!(m.words().len(), 3);
+        assert_eq!(m.count_present(), 127);
+        assert!(!m.get(0));
+        assert!(!m.get(64));
+        assert!(!m.get(128));
+        assert!(m.get(63));
+        assert!(m.get(129));
+        // trailing bits above len must be zero
+        assert_eq!(m.words()[2] >> 2, 0);
+    }
+
+    #[test]
+    fn and_count_matches_pairwise_complete() {
+        let x: Vec<f64> = (0..200)
+            .map(|i| if i % 7 == 0 { f64::NAN } else { i as f64 })
+            .collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| if i % 5 == 1 { f64::NAN } else { i as f64 })
+            .collect();
+        let expected = x
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+            .count();
+        let mx = PresenceMask::from_values(&x);
+        let my = PresenceMask::from_values(&y);
+        assert_eq!(mx.and_count(&my), expected);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let m = PresenceMask::from_values(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.count_present(), 0);
+        assert!(m.all_present()); // vacuously: 0 of 0 present
+        let full = PresenceMask::from_values(&[1.0, 2.0, 3.0]);
+        assert!(full.all_present());
+        assert_eq!(full.and_count(&full), 3);
+    }
+}

@@ -392,6 +392,11 @@ impl<'a> Executor<'a> {
         // boundary is a single clock read shared by the adjacent stages
         let mut lap = Lap::start(self.metrics);
         trace.begin("score");
+        // which stats kernel served this query's scoring pass — lets EXPLAIN
+        // distinguish vectorized from scalar-forced (FORESIGHT_KERNEL) runs
+        trace.attr("kernel", || {
+            foresight_stats::kernel::mode().name().to_owned()
+        });
         let mut scored: Vec<(AttrTuple, f64)> = if trace.is_active() {
             let (scores, provenance) =
                 self.score_aligned_traced(class.as_ref(), query, &candidates, trace);

@@ -368,6 +368,24 @@ mod tests {
     }
 
     #[test]
+    fn kernel_mode_shows_in_metrics_and_explain() {
+        let core = shared_core();
+        let mut h = core.handle();
+        let expected = foresight_stats::kernel::mode().name();
+        assert_eq!(h.metrics().kernel, expected);
+        let ex = h
+            .explain(&InsightQuery::class("linear-relationship").top_k(2))
+            .unwrap();
+        match ex.trace {
+            Some(trace) => {
+                let score = trace.root.child("score").expect("score span");
+                assert_eq!(score.attr("kernel"), Some(expected));
+            }
+            None => assert!(!cfg!(feature = "trace")),
+        }
+    }
+
+    #[test]
     fn mode_override_is_per_handle() {
         let mut builder = CoreBuilder::new(TableSource::materialized(datasets::oecd()));
         builder

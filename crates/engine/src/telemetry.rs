@@ -442,6 +442,7 @@ impl Metrics {
         MetricsSnapshot {
             telemetry_compiled: cfg!(feature = "telemetry"),
             telemetry_enabled: self.enabled(),
+            kernel: foresight_stats::kernel::mode().name().to_owned(),
             stages,
             queries,
             sketch_fallbacks: self.sketch_fallbacks.load(Ordering::Relaxed),
@@ -631,6 +632,9 @@ pub struct MetricsSnapshot {
     pub telemetry_compiled: bool,
     /// Whether recording was active when the snapshot was taken.
     pub telemetry_enabled: bool,
+    /// Stats-kernel mode (`vectorized` / `scalar`) on the snapshotting
+    /// thread — the implementation serving this core's scoring passes.
+    pub kernel: String,
     /// Per-stage latency summaries, in [`Stage::ALL`] order (every stage
     /// present, sampled or not).
     pub stages: Vec<StageSnapshot>,
@@ -664,6 +668,7 @@ impl MetricsSnapshot {
             (true, true) => "recording",
         };
         let _ = writeln!(out, "telemetry: {state}");
+        let _ = writeln!(out, "kernel: {}", self.kernel);
         let _ = writeln!(
             out,
             "\n{:<14} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",

@@ -7,9 +7,12 @@
 use crate::class::{column_name, InsightClass};
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
+use foresight_data::PresenceMask;
 use foresight_data::Table;
 use foresight_sketch::SketchCatalog;
-use foresight_stats::correlation::{center, pearson, pearson_centered, spearman, CenteredColumn};
+use foresight_stats::correlation::{
+    center, pearson, pearson_centered, pearson_masked, spearman, CenteredColumn, PairScratch,
+};
 use foresight_viz::{ChartKind, ChartSpec, HeatmapSpec};
 use std::collections::HashMap;
 
@@ -67,16 +70,7 @@ impl LinearRelationship {
         catalog: &SketchCatalog,
         indices: &[usize],
     ) -> Option<ChartSpec> {
-        let d = indices.len();
-        let mut matrix = vec![vec![f64::NAN; d]; d];
-        for a in 0..d {
-            matrix[a][a] = 1.0;
-            for b in (a + 1)..d {
-                let rho = catalog.correlation(indices[a], indices[b])?;
-                matrix[a][b] = rho;
-                matrix[b][a] = rho;
-            }
-        }
+        let matrix = catalog.correlation_matrix(indices)?;
         Some(Self::heatmap_spec(table, indices, matrix))
     }
 
@@ -130,9 +124,13 @@ impl InsightClass for LinearRelationship {
 
     fn score_batch(&self, table: &Table, attrs: &[AttrTuple]) -> Vec<Option<f64>> {
         // center each distinct column once, then one fused pass per pair;
-        // bit-identical to `score` (see `pearson_centered`), with a per-pair
-        // fallback for columns that carry missing values
+        // bit-identical to `score` (see `pearson_centered`). Pairs touching
+        // columns with missing values fall back to pairwise deletion driven
+        // by per-column presence masks (built once) and one shared
+        // compaction scratch — no per-pair allocation on either path.
         let cols = center_columns(table, attrs, |v| Some(v.to_vec()));
+        let mut masks: HashMap<usize, PresenceMask> = HashMap::new();
+        let mut scratch = PairScratch::new();
         attrs
             .iter()
             .map(|a| {
@@ -144,7 +142,17 @@ impl InsightClass for LinearRelationship {
                         let rho = pearson_centered(cx, cy);
                         rho.is_finite().then_some(rho.abs())
                     }
-                    _ => self.score(table, a),
+                    _ => {
+                        let x = table.numeric(*i).ok()?.values();
+                        let y = table.numeric(*j).ok()?.values();
+                        for (idx, col) in [(*i, x), (*j, y)] {
+                            masks
+                                .entry(idx)
+                                .or_insert_with(|| PresenceMask::from_values(col));
+                        }
+                        let rho = pearson_masked(x, y, &masks[i], &masks[j], &mut scratch);
+                        rho.is_finite().then_some(rho.abs())
+                    }
                 }
             })
             .collect()

@@ -12,11 +12,14 @@ use crate::class::{column_name, InsightClass};
 use crate::classes::linear::center_columns;
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
-use foresight_data::Table;
+use foresight_data::{PresenceMask, Table};
 use foresight_sketch::SketchCatalog;
-use foresight_stats::correlation::{kendall_tau_b, pearson, pearson_centered, spearman};
+use foresight_stats::correlation::{
+    kendall_tau_b, pearson, pearson_centered, spearman, spearman_masked, spearman_with, PairScratch,
+};
 use foresight_stats::rank::fractional_ranks;
 use foresight_viz::ChartSpec;
+use std::collections::HashMap;
 
 /// The monotonic-relationship insight class.
 #[derive(Debug, Default, Clone, Copy)]
@@ -71,10 +74,14 @@ impl InsightClass for MonotonicRelationship {
         // rank and center each distinct column once; Spearman is then one
         // fused Pearson pass over the shared rank vectors. Columns with
         // missing values rank differently per pair (pairwise deletion), so
-        // tuples touching them fall back to the per-pair path.
+        // tuples touching them fall back to mask-driven pairwise deletion —
+        // one presence mask per column, one shared compaction scratch, no
+        // per-pair allocation.
         let cols = center_columns(table, attrs, |v| {
             v.iter().all(|x| !x.is_nan()).then(|| fractional_ranks(v))
         });
+        let mut masks: HashMap<usize, PresenceMask> = HashMap::new();
+        let mut scratch = PairScratch::new();
         attrs
             .iter()
             .map(|a| {
@@ -86,7 +93,17 @@ impl InsightClass for MonotonicRelationship {
                         let rho = pearson_centered(rx, ry);
                         rho.is_finite().then_some(rho.abs())
                     }
-                    _ => self.score(table, a),
+                    _ => {
+                        let x = table.numeric(*i).ok()?.values();
+                        let y = table.numeric(*j).ok()?.values();
+                        for (idx, col) in [(*i, x), (*j, y)] {
+                            masks
+                                .entry(idx)
+                                .or_insert_with(|| PresenceMask::from_values(col));
+                        }
+                        let rho = spearman_masked(x, y, &masks[i], &masks[j], &mut scratch);
+                        rho.is_finite().then_some(rho.abs())
+                    }
                 }
             })
             .collect()
@@ -173,16 +190,19 @@ impl InsightClass for MonotonicRelationship {
     }
 
     fn overview(&self, table: &Table) -> Option<ChartSpec> {
-        // a Spearman version of the Figure-2 heatmap
+        // a Spearman version of the Figure-2 heatmap; one compaction
+        // scratch reused across all O(d²) pairs
         let indices = table.numeric_indices();
         let d = indices.len();
         let mut values = vec![vec![f64::NAN; d]; d];
+        let mut scratch = PairScratch::new();
         for a in 0..d {
             values[a][a] = 1.0;
             for b in (a + 1)..d {
-                let rho = spearman(
+                let rho = spearman_with(
                     table.numeric(indices[a]).ok()?.values(),
                     table.numeric(indices[b]).ok()?.values(),
+                    &mut scratch,
                 );
                 values[a][b] = rho;
                 values[b][a] = rho;

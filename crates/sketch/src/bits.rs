@@ -71,14 +71,26 @@ impl BitVec {
 
     /// Hamming distance to another vector of the same length — the `H(x,y)`
     /// in the paper's correlation estimator `cos(πH/k)`. Word-parallel XOR +
-    /// popcount.
+    /// popcount over four independent counters, so the popcounts pipeline
+    /// instead of serializing on one running sum (integer counts: the split
+    /// is exact).
     pub fn hamming(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "bit vectors must have equal length");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        let mut c = [0usize; 4];
+        let a4 = self.words.chunks_exact(4);
+        let b4 = other.words.chunks_exact(4);
+        let (ta, tb) = (a4.remainder(), b4.remainder());
+        for (a, b) in a4.zip(b4) {
+            c[0] += (a[0] ^ b[0]).count_ones() as usize;
+            c[1] += (a[1] ^ b[1]).count_ones() as usize;
+            c[2] += (a[2] ^ b[2]).count_ones() as usize;
+            c[3] += (a[3] ^ b[3]).count_ones() as usize;
+        }
+        let mut h = c[0] + c[1] + c[2] + c[3];
+        for (a, b) in ta.iter().zip(tb) {
+            h += (a ^ b).count_ones() as usize;
+        }
+        h
     }
 
     /// Memory consumed by the packed words, in bytes.

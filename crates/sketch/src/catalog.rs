@@ -461,6 +461,33 @@ impl SketchCatalog {
         a.rank_hyperplane.correlation(&b.rank_hyperplane).ok()
     }
 
+    /// All pairwise Pearson estimates among the numeric columns `indices`,
+    /// as a symmetric matrix with unit diagonal — the bulk form behind
+    /// overview heatmaps and all-pairs carousels. Gathers each column's
+    /// sketch once (no per-pair hash lookups) and tiles the pairwise
+    /// Hamming/estimator pass so a block of bit vectors stays cache-hot
+    /// while the partner column streams past. Returns `None` if any index
+    /// has no numeric sketch; entries match [`SketchCatalog::correlation`]
+    /// exactly.
+    pub fn correlation_matrix(&self, indices: &[usize]) -> Option<Vec<Vec<f64>>> {
+        let sketches: Option<Vec<&HyperplaneSketch>> = indices
+            .iter()
+            .map(|i| self.numeric.get(i).map(|s| &s.hyperplane))
+            .collect();
+        Some(pairwise_estimates(&sketches?))
+    }
+
+    /// All pairwise Spearman estimates among the numeric columns `indices`
+    /// — the rank-sketch analogue of [`SketchCatalog::correlation_matrix`],
+    /// entries matching [`SketchCatalog::spearman`] exactly.
+    pub fn spearman_matrix(&self, indices: &[usize]) -> Option<Vec<Vec<f64>>> {
+        let sketches: Option<Vec<&HyperplaneSketch>> = indices
+            .iter()
+            .map(|i| self.numeric.get(i).map(|s| &s.rank_hyperplane))
+            .collect();
+        Some(pairwise_estimates(&sketches?))
+    }
+
     /// Serializes the catalog to JSON, so the preprocessing phase can run
     /// once and be reused across sessions.
     pub fn save(&self, writer: impl std::io::Write) -> serde_json::Result<()> {
@@ -480,6 +507,38 @@ impl SketchCatalog {
             .map(|s| s.hyperplane.size_bytes())
             .sum()
     }
+}
+
+/// Columns per tile of the pairwise estimator pass: a tile's bit vectors
+/// (8 × k/8 bytes = 4 KiB at the common k = 4096 ceiling) stay resident
+/// while every partner column streams past once per tile instead of once
+/// per pair.
+const PAIR_TILE: usize = 8;
+
+/// The tiled all-pairs `cos(π·H/k)` pass over sketches that share one
+/// hyperplane family (guaranteed when they come from one catalog).
+fn pairwise_estimates(sketches: &[&HyperplaneSketch]) -> Vec<Vec<f64>> {
+    let d = sketches.len();
+    let mut m = vec![vec![0.0f64; d]; d];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+        debug_assert_eq!(sketches[i].k(), sketches[0].k());
+    }
+    let mut i0 = 0;
+    while i0 < d {
+        let i1 = (i0 + PAIR_TILE).min(d);
+        for j in (i0 + 1)..d {
+            for i in i0..i1.min(j) {
+                let k = sketches[i].k();
+                let h = sketches[i].bits().hamming(sketches[j].bits());
+                let rho = (std::f64::consts::PI * h as f64 / k as f64).cos();
+                m[i][j] = rho;
+                m[j][i] = rho;
+            }
+        }
+        i0 = i1;
+    }
+    m
 }
 
 impl Mergeable for SketchCatalog {
@@ -803,6 +862,32 @@ mod tests {
             assert_eq!(m.distinct.estimate(), s.distinct.estimate());
             assert!((m.entropy.estimate() - s.entropy.estimate()).abs() < 0.15);
         }
+    }
+
+    #[test]
+    fn matrix_apis_match_per_pair_exactly() {
+        let (t, _) = table();
+        let cat = SketchCatalog::build(
+            &t,
+            &CatalogConfig {
+                hyperplane_k: Some(256),
+                ..Default::default()
+            },
+        );
+        let indices = cat.numeric_indices();
+        let pm = cat.correlation_matrix(&indices).unwrap();
+        let sm = cat.spearman_matrix(&indices).unwrap();
+        for (a, &i) in indices.iter().enumerate() {
+            assert_eq!(pm[a][a], 1.0);
+            for (b, &j) in indices.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(pm[a][b].to_bits(), cat.correlation(i, j).unwrap().to_bits());
+                assert_eq!(sm[a][b].to_bits(), cat.spearman(i, j).unwrap().to_bits());
+            }
+        }
+        assert!(cat.correlation_matrix(&[0, 99_999]).is_none());
     }
 
     #[test]

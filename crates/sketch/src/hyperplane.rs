@@ -9,11 +9,15 @@
 //!
 //! Construction is a single pass per table: the centered dot products are
 //! accumulated via `Σⱼ(xⱼ−μ)·gᵢⱼ = Σⱼxⱼ·gᵢⱼ − μ·Σⱼgᵢⱼ`, so the mean and the
-//! `k` accumulators are maintained simultaneously; the shared random vectors
-//! are streamed from a seeded RNG and never materialized.
+//! `k` accumulators are maintained simultaneously. The shared random
+//! components are streamed from a seeded row-keyed RNG and materialized only
+//! in cache-sized blocks (`ROW_BLOCK` rows at a time) that all columns
+//! consume before the next block is generated — see
+//! [`SharedHyperplanes::accumulate_columns`].
 
 use crate::bits::BitVec;
 use crate::traits::MergeError;
+use foresight_stats::kernel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -99,62 +103,13 @@ impl SharedHyperplanes {
     /// Sketches several columns of equal length in one logical pass.
     ///
     /// Missing (`NaN`) entries contribute the column mean, i.e. zero after
-    /// centering. Generates each row's `k` Gaussians once and applies them to
-    /// every column, which is both faster and exactly the shared-randomness
-    /// requirement.
+    /// centering. A thin wrapper over [`Self::accumulate_columns`] — one
+    /// cache-blocked kernel serves the one-shot and partitioned builds, so
+    /// the two are identical by construction.
     pub fn sketch_columns(&self, columns: &[&[f64]]) -> Vec<HyperplaneSketch> {
-        let k = self.config.k;
-        let n = columns.first().map(|c| c.len()).unwrap_or(0);
-        for c in columns {
-            assert_eq!(c.len(), n, "all columns must have equal length");
-        }
-        // Column means (NaN-aware).
-        let means: Vec<f64> = columns
+        self.accumulate_columns(columns, 0)
             .iter()
-            .map(|c| {
-                let mut sum = 0.0;
-                let mut cnt = 0u64;
-                for &v in c.iter() {
-                    if !v.is_nan() {
-                        sum += v;
-                        cnt += 1;
-                    }
-                }
-                if cnt == 0 {
-                    0.0
-                } else {
-                    sum / cnt as f64
-                }
-            })
-            .collect();
-
-        let mut acc = vec![vec![0.0f64; k]; columns.len()];
-        let mut g = vec![0.0f64; k];
-        for j in 0..n {
-            fill_row_components(self.config, j as u64, &mut g);
-            for (c, col) in columns.iter().enumerate() {
-                let v = col[j];
-                if v.is_nan() {
-                    continue; // centered contribution of a missing cell is 0
-                }
-                let centered = v - means[c];
-                if centered == 0.0 {
-                    continue;
-                }
-                // bounds-check-free axpy over the k accumulators; this is
-                // the hot loop of the whole preprocessing phase
-                for (a, &gi) in acc[c].iter_mut().zip(g.iter()) {
-                    *a += centered * gi;
-                }
-            }
-        }
-
-        acc.into_iter()
-            .map(|dots| HyperplaneSketch {
-                bits: BitVec::from_bools(dots.iter().map(|&d| d >= 0.0)),
-                config: self.config,
-                rows: n as u64,
-            })
+            .map(HyperplaneAccumulator::finalize)
             .collect()
     }
 
@@ -171,23 +126,63 @@ impl SharedHyperplanes {
     }
 
     /// Builds one partition accumulator per column for a shard of equal-length
-    /// columns starting at global row `row_offset`, generating each row's `k`
-    /// shared components once and applying them to every column — the batch
-    /// analogue of [`HyperplaneAccumulator::update_rows`], bit-identical to
-    /// calling it per column but `|B|×` cheaper on component streaming.
+    /// columns starting at global row `row_offset`, materializing each block
+    /// of [`ROW_BLOCK`] rows' shared components once and applying it to every
+    /// column — the batch analogue of [`HyperplaneAccumulator::update_rows`],
+    /// bit-identical to calling it per column (both route through one
+    /// kernel) but `|B|×` cheaper on component streaming.
     pub fn accumulate_columns(
         &self,
         columns: &[&[f64]],
         row_offset: u64,
     ) -> Vec<HyperplaneAccumulator> {
-        let n = columns.first().map(|c| c.len()).unwrap_or(0);
-        for c in columns {
-            assert_eq!(c.len(), n, "all columns must have equal length");
-        }
         let mut accs: Vec<HyperplaneAccumulator> = columns
             .iter()
             .map(|_| HyperplaneAccumulator::new(self.config))
             .collect();
+        self.accumulate_into(columns, row_offset, &mut accs);
+        accs
+    }
+
+    /// The shared accumulation kernel: absorbs `columns[c]` into `accs[c]`
+    /// for every column, rows starting at global row `row_offset`.
+    ///
+    /// The vectorized path works in blocks of [`ROW_BLOCK`] rows: the
+    /// block's `ROW_BLOCK·k` shared components are materialized once
+    /// (row-major) and reused by every column, the per-block component
+    /// column-sums let a fully-present block update `g_sum` once instead of
+    /// per row, and the dot accumulation register-blocks four rows per sweep
+    /// of the `k` accumulators — quartering the `dot[]` load/store traffic
+    /// that dominates the scalar per-row axpy. Blocks containing missing
+    /// values in a column fall back to a per-row pass for that column only.
+    /// The scalar path ([`foresight_stats::kernel::KernelMode::Scalar`]) is
+    /// the original row-at-a-time loop, kept as oracle and baseline.
+    fn accumulate_into(
+        &self,
+        columns: &[&[f64]],
+        row_offset: u64,
+        accs: &mut [HyperplaneAccumulator],
+    ) {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in columns {
+            assert_eq!(c.len(), n, "all columns must have equal length");
+        }
+        assert_eq!(columns.len(), accs.len(), "one accumulator per column");
+        match kernel::mode() {
+            kernel::KernelMode::Scalar => self.accumulate_into_scalar(columns, row_offset, accs),
+            kernel::KernelMode::Vectorized => {
+                self.accumulate_into_blocked(columns, row_offset, accs)
+            }
+        }
+    }
+
+    fn accumulate_into_scalar(
+        &self,
+        columns: &[&[f64]],
+        row_offset: u64,
+        accs: &mut [HyperplaneAccumulator],
+    ) {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
         let mut g = vec![0.0f64; self.config.k];
         for j in 0..n {
             let mut filled = false;
@@ -209,9 +204,93 @@ impl SharedHyperplanes {
                 acc.present += 1;
             }
         }
-        accs
+    }
+
+    fn accumulate_into_blocked(
+        &self,
+        columns: &[&[f64]],
+        row_offset: u64,
+        accs: &mut [HyperplaneAccumulator],
+    ) {
+        let k = self.config.k;
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        let mut comps = vec![0.0f64; ROW_BLOCK * k];
+        let mut gsum_block = vec![0.0f64; k];
+        let mut start = 0usize;
+        while start < n {
+            let bl = (n - start).min(ROW_BLOCK);
+            for r in 0..bl {
+                fill_row_components(
+                    self.config,
+                    row_offset + (start + r) as u64,
+                    &mut comps[r * k..(r + 1) * k],
+                );
+            }
+            gsum_block.iter_mut().for_each(|s| *s = 0.0);
+            for r in 0..bl {
+                let row = &comps[r * k..(r + 1) * k];
+                for (s, &gi) in gsum_block.iter_mut().zip(row) {
+                    *s += gi;
+                }
+            }
+            for (acc, col) in accs.iter_mut().zip(columns) {
+                let seg = &col[start..start + bl];
+                acc.rows += bl as u64;
+                if seg.iter().any(|v| v.is_nan()) {
+                    // mixed block: per-row fallback for this column only
+                    for (r, &v) in seg.iter().enumerate() {
+                        if v.is_nan() {
+                            continue;
+                        }
+                        let row = &comps[r * k..(r + 1) * k];
+                        for ((d, gs), &gi) in acc.dot.iter_mut().zip(acc.g_sum.iter_mut()).zip(row)
+                        {
+                            *d += v * gi;
+                            *gs += gi;
+                        }
+                        acc.value_sum += v;
+                        acc.present += 1;
+                    }
+                } else {
+                    // fully-present block: four rows per sweep of dot[],
+                    // one g_sum update for the whole block
+                    let mut r = 0usize;
+                    while r + 4 <= bl {
+                        let (v0, v1, v2, v3) = (seg[r], seg[r + 1], seg[r + 2], seg[r + 3]);
+                        let (g0, rest) = comps[r * k..].split_at(k);
+                        let (g1, rest) = rest.split_at(k);
+                        let (g2, rest) = rest.split_at(k);
+                        let g3 = &rest[..k];
+                        for (i, d) in acc.dot.iter_mut().enumerate() {
+                            *d += v0 * g0[i] + v1 * g1[i] + v2 * g2[i] + v3 * g3[i];
+                        }
+                        r += 4;
+                    }
+                    while r < bl {
+                        let v = seg[r];
+                        let row = &comps[r * k..(r + 1) * k];
+                        for (d, &gi) in acc.dot.iter_mut().zip(row) {
+                            *d += v * gi;
+                        }
+                        r += 1;
+                    }
+                    for (gs, &s) in acc.g_sum.iter_mut().zip(&gsum_block) {
+                        *gs += s;
+                    }
+                    acc.value_sum += seg.iter().sum::<f64>();
+                    acc.present += bl as u64;
+                }
+            }
+            start += bl;
+        }
     }
 }
+
+/// Rows per cache block of the vectorized accumulation kernel: the block's
+/// `ROW_BLOCK·k` shared components (16·4096·8 B = 512 KiB worst case, 128 KiB
+/// at the common k=1024) are streamed sequentially while the `k`-element
+/// `dot`/`g_sum` accumulators stay hot in L1/L2 across the whole block.
+const ROW_BLOCK: usize = 16;
 
 /// A mergeable, partitionable pre-image of a [`HyperplaneSketch`].
 ///
@@ -271,22 +350,14 @@ impl HyperplaneAccumulator {
 
     /// Absorbs a contiguous chunk of the column starting at global row
     /// `row_offset`. Chunks across calls/partitions must not overlap.
+    ///
+    /// Routes through the same blocked kernel as
+    /// [`SharedHyperplanes::accumulate_columns`] (block boundaries relative
+    /// to this chunk's start), so single-column and batch accumulation are
+    /// identical by construction.
     pub fn update_rows(&mut self, values: &[f64], row_offset: u64) {
-        let mut g = vec![0.0f64; self.config.k];
-        for (j, &v) in values.iter().enumerate() {
-            if v.is_nan() {
-                self.rows += 1;
-                continue;
-            }
-            fill_row_components(self.config, row_offset + j as u64, &mut g);
-            for ((d, gs), &gi) in self.dot.iter_mut().zip(self.g_sum.iter_mut()).zip(g.iter()) {
-                *d += v * gi;
-                *gs += gi;
-            }
-            self.value_sum += v;
-            self.present += 1;
-            self.rows += 1;
-        }
+        let hp = SharedHyperplanes::new(self.config);
+        hp.accumulate_into(&[values], row_offset, std::slice::from_mut(self));
     }
 
     /// Merges another partition's accumulator (disjoint global rows).

@@ -3,20 +3,107 @@
 //! Pearson is the paper's primary linear-relationship metric (§2.2 item 6);
 //! Spearman is the alternative ranking metric the §4.1 scenario switches to;
 //! Kendall rounds out the monotonic-relationship insight class.
+//!
+//! # Hot-path structure
+//!
+//! The covariance passes run on the lane-split kernels in [`crate::kernel`]
+//! (scalar fallback behind the same entry points), and pairwise-complete
+//! missing-value deletion is allocation-free on the batch paths: callers
+//! that score many pairs hold one [`PairScratch`] plus one
+//! [`PresenceMask`] per column ([`foresight_data::column::NumericColumn::presence`])
+//! and compact each pair into the reused buffers with
+//! [`complete_pairs_masked_into`]. The allocating [`pearson`] /
+//! [`spearman`] / [`kendall_tau_b`] forms stay as the convenient
+//! one-shot API.
 
+use crate::kernel;
 use crate::rank::{fractional_ranks, tie_group_sizes};
+use foresight_data::PresenceMask;
 
-/// Pairwise-complete filter: returns the rows where both columns are present.
-fn complete_pairs(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let mut xs = Vec::with_capacity(x.len());
-    let mut ys = Vec::with_capacity(y.len());
+/// Reusable compaction buffers for pairwise-complete deletion — one pair of
+/// `Vec<f64>` that every scored pair overwrites instead of allocating.
+#[derive(Debug, Default, Clone)]
+pub struct PairScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PairScratch {
+    /// An empty scratch; buffers grow to the longest column seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Pairwise-complete filter into caller-provided scratch: fills
+/// `scratch` with the rows where both columns are present and returns the
+/// compacted pair of slices. The element test is `is_nan` per row; when
+/// presence masks for the columns are already at hand,
+/// [`complete_pairs_masked_into`] skips even that.
+pub fn complete_pairs_into<'s>(
+    x: &[f64],
+    y: &[f64],
+    scratch: &'s mut PairScratch,
+) -> (&'s [f64], &'s [f64]) {
+    scratch.xs.clear();
+    scratch.ys.clear();
+    scratch.xs.reserve(x.len());
+    scratch.ys.reserve(y.len());
     for (&a, &b) in x.iter().zip(y) {
         if !a.is_nan() && !b.is_nan() {
-            xs.push(a);
-            ys.push(b);
+            scratch.xs.push(a);
+            scratch.ys.push(b);
         }
     }
-    (xs, ys)
+    (&scratch.xs, &scratch.ys)
+}
+
+/// Pairwise-complete filter driven by precomputed [`PresenceMask`]s: the
+/// masks are ANDed word-by-word and only the set bits are gathered, so the
+/// per-pair cost is branch-light and the per-column `is_nan` sweep happens
+/// once per column (at mask build time) instead of once per pair.
+///
+/// Produces exactly the rows (in row order) that [`complete_pairs_into`]
+/// would — the downstream statistics are bit-identical.
+pub fn complete_pairs_masked_into<'s>(
+    x: &[f64],
+    y: &[f64],
+    x_mask: &PresenceMask,
+    y_mask: &PresenceMask,
+    scratch: &'s mut PairScratch,
+) -> (&'s [f64], &'s [f64]) {
+    debug_assert_eq!(x.len(), x_mask.len());
+    debug_assert_eq!(y.len(), y_mask.len());
+    scratch.xs.clear();
+    scratch.ys.clear();
+    scratch.xs.reserve(x.len());
+    scratch.ys.reserve(y.len());
+    for (w, (&wx, &wy)) in x_mask.words().iter().zip(y_mask.words()).enumerate() {
+        let mut bits = wx & wy;
+        while bits != 0 {
+            let row = w * 64 + bits.trailing_zeros() as usize;
+            scratch.xs.push(x[row]);
+            scratch.ys.push(y[row]);
+            bits &= bits - 1;
+        }
+    }
+    (&scratch.xs, &scratch.ys)
+}
+
+/// Pairwise-complete filter, allocating form — a convenience wrapper over
+/// [`complete_pairs_into`] for one-shot callers and doc examples. Repeated
+/// pair scoring should hold a [`PairScratch`] instead.
+///
+/// # Examples
+/// ```
+/// use foresight_stats::correlation::complete_pairs;
+/// let (xs, ys) = complete_pairs(&[1.0, f64::NAN, 3.0], &[2.0, 5.0, f64::NAN]);
+/// assert_eq!((xs, ys), (vec![1.0], vec![2.0]));
+/// ```
+pub fn complete_pairs(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut scratch = PairScratch::new();
+    complete_pairs_into(x, y, &mut scratch);
+    (scratch.xs, scratch.ys)
 }
 
 /// Pearson product-moment correlation coefficient.
@@ -32,44 +119,98 @@ fn complete_pairs(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
 /// assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
 /// ```
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let mut scratch = PairScratch::new();
+    pearson_with(x, y, &mut scratch)
+}
+
+/// [`pearson`] with caller-provided compaction scratch (no allocation once
+/// the scratch has grown to the column length).
+pub fn pearson_with(x: &[f64], y: &[f64], scratch: &mut PairScratch) -> f64 {
     assert_eq!(x.len(), y.len(), "columns must have equal length");
-    let (xs, ys) = complete_pairs(x, y);
-    pearson_complete(&xs, &ys)
+    let (xs, ys) = complete_pairs_into(x, y, scratch);
+    pearson_complete(xs, ys)
+}
+
+/// [`pearson`] with precomputed presence masks *and* caller scratch — the
+/// form the all-pairs layers use so each column is NaN-scanned once.
+pub fn pearson_masked(
+    x: &[f64],
+    y: &[f64],
+    x_mask: &PresenceMask,
+    y_mask: &PresenceMask,
+    scratch: &mut PairScratch,
+) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    if x_mask.all_present() && y_mask.all_present() {
+        return pearson_complete(x, y);
+    }
+    let (xs, ys) = complete_pairs_masked_into(x, y, x_mask, y_mask, scratch);
+    pearson_complete(xs, ys)
 }
 
 /// Pearson on data already known to be NaN-free.
+///
+/// Runs on the lane-split kernels ([`crate::kernel`]); the scalar oracle is
+/// [`pearson_complete_scalar`]. Within one kernel mode the result is
+/// bit-identical to [`pearson_centered`] over the same (pre-centered)
+/// columns.
 pub fn pearson_complete(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
     if n < 2 {
         return f64::NAN;
     }
     let nf = n as f64;
-    let mx = x.iter().sum::<f64>() / nf;
-    let my = y.iter().sum::<f64>() / nf;
-    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
-    for (&a, &b) in x.iter().zip(y) {
-        let dx = a - mx;
-        let dy = b - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
+    let mx = kernel::sum(x) / nf;
+    let my = kernel::sum(y) / nf;
+    let (sxy, sxx, syy) = kernel::dot3_centered(x, y, mx, my);
     if sxx <= 0.0 || syy <= 0.0 {
         return f64::NAN;
     }
     sxy / (sxx * syy).sqrt()
 }
 
+/// The sequential reference implementation of [`pearson_complete`], kept as
+/// the property-test oracle and benchmark baseline.
+pub fn pearson_complete_scalar(x: &[f64], y: &[f64]) -> f64 {
+    kernel::with_mode(kernel::KernelMode::Scalar, || pearson_complete(x, y))
+}
+
 /// Spearman rank correlation: Pearson on fractional ranks. Captures any
 /// monotonic (not just linear) relationship; missing values excluded pairwise.
 pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    let mut scratch = PairScratch::new();
+    spearman_with(x, y, &mut scratch)
+}
+
+/// [`spearman`] with caller-provided compaction scratch.
+pub fn spearman_with(x: &[f64], y: &[f64], scratch: &mut PairScratch) -> f64 {
     assert_eq!(x.len(), y.len(), "columns must have equal length");
-    let (xs, ys) = complete_pairs(x, y);
+    let (xs, ys) = complete_pairs_into(x, y, scratch);
+    spearman_complete(xs, ys)
+}
+
+/// [`spearman`] with precomputed presence masks and caller scratch.
+pub fn spearman_masked(
+    x: &[f64],
+    y: &[f64],
+    x_mask: &PresenceMask,
+    y_mask: &PresenceMask,
+    scratch: &mut PairScratch,
+) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    if x_mask.all_present() && y_mask.all_present() {
+        return spearman_complete(x, y);
+    }
+    let (xs, ys) = complete_pairs_masked_into(x, y, x_mask, y_mask, scratch);
+    spearman_complete(xs, ys)
+}
+
+fn spearman_complete(xs: &[f64], ys: &[f64]) -> f64 {
     if xs.len() < 2 {
         return f64::NAN;
     }
-    let rx = fractional_ranks(&xs);
-    let ry = fractional_ranks(&ys);
+    let rx = fractional_ranks(xs);
+    let ry = fractional_ranks(ys);
     pearson_complete(&rx, &ry)
 }
 
@@ -78,8 +219,14 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 /// O(n²) pair counting — fine for the column lengths Foresight visualizes;
 /// for ranking at scale the Spearman metric (O(n log n)) is preferred.
 pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
+    let mut scratch = PairScratch::new();
+    kendall_tau_b_with(x, y, &mut scratch)
+}
+
+/// [`kendall_tau_b`] with caller-provided compaction scratch.
+pub fn kendall_tau_b_with(x: &[f64], y: &[f64], scratch: &mut PairScratch) -> f64 {
     assert_eq!(x.len(), y.len(), "columns must have equal length");
-    let (xs, ys) = complete_pairs(x, y);
+    let (xs, ys) = complete_pairs_into(x, y, scratch);
     let n = xs.len();
     if n < 2 {
         return f64::NAN;
@@ -99,11 +246,11 @@ pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
         }
     }
     let n0 = (n * (n - 1) / 2) as f64;
-    let t1: f64 = tie_group_sizes(&xs)
+    let t1: f64 = tie_group_sizes(xs)
         .iter()
         .map(|&t| (t * (t - 1) / 2) as f64)
         .sum();
-    let t2: f64 = tie_group_sizes(&ys)
+    let t2: f64 = tie_group_sizes(ys)
         .iter()
         .map(|&t| (t * (t - 1) / 2) as f64)
         .sum();
@@ -125,12 +272,14 @@ pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// [`pearson_centered`] over two `CenteredColumn`s is **bit-identical** to
 /// [`pearson_complete`] over the raw columns: the deviations `xᵢ−μx` are the
-/// same values, and every accumulator sums the same terms in the same order.
+/// same values, and every accumulator sums the same terms on the same lane
+/// schedule (see [`crate::kernel`]). The contract holds within one kernel
+/// mode — both calls on one thread, which is how the batch scorers run.
 #[derive(Debug, Clone)]
 pub struct CenteredColumn {
     /// `xᵢ − μx` for every row, in row order.
     pub centered: Vec<f64>,
-    /// `Σ (xᵢ − μx)²`, accumulated in row order.
+    /// `Σ (xᵢ − μx)²`, accumulated on the kernel lane schedule.
     pub sxx: f64,
 }
 
@@ -144,12 +293,9 @@ pub fn center(x: &[f64]) -> Option<CenteredColumn> {
     if n < 2 || x.iter().any(|v| v.is_nan()) {
         return None;
     }
-    let mx = x.iter().sum::<f64>() / n as f64;
+    let mx = kernel::sum(x) / n as f64;
     let centered: Vec<f64> = x.iter().map(|&a| a - mx).collect();
-    let mut sxx = 0.0;
-    for &dx in &centered {
-        sxx += dx * dx;
-    }
+    let sxx = kernel::dot(&centered, &centered);
     Some(CenteredColumn { centered, sxx })
 }
 
@@ -163,10 +309,7 @@ pub fn pearson_centered(x: &CenteredColumn, y: &CenteredColumn) -> f64 {
         y.centered.len(),
         "columns must have equal length"
     );
-    let mut sxy = 0.0;
-    for (&dx, &dy) in x.centered.iter().zip(&y.centered) {
-        sxy += dx * dy;
-    }
+    let sxy = kernel::dot(&x.centered, &y.centered);
     if x.sxx <= 0.0 || y.sxx <= 0.0 {
         return f64::NAN;
     }
@@ -175,14 +318,20 @@ pub fn pearson_centered(x: &CenteredColumn, y: &CenteredColumn) -> f64 {
 
 /// All pairwise Pearson correlations among `columns`, returned as a dense
 /// symmetric matrix with unit diagonal — the data behind the paper's
-/// Figure 2 overview heatmap. O(d²·n).
+/// Figure 2 overview heatmap. O(d²·n), with one presence mask per column
+/// and one shared compaction scratch across all O(d²) pairs.
 pub fn pearson_matrix(columns: &[&[f64]]) -> Vec<Vec<f64>> {
     let d = columns.len();
+    let masks: Vec<PresenceMask> = columns
+        .iter()
+        .map(|c| PresenceMask::from_values(c))
+        .collect();
+    let mut scratch = PairScratch::new();
     let mut m = vec![vec![0.0; d]; d];
     for i in 0..d {
         m[i][i] = 1.0;
         for j in (i + 1)..d {
-            let rho = pearson(columns[i], columns[j]);
+            let rho = pearson_masked(columns[i], columns[j], &masks[i], &masks[j], &mut scratch);
             m[i][j] = rho;
             m[j][i] = rho;
         }
@@ -279,6 +428,64 @@ mod tests {
         let fused = pearson_centered(&cx, &cy);
         let reference = pearson_complete(&x, &y);
         assert_eq!(fused.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn centered_bit_identity_holds_in_scalar_mode_too() {
+        crate::kernel::with_mode(crate::kernel::KernelMode::Scalar, || {
+            let x: Vec<f64> = (0..131)
+                .map(|i| (i as f64).sin() * 1e7 + (i as f64).sqrt())
+                .collect();
+            let y: Vec<f64> = (0..131).map(|i| (i as f64 * 0.3).cos() * 42.0).collect();
+            let cx = center(&x).unwrap();
+            let cy = center(&y).unwrap();
+            assert_eq!(
+                pearson_centered(&cx, &cy).to_bits(),
+                pearson_complete(&x, &y).to_bits()
+            );
+        });
+    }
+
+    #[test]
+    fn scratch_and_masked_paths_match_allocating_path_bitwise() {
+        let x: Vec<f64> = (0..300)
+            .map(|i| {
+                if i % 11 == 0 {
+                    f64::NAN
+                } else {
+                    (i as f64).sin() * 1e4
+                }
+            })
+            .collect();
+        let y: Vec<f64> = (0..300)
+            .map(|i| {
+                if i % 17 == 3 {
+                    f64::NAN
+                } else {
+                    (i as f64).cos() * 2.5
+                }
+            })
+            .collect();
+        let reference = pearson(&x, &y);
+        let mut scratch = PairScratch::new();
+        assert_eq!(
+            pearson_with(&x, &y, &mut scratch).to_bits(),
+            reference.to_bits()
+        );
+        let mx = PresenceMask::from_values(&x);
+        let my = PresenceMask::from_values(&y);
+        assert_eq!(
+            pearson_masked(&x, &y, &mx, &my, &mut scratch).to_bits(),
+            reference.to_bits()
+        );
+        assert_eq!(
+            spearman_masked(&x, &y, &mx, &my, &mut scratch).to_bits(),
+            spearman(&x, &y).to_bits()
+        );
+        assert_eq!(
+            kendall_tau_b_with(&x, &y, &mut scratch).to_bits(),
+            kendall_tau_b(&x, &y).to_bits()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! ground truth that the sketch estimators in `foresight-sketch` are
 //! measured against.
 //!
+//! * [`kernel`] — lane-split f64 reduction kernels (vectorized/scalar modes)
 //! * [`moments`] — single-pass mergeable mean/variance/skewness/kurtosis
 //! * [`correlation`] — Pearson, Spearman, Kendall τ-b, full matrices
 //! * [`quantile`] / [`histogram`] / [`kde`] — distribution shape
@@ -24,6 +25,7 @@ pub mod describe;
 pub mod frequency;
 pub mod histogram;
 pub mod kde;
+pub mod kernel;
 pub mod kmeans;
 pub mod moments;
 pub mod multimodal;

@@ -7,6 +7,7 @@
 //! `merge` that makes the summary *composable* across data partitions — the
 //! same composability the sketch catalog relies on.
 
+use crate::kernel::{self, KernelMode, LANES};
 use serde::{Deserialize, Serialize};
 
 /// Streaming summary of the first four central moments of a sequence.
@@ -42,7 +43,26 @@ impl Moments {
     }
 
     /// Builds the summary of a slice, skipping NaNs.
+    ///
+    /// Dispatches on the thread's [`kernel::mode`]: the default vectorized
+    /// path is a branch-free two-pass build — [`kernel::LANES`]-split
+    /// count/sum/min/max, then lane-split central power sums `Σdᵏ` around
+    /// the exact pass-1 mean — with no divisions or cross-iteration
+    /// dependencies inside either loop. The reassociation means the result
+    /// can differ from the streaming [`Moments::from_slice_scalar`] update
+    /// in the last bits — the `kernel_oracle` property tests pin the ε;
+    /// count, `min`, and `max` are always exact.
     pub fn from_slice(values: &[f64]) -> Self {
+        match kernel::mode() {
+            KernelMode::Scalar => Self::from_slice_scalar(values),
+            KernelMode::Vectorized => Self::from_slice_lanes(values),
+        }
+    }
+
+    /// The sequential reference implementation of [`Moments::from_slice`]
+    /// — one streaming [`Moments::update`] per present value. Kept as the
+    /// oracle the vectorized path is property-tested against.
+    pub fn from_slice_scalar(values: &[f64]) -> Self {
         let mut m = Self::new();
         for &v in values {
             if !v.is_nan() {
@@ -50,6 +70,96 @@ impl Moments {
             }
         }
         m
+    }
+
+    /// Branch-free two-pass build. Pass 1: lane-split count, sum, min, max
+    /// (a NaN contributes 0 to count and sum; `f64::min`/`max` ignore NaN
+    /// operands on their own). Pass 2: lane-split central power sums
+    /// `m2 = Σd²`, `m3 = Σd³`, `m4 = Σd⁴` with `d = x − mean` (0 for
+    /// missing). Neither loop divides or carries a value across iterations,
+    /// so both compile to straight-line SIMD; lanes reduce in fixed lane
+    /// order and the sub-[`LANES`] tail runs sequentially after them. The
+    /// two-pass form is also *more* accurate than streaming Welford on
+    /// offset-heavy data: deviations are taken against the final mean, so
+    /// the only reassociation error is the lane split itself.
+    fn from_slice_lanes(values: &[f64]) -> Self {
+        let mut cnt = [0.0f64; LANES];
+        let mut sum = [0.0f64; LANES];
+        let mut lo = [f64::INFINITY; LANES];
+        let mut hi = [f64::NEG_INFINITY; LANES];
+        let tail = values.chunks_exact(LANES).remainder();
+        for c in values.chunks_exact(LANES) {
+            for l in 0..LANES {
+                let x = c[l];
+                let present = !x.is_nan();
+                cnt[l] += f64::from(present as u8);
+                sum[l] += if present { x } else { 0.0 };
+                lo[l] = lo[l].min(x);
+                hi[l] = hi[l].max(x);
+            }
+        }
+        let mut n = 0.0f64;
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for l in 0..LANES {
+            n += cnt[l];
+            total += sum[l];
+            min = min.min(lo[l]);
+            max = max.max(hi[l]);
+        }
+        for &x in tail {
+            if !x.is_nan() {
+                n += 1.0;
+                total += x;
+            }
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if n == 0.0 {
+            return Self::new();
+        }
+        let mean = total / n;
+
+        let mut s2 = [0.0f64; LANES];
+        let mut s3 = [0.0f64; LANES];
+        let mut s4 = [0.0f64; LANES];
+        for c in values.chunks_exact(LANES) {
+            for l in 0..LANES {
+                let x = c[l];
+                let d = if x.is_nan() { 0.0 } else { x - mean };
+                let d2 = d * d;
+                s2[l] += d2;
+                s3[l] += d2 * d;
+                s4[l] += d2 * d2;
+            }
+        }
+        let mut m2 = 0.0f64;
+        let mut m3 = 0.0f64;
+        let mut m4 = 0.0f64;
+        for l in 0..LANES {
+            m2 += s2[l];
+            m3 += s3[l];
+            m4 += s4[l];
+        }
+        for &x in tail {
+            if !x.is_nan() {
+                let d = x - mean;
+                let d2 = d * d;
+                m2 += d2;
+                m3 += d2 * d;
+                m4 += d2 * d2;
+            }
+        }
+        Self {
+            n: n as u64,
+            mean,
+            m2,
+            m3,
+            m4,
+            min,
+            max,
+        }
     }
 
     /// Adds one observation (Pébay's incremental update).

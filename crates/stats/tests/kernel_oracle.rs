@@ -1,0 +1,293 @@
+//! Property tests pinning the vectorized kernels to their scalar oracles.
+//!
+//! Two kinds of contract, matching `DESIGN.md` §13:
+//!
+//! * **Bit-identity** where the floating-point schedule is shared: the
+//!   masked and scratch-reusing correlation entry points compact exactly
+//!   the rows the allocating form would, and the pre-centered Pearson path
+//!   shares the fused pass's lane schedule — so those pairs must agree to
+//!   the bit, in either kernel mode.
+//! * **Pinned ε** where the lane split reassociates sums: vectorized
+//!   `sum`/`dot`/`dot3_centered` and `Moments::from_slice` against their
+//!   sequential oracles. Count, `min`, and `max` are exact regardless —
+//!   only the floating-point accumulations may move in the last bits.
+//!
+//! Inputs deliberately cover every lane-remainder length (0 ..= 2·LANES),
+//! leading/interleaved/all-NaN patterns, subnormals, and ±∞.
+
+use foresight_data::PresenceMask;
+use foresight_stats::correlation::{
+    center, pearson, pearson_centered, pearson_complete, pearson_complete_scalar, pearson_masked,
+    pearson_with, spearman, spearman_masked, spearman_with, PairScratch,
+};
+use foresight_stats::kernel::{self, KernelMode, LANES};
+use foresight_stats::moments::Moments;
+use proptest::prelude::*;
+
+fn finite(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 0..max_len)
+}
+
+/// Finite data with ~20% NaN holes.
+fn holey(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    // ~20% NaN: the stub's `prop_oneof!` is unweighted, so repeat the
+    // finite arm
+    proptest::collection::vec(
+        prop_oneof![
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            Just(f64::NAN),
+        ],
+        0..max_len,
+    )
+}
+
+/// Everything the kernels must survive: NaN, ±∞, subnormals, signed zero.
+fn wild(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(5e-324),  // smallest positive subnormal
+            Just(-1e-310), // negative subnormal
+            Just(-0.0),
+        ],
+        0..max_len,
+    )
+}
+
+fn close(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    (a - b).abs() <= b.abs() * rel + abs
+}
+
+/// Count/min/max must match the oracle exactly; the accumulated moments may
+/// differ by lane reassociation on finite data and must agree on
+/// finite-vs-non-finite classification otherwise.
+fn assert_moments_match(values: &[f64]) -> Result<(), TestCaseError> {
+    let vec = kernel::with_mode(KernelMode::Vectorized, || Moments::from_slice(values));
+    let scal = Moments::from_slice_scalar(values);
+    prop_assert_eq!(vec.count(), scal.count());
+    prop_assert_eq!(vec.min().to_bits(), scal.min().to_bits());
+    prop_assert_eq!(vec.max().to_bits(), scal.max().to_bits());
+    if vec.count() == 0 {
+        // empty summary (no present values): every derived statistic is
+        // the same 0/0 NaN on both paths
+        prop_assert_eq!(vec.mean().to_bits(), scal.mean().to_bits());
+        return Ok(());
+    }
+    let all_finite = values.iter().all(|v| v.is_nan() || v.is_finite());
+    if all_finite {
+        prop_assert!(
+            close(vec.mean(), scal.mean(), 1e-9, 1e-9),
+            "mean {} vs {}",
+            vec.mean(),
+            scal.mean()
+        );
+        prop_assert!(
+            close(
+                vec.population_variance(),
+                scal.population_variance(),
+                1e-6,
+                1e-6
+            ),
+            "variance {} vs {}",
+            vec.population_variance(),
+            scal.population_variance()
+        );
+        for (a, b) in [
+            (vec.skewness(), scal.skewness()),
+            (vec.excess_kurtosis(), scal.excess_kurtosis()),
+        ] {
+            // shape statistics are ratios of power sums: compare only when
+            // the oracle's value is stable, and classify NaN together
+            prop_assert_eq!(a.is_nan(), b.is_nan(), "shape {} vs {}", a, b);
+            if b.is_finite() && b.abs() < 1e6 {
+                prop_assert!(close(a, b, 1e-3, 1e-3), "shape {} vs {}", a, b);
+            }
+        }
+    } else {
+        // a present ±∞ poisons the sums on both paths — the exact garbage
+        // differs (∞·0 = NaN appears at different steps) but neither path
+        // may launder it into a finite number
+        prop_assert!(!vec.mean().is_finite(), "vectorized mean {}", vec.mean());
+        prop_assert!(!scal.mean().is_finite(), "scalar mean {}", scal.mean());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sum_and_dot_match_scalar(x in finite(200)) {
+        let y: Vec<f64> = x.iter().map(|v| v * 0.75 - 3.0).collect();
+        let (sv, dv) = kernel::with_mode(KernelMode::Vectorized, || {
+            (kernel::sum(&x), kernel::dot(&x, &y))
+        });
+        let (ss, ds) = kernel::with_mode(KernelMode::Scalar, || {
+            (kernel::sum(&x), kernel::dot(&x, &y))
+        });
+        prop_assert!(close(sv, ss, 1e-12, 1e-9), "sum {} vs {}", sv, ss);
+        prop_assert!(close(dv, ds, 1e-12, 1e-6), "dot {} vs {}", dv, ds);
+    }
+
+    #[test]
+    fn dot3_matches_scalar(x in finite(200), mx in -10.0f64..10.0, my in -10.0f64..10.0) {
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let v = kernel::with_mode(KernelMode::Vectorized, || kernel::dot3_centered(&x, &y, mx, my));
+        let s = kernel::with_mode(KernelMode::Scalar, || kernel::dot3_centered(&x, &y, mx, my));
+        for ((a, b), name) in [(v.0, s.0), (v.1, s.1), (v.2, s.2)].into_iter().zip(["sxy", "sxx", "syy"]) {
+            prop_assert!(close(a, b, 1e-9, 1e-6), "{}: {} vs {}", name, a, b);
+        }
+    }
+
+    #[test]
+    fn pearson_complete_matches_scalar(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..120)) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let v = pearson_complete(&x, &y);
+        let s = pearson_complete_scalar(&x, &y);
+        prop_assert_eq!(v.is_nan(), s.is_nan());
+        if !v.is_nan() {
+            prop_assert!(close(v, s, 1e-9, 1e-9), "{} vs {}", v, s);
+        }
+    }
+
+    #[test]
+    fn moments_match_oracle_on_finite_data(values in finite(200)) {
+        assert_moments_match(&values)?;
+    }
+
+    #[test]
+    fn moments_match_oracle_with_nan_holes(values in holey(200)) {
+        assert_moments_match(&values)?;
+    }
+
+    #[test]
+    fn moments_classify_wild_inputs_like_oracle(values in wild(150)) {
+        let vec = kernel::with_mode(KernelMode::Vectorized, || Moments::from_slice(&values));
+        let scal = Moments::from_slice_scalar(&values);
+        prop_assert_eq!(vec.count(), scal.count());
+        prop_assert_eq!(vec.min().to_bits(), scal.min().to_bits());
+        prop_assert_eq!(vec.max().to_bits(), scal.max().to_bits());
+        let has_inf = values.iter().any(|v| v.is_infinite());
+        if has_inf {
+            prop_assert!(!vec.mean().is_finite() && !scal.mean().is_finite());
+        } else if vec.count() > 0 {
+            prop_assert!(close(vec.mean(), scal.mean(), 1e-9, 1e-9));
+        }
+    }
+
+    #[test]
+    fn masked_and_scratch_paths_are_bit_identical(x in holey(150), mode_scalar in prop_oneof![Just(false), Just(true)]) {
+        // the NaN-mask compaction must select exactly the rows the per-row
+        // scan selects, in the same order — downstream statistics then agree
+        // to the bit, whichever kernel mode runs them
+        let y: Vec<f64> = x.iter().rev().map(|v| v * 1.5 + 1.0).collect();
+        let mode = if mode_scalar { KernelMode::Scalar } else { KernelMode::Vectorized };
+        kernel::with_mode(mode, || -> Result<(), TestCaseError> {
+            let mx = PresenceMask::from_values(&x);
+            let my = PresenceMask::from_values(&y);
+            let mut scratch = PairScratch::new();
+            prop_assert_eq!(
+                pearson_with(&x, &y, &mut scratch).to_bits(),
+                pearson(&x, &y).to_bits()
+            );
+            prop_assert_eq!(
+                pearson_masked(&x, &y, &mx, &my, &mut scratch).to_bits(),
+                pearson(&x, &y).to_bits()
+            );
+            prop_assert_eq!(
+                spearman_with(&x, &y, &mut scratch).to_bits(),
+                spearman(&x, &y).to_bits()
+            );
+            prop_assert_eq!(
+                spearman_masked(&x, &y, &mx, &my, &mut scratch).to_bits(),
+                spearman(&x, &y).to_bits()
+            );
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn centered_pearson_is_bit_identical_to_fused(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..120), mode_scalar in prop_oneof![Just(false), Just(true)]) {
+        // pearson_centered and pearson_complete share one lane schedule —
+        // the contract that lets the batch scorers cache centered columns
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let mode = if mode_scalar { KernelMode::Scalar } else { KernelMode::Vectorized };
+        kernel::with_mode(mode, || -> Result<(), TestCaseError> {
+            let (Some(cx), Some(cy)) = (center(&x), center(&y)) else {
+                return Ok(()); // degenerate (constant) column
+            };
+            prop_assert_eq!(
+                pearson_centered(&cx, &cy).to_bits(),
+                pearson_complete(&x, &y).to_bits()
+            );
+            Ok(())
+        })?;
+    }
+}
+
+/// Every lane-remainder class, exhaustively: lengths 0 ..= 2·LANES with a
+/// deterministic value pattern, so chunk/tail boundaries are all exercised
+/// even if proptest's random lengths happen to miss one.
+#[test]
+fn every_remainder_length_matches_oracle() {
+    for n in 0..=2 * LANES {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 7 == 3 {
+                    f64::NAN
+                } else {
+                    (i as f64 * 0.37).sin() * 1e3
+                }
+            })
+            .collect();
+        assert_moments_match(&values).unwrap();
+        let y: Vec<f64> = values.iter().rev().copied().collect();
+        let mut scratch = PairScratch::new();
+        assert_eq!(
+            pearson_with(&values, &y, &mut scratch).to_bits(),
+            pearson(&values, &y).to_bits(),
+            "scratch path diverges at n = {n}"
+        );
+    }
+}
+
+/// Leading-NaN and all-NaN inputs: the compaction and the branch-free
+/// moment passes must agree with the oracle when presence starts late or
+/// never.
+#[test]
+fn leading_and_all_nan_patterns() {
+    let n = 3 * LANES + 5;
+    let leading: Vec<f64> = (0..n)
+        .map(|i| if i < LANES + 3 { f64::NAN } else { i as f64 })
+        .collect();
+    assert_moments_match(&leading).unwrap();
+    let all_nan = vec![f64::NAN; n];
+    assert_moments_match(&all_nan).unwrap();
+    let m = Moments::from_slice(&all_nan);
+    assert_eq!(m.count(), 0);
+    assert!(m.min().is_nan(), "empty summary reports NaN min");
+    assert!(m.max().is_nan(), "empty summary reports NaN max");
+}
+
+/// Subnormal inputs survive both paths without flushing to garbage: exact
+/// count/min/max, and the means stay tiny rather than zero or NaN.
+#[test]
+fn subnormals_are_preserved() {
+    let values: Vec<f64> = (0..2 * LANES + 3)
+        .map(|i| 5e-324 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    assert_moments_match(&values).unwrap();
+    let vec = Moments::from_slice(&values);
+    assert!(vec.mean().abs() < 1e-300);
+}

@@ -9,10 +9,36 @@
 //! in input order. On a single-core host (or tiny inputs) everything runs
 //! inline with zero thread overhead.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-/// Number of worker threads a parallel pass will use.
+/// Explicit pool-size override set via [`set_num_threads`]; 0 = unset.
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker-thread count for all subsequent parallel passes
+/// (rayon expresses this through `ThreadPoolBuilder::num_threads`; the
+/// stub exposes it as a process-wide setter). Pass 0 to reset to the
+/// automatic size.
+pub fn set_num_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel pass will use: the
+/// [`set_num_threads`] override if set, else the `RAYON_NUM_THREADS`
+/// environment variable (matching rayon's convention), else the machine's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
@@ -204,6 +230,18 @@ mod tests {
 
     #[test]
     fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn set_num_threads_overrides_and_resets() {
+        super::set_num_threads(4);
+        assert_eq!(super::current_num_threads(), 4);
+        // a parallel pass under the forced pool size still works
+        let v: Vec<u32> = (0..500).collect();
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out.len(), 500);
+        super::set_num_threads(0);
         assert!(super::current_num_threads() >= 1);
     }
 }
