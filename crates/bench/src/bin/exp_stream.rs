@@ -1,0 +1,296 @@
+//! **Experiment T8 — streaming ingest under concurrent query load.**
+//! Four measurements over the incremental write path:
+//!
+//! 1. *Republish cost*: wall-clock to absorb one append batch and publish
+//!    a fresh snapshot, incrementally (`CoreBuilder::from_arc` +
+//!    `append_shard`: merge the batch's shard catalog, rescore only dirty
+//!    columns, migrate clean cache entries) versus a full cold rebuild
+//!    over all accumulated shards. The speedup is the point of the
+//!    incremental path and is gated under `FORESIGHT_BENCH_GATE=1`.
+//! 2. *Sustained ingest rate*: rows/sec a `StreamWriter` absorbs while
+//!    reader threads query continuously.
+//! 3. *Read latency under churn*: per-query p50/p99 on reader threads
+//!    while the writer republishes, against the same workload on a
+//!    static core.
+//! 4. *Snapshot staleness*: worst rows-behind any reader observed.
+//!
+//! Emits `BENCH_stream.json` into the working directory.
+
+use foresight_bench::workload;
+use foresight_data::{Table, TableSource};
+use foresight_engine::stream::{RepublishPolicy, StreamConfig, StreamWriter};
+use foresight_engine::{AdoptPolicy, CoreBuilder, EngineCore, InsightQuery};
+use foresight_sketch::CatalogConfig;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED_ROWS: usize = 20_000;
+const BATCH_ROWS: usize = 1_000;
+const REPUBLISH_BATCHES: usize = 6;
+const STREAM_BATCHES: usize = 24;
+const COLS: usize = 12;
+const READERS: usize = 4;
+const REPS: usize = 5;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn percentile(xs: &mut [Duration], p: f64) -> Duration {
+    xs.sort();
+    xs[((xs.len() - 1) as f64 * p) as usize]
+}
+
+/// Slices `table` into `[0, seed)` plus `BATCH_ROWS`-sized append batches.
+fn slices(table: &Table, seed: usize, batches: usize) -> (Table, Vec<Table>) {
+    let head = table.filter_rows(|r| r < seed);
+    let tail: Vec<Table> = (0..batches)
+        .map(|b| {
+            let lo = seed + b * BATCH_ROWS;
+            let hi = lo + BATCH_ROWS;
+            table.filter_rows(|r| (lo..hi).contains(&r))
+        })
+        .collect();
+    (head, tail)
+}
+
+fn indexed_core(shards: Vec<Table>, config: &CatalogConfig) -> Arc<EngineCore> {
+    let mut builder = CoreBuilder::new(TableSource::sharded(shards).expect("shards"));
+    builder.preprocess(config).expect("sketch");
+    builder.build_index().expect("index");
+    builder.freeze()
+}
+
+/// Median wall-clock to append one batch and republish, per path.
+fn republish_cost(seed: &Table, batches: &[Table], config: &CatalogConfig) -> (f64, f64) {
+    let mut incremental = Vec::with_capacity(REPS);
+    let mut full = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        // incremental: carry the previous snapshot forward batch by batch
+        let mut core = indexed_core(vec![seed.clone()], config);
+        let t0 = Instant::now();
+        for b in batches {
+            let mut writer = CoreBuilder::from_arc(core);
+            writer.append_shard(b.clone()).expect("append");
+            core = writer.freeze();
+        }
+        incremental.push(t0.elapsed() / batches.len() as u32);
+        std::hint::black_box(core.snapshot_rows());
+
+        // full: cold rebuild over all accumulated shards at every publish
+        let mut shards = vec![seed.clone()];
+        let t0 = Instant::now();
+        for b in batches {
+            shards.push(b.clone());
+            let core = indexed_core(shards.clone(), config);
+            std::hint::black_box(core.snapshot_rows());
+        }
+        full.push(t0.elapsed() / batches.len() as u32);
+    }
+    (
+        median(incremental).as_secs_f64() * 1e3,
+        median(full).as_secs_f64() * 1e3,
+    )
+}
+
+struct ChurnStats {
+    queries: u64,
+    p50_us: f64,
+    p99_us: f64,
+    max_rows_behind: u64,
+}
+
+/// Readers hammer the published slot until `stop`; returns pooled latency
+/// percentiles and the worst staleness any query observed.
+fn read_under(
+    published: Option<Arc<foresight_engine::PublishedCore>>,
+    core: Arc<EngineCore>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<(Vec<Duration>, u64)> {
+    std::thread::spawn(move || {
+        let mut handle = core.handle();
+        if let Some(published) = published {
+            handle.bind_stream(published);
+            handle.set_adopt_policy(AdoptPolicy::EveryQuery);
+        }
+        handle.set_parallel(false);
+        let classes = ["linear-relationship", "skew", "outliers", "dispersion"];
+        let mut lat = Vec::with_capacity(1 << 14);
+        let mut max_behind = 0u64;
+        let mut i = 0usize;
+        while !stop.load(Ordering::Relaxed) {
+            let q = InsightQuery::class(classes[i % classes.len()]).top_k(3);
+            let t0 = Instant::now();
+            handle.query(&q).expect("query under churn");
+            lat.push(t0.elapsed());
+            max_behind = max_behind.max(handle.staleness().rows_behind);
+            i += 1;
+        }
+        (lat, max_behind)
+    })
+}
+
+/// Runs readers for the duration of an ingest run (or a fixed quantum on
+/// the static baseline) and pools their latencies.
+fn churn(core: Arc<EngineCore>, batches: &[Table], stream: bool) -> (ChurnStats, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (published, writer) = if stream {
+        let writer = StreamWriter::spawn(
+            core.clone(),
+            StreamConfig {
+                policy: RepublishPolicy {
+                    max_rows: 2_000,
+                    max_interval: Duration::from_millis(25),
+                    ..RepublishPolicy::default()
+                },
+                ..StreamConfig::default()
+            },
+        );
+        (Some(writer.published()), Some(writer))
+    } else {
+        (None, None)
+    };
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| read_under(published.clone(), Arc::clone(&core), Arc::clone(&stop)))
+        .collect();
+
+    let ingested = batches.iter().map(Table::n_rows).sum::<usize>();
+    let t0 = Instant::now();
+    if let Some(writer) = &writer {
+        for b in batches {
+            writer.send(b.clone()).expect("writer alive");
+        }
+        writer.flush().expect("drain");
+    } else {
+        std::thread::sleep(Duration::from_millis(400));
+    }
+    let ingest_wall = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut lat = Vec::new();
+    let mut max_behind = 0u64;
+    for r in readers {
+        let (l, behind) = r.join().expect("reader");
+        lat.extend(l);
+        max_behind = max_behind.max(behind);
+    }
+    if let Some(writer) = writer {
+        let last = writer.finish().expect("drained");
+        assert_eq!(last.rows_behind(), 0);
+        std::hint::black_box(last.snapshot_rows());
+    }
+    let rows_per_sec = if stream {
+        ingested as f64 / ingest_wall.as_secs_f64().max(1e-9)
+    } else {
+        0.0
+    };
+    let queries = lat.len() as u64;
+    (
+        ChurnStats {
+            queries,
+            p50_us: percentile(&mut lat, 0.50).as_secs_f64() * 1e6,
+            p99_us: percentile(&mut lat, 0.99).as_secs_f64() * 1e6,
+            max_rows_behind: max_behind,
+        },
+        rows_per_sec,
+    )
+}
+
+fn main() {
+    let gate = std::env::var("FORESIGHT_BENCH_GATE").is_ok_and(|v| v == "1");
+    println!("# Experiment T8: streaming ingest — republish cost, sustained rate, read latency under churn");
+
+    let (table, _) = workload(
+        SEED_ROWS + STREAM_BATCHES.max(REPUBLISH_BATCHES) * BATCH_ROWS,
+        COLS,
+        11,
+    );
+    let config = CatalogConfig::default();
+
+    // 1. incremental vs full republish cost
+    let (seed, batches) = slices(&table, SEED_ROWS, REPUBLISH_BATCHES);
+    let (inc_ms, full_ms) = republish_cost(&seed, &batches, &config);
+    let speedup = full_ms / inc_ms.max(1e-9);
+    println!(
+        "republish one {BATCH_ROWS}-row batch over {SEED_ROWS}+ rows: \
+         incremental {inc_ms:.1} ms vs full rebuild {full_ms:.1} ms ({speedup:.1}x)"
+    );
+
+    // 2-4. sustained ingest + read latency + staleness under churn
+    let (seed, stream_batches) = slices(&table, SEED_ROWS, STREAM_BATCHES);
+    let static_core = indexed_core(vec![seed.clone()], &config);
+    let (baseline, _) = churn(Arc::clone(&static_core), &[], false);
+    let (under_churn, rows_per_sec) =
+        churn(indexed_core(vec![seed], &config), &stream_batches, true);
+    println!(
+        "static core: {} queries, p50 {:.0} us, p99 {:.0} us",
+        baseline.queries, baseline.p50_us, baseline.p99_us
+    );
+    println!(
+        "under churn: {} queries, p50 {:.0} us, p99 {:.0} us; \
+         ingest sustained {:.0} rows/s; worst staleness {} rows",
+        under_churn.queries,
+        under_churn.p50_us,
+        under_churn.p99_us,
+        rows_per_sec,
+        under_churn.max_rows_behind
+    );
+
+    let report = json!({
+        "experiment": "stream",
+        "description": "streaming ingest: incremental vs full republish cost, sustained rows/sec under reader load, read latency and staleness under churn",
+        "reps": REPS,
+        "statistic": "median",
+        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "seed_rows": SEED_ROWS,
+        "batch_rows": BATCH_ROWS,
+        "republish": {
+            "batches": REPUBLISH_BATCHES,
+            "incremental_ms_per_batch": inc_ms,
+            "full_rebuild_ms_per_batch": full_ms,
+            "speedup": speedup,
+        },
+        "ingest": {
+            "batches": STREAM_BATCHES,
+            "rows_per_sec_under_query_load": rows_per_sec,
+            "reader_threads": READERS,
+        },
+        "read_latency_us": {
+            "static_p50": baseline.p50_us,
+            "static_p99": baseline.p99_us,
+            "churn_p50": under_churn.p50_us,
+            "churn_p99": under_churn.p99_us,
+            "churn_queries": under_churn.queries,
+        },
+        "staleness": {
+            "max_rows_behind": under_churn.max_rows_behind,
+            "republish_every_rows": 2_000,
+        },
+    });
+    let path = "BENCH_stream.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_stream.json");
+    println!("\nwrote {path}");
+
+    if gate {
+        // the incremental path must beat republish-by-rebuild decisively;
+        // anything close to parity means the dirty-column reuse regressed
+        let floor = 1.5;
+        assert!(
+            speedup >= floor,
+            "GATE: incremental republish only {speedup:.2}x faster than a full rebuild \
+             (floor {floor}x)"
+        );
+        assert!(
+            under_churn.queries > 0 && under_churn.max_rows_behind <= 50_000,
+            "GATE: readers starved or staleness unbounded under churn"
+        );
+        println!("gate passed: incremental republish {speedup:.2}x >= {floor}x");
+    }
+}

@@ -23,9 +23,16 @@ use crate::column::ColumnType;
 use crate::error::{DataError, Result};
 use crate::schema::Schema;
 use crate::table::{Table, TableBuilder};
+use std::sync::Arc;
 
 /// A table's rows: materialized in one block, or split into disjoint row
 /// shards that share one schema. See the module docs.
+///
+/// Shards are held behind [`Arc`] so cloning a source — which the engine's
+/// writer path does on every republish while readers still hold the old
+/// snapshot — shares the row data instead of deep-copying it. Appends
+/// always add a *new* shard; resident shards are never mutated, so the
+/// sharing is safe.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum TableSource {
     /// All rows resident in a single table.
@@ -37,7 +44,7 @@ pub enum TableSource {
         /// The schema every shard shares.
         schema: Schema,
         /// The resident shards, in global row order after `dropped_rows`.
-        shards: Vec<Table>,
+        shards: Vec<Arc<Table>>,
         /// Total rows across resident *and* dropped shards.
         total_rows: usize,
         /// Rows whose raw shards were dropped after sketching; they precede
@@ -72,10 +79,32 @@ impl TableSource {
         Ok(TableSource::Sharded {
             name,
             schema,
-            shards,
+            shards: shards.into_iter().map(Arc::new).collect(),
             total_rows,
             dropped_rows: 0,
         })
+    }
+
+    /// A source that never held raw rows: only a schema and a row count.
+    /// This is the shape of a *derived* core whose answers come entirely
+    /// from a sketch catalog built elsewhere — e.g. a tail-window snapshot
+    /// over the last `rows` ingested rows. `rows` must be ≥ 1 (a window
+    /// snapshot is only published once it covers data).
+    ///
+    /// # Panics
+    /// When `rows` is zero.
+    pub fn sketch_only(name: impl Into<String>, schema: Schema, rows: usize) -> Self {
+        assert!(
+            rows >= 1,
+            "a sketch-only source must cover at least one row"
+        );
+        TableSource::Sharded {
+            name: name.into(),
+            schema,
+            shards: Vec::new(),
+            total_rows: rows,
+            dropped_rows: rows,
+        }
     }
 
     /// The dataset name.
@@ -118,10 +147,11 @@ impl TableSource {
     /// Iterates the resident shards in global row order. A materialized
     /// source yields its single table.
     pub fn shards(&self) -> impl Iterator<Item = &Table> {
-        match self {
-            TableSource::Materialized(t) => std::slice::from_ref(t).iter(),
-            TableSource::Sharded { shards, .. } => shards.iter(),
-        }
+        let (single, many): (Option<&Table>, &[Arc<Table>]) = match self {
+            TableSource::Materialized(t) => (Some(t), &[]),
+            TableSource::Sharded { shards, .. } => (None, shards),
+        };
+        single.into_iter().chain(many.iter().map(Arc::as_ref))
     }
 
     /// Global row offset of each resident shard, aligned with
@@ -147,6 +177,17 @@ impl TableSource {
     /// A schema error when the shard disagrees with the source's schema on
     /// column names, order, or types.
     pub fn append_shard(&mut self, shard: Table) -> Result<usize> {
+        self.append_shard_arc(Arc::new(shard))
+    }
+
+    /// [`TableSource::append_shard`] for a shard already behind an [`Arc`]
+    /// — lets a streaming writer share one batch between the source and
+    /// e.g. a windowed catalog without copying the rows.
+    ///
+    /// # Errors
+    /// A schema error when the shard disagrees with the source's schema on
+    /// column names, order, or types.
+    pub fn append_shard_arc(&mut self, shard: Arc<Table>) -> Result<usize> {
         check_schema(self.schema(), &shard)?;
         let offset = self.n_rows();
         match self {
@@ -156,7 +197,7 @@ impl TableSource {
                     name: first.name().to_owned(),
                     schema: first.schema().clone(),
                     total_rows: first.n_rows() + shard.n_rows(),
-                    shards: vec![first, shard],
+                    shards: vec![Arc::new(first), shard],
                     dropped_rows: 0,
                 };
             }
@@ -194,7 +235,7 @@ impl TableSource {
         match self {
             TableSource::Materialized(t) => Ok(t.clone()),
             TableSource::Sharded { shards, .. } => {
-                let mut stacked = shards[0].clone();
+                let mut stacked = Table::clone(&shards[0]);
                 for shard in &shards[1..] {
                     stacked = stacked.vstack(shard)?;
                 }
@@ -380,6 +421,37 @@ mod tests {
         assert_eq!(t.name(), "d");
         assert_eq!(t.numeric_indices(), vec![0]);
         assert_eq!(t.semantic(0), Some("measure"));
+    }
+
+    #[test]
+    fn clones_share_shard_storage() {
+        let mut s = TableSource::sharded(vec![shard("d", vec![1.0, 2.0], vec!["a", "b"])]).unwrap();
+        let snapshot = s.clone();
+        // republish-style clone: the shard Arc is shared, not deep-copied
+        match (&s, &snapshot) {
+            (TableSource::Sharded { shards: a, .. }, TableSource::Sharded { shards: b, .. }) => {
+                assert!(Arc::ptr_eq(&a[0], &b[0]))
+            }
+            _ => panic!("both sources are sharded"),
+        }
+        // appends touch only the clone they run on
+        s.append_shard(shard("d", vec![3.0], vec!["c"])).unwrap();
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(snapshot.n_rows(), 2);
+    }
+
+    #[test]
+    fn sketch_only_constructor_never_had_rows() {
+        let schema = shard("d", vec![1.0], vec!["a"]).schema().clone();
+        let s = TableSource::sketch_only("window", schema, 250);
+        assert!(s.is_sketch_only());
+        assert_eq!(s.n_rows(), 250);
+        assert_eq!(s.n_cols(), 2);
+        assert_eq!(s.shard_count(), 0);
+        assert!(matches!(s.materialize(), Err(DataError::SketchOnly(_))));
+        let t = s.schema_table();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.name(), "window");
     }
 
     #[test]

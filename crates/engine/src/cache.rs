@@ -227,12 +227,14 @@ impl ScoreCache {
     /// Score entries from earlier generations become unreachable to the new
     /// snapshot immediately (the epoch is part of the key) and are purged to
     /// bound memory — readers still on an old snapshot simply recompute what
-    /// they need into their own keyspace. The `details` map survives: a
-    /// description is keyed by `(class, tuple, score-bits)`, so a tuple
-    /// whose score is unchanged by the new generation keeps its memoized
-    /// description, while a shifted score misses into a fresh key naturally.
-    /// Hit/miss counters are preserved; retired entries are counted in
-    /// [`CacheStats::purges`].
+    /// they need into their own keyspace. The `details` map is retired with
+    /// them: a description is keyed by `(class, tuple, score-bits)`, but a
+    /// description can depend on data the score does not pin down (a
+    /// degenerate score like `0.0` stays bit-identical while the value it
+    /// would describe — say, the most frequent category — moves under it),
+    /// so only a tuple *proven* untouched may keep its memo, and a plain
+    /// bump proves nothing. Hit/miss counters are preserved; retired score
+    /// entries are counted in [`CacheStats::purges`].
     pub fn bump_epoch(&self) -> u64 {
         let current = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         for shard in &self.shards {
@@ -243,7 +245,81 @@ impl ScoreCache {
                 .purges
                 .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
         }
+        self.details.write().clear();
         current
+    }
+
+    /// Mints the next data generation like [`bump_epoch`], but *migrates*
+    /// entries the caller can prove still valid instead of purging them —
+    /// the column-granular alternative to the all-or-nothing bump used by
+    /// incremental ingest.
+    ///
+    /// `keep` is consulted once per retiring `(class, tuple)` score key;
+    /// returning `true` re-keys the entry under the new epoch (its value is
+    /// provably unchanged — e.g. every column the tuple touches received no
+    /// data), `false` retires it like a plain bump. Memoized descriptions
+    /// are filtered by the same predicate: a clean tuple's description is a
+    /// function of unchanged inputs and survives, a dirty tuple's is
+    /// dropped even when its score bits would collide (degenerate scores
+    /// stay bit-identical while the described data moves). Soundness is
+    /// entirely the caller's obligation: migrating a score whose inputs
+    /// moved would serve a stale answer from the new snapshot.
+    ///
+    /// Returns `(new_epoch, migrated_entries)`. Retired entries count
+    /// toward [`CacheStats::purges`]; migrated ones do not.
+    ///
+    /// [`bump_epoch`]: ScoreCache::bump_epoch
+    pub fn bump_epoch_retaining(
+        &self,
+        keep: impl Fn(&'static str, &AttrTuple) -> bool,
+    ) -> (u64, u64) {
+        let current = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let prev = current - 1;
+        // Phase 1: drain each shard under its own lock, setting aside the
+        // entries that survive. Re-keying changes the hash, so a survivor
+        // may belong to a *different* shard afterwards — inserts happen in
+        // a second phase, still one lock at a time (no lock is ever nested).
+        let mut migrated: Vec<(CacheKey, Option<f64>)> = Vec::new();
+        for shard in &self.shards {
+            let mut kept_here = 0u64;
+            let mut map = shard.map.write();
+            let before = map.len();
+            map.retain(|k, v| {
+                if k.epoch == current {
+                    return true;
+                }
+                if k.epoch == prev && keep(k.class_id, &k.attrs) {
+                    let mut key = k.clone();
+                    key.epoch = current;
+                    migrated.push((key, *v));
+                    kept_here += 1;
+                }
+                false
+            });
+            let dropped = (before - map.len()) as u64 - kept_here;
+            if dropped > 0 {
+                shard.purges.fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+        let count = migrated.len() as u64;
+        let mut by_shard: [Vec<(CacheKey, Option<f64>)>; SHARDS] =
+            std::array::from_fn(|_| Vec::new());
+        for entry in migrated {
+            by_shard[Self::shard_index(&entry.0)].push(entry);
+        }
+        for (shard, entries) in self.shards.iter().zip(by_shard) {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut map = shard.map.write();
+            for (key, value) in entries {
+                map.insert(key, value);
+            }
+        }
+        self.details
+            .write()
+            .retain(|(class_id, attrs, _), _| keep(class_id, attrs));
+        (current, count)
     }
 
     fn shard_index(key: &CacheKey) -> usize {
@@ -429,13 +505,17 @@ impl ScoreCache {
     /// computing and storing it via `describe` on first sight.
     ///
     /// Sound because `InsightClass::describe` is a pure function of the
-    /// table, the tuple, and the score: wholesale table swaps go through
-    /// [`clear`](ScoreCache::clear), and appended rows go through
-    /// [`bump_epoch`](ScoreCache::bump_epoch) — a tuple whose score moved
-    /// lands on a new `(…, score-bits)` key, while an unchanged score means
-    /// an unchanged description. Descriptions are far cheaper than scores in
-    /// most classes but not all: multimodality re-fits a KDE per call, which
-    /// would otherwise dominate warm queries.
+    /// table, the tuple, and the score, and every table change retires the
+    /// memos it could invalidate: wholesale swaps go through
+    /// [`clear`](ScoreCache::clear), appended rows through
+    /// [`bump_epoch`](ScoreCache::bump_epoch) (drops all details — the
+    /// score bits alone don't pin the described data down), and incremental
+    /// republishes through
+    /// [`bump_epoch_retaining`](ScoreCache::bump_epoch_retaining) (keeps
+    /// only tuples whose columns provably received no data). Descriptions
+    /// are far cheaper than scores in most classes but not all:
+    /// multimodality re-fits a KDE per call, which would otherwise dominate
+    /// warm queries.
     pub fn detail(
         &self,
         class_id: &'static str,
@@ -575,14 +655,14 @@ mod tests {
     }
 
     #[test]
-    fn epoch_bump_retires_scores_but_keeps_details() {
+    fn epoch_bump_retires_scores_and_details() {
         let cache = ScoreCache::new();
         let attrs = AttrTuple::Two(0, 1);
         cache.store("c", &attrs, Mode::Approximate, None, Some(0.5), 0);
         let mut calls = 0;
         cache.detail("c", &attrs, 0.5, || {
             calls += 1;
-            "steady description".into()
+            "first description".into()
         });
         assert_eq!(
             cache.lookup("c", &attrs, Mode::Approximate, None, 0),
@@ -596,14 +676,15 @@ mod tests {
         assert_eq!(cache.lookup("c", &attrs, Mode::Approximate, None, 1), None);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().purges, 1);
-        // but the describe memoization for the unchanged (tuple, score)
-        // generation is still served without recomputation
+        // the describe memo is retired with it: the same score bits can
+        // describe different data after an append (degenerate scores don't
+        // move), so a plain bump must recompute
         let d = cache.detail("c", &attrs, 0.5, || {
             calls += 1;
-            "never rebuilt".into()
+            "rebuilt description".into()
         });
-        assert_eq!(d, "steady description");
-        assert_eq!(calls, 1);
+        assert_eq!(d, "rebuilt description");
+        assert_eq!(calls, 2);
         // the new generation stores and serves fresh scores normally
         cache.store("c", &attrs, Mode::Approximate, None, Some(0.7), 1);
         assert_eq!(
@@ -619,6 +700,66 @@ mod tests {
         );
         // counters survived the bump (2 hits: pre-bump + post-bump)
         assert!(cache.stats().hits >= 2);
+    }
+
+    #[test]
+    fn retaining_bump_migrates_clean_tuples_and_purges_dirty_ones() {
+        let cache = ScoreCache::new();
+        // tuples over columns {0,1} are "clean", anything touching 2 is not
+        for (attrs, score) in [
+            (AttrTuple::Two(0, 1), 0.9),
+            (AttrTuple::One(1), 0.4),
+            (AttrTuple::Two(1, 2), 0.7),
+            (AttrTuple::One(2), 0.2),
+        ] {
+            cache.store("c", &attrs, Mode::Approximate, None, Some(score), 0);
+        }
+        cache.detail("c", &AttrTuple::One(1), 0.4, || "clean detail".into());
+        cache.detail("c", &AttrTuple::One(2), 0.2, || "dirty detail".into());
+        let dirty = 2usize;
+        let (epoch, migrated) =
+            cache.bump_epoch_retaining(|_, attrs| !attrs.indices().contains(&dirty));
+        assert_eq!(epoch, 1);
+        assert_eq!(migrated, 2);
+        // details follow the same predicate: clean tuples keep their memo,
+        // dirty ones recompute against the new data
+        let mut calls = 0;
+        let kept = cache.detail("c", &AttrTuple::One(1), 0.4, || {
+            calls += 1;
+            "never rebuilt".into()
+        });
+        assert_eq!(kept, "clean detail");
+        let refreshed = cache.detail("c", &AttrTuple::One(2), 0.2, || {
+            calls += 1;
+            "fresh dirty detail".into()
+        });
+        assert_eq!(refreshed, "fresh dirty detail");
+        assert_eq!(calls, 1);
+        // clean tuples answer from the new epoch without recomputation…
+        assert_eq!(
+            cache.lookup("c", &AttrTuple::Two(0, 1), Mode::Approximate, None, 1),
+            Some(Some(0.9))
+        );
+        assert_eq!(
+            cache.lookup("c", &AttrTuple::One(1), Mode::Approximate, None, 1),
+            Some(Some(0.4))
+        );
+        // …dirty ones were retired (and counted as purges)
+        assert_eq!(
+            cache.lookup("c", &AttrTuple::Two(1, 2), Mode::Approximate, None, 1),
+            None
+        );
+        assert_eq!(
+            cache.lookup("c", &AttrTuple::One(2), Mode::Approximate, None, 1),
+            None
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().purges, 2);
+        // the retired keyspace is gone entirely
+        assert_eq!(
+            cache.lookup("c", &AttrTuple::Two(0, 1), Mode::Approximate, None, 0),
+            None
+        );
     }
 
     #[test]

@@ -28,6 +28,8 @@ use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
 use foresight_viz::ChartSpec;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// An insight index together with the mode whose scores it memoizes. The
@@ -76,6 +78,30 @@ pub struct EngineCore {
     /// recently finished traces, and the slow-query log. Shared across
     /// republished snapshots like `metrics`.
     tracer: Arc<Tracer>,
+    /// Live ingest-head row counter shared with a streaming writer, when
+    /// one feeds this core. Lets any snapshot report how many rows behind
+    /// the ingest head it is without talking to the writer.
+    ingest_head: Option<Arc<AtomicU64>>,
+    /// `clock::now_ns()` at freeze time — the birth instant snapshot age
+    /// is measured from.
+    published_at_ns: u64,
+}
+
+/// How far a published snapshot lags a live ingest stream — the staleness
+/// readings surfaced in session telemetry and `EXPLAIN` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staleness {
+    /// The snapshot's score-cache epoch.
+    pub epoch: u64,
+    /// Rows the snapshot covers.
+    pub snapshot_rows: u64,
+    /// Rows the ingest head has absorbed (equals `snapshot_rows` when no
+    /// stream writer is attached).
+    pub head_rows: u64,
+    /// `head_rows - snapshot_rows`.
+    pub rows_behind: u64,
+    /// Nanoseconds since the snapshot was frozen.
+    pub age_ns: u64,
 }
 
 // The whole point of the core: one snapshot, many threads.
@@ -129,6 +155,40 @@ impl EngineCore {
     /// The score-cache data generation this snapshot reads through.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Rows this snapshot covers.
+    pub fn snapshot_rows(&self) -> u64 {
+        self.source.n_rows() as u64
+    }
+
+    /// Rows absorbed by the ingest head feeding this core, when a stream
+    /// writer is attached.
+    pub fn ingest_head_rows(&self) -> Option<u64> {
+        self.ingest_head
+            .as_ref()
+            .map(|head| head.load(Ordering::Acquire))
+    }
+
+    /// How many ingested rows this snapshot has not yet seen (0 without a
+    /// stream writer).
+    pub fn rows_behind(&self) -> u64 {
+        self.ingest_head_rows()
+            .map_or(0, |head| head.saturating_sub(self.snapshot_rows()))
+    }
+
+    /// The full staleness reading: epoch, row coverage versus the ingest
+    /// head, and snapshot age.
+    pub fn staleness(&self) -> Staleness {
+        let snapshot_rows = self.snapshot_rows();
+        let head_rows = self.ingest_head_rows().unwrap_or(snapshot_rows);
+        Staleness {
+            epoch: self.epoch,
+            snapshot_rows,
+            head_rows,
+            rows_behind: head_rows.saturating_sub(snapshot_rows),
+            age_ns: clock::now_ns().saturating_sub(self.published_at_ns),
+        }
     }
 
     /// The shared cross-query score cache.
@@ -296,6 +356,14 @@ impl EngineCore {
         parallel: bool,
         trace: &mut TraceBuilder,
     ) -> Result<Vec<InsightInstance>> {
+        if trace.is_active() {
+            // staleness lands on the root span: which snapshot served this
+            // query, and how far behind the ingest head it was
+            trace.attr("snapshot_epoch", || self.epoch.to_string());
+            if self.ingest_head.is_some() {
+                trace.attr("rows_behind", || self.rows_behind().to_string());
+            }
+        }
         if let Some(ix) = self.index.as_ref().filter(|ix| ix.mode == mode) {
             let span = self.metrics.span(Stage::IndexServe);
             trace.begin("index_serve");
@@ -409,9 +477,19 @@ pub struct CoreBuilder {
     parallel: bool,
     metrics: Arc<Metrics>,
     tracer: Arc<Tracer>,
-    /// Whether a staged mutation could have changed scores (freeze then
-    /// mints a fresh cache epoch).
+    ingest_head: Option<Arc<AtomicU64>>,
+    /// Whether a staged mutation could have changed *any* score (freeze
+    /// then mints a wholly fresh cache epoch).
     dirty: bool,
+    /// Columns perturbed by staged appends: the columns in which some
+    /// appended batch carried at least one present value. A freeze with
+    /// only column-level dirt keeps the index (rescoring just the tuples
+    /// that touch these columns) and migrates clean cache entries into the
+    /// new epoch instead of purging everything.
+    dirty_columns: BTreeSet<usize>,
+    /// Whether any batch (even a zero-row one) was appended — gates the
+    /// ingest republish counters so batch-built cores report all zeros.
+    appended: bool,
 }
 
 impl CoreBuilder {
@@ -433,7 +511,10 @@ impl CoreBuilder {
             parallel: rayon::current_num_threads() > 1,
             metrics: Arc::new(Metrics::new()),
             tracer: Arc::new(Tracer::new()),
+            ingest_head: None,
             dirty: false,
+            dirty_columns: BTreeSet::new(),
+            appended: false,
         }
     }
 
@@ -456,7 +537,10 @@ impl CoreBuilder {
                 parallel: core.parallel,
                 metrics: core.metrics,
                 tracer: core.tracer,
+                ingest_head: core.ingest_head,
                 dirty: false,
+                dirty_columns: BTreeSet::new(),
+                appended: false,
             },
             Err(shared) => Self {
                 source: shared.source.clone(),
@@ -471,7 +555,10 @@ impl CoreBuilder {
                 parallel: shared.parallel,
                 metrics: Arc::clone(&shared.metrics),
                 tracer: Arc::clone(&shared.tracer),
+                ingest_head: shared.ingest_head.clone(),
                 dirty: false,
+                dirty_columns: BTreeSet::new(),
+                appended: false,
             },
         }
     }
@@ -557,9 +644,16 @@ impl CoreBuilder {
     /// The shard is appended to the source (a materialized table is
     /// promoted to a sharded source in place) and, when a catalog exists,
     /// sketched at its global row offset and merged in — no rebuild, no
-    /// concatenation. Any staged index and lazy concatenation are dropped,
-    /// and the freeze will mint a fresh cache epoch: stale scores become
-    /// unreachable without discarding still-valid describe memoization.
+    /// concatenation.
+    ///
+    /// Invalidation is *column-granular*: only the columns in which the
+    /// batch carries at least one present value are marked dirty. The
+    /// freeze then keeps any staged index (rescoring just the tuples that
+    /// touch a dirty column) and migrates clean cache entries into the new
+    /// epoch — a column whose appended rows are all null keeps bit-identical
+    /// sketches and NaN-masked exact statistics, so its scores stand.
+    /// A zero-row batch short-circuits entirely: the schema is still
+    /// validated, but nothing is invalidated, sketched, or merged.
     ///
     /// Returns the appended shard's global row offset.
     ///
@@ -567,20 +661,42 @@ impl CoreBuilder {
     /// Schema mismatches surface as [`EngineError::Data`]; catalog merge
     /// failures as [`EngineError::Merge`].
     pub fn append_shard(&mut self, shard: Table) -> Result<usize> {
-        let offset = self.source.append_shard(shard)?;
-        self.index = None;
+        self.append_shard_arc(Arc::new(shard))
+    }
+
+    /// [`CoreBuilder::append_shard`] for a batch already behind an `Arc` —
+    /// the stream writer's path, where the same batch also feeds a windowed
+    /// catalog without copying rows.
+    pub fn append_shard_arc(&mut self, shard: Arc<Table>) -> Result<usize> {
+        if shard.n_rows() == 0 {
+            // zero-row short-circuit: validate the schema, change nothing
+            return Ok(self.source.append_shard_arc(shard)?);
+        }
+        let rows = shard.n_rows() as u64;
+        let touched = present_columns(&shard);
+        let offset = self.source.append_shard_arc(Arc::clone(&shard))?;
+        self.appended = true;
         self.materialized = OnceLock::new();
-        self.dirty = true;
+        self.dirty_columns.extend(touched);
+        self.metrics.record_ingest_batch(rows);
         if let Some(catalog) = self.catalog.as_mut() {
-            let added = self.source.shards().last().expect("shard just appended");
             let config = catalog.config().clone();
             let build = self.metrics.span(Stage::SketchBuild);
-            let shard_catalog = SketchCatalog::build_shard(added, &config, offset as u64);
+            let shard_catalog = SketchCatalog::build_shard(&shard, &config, offset as u64);
             drop(build);
             let _merge = self.metrics.span(Stage::SketchMerge);
             catalog.merge(&shard_catalog)?;
+            self.metrics.record_ingest_merge();
         }
         Ok(offset)
+    }
+
+    /// Attaches (or detaches) the live ingest-head row counter snapshots
+    /// frozen from this builder report staleness against. Set by
+    /// [`crate::StreamWriter`]; inherited across
+    /// [`CoreBuilder::from_arc`] takeovers.
+    pub fn set_ingest_head(&mut self, head: Option<Arc<AtomicU64>>) {
+        self.ingest_head = head;
     }
 
     /// Sets the published default between exact and approximate scoring.
@@ -653,19 +769,80 @@ impl CoreBuilder {
         self.dirty = true;
     }
 
+    /// Refreshes a staged index in place after appends: tuples touching a
+    /// dirty column are rescored, everything else carries over. Drops the
+    /// index instead when it needs raw rows the source can no longer
+    /// provide.
+    fn refresh_index(&mut self) -> Option<crate::index::RefreshStats> {
+        let mut ix = self.index.take()?;
+        let dirty: Vec<usize> = self.dirty_columns.iter().copied().collect();
+        let _span = self.metrics.span(Stage::IndexRefresh);
+        let sketch_backed = self.source.as_materialized().is_none() && ix.mode == Mode::Approximate;
+        let table = if sketch_backed {
+            self.schema_table()
+        } else {
+            match self.try_table() {
+                Ok(t) => t,
+                Err(_) => return None,
+            }
+        };
+        let catalog = if ix.mode == Mode::Approximate {
+            self.catalog.as_ref()
+        } else {
+            None
+        };
+        let stats = ix.index.refresh(table, &self.registry, catalog, &dirty);
+        self.index = Some(ix);
+        Some(stats)
+    }
+
     /// Publishes the staged state as a new immutable snapshot.
     ///
-    /// When any staged mutation could have changed scores, the shared
-    /// cache's epoch is bumped here — exactly once per republish — and the
-    /// new snapshot reads through the fresh epoch. Readers of older
-    /// snapshots keep their own (now-retired) keyspace.
-    pub fn freeze(self) -> Arc<EngineCore> {
+    /// Invalidation is proportional to what actually changed:
+    ///
+    /// * a score-global mutation (registry change, preprocess, catalog
+    ///   restore) bumps the shared cache's epoch outright — the new
+    ///   snapshot starts from a clean keyspace;
+    /// * appends that dirtied only some columns keep the staged index
+    ///   (rescoring just the tuples that touch a dirty column) and
+    ///   *migrate* clean cache entries into the new epoch instead of
+    ///   purging them;
+    /// * a no-op republish (nothing staged, or only zero-row batches)
+    ///   keeps the epoch — warm cache and index survive untouched.
+    ///
+    /// Readers of older snapshots keep their own (now-retired) keyspace
+    /// either way.
+    pub fn freeze(mut self) -> Arc<EngineCore> {
         // keep the registry alive past the field-by-field move below
         let metrics = Arc::clone(&self.metrics);
         let _span = metrics.span(Stage::Freeze);
-        let epoch = if self.dirty {
-            self.cache.bump_epoch()
+        let refresh = if self.index.is_some() && !self.dirty_columns.is_empty() {
+            self.refresh_index()
         } else {
+            None
+        };
+        let epoch = if self.dirty {
+            if self.appended {
+                metrics.record_republish_full();
+            }
+            self.cache.bump_epoch()
+        } else if !self.dirty_columns.is_empty() {
+            let dirty = std::mem::take(&mut self.dirty_columns);
+            let (epoch, migrated) = self.cache.bump_epoch_retaining(|_, attrs| {
+                attrs.indices().iter().all(|i| !dirty.contains(i))
+            });
+            let stats = refresh.unwrap_or_default();
+            metrics.record_republish_incremental(
+                stats.classes_rescored as u64,
+                stats.tuples_rescored as u64,
+                stats.tuples_reused as u64,
+                migrated,
+            );
+            epoch
+        } else {
+            if self.appended {
+                metrics.record_republish_clean();
+            }
             self.epoch
         };
         Arc::new(EngineCore {
@@ -681,8 +858,40 @@ impl CoreBuilder {
             parallel: self.parallel,
             metrics: self.metrics,
             tracer: self.tracer,
+            ingest_head: self.ingest_head,
+            published_at_ns: clock::now_ns(),
         })
     }
+}
+
+/// Columns of `shard` carrying at least one present value — the only
+/// columns an append can perturb. A column whose appended rows are all
+/// null keeps bit-identical sketches (every sketch family skips or
+/// zero-weights nulls, and merging an empty contribution is a no-op) and
+/// NaN-masked exact statistics, so its cached scores and index entries
+/// remain exactly valid.
+fn present_columns(shard: &Table) -> Vec<usize> {
+    let mut touched = Vec::new();
+    for idx in shard.numeric_indices() {
+        let present = shard
+            .numeric(idx)
+            .map(|c| c.null_count() < c.values().len())
+            .unwrap_or(true);
+        if present {
+            touched.push(idx);
+        }
+    }
+    for idx in shard.categorical_indices() {
+        let present = shard
+            .categorical(idx)
+            .map(|c| c.present_codes().next().is_some())
+            .unwrap_or(true);
+        if present {
+            touched.push(idx);
+        }
+    }
+    touched.sort_unstable();
+    touched
 }
 
 #[cfg(test)]

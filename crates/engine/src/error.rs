@@ -46,6 +46,13 @@ pub enum EngineError {
         supported: u32,
     },
 
+    /// The streaming writer thread has exited (a prior batch failed, or
+    /// the stream was finished); [`StreamWriter::finish`] reports why.
+    ///
+    /// [`StreamWriter::finish`]: crate::StreamWriter::finish
+    #[error("the stream writer has shut down; no more batches can be ingested")]
+    StreamClosed,
+
     /// Session (de)serialization failure.
     #[error("session serialization: {0}")]
     Session(#[from] serde_json::Error),

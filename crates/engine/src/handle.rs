@@ -7,16 +7,32 @@
 //! other, and `Send`: spawn one per user (or per thread) over a single
 //! core snapshot.
 
-use crate::core::EngineCore;
+use crate::core::{EngineCore, Staleness};
 use crate::error::{EngineError, Result};
 use crate::executor::Mode;
 use crate::neighborhood::NeighborhoodWeights;
 use crate::query::InsightQuery;
 use crate::recommend::{Carousel, CarouselConfig, DEFAULT_FOCUS_OVERFETCH};
 use crate::session::Session;
+use crate::stream::PublishedCore;
 use crate::trace::Explained;
 use foresight_insight::{AttrTuple, InsightInstance};
 use std::sync::Arc;
+
+/// When a handle bound to a [`PublishedCore`] adopts newer snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdoptPolicy {
+    /// Only on an explicit [`SessionHandle::refresh`] — queries keep the
+    /// adopted snapshot no matter how far it falls behind.
+    #[default]
+    Manual,
+    /// Check for (and adopt) a newer snapshot before every query.
+    EveryQuery,
+    /// Adopt before a query only once the held snapshot trails the ingest
+    /// head by more than this many rows — bounded staleness with minimal
+    /// publication-slot traffic.
+    MaxRowsBehind(u64),
+}
 
 /// One user's view of a shared engine core: exploration state plus
 /// per-user execution knobs. All heavy state lives in the
@@ -40,6 +56,12 @@ pub struct SessionHandle {
     trace_phase: u64,
     /// Queries issued since sampling was configured.
     trace_counter: u64,
+    /// The stream publication point this handle follows, when bound.
+    published: Option<Arc<PublishedCore>>,
+    /// When to adopt newer published snapshots.
+    adopt: AdoptPolicy,
+    /// The publish version last adopted, to skip no-op slot reads.
+    adopted_version: u64,
 }
 
 const _: () = {
@@ -64,6 +86,63 @@ impl SessionHandle {
             trace_every: 0,
             trace_phase: 0,
             trace_counter: 0,
+            published: None,
+            adopt: AdoptPolicy::Manual,
+            adopted_version: 0,
+        }
+    }
+
+    /// Binds this handle to a stream's publication point: the handle keeps
+    /// serving its current snapshot until [`refresh`](Self::refresh) — or
+    /// the [`AdoptPolicy`] set via
+    /// [`set_adopt_policy`](Self::set_adopt_policy) — swaps in a newer one.
+    /// Session state (focus, history, knobs) survives every swap.
+    pub fn bind_stream(&mut self, published: Arc<PublishedCore>) {
+        self.adopted_version = published.version();
+        self.core = published.latest();
+        self.published = Some(published);
+    }
+
+    /// Sets when this handle adopts newer published snapshots (no effect
+    /// until [`bind_stream`](Self::bind_stream)).
+    pub fn set_adopt_policy(&mut self, policy: AdoptPolicy) {
+        self.adopt = policy;
+    }
+
+    /// Adopts the latest published snapshot. Returns `true` when the
+    /// handle actually moved to a newer snapshot, `false` when it was
+    /// already current or is not bound to a stream.
+    pub fn refresh(&mut self) -> bool {
+        let Some(published) = self.published.as_ref() else {
+            return false;
+        };
+        let (latest, version) = published.latest_versioned();
+        self.adopted_version = version;
+        if Arc::ptr_eq(&latest, &self.core) {
+            return false;
+        }
+        self.core = latest;
+        true
+    }
+
+    /// How stale this handle's snapshot is relative to the ingest head
+    /// (all-zero lag for a core with no stream writer attached).
+    pub fn staleness(&self) -> Staleness {
+        self.core.staleness()
+    }
+
+    /// Applies the adopt policy before a query.
+    fn maybe_adopt(&mut self) {
+        let Some(published) = self.published.as_ref() else {
+            return;
+        };
+        let wants = match self.adopt {
+            AdoptPolicy::Manual => false,
+            AdoptPolicy::EveryQuery => published.version() != self.adopted_version,
+            AdoptPolicy::MaxRowsBehind(limit) => self.core.rows_behind() > limit,
+        };
+        if wants {
+            self.refresh();
         }
     }
 
@@ -166,6 +245,7 @@ impl SessionHandle {
     /// by [`set_trace_sampling`](Self::set_trace_sampling) selects this
     /// query, its trace is captured into the core's ring as a side effect.
     pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
+        self.maybe_adopt();
         let out = if self.sample_this_query() {
             self.core
                 .run_query_traced(query, self.mode, self.parallel, false)?
@@ -186,6 +266,7 @@ impl SessionHandle {
     ///
     /// [`QueryTrace`]: crate::trace::QueryTrace
     pub fn explain(&mut self, query: &InsightQuery) -> Result<Explained> {
+        self.maybe_adopt();
         let (results, trace) = self
             .core
             .run_query_traced(query, self.mode, self.parallel, true)?;
@@ -383,6 +464,60 @@ mod tests {
             }
             None => assert!(!cfg!(feature = "trace")),
         }
+    }
+
+    #[test]
+    fn bound_handle_adopts_per_policy() {
+        use crate::stream::{RepublishPolicy, StreamConfig, StreamWriter};
+        use foresight_data::TableBuilder;
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let table = |offset: usize| {
+            TableBuilder::new("t")
+                .numeric("x", base.iter().map(|v| v + offset as f64).collect())
+                .numeric(
+                    "y",
+                    base.iter().map(|v| 2.0 * (v + offset as f64)).collect(),
+                )
+                .build()
+                .unwrap()
+        };
+        let core = CoreBuilder::new(TableSource::materialized(table(0))).freeze();
+        let writer = StreamWriter::spawn(
+            core,
+            StreamConfig {
+                policy: RepublishPolicy {
+                    max_rows: 100,
+                    ..RepublishPolicy::default()
+                },
+                ..StreamConfig::default()
+            },
+        );
+        let mut manual = writer.published().latest().handle();
+        manual.bind_stream(writer.published());
+        let mut eager = writer.published().latest().handle();
+        eager.bind_stream(writer.published());
+        eager.set_adopt_policy(AdoptPolicy::EveryQuery);
+
+        writer.send(table(100)).unwrap();
+        writer.flush().unwrap();
+
+        let q = InsightQuery::class("linear-relationship").top_k(1);
+        manual.query(&q).unwrap();
+        assert_eq!(
+            manual.staleness().snapshot_rows,
+            100,
+            "manual handle keeps its snapshot"
+        );
+        eager.query(&q).unwrap();
+        assert_eq!(
+            eager.staleness().snapshot_rows,
+            200,
+            "every-query handle adopted the republish"
+        );
+        assert!(manual.refresh(), "manual refresh adopts");
+        assert_eq!(manual.staleness().snapshot_rows, 200);
+        assert!(!manual.refresh(), "already current");
+        writer.finish().unwrap();
     }
 
     #[test]

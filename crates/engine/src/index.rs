@@ -22,6 +22,18 @@ pub struct InsightIndex {
     sketch_only: bool,
 }
 
+/// What an [`InsightIndex::refresh`] did: how much of the index survived
+/// untouched versus had to be rescored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Classes with at least one rescored tuple.
+    pub classes_rescored: usize,
+    /// Tuples rescored because they touch a dirty column.
+    pub tuples_rescored: usize,
+    /// Tuples whose previous score was carried over unchanged.
+    pub tuples_reused: usize,
+}
+
 impl InsightIndex {
     /// Scores every candidate of every registered class (sketch-backed
     /// when `catalog` is given, exact otherwise) and sorts each list.
@@ -76,6 +88,66 @@ impl InsightIndex {
             entries,
             sketch_only,
         }
+    }
+
+    /// Incrementally maintains the index after an append that only touched
+    /// `dirty_columns`: tuples whose attributes avoid every dirty column keep
+    /// their previous score (appending rows with no present value in a column
+    /// leaves that column's sketches and exact statistics bit-identical),
+    /// while tuples touching a dirty column are rescored from scratch.
+    ///
+    /// Candidate enumeration is schema-pure, so the candidate set itself
+    /// cannot change on append; a tuple absent from the previous list (its
+    /// score was non-finite or had no sketch path) stays absent unless it
+    /// touches a dirty column and now scores finitely.
+    pub fn refresh(
+        &mut self,
+        table: &Table,
+        registry: &InsightRegistry,
+        catalog: Option<&SketchCatalog>,
+        dirty_columns: &[usize],
+    ) -> RefreshStats {
+        let mut stats = RefreshStats::default();
+        for class in registry.classes() {
+            let previous: HashMap<AttrTuple, f64> = self
+                .entries
+                .get(class.id())
+                .map(|list| list.iter().copied().collect())
+                .unwrap_or_default();
+            let mut class_rescored = 0usize;
+            let mut scored: Vec<(AttrTuple, f64)> = class
+                .candidates(table)
+                .into_iter()
+                .filter_map(|attrs| {
+                    let is_dirty = attrs.indices().iter().any(|i| dirty_columns.contains(i));
+                    if !is_dirty {
+                        return previous.get(&attrs).map(|&score| {
+                            stats.tuples_reused += 1;
+                            (attrs, score)
+                        });
+                    }
+                    class_rescored += 1;
+                    let sketched = catalog.and_then(|c| class.score_sketch(c, table, &attrs));
+                    let score = if self.sketch_only {
+                        sketched?
+                    } else {
+                        sketched.or_else(|| class.score(table, &attrs))?
+                    };
+                    score.is_finite().then_some((attrs, score))
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("non-finite filtered")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            if class_rescored > 0 {
+                stats.classes_rescored += 1;
+                stats.tuples_rescored += class_rescored;
+            }
+            self.entries.insert(class.id().to_owned(), scored);
+        }
+        stats
     }
 
     /// Number of indexed classes.
@@ -204,6 +276,38 @@ mod tests {
         assert!(index
             .query(&t, &r, &InsightQuery::class("not-a-class"))
             .is_none());
+    }
+
+    #[test]
+    fn refresh_of_dirty_columns_matches_full_rebuild() {
+        let t1 = table();
+        // the appended 50 rows carry present values in x, y, and c only;
+        // z gains nothing but NaN padding, so it is clean
+        let x: Vec<f64> = (0..250).map(|i| i as f64).collect();
+        let mut z: Vec<f64> = (0..200).map(|i| ((i * 37) % 200) as f64).collect();
+        z.extend(std::iter::repeat(f64::NAN).take(50));
+        let t2 = TableBuilder::new("t")
+            .numeric("x", x.clone())
+            .numeric("y", x.iter().map(|v| 2.0 * v).collect())
+            .numeric("z", z)
+            .categorical("c", (0..250).map(|i| if i % 2 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap();
+        let r = InsightRegistry::default();
+        let mut index = InsightIndex::build(&t1, &r, None);
+        let stats = index.refresh(&t2, &r, None, &[0, 1, 3]);
+        assert!(stats.classes_rescored > 0);
+        assert!(stats.tuples_rescored > 0);
+        assert!(stats.tuples_reused > 0, "pure-z tuples should carry over");
+        let rebuilt = InsightIndex::build(&t2, &r, None);
+        for class in r.classes() {
+            assert_eq!(
+                index.entries[class.id()],
+                rebuilt.entries[class.id()],
+                "class {} diverged after refresh",
+                class.id()
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`handle`] — cheap per-user [`SessionHandle`]s over one core
 //! * [`neighborhood`] — insight similarity and focus-driven re-ranking
 //! * [`session`] — focus set, history, save/restore
+//! * [`stream`] — streaming ingest: a writer thread republishing
+//!   snapshots at bounded cadence, with optional tail-window catalogs
 //! * [`recommend`] — Figure-1 carousel assembly
 //! * [`telemetry`] — per-stage latency histograms and query counters
 //!   (compiled out without the `telemetry` cargo feature)
@@ -34,21 +36,23 @@ pub mod profile;
 pub mod query;
 pub mod recommend;
 pub mod session;
+pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
-pub use crate::core::{CoreBuilder, EngineCore};
+pub use crate::core::{CoreBuilder, EngineCore, Staleness};
 pub use cache::{BatchLookup, CacheStats, ScoreCache, CACHE_SHARDS};
 pub use error::{EngineError, Result};
 pub use executor::{Executor, Mode};
 pub use foresight::{Foresight, STATE_FORMAT_VERSION};
-pub use handle::SessionHandle;
+pub use handle::{AdoptPolicy, SessionHandle};
 pub use index::InsightIndex;
 pub use neighborhood::NeighborhoodWeights;
 pub use profile::{profile, profile_from_catalog, ColumnProfile, DatasetProfile};
 pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
+pub use stream::{PublishedCore, RepublishPolicy, StreamConfig, StreamWriter};
 pub use telemetry::{Metrics, MetricsSnapshot, Stage};
 pub use trace::{
     Explained, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,

@@ -125,6 +125,9 @@ pub enum Stage {
     SketchMerge,
     /// Building the insight index.
     IndexBuild,
+    /// Incrementally refreshing the insight index after an append
+    /// (rescoring only tuples that touch dirty columns).
+    IndexRefresh,
     /// Serving a query from the prebuilt insight index.
     IndexServe,
     /// Candidate scoring (cache lookups + exact/sketch metric evaluation).
@@ -146,11 +149,12 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in reporting order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Preprocess,
         Stage::SketchBuild,
         Stage::SketchMerge,
         Stage::IndexBuild,
+        Stage::IndexRefresh,
         Stage::IndexServe,
         Stage::Score,
         Stage::Rank,
@@ -168,6 +172,7 @@ impl Stage {
             Stage::SketchBuild => "sketch_build",
             Stage::SketchMerge => "sketch_merge",
             Stage::IndexBuild => "index_build",
+            Stage::IndexRefresh => "index_refresh",
             Stage::IndexServe => "index_serve",
             Stage::Score => "score",
             Stage::Rank => "rank",
@@ -259,6 +264,17 @@ pub struct Metrics {
     /// Per-class query counts. First query of a class takes the write
     /// lock once to insert; every later count is a read lock + relaxed add.
     queries_by_class: RwLock<BTreeMap<String, AtomicU64>>,
+    /// Streaming-ingest counters (see [`IngestSnapshot`] for meanings).
+    ingest_rows: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_merges: AtomicU64,
+    republishes_full: AtomicU64,
+    republishes_incremental: AtomicU64,
+    republishes_clean: AtomicU64,
+    rescored_classes: AtomicU64,
+    rescored_tuples: AtomicU64,
+    reused_tuples: AtomicU64,
+    cache_entries_migrated: AtomicU64,
     /// Runtime switch (only meaningful when the `telemetry` feature is
     /// compiled in) — lets one binary compare instrumented vs.
     /// uninstrumented latency.
@@ -282,6 +298,16 @@ impl Metrics {
             queries_index_served: AtomicU64::new(0),
             sketch_fallbacks: AtomicU64::new(0),
             queries_by_class: RwLock::new(BTreeMap::new()),
+            ingest_rows: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            ingest_merges: AtomicU64::new(0),
+            republishes_full: AtomicU64::new(0),
+            republishes_incremental: AtomicU64::new(0),
+            republishes_clean: AtomicU64::new(0),
+            rescored_classes: AtomicU64::new(0),
+            rescored_tuples: AtomicU64::new(0),
+            reused_tuples: AtomicU64::new(0),
+            cache_entries_migrated: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
         }
     }
@@ -356,6 +382,60 @@ impl Metrics {
         }
     }
 
+    /// Counts one ingested row batch of `rows` rows.
+    #[inline]
+    pub fn record_ingest_batch(&self, rows: u64) {
+        if self.enabled() {
+            self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+            self.ingest_rows.fetch_add(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one shard-catalog merge into the global catalog.
+    #[inline]
+    pub fn record_ingest_merge(&self) {
+        if self.enabled() {
+            self.ingest_merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one full (rebuild-everything) snapshot republish.
+    #[inline]
+    pub fn record_republish_full(&self) {
+        if self.enabled() {
+            self.republishes_full.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one republish that changed nothing observable (no dirty
+    /// columns) and therefore kept the cache epoch.
+    #[inline]
+    pub fn record_republish_clean(&self) {
+        if self.enabled() {
+            self.republishes_clean.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one incremental republish: `classes`/`rescored` index work
+    /// actually redone, `reused` index entries carried over, and `migrated`
+    /// clean score-cache entries moved into the new epoch.
+    pub fn record_republish_incremental(
+        &self,
+        classes: u64,
+        rescored: u64,
+        reused: u64,
+        migrated: u64,
+    ) {
+        if self.enabled() {
+            self.republishes_incremental.fetch_add(1, Ordering::Relaxed);
+            self.rescored_classes.fetch_add(classes, Ordering::Relaxed);
+            self.rescored_tuples.fetch_add(rescored, Ordering::Relaxed);
+            self.reused_tuples.fetch_add(reused, Ordering::Relaxed);
+            self.cache_entries_migrated
+                .fetch_add(migrated, Ordering::Relaxed);
+        }
+    }
+
     /// Zeroes every histogram and counter (the runtime switch is left as
     /// is). Handy between benchmark phases.
     pub fn reset(&self) {
@@ -367,6 +447,16 @@ impl Metrics {
         self.queries_index_served.store(0, Ordering::Relaxed);
         self.sketch_fallbacks.store(0, Ordering::Relaxed);
         self.queries_by_class.write().clear();
+        self.ingest_rows.store(0, Ordering::Relaxed);
+        self.ingest_batches.store(0, Ordering::Relaxed);
+        self.ingest_merges.store(0, Ordering::Relaxed);
+        self.republishes_full.store(0, Ordering::Relaxed);
+        self.republishes_incremental.store(0, Ordering::Relaxed);
+        self.republishes_clean.store(0, Ordering::Relaxed);
+        self.rescored_classes.store(0, Ordering::Relaxed);
+        self.rescored_tuples.store(0, Ordering::Relaxed);
+        self.reused_tuples.store(0, Ordering::Relaxed);
+        self.cache_entries_migrated.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time snapshot with no cache section (see
@@ -445,6 +535,18 @@ impl Metrics {
             kernel: foresight_stats::kernel::mode().name().to_owned(),
             stages,
             queries,
+            ingest: IngestSnapshot {
+                rows: self.ingest_rows.load(Ordering::Relaxed),
+                batches: self.ingest_batches.load(Ordering::Relaxed),
+                merges: self.ingest_merges.load(Ordering::Relaxed),
+                republishes_full: self.republishes_full.load(Ordering::Relaxed),
+                republishes_incremental: self.republishes_incremental.load(Ordering::Relaxed),
+                republishes_clean: self.republishes_clean.load(Ordering::Relaxed),
+                rescored_classes: self.rescored_classes.load(Ordering::Relaxed),
+                rescored_tuples: self.rescored_tuples.load(Ordering::Relaxed),
+                reused_tuples: self.reused_tuples.load(Ordering::Relaxed),
+                cache_entries_migrated: self.cache_entries_migrated.load(Ordering::Relaxed),
+            },
             sketch_fallbacks: self.sketch_fallbacks.load(Ordering::Relaxed),
             cache: cache.map(|stats| CacheSnapshot {
                 hits: stats.hits,
@@ -604,6 +706,36 @@ pub struct QuerySnapshot {
     pub by_class: BTreeMap<String, u64>,
 }
 
+/// Streaming-ingest counters inside a [`MetricsSnapshot`]: how much data
+/// the writer path absorbed and how much downstream work each republish
+/// actually redid versus carried over.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    /// Rows ingested across all appended batches.
+    pub rows: u64,
+    /// Row batches ingested.
+    pub batches: u64,
+    /// Shard-catalog merges into the global sketch catalog.
+    pub merges: u64,
+    /// Republishes that rebuilt the index from scratch (source replaced,
+    /// registry changed, or no index was alive to refresh).
+    pub republishes_full: u64,
+    /// Republishes that kept the index and rescored only dirty tuples.
+    pub republishes_incremental: u64,
+    /// Republishes with no dirty columns at all — epoch and cache kept.
+    pub republishes_clean: u64,
+    /// Insight classes with at least one rescored tuple, summed over
+    /// incremental republishes.
+    pub rescored_classes: u64,
+    /// Tuples rescored by incremental republishes.
+    pub rescored_tuples: u64,
+    /// Tuples whose scores were carried over by incremental republishes.
+    pub reused_tuples: u64,
+    /// Clean score-cache entries migrated into the new epoch instead of
+    /// being purged.
+    pub cache_entries_migrated: u64,
+}
+
 /// Score-cache traffic inside a [`MetricsSnapshot`], folded in from
 /// [`CacheStats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -640,6 +772,8 @@ pub struct MetricsSnapshot {
     pub stages: Vec<StageSnapshot>,
     /// Query counters.
     pub queries: QuerySnapshot,
+    /// Streaming-ingest counters (all zero for a batch-built core).
+    pub ingest: IngestSnapshot,
     /// Approximate-mode scorings that fell back to the exact path.
     pub sketch_fallbacks: u64,
     /// Score-cache traffic, when the snapshot came from an engine core.
@@ -697,6 +831,27 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "  {class:<28} {n:>8}");
         }
         let _ = writeln!(out, "sketch fallbacks to exact: {}", self.sketch_fallbacks);
+        let ing = &self.ingest;
+        if ing.batches > 0 {
+            let _ = writeln!(
+                out,
+                "ingest: {} rows in {} batches, {} sketch merges; republishes: {} full, {} incremental, {} clean",
+                ing.rows,
+                ing.batches,
+                ing.merges,
+                ing.republishes_full,
+                ing.republishes_incremental,
+                ing.republishes_clean,
+            );
+            let _ = writeln!(
+                out,
+                "  incremental refresh: {} classes / {} tuples rescored, {} tuples reused, {} cache entries migrated",
+                ing.rescored_classes,
+                ing.rescored_tuples,
+                ing.reused_tuples,
+                ing.cache_entries_migrated,
+            );
+        }
         if let Some(c) = &self.cache {
             let _ = writeln!(
                 out,
@@ -864,11 +1019,41 @@ mod tests {
         m.record_ns(Stage::Score, 42);
         m.record_query("skew", Mode::Exact, false);
         m.record_sketch_fallback();
+        m.record_ingest_batch(100);
+        m.record_republish_incremental(2, 10, 50, 7);
         m.reset();
         let snap = m.snapshot();
         assert!(snap.stages.iter().all(|s| s.count == 0));
         assert_eq!(snap.queries.total, 0);
         assert!(snap.queries.by_class.is_empty());
         assert_eq!(snap.sketch_fallbacks, 0);
+        assert_eq!(snap.ingest, IngestSnapshot::default());
+    }
+
+    #[test]
+    fn ingest_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.record_ingest_batch(100);
+        m.record_ingest_batch(28);
+        m.record_ingest_merge();
+        m.record_republish_full();
+        m.record_republish_clean();
+        m.record_republish_incremental(2, 10, 50, 7);
+        let snap = m.snapshot();
+        if cfg!(feature = "telemetry") {
+            assert_eq!(snap.ingest.rows, 128);
+            assert_eq!(snap.ingest.batches, 2);
+            assert_eq!(snap.ingest.merges, 1);
+            assert_eq!(snap.ingest.republishes_full, 1);
+            assert_eq!(snap.ingest.republishes_incremental, 1);
+            assert_eq!(snap.ingest.republishes_clean, 1);
+            assert_eq!(snap.ingest.rescored_classes, 2);
+            assert_eq!(snap.ingest.rescored_tuples, 10);
+            assert_eq!(snap.ingest.reused_tuples, 50);
+            assert_eq!(snap.ingest.cache_entries_migrated, 7);
+            assert!(snap.to_text().contains("ingest: 128 rows in 2 batches"));
+        } else {
+            assert_eq!(snap.ingest, IngestSnapshot::default());
+        }
     }
 }

@@ -233,6 +233,15 @@ impl QueryTrace {
             },
             self.total_ns as f64 / 1e3,
         );
+        if let Some(epoch) = self.root.attr("snapshot_epoch") {
+            let _ = match self.root.attr("rows_behind") {
+                Some(k) => writeln!(
+                    out,
+                    "  served from snapshot @epoch {epoch}, {k} rows behind ingest head"
+                ),
+                None => writeln!(out, "  served from snapshot @epoch {epoch}"),
+            };
+        }
         let _ = writeln!(
             out,
             "  candidates: {} generated, {} eligible after filters",

@@ -1,0 +1,287 @@
+//! Streaming-ingest correctness: every snapshot the incremental write
+//! path publishes must be *observationally identical* to a core built
+//! cold, in one batch, over exactly the rows that snapshot covers — same
+//! shard boundaries, same pinned sketch configuration. The incremental
+//! machinery (merged shard catalogs, refreshed-in-place index, migrated
+//! cache entries) is pure optimization; it may never change an answer.
+
+use foresight_data::{Table, TableBuilder, TableSource};
+use foresight_engine::stream::{RepublishPolicy, StreamConfig, StreamWriter};
+use foresight_engine::{AdoptPolicy, CoreBuilder, EngineCore, InsightQuery, Mode};
+use foresight_sketch::CatalogConfig;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A deterministic batch: `rows` rows starting at global row `offset`,
+/// with three numeric columns and one categorical. Columns listed in
+/// `null_cols` carry no present values (all-NaN / all-null) — the case
+/// column-granular invalidation must treat as clean.
+fn batch(offset: usize, rows: usize, seed: u64, null_cols: &[usize]) -> Table {
+    let noise = |r: usize, c: u64| {
+        let x = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed.wrapping_add(c));
+        (x >> 33) as f64 / 1e9
+    };
+    let numeric = |c: u64, f: &dyn Fn(usize) -> f64| -> Vec<f64> {
+        (offset..offset + rows)
+            .map(|r| {
+                if null_cols.contains(&(c as usize)) {
+                    f64::NAN
+                } else {
+                    f(r) + noise(r, c)
+                }
+            })
+            .collect()
+    };
+    let cats: Vec<&str> = (offset..offset + rows)
+        .map(|r| {
+            if null_cols.contains(&3) {
+                ""
+            } else if r % 3 == 0 {
+                "low"
+            } else if r % 3 == 1 {
+                "mid"
+            } else {
+                "high"
+            }
+        })
+        .collect();
+    TableBuilder::new("stream")
+        .numeric("x", numeric(0, &|r| r as f64))
+        .numeric("y", numeric(1, &|r| 2.0 * r as f64 + 5.0))
+        .numeric("z", numeric(2, &|r| ((r * 37) % 101) as f64))
+        .categorical("c", cats)
+        .build()
+        .unwrap()
+}
+
+/// A cold core over exactly `shards`, with the same shard boundaries and
+/// the same (already resolved) sketch config as the streaming snapshot.
+fn cold_core(shards: Vec<Table>, config: &CatalogConfig, index: bool) -> Arc<EngineCore> {
+    let mut builder = CoreBuilder::new(TableSource::sharded(shards).unwrap());
+    builder.preprocess(config).unwrap();
+    if index {
+        builder.build_index().unwrap();
+    }
+    builder.freeze()
+}
+
+/// Every registered class, top-3, in both modes.
+fn assert_same_answers(streamed: &EngineCore, cold: &EngineCore) {
+    assert_eq!(
+        streamed.catalog().unwrap().config(),
+        cold.catalog().unwrap().config(),
+        "sketch configs must stay pinned across appends"
+    );
+    for class in streamed.registry().classes() {
+        let q = InsightQuery::class(class.id()).top_k(3);
+        for mode in [Mode::Approximate, Mode::Exact] {
+            let a = streamed.run_query_at(&q, mode, false).unwrap();
+            let b = cold.run_query_at(&q, mode, false).unwrap();
+            assert_eq!(
+                a,
+                b,
+                "class {} diverged in {mode:?} mode\nstreamed: {a:#?}\ncold: {b:#?}",
+                class.id()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The writer-path loop (append → freeze → from_arc), run directly and
+    /// deterministically: after every republish, the snapshot must answer
+    /// exactly like a cold batch build over the same shards — including
+    /// appends whose batches leave some columns entirely null (those
+    /// columns' index entries and cache lines are reused, not rescored).
+    #[test]
+    fn incremental_snapshots_match_cold_builds(
+        seed in 0u64..500,
+        batch_rows in 16usize..48,
+        batches in 1usize..5,
+        null_pattern in proptest::collection::vec(proptest::collection::vec(0usize..4, 0..3), 1..5),
+    ) {
+        let seed_table = batch(0, 64, seed, &[]);
+        let mut builder = CoreBuilder::new(TableSource::sharded(vec![seed_table.clone()]).unwrap());
+        builder.preprocess(&CatalogConfig::default()).unwrap();
+        builder.build_index().unwrap();
+        let mut core = builder.freeze();
+        let config = core.catalog().unwrap().config().clone();
+
+        let mut shards = vec![seed_table];
+        let mut offset = 64;
+        for i in 0..batches {
+            let nulls = &null_pattern[i % null_pattern.len()];
+            let b = batch(offset, batch_rows, seed.wrapping_add(i as u64 + 1), nulls);
+            offset += batch_rows;
+            shards.push(b.clone());
+
+            // exactly what the stream writer does per republish: take over
+            // the published Arc (a reader keeps one, forcing the clone
+            // path), append, freeze
+            let reader = Arc::clone(&core);
+            let mut writer = CoreBuilder::from_arc(core);
+            writer.append_shard(b).unwrap();
+            core = writer.freeze();
+
+            // warm the cache so later republishes exercise entry migration
+            core.run_query(&InsightQuery::class("skew").top_k(2)).unwrap();
+
+            let cold = cold_core(shards.clone(), &config, true);
+            assert_same_answers(&core, &cold);
+            drop(reader);
+        }
+    }
+}
+
+/// Concurrent churn: a real `StreamWriter` republishing under reader
+/// threads that query continuously through `EveryQuery` handles. Every
+/// query must succeed, any snapshot a reader grabs must answer
+/// self-consistently, and the final drained snapshot must match a cold
+/// batch build over all ingested rows.
+#[test]
+fn churn_queries_stay_consistent_and_final_state_matches_batch() {
+    const BATCHES: usize = 16;
+    const BATCH_ROWS: usize = 50;
+
+    let seed_table = batch(0, 100, 7, &[]);
+    let mut builder = CoreBuilder::new(TableSource::sharded(vec![seed_table.clone()]).unwrap());
+    builder.preprocess(&CatalogConfig::default()).unwrap();
+    builder.build_index().unwrap();
+    let core = builder.freeze();
+    let config = core.catalog().unwrap().config().clone();
+
+    let writer = StreamWriter::spawn(
+        core,
+        StreamConfig {
+            policy: RepublishPolicy {
+                max_rows: 100,
+                ..RepublishPolicy::default()
+            },
+            ..StreamConfig::default()
+        },
+    );
+    let published = writer.published();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|i| {
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut handle = published.latest().handle();
+                handle.bind_stream(published);
+                handle.set_adopt_policy(AdoptPolicy::EveryQuery);
+                let classes = ["linear-relationship", "skew", "outliers", "dispersion"];
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = InsightQuery::class(classes[served as usize % classes.len()])
+                        .top_k(2 + i % 3);
+                    // a snapshot must answer the same query identically
+                    // twice in a row — no torn state under republish
+                    let snapshot = Arc::clone(handle.core());
+                    let first = snapshot.run_query(&q).expect("query under churn");
+                    let second = snapshot.run_query(&q).expect("query under churn");
+                    assert_eq!(first, second, "torn read on a published snapshot");
+                    handle.query(&q).expect("handle query under churn");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut shards = vec![seed_table];
+    let mut offset = 100;
+    for i in 0..BATCHES {
+        // column z is untouched by every batch (so each republish carries
+        // its tuples over no matter how the writer coalesces the queue);
+        // the categorical goes quiet every 4th batch
+        let nulls: &[usize] = if i % 4 == 3 { &[2, 3] } else { &[2] };
+        let b = batch(offset, BATCH_ROWS, 7 + i as u64, nulls);
+        offset += BATCH_ROWS;
+        shards.push(b.clone());
+        writer.send(b).unwrap();
+    }
+    writer.flush().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(served > 0, "readers made progress under churn");
+
+    let last = writer.finish().unwrap();
+    assert_eq!(last.snapshot_rows() as usize, 100 + BATCHES * BATCH_ROWS);
+    assert_eq!(last.rows_behind(), 0);
+    let cold = cold_core(shards, &config, true);
+    assert_same_answers(&last, &cold);
+
+    if cfg!(feature = "telemetry") {
+        let snap = last.metrics_snapshot();
+        assert_eq!(snap.ingest.batches, BATCHES as u64);
+        assert_eq!(snap.ingest.rows, (BATCHES * BATCH_ROWS) as u64);
+        assert!(snap.ingest.republishes_incremental > 0);
+        assert!(
+            snap.ingest.reused_tuples > 0,
+            "clean columns must carry over"
+        );
+    }
+}
+
+/// The tail-window mode end to end: stream past the window, then ask the
+/// window snapshot for tail statistics — they must reflect only the last
+/// `window` rows, not the whole stream.
+#[test]
+fn windowed_mode_tracks_the_tail_distribution() {
+    // phase 1 centered near 0, phase 2 shifted by +1000: a window that
+    // covers only phase 2 must profile the shifted distribution
+    let mk = |offset: usize, rows: usize, shift: f64| {
+        let vals: Vec<f64> = (offset..offset + rows)
+            .map(|r| shift + ((r * 31) % 100) as f64 / 10.0)
+            .collect();
+        TableBuilder::new("win")
+            .numeric("v", vals.clone())
+            .numeric("w", vals.iter().map(|x| x * 0.5).collect())
+            .build()
+            .unwrap()
+    };
+    let core = CoreBuilder::new(TableSource::materialized(mk(0, 100, 0.0))).freeze();
+    let writer = StreamWriter::spawn(
+        core,
+        StreamConfig {
+            policy: RepublishPolicy {
+                max_rows: 100,
+                ..RepublishPolicy::default()
+            },
+            window_rows: Some(200),
+            ..StreamConfig::default()
+        },
+    );
+    for i in 0..4 {
+        writer.send(mk(100 + i * 100, 100, 0.0)).unwrap();
+    }
+    for i in 0..2 {
+        writer.send(mk(500 + i * 100, 100, 1000.0)).unwrap();
+    }
+    writer.flush().unwrap();
+    let tail = writer.window().expect("window configured").latest();
+    assert!(tail.source().is_sketch_only());
+    assert_eq!(tail.snapshot_rows(), 200);
+    let profile = tail.profile().expect("sketch-only profile");
+    let median = profile
+        .columns
+        .iter()
+        .find_map(|c| match c {
+            foresight_engine::ColumnProfile::Numeric { name, summary } if name == "v" => {
+                summary.as_ref().map(|s| s.median)
+            }
+            _ => None,
+        })
+        .expect("column v profiled");
+    assert!(
+        median >= 1000.0,
+        "window median {median} must reflect the shifted tail, not the full stream"
+    );
+    writer.finish().unwrap();
+}

@@ -108,15 +108,29 @@ impl MomentForest {
         self.nodes.iter().map(Node::span).sum()
     }
 
-    /// Folds the canonical roots left-to-right into one summary.
+    /// Folds the canonical roots right-to-left into one summary.
     ///
     /// For a fixed set of covered rows the node set — and therefore this
     /// fold — is canonical, so the result is bit-identical across every
     /// partitioning of those rows.
+    ///
+    /// The fold runs right-to-left on purpose: it makes the result
+    /// additionally invariant to *trailing empty coverage* (all-NaN rows
+    /// appended by a stream batch that leaves this column untouched).
+    /// Extending coverage restructures the forest only by (a) growing the
+    /// last root through merges with empty siblings — bitwise no-ops — and
+    /// (b) collapsing the last two roots into their parent, which is
+    /// exactly the pairing a right-to-left fold performs first anyway. So
+    /// the fold equals the value the fully-padded canonical tree would
+    /// reach, and a column's finalized moments cannot move a bit when the
+    /// streaming writer appends rows that hold no values for it — the
+    /// invariant column-granular cache reuse is built on.
     pub fn finalize(&self) -> Moments {
         let mut out = Moments::new();
-        for node in &self.nodes {
-            out.merge(&node.moments);
+        for node in self.nodes.iter().rev() {
+            let mut m = node.moments;
+            m.merge(&out);
+            out = m;
         }
         out
     }
@@ -227,6 +241,31 @@ mod tests {
         rest.update_rows(&values[70..], 70);
         merged.merge(&rest).unwrap();
         assert_eq!(merged.finalize(), whole);
+    }
+
+    #[test]
+    fn trailing_empty_coverage_is_bit_identical() {
+        // a stream batch whose rows are all NaN for this column extends
+        // the forest's coverage without adding values; the finalized
+        // moments must not move a single bit, or the engine's "clean
+        // column keeps its cached scores" rule would serve wrong answers
+        let values: Vec<f64> = (0..84)
+            .map(|i| (i as f64 * 0.618).sin() * 40.0 + ((i % 7) as f64))
+            .collect();
+        let base = from_whole(&values).finalize();
+        for pad in [1usize, 4, 20, 44, 100] {
+            let mut padded = values.clone();
+            padded.extend(std::iter::repeat(f64::NAN).take(pad));
+            let grown = from_whole(&padded).finalize();
+            assert_eq!(grown, base, "pad {pad}");
+
+            // and via the merge path, as the streaming writer drives it
+            let mut merged = from_whole(&values);
+            let mut empty_shard = MomentForest::new();
+            empty_shard.update_rows(&vec![f64::NAN; pad], 84);
+            merged.merge(&empty_shard).unwrap();
+            assert_eq!(merged.finalize(), base, "merged pad {pad}");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`projection`] — Johnson–Lindenstrauss random projections (F₂, dots)
 //! * [`sample`] — reservoir samples (plain and row-aligned pairs)
 //! * [`catalog`] — the per-table catalog built in the preprocessing phase
+//! * [`window`] — windowed / exponentially decayed variants for streams:
+//!   ring-of-sub-sketches "last N rows" views and decayed moments and
+//!   frequency sketches
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,7 @@ pub mod projection;
 pub mod quantile;
 pub mod sample;
 pub mod traits;
+pub mod window;
 
 pub use bits::BitVec;
 pub use catalog::{CatalogConfig, SketchCatalog};
@@ -38,3 +42,4 @@ pub use projection::{ProjectionConfig, ProjectionSketch, SharedProjections};
 pub use quantile::{GkSketch, KllSketch};
 pub use sample::{PairReservoir, Reservoir};
 pub use traits::{MergeError, Mergeable, Sketch};
+pub use window::{DecayedFrequency, DecayedMoments, SketchRing, WindowedCatalog};

@@ -97,6 +97,11 @@ impl Mergeable for Reservoir {
         if self.capacity != other.capacity {
             return Err(MergeError::SizeMismatch(self.capacity, other.capacity));
         }
+        if other.n == 0 {
+            // an empty partition contributes nothing; resampling here would
+            // reshuffle the surviving sample and break merge idempotence
+            return Ok(());
+        }
         let total = self.n + other.n;
         if total <= self.capacity as u64 {
             self.items.extend_from_slice(&other.items);
@@ -316,6 +321,21 @@ mod tests {
             (left_share - 0.75).abs() < 0.05,
             "left share {left_share}, want ≈ 0.75"
         );
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_a_no_op() {
+        // even past capacity: the resample path must not run, or the
+        // surviving sample would be reshuffled by a zero-row partition
+        let mut a = Reservoir::new(32, 9);
+        for i in 0..5_000 {
+            a.insert(i as f64);
+        }
+        let before = a.sample().to_vec();
+        let empty = Reservoir::new(32, 77);
+        a.merge(&empty).unwrap();
+        assert_eq!(a.count(), 5_000);
+        assert_eq!(a.sample(), before.as_slice());
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! Windowed and time-decayed sketch variants for streaming ingest.
+//!
+//! The batch catalog (§3) summarizes *all* rows ever ingested. Streaming
+//! deployments often want the opposite emphasis — "what does the tail of
+//! the stream look like?" — without a second full pass. Two standard
+//! constructions cover that, both built from the mergeable substrate:
+//!
+//! * **ring of sub-sketches** ([`SketchRing`], [`WindowedCatalog`]) — the
+//!   stream is cut into bucket sub-sketches; the window estimate is the
+//!   merge of the newest buckets and old buckets are dropped whole. The
+//!   window boundary is approximate at bucket granularity (a classic
+//!   sliding-window compromise: eviction is O(1) and no per-row timestamps
+//!   are kept);
+//! * **exponential decay** ([`DecayedMoments`], [`DecayedFrequency`]) —
+//!   every existing observation's weight is multiplied by `λ` per arriving
+//!   row, so the summary is a smoothly aging average with effective window
+//!   `≈ 1/(1−λ)` rows. Merge stays well-defined for *ordered* partitions:
+//!   `decay(A ++ B) = decay(A)·λ^|B| ⊕ decay(B)` — the older side is aged
+//!   by the younger side's row span, then the states add.
+//!
+//! Decayed merges reassociate weights through `λ^span` powers, so the laws
+//! hold to floating-point round-off (tested in `tests/laws.rs`), not
+//! bit-exactly like the sum-structured batch sketches.
+
+use crate::catalog::{CatalogConfig, SketchCatalog};
+use crate::traits::{MergeError, Mergeable, Sketch};
+use foresight_data::Table;
+use std::collections::VecDeque;
+
+/// A sliding-window sketch: a ring of mergeable sub-sketches, each
+/// covering `bucket_rows` consecutive rows, keeping the newest
+/// `max_buckets` buckets. The merged view therefore covers between
+/// `(max_buckets−1)·bucket_rows + 1` and `max_buckets·bucket_rows` of the
+/// most recent rows — "last N rows" at bucket granularity.
+#[derive(Debug, Clone)]
+pub struct SketchRing<S> {
+    /// An empty sketch cloned whenever a new bucket opens (carries the
+    /// configuration: width, seed, capacity…).
+    prototype: S,
+    bucket_rows: u64,
+    max_buckets: usize,
+    buckets: VecDeque<Bucket<S>>,
+    rows_seen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket<S> {
+    sketch: S,
+    rows: u64,
+}
+
+impl<S: Mergeable + Clone> SketchRing<S> {
+    /// Creates a ring whose window is `max_buckets` buckets of
+    /// `bucket_rows` rows each.
+    ///
+    /// # Panics
+    /// When `bucket_rows` is zero or `max_buckets` is zero.
+    pub fn new(prototype: S, bucket_rows: u64, max_buckets: usize) -> Self {
+        assert!(bucket_rows >= 1, "bucket must cover at least one row");
+        assert!(max_buckets >= 1, "window needs at least one bucket");
+        Self {
+            prototype,
+            bucket_rows,
+            max_buckets,
+            buckets: VecDeque::with_capacity(max_buckets + 1),
+            rows_seen: 0,
+        }
+    }
+
+    /// Absorbs one row, applying `f` to the current bucket's sketch.
+    /// Opens a fresh bucket (and evicts the oldest) at bucket boundaries.
+    pub fn observe_with(&mut self, f: impl FnOnce(&mut S)) {
+        let needs_new = match self.buckets.back() {
+            Some(b) => b.rows >= self.bucket_rows,
+            None => true,
+        };
+        if needs_new {
+            self.buckets.push_back(Bucket {
+                sketch: self.prototype.clone(),
+                rows: 0,
+            });
+            while self.buckets.len() > self.max_buckets {
+                self.buckets.pop_front();
+            }
+        }
+        let bucket = self.buckets.back_mut().expect("bucket just ensured");
+        f(&mut bucket.sketch);
+        bucket.rows += 1;
+        self.rows_seen += 1;
+    }
+
+    /// The window estimate: every live bucket merged (oldest first) into a
+    /// clone of the prototype.
+    pub fn merged(&self) -> Result<S, MergeError> {
+        let mut out = self.prototype.clone();
+        for bucket in &self.buckets {
+            out.merge(&bucket.sketch)?;
+        }
+        Ok(out)
+    }
+
+    /// Rows currently covered by the live buckets (≤ `window_capacity`).
+    pub fn window_rows(&self) -> u64 {
+        self.buckets.iter().map(|b| b.rows).sum()
+    }
+
+    /// The maximum rows the window can cover.
+    pub fn window_capacity(&self) -> u64 {
+        self.bucket_rows * self.max_buckets as u64
+    }
+
+    /// Total rows observed over the ring's lifetime.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Live bucket count.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl<S: Sketch<f64> + Mergeable + Clone> SketchRing<S> {
+    /// Absorbs one numeric row (convenience over [`Self::observe_with`]).
+    pub fn insert(&mut self, value: f64) {
+        self.observe_with(|s| s.update(&value));
+    }
+}
+
+/// Exponentially decayed moments: count, mean and variance where each
+/// arriving row multiplies every prior observation's weight by `λ`. The
+/// decayed "count" `w = Σ λ^age` approaches `1/(1−λ)` on a steady stream —
+/// the effective window length.
+#[derive(Debug, Clone)]
+pub struct DecayedMoments {
+    lambda: f64,
+    /// Rows the sketch has aged over (present or missing — time passes
+    /// either way). This is the span used to age the older side on merge.
+    span: u64,
+    /// Decayed count of *present* values.
+    weight: f64,
+    /// Decayed Σ λ^age · x.
+    sum: f64,
+    /// Decayed Σ λ^age · x².
+    sum_sq: f64,
+}
+
+impl DecayedMoments {
+    /// Creates a decayed-moments sketch with decay factor `0 < λ ≤ 1`
+    /// per row (λ = 1 degrades to undecayed moments).
+    ///
+    /// # Panics
+    /// When `λ` is outside `(0, 1]`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "decay factor must be in (0, 1], got {lambda}"
+        );
+        Self {
+            lambda,
+            span: 0,
+            weight: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// The decay factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Absorbs one row. `NaN` marks a missing value: the clock still
+    /// advances (existing weights decay) but nothing is added.
+    pub fn insert(&mut self, value: f64) {
+        self.weight *= self.lambda;
+        self.sum *= self.lambda;
+        self.sum_sq *= self.lambda;
+        self.span += 1;
+        if value.is_nan() {
+            return;
+        }
+        self.weight += 1.0;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Ages the whole state by `rows` arrivals with nothing added — used
+    /// to align the older side before a merge.
+    pub fn age(&mut self, rows: u64) {
+        if rows == 0 {
+            return;
+        }
+        let factor = self.lambda.powi(rows.min(i32::MAX as u64) as i32);
+        self.weight *= factor;
+        self.sum *= factor;
+        self.sum_sq *= factor;
+        self.span += rows;
+    }
+
+    /// Rows the sketch has aged over.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The decayed count (Σ λ^age over present values).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The decayed mean, `None` while the decayed count is ~zero.
+    pub fn mean(&self) -> Option<f64> {
+        (self.weight > 1e-12).then(|| self.sum / self.weight)
+    }
+
+    /// The decayed population variance, `None` while the decayed count is
+    /// ~zero. Clamped at zero against round-off.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some((self.sum_sq / self.weight - mean * mean).max(0.0))
+    }
+}
+
+impl Sketch<f64> for DecayedMoments {
+    fn update(&mut self, item: &f64) {
+        self.insert(*item);
+    }
+
+    fn count(&self) -> u64 {
+        self.span
+    }
+}
+
+impl Mergeable for DecayedMoments {
+    /// Ordered merge: `self` is the *older* partition, `other` the
+    /// *newer* one. The older state is aged by the newer side's span,
+    /// then the decayed sums add: `decay(A ++ B) = decay(A)·λ^|B| ⊕
+    /// decay(B)`, exact up to `λ^n`-vs-repeated-multiply round-off.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.lambda != other.lambda {
+            return Err(MergeError::ParameterMismatch("decay factor"));
+        }
+        self.age(other.span);
+        self.weight += other.weight;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        Ok(())
+    }
+}
+
+/// Exponentially decayed heavy hitters: SpaceSaving over decayed weights.
+/// Counter values age by `λ` per arriving row, so a once-hot label fades
+/// with effective window `≈ 1/(1−λ)` rows.
+///
+/// Internally counts are stored in "boosted" units — a row arriving at
+/// time `t` weighs `λ^{−t}` — so insertion never rescales existing
+/// counters; the shared scale is divided out on read and renormalized
+/// before it can overflow.
+#[derive(Debug, Clone)]
+pub struct DecayedFrequency {
+    lambda: f64,
+    m: usize,
+    /// Shared scale: a new arrival currently weighs `boost` stored units.
+    boost: f64,
+    span: u64,
+    counters: Vec<(String, f64)>,
+}
+
+/// Renormalize stored counters once the shared boost passes this bound.
+const BOOST_LIMIT: f64 = 1e100;
+
+impl DecayedFrequency {
+    /// Creates a decayed top-`m` sketch with decay factor `0 < λ ≤ 1`.
+    ///
+    /// # Panics
+    /// When `λ` is outside `(0, 1]` or `m` is zero.
+    pub fn new(m: usize, lambda: f64) -> Self {
+        assert!(m >= 1, "need at least one counter");
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "decay factor must be in (0, 1], got {lambda}"
+        );
+        Self {
+            lambda,
+            m,
+            boost: 1.0,
+            span: 0,
+            counters: Vec::with_capacity(m),
+        }
+    }
+
+    /// The decay factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Counter capacity.
+    pub fn capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Rows the sketch has aged over.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Absorbs one occurrence of `label`.
+    pub fn insert(&mut self, label: &str) {
+        self.boost /= self.lambda;
+        self.span += 1;
+        if self.boost > BOOST_LIMIT {
+            self.normalize();
+        }
+        if let Some((_, c)) = self.counters.iter_mut().find(|(k, _)| k == label) {
+            *c += self.boost;
+            return;
+        }
+        if self.counters.len() < self.m {
+            self.counters.push((label.to_owned(), self.boost));
+            return;
+        }
+        // SpaceSaving takeover: the newcomer inherits the minimum counter
+        let (min_idx, _) = self
+            .counters
+            .iter()
+            .enumerate()
+            .min_by(|(_, (ka, ca)), (_, (kb, cb))| {
+                ca.partial_cmp(cb)
+                    .expect("counters are finite")
+                    .then_with(|| kb.cmp(ka))
+            })
+            .expect("counters non-empty");
+        let inherited = self.counters[min_idx].1;
+        self.counters[min_idx] = (label.to_owned(), inherited + self.boost);
+    }
+
+    /// Ages the whole state by `rows` arrivals with nothing added.
+    pub fn age(&mut self, rows: u64) {
+        // aging only moves the shared scale: stored units are unchanged
+        let rows = rows.min(i32::MAX as u64) as i32;
+        self.boost *= self.lambda.powi(-rows);
+        self.span += rows as u64;
+        if self.boost > BOOST_LIMIT {
+            self.normalize();
+        }
+    }
+
+    /// Rebase stored counts so the current arrival weight is 1.
+    fn normalize(&mut self) {
+        let scale = self.boost;
+        for (_, c) in &mut self.counters {
+            *c /= scale;
+        }
+        self.boost = 1.0;
+    }
+
+    /// The decayed weight estimate for `label` (0 when untracked).
+    pub fn estimate(&self, label: &str) -> f64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == label)
+            .map(|(_, c)| c / self.boost)
+            .unwrap_or(0.0)
+    }
+
+    /// The total decayed weight of the stream, `Σ λ^age` over all rows.
+    pub fn total_weight(&self) -> f64 {
+        // geometric series over span rows: (1 − λ^span) / (1 − λ)
+        if self.lambda == 1.0 {
+            return self.span as f64;
+        }
+        let span = self.span.min(i32::MAX as u64) as i32;
+        (1.0 - self.lambda.powi(span)) / (1.0 - self.lambda)
+    }
+
+    /// Tracked labels, heaviest decayed weight first.
+    pub fn top(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c / self.boost))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+impl Sketch<str> for DecayedFrequency {
+    fn update(&mut self, item: &str) {
+        self.insert(item);
+    }
+
+    fn count(&self) -> u64 {
+        self.span
+    }
+}
+
+impl Mergeable for DecayedFrequency {
+    /// Ordered merge (`self` older, `other` newer): the older side's
+    /// weights decay by `λ^|other|`, then counters combine
+    /// SpaceSaving-style and the heaviest `m` survive.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.m != other.m {
+            return Err(MergeError::SizeMismatch(self.m, other.m));
+        }
+        if self.lambda != other.lambda {
+            return Err(MergeError::ParameterMismatch("decay factor"));
+        }
+        let age = self.lambda.powi(other.span.min(i32::MAX as u64) as i32);
+        let mut combined: Vec<(String, f64)> = self
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c / self.boost * age))
+            .collect();
+        for (k, c) in &other.counters {
+            let decayed = c / other.boost;
+            match combined.iter_mut().find(|(key, _)| key == k) {
+                Some((_, w)) => *w += decayed,
+                None => combined.push((k.clone(), decayed)),
+            }
+        }
+        combined.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        combined.truncate(self.m);
+        self.counters = combined;
+        self.boost = 1.0;
+        self.span += other.span;
+        Ok(())
+    }
+}
+
+/// A tail-window catalog: a ring of per-batch [`SketchCatalog`]s covering
+/// roughly the last `window_rows` ingested rows. Each pushed batch becomes
+/// one bucket (sketched at its true global row offset, so hyperplane
+/// randomness stays aligned with the full-history catalog); buckets older
+/// than the window are dropped whole.
+///
+/// [`WindowedCatalog::merged`] yields an ordinary [`SketchCatalog`] over
+/// the covered tail — it plugs into every catalog consumer (executor,
+/// profiles, the insight index) unchanged.
+#[derive(Debug, Clone)]
+pub struct WindowedCatalog {
+    config: CatalogConfig,
+    window_rows: usize,
+    buckets: VecDeque<(SketchCatalog, usize)>,
+    head_rows: u64,
+}
+
+impl WindowedCatalog {
+    /// Creates a window of approximately `window_rows ≥ 1` rows.
+    ///
+    /// # Panics
+    /// When `window_rows` is zero.
+    pub fn new(config: CatalogConfig, window_rows: usize) -> Self {
+        assert!(window_rows >= 1, "window must cover at least one row");
+        Self {
+            config,
+            window_rows,
+            buckets: VecDeque::new(),
+            head_rows: 0,
+        }
+    }
+
+    /// Sketches one ingested batch at the stream's global row offset and
+    /// pushes it as the newest bucket, evicting whole buckets that have
+    /// slid past the window. Returns the batch's global row offset.
+    pub fn push_batch(&mut self, batch: &Table) -> u64 {
+        let offset = self.head_rows;
+        if batch.n_rows() == 0 {
+            return offset;
+        }
+        // pin shared-randomness parameters on first contact so every
+        // bucket stays mergeable with the others
+        let config = self.config.resolved_for_rows(self.window_rows);
+        self.config = config.clone();
+        let bucket = SketchCatalog::build_shard(batch, &config, offset);
+        self.buckets.push_back((bucket, batch.n_rows()));
+        self.head_rows += batch.n_rows() as u64;
+        // evict whole buckets while the rest still covers the window
+        while self.covered_rows() - self.buckets.front().map_or(0, |(_, r)| *r) >= self.window_rows
+        {
+            self.buckets.pop_front();
+        }
+        offset
+    }
+
+    /// The rows currently covered by live buckets.
+    pub fn covered_rows(&self) -> usize {
+        self.buckets.iter().map(|(_, r)| r).sum()
+    }
+
+    /// The configured window length.
+    pub fn window_rows(&self) -> usize {
+        self.window_rows
+    }
+
+    /// Total rows ever pushed (the global head offset).
+    pub fn head_rows(&self) -> u64 {
+        self.head_rows
+    }
+
+    /// Live bucket count.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The tail-window catalog: live buckets merged oldest-first. `None`
+    /// before the first non-empty batch.
+    pub fn merged(&self) -> Result<Option<SketchCatalog>, MergeError> {
+        let mut iter = self.buckets.iter();
+        let Some((first, _)) = iter.next() else {
+            return Ok(None);
+        };
+        let mut out = first.clone();
+        for (bucket, _) in iter {
+            out.merge(bucket)?;
+        }
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::KllSketch;
+
+    #[test]
+    fn ring_covers_only_the_tail() {
+        let mut ring = SketchRing::new(KllSketch::new(64), 100, 5);
+        for i in 0..10_000 {
+            ring.insert(i as f64);
+        }
+        assert_eq!(ring.rows_seen(), 10_000);
+        assert_eq!(ring.buckets(), 5);
+        assert_eq!(ring.window_rows(), 500);
+        let merged = ring.merged().unwrap();
+        assert_eq!(merged.count(), 500);
+        // the window holds exactly the last 500 values
+        assert_eq!(merged.quantile(0.0), Some(9_500.0));
+        assert_eq!(merged.quantile(1.0), Some(9_999.0));
+        let median = merged.quantile(0.5).unwrap();
+        assert!((median - 9_750.0).abs() < 50.0, "median {median}");
+    }
+
+    #[test]
+    fn ring_partial_last_bucket() {
+        let mut ring = SketchRing::new(KllSketch::new(64), 10, 3);
+        for i in 0..25 {
+            ring.insert(i as f64);
+        }
+        assert_eq!(ring.buckets(), 3);
+        assert_eq!(ring.window_rows(), 25);
+        for i in 25..31 {
+            ring.insert(i as f64);
+        }
+        // bucket 0 (rows 0..10) evicted when bucket [30..] opened
+        assert_eq!(ring.window_rows(), 21);
+        assert_eq!(ring.merged().unwrap().quantile(0.0), Some(10.0));
+    }
+
+    #[test]
+    fn decayed_moments_tracks_level_shift() {
+        let mut dm = DecayedMoments::new(0.99);
+        for _ in 0..2_000 {
+            dm.insert(10.0);
+        }
+        assert!((dm.mean().unwrap() - 10.0).abs() < 1e-9);
+        // shift the level: the decayed mean follows within ~3 windows
+        for _ in 0..300 {
+            dm.insert(50.0);
+        }
+        let mean = dm.mean().unwrap();
+        assert!(mean > 45.0, "decayed mean {mean} still stuck at old level");
+        // an undecayed mean over the same stream would sit near 15.2
+        assert!(dm.variance().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn decayed_moments_nan_advances_the_clock() {
+        let mut dm = DecayedMoments::new(0.5);
+        dm.insert(8.0);
+        let w_before = dm.weight();
+        dm.insert(f64::NAN);
+        assert_eq!(dm.span(), 2);
+        assert!((dm.weight() - w_before * 0.5).abs() < 1e-15);
+        assert!((dm.mean().unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decayed_moments_ordered_merge_matches_direct() {
+        let stream: Vec<f64> = (0..500).map(|i| (i % 37) as f64).collect();
+        let mut whole = DecayedMoments::new(0.97);
+        for &v in &stream {
+            whole.insert(v);
+        }
+        let mut older = DecayedMoments::new(0.97);
+        let mut newer = DecayedMoments::new(0.97);
+        for &v in &stream[..300] {
+            older.insert(v);
+        }
+        for &v in &stream[300..] {
+            newer.insert(v);
+        }
+        older.merge(&newer).unwrap();
+        assert_eq!(older.span(), whole.span());
+        assert!((older.weight() - whole.weight()).abs() < 1e-9 * whole.weight());
+        assert!((older.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decayed_moments_lambda_one_is_plain_moments() {
+        let mut dm = DecayedMoments::new(1.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            dm.insert(v);
+        }
+        assert_eq!(dm.weight(), 4.0);
+        assert_eq!(dm.mean(), Some(2.5));
+        assert!((dm.variance().unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decayed_frequency_fades_old_heavy_hitters() {
+        let mut df = DecayedFrequency::new(8, 0.99);
+        for _ in 0..1_000 {
+            df.insert("old-hot");
+        }
+        for _ in 0..400 {
+            df.insert("new-hot");
+        }
+        let top = df.top();
+        assert_eq!(top[0].0, "new-hot", "tail-heavy label must lead: {top:?}");
+        // undecayed counts would rank old-hot (1000) over new-hot (400)
+        assert!(df.estimate("new-hot") > df.estimate("old-hot"));
+    }
+
+    #[test]
+    fn decayed_frequency_survives_boost_renormalization() {
+        // λ = 0.5 doubles the boost per row: 1e100 is passed within ~350
+        // rows, so this exercises normalize() many times
+        let mut df = DecayedFrequency::new(4, 0.5);
+        for i in 0..2_000 {
+            df.insert(if i % 2 == 0 { "a" } else { "b" });
+        }
+        let est = df.estimate("b");
+        // steady alternating stream: b (just inserted) ≈ Σ 0.25^k = 4/3
+        assert!((est - 4.0 / 3.0).abs() < 1e-6, "estimate {est}");
+        assert!(df.total_weight().is_finite());
+    }
+
+    #[test]
+    fn decayed_frequency_ordered_merge_matches_direct() {
+        let stream: Vec<String> = (0..400).map(|i| format!("v{}", i % 5)).collect();
+        let mut whole = DecayedFrequency::new(8, 0.95);
+        let mut older = DecayedFrequency::new(8, 0.95);
+        let mut newer = DecayedFrequency::new(8, 0.95);
+        for label in &stream {
+            whole.insert(label);
+        }
+        for label in &stream[..250] {
+            older.insert(label);
+        }
+        for label in &stream[250..] {
+            newer.insert(label);
+        }
+        older.merge(&newer).unwrap();
+        assert_eq!(older.span(), whole.span());
+        for (label, w) in whole.top() {
+            let merged = older.estimate(&label);
+            assert!(
+                (merged - w).abs() < 1e-6 * w.max(1.0),
+                "{label}: merged {merged} vs direct {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn decayed_merge_rejects_mismatched_parameters() {
+        let mut a = DecayedMoments::new(0.9);
+        assert!(a.merge(&DecayedMoments::new(0.8)).is_err());
+        let mut f = DecayedFrequency::new(4, 0.9);
+        assert!(f.merge(&DecayedFrequency::new(5, 0.9)).is_err());
+        assert!(f.merge(&DecayedFrequency::new(4, 0.5)).is_err());
+    }
+}

@@ -77,9 +77,14 @@ impl Moments {
     /// operands on their own). Pass 2: lane-split central power sums
     /// `m2 = Σd²`, `m3 = Σd³`, `m4 = Σd⁴` with `d = x − mean` (0 for
     /// missing). Neither loop divides or carries a value across iterations,
-    /// so both compile to straight-line SIMD; lanes reduce in fixed lane
-    /// order and the sub-[`LANES`] tail runs sequentially after them. The
-    /// two-pass form is also *more* accurate than streaming Welford on
+    /// so both compile to straight-line SIMD; the sub-[`LANES`] tail folds
+    /// into the same lane accumulators (lane = position in the final
+    /// partial chunk) and lanes reduce in fixed lane order. The schedule is
+    /// therefore **positional**: the value at index `i` always lands in
+    /// lane `i % LANES`, so appending all-NaN rows — which the streaming
+    /// writer's column-granular invalidation treats as leaving the column
+    /// untouched — yields bit-identical moments, not merely close ones.
+    /// The two-pass form is also *more* accurate than streaming Welford on
     /// offset-heavy data: deviations are taken against the final mean, so
     /// the only reassociation error is the lane split itself.
     fn from_slice_lanes(values: &[f64]) -> Self {
@@ -98,6 +103,13 @@ impl Moments {
                 hi[l] = hi[l].max(x);
             }
         }
+        for (l, &x) in tail.iter().enumerate() {
+            let present = !x.is_nan();
+            cnt[l] += f64::from(present as u8);
+            sum[l] += if present { x } else { 0.0 };
+            lo[l] = lo[l].min(x);
+            hi[l] = hi[l].max(x);
+        }
         let mut n = 0.0f64;
         let mut total = 0.0f64;
         let mut min = f64::INFINITY;
@@ -107,14 +119,6 @@ impl Moments {
             total += sum[l];
             min = min.min(lo[l]);
             max = max.max(hi[l]);
-        }
-        for &x in tail {
-            if !x.is_nan() {
-                n += 1.0;
-                total += x;
-            }
-            min = min.min(x);
-            max = max.max(x);
         }
         if n == 0.0 {
             return Self::new();
@@ -134,6 +138,13 @@ impl Moments {
                 s4[l] += d2 * d2;
             }
         }
+        for (l, &x) in tail.iter().enumerate() {
+            let d = if x.is_nan() { 0.0 } else { x - mean };
+            let d2 = d * d;
+            s2[l] += d2;
+            s3[l] += d2 * d;
+            s4[l] += d2 * d2;
+        }
         let mut m2 = 0.0f64;
         let mut m3 = 0.0f64;
         let mut m4 = 0.0f64;
@@ -141,15 +152,6 @@ impl Moments {
             m2 += s2[l];
             m3 += s3[l];
             m4 += s4[l];
-        }
-        for &x in tail {
-            if !x.is_nan() {
-                let d = x - mean;
-                let d2 = d * d;
-                m2 += d2;
-                m3 += d2 * d;
-                m4 += d2 * d2;
-            }
         }
         Self {
             n: n as u64,
@@ -385,6 +387,47 @@ mod tests {
         let m = Moments::from_slice(&[1.0, f64::NAN, 3.0]);
         assert_eq!(m.count(), 2);
         assert_eq!(m.mean(), 2.0);
+    }
+
+    #[test]
+    fn trailing_nan_padding_is_bit_identical() {
+        // the streaming writer's column-granular invalidation reuses a
+        // column's cached exact scores when every appended row is NaN —
+        // sound only if NaN padding cannot move a single bit of any
+        // moment, under either kernel mode and across every tail length
+        let values: Vec<f64> = (0..103)
+            .map(|i| ((i * 37) % 101) as f64 + (i as f64).sin() * 1e3)
+            .collect();
+        for pad in [
+            1usize,
+            7,
+            crate::kernel::LANES,
+            crate::kernel::LANES * 2 + 1,
+        ] {
+            let mut padded = values.clone();
+            padded.extend(std::iter::repeat(f64::NAN).take(pad));
+            for mode in [
+                crate::kernel::KernelMode::Vectorized,
+                crate::kernel::KernelMode::Scalar,
+            ] {
+                crate::kernel::with_mode(mode, || {
+                    let a = Moments::from_slice(&values);
+                    let b = Moments::from_slice(&padded);
+                    assert_eq!(a.count(), b.count());
+                    assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+                    assert_eq!(
+                        a.population_variance().to_bits(),
+                        b.population_variance().to_bits()
+                    );
+                    assert_eq!(a.skewness().to_bits(), b.skewness().to_bits());
+                    assert_eq!(
+                        a.kurtosis().to_bits(),
+                        b.kurtosis().to_bits(),
+                        "{mode:?} pad {pad}"
+                    );
+                });
+            }
+        }
     }
 
     #[test]

@@ -114,6 +114,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Shared-ownership transparency, as under real serde's `rc` feature: an
+// `Arc<T>` serializes as a plain `T` (sharing is not preserved).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(std::sync::Arc::new)
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Content {
         Content::Bool(*self)
