@@ -1,0 +1,339 @@
+//! **Experiment T9 — the network serving front end under load.**
+//!
+//! 1. *Steady state*: an in-process `foresight-serve` reactor fronting a
+//!    sketch-backed core, driven over real loopback sockets by a fleet of
+//!    client connections multiplexing **1,200 concurrent server-side
+//!    sessions**. The request mix is Zipfian over both the sessions (a
+//!    few hot analysts, a long tail) and the insight classes, matching
+//!    the skew a recommender front end actually sees. Reports
+//!    client-observed p50 / p95 / p99 latency and throughput.
+//! 2. *Overload*: a deliberately starved server (one worker, shallow
+//!    queue, the worker held busy) burst with requests — admission
+//!    control must answer with typed `overloaded` sheds, immediately,
+//!    and count every one of them in the engine's own metrics.
+//!
+//! Emits `BENCH_serve.json` into the working directory (run from the
+//! repository root). With `FORESIGHT_BENCH_GATE=1` the run enforces the
+//! gates — ≥ [`SESSIONS_FLOOR`] concurrent sessions, steady-state p99 ≤
+//! [`P99_BUDGET_MS`], zero protocol errors, and at least one typed shed
+//! under overload — and exits non-zero on failure (the CI hook).
+
+use foresight_bench::workload;
+use foresight_data::TableSource;
+use foresight_engine::{CoreBuilder, InsightQuery};
+use foresight_serve::{Client, ClientError, Command, ErrorCode, ServeConfig, ServeCore, Server};
+use foresight_sketch::CatalogConfig;
+use serde_json::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client connections (each multiplexes many sessions over one socket).
+const CONNECTIONS: usize = 16;
+/// Server-side sessions opened per connection.
+const SESSIONS_PER_CONNECTION: usize = 75;
+/// Requests issued per connection after its sessions are open.
+const REQUESTS_PER_CONNECTION: usize = 600;
+/// Gate: the fleet must hold at least this many concurrent sessions.
+const SESSIONS_FLOOR: usize = 1_000;
+/// Gate: steady-state client-observed p99, milliseconds.
+const P99_BUDGET_MS: f64 = 25.0;
+/// Zipf exponent for both the session and the class pick.
+const ZIPF_S: f64 = 1.1;
+
+/// Splitmix-style LCG: deterministic, dependency-free.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Precomputed Zipf CDF over `n` ranks.
+struct Zipf(Vec<f64>);
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(ZIPF_S);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf(cdf)
+    }
+
+    fn sample(&self, rng: &mut Lcg) -> usize {
+        let u = rng.next_f64();
+        self.0.partition_point(|&c| c < u).min(self.0.len() - 1)
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+struct SteadyOutcome {
+    latencies_ns: Vec<u64>,
+    errors: usize,
+}
+
+/// One connection's run: open its share of the session fleet, then drain
+/// a Zipf-skewed request mix across those sessions.
+fn drive_connection(addr: SocketAddr, seed: u64, classes: Arc<Vec<String>>) -> SteadyOutcome {
+    let mut client = Client::connect(addr).expect("connect load connection");
+    let mut sessions = Vec::with_capacity(SESSIONS_PER_CONNECTION);
+    for _ in 0..SESSIONS_PER_CONNECTION {
+        sessions.push(client.open().expect("open session"));
+    }
+    let session_pick = Zipf::new(sessions.len());
+    let class_pick = Zipf::new(classes.len());
+    let mut rng = Lcg(0x9E3779B97F4A7C15u64.wrapping_add(seed));
+    let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CONNECTION);
+    let mut errors = 0usize;
+    for i in 0..REQUESTS_PER_CONNECTION {
+        let session = sessions[session_pick.sample(&mut rng)];
+        let roll = rng.next_f64();
+        let cmd = if roll < 0.80 {
+            let class = &classes[class_pick.sample(&mut rng)];
+            Command::Query(InsightQuery::class(class.as_str()).top_k(1 + i % 4))
+        } else if roll < 0.90 {
+            Command::Carousels { per_class: 2 }
+        } else if roll < 0.95 {
+            Command::Profile
+        } else {
+            Command::Save
+        };
+        let t0 = Instant::now();
+        match client.call(Some(session), cmd) {
+            Ok(_) => latencies_ns.push(t0.elapsed().as_nanos() as u64),
+            Err(_) => errors += 1,
+        }
+    }
+    for session in sessions {
+        let _ = client.close(session);
+    }
+    SteadyOutcome {
+        latencies_ns,
+        errors,
+    }
+}
+
+/// Phase 2: one worker, a depth-4 queue, the worker held busy — a burst
+/// must draw typed `overloaded` sheds, not hangs and not hard errors.
+fn overload_phase() -> (usize, usize, u64) {
+    let (table, _) = workload(2_000, 8, 23);
+    let mut builder = CoreBuilder::new(TableSource::materialized(table));
+    builder
+        .preprocess(&CatalogConfig::default())
+        .expect("preprocess");
+    let core = builder.freeze();
+    let server = Server::start(
+        ServeCore::Static(Arc::clone(&core)),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            enable_test_commands: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start overload server");
+    let addr = server.addr();
+
+    let mut opener = Client::connect(addr).expect("connect");
+    let held = opener.open().expect("open");
+    let burst_sessions: Vec<u64> = (0..32).map(|_| opener.open().expect("open")).collect();
+
+    // hold the only worker for the duration of the burst
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect sleeper");
+        client
+            .call(Some(held), Command::Sleep { ms: 900 })
+            .expect("sleep");
+    });
+    std::thread::sleep(Duration::from_millis(120));
+
+    // 32 concurrent one-shot connections: at most 4 can queue
+    let burst: Vec<_> = burst_sessions
+        .into_iter()
+        .map(|session| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect burst");
+                match client.query(session, InsightQuery::class("skew").top_k(1)) {
+                    Ok(_) => (1usize, 0usize, 0usize),
+                    Err(ClientError::Server(err)) if err.code == ErrorCode::Overloaded => (0, 1, 0),
+                    Err(_) => (0, 0, 1),
+                }
+            })
+        })
+        .collect();
+    let (mut served, mut shed, mut failed) = (0usize, 0usize, 0usize);
+    for worker in burst {
+        let (s, l, f) = worker.join().expect("burst thread");
+        served += s;
+        shed += l;
+        failed += f;
+    }
+    sleeper.join().expect("sleeper");
+    assert_eq!(failed, 0, "overload burst saw non-shed failures");
+
+    let recorded = opener.metrics().expect("metrics").serve.load_shed;
+    server.shutdown();
+    (served, shed, recorded)
+}
+
+fn main() {
+    let gate = std::env::var("FORESIGHT_BENCH_GATE").is_ok_and(|v| v == "1");
+    println!("# Experiment T9: network serving front end under Zipfian session load");
+
+    // -- steady state ------------------------------------------------------
+    let (table, _) = workload(20_000, 12, 19);
+    let mut builder = CoreBuilder::new(TableSource::materialized(table));
+    builder
+        .preprocess(&CatalogConfig::default())
+        .expect("preprocess");
+    let core = builder.freeze();
+    let classes: Arc<Vec<String>> = Arc::new(
+        core.registry()
+            .classes()
+            .iter()
+            .map(|c| c.id().to_owned())
+            .collect(),
+    );
+    let total_sessions = CONNECTIONS * SESSIONS_PER_CONNECTION;
+    let server = Server::start(
+        ServeCore::Static(Arc::clone(&core)),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_sessions: total_sessions * 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    println!(
+        "# {CONNECTIONS} connections x {SESSIONS_PER_CONNECTION} sessions = \
+         {total_sessions} concurrent sessions, {REQUESTS_PER_CONNECTION} requests each"
+    );
+
+    let t0 = Instant::now();
+    let drivers: Vec<_> = (0..CONNECTIONS)
+        .map(|i| {
+            let classes = Arc::clone(&classes);
+            std::thread::spawn(move || drive_connection(addr, i as u64, classes))
+        })
+        .collect();
+    let outcomes: Vec<SteadyOutcome> = drivers
+        .into_iter()
+        .map(|d| d.join().expect("driver thread"))
+        .collect();
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let requests = latencies.len();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let qps = requests as f64 / wall.as_secs_f64().max(1e-9);
+
+    let snapshot = core.metrics_snapshot();
+    println!(
+        "steady: {requests} requests in {:.2}s ({qps:.0} req/s), \
+         p50 {p50:.3}ms p95 {p95:.3}ms p99 {p99:.3}ms, {errors} errors",
+        wall.as_secs_f64()
+    );
+    println!(
+        "server: {} sessions created, {} requests counted, {} load-shed, {} errors",
+        snapshot.serve.sessions_created,
+        snapshot.serve.requests,
+        snapshot.serve.load_shed,
+        snapshot.serve.errors
+    );
+    server.shutdown();
+
+    // -- overload ----------------------------------------------------------
+    let (served, shed, shed_recorded) = overload_phase();
+    println!("overload: {served} served, {shed} typed sheds (server counted {shed_recorded})");
+
+    let report = json!({
+        "experiment": "serve",
+        "description": "loopback load on the foresight-serve reactor: Zipfian session/class mix, client-observed latency, typed load-shedding under overload",
+        "steady": {
+            "connections": CONNECTIONS,
+            "sessions": total_sessions,
+            "requests": requests,
+            "errors": errors,
+            "wall_s": wall.as_secs_f64(),
+            "requests_per_sec": qps,
+            "p50_ms": p50,
+            "p95_ms": p95,
+            "p99_ms": p99,
+            "server_sessions_created": snapshot.serve.sessions_created,
+            "server_requests": snapshot.serve.requests,
+            "zipf_exponent": ZIPF_S,
+        },
+        "overload": {
+            "burst": 32,
+            "served": served,
+            "typed_sheds": shed,
+            "server_counted_sheds": shed_recorded,
+        },
+        "gates": {
+            "sessions_floor": SESSIONS_FLOOR,
+            "p99_budget_ms": P99_BUDGET_MS,
+        },
+    });
+    let path = "BENCH_serve.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+
+    if gate {
+        assert!(
+            total_sessions >= SESSIONS_FLOOR,
+            "GATE: only {total_sessions} concurrent sessions (floor {SESSIONS_FLOOR})"
+        );
+        assert!(
+            snapshot.serve.sessions_created >= SESSIONS_FLOOR as u64,
+            "GATE: server created {} sessions (floor {SESSIONS_FLOOR})",
+            snapshot.serve.sessions_created
+        );
+        assert!(
+            p99 <= P99_BUDGET_MS,
+            "GATE: steady-state p99 {p99:.3}ms over budget {P99_BUDGET_MS}ms"
+        );
+        assert_eq!(errors, 0, "GATE: steady-state protocol errors");
+        assert!(
+            shed >= 1 && shed_recorded >= shed as u64,
+            "GATE: overload produced {shed} typed sheds, server counted {shed_recorded}"
+        );
+        println!(
+            "gate passed: {total_sessions} sessions, p99 {p99:.3}ms <= {P99_BUDGET_MS}ms, \
+             {shed} typed sheds under overload"
+        );
+    }
+}

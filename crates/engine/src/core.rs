@@ -28,6 +28,7 @@ use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
 use foresight_viz::ChartSpec;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -85,11 +86,18 @@ pub struct EngineCore {
     /// `clock::now_ns()` at freeze time — the birth instant snapshot age
     /// is measured from.
     published_at_ns: u64,
+    /// Per-mode memo of the dataset profile ([`Mode::Exact`],
+    /// [`Mode::Approximate`]). A profile is a pure function of this
+    /// immutable snapshot, but an expensive one (per-column dip/modality
+    /// scans) — serving fronts hit the `profile` endpoint per session, so
+    /// it is computed once per snapshot per mode. Errors are not cached.
+    profile_memo: [OnceLock<DatasetProfile>; 2],
 }
 
 /// How far a published snapshot lags a live ingest stream — the staleness
-/// readings surfaced in session telemetry and `EXPLAIN` output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// readings surfaced in session telemetry, `EXPLAIN` output, and the wire
+/// protocol's `Staleness` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Staleness {
     /// The snapshot's score-cache epoch.
     pub epoch: u64,
@@ -414,18 +422,29 @@ impl EngineCore {
     /// plus the strongest instance of every registered class. A sharded
     /// source in approximate mode is profiled entirely from the merged
     /// catalog — no shard concatenation.
+    /// Memoized per snapshot and mode — the first call pays the scan,
+    /// every later one clones the cached profile.
     pub fn profile_at(&self, mode: Mode) -> Result<DatasetProfile> {
+        let memo = &self.profile_memo[match mode {
+            Mode::Exact => 0,
+            Mode::Approximate => 1,
+        }];
+        if let Some(profile) = memo.get() {
+            return Ok(profile.clone());
+        }
         let _span = self.metrics.span(Stage::Profile);
-        if self.sketch_backed_at(mode) {
+        let profile = if self.sketch_backed_at(mode) {
             let catalog = self.catalog.as_ref().ok_or(EngineError::NoCatalog)?;
-            return crate::profile::profile_from_catalog(
+            crate::profile::profile_from_catalog(
                 &self.source,
                 catalog,
                 &self.registry,
                 self.schema_table(),
-            );
-        }
-        crate::profile::profile(self.try_table()?, &self.registry)
+            )?
+        } else {
+            crate::profile::profile(self.try_table()?, &self.registry)?
+        };
+        Ok(memo.get_or_init(|| profile).clone())
     }
 
     /// Profiles the dataset under the published default mode.
@@ -699,6 +718,18 @@ impl CoreBuilder {
         self.ingest_head = head;
     }
 
+    /// Replaces the shared tracer with one sized to `ring` retained traces
+    /// and `slow` slow-log entries (each clamped to at least 1) — capture
+    /// depth is a per-core construction choice, not a hardcoded constant,
+    /// so server operators can deepen it for debugging or shrink it to
+    /// bound memory. Any traces and slow-log entries captured so far (by
+    /// this builder or by cores sharing the previous tracer) are dropped;
+    /// the threshold and runtime switch reset to their defaults. Snapshots
+    /// frozen later inherit the new tracer.
+    pub fn set_trace_capacities(&mut self, ring: usize, slow: usize) {
+        self.tracer = Arc::new(Tracer::with_capacities(ring, slow));
+    }
+
     /// Sets the published default between exact and approximate scoring.
     /// Cached scores stay valid — the mode is part of every cache key.
     ///
@@ -860,6 +891,7 @@ impl CoreBuilder {
             tracer: self.tracer,
             ingest_head: self.ingest_head,
             published_at_ns: clock::now_ns(),
+            profile_memo: [OnceLock::new(), OnceLock::new()],
         })
     }
 }

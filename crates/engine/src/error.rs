@@ -53,6 +53,13 @@ pub enum EngineError {
     #[error("the stream writer has shut down; no more batches can be ingested")]
     StreamClosed,
 
+    /// A restored session does not fit the core adopting it: the dataset
+    /// name, column schema, attribute indices, or class ids disagree with
+    /// the snapshot the handle is bound to (e.g. a save taken against an
+    /// older stream snapshot whose schema has since changed).
+    #[error("session does not match the adopting core: {0}")]
+    SessionMismatch(String),
+
     /// Session (de)serialization failure.
     #[error("session serialization: {0}")]
     Session(#[from] serde_json::Error),

@@ -73,7 +73,10 @@ impl SessionHandle {
     /// A fresh session over `core`, inheriting the core's published mode
     /// and parallelism defaults.
     pub fn new(core: Arc<EngineCore>) -> Self {
-        let session = Session::new(core.source().name());
+        let mut session = Session::new(core.source().name());
+        // stamp the schema fingerprint so saves from this handle can be
+        // validated by `restore_session_checked` on any other core
+        session.schema = Some(core.source().schema().names().map(str::to_owned).collect());
         let mode = core.mode();
         let parallel = core.parallel();
         Self {
@@ -157,9 +160,93 @@ impl SessionHandle {
     }
 
     /// Replaces the session (e.g. one restored via [`Session::load`] from
-    /// a colleague's save).
+    /// a colleague's save). No validation — see
+    /// [`restore_session_checked`](Self::restore_session_checked) for the
+    /// form remote servers use.
     pub fn restore_session(&mut self, session: Session) {
         self.session = session;
+    }
+
+    /// Replaces the session after validating it against the core this
+    /// handle serves — for a stream-bound handle, the snapshot it would
+    /// actually query next (the adopt policy is applied first, so a save
+    /// is validated against the *adopting* core, not a snapshot the handle
+    /// is about to abandon).
+    ///
+    /// # Errors
+    /// [`EngineError::SessionMismatch`] when the session's dataset name or
+    /// recorded column schema disagree with this core, when a focused or
+    /// replayed attribute index is out of bounds, or when a recorded class
+    /// id is not registered here — any of which would let stale-keyed
+    /// state (cached scores, focus tuples from a different table shape)
+    /// leak into this core's answers. The handle's current session is kept
+    /// on error.
+    pub fn restore_session_checked(&mut self, session: Session) -> Result<()> {
+        self.maybe_adopt();
+        self.validate_session(&session)?;
+        self.session = session;
+        Ok(())
+    }
+
+    /// The `restore_session_checked` validation: dataset name, schema
+    /// fingerprint, attribute bounds, class registration.
+    fn validate_session(&self, session: &Session) -> Result<()> {
+        let source = self.core.source();
+        if session.dataset != source.name() {
+            return Err(EngineError::SessionMismatch(format!(
+                "session belongs to dataset `{}`, this core serves `{}`",
+                session.dataset,
+                source.name()
+            )));
+        }
+        let names: Vec<&str> = source.schema().names().collect();
+        if let Some(schema) = &session.schema {
+            if schema.len() != names.len() || schema.iter().zip(names.iter()).any(|(a, b)| a != b) {
+                return Err(EngineError::SessionMismatch(format!(
+                    "schema mismatch: session recorded {} columns, core has {} \
+                     (the dataset changed shape since the save)",
+                    schema.len(),
+                    names.len()
+                )));
+            }
+        }
+        let n_cols = names.len();
+        let check_attrs = |attrs: &AttrTuple| -> Result<()> {
+            for idx in attrs.indices() {
+                if idx >= n_cols {
+                    return Err(EngineError::SessionMismatch(format!(
+                        "attribute index {idx} is out of bounds for a {n_cols}-column core"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        let check_class = |class_id: &str| -> Result<()> {
+            if self.core.registry().get(class_id).is_none() {
+                return Err(EngineError::SessionMismatch(format!(
+                    "class `{class_id}` is not registered on this core"
+                )));
+            }
+            Ok(())
+        };
+        for inst in &session.focus {
+            check_class(&inst.class_id)?;
+            check_attrs(&inst.attrs)?;
+        }
+        for query in session.queries() {
+            check_class(&query.class_id)?;
+            for &idx in &query.fixed_attrs {
+                if idx >= n_cols {
+                    return Err(EngineError::SessionMismatch(format!(
+                        "fixed attribute {idx} is out of bounds for a {n_cols}-column core"
+                    )));
+                }
+            }
+            for excluded in &query.exclude {
+                check_attrs(excluded)?;
+            }
+        }
+        Ok(())
     }
 
     /// This user's scoring mode.

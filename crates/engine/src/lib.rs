@@ -53,7 +53,7 @@ pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
 pub use stream::{PublishedCore, RepublishPolicy, StreamConfig, StreamWriter};
-pub use telemetry::{Metrics, MetricsSnapshot, Stage};
+pub use telemetry::{Endpoint, Metrics, MetricsSnapshot, ServeSnapshot, Stage, StageSnapshot};
 pub use trace::{
     Explained, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,
     SLOW_LOG_CAPACITY, TRACE_RING_CAPACITY,

@@ -9,6 +9,7 @@ use crate::session::Session;
 use crate::telemetry::{maybe_span, Stage};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Default focus over-fetch factor: with a non-empty focus set, each
@@ -21,7 +22,7 @@ use std::sync::Arc;
 pub const DEFAULT_FOCUS_OVERFETCH: usize = 4;
 
 /// One carousel: a ranked strip of insights from a single class.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Carousel {
     /// The class id.
     pub class_id: String,

@@ -33,6 +33,16 @@ pub enum SessionEvent {
 pub struct Session {
     /// Dataset name the session belongs to.
     pub dataset: String,
+    /// Column names of the dataset the session was created against, in
+    /// schema order — the fingerprint
+    /// [`SessionHandle::restore_session_checked`] validates before letting
+    /// a restored session's attribute indices touch a different core.
+    /// `None` for sessions saved by older releases (validation then falls
+    /// back to bounds checks alone).
+    ///
+    /// [`SessionHandle::restore_session_checked`]: crate::SessionHandle::restore_session_checked
+    #[serde(default)]
+    pub schema: Option<Vec<String>>,
     /// Currently focused insights (drive neighborhood re-ranking).
     pub focus: Vec<InsightInstance>,
     /// Append-only event log.

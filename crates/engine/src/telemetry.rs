@@ -185,6 +185,62 @@ impl Stage {
     }
 }
 
+/// The network-serving endpoints instrumented by `foresight-serve`, in the
+/// fixed order every snapshot reports them. Wire commands are bucketed
+/// into a handful of endpoint families so the per-endpoint histograms stay
+/// small and the report readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// `hello` — the connection handshake (server/dataset info).
+    Hello,
+    /// Session lifecycle: open, close, save, checked restore, set-mode.
+    Session,
+    /// `query` — an insight query against the session's snapshot.
+    Query,
+    /// `explain` — a query with a forced trace.
+    Explain,
+    /// `carousels` — full carousel assembly.
+    Carousels,
+    /// Focus-set edits: focus, unfocus, clear.
+    Focus,
+    /// `profile` — dataset profiling.
+    Profile,
+    /// Introspection: metrics and the slow-query log.
+    Metrics,
+    /// Stream position: refresh and staleness readings.
+    Stream,
+}
+
+impl Endpoint {
+    /// Every endpoint, in reporting order.
+    pub const ALL: [Endpoint; 9] = [
+        Endpoint::Hello,
+        Endpoint::Session,
+        Endpoint::Query,
+        Endpoint::Explain,
+        Endpoint::Carousels,
+        Endpoint::Focus,
+        Endpoint::Profile,
+        Endpoint::Metrics,
+        Endpoint::Stream,
+    ];
+
+    /// The stable snake-case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Hello => "hello",
+            Endpoint::Session => "session",
+            Endpoint::Query => "query",
+            Endpoint::Explain => "explain",
+            Endpoint::Carousels => "carousels",
+            Endpoint::Focus => "focus",
+            Endpoint::Profile => "profile",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Stream => "stream",
+        }
+    }
+}
+
 /// The bucket a sample of `ns` nanoseconds lands in: `floor(log2(ns))`,
 /// clamped to the bucket range (0 and 1 ns share bucket 0).
 #[inline]
@@ -275,6 +331,22 @@ pub struct Metrics {
     rescored_tuples: AtomicU64,
     reused_tuples: AtomicU64,
     cache_entries_migrated: AtomicU64,
+    /// Per-endpoint latency histograms for the network front end, gated by
+    /// [`Metrics::enabled`] like the stage cells.
+    endpoints: [StageCell; Endpoint::ALL.len()],
+    /// Network-serving counters (see [`ServeSnapshot`] for meanings).
+    /// Always-on, like score-cache traffic: admission-control accounting
+    /// (connections accepted or shed, requests load-shed) is service
+    /// bookkeeping, not instrumentation, so operators see shed counts even
+    /// in a build without the `telemetry` feature.
+    serve_connections: AtomicU64,
+    serve_connections_shed: AtomicU64,
+    serve_requests: AtomicU64,
+    serve_load_shed: AtomicU64,
+    serve_errors: AtomicU64,
+    serve_sessions_created: AtomicU64,
+    serve_sessions_expired: AtomicU64,
+    serve_sessions_evicted: AtomicU64,
     /// Runtime switch (only meaningful when the `telemetry` feature is
     /// compiled in) — lets one binary compare instrumented vs.
     /// uninstrumented latency.
@@ -308,6 +380,15 @@ impl Metrics {
             rescored_tuples: AtomicU64::new(0),
             reused_tuples: AtomicU64::new(0),
             cache_entries_migrated: AtomicU64::new(0),
+            endpoints: std::array::from_fn(|_| StageCell::new()),
+            serve_connections: AtomicU64::new(0),
+            serve_connections_shed: AtomicU64::new(0),
+            serve_requests: AtomicU64::new(0),
+            serve_load_shed: AtomicU64::new(0),
+            serve_errors: AtomicU64::new(0),
+            serve_sessions_created: AtomicU64::new(0),
+            serve_sessions_expired: AtomicU64::new(0),
+            serve_sessions_evicted: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
         }
     }
@@ -436,6 +517,61 @@ impl Metrics {
         }
     }
 
+    /// Counts one accepted network connection.
+    #[inline]
+    pub fn record_connection(&self) {
+        self.serve_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection refused by the connection budget.
+    #[inline]
+    pub fn record_connection_shed(&self) {
+        self.serve_connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one served request and records its end-to-end latency
+    /// against `endpoint`. The request count is always-on; the histogram
+    /// sample lands only while recording is enabled.
+    #[inline]
+    pub fn record_request(&self, endpoint: Endpoint, ns: u64) {
+        self.serve_requests.fetch_add(1, Ordering::Relaxed);
+        if self.enabled() {
+            self.endpoints[endpoint as usize].record(ns);
+        }
+    }
+
+    /// Counts one request shed because a worker queue was full.
+    #[inline]
+    pub fn record_load_shed(&self) {
+        self.serve_load_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered with a typed protocol error (bad
+    /// request, unknown session, engine error — sheds are counted
+    /// separately).
+    #[inline]
+    pub fn record_serve_error(&self) {
+        self.serve_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one server-side session created.
+    #[inline]
+    pub fn record_session_created(&self) {
+        self.serve_sessions_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one server-side session expired by its idle TTL.
+    #[inline]
+    pub fn record_session_expired(&self) {
+        self.serve_sessions_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one server-side session evicted by the LRU capacity bound.
+    #[inline]
+    pub fn record_session_evicted(&self) {
+        self.serve_sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Zeroes every histogram and counter (the runtime switch is left as
     /// is). Handy between benchmark phases.
     pub fn reset(&self) {
@@ -457,6 +593,17 @@ impl Metrics {
         self.rescored_tuples.store(0, Ordering::Relaxed);
         self.reused_tuples.store(0, Ordering::Relaxed);
         self.cache_entries_migrated.store(0, Ordering::Relaxed);
+        for cell in &self.endpoints {
+            cell.reset();
+        }
+        self.serve_connections.store(0, Ordering::Relaxed);
+        self.serve_connections_shed.store(0, Ordering::Relaxed);
+        self.serve_requests.store(0, Ordering::Relaxed);
+        self.serve_load_shed.store(0, Ordering::Relaxed);
+        self.serve_errors.store(0, Ordering::Relaxed);
+        self.serve_sessions_created.store(0, Ordering::Relaxed);
+        self.serve_sessions_expired.store(0, Ordering::Relaxed);
+        self.serve_sessions_evicted.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time snapshot with no cache section (see
@@ -470,50 +617,11 @@ impl Metrics {
     pub fn snapshot_with_cache(&self, cache: Option<&CacheStats>) -> MetricsSnapshot {
         let stages = Stage::ALL
             .iter()
-            .map(|&stage| {
-                let cell = &self.stages[stage as usize];
-                let mut lo = LATENCY_BUCKETS;
-                let mut hi = 0usize;
-                let buckets: Vec<HistogramBucket> = cell
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, b)| {
-                        let n = b.load(Ordering::Relaxed);
-                        (n > 0).then(|| {
-                            lo = lo.min(i);
-                            hi = hi.max(i);
-                            HistogramBucket {
-                                floor_ns: bucket_floor(i),
-                                count: n,
-                            }
-                        })
-                    })
-                    .collect();
-                let count: u64 = buckets.iter().map(|b| b.count).sum();
-                let total_ns = cell.total_ns.load(Ordering::Relaxed);
-                StageSnapshot {
-                    stage: stage.name().to_owned(),
-                    count,
-                    total_ns,
-                    // bounds from the occupied buckets (the cell itself
-                    // keeps no min/max — see `StageCell`)
-                    min_ns: if buckets.is_empty() {
-                        0
-                    } else {
-                        bucket_floor(lo)
-                    },
-                    max_ns: if buckets.is_empty() {
-                        0
-                    } else {
-                        bucket_ceil(hi)
-                    },
-                    mean_ns: total_ns.checked_div(count).unwrap_or(0),
-                    p50_ns: quantile_from_buckets(&buckets, count, 0.50),
-                    p99_ns: quantile_from_buckets(&buckets, count, 0.99),
-                    buckets,
-                }
-            })
+            .map(|&stage| cell_snapshot(stage.name(), &self.stages[stage as usize]))
+            .collect();
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&ep| cell_snapshot(ep.name(), &self.endpoints[ep as usize]))
             .collect();
         let exact = self.queries_exact.load(Ordering::Relaxed);
         let approximate = self.queries_approximate.load(Ordering::Relaxed);
@@ -547,6 +655,17 @@ impl Metrics {
                 reused_tuples: self.reused_tuples.load(Ordering::Relaxed),
                 cache_entries_migrated: self.cache_entries_migrated.load(Ordering::Relaxed),
             },
+            serve: ServeSnapshot {
+                connections: self.serve_connections.load(Ordering::Relaxed),
+                connections_shed: self.serve_connections_shed.load(Ordering::Relaxed),
+                requests: self.serve_requests.load(Ordering::Relaxed),
+                load_shed: self.serve_load_shed.load(Ordering::Relaxed),
+                errors: self.serve_errors.load(Ordering::Relaxed),
+                sessions_created: self.serve_sessions_created.load(Ordering::Relaxed),
+                sessions_expired: self.serve_sessions_expired.load(Ordering::Relaxed),
+                sessions_evicted: self.serve_sessions_evicted.load(Ordering::Relaxed),
+                endpoints,
+            },
             sketch_fallbacks: self.sketch_fallbacks.load(Ordering::Relaxed),
             cache: cache.map(|stats| CacheSnapshot {
                 hits: stats.hits,
@@ -556,6 +675,52 @@ impl Metrics {
                 hit_rate: stats.hit_rate(),
             }),
         }
+    }
+}
+
+/// One cell's plain-data summary under a stable `name` — shared by the
+/// per-stage and per-endpoint sections of a snapshot.
+fn cell_snapshot(name: &str, cell: &StageCell) -> StageSnapshot {
+    let mut lo = LATENCY_BUCKETS;
+    let mut hi = 0usize;
+    let buckets: Vec<HistogramBucket> = cell
+        .buckets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| {
+            let n = b.load(Ordering::Relaxed);
+            (n > 0).then(|| {
+                lo = lo.min(i);
+                hi = hi.max(i);
+                HistogramBucket {
+                    floor_ns: bucket_floor(i),
+                    count: n,
+                }
+            })
+        })
+        .collect();
+    let count: u64 = buckets.iter().map(|b| b.count).sum();
+    let total_ns = cell.total_ns.load(Ordering::Relaxed);
+    StageSnapshot {
+        stage: name.to_owned(),
+        count,
+        total_ns,
+        // bounds from the occupied buckets (the cell itself keeps no
+        // min/max — see `StageCell`)
+        min_ns: if buckets.is_empty() {
+            0
+        } else {
+            bucket_floor(lo)
+        },
+        max_ns: if buckets.is_empty() {
+            0
+        } else {
+            bucket_ceil(hi)
+        },
+        mean_ns: total_ns.checked_div(count).unwrap_or(0),
+        p50_ns: quantile_from_buckets(&buckets, count, 0.50),
+        p99_ns: quantile_from_buckets(&buckets, count, 0.99),
+        buckets,
     }
 }
 
@@ -736,6 +901,35 @@ pub struct IngestSnapshot {
     pub cache_entries_migrated: u64,
 }
 
+/// Network-serving counters inside a [`MetricsSnapshot`]: admission
+/// control (connections and requests accepted versus shed), session-table
+/// lifecycle, and per-endpoint latency. All zero when no `foresight-serve`
+/// front end records into this registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections refused by the connection budget.
+    pub connections_shed: u64,
+    /// Requests served (successes and typed errors alike).
+    pub requests: u64,
+    /// Requests shed because a worker queue was full.
+    pub load_shed: u64,
+    /// Requests answered with a typed protocol error (sheds not included).
+    pub errors: u64,
+    /// Server-side sessions created.
+    pub sessions_created: u64,
+    /// Sessions expired by the idle TTL.
+    pub sessions_expired: u64,
+    /// Sessions evicted by the LRU capacity bound.
+    pub sessions_evicted: u64,
+    /// Per-endpoint latency summaries, in [`Endpoint::ALL`] order (every
+    /// endpoint present, sampled or not; empty only in payloads written by
+    /// builds predating the serving front end).
+    #[serde(default)]
+    pub endpoints: Vec<StageSnapshot>,
+}
+
 /// Score-cache traffic inside a [`MetricsSnapshot`], folded in from
 /// [`CacheStats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -774,6 +968,10 @@ pub struct MetricsSnapshot {
     pub queries: QuerySnapshot,
     /// Streaming-ingest counters (all zero for a batch-built core).
     pub ingest: IngestSnapshot,
+    /// Network-serving counters (all zero without a serving front end;
+    /// `default` so payloads from older builds still parse).
+    #[serde(default)]
+    pub serve: ServeSnapshot,
     /// Approximate-mode scorings that fell back to the exact path.
     pub sketch_fallbacks: u64,
     /// Score-cache traffic, when the snapshot came from an engine core.
@@ -851,6 +1049,39 @@ impl MetricsSnapshot {
                 ing.reused_tuples,
                 ing.cache_entries_migrated,
             );
+        }
+        let sv = &self.serve;
+        if sv.connections + sv.connections_shed + sv.requests + sv.load_shed > 0 {
+            let _ = writeln!(
+                out,
+                "serve: {} connections accepted, {} connections shed; {} requests ({} load-shed, {} errors)",
+                sv.connections, sv.connections_shed, sv.requests, sv.load_shed, sv.errors,
+            );
+            let _ = writeln!(
+                out,
+                "  sessions: {} created, {} expired (ttl), {} evicted (lru)",
+                sv.sessions_created, sv.sessions_expired, sv.sessions_evicted,
+            );
+            if sv.endpoints.iter().any(|e| e.count > 0) {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                    "  endpoint", "count", "total_ms", "mean_us", "p50_us", "p99_us", "max_us"
+                );
+                for e in sv.endpoints.iter().filter(|e| e.count > 0) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10.1} {:>12.1}",
+                        e.stage,
+                        e.count,
+                        e.total_ns as f64 / 1e6,
+                        e.mean_ns as f64 / 1e3,
+                        e.p50_ns as f64 / 1e3,
+                        e.p99_ns as f64 / 1e3,
+                        e.max_ns as f64 / 1e3,
+                    );
+                }
+            }
         }
         if let Some(c) = &self.cache {
             let _ = writeln!(
@@ -1028,6 +1259,54 @@ mod tests {
         assert!(snap.queries.by_class.is_empty());
         assert_eq!(snap.sketch_fallbacks, 0);
         assert_eq!(snap.ingest, IngestSnapshot::default());
+    }
+
+    #[test]
+    fn serve_counters_are_always_on_and_reset() {
+        let m = Metrics::new();
+        m.record_connection();
+        m.record_connection_shed();
+        m.record_request(Endpoint::Query, 2000);
+        m.record_load_shed();
+        m.record_serve_error();
+        m.record_session_created();
+        m.record_session_expired();
+        m.record_session_evicted();
+        let snap = m.snapshot();
+        // counters flow regardless of the telemetry feature
+        assert_eq!(snap.serve.connections, 1);
+        assert_eq!(snap.serve.connections_shed, 1);
+        assert_eq!(snap.serve.requests, 1);
+        assert_eq!(snap.serve.load_shed, 1);
+        assert_eq!(snap.serve.errors, 1);
+        assert_eq!(snap.serve.sessions_created, 1);
+        assert_eq!(snap.serve.sessions_expired, 1);
+        assert_eq!(snap.serve.sessions_evicted, 1);
+        // the endpoint histogram is feature-gated like the stage cells
+        let names: Vec<&str> = snap
+            .serve
+            .endpoints
+            .iter()
+            .map(|e| e.stage.as_str())
+            .collect();
+        let expected: Vec<&str> = Endpoint::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names, expected);
+        let query = snap
+            .serve
+            .endpoints
+            .iter()
+            .find(|e| e.stage == "query")
+            .unwrap();
+        assert_eq!(query.count > 0, cfg!(feature = "telemetry"));
+        let text = snap.to_text();
+        assert!(text.contains("serve: 1 connections accepted"));
+        assert!(text.contains("sessions: 1 created, 1 expired (ttl), 1 evicted (lru)"));
+        m.reset();
+        let clean = m.snapshot().serve;
+        assert_eq!(clean.connections + clean.requests + clean.load_shed, 0);
+        assert!(clean.endpoints.iter().all(|e| e.count == 0));
+        // a quiet registry prints no serve section at all
+        assert!(!m.snapshot().to_text().contains("serve:"));
     }
 
     #[test]

@@ -47,11 +47,14 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Capacity of the finished-trace ring on every [`Tracer`]: the last N
+/// Default capacity of the finished-trace ring on a [`Tracer`]: the last N
 /// traces are retrievable, older ones are overwritten in arrival order.
+/// Tune per core with [`Tracer::with_capacities`] (or
+/// [`CoreBuilder::set_trace_capacities`](crate::CoreBuilder::set_trace_capacities)).
 pub const TRACE_RING_CAPACITY: usize = 64;
 
-/// Maximum retained slow-query entries; older entries are dropped first.
+/// Default maximum retained slow-query entries; older entries are dropped
+/// first. Tune per core with [`Tracer::with_capacities`].
 pub const SLOW_LOG_CAPACITY: usize = 128;
 
 /// How many example attribute tuples each skip reason keeps (the per-reason
@@ -751,6 +754,8 @@ pub struct Tracer {
     /// untraced query is the entire cost of the armed-but-quiet state.
     slow_threshold_ns: AtomicU64,
     slow: Mutex<VecDeque<SlowQuery>>,
+    /// Maximum retained slow-log entries (fixed at construction).
+    slow_capacity: usize,
 }
 
 impl Default for Tracer {
@@ -760,15 +765,35 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// A fresh tracer: sampling enabled (feature permitting), slow log off.
+    /// A fresh tracer with the default capacities: sampling enabled
+    /// (feature permitting), slow log off.
     pub fn new() -> Self {
+        Self::with_capacities(TRACE_RING_CAPACITY, SLOW_LOG_CAPACITY)
+    }
+
+    /// A fresh tracer with explicit capture depths: `ring` retained
+    /// finished traces and `slow` retained slow-log entries (each clamped
+    /// to at least 1). Server operators size these for load — a deep ring
+    /// for post-hoc debugging, a shallow one to bound memory.
+    pub fn with_capacities(ring: usize, slow: usize) -> Self {
         Self {
             enabled: AtomicBool::new(true),
             next_id: AtomicU64::new(0),
-            ring: TraceRing::new(TRACE_RING_CAPACITY),
+            ring: TraceRing::new(ring),
             slow_threshold_ns: AtomicU64::new(0),
             slow: Mutex::new(VecDeque::new()),
+            slow_capacity: slow.max(1),
         }
+    }
+
+    /// How many finished traces the ring retains.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
+
+    /// How many slow-query entries the log retains.
+    pub fn slow_log_capacity(&self) -> usize {
+        self.slow_capacity
     }
 
     /// Whether sampled tracing is live: requires the `trace` cargo feature
@@ -840,7 +865,7 @@ impl Tracer {
             trace,
         };
         let mut slow = self.slow.lock();
-        if slow.len() >= SLOW_LOG_CAPACITY {
+        if slow.len() >= self.slow_capacity {
             slow.pop_front();
         }
         slow.push_back(entry);
@@ -950,6 +975,28 @@ mod tests {
         assert_eq!(tracer.slow_queries().len(), SLOW_LOG_CAPACITY);
         tracer.clear();
         assert!(tracer.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn capacities_are_configurable_per_tracer() {
+        let tracer = Tracer::with_capacities(4, 2);
+        assert_eq!(tracer.ring_capacity(), 4);
+        assert_eq!(tracer.slow_log_capacity(), 2);
+        tracer.set_slow_threshold_ns(1);
+        let q = InsightQuery::class("skew");
+        for results in 0..5 {
+            tracer.maybe_record_slow(&q, Mode::Exact, 1_000, results, None);
+        }
+        let slow = tracer.slow_queries();
+        assert_eq!(slow.len(), 2, "custom slow-log capacity bounds retention");
+        assert_eq!(slow[0].results, 3, "oldest entries dropped first");
+        // defaults still match the published constants, and degenerate
+        // requests clamp to one retained entry
+        let default = Tracer::new();
+        assert_eq!(default.ring_capacity(), TRACE_RING_CAPACITY);
+        assert_eq!(default.slow_log_capacity(), SLOW_LOG_CAPACITY);
+        assert_eq!(Tracer::with_capacities(0, 0).slow_log_capacity(), 1);
+        assert_eq!(Tracer::with_capacities(0, 0).ring_capacity(), 1);
     }
 
     #[test]

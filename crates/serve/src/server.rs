@@ -1,0 +1,637 @@
+//! The reactor: acceptor + per-connection readers + session-sharded
+//! workers, all on `std::net` / `std::thread` — no async runtime.
+//!
+//! ```text
+//!  acceptor ──(connection budget)──▶ connection threads
+//!      │                                 │  parse line, answer Hello/
+//!      ▼                                 │  Metrics/Slowlog inline
+//!  shed + close                          ▼
+//!                          bounded per-worker queues ──(full → shed)
+//!                                        │
+//!                                        ▼
+//!                     workers: each owns a disjoint session shard
+//!                     (HashMap<id, SessionHandle> + LRU/TTL eviction)
+//! ```
+//!
+//! Sessions are sharded by `id % workers`, so a worker mutates its
+//! `SessionHandle`s with no lock at all — the queue is the
+//! synchronization. Admission control is first-class and typed: a full
+//! queue sheds with [`ErrorCode::Overloaded`] *from the connection thread*
+//! (an overloaded worker is never asked to also say "no"), an exhausted
+//! connection budget sheds with [`ErrorCode::TooManyConnections`] before a
+//! reader thread is even spawned. Both paths, and every session-table
+//! transition, land in the engine's own [`Metrics`] registry so one
+//! `metrics` command reports the service and the engine together.
+//!
+//! [`Metrics`]: foresight_engine::Metrics
+
+use crate::protocol::{
+    Command, ErrorCode, HelloInfo, Reply, Request, Response, WireError, MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+};
+use foresight_engine::{
+    AdoptPolicy, EngineCore, EngineError, Mode, PublishedCore, Session, SessionHandle,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What the server fronts: a fixed snapshot, or a live stream publication
+/// slot (sessions then bind to it and see staleness, like local handles).
+#[derive(Clone)]
+pub enum ServeCore {
+    /// One immutable snapshot.
+    Static(Arc<EngineCore>),
+    /// A stream's publication point; new sessions adopt per
+    /// [`AdoptPolicy::EveryQuery`].
+    Stream(Arc<PublishedCore>),
+}
+
+impl ServeCore {
+    /// The newest snapshot.
+    pub fn latest(&self) -> Arc<EngineCore> {
+        match self {
+            ServeCore::Static(core) => Arc::clone(core),
+            ServeCore::Stream(published) => published.latest(),
+        }
+    }
+
+    fn published(&self) -> Option<Arc<PublishedCore>> {
+        match self {
+            ServeCore::Static(_) => None,
+            ServeCore::Stream(published) => Some(Arc::clone(published)),
+        }
+    }
+}
+
+/// Server tuning knobs. The defaults suit a loopback development server;
+/// production fronts raise the budgets.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads — one session shard each.
+    pub workers: usize,
+    /// Bounded depth of each worker's request queue; a full queue sheds
+    /// with [`ErrorCode::Overloaded`].
+    pub queue_depth: usize,
+    /// Concurrent-connection budget; excess connections are shed with
+    /// [`ErrorCode::TooManyConnections`] and closed.
+    pub max_connections: usize,
+    /// Total session budget across all workers; per-worker shards evict
+    /// least-recently-used sessions past their share.
+    pub max_sessions: usize,
+    /// Idle time after which a session expires (swept lazily by its
+    /// worker).
+    pub session_ttl: Duration,
+    /// Enables the test-only `Sleep` command (shed tests use it to hold a
+    /// worker deterministically). Off for real servers.
+    pub enable_test_commands: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_depth: 256,
+            max_connections: 1024,
+            max_sessions: 4096,
+            session_ttl: Duration::from_secs(600),
+            enable_test_commands: false,
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    core: ServeCore,
+    /// A pinned snapshot whose registries (metrics, tracer) are shared
+    /// across republishes — the stable place to record serving telemetry.
+    registry: Arc<EngineCore>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    live_connections: AtomicUsize,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    fn metrics(&self) -> &foresight_engine::Metrics {
+        self.registry.metrics()
+    }
+}
+
+/// One queued unit of session work.
+struct Job {
+    session: u64,
+    cmd: Command,
+    reply: SyncSender<Result<Reply, WireError>>,
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_txs: Vec<SyncSender<Job>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor and worker threads.
+    pub fn start(
+        core: ServeCore,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = core.latest();
+        let shared = Arc::new(Shared {
+            core,
+            registry,
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+        });
+        let workers_n = config.workers.max(1);
+        let mut workers = Vec::with_capacity(workers_n);
+        let mut worker_txs = Vec::with_capacity(workers_n);
+        for index in 0..workers_n {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+            let shared_ = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{index}"))
+                    .spawn(move || worker_loop(shared_, rx))?,
+            );
+            worker_txs.push(tx);
+        }
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let worker_txs = worker_txs.clone();
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || acceptor_loop(shared, listener, worker_txs, connections))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            worker_txs,
+            connections,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight requests finish; idle connections close within the read
+    /// poll interval.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        self.worker_txs.clear(); // disconnect the queues
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Polling interval for shutdown checks (accept loop and connection
+/// reads).
+const POLL: Duration = Duration::from_millis(50);
+
+fn acceptor_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    worker_txs: Vec<SyncSender<Job>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if shared.live_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    shared.metrics().record_connection_shed();
+                    shed_connection(stream);
+                    continue;
+                }
+                shared.metrics().record_connection();
+                shared.live_connections.fetch_add(1, Ordering::SeqCst);
+                let shared_ = Arc::clone(&shared);
+                let txs = worker_txs.clone();
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || {
+                            connection_loop(&shared_, stream, &txs);
+                            shared_.live_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                match spawned {
+                    Ok(handle) => connections
+                        .lock()
+                        .expect("connection registry")
+                        .push(handle),
+                    Err(_) => {
+                        shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Tells an over-budget connection why it is being closed (best-effort —
+/// the peer may already be gone).
+fn shed_connection(mut stream: TcpStream) {
+    let resp = Response::err(
+        0,
+        ErrorCode::TooManyConnections,
+        "connection budget exhausted; retry later",
+    );
+    let _ = write_response(&mut stream, &resp);
+}
+
+/// One `write_all` per response line (with TCP_NODELAY on the stream):
+/// split writes would hand Nagle + delayed-ACK a 40ms+ stall per request.
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(resp)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Reads request lines off one connection until EOF, error, oversized
+/// line, or shutdown. Session-less commands are answered inline;
+/// session-ful commands are dispatched to the owning worker's bounded
+/// queue (full queue → typed shed, recorded, from right here).
+fn connection_loop(shared: &Shared, stream: TcpStream, worker_txs: &[SyncSender<Job>]) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // a timeout can strike mid-line with partial bytes already
+        // appended to `line` — keep them and resume the same line on the
+        // next pass; clear only after a line is fully processed
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if line.len() > MAX_LINE_BYTES {
+                    let resp = Response::err(0, ErrorCode::BadRequest, "request line too long");
+                    shared.metrics().record_serve_error();
+                    let _ = write_response(&mut writer, &resp);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.len() > MAX_LINE_BYTES {
+            let resp = Response::err(0, ErrorCode::BadRequest, "request line too long");
+            shared.metrics().record_serve_error();
+            let _ = write_response(&mut writer, &resp);
+            return;
+        }
+        let request_line = std::mem::take(&mut line);
+        if request_line.trim().is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(request_line.trim()) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.metrics().record_serve_error();
+                let resp = Response::err(0, ErrorCode::BadRequest, format!("unparseable: {e}"));
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let started = Instant::now();
+        let endpoint = request.cmd.endpoint();
+        let response = dispatch(shared, worker_txs, request);
+        shared
+            .metrics()
+            .record_request(endpoint, started.elapsed().as_nanos() as u64);
+        if response.err.is_some() {
+            // sheds are separately accounted as load-shed, not errors
+            match &response.err {
+                Some(err) if err.code == ErrorCode::Overloaded => {
+                    shared.metrics().record_load_shed()
+                }
+                _ => shared.metrics().record_serve_error(),
+            }
+        }
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one parsed request: inline for session-less commands, through
+/// the owning worker's queue otherwise.
+fn dispatch(shared: &Shared, worker_txs: &[SyncSender<Job>], request: Request) -> Response {
+    let id = request.id;
+    match &request.cmd {
+        Command::Hello => return Response::ok(id, Reply::Hello(hello_info(shared))),
+        Command::Metrics => {
+            return Response::ok(id, Reply::Metrics(shared.core.latest().metrics_snapshot()))
+        }
+        Command::Slowlog => {
+            let lines = shared
+                .core
+                .latest()
+                .tracer()
+                .slow_queries()
+                .iter()
+                .map(|entry| entry.to_line())
+                .collect();
+            return Response::ok(id, Reply::Slowlog(lines));
+        }
+        _ => {}
+    }
+    let session = match request.cmd {
+        Command::Open => shared.next_session.fetch_add(1, Ordering::Relaxed) + 1,
+        _ => match request.session {
+            Some(session) => session,
+            None => {
+                return Response::err(
+                    id,
+                    ErrorCode::BadRequest,
+                    "this command requires a session (send Open first)",
+                )
+            }
+        },
+    };
+    let worker = &worker_txs[(session % worker_txs.len() as u64) as usize];
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        session,
+        cmd: request.cmd,
+        reply: reply_tx,
+    };
+    match worker.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            return Response::err(
+                id,
+                ErrorCode::Overloaded,
+                "worker queue full; retry with backoff",
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Response::err(id, ErrorCode::ShuttingDown, "server is shutting down")
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(reply)) => Response::ok(id, reply),
+        Ok(Err(err)) => Response {
+            id,
+            ok: None,
+            err: Some(err),
+        },
+        Err(_) => Response::err(id, ErrorCode::ShuttingDown, "worker exited"),
+    }
+}
+
+fn hello_info(shared: &Shared) -> HelloInfo {
+    let core = shared.core.latest();
+    let source = core.source();
+    HelloInfo {
+        server: "foresight-serve".to_owned(),
+        protocol: PROTOCOL_VERSION,
+        dataset: source.name().to_owned(),
+        rows: core.snapshot_rows(),
+        cols: source.n_cols(),
+        columns: source.schema().names().map(str::to_owned).collect(),
+        mode: core.mode().name().to_owned(),
+        streaming: matches!(shared.core, ServeCore::Stream(_)),
+    }
+}
+
+/// One worker's session-shard entry.
+struct Entry {
+    handle: SessionHandle,
+    last_used: Instant,
+}
+
+/// The worker loop: drain the queue, sweep expired sessions between jobs.
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<Job>) {
+    let capacity = shared
+        .config
+        .max_sessions
+        .div_ceil(shared.config.workers.max(1))
+        .max(1);
+    let mut sessions: HashMap<u64, Entry> = HashMap::new();
+    let mut last_sweep = Instant::now();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => {
+                let result = handle_job(&shared, &mut sessions, capacity, &job);
+                let _ = job.reply.send(result);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if last_sweep.elapsed() >= Duration::from_millis(500) {
+            sweep_expired(&shared, &mut sessions);
+            last_sweep = Instant::now();
+        }
+    }
+}
+
+/// Drops sessions idle past the TTL.
+fn sweep_expired(shared: &Shared, sessions: &mut HashMap<u64, Entry>) {
+    let ttl = shared.config.session_ttl;
+    let before = sessions.len();
+    sessions.retain(|_, entry| entry.last_used.elapsed() < ttl);
+    for _ in sessions.len()..before {
+        shared.metrics().record_session_expired();
+    }
+}
+
+/// Evicts the least-recently-used session to make room for a new one.
+fn evict_lru(shared: &Shared, sessions: &mut HashMap<u64, Entry>) {
+    if let Some(&victim) = sessions
+        .iter()
+        .min_by_key(|(_, entry)| entry.last_used)
+        .map(|(id, _)| id)
+    {
+        sessions.remove(&victim);
+        shared.metrics().record_session_evicted();
+    }
+}
+
+fn engine_error(err: EngineError) -> WireError {
+    let code = match &err {
+        EngineError::SessionMismatch(_) => ErrorCode::SessionMismatch,
+        _ => ErrorCode::Engine,
+    };
+    WireError {
+        code,
+        message: err.to_string(),
+    }
+}
+
+fn handle_job(
+    shared: &Shared,
+    sessions: &mut HashMap<u64, Entry>,
+    capacity: usize,
+    job: &Job,
+) -> Result<Reply, WireError> {
+    if let Command::Open = job.cmd {
+        sweep_expired(shared, sessions);
+        while sessions.len() >= capacity {
+            evict_lru(shared, sessions);
+        }
+        let mut handle = shared.core.latest().handle();
+        if let Some(published) = shared.core.published() {
+            handle.bind_stream(published);
+            handle.set_adopt_policy(AdoptPolicy::EveryQuery);
+        }
+        shared.metrics().record_session_created();
+        sessions.insert(
+            job.session,
+            Entry {
+                handle,
+                last_used: Instant::now(),
+            },
+        );
+        return Ok(Reply::Opened {
+            session: job.session,
+        });
+    }
+    if let Command::Close = job.cmd {
+        return match sessions.remove(&job.session) {
+            Some(_) => Ok(Reply::Closed),
+            None => Err(unknown_session(job.session)),
+        };
+    }
+    let Some(entry) = sessions.get_mut(&job.session) else {
+        return Err(unknown_session(job.session));
+    };
+    entry.last_used = Instant::now();
+    let handle = &mut entry.handle;
+    match &job.cmd {
+        Command::Query(query) => handle
+            .query(query)
+            .map(Reply::Results)
+            .map_err(engine_error),
+        Command::Explain(query) => handle
+            .explain(query)
+            .map(|explained| Reply::Explained {
+                results: explained.results,
+                trace: explained.trace.map(|t| (*t).clone()),
+            })
+            .map_err(engine_error),
+        Command::Carousels { per_class } => handle
+            .carousels(*per_class)
+            .map(Reply::Carousels)
+            .map_err(engine_error),
+        Command::Focus(instance) => {
+            handle.focus(instance.clone());
+            Ok(Reply::Ack { changed: true })
+        }
+        Command::Unfocus(attrs) => Ok(Reply::Ack {
+            changed: handle.unfocus(attrs),
+        }),
+        Command::ClearFocus => {
+            handle.clear_focus();
+            Ok(Reply::Ack { changed: true })
+        }
+        Command::Profile => handle.profile().map(Reply::Profile).map_err(engine_error),
+        Command::Refresh => Ok(Reply::Refreshed {
+            moved: handle.refresh(),
+        }),
+        Command::Staleness => Ok(Reply::Staleness(handle.staleness())),
+        Command::Save => handle
+            .session()
+            .to_json()
+            .map(|state| Reply::Saved { state })
+            .map_err(engine_error),
+        Command::Restore { state } => Session::from_json(state)
+            .and_then(|session| handle.restore_session_checked(session))
+            .map(|()| Reply::Restored)
+            .map_err(engine_error),
+        Command::SetMode { mode } => {
+            let mode = match mode.as_str() {
+                "exact" => Mode::Exact,
+                "approximate" | "approx" => Mode::Approximate,
+                other => {
+                    return Err(WireError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("unknown mode `{other}` (exact / approximate)"),
+                    })
+                }
+            };
+            handle
+                .set_mode(mode)
+                .map(|()| Reply::ModeSet)
+                .map_err(engine_error)
+        }
+        Command::Sleep { ms } => {
+            if !shared.config.enable_test_commands {
+                return Err(WireError {
+                    code: ErrorCode::Unsupported,
+                    message: "test commands are disabled on this server".to_owned(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(*ms));
+            Ok(Reply::Slept)
+        }
+        // session-less commands are answered inline by the connection
+        // thread and never reach a worker
+        Command::Hello | Command::Open | Command::Close | Command::Metrics | Command::Slowlog => {
+            Err(WireError {
+                code: ErrorCode::BadRequest,
+                message: "command is not session-scoped".to_owned(),
+            })
+        }
+    }
+}
+
+fn unknown_session(id: u64) -> WireError {
+    WireError {
+        code: ErrorCode::UnknownSession,
+        message: format!("session {id} does not exist (never created, expired, or evicted)"),
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end protocol tests over real loopback sockets: wire answers
+//! must be bit-identical to in-process `SessionHandle` answers, admission
+//! control must shed with typed errors, the server-owned session table
+//! must expire (TTL) and evict (LRU) — and a mismatched `restore` must be
+//! rejected with the typed `session_mismatch` error, over the wire.
+
+use foresight_data::{Table, TableBuilder, TableSource};
+use foresight_engine::stream::{RepublishPolicy, StreamConfig, StreamWriter};
+use foresight_engine::{CoreBuilder, EngineCore, InsightQuery};
+use foresight_serve::{Client, ClientError, ErrorCode, ServeConfig, ServeCore, Server};
+use foresight_sketch::CatalogConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic little table: three numeric columns, one categorical.
+fn table(offset: usize, rows: usize) -> Table {
+    let col =
+        |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (offset..offset + rows).map(|r| f(r)).collect() };
+    let cats: Vec<&str> = (offset..offset + rows)
+        .map(|r| ["low", "mid", "high"][r % 3])
+        .collect();
+    TableBuilder::new("loopback")
+        .numeric("x", col(&|r| r as f64))
+        .numeric("y", col(&|r| 3.0 * r as f64 + ((r * 17) % 11) as f64))
+        .numeric("z", col(&|r| ((r * 37) % 101) as f64))
+        .categorical("c", cats)
+        .build()
+        .unwrap()
+}
+
+fn core(rows: usize) -> Arc<EngineCore> {
+    let mut builder = CoreBuilder::new(TableSource::materialized(table(0, rows)));
+    builder.preprocess(&CatalogConfig::default()).unwrap();
+    builder.freeze()
+}
+
+fn start(core: ServeCore, config: ServeConfig) -> Server {
+    Server::start(core, "127.0.0.1:0", config).unwrap()
+}
+
+fn server_code(err: ClientError) -> ErrorCode {
+    match err {
+        ClientError::Server(wire) => wire.code,
+        other => panic!("expected a typed server error, got: {other}"),
+    }
+}
+
+/// The tentpole's correctness bar: everything a remote client reads must
+/// be byte-for-byte what an in-process handle over the same core
+/// computes. `float_roundtrip` JSON makes f64 scores survive the wire
+/// exactly, so plain `assert_eq!` is the right check.
+#[test]
+fn wire_answers_are_bit_identical_to_in_process() {
+    let core = core(64);
+    let server = start(ServeCore::Static(Arc::clone(&core)), ServeConfig::default());
+    let mut local = core.handle();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.dataset, "loopback");
+    assert_eq!(hello.rows, 64);
+    assert_eq!(hello.columns, vec!["x", "y", "z", "c"]);
+    assert!(!hello.streaming);
+
+    let session = client.open().unwrap();
+    let queries = [
+        InsightQuery::class("linear-relationship").top_k(3),
+        InsightQuery::class("skew").top_k(2),
+        InsightQuery::class("outliers").top_k(4),
+        InsightQuery::class("dispersion").top_k(2).fix_attr(2),
+    ];
+    for query in &queries {
+        let remote = client.query(session, query.clone()).unwrap();
+        let in_process = local.query(query).unwrap();
+        assert_eq!(remote, in_process, "wire drift on {}", query.class_id);
+    }
+
+    // focus-driven re-ranking must transfer too: focus the same insight
+    // on both sides and compare the re-ranked answers
+    let seed_query = InsightQuery::class("linear-relationship").top_k(1);
+    let seed = local.query(&seed_query).unwrap();
+    assert_eq!(client.query(session, seed_query).unwrap(), seed);
+    client.focus(session, seed[0].clone()).unwrap();
+    local.focus(seed[0].clone());
+    let query = InsightQuery::class("linear-relationship").top_k(5);
+    assert_eq!(
+        client.query(session, query.clone()).unwrap(),
+        local.query(&query).unwrap(),
+        "wire drift under focus re-ranking"
+    );
+
+    assert_eq!(
+        client.carousels(session, 3).unwrap(),
+        local.carousels(3).unwrap()
+    );
+    assert_eq!(client.profile(session).unwrap(), local.profile().unwrap());
+
+    // save on the wire, restore in process: the exact same session state
+    let state = client.save(session).unwrap();
+    let mut adopted = core.handle();
+    adopted
+        .restore_session_checked(foresight_engine::Session::from_json(&state).unwrap())
+        .unwrap();
+    assert_eq!(adopted.session(), local.session());
+
+    client.close(session).unwrap();
+    server.shutdown();
+}
+
+/// A held worker with a depth-1 queue: the first waiting request queues,
+/// the next is shed with the typed `overloaded` error — and the shed is
+/// counted as load-shed, not as an error.
+#[test]
+fn full_worker_queue_sheds_with_typed_overloaded() {
+    let core = core(48);
+    let server = start(
+        ServeCore::Static(Arc::clone(&core)),
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            enable_test_commands: true,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let mut opener = Client::connect(addr).unwrap();
+    let sleeper_session = opener.open().unwrap();
+    let queued_session = opener.open().unwrap();
+    let shed_session = opener.open().unwrap();
+
+    // hold the only worker …
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .call(
+                Some(sleeper_session),
+                foresight_serve::Command::Sleep { ms: 700 },
+            )
+            .unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // … fill its depth-1 queue …
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .query(queued_session, InsightQuery::class("skew").top_k(1))
+            .unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // … and the next request must be shed, immediately and typed.
+    let mut client = Client::connect(addr).unwrap();
+    let err = client
+        .query(shed_session, InsightQuery::class("skew").top_k(1))
+        .unwrap_err();
+    assert_eq!(server_code(err), ErrorCode::Overloaded);
+
+    sleeper.join().unwrap();
+    queued.join().unwrap();
+
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.serve.load_shed >= 1, "shed must be counted");
+    assert_eq!(
+        metrics.serve.errors, 0,
+        "load-shed is admission control, not an error"
+    );
+    server.shutdown();
+}
+
+/// Sessions idle past the TTL disappear; touching one afterwards gets the
+/// typed `unknown_session` error and the expiry is counted.
+#[test]
+fn idle_sessions_expire_by_ttl() {
+    let core = core(48);
+    let server = start(
+        ServeCore::Static(Arc::clone(&core)),
+        ServeConfig {
+            workers: 1,
+            session_ttl: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    let session = client.open().unwrap();
+    client
+        .query(session, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    // the worker sweeps at most every 500ms while idle
+    std::thread::sleep(Duration::from_millis(1200));
+    let err = client
+        .query(session, InsightQuery::class("skew").top_k(1))
+        .unwrap_err();
+    assert_eq!(server_code(err), ErrorCode::UnknownSession);
+    assert!(client.metrics().unwrap().serve.sessions_expired >= 1);
+    server.shutdown();
+}
+
+/// Past the session budget the least-recently-used session is evicted —
+/// recency is per *use*, not per creation.
+#[test]
+fn session_table_evicts_least_recently_used() {
+    let core = core(48);
+    let server = start(
+        ServeCore::Static(Arc::clone(&core)),
+        ServeConfig {
+            workers: 1,
+            max_sessions: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    let first = client.open().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let second = client.open().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    // touch the older session so the newer one becomes the LRU victim
+    client
+        .query(first, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let third = client.open().unwrap();
+
+    let err = client
+        .query(second, InsightQuery::class("skew").top_k(1))
+        .unwrap_err();
+    assert_eq!(server_code(err), ErrorCode::UnknownSession);
+    client
+        .query(first, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    client
+        .query(third, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    assert!(client.metrics().unwrap().serve.sessions_evicted >= 1);
+    server.shutdown();
+}
+
+/// A `restore` whose saved state disagrees with the serving core must be
+/// rejected with the typed `session_mismatch` error, over the wire.
+#[test]
+fn restore_of_foreign_session_is_rejected_typed() {
+    // state saved against a different dataset/schema …
+    let other = TableBuilder::new("other")
+        .numeric("a", (0..40).map(|r| r as f64).collect())
+        .numeric("b", (0..40).map(|r| (r * r) as f64).collect())
+        .build()
+        .unwrap();
+    let foreign_core = CoreBuilder::new(TableSource::materialized(other)).freeze();
+    let mut foreign = foreign_core.handle();
+    foreign
+        .query(&InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    let state = foreign.session().to_json().unwrap();
+
+    // … restored into a server fronting the loopback table
+    let server = start(ServeCore::Static(core(48)), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let session = client.open().unwrap();
+    let err = client.restore(session, state).unwrap_err();
+    assert_eq!(server_code(err), ErrorCode::SessionMismatch);
+    // the session survives a rejected restore
+    client
+        .query(session, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    server.shutdown();
+}
+
+/// Over the connection budget, a new connection gets one typed
+/// `too_many_connections` line and is closed.
+#[test]
+fn connection_budget_sheds_typed() {
+    let core = core(48);
+    let server = start(
+        ServeCore::Static(Arc::clone(&core)),
+        ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.hello().unwrap(); // proves the first connection is live
+    let mut second = Client::connect(server.addr()).unwrap();
+    let err = second.hello().unwrap_err();
+    assert_eq!(server_code(err), ErrorCode::TooManyConnections);
+    assert!(first.metrics().unwrap().serve.connections_shed >= 1);
+    server.shutdown();
+}
+
+/// A server fronting a live stream: remote sessions bind to the
+/// publication slot, report staleness, and (with the every-query adopt
+/// policy) answer over republished rows automatically.
+#[test]
+fn stream_backed_sessions_follow_republishes() {
+    let seed = table(0, 60);
+    let base = CoreBuilder::new(TableSource::materialized(seed)).freeze();
+    let writer = StreamWriter::spawn(
+        base,
+        StreamConfig {
+            policy: RepublishPolicy {
+                max_rows: 30,
+                ..RepublishPolicy::default()
+            },
+            ..StreamConfig::default()
+        },
+    );
+    let server = start(
+        ServeCore::Stream(writer.published()),
+        ServeConfig::default(),
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.hello().unwrap().streaming);
+    let session = client.open().unwrap();
+    client
+        .query(session, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+
+    for i in 0..3 {
+        writer.send(table(60 + i * 30, 30)).unwrap();
+    }
+    writer.flush().unwrap();
+
+    // a query adopts the newest snapshot, so staleness collapses to zero
+    client
+        .query(session, InsightQuery::class("skew").top_k(1))
+        .unwrap();
+    let staleness = client.staleness(session).unwrap();
+    assert_eq!(staleness.snapshot_rows, 60 + 3 * 30);
+    assert_eq!(staleness.rows_behind, 0);
+
+    server.shutdown();
+    writer.finish().unwrap();
+}

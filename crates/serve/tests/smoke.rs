@@ -1,0 +1,94 @@
+//! Server-binary smoke test — the same check CI runs: spawn the real
+//! `foresight-serve` binary, run a scripted session over loopback, and
+//! require the wire answers to be bit-identical to an in-process
+//! `SessionHandle` over the same dataset build.
+
+use foresight_data::{datasets, TableSource};
+use foresight_engine::{CoreBuilder, InsightQuery};
+use foresight_serve::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// Kills the child even when an assertion panics mid-test.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn scripted_session_matches_in_process_answers() {
+    let child = Command::new(env!("CARGO_BIN_EXE_foresight-serve"))
+        .args(["oecd", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn foresight-serve");
+    let mut child = Reap(child);
+
+    // the binary announces "foresight-serve listening on <addr>" once up
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut announcement = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut announcement)
+        .expect("read announcement");
+    let addr = announcement
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in announcement")
+        .to_owned();
+    assert!(
+        announcement.starts_with("foresight-serve listening on "),
+        "unexpected announcement: {announcement:?}"
+    );
+
+    // the same build path the binary takes: materialized oecd, no sketches
+    let mut local = CoreBuilder::new(TableSource::materialized(datasets::oecd()))
+        .freeze()
+        .handle();
+
+    let mut client = Client::connect(addr.as_str()).expect("connect to spawned server");
+    let hello = client.hello().unwrap();
+    assert_eq!(hello.dataset, "oecd");
+    assert_eq!(hello.protocol, foresight_serve::PROTOCOL_VERSION);
+
+    let session = client.open().unwrap();
+    for query in [
+        InsightQuery::class("linear-relationship").top_k(3),
+        InsightQuery::class("skew").top_k(2),
+        InsightQuery::class("outliers").top_k(3),
+    ] {
+        let remote = client.query(session, query.clone()).unwrap();
+        let in_process = local.query(&query).unwrap();
+        assert_eq!(
+            remote, in_process,
+            "binary wire drift on {}",
+            query.class_id
+        );
+    }
+    assert_eq!(
+        client.carousels(session, 2).unwrap(),
+        local.carousels(2).unwrap()
+    );
+    assert_eq!(client.profile(session).unwrap(), local.profile().unwrap());
+
+    // focus → re-rank, still identical
+    let top = local
+        .query(&InsightQuery::class("linear-relationship").top_k(1))
+        .unwrap();
+    let seed_query = InsightQuery::class("linear-relationship").top_k(1);
+    assert_eq!(client.query(session, seed_query).unwrap(), top);
+    client.focus(session, top[0].clone()).unwrap();
+    local.focus(top[0].clone());
+    let reranked = InsightQuery::class("linear-relationship").top_k(4);
+    assert_eq!(
+        client.query(session, reranked.clone()).unwrap(),
+        local.query(&reranked).unwrap()
+    );
+
+    client.close(session).unwrap();
+}

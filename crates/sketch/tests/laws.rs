@@ -263,7 +263,7 @@ proptest! {
             for &v in r { dm.insert(v); }
             dm
         };
-        let mut whole = segment(&values);
+        let whole = segment(&values);
         let (a, b, c) = (segment(&values[..i]), segment(&values[i..j]), segment(&values[j..]));
 
         // (a ⊕ b) ⊕ c

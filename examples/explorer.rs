@@ -9,10 +9,20 @@
 //! cargo run --release --example explorer -- data.csv    # your data
 //! echo -e "top linear-relationship 3\nquit" | cargo run --example explorer
 //! ```
+//!
+//! With `connect <host:port>` the explorer speaks the `foresight-serve`
+//! wire protocol instead of running the engine in-process — same
+//! exploration loop, with the session living on the server:
+//!
+//! ```sh
+//! cargo run --release --bin foresight-serve -- oecd &
+//! cargo run --release --example explorer -- connect 127.0.0.1:4547
+//! ```
 
 use foresight::data::csv::read_csv;
 use foresight::data::infer::InferOptions;
 use foresight::prelude::*;
+use foresight::serve::{Client, ClientError};
 use std::io::{self, BufRead, Write};
 
 const HELP: &str = "\
@@ -351,6 +361,323 @@ impl Repl {
     }
 }
 
+const REMOTE_HELP: &str = "\
+remote commands (session lives on the server):
+  columns                      list the served dataset's columns
+  top <class> [k]              top-k insights of a class (respects fix/range)
+  fix <column name>            constrain queries to tuples containing a column
+  range <lo> <hi>              constrain the metric score range
+  semantic <tag>               require a semantic tag (currency, year, ...)
+  clear                        drop all query constraints
+  focus <idx>                  focus result #idx from the last query
+  unfocus                      clear the focus set
+  carousels [k]                one ranked strip per class (Figure 1)
+  profile                      dataset profile (computed server-side)
+  mode exact|approx            switch the session's scoring mode
+  metrics [json]               server metrics: admission control + engine telemetry
+  explain <class> [k]          traced query (server needs --features trace)
+  slowlog                      the server's slow-query log
+  staleness / refresh          stream lag of this session's snapshot / adopt head
+  save <path> / load <path>    persist / restore the server-side session locally
+  help / quit";
+
+/// The same exploration loop, but every command is a wire request to a
+/// `foresight-serve` front end; this process holds no engine at all.
+struct RemoteRepl {
+    client: Client,
+    session: u64,
+    columns: Vec<String>,
+    fixed: Vec<usize>,
+    range: Option<(f64, f64)>,
+    semantic: Option<String>,
+    last: Vec<InsightInstance>,
+}
+
+/// Typed server errors print as one line; transport errors end the REPL.
+fn report(err: ClientError) -> bool {
+    match err {
+        ClientError::Server(wire) => {
+            println!("server error: {wire}");
+            true
+        }
+        other => {
+            eprintln!("connection lost: {other}");
+            false
+        }
+    }
+}
+
+impl RemoteRepl {
+    fn build_query(&self, class: &str, k: usize) -> InsightQuery {
+        let mut q = InsightQuery::class(class).top_k(k);
+        for &f in &self.fixed {
+            q = q.fix_attr(f);
+        }
+        if let Some((lo, hi)) = self.range {
+            q = q.score_range(lo, hi);
+        }
+        if let Some(tag) = &self.semantic {
+            q = q.require_semantic(tag.clone());
+        }
+        q
+    }
+
+    fn show_results(&self) {
+        if self.last.is_empty() {
+            println!("(no insights match the current constraints)");
+        }
+        for (i, inst) in self.last.iter().enumerate() {
+            println!("  [{i}] {:.3}  {}", inst.score, inst.detail);
+        }
+    }
+
+    fn command(&mut self, line: &str) -> bool {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return true;
+        };
+        let rest: Vec<&str> = parts.collect();
+        match cmd {
+            "quit" | "exit" => {
+                let _ = self.client.close(self.session);
+                return false;
+            }
+            "help" => println!("{REMOTE_HELP}"),
+            "columns" => {
+                for (i, name) in self.columns.iter().enumerate() {
+                    println!("  #{i:<3} {name}");
+                }
+            }
+            "top" => {
+                let Some(class) = rest.first() else {
+                    println!("usage: top <class> [k]");
+                    return true;
+                };
+                let k = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+                match self.client.query(self.session, self.build_query(class, k)) {
+                    Ok(out) => {
+                        self.last = out;
+                        self.show_results();
+                    }
+                    Err(e) => return report(e),
+                }
+            }
+            "fix" => {
+                let name = rest.join(" ");
+                match self.columns.iter().position(|c| *c == name) {
+                    Some(idx) => {
+                        self.fixed.push(idx);
+                        println!("fixed attribute: {name} (#{idx})");
+                    }
+                    None => println!("no column named `{name}` (see `columns`)"),
+                }
+            }
+            "range" => {
+                match (
+                    rest.first().and_then(|s| s.parse().ok()),
+                    rest.get(1).and_then(|s| s.parse().ok()),
+                ) {
+                    (Some(lo), Some(hi)) => {
+                        self.range = Some((lo, hi));
+                        println!("score range: [{lo}, {hi}]");
+                    }
+                    _ => println!("usage: range <lo> <hi>"),
+                }
+            }
+            "semantic" => match rest.first() {
+                Some(tag) => {
+                    self.semantic = Some(tag.to_string());
+                    println!("requiring semantic tag: {tag}");
+                }
+                None => println!("usage: semantic <tag>"),
+            },
+            "clear" => {
+                self.fixed.clear();
+                self.range = None;
+                self.semantic = None;
+                println!("constraints cleared");
+            }
+            "focus" => {
+                let Some(idx) = rest.first().and_then(|s| s.parse::<usize>().ok()) else {
+                    println!("usage: focus <idx>");
+                    return true;
+                };
+                match self.last.get(idx).cloned() {
+                    Some(inst) => match self.client.focus(self.session, inst.clone()) {
+                        Ok(()) => println!("focused: {}", inst.detail),
+                        Err(e) => return report(e),
+                    },
+                    None => println!("no result #{idx}; run `top` first"),
+                }
+            }
+            "unfocus" => match self.client.clear_focus(self.session) {
+                Ok(()) => println!("focus cleared"),
+                Err(e) => return report(e),
+            },
+            "carousels" => {
+                let k = rest.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+                match self.client.carousels(self.session, k) {
+                    Ok(cs) => {
+                        for c in cs.iter().filter(|c| !c.instances.is_empty()) {
+                            println!("── {} ──", c.class_name);
+                            for inst in &c.instances {
+                                println!("    {:.3}  {}", inst.score, inst.detail);
+                            }
+                        }
+                    }
+                    Err(e) => return report(e),
+                }
+            }
+            "profile" => match self.client.profile(self.session) {
+                Ok(p) => println!("{}", p.to_text()),
+                Err(e) => return report(e),
+            },
+            "mode" => match rest.first() {
+                Some(&"approx") => match self.client.set_mode(self.session, "approximate") {
+                    Ok(()) => println!("mode: approximate (sketch-backed)"),
+                    Err(e) => return report(e),
+                },
+                Some(&"exact") => match self.client.set_mode(self.session, "exact") {
+                    Ok(()) => println!("mode: exact"),
+                    Err(e) => return report(e),
+                },
+                _ => println!("usage: mode exact|approx"),
+            },
+            "metrics" => match self.client.metrics() {
+                Ok(snapshot) => match rest.first() {
+                    Some(&"json") => println!("{}", snapshot.to_json()),
+                    _ => print!("{}", snapshot.to_text()),
+                },
+                Err(e) => return report(e),
+            },
+            "explain" => {
+                let Some(class) = rest.first() else {
+                    println!("usage: explain <class> [k]");
+                    return true;
+                };
+                let k = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+                match self
+                    .client
+                    .explain(self.session, self.build_query(class, k))
+                {
+                    Ok((results, trace)) => {
+                        self.last = results;
+                        match trace {
+                            Some(trace) => print!("{}", trace.to_text()),
+                            None => println!(
+                                "(no trace captured — server built without `--features trace`)"
+                            ),
+                        }
+                        self.show_results();
+                    }
+                    Err(e) => return report(e),
+                }
+            }
+            "slowlog" => match self.client.slowlog() {
+                Ok(lines) if lines.is_empty() => {
+                    println!("(server slow-query log is empty)")
+                }
+                Ok(lines) => {
+                    for entry in lines {
+                        println!("  {entry}");
+                    }
+                }
+                Err(e) => return report(e),
+            },
+            "staleness" => match self.client.staleness(self.session) {
+                Ok(s) => println!(
+                    "snapshot: epoch {}, {} rows; ingest head {} rows ({} behind), age {:.1}s",
+                    s.epoch,
+                    s.snapshot_rows,
+                    s.head_rows,
+                    s.rows_behind,
+                    s.age_ns as f64 / 1e9
+                ),
+                Err(e) => return report(e),
+            },
+            "refresh" => match self.client.refresh(self.session) {
+                Ok(true) => println!("adopted the newest published snapshot"),
+                Ok(false) => println!("already at the newest snapshot"),
+                Err(e) => return report(e),
+            },
+            "save" => match rest.first() {
+                Some(path) => match self.client.save(self.session) {
+                    Ok(state) => match std::fs::write(path, state) {
+                        Ok(()) => println!("server session saved to {path}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    Err(e) => return report(e),
+                },
+                None => println!("usage: save <path>"),
+            },
+            "load" => match rest.first() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(state) => match self.client.restore(self.session, state) {
+                        Ok(()) => println!("session restored into the server"),
+                        Err(e) => return report(e),
+                    },
+                    Err(e) => println!("error: {e}"),
+                },
+                None => println!("usage: load <path>"),
+            },
+            other => println!("unknown command `{other}` (try `help`)"),
+        }
+        true
+    }
+}
+
+/// Connects to a `foresight-serve` front end and runs the remote REPL.
+fn run_remote(addr: &str) {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let hello = client.hello().expect("hello");
+    println!(
+        "Foresight explorer — connected to {} at {addr} (protocol v{})",
+        hello.server, hello.protocol
+    );
+    println!(
+        "serving `{}`: {} rows × {} columns, {} mode{} (type `help`)",
+        hello.dataset,
+        hello.rows,
+        hello.cols,
+        hello.mode,
+        if hello.streaming { ", streaming" } else { "" }
+    );
+    let session = client.open().expect("open session");
+    let mut repl = RemoteRepl {
+        client,
+        session,
+        columns: hello.columns,
+        fixed: Vec::new(),
+        range: None,
+        semantic: None,
+        last: Vec::new(),
+    };
+    let stdin = io::stdin();
+    loop {
+        print!("foresight:{}> ", hello.dataset);
+        io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if !repl.command(line.trim()) {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}
+
 fn load_table(arg: Option<&str>) -> Table {
     match arg {
         None | Some("oecd") => datasets::oecd(),
@@ -363,6 +690,14 @@ fn load_table(arg: Option<&str>) -> Table {
 
 fn main() {
     let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("connect") {
+        let Some(addr) = std::env::args().nth(2) else {
+            eprintln!("usage: explorer connect <host:port>");
+            std::process::exit(2);
+        };
+        run_remote(&addr);
+        return;
+    }
     let table = load_table(arg.as_deref());
     println!(
         "Foresight explorer — `{}`: {} rows × {} columns (type `help`)",

@@ -18,6 +18,7 @@
 //! | [`viz`] | chart specs + SVG / terminal / Vega-Lite renderers |
 //! | [`insight`] | the 12 insight classes and the plug-in registry |
 //! | [`engine`] | insight queries, neighborhoods, sessions, carousels |
+//! | [`serve`] | network front end: wire protocol, admission control, sessions |
 //!
 //! ## Quick start
 //! ```
@@ -78,6 +79,7 @@
 pub use foresight_data as data;
 pub use foresight_engine as engine;
 pub use foresight_insight as insight;
+pub use foresight_serve as serve;
 pub use foresight_sketch as sketch;
 pub use foresight_stats as stats;
 pub use foresight_viz as viz;
