@@ -1,0 +1,225 @@
+//! Candidate generation strategies: the quadratic class scan vs. LSH bucket
+//! collisions.
+//!
+//! Every pairwise insight class historically enumerated all O(d²) column
+//! pairs and let scoring sort them out. [`CandidateSource`] is the engine's
+//! seam between that scan and the [`LshIndex`] built alongside the catalog:
+//! classes that declare a pairwise candidate shape
+//! ([`CandidatePruning::NumericPairs`] / [`CandidatePruning::AllPairs`])
+//! can draw candidates from bucket collisions in ~O(d·L), with the
+//! existing exact/sketch scorer as the verify step. Everything else — and
+//! every run below the width threshold, or with recall pinned to 1.0 —
+//! falls back to the class's own `candidates()` scan.
+
+use foresight_data::Table;
+use foresight_insight::{AttrTuple, CandidatePruning, InsightClass};
+use foresight_sketch::lsh::LshIndex;
+use serde::{Deserialize, Serialize};
+
+/// Whether the `FORESIGHT_DISABLE_LSH=1` environment variable
+/// force-disables the index. The freeze path consults this before building
+/// or refreshing; CI runs the whole test suite under it to prove every
+/// query path falls back to the exhaustive scan when no index exists.
+pub fn lsh_disabled() -> bool {
+    std::env::var("FORESIGHT_DISABLE_LSH").is_ok_and(|v| v == "1")
+}
+
+/// Minimum numeric width before [`CandidateStrategy::Auto`] switches from
+/// the quadratic scan to LSH collisions. Below this the d² scan is already
+/// microseconds and the index's recall loss buys nothing.
+pub const LSH_WIDTH_THRESHOLD: usize = 64;
+
+/// How a query's candidate tuples are generated — the recall-vs-speed knob
+/// surfaced on `SessionHandle` and over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CandidateStrategy {
+    /// Use LSH collisions when an index exists and the table is at least
+    /// [`LSH_WIDTH_THRESHOLD`] numeric columns wide; quadratic scan
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Force LSH collisions whenever an index exists, probing `probes`
+    /// tables (`None` = all L tables). Fewer probes = faster, lower recall.
+    Lsh {
+        /// Number of tables to probe; `None` probes all of them.
+        probes: Option<usize>,
+    },
+    /// Recall = 1.0: always the class's own quadratic scan, bit-identical
+    /// to an engine without the index.
+    Exhaustive,
+}
+
+impl CandidateStrategy {
+    /// Parses the wire/REPL spelling: `auto`, `exhaustive` (alias `exact`),
+    /// `lsh`, or `lsh:<probes>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "auto" => Some(CandidateStrategy::Auto),
+            "exhaustive" | "exact" => Some(CandidateStrategy::Exhaustive),
+            "lsh" => Some(CandidateStrategy::Lsh { probes: None }),
+            other => {
+                let probes = other.strip_prefix("lsh:")?.parse().ok()?;
+                Some(CandidateStrategy::Lsh {
+                    probes: Some(probes),
+                })
+            }
+        }
+    }
+
+    /// The stable spelling accepted back by [`CandidateStrategy::parse`].
+    pub fn name(&self) -> String {
+        match self {
+            CandidateStrategy::Auto => "auto".to_owned(),
+            CandidateStrategy::Exhaustive => "exhaustive".to_owned(),
+            CandidateStrategy::Lsh { probes: None } => "lsh".to_owned(),
+            CandidateStrategy::Lsh { probes: Some(p) } => format!("lsh:{p}"),
+        }
+    }
+}
+
+/// Where a query's candidates came from, with the collision accounting that
+/// EXPLAIN and telemetry report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOrigin {
+    /// The class's own `candidates()` scan (quadratic for pairwise classes).
+    ClassScan,
+    /// LSH bucket collisions (plus, for [`CandidatePruning::AllPairs`]
+    /// classes, the exhaustively-enumerated pairs outside the index).
+    Lsh {
+        /// Unordered numeric pairs produced by bucket collisions — the `N`
+        /// in "candidates from LSH bucket collisions: N of d²".
+        collision_pairs: usize,
+        /// Numeric columns the index has seen (indexed + skipped) — the `d`.
+        universe_columns: usize,
+        /// Tables actually probed — the `L` reported by EXPLAIN.
+        tables_probed: usize,
+    },
+}
+
+/// A generated candidate list plus its provenance.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The candidate tuples, ready for the filter → score → rank pipeline.
+    pub tuples: Vec<AttrTuple>,
+    /// How they were generated.
+    pub origin: CandidateOrigin,
+}
+
+/// Resolves a [`CandidateStrategy`] against the (optional) LSH index and a
+/// class's declared pruning shape. Copyable view — borrows the index from
+/// the core snapshot that owns it.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateSource<'a> {
+    lsh: Option<&'a LshIndex>,
+    strategy: CandidateStrategy,
+}
+
+impl<'a> CandidateSource<'a> {
+    /// A source over `lsh` (if built) under `strategy`.
+    pub fn new(lsh: Option<&'a LshIndex>, strategy: CandidateStrategy) -> Self {
+        Self { lsh, strategy }
+    }
+
+    /// The recall-1.0 source: always the class scan. This is what a plain
+    /// [`Executor`](crate::Executor) uses unless told otherwise.
+    pub fn exhaustive() -> Self {
+        Self {
+            lsh: None,
+            strategy: CandidateStrategy::Exhaustive,
+        }
+    }
+
+    /// The strategy in effect.
+    pub fn strategy(&self) -> CandidateStrategy {
+        self.strategy
+    }
+
+    /// Would `class` on `table` draw candidates from LSH collisions under
+    /// this source? (Used by the core to decide whether the prebuilt
+    /// exhaustive index may serve the query instead of the executor.)
+    pub fn would_use_lsh(&self, class: &dyn InsightClass, table: &Table) -> bool {
+        self.resolves_to_lsh(class.pruning(), table)
+    }
+
+    fn resolves_to_lsh(&self, pruning: CandidatePruning, table: &Table) -> bool {
+        if pruning == CandidatePruning::None || self.lsh.is_none() {
+            return false;
+        }
+        match self.strategy {
+            CandidateStrategy::Exhaustive => false,
+            CandidateStrategy::Lsh { .. } => true,
+            CandidateStrategy::Auto => table.numeric_indices().len() >= LSH_WIDTH_THRESHOLD,
+        }
+    }
+
+    /// Generates candidates for `class` on `table`.
+    pub fn generate(&self, class: &dyn InsightClass, table: &Table) -> CandidatePlan {
+        let pruning = class.pruning();
+        if !self.resolves_to_lsh(pruning, table) {
+            return CandidatePlan {
+                tuples: class.candidates(table),
+                origin: CandidateOrigin::ClassScan,
+            };
+        }
+        let index = self.lsh.expect("resolves_to_lsh checked");
+        let probes = match self.strategy {
+            CandidateStrategy::Lsh { probes: Some(p) } => p,
+            _ => usize::MAX, // all tables
+        };
+        let (pairs, tables_probed) = index.candidate_pairs(probes);
+        let collision_pairs = pairs.len();
+        let mut tuples: Vec<AttrTuple> = pairs
+            .into_iter()
+            .map(|(a, b)| AttrTuple::Two(a, b))
+            .collect();
+        if pruning == CandidatePruning::AllPairs {
+            // The index covers only numeric×numeric; pairs touching a
+            // non-numeric column keep the exhaustive enumeration.
+            let mut numeric = vec![false; table.n_cols()];
+            for i in table.numeric_indices() {
+                numeric[i] = true;
+            }
+            for a in 0..table.n_cols() {
+                for b in (a + 1)..table.n_cols() {
+                    if !(numeric[a] && numeric[b]) {
+                        tuples.push(AttrTuple::Two(a, b));
+                    }
+                }
+            }
+        }
+        CandidatePlan {
+            tuples,
+            origin: CandidateOrigin::Lsh {
+                collision_pairs,
+                universe_columns: index.universe_columns(),
+                tables_probed,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parse_roundtrip() {
+        for s in ["auto", "exhaustive", "lsh", "lsh:3"] {
+            let parsed = CandidateStrategy::parse(s).unwrap();
+            assert_eq!(parsed.name(), s);
+            assert_eq!(CandidateStrategy::parse(&parsed.name()), Some(parsed));
+        }
+        assert_eq!(
+            CandidateStrategy::parse("exact"),
+            Some(CandidateStrategy::Exhaustive)
+        );
+        assert_eq!(CandidateStrategy::parse("lsh:"), None);
+        assert_eq!(CandidateStrategy::parse("lsh:x"), None);
+        assert_eq!(CandidateStrategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(CandidateStrategy::default(), CandidateStrategy::Auto);
+    }
+}

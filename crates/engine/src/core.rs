@@ -16,6 +16,7 @@
 //! [`crate::cache`]).
 
 use crate::cache::{CacheStats, ScoreCache};
+use crate::candidates::{CandidateSource, CandidateStrategy};
 use crate::error::{EngineError, Result};
 use crate::executor::{Executor, Mode};
 use crate::profile::DatasetProfile;
@@ -26,6 +27,7 @@ use crate::telemetry::{clock, Metrics, MetricsSnapshot, Stage};
 use crate::trace::{QueryTrace, TraceBuilder, Tracer};
 use foresight_data::{Table, TableSource};
 use foresight_insight::{InsightClass, InsightInstance, InsightRegistry};
+use foresight_sketch::lsh::LshIndex;
 use foresight_sketch::{CatalogConfig, Mergeable, SketchCatalog};
 use foresight_viz::ChartSpec;
 use serde::{Deserialize, Serialize};
@@ -62,6 +64,10 @@ pub struct EngineCore {
     registry: Arc<InsightRegistry>,
     catalog: Option<SketchCatalog>,
     index: Option<IndexedAt>,
+    /// The LSH candidate index over the catalog's hyperplane signatures,
+    /// maintained by the freeze path whenever a catalog exists. Arc'd so a
+    /// clean republish shares it with the previous snapshot.
+    lsh: Option<Arc<LshIndex>>,
     cache: Arc<ScoreCache>,
     /// The score-cache data generation this snapshot reads and writes.
     /// Fixed at freeze time: readers of an older snapshot keep their own
@@ -147,6 +153,17 @@ impl EngineCore {
     /// The insight index, if one was built.
     pub fn insight_index(&self) -> Option<&crate::index::InsightIndex> {
         self.index.as_ref().map(|ix| &ix.index)
+    }
+
+    /// The LSH candidate index, if a catalog exists to build it over.
+    pub fn lsh_index(&self) -> Option<&LshIndex> {
+        self.lsh.as_deref()
+    }
+
+    /// A [`CandidateSource`] over this snapshot's LSH index under
+    /// `strategy` — what the executor uses to generate pairwise candidates.
+    pub fn candidate_source(&self, strategy: CandidateStrategy) -> CandidateSource<'_> {
+        CandidateSource::new(self.lsh.as_deref(), strategy)
     }
 
     /// The published default mode (snapshots built after
@@ -273,8 +290,20 @@ impl EngineCore {
 
     /// An executor over this snapshot under an explicit mode/parallelism —
     /// the building block sessions use. Scores read and write the shared
-    /// cache in this snapshot's epoch keyspace.
+    /// cache in this snapshot's epoch keyspace. Candidates follow the
+    /// default [`CandidateStrategy::Auto`].
     pub fn executor_at(&self, mode: Mode, parallel: bool) -> Result<Executor<'_>> {
+        self.executor_strategy(mode, parallel, CandidateStrategy::Auto)
+    }
+
+    /// [`executor_at`](Self::executor_at) with an explicit candidate
+    /// strategy — the recall-vs-speed knob sessions thread through.
+    pub fn executor_strategy(
+        &self,
+        mode: Mode,
+        parallel: bool,
+        strategy: CandidateStrategy,
+    ) -> Result<Executor<'_>> {
         let ex = match (mode, self.catalog.as_ref()) {
             (Mode::Approximate, Some(catalog)) => {
                 Executor::approximate(self.exec_table_at(mode)?, &self.registry, catalog)
@@ -286,6 +315,7 @@ impl EngineCore {
         Ok(ex
             .parallel(parallel)
             .with_cache_at(&self.cache, self.epoch)
+            .with_candidates(self.candidate_source(strategy))
             .with_metrics(&self.metrics))
     }
 
@@ -310,11 +340,31 @@ impl EngineCore {
         mode: Mode,
         parallel: bool,
     ) -> Result<Vec<InsightInstance>> {
+        self.run_query_strategy(query, mode, parallel, CandidateStrategy::Auto)
+    }
+
+    /// [`run_query_at`](Self::run_query_at) with an explicit candidate
+    /// strategy. A strategy that resolves to LSH for the queried class
+    /// bypasses the prebuilt (exhaustively generated) insight index so the
+    /// collision-generated candidate list is actually what gets scored.
+    pub fn run_query_strategy(
+        &self,
+        query: &InsightQuery,
+        mode: Mode,
+        parallel: bool,
+        strategy: CandidateStrategy,
+    ) -> Result<Vec<InsightInstance>> {
         // the entire cost of the dormant trace layer on the untraced path:
         // one relaxed load of the slow-query threshold
         if cfg!(feature = "trace") && self.tracer.slow_threshold_ns() > 0 {
             let start = clock::now_ns();
-            let out = self.run_query_with(query, mode, parallel, &mut TraceBuilder::disabled())?;
+            let out = self.run_query_with(
+                query,
+                mode,
+                parallel,
+                strategy,
+                &mut TraceBuilder::disabled(),
+            )?;
             self.tracer.maybe_record_slow(
                 query,
                 mode,
@@ -324,7 +374,13 @@ impl EngineCore {
             );
             return Ok(out);
         }
-        self.run_query_with(query, mode, parallel, &mut TraceBuilder::disabled())
+        self.run_query_with(
+            query,
+            mode,
+            parallel,
+            strategy,
+            &mut TraceBuilder::disabled(),
+        )
     }
 
     /// Runs an insight query and captures a [`QueryTrace`] for it — the
@@ -340,12 +396,28 @@ impl EngineCore {
         parallel: bool,
         forced: bool,
     ) -> Result<(Vec<InsightInstance>, Option<Arc<QueryTrace>>)> {
+        self.run_query_traced_strategy(query, mode, parallel, CandidateStrategy::Auto, forced)
+    }
+
+    /// [`run_query_traced`](Self::run_query_traced) with an explicit
+    /// candidate strategy — EXPLAIN under the session's knob.
+    pub fn run_query_traced_strategy(
+        &self,
+        query: &InsightQuery,
+        mode: Mode,
+        parallel: bool,
+        strategy: CandidateStrategy,
+        forced: bool,
+    ) -> Result<(Vec<InsightInstance>, Option<Arc<QueryTrace>>)> {
         let mut trace = self.tracer.begin_trace(query, mode, forced);
         if !trace.is_active() {
-            return Ok((self.run_query_at(query, mode, parallel)?, None));
+            return Ok((
+                self.run_query_strategy(query, mode, parallel, strategy)?,
+                None,
+            ));
         }
         let start = clock::now_ns();
-        let out = self.run_query_with(query, mode, parallel, &mut trace)?;
+        let out = self.run_query_with(query, mode, parallel, strategy, &mut trace)?;
         let trace = self.tracer.finish(trace);
         self.tracer.maybe_record_slow(
             query,
@@ -362,6 +434,7 @@ impl EngineCore {
         query: &InsightQuery,
         mode: Mode,
         parallel: bool,
+        strategy: CandidateStrategy,
         trace: &mut TraceBuilder,
     ) -> Result<Vec<InsightInstance>> {
         if trace.is_active() {
@@ -372,7 +445,20 @@ impl EngineCore {
                 trace.attr("rows_behind", || self.rows_behind().to_string());
             }
         }
-        if let Some(ix) = self.index.as_ref().filter(|ix| ix.mode == mode) {
+        // When the strategy resolves to LSH for this class, the prebuilt
+        // index (whose entries came from the exhaustive scan) must not
+        // answer: the caller asked for collision-generated candidates.
+        let lsh_preferred = match self.registry.get(&query.class_id) {
+            Some(class) => self
+                .candidate_source(strategy)
+                .would_use_lsh(class.as_ref(), self.exec_table_at(mode)?),
+            None => false,
+        };
+        if let Some(ix) = self
+            .index
+            .as_ref()
+            .filter(|ix| ix.mode == mode && !lsh_preferred)
+        {
             let span = self.metrics.span(Stage::IndexServe);
             trace.begin("index_serve");
             if let Some(out) = ix
@@ -399,7 +485,7 @@ impl EngineCore {
             span.cancel();
         }
         let out = self
-            .executor_at(mode, parallel)?
+            .executor_strategy(mode, parallel, strategy)?
             .execute_traced(query, trace)?;
         self.metrics.record_query(&query.class_id, mode, false);
         Ok(out)
@@ -414,7 +500,20 @@ impl EngineCore {
         config: &CarouselConfig,
         mode: Mode,
     ) -> Result<Vec<Carousel>> {
-        let executor = self.executor_at(mode, config.parallel)?;
+        self.carousels_strategy(session, config, mode, CandidateStrategy::Auto)
+    }
+
+    /// [`carousels_for`](Self::carousels_for) with an explicit candidate
+    /// strategy: every pairwise class's carousel draws candidates through
+    /// it.
+    pub fn carousels_strategy(
+        &self,
+        session: &Session,
+        config: &CarouselConfig,
+        mode: Mode,
+        strategy: CandidateStrategy,
+    ) -> Result<Vec<Carousel>> {
+        let executor = self.executor_strategy(mode, config.parallel, strategy)?;
         carousels_with(&executor, &self.registry, session, config)
     }
 
@@ -490,6 +589,7 @@ pub struct CoreBuilder {
     registry: Arc<InsightRegistry>,
     catalog: Option<SketchCatalog>,
     index: Option<IndexedAt>,
+    lsh: Option<Arc<LshIndex>>,
     cache: Arc<ScoreCache>,
     epoch: u64,
     mode: Mode,
@@ -524,6 +624,7 @@ impl CoreBuilder {
             registry: InsightRegistry::default().freeze(),
             catalog: None,
             index: None,
+            lsh: None,
             cache,
             epoch,
             mode: Mode::Exact,
@@ -550,6 +651,7 @@ impl CoreBuilder {
                 registry: core.registry,
                 catalog: core.catalog,
                 index: core.index,
+                lsh: core.lsh,
                 cache: core.cache,
                 epoch: core.epoch,
                 mode: core.mode,
@@ -568,6 +670,7 @@ impl CoreBuilder {
                 registry: Arc::clone(&shared.registry),
                 catalog: shared.catalog.clone(),
                 index: shared.index.clone(),
+                lsh: shared.lsh.clone(),
                 cache: Arc::clone(&shared.cache),
                 epoch: shared.epoch,
                 mode: shared.mode,
@@ -852,6 +955,29 @@ impl CoreBuilder {
         } else {
             None
         };
+        // Maintain the LSH candidate index alongside the catalog: rebuilt
+        // on score-global mutations (or when absent), refreshed column-wise
+        // after appends — clean columns keep bit-identical signatures, so
+        // the refresh is provably identical to a cold rebuild — and shared
+        // untouched on a clean republish.
+        self.lsh = match self.catalog.as_ref() {
+            _ if crate::candidates::lsh_disabled() => None,
+            None => None,
+            Some(catalog) => match self.lsh.take().filter(|_| !self.dirty) {
+                None => {
+                    let _span = metrics.span(Stage::LshBuild);
+                    LshIndex::build(catalog).map(Arc::new)
+                }
+                Some(prev) if !self.dirty_columns.is_empty() => {
+                    let dirty: Vec<usize> = self.dirty_columns.iter().copied().collect();
+                    let mut ix = Arc::try_unwrap(prev).unwrap_or_else(|a| (*a).clone());
+                    let _span = metrics.span(Stage::LshBuild);
+                    ix.refresh(catalog, &dirty);
+                    Some(Arc::new(ix))
+                }
+                Some(prev) => Some(prev),
+            },
+        };
         let epoch = if self.dirty {
             if self.appended {
                 metrics.record_republish_full();
@@ -883,6 +1009,7 @@ impl CoreBuilder {
             registry: self.registry,
             catalog: self.catalog,
             index: self.index,
+            lsh: self.lsh,
             cache: self.cache,
             epoch,
             mode: self.mode,

@@ -4,10 +4,11 @@
 //! queries").
 
 use crate::cache::ScoreCache;
+use crate::candidates::{CandidateOrigin, CandidateSource};
 use crate::error::{EngineError, Result};
 use crate::query::InsightQuery;
 use crate::telemetry::{Lap, Metrics, Stage};
-use crate::trace::{ScorePath, TraceBuilder};
+use crate::trace::{LshCandidates, ScorePath, TraceBuilder};
 use foresight_data::Table;
 use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
 use foresight_sketch::SketchCatalog;
@@ -49,6 +50,10 @@ pub struct Executor<'a> {
     mode: Mode,
     parallel: bool,
     sketch_only: bool,
+    /// How candidate tuples are generated. `None` = the class's own scan
+    /// (standalone executors); a core snapshot passes its [`CandidateSource`]
+    /// so wide-table queries can draw candidates from LSH collisions.
+    candidates: Option<CandidateSource<'a>>,
 }
 
 impl<'a> Executor<'a> {
@@ -63,6 +68,7 @@ impl<'a> Executor<'a> {
             mode: Mode::Exact,
             parallel: false,
             sketch_only: false,
+            candidates: None,
         }
     }
 
@@ -81,6 +87,7 @@ impl<'a> Executor<'a> {
             mode: Mode::Approximate,
             parallel: false,
             sketch_only: false,
+            candidates: None,
         }
     }
 
@@ -122,6 +129,17 @@ impl<'a> Executor<'a> {
     /// [`EngineCore`]: crate::EngineCore
     pub fn with_cache_at(mut self, cache: &'a ScoreCache, epoch: u64) -> Self {
         self.cache = Some((cache, epoch));
+        self
+    }
+
+    /// Attaches a [`CandidateSource`]: pairwise classes that declare a
+    /// prunable candidate shape draw their tuples from LSH bucket
+    /// collisions when the source's strategy resolves to the index, with
+    /// the class's own scan as the fallback. Absent (the default), every
+    /// query uses the class scan — bit-identical to an engine without the
+    /// index.
+    pub fn with_candidates(mut self, source: CandidateSource<'a>) -> Self {
+        self.candidates = Some(source);
         self
     }
 
@@ -367,7 +385,14 @@ impl<'a> Executor<'a> {
 
         trace.set_metric(query.metric.as_deref().unwrap_or_else(|| class.metric()));
         trace.begin("candidates");
-        let raw = class.candidates(self.table);
+        let plan = match &self.candidates {
+            Some(source) => source.generate(class.as_ref(), self.table),
+            None => crate::candidates::CandidatePlan {
+                tuples: class.candidates(self.table),
+                origin: CandidateOrigin::ClassScan,
+            },
+        };
+        let raw = plan.tuples;
         let generated = raw.len();
         let candidates: Vec<AttrTuple> = raw
             .into_iter()
@@ -380,6 +405,25 @@ impl<'a> Executor<'a> {
         trace.set_candidates(generated, candidates.len());
         trace.attr("generated", || generated.to_string());
         trace.attr("eligible", || candidates.len().to_string());
+        if let CandidateOrigin::Lsh {
+            collision_pairs,
+            universe_columns,
+            tables_probed,
+        } = plan.origin
+        {
+            trace.set_lsh(LshCandidates {
+                collision_pairs,
+                universe_columns,
+                tables_probed,
+            });
+            trace.attr("lsh_collisions", || {
+                format!("{collision_pairs} of {universe_columns}²")
+            });
+            trace.attr("lsh_tables_probed", || tables_probed.to_string());
+            if let Some(metrics) = self.metrics {
+                metrics.record_lsh_candidates(collision_pairs as u64);
+            }
+        }
         trace.end();
 
         let keep = |attrs: &AttrTuple, score: Option<f64>| -> Option<(AttrTuple, f64)> {

@@ -11,6 +11,7 @@
 //! same snapshot.
 
 use crate::cache::CacheStats;
+use crate::candidates::CandidateStrategy;
 use crate::core::{CoreBuilder, EngineCore};
 use crate::error::{EngineError, Result};
 use crate::executor::Mode;
@@ -66,6 +67,7 @@ pub struct Foresight {
     session: Session,
     focus_overfetch: usize,
     weights: NeighborhoodWeights,
+    candidates: CandidateStrategy,
 }
 
 impl Foresight {
@@ -101,6 +103,7 @@ impl Foresight {
             session,
             focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
             weights: NeighborhoodWeights::default(),
+            candidates: CandidateStrategy::Auto,
         }
     }
 
@@ -218,6 +221,20 @@ impl Foresight {
         self.focus_overfetch = factor.max(1);
     }
 
+    /// The candidate-generation strategy in effect.
+    pub fn candidate_strategy(&self) -> CandidateStrategy {
+        self.candidates
+    }
+
+    /// Sets how pairwise queries generate candidates — the recall-vs-speed
+    /// knob. [`CandidateStrategy::Auto`] (default) uses LSH bucket
+    /// collisions only on wide tables with a sketch catalog;
+    /// [`CandidateStrategy::Exhaustive`] pins recall to 1.0. No republish:
+    /// this is session state, like the focus set.
+    pub fn set_candidate_strategy(&mut self, strategy: CandidateStrategy) {
+        self.candidates = strategy;
+    }
+
     /// Hit/miss/occupancy/purge counters of the cross-query score cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.core().cache_stats()
@@ -300,7 +317,7 @@ impl Foresight {
     /// read-only (see [`EngineCore::run_query`]).
     pub fn query(&mut self, query: &InsightQuery) -> Result<Vec<InsightInstance>> {
         let core = self.core();
-        let out = core.run_query(query)?;
+        let out = core.run_query_strategy(query, core.mode(), core.parallel(), self.candidates)?;
         self.session.record_query(query, out.len());
         Ok(out)
     }
@@ -316,7 +333,13 @@ impl Foresight {
     /// [`QueryTrace`]: crate::trace::QueryTrace
     pub fn explain(&mut self, query: &InsightQuery) -> Result<crate::trace::Explained> {
         let core = self.core();
-        let (results, trace) = core.run_query_traced(query, core.mode(), core.parallel(), true)?;
+        let (results, trace) = core.run_query_traced_strategy(
+            query,
+            core.mode(),
+            core.parallel(),
+            self.candidates,
+            true,
+        )?;
         self.session.record_query(query, results.len());
         Ok(crate::trace::Explained { results, trace })
     }
@@ -342,7 +365,7 @@ impl Foresight {
     /// Assembled in parallel (one task per class) when parallelism is on.
     pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
         let core = self.core();
-        core.carousels_for(
+        core.carousels_strategy(
             &self.session,
             &CarouselConfig {
                 per_class,
@@ -351,6 +374,7 @@ impl Foresight {
                 parallel: core.parallel(),
             },
             core.mode(),
+            self.candidates,
         )
     }
 

@@ -7,6 +7,7 @@
 //! other, and `Send`: spawn one per user (or per thread) over a single
 //! core snapshot.
 
+use crate::candidates::CandidateStrategy;
 use crate::core::{EngineCore, Staleness};
 use crate::error::{EngineError, Result};
 use crate::executor::Mode;
@@ -44,6 +45,9 @@ pub struct SessionHandle {
     mode: Mode,
     /// This user's parallel-execution preference.
     parallel: bool,
+    /// This user's candidate-generation strategy — the recall-vs-speed
+    /// knob for pairwise classes over wide tables.
+    candidates: CandidateStrategy,
     focus_overfetch: usize,
     weights: NeighborhoodWeights,
     /// Trace one query in every `trace_every` (0 = sampling off). Plain
@@ -84,6 +88,7 @@ impl SessionHandle {
             session,
             mode,
             parallel,
+            candidates: CandidateStrategy::Auto,
             focus_overfetch: DEFAULT_FOCUS_OVERFETCH,
             weights: NeighborhoodWeights::default(),
             trace_every: 0,
@@ -279,6 +284,22 @@ impl SessionHandle {
         self.parallel = on;
     }
 
+    /// This user's candidate-generation strategy.
+    pub fn candidate_strategy(&self) -> CandidateStrategy {
+        self.candidates
+    }
+
+    /// Sets how this session's pairwise queries generate candidates — the
+    /// recall-vs-speed knob. [`CandidateStrategy::Auto`] (the default)
+    /// switches to LSH bucket collisions only on wide tables with an index;
+    /// [`CandidateStrategy::Exhaustive`] pins recall to 1.0;
+    /// [`CandidateStrategy::Lsh`] forces collisions with a chosen number of
+    /// probe tables. Per-session state — other handles over the same core
+    /// are unaffected.
+    pub fn set_candidate_strategy(&mut self, strategy: CandidateStrategy) {
+        self.candidates = strategy;
+    }
+
     /// Sets this session's neighborhood re-ranking weights.
     pub fn set_weights(&mut self, weights: NeighborhoodWeights) {
         self.weights = weights;
@@ -335,10 +356,11 @@ impl SessionHandle {
         self.maybe_adopt();
         let out = if self.sample_this_query() {
             self.core
-                .run_query_traced(query, self.mode, self.parallel, false)?
+                .run_query_traced_strategy(query, self.mode, self.parallel, self.candidates, false)?
                 .0
         } else {
-            self.core.run_query_at(query, self.mode, self.parallel)?
+            self.core
+                .run_query_strategy(query, self.mode, self.parallel, self.candidates)?
         };
         self.session.record_query(query, out.len());
         Ok(out)
@@ -354,9 +376,13 @@ impl SessionHandle {
     /// [`QueryTrace`]: crate::trace::QueryTrace
     pub fn explain(&mut self, query: &InsightQuery) -> Result<Explained> {
         self.maybe_adopt();
-        let (results, trace) = self
-            .core
-            .run_query_traced(query, self.mode, self.parallel, true)?;
+        let (results, trace) = self.core.run_query_traced_strategy(
+            query,
+            self.mode,
+            self.parallel,
+            self.candidates,
+            true,
+        )?;
         self.session.record_query(query, results.len());
         Ok(Explained { results, trace })
     }
@@ -372,7 +398,7 @@ impl SessionHandle {
     /// Builds all carousels (one per class), re-ranked toward this
     /// session's focus set.
     pub fn carousels(&self, per_class: usize) -> Result<Vec<Carousel>> {
-        self.core.carousels_for(
+        self.core.carousels_strategy(
             &self.session,
             &CarouselConfig {
                 per_class,
@@ -381,6 +407,7 @@ impl SessionHandle {
                 parallel: self.parallel,
             },
             self.mode,
+            self.candidates,
         )
     }
 

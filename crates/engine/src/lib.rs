@@ -7,6 +7,8 @@
 //! * [`executor`] — exact or sketch-backed query execution, optionally
 //!   rayon-parallel with batch scoring and quickselect top-k
 //! * [`cache`] — the cross-query score cache
+//! * [`candidates`] — candidate generation strategies: the quadratic
+//!   class scan vs. LSH bucket collisions over the catalog's signatures
 //! * [`core`] — the shared, `Send + Sync` [`EngineCore`] snapshot and its
 //!   [`CoreBuilder`] writer path
 //! * [`handle`] — cheap per-user [`SessionHandle`]s over one core
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod candidates;
 pub mod core;
 pub mod error;
 pub mod executor;
@@ -42,6 +45,10 @@ pub mod trace;
 
 pub use crate::core::{CoreBuilder, EngineCore, Staleness};
 pub use cache::{BatchLookup, CacheStats, ScoreCache, CACHE_SHARDS};
+pub use candidates::{
+    lsh_disabled, CandidateOrigin, CandidatePlan, CandidateSource, CandidateStrategy,
+    LSH_WIDTH_THRESHOLD,
+};
 pub use error::{EngineError, Result};
 pub use executor::{Executor, Mode};
 pub use foresight::{Foresight, STATE_FORMAT_VERSION};
@@ -53,8 +60,10 @@ pub use query::InsightQuery;
 pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
 pub use stream::{PublishedCore, RepublishPolicy, StreamConfig, StreamWriter};
-pub use telemetry::{Endpoint, Metrics, MetricsSnapshot, ServeSnapshot, Stage, StageSnapshot};
+pub use telemetry::{
+    Endpoint, LshSnapshot, Metrics, MetricsSnapshot, ServeSnapshot, Stage, StageSnapshot,
+};
 pub use trace::{
-    Explained, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,
+    Explained, LshCandidates, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,
     SLOW_LOG_CAPACITY, TRACE_RING_CAPACITY,
 };

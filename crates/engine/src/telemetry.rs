@@ -130,6 +130,8 @@ pub enum Stage {
     IndexRefresh,
     /// Serving a query from the prebuilt insight index.
     IndexServe,
+    /// Building or incrementally refreshing the LSH candidate index.
+    LshBuild,
     /// Candidate scoring (cache lookups + exact/sketch metric evaluation).
     Score,
     /// Top-k selection (quickselect + prefix sort).
@@ -149,13 +151,14 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in reporting order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Preprocess,
         Stage::SketchBuild,
         Stage::SketchMerge,
         Stage::IndexBuild,
         Stage::IndexRefresh,
         Stage::IndexServe,
+        Stage::LshBuild,
         Stage::Score,
         Stage::Rank,
         Stage::Diversify,
@@ -174,6 +177,7 @@ impl Stage {
             Stage::IndexBuild => "index_build",
             Stage::IndexRefresh => "index_refresh",
             Stage::IndexServe => "index_serve",
+            Stage::LshBuild => "lsh_build",
             Stage::Score => "score",
             Stage::Rank => "rank",
             Stage::Diversify => "diversify",
@@ -317,6 +321,10 @@ pub struct Metrics {
     /// Approximate-mode scorings that fell back to the exact path because
     /// the class has no sketch estimator (one event per candidate tuple).
     sketch_fallbacks: AtomicU64,
+    /// Queries whose candidate lists came from LSH bucket collisions, and
+    /// the total collision pairs those queries generated.
+    lsh_queries: AtomicU64,
+    lsh_candidate_pairs: AtomicU64,
     /// Per-class query counts. First query of a class takes the write
     /// lock once to insert; every later count is a read lock + relaxed add.
     queries_by_class: RwLock<BTreeMap<String, AtomicU64>>,
@@ -369,6 +377,8 @@ impl Metrics {
             queries_approximate: AtomicU64::new(0),
             queries_index_served: AtomicU64::new(0),
             sketch_fallbacks: AtomicU64::new(0),
+            lsh_queries: AtomicU64::new(0),
+            lsh_candidate_pairs: AtomicU64::new(0),
             queries_by_class: RwLock::new(BTreeMap::new()),
             ingest_rows: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
@@ -460,6 +470,16 @@ impl Metrics {
     pub fn record_sketch_fallback(&self) {
         if self.enabled() {
             self.sketch_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one query whose candidates came from LSH bucket collisions,
+    /// with the number of collision pairs the index produced for it.
+    #[inline]
+    pub fn record_lsh_candidates(&self, pairs: u64) {
+        if self.enabled() {
+            self.lsh_queries.fetch_add(1, Ordering::Relaxed);
+            self.lsh_candidate_pairs.fetch_add(pairs, Ordering::Relaxed);
         }
     }
 
@@ -582,6 +602,8 @@ impl Metrics {
         self.queries_approximate.store(0, Ordering::Relaxed);
         self.queries_index_served.store(0, Ordering::Relaxed);
         self.sketch_fallbacks.store(0, Ordering::Relaxed);
+        self.lsh_queries.store(0, Ordering::Relaxed);
+        self.lsh_candidate_pairs.store(0, Ordering::Relaxed);
         self.queries_by_class.write().clear();
         self.ingest_rows.store(0, Ordering::Relaxed);
         self.ingest_batches.store(0, Ordering::Relaxed);
@@ -667,6 +689,10 @@ impl Metrics {
                 endpoints,
             },
             sketch_fallbacks: self.sketch_fallbacks.load(Ordering::Relaxed),
+            lsh: LshSnapshot {
+                queries: self.lsh_queries.load(Ordering::Relaxed),
+                candidate_pairs: self.lsh_candidate_pairs.load(Ordering::Relaxed),
+            },
             cache: cache.map(|stats| CacheSnapshot {
                 hits: stats.hits,
                 misses: stats.misses,
@@ -930,6 +956,19 @@ pub struct ServeSnapshot {
     pub endpoints: Vec<StageSnapshot>,
 }
 
+/// LSH candidate-generation counters inside a [`MetricsSnapshot`]: how
+/// many queries drew their candidate pairs from bucket collisions instead
+/// of the quadratic scan, and how many collision pairs those walks
+/// produced. All zero when no LSH index exists or every query resolved to
+/// the exhaustive scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LshSnapshot {
+    /// Queries whose candidates came from LSH bucket collisions.
+    pub queries: u64,
+    /// Total collision pairs generated across those queries.
+    pub candidate_pairs: u64,
+}
+
 /// Score-cache traffic inside a [`MetricsSnapshot`], folded in from
 /// [`CacheStats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -974,6 +1013,10 @@ pub struct MetricsSnapshot {
     pub serve: ServeSnapshot,
     /// Approximate-mode scorings that fell back to the exact path.
     pub sketch_fallbacks: u64,
+    /// LSH candidate-generation counters (`default` so payloads from
+    /// builds predating the index still parse).
+    #[serde(default)]
+    pub lsh: LshSnapshot,
     /// Score-cache traffic, when the snapshot came from an engine core.
     pub cache: Option<CacheSnapshot>,
 }
@@ -1029,6 +1072,13 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "  {class:<28} {n:>8}");
         }
         let _ = writeln!(out, "sketch fallbacks to exact: {}", self.sketch_fallbacks);
+        if self.lsh.queries > 0 {
+            let _ = writeln!(
+                out,
+                "lsh candidates: {} queries from bucket collisions, {} collision pairs",
+                self.lsh.queries, self.lsh.candidate_pairs
+            );
+        }
         let ing = &self.ingest;
         if ing.batches > 0 {
             let _ = writeln!(

@@ -181,6 +181,19 @@ pub struct SkipSummary {
     pub samples: Vec<String>,
 }
 
+/// Candidate accounting for a query that drew its pairs from LSH bucket
+/// collisions instead of the quadratic scan — the numbers behind EXPLAIN's
+/// "candidates from LSH bucket collisions: N of d², tables probed: L".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshCandidates {
+    /// Unordered numeric pairs produced by bucket collisions (the `N`).
+    pub collision_pairs: usize,
+    /// Numeric columns the index covers, indexed + skipped (the `d`).
+    pub universe_columns: usize,
+    /// Tables actually probed (the `L` — the recall-vs-speed knob).
+    pub tables_probed: usize,
+}
+
 /// A finished, immutable record of one traced query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryTrace {
@@ -202,6 +215,11 @@ pub struct QueryTrace {
     pub candidates_generated: usize,
     /// Candidates surviving fixed/semantic/exclusion filters.
     pub candidates_eligible: usize,
+    /// LSH collision accounting when the index generated the candidates
+    /// (`None` = quadratic class scan). Defaults on deserialize so traces
+    /// from older peers still round-trip.
+    #[serde(default)]
+    pub lsh: Option<LshCandidates>,
     /// Score-cache hits for *this* query.
     pub cache_hits: u64,
     /// Score-cache misses for *this* query.
@@ -250,6 +268,13 @@ impl QueryTrace {
             "  candidates: {} generated, {} eligible after filters",
             self.candidates_generated, self.candidates_eligible
         );
+        if let Some(lsh) = &self.lsh {
+            let _ = writeln!(
+                out,
+                "  candidates from LSH bucket collisions: {} of {}², tables probed: {}",
+                lsh.collision_pairs, lsh.universe_columns, lsh.tables_probed
+            );
+        }
         let _ = writeln!(
             out,
             "  cache: {} hits / {} misses ({} stored)",
@@ -402,6 +427,7 @@ struct ActiveTrace {
     stack: Vec<usize>,
     candidates_generated: usize,
     candidates_eligible: usize,
+    lsh: Option<LshCandidates>,
     cache_hits: u64,
     cache_misses: u64,
     cache_stored: u64,
@@ -456,6 +482,7 @@ impl TraceBuilder {
                 stack: vec![0],
                 candidates_generated: 0,
                 candidates_eligible: 0,
+                lsh: None,
                 cache_hits: 0,
                 cache_misses: 0,
                 cache_stored: 0,
@@ -525,6 +552,13 @@ impl TraceBuilder {
         if let Some(t) = self.inner.as_deref_mut() {
             t.candidates_generated = generated;
             t.candidates_eligible = eligible;
+        }
+    }
+
+    /// Records that this query's candidates came from LSH bucket collisions.
+    pub(crate) fn set_lsh(&mut self, info: LshCandidates) {
+        if let Some(t) = self.inner.as_deref_mut() {
+            t.lsh = Some(info);
         }
     }
 
@@ -648,6 +682,7 @@ impl TraceBuilder {
             total_ns: end_ns.saturating_sub(t.start_ns),
             candidates_generated: t.candidates_generated,
             candidates_eligible: t.candidates_eligible,
+            lsh: t.lsh,
             cache_hits: t.cache_hits,
             cache_misses: t.cache_misses,
             cache_stored: t.cache_stored,
@@ -919,6 +954,7 @@ mod tests {
             total_ns: 1000,
             candidates_generated: 10,
             candidates_eligible: 8,
+            lsh: None,
             cache_hits: 3,
             cache_misses: 5,
             cache_stored: 5,

@@ -9,7 +9,7 @@
 //! value, so "visible in the text" is simply "that number is printed".
 
 use foresight_engine::telemetry::{
-    CacheSnapshot, IngestSnapshot, MetricsSnapshot, QuerySnapshot, ServeSnapshot,
+    CacheSnapshot, IngestSnapshot, LshSnapshot, MetricsSnapshot, QuerySnapshot, ServeSnapshot,
 };
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -60,6 +60,10 @@ fn fully_populated() -> MetricsSnapshot {
             endpoints: Vec::new(),
         },
         sketch_fallbacks: fresh(),
+        lsh: LshSnapshot {
+            queries: fresh(),
+            candidate_pairs: fresh(),
+        },
         cache: Some(CacheSnapshot {
             hits: fresh(),
             misses: fresh(),

@@ -75,6 +75,15 @@ fn assert_same_answers(streamed: &EngineCore, cold: &EngineCore) {
         cold.catalog().unwrap().config(),
         "sketch configs must stay pinned across appends"
     );
+    // the incrementally refreshed LSH candidate index must be *equal* to
+    // the one a cold build derives — same tables, same bucket contents,
+    // same typed skips (dirty columns re-inserted, clean columns' keys
+    // bit-identical because their signatures are)
+    assert_eq!(
+        streamed.lsh_index(),
+        cold.lsh_index(),
+        "refreshed LSH index diverged from a cold rebuild"
+    );
     for class in streamed.registry().classes() {
         let q = InsightQuery::class(class.id()).top_k(3);
         for mode in [Mode::Approximate, Mode::Exact] {

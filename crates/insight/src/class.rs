@@ -8,6 +8,28 @@ use foresight_data::Table;
 use foresight_sketch::SketchCatalog;
 use foresight_viz::ChartSpec;
 
+/// How a class's candidate space relates to pairwise column similarity —
+/// what an index over per-column signatures can prune for it.
+///
+/// Pruned generation is *advisory*: the engine only substitutes an indexed
+/// candidate list when the class declares its scan shape here, and the
+/// class's own [`InsightClass::candidates`] stays the ground truth that
+/// recall is measured against (and the fallback when no index exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidatePruning {
+    /// Candidate space is not pairwise-similarity shaped; always use the
+    /// class's own scan.
+    None,
+    /// Candidates are exactly the unordered pairs of *numeric* columns
+    /// ranked by a |ρ|-like metric (linear, monotonic): an LSH index over
+    /// column signatures covers the whole space.
+    NumericPairs,
+    /// Candidates are unordered pairs over *all* columns (dependence): the
+    /// index covers the numeric×numeric subset; pairs touching a
+    /// non-numeric column must still be enumerated exhaustively.
+    AllPairs,
+}
+
 /// One insight class: applicability rule, ranking metric(s), visualization,
 /// and optional class-level overview visualization.
 pub trait InsightClass: Send + Sync {
@@ -32,6 +54,14 @@ pub trait InsightClass: Send + Sync {
     /// All attribute tuples this class applies to in `table` — the insight
     /// class as a set of candidate feature tuples (§2.1).
     fn candidates(&self, table: &Table) -> Vec<AttrTuple>;
+
+    /// Declares the shape of [`InsightClass::candidates`] for index-assisted
+    /// pruning. Defaults to [`CandidatePruning::None`] (no pruning); classes
+    /// whose candidate space is the pairwise column grid override this so
+    /// the engine's LSH candidate source can stand in for the O(d²) scan.
+    fn pruning(&self) -> CandidatePruning {
+        CandidatePruning::None
+    }
 
     /// Exact score of `attrs` under the primary metric. Higher is stronger.
     /// `None` when the tuple is degenerate (constant column, too few rows).

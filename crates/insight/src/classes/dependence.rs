@@ -7,7 +7,7 @@
 //! * numeric × categorical — the correlation ratio η² (fraction of the
 //!   numeric variance explained by the categories).
 
-use crate::class::{column_name, InsightClass};
+use crate::class::{column_name, CandidatePruning, InsightClass};
 use crate::classes::dispersion::overview_bar;
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
@@ -89,6 +89,10 @@ impl InsightClass for StatisticalDependence {
             .into_iter()
             .map(|(a, b)| AttrTuple::Two(a, b))
             .collect()
+    }
+
+    fn pruning(&self) -> CandidatePruning {
+        CandidatePruning::AllPairs
     }
 
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {

@@ -4,7 +4,7 @@
 //! superimposed. The class overview is the paper's Figure 2: all pairwise
 //! correlations as a circle heatmap.
 
-use crate::class::{column_name, InsightClass};
+use crate::class::{column_name, CandidatePruning, InsightClass};
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
 use foresight_data::PresenceMask;
@@ -116,6 +116,10 @@ impl InsightClass for LinearRelationship {
             .into_iter()
             .map(|(a, b)| AttrTuple::Two(a, b))
             .collect()
+    }
+
+    fn pruning(&self) -> CandidatePruning {
+        CandidatePruning::NumericPairs
     }
 
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {

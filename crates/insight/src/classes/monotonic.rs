@@ -8,7 +8,7 @@
 //! want specifically *nonlinear* monotone pairs (pairs a linear fit does not
 //! already explain).
 
-use crate::class::{column_name, InsightClass};
+use crate::class::{column_name, CandidatePruning, InsightClass};
 use crate::classes::linear::center_columns;
 use crate::types::AttrTuple;
 use crate::util::{pairs, scatter_chart};
@@ -64,6 +64,10 @@ impl InsightClass for MonotonicRelationship {
             .into_iter()
             .map(|(a, b)| AttrTuple::Two(a, b))
             .collect()
+    }
+
+    fn pruning(&self) -> CandidatePruning {
+        CandidatePruning::NumericPairs
     }
 
     fn score(&self, table: &Table, attrs: &AttrTuple) -> Option<f64> {

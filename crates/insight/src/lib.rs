@@ -19,6 +19,6 @@ pub mod registry;
 pub mod types;
 pub mod util;
 
-pub use class::InsightClass;
+pub use class::{CandidatePruning, InsightClass};
 pub use registry::InsightRegistry;
 pub use types::{AttrTuple, InsightInstance};

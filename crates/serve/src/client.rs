@@ -255,4 +255,20 @@ impl Client {
             "ModeSet"
         )
     }
+
+    /// Switches the session's candidate-generation strategy ("auto" /
+    /// "exhaustive" / "lsh" / "lsh:<probes>"); returns the canonical
+    /// spelling now in effect.
+    pub fn set_candidates(&mut self, session: u64, strategy: &str) -> ClientResult<String> {
+        expect_reply!(
+            self.call(
+                Some(session),
+                Command::SetCandidates {
+                    strategy: strategy.to_owned()
+                }
+            )?,
+            Reply::CandidatesSet { strategy } => strategy,
+            "CandidatesSet"
+        )
+    }
 }

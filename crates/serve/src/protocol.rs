@@ -101,6 +101,14 @@ pub enum Command {
         /// The mode name.
         mode: String,
     },
+    /// Override the session's candidate-generation strategy — the
+    /// recall-vs-speed knob for pairwise classes (`"auto"`,
+    /// `"exhaustive"`, `"lsh"`, `"lsh:<probes>"`).
+    SetCandidates {
+        /// The strategy spelling, parsed by
+        /// [`CandidateStrategy::parse`](foresight_engine::CandidateStrategy::parse).
+        strategy: String,
+    },
     /// Test-only: hold the addressed session's worker for `ms`
     /// milliseconds, so shed behavior is deterministic under test.
     /// Rejected (`Unsupported`) unless the server enables test commands.
@@ -130,6 +138,7 @@ impl Command {
             | Command::Save
             | Command::Restore { .. }
             | Command::SetMode { .. }
+            | Command::SetCandidates { .. }
             | Command::Sleep { .. } => Endpoint::Session,
             Command::Query(_) => Endpoint::Query,
             Command::Explain(_) => Endpoint::Explain,
@@ -232,6 +241,11 @@ pub enum Reply {
     Restored,
     /// The mode was switched.
     ModeSet,
+    /// The candidate strategy was switched; echoes the canonical spelling.
+    CandidatesSet {
+        /// The strategy now in effect, in its stable spelling.
+        strategy: String,
+    },
     /// A test-only `Sleep` completed.
     Slept,
 }
@@ -312,6 +326,10 @@ pub struct HelloInfo {
     /// Whether sessions bind to a live stream publication slot (staleness
     /// and `Refresh` are then meaningful).
     pub streaming: bool,
+    /// LSH candidate-index tables built over the catalog's signatures
+    /// (0 = no index; `SetCandidates "lsh"` would fall back to the scan).
+    #[serde(default)]
+    pub lsh_tables: usize,
 }
 
 #[cfg(test)]

@@ -30,7 +30,8 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use foresight_engine::{
-    AdoptPolicy, EngineCore, EngineError, Mode, PublishedCore, Session, SessionHandle,
+    AdoptPolicy, CandidateStrategy, EngineCore, EngineError, Mode, PublishedCore, Session,
+    SessionHandle,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -441,6 +442,7 @@ fn hello_info(shared: &Shared) -> HelloInfo {
         columns: source.schema().names().map(str::to_owned).collect(),
         mode: core.mode().name().to_owned(),
         streaming: matches!(shared.core, ServeCore::Stream(_)),
+        lsh_tables: core.lsh_index().map(|ix| ix.config().tables).unwrap_or(0),
     }
 }
 
@@ -608,6 +610,20 @@ fn handle_job(
                 .map(|()| Reply::ModeSet)
                 .map_err(engine_error)
         }
+        Command::SetCandidates { strategy } => match CandidateStrategy::parse(strategy) {
+            Some(parsed) => {
+                handle.set_candidate_strategy(parsed);
+                Ok(Reply::CandidatesSet {
+                    strategy: parsed.name(),
+                })
+            }
+            None => Err(WireError {
+                code: ErrorCode::BadRequest,
+                message: format!(
+                    "unknown candidate strategy `{strategy}` (auto / exhaustive / lsh / lsh:<n>)"
+                ),
+            }),
+        },
         Command::Sleep { ms } => {
             if !shared.config.enable_test_commands {
                 return Err(WireError {

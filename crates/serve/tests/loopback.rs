@@ -328,3 +328,110 @@ fn stream_backed_sessions_follow_republishes() {
     server.shutdown();
     writer.finish().unwrap();
 }
+
+/// The LSH knob over the wire: a wide-table carousel served in LSH mode
+/// must be bit-identical to an in-process handle under the same strategy,
+/// `SetCandidates` echoes canonical spellings (and rejects junk, typed),
+/// and the EXPLAIN collision counts survive the JSON round-trip exactly.
+#[test]
+fn lsh_carousels_and_explain_counts_survive_the_wire() {
+    use foresight_engine::CandidateStrategy;
+    // a wide table (>= the Auto width threshold) so LSH actually engages
+    let wide = {
+        let mut b = TableBuilder::new("wide-loopback");
+        let noise = |r: usize, c: u64| {
+            let x = (r as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(c * 2531);
+            (x >> 33) as f64 / 1e9
+        };
+        let base: Vec<f64> = (0..96).map(|r| r as f64 + noise(r, 0)).collect();
+        b = b.numeric("w0", base.clone());
+        // a strong planted partner for w0, then independent noise columns
+        b = b.numeric(
+            "w1",
+            base.iter()
+                .enumerate()
+                .map(|(r, v)| v + 0.01 * noise(r, 1))
+                .collect(),
+        );
+        for c in 2..80u64 {
+            b = b.numeric(format!("w{c}"), (0..96).map(|r| noise(r, c)).collect());
+        }
+        b.build().unwrap()
+    };
+    let mut builder = CoreBuilder::new(TableSource::materialized(wide));
+    // pin k=256 signatures: the planner derives (K, L) = (16, 16) from it,
+    // which `hello` must then advertise
+    builder
+        .preprocess(&CatalogConfig {
+            hyperplane_k: Some(256),
+            ..Default::default()
+        })
+        .unwrap();
+    let core = builder.freeze();
+
+    let server = start(ServeCore::Static(Arc::clone(&core)), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let hello = client.hello().unwrap();
+    if core.lsh_index().is_some() {
+        assert_eq!(hello.lsh_tables, 16, "k=256 signatures plan 16 tables");
+    } else {
+        assert_eq!(hello.lsh_tables, 0, "index force-disabled");
+    }
+
+    let session = client.open().unwrap();
+    // canonical echo + typed rejection
+    assert_eq!(client.set_candidates(session, "lsh:4").unwrap(), "lsh:4");
+    assert_eq!(
+        client.set_candidates(session, "exact").unwrap(),
+        "exhaustive"
+    );
+    assert_eq!(
+        server_code(client.set_candidates(session, "nope").unwrap_err()),
+        ErrorCode::BadRequest
+    );
+    assert_eq!(client.set_candidates(session, "lsh").unwrap(), "lsh");
+
+    // carousel in LSH mode: bit-identical to in-process under the knob
+    let mut local = core.handle();
+    local.set_candidate_strategy(CandidateStrategy::Lsh { probes: None });
+    let remote = client.carousels(session, 3).unwrap();
+    let in_process = local.carousels(3).unwrap();
+    assert_eq!(
+        remote, in_process,
+        "LSH-mode carousel drifted over the wire"
+    );
+
+    // and the query path too
+    let q = InsightQuery::class("linear-relationship").top_k(5);
+    assert_eq!(
+        client.query(session, q.clone()).unwrap(),
+        local.query(&q).unwrap()
+    );
+
+    // EXPLAIN candidate counts survive the JSON round-trip
+    let (results, trace) = client.explain(session, q.clone()).unwrap();
+    assert_eq!(results, local.query(&q).unwrap());
+    match trace {
+        Some(trace) => {
+            let wire_lsh = trace.lsh.expect("LSH-strategy explain carries counts");
+            let local_trace = local.explain(&q).unwrap().trace.expect("trace feature on");
+            let local_lsh = local_trace
+                .lsh
+                .expect("LSH-strategy explain carries counts");
+            assert_eq!(wire_lsh.collision_pairs, local_lsh.collision_pairs);
+            assert_eq!(wire_lsh.universe_columns, local_lsh.universe_columns);
+            assert_eq!(wire_lsh.tables_probed, local_lsh.tables_probed);
+            assert_eq!(wire_lsh.universe_columns, 80);
+            assert!(trace
+                .to_text()
+                .contains("candidates from LSH bucket collisions:"));
+        }
+        None => assert!(!cfg!(feature = "trace")),
+    }
+
+    client.close(session).unwrap();
+    server.shutdown();
+}

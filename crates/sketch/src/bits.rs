@@ -93,6 +93,28 @@ impl BitVec {
         h
     }
 
+    /// Extracts `len ≤ 64` consecutive bits starting at `start` as a `u64`
+    /// (bit `start` lands in the result's bit 0). This is the band-key read
+    /// behind the LSH index: each K-bit band of a signature becomes one
+    /// bucket key, so it must be cheap and branch-light.
+    pub fn extract(&self, start: usize, len: usize) -> u64 {
+        assert!(len <= 64, "can extract at most 64 bits");
+        assert!(start + len <= self.len, "bit range out of bounds");
+        if len == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let mut out = self.words[word] >> off;
+        if off + len > 64 {
+            out |= self.words[word + 1] << (64 - off);
+        }
+        if len < 64 {
+            out &= (1u64 << len) - 1;
+        }
+        out
+    }
+
     /// Memory consumed by the packed words, in bytes.
     pub fn size_bytes(&self) -> usize {
         self.words.len() * 8
@@ -137,6 +159,28 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn hamming_length_mismatch_panics() {
         let _ = BitVec::zeros(3).hamming(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn extract_reads_bands() {
+        // Bits 0..128 alternate 1,0,1,0,... → every even bit set.
+        let v = BitVec::from_bools((0..128).map(|i| i % 2 == 0));
+        assert_eq!(v.extract(0, 16), 0x5555);
+        assert_eq!(v.extract(1, 16), 0x2AAA | 0x8000); // shifted view
+        assert_eq!(v.extract(0, 1), 1);
+        assert_eq!(v.extract(1, 1), 0);
+        assert_eq!(v.extract(0, 0), 0);
+        // Straddles the word boundary at bit 64.
+        assert_eq!(v.extract(56, 16), 0x5555);
+        // Full-word extract.
+        assert_eq!(v.extract(0, 64), 0x5555_5555_5555_5555);
+        assert_eq!(v.extract(64, 64), 0x5555_5555_5555_5555);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn extract_out_of_range_panics() {
+        let _ = BitVec::zeros(32).extract(20, 16);
     }
 
     #[test]

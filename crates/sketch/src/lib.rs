@@ -5,6 +5,9 @@
 //!
 //! * [`hyperplane`] — random hyperplane (SimHash) correlation sketch, the
 //!   paper's worked example: `ρ̂ = cos(πH/k)` from `|B|·k` bits
+//! * [`lsh`] — banded multi-table LSH index over the hyperplane signatures:
+//!   K-bit band keys × L tables turn the per-column sketches into an
+//!   ~O(d·L) candidate generator for pairwise insight classes
 //! * [`quantile`] — Greenwald–Khanna and KLL quantile sketches
 //! * [`freq`] — Misra–Gries, SpaceSaving, Count-Min frequent-items sketches
 //! * [`hll`] — HyperLogLog distinct counting
@@ -25,6 +28,7 @@ pub mod entropy;
 pub mod freq;
 pub mod hll;
 pub mod hyperplane;
+pub mod lsh;
 pub mod projection;
 pub mod quantile;
 pub mod sample;
@@ -38,6 +42,7 @@ pub use entropy::EntropySketch;
 pub use freq::{CountMin, MisraGries, SpaceSaving};
 pub use hll::HyperLogLog;
 pub use hyperplane::{HyperplaneConfig, HyperplaneSketch, SharedHyperplanes};
+pub use lsh::{LshConfig, LshIndex, LshSkip};
 pub use projection::{ProjectionConfig, ProjectionSketch, SharedProjections};
 pub use quantile::{GkSketch, KllSketch};
 pub use sample::{PairReservoir, Reservoir};

@@ -1,0 +1,403 @@
+//! Multi-table LSH index over per-column hyperplane signatures.
+//!
+//! The catalog already stores a k-bit SimHash signature per numeric column;
+//! until now those signatures were used only as *estimators* (`ρ̂ =
+//! cos(πH/k)`), never as an *index*, so every pairwise insight class still
+//! scanned all O(d²) column pairs. This module turns the signatures into a
+//! banded LSH index: the k bits are split into `L` disjoint bands of `K`
+//! bits each, and every band value becomes a bucket key in its own table.
+//! Two columns with correlation ρ agree on one signature bit with
+//! probability `p = 1 − arccos(ρ)/π`, so they collide in a given table with
+//! probability `p^K`, and in at least one of `L` tables with probability
+//! `1 − (1 − p^K)^L` — the classic S-curve that passes high-|ρ| pairs and
+//! suppresses near-independent ones. Candidate generation then walks bucket
+//! contents (~O(d·L) for well-spread data) instead of enumerating d² pairs,
+//! and the engine re-scores the survivors with the exact or sketch scorer.
+//!
+//! Anti-correlation: `ρ ≈ −1` flips every signature bit, so a raw band key
+//! would never collide. Each band key is therefore *canonicalized* to
+//! `min(key, !key & mask)` — a column and its negation share every bucket,
+//! and strongly anti-correlated pairs surface exactly like strongly
+//! correlated ones (the paper's classes rank by |ρ|).
+//!
+//! Determinism: bucket vectors are kept sorted by column index, skips live
+//! in a `BTreeMap`, and all randomness comes from the already-deterministic
+//! signatures — so a rebuild, a shard-merged build, and an incremental
+//! refresh of the same catalog state produce *identical* indexes.
+
+use crate::catalog::{NumericSketches, SketchCatalog};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Default band width K in bits. With 16-bit canonical keys a chance
+/// collision between independent columns costs `≈ 2⁻¹⁵` per table, while a
+/// ρ = 0.95 pair still collides in a given table with `p^K ≈ 0.69`.
+pub const DEFAULT_BAND_BITS: usize = 16;
+
+/// Cap on the number of tables L, independent of signature width.
+pub const MAX_TABLES: usize = 32;
+
+/// Banding plan: `K`-bit keys × `L` tables over a `k`-bit signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Band width K — bits per bucket key.
+    pub band_bits: usize,
+    /// Number of tables L (disjoint bands; `band_bits·tables ≤ k`).
+    pub tables: usize,
+}
+
+impl LshConfig {
+    /// Plans banding from the signature width: `K = min(16, k)` and
+    /// `L = clamp(k / K, 1, MAX_TABLES)`. Degenerate widths (`k < K`)
+    /// collapse to a single table over the whole signature rather than
+    /// failing. Returns `None` only for an empty signature.
+    pub fn plan(signature_bits: usize) -> Option<Self> {
+        if signature_bits == 0 {
+            return None;
+        }
+        let band_bits = DEFAULT_BAND_BITS.min(signature_bits);
+        let tables = (signature_bits / band_bits).clamp(1, MAX_TABLES);
+        Some(Self { band_bits, tables })
+    }
+
+    /// Probability that a pair with bit-match probability `p` collides in at
+    /// least one of the first `probes` tables: `1 − (1 − p^K)^probes`.
+    pub fn collision_probability(&self, bit_match: f64, probes: usize) -> f64 {
+        let p = bit_match.clamp(0.0, 1.0);
+        let band = p.powi(self.band_bits as i32);
+        1.0 - (1.0 - band).powi(probes.min(self.tables) as i32)
+    }
+}
+
+/// Why a column was left out of the index — typed, never a panic. Skipped
+/// columns simply produce no LSH candidates; callers that must see them
+/// (e.g. a class whose candidate space includes constant columns) fall back
+/// to the exhaustive scan for those pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LshSkip {
+    /// Every value in the column is missing — the signature carries no
+    /// information (all bits come from the `dot − mean·g_sum ≥ 0` tie rule).
+    AllMissing,
+    /// The column is constant: zero variance, signature is degenerate and
+    /// would collide with every other constant column by construction.
+    ConstantColumn,
+}
+
+impl LshSkip {
+    /// Stable label for traces and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            LshSkip::AllMissing => "all_missing",
+            LshSkip::ConstantColumn => "constant_column",
+        }
+    }
+}
+
+/// The multi-table index: `tables[t]` maps a canonical K-bit band key to the
+/// sorted list of column indices whose signature lands in that bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LshIndex {
+    config: LshConfig,
+    signature_bits: usize,
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    /// Per-column canonical band keys (one per table), kept so a column can
+    /// be removed from its buckets without re-reading the old signature.
+    keys: BTreeMap<usize, Vec<u64>>,
+    /// Columns excluded from the index, with the typed reason.
+    skipped: BTreeMap<usize, LshSkip>,
+}
+
+impl LshIndex {
+    /// Builds the index from a catalog's hyperplane signatures. Returns
+    /// `None` when the catalog has no usable signature width.
+    pub fn build(catalog: &SketchCatalog) -> Option<Self> {
+        let config = LshConfig::plan(catalog.hyperplane_config().k)?;
+        let mut index = LshIndex {
+            config,
+            signature_bits: catalog.hyperplane_config().k,
+            tables: vec![HashMap::new(); config.tables],
+            keys: BTreeMap::new(),
+            skipped: BTreeMap::new(),
+        };
+        for col in catalog.numeric_indices() {
+            index.insert_column(col, catalog);
+        }
+        Some(index)
+    }
+
+    /// Incrementally refreshes after streamed appends: every dirty column is
+    /// removed from its buckets and re-inserted from its current signature.
+    /// Clean columns keep bit-identical signatures across an append, so the
+    /// result is identical to a cold [`LshIndex::build`] of the new catalog.
+    pub fn refresh(&mut self, catalog: &SketchCatalog, dirty_columns: &[usize]) {
+        debug_assert_eq!(self.signature_bits, catalog.hyperplane_config().k);
+        let numeric: BTreeSet<usize> = catalog.numeric_indices().into_iter().collect();
+        for &col in dirty_columns {
+            self.remove_column(col);
+            if numeric.contains(&col) {
+                self.insert_column(col, catalog);
+            }
+        }
+    }
+
+    /// The banding plan in effect.
+    pub fn config(&self) -> LshConfig {
+        self.config
+    }
+
+    /// Number of columns carried in buckets.
+    pub fn indexed_columns(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Columns excluded from the index with their typed reason.
+    pub fn skips(&self) -> &BTreeMap<usize, LshSkip> {
+        &self.skipped
+    }
+
+    /// Total columns the index has seen (indexed + skipped) — the `d` in the
+    /// "N of d²" candidate-universe report.
+    pub fn universe_columns(&self) -> usize {
+        self.keys.len() + self.skipped.len()
+    }
+
+    /// All unordered column pairs `(i < j)` that collide in at least one of
+    /// the first `probes` tables, sorted ascending. `probes` is the
+    /// recall-vs-speed knob: each extra table adds `1 − (1−p^K)` recall mass
+    /// and one more bucket walk. Clamped to `[1, L]`. Returns the pairs and
+    /// the number of tables actually probed.
+    pub fn candidate_pairs(&self, probes: usize) -> (Vec<(usize, usize)>, usize) {
+        let probed = probes.clamp(1, self.config.tables);
+        let mut pairs = BTreeSet::new();
+        for table in &self.tables[..probed] {
+            for bucket in table.values() {
+                for (n, &a) in bucket.iter().enumerate() {
+                    for &b in &bucket[n + 1..] {
+                        pairs.insert((a, b)); // buckets are sorted: a < b
+                    }
+                }
+            }
+        }
+        (pairs.into_iter().collect(), probed)
+    }
+
+    /// Classifies a column: the signature to index, or the typed skip.
+    fn classify(sketches: &NumericSketches) -> Result<(), LshSkip> {
+        if sketches.moments.count() == 0 {
+            Err(LshSkip::AllMissing)
+        } else if sketches.moments.population_variance() > 0.0 {
+            Ok(())
+        } else {
+            // Zero variance, or NaN variance (single present value).
+            Err(LshSkip::ConstantColumn)
+        }
+    }
+
+    fn insert_column(&mut self, col: usize, catalog: &SketchCatalog) {
+        let Some(sketches) = catalog.numeric(col) else {
+            return;
+        };
+        if let Err(skip) = Self::classify(sketches) {
+            self.skipped.insert(col, skip);
+            return;
+        }
+        let bits = sketches.hyperplane.bits();
+        let mask = if self.config.band_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.band_bits) - 1
+        };
+        let mut keys = Vec::with_capacity(self.config.tables);
+        for t in 0..self.config.tables {
+            let raw = bits.extract(t * self.config.band_bits, self.config.band_bits);
+            // Canonical form: a signature and its complement share a key, so
+            // ρ ≈ −1 pairs collide exactly like ρ ≈ +1 pairs.
+            let key = raw.min(!raw & mask);
+            let bucket = self.tables[t].entry(key).or_default();
+            let pos = bucket.partition_point(|&c| c < col);
+            if bucket.get(pos) != Some(&col) {
+                bucket.insert(pos, col);
+            }
+            keys.push(key);
+        }
+        self.keys.insert(col, keys);
+    }
+
+    fn remove_column(&mut self, col: usize) {
+        self.skipped.remove(&col);
+        let Some(keys) = self.keys.remove(&col) else {
+            return;
+        };
+        for (t, key) in keys.into_iter().enumerate() {
+            if let Some(bucket) = self.tables[t].get_mut(&key) {
+                if let Ok(pos) = bucket.binary_search(&col) {
+                    bucket.remove(pos);
+                }
+                if bucket.is_empty() {
+                    // Keep `tables` identical to a cold rebuild, which never
+                    // materializes empty buckets.
+                    self.tables[t].remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (buckets + key cache).
+    pub fn size_bytes(&self) -> usize {
+        let buckets: usize = self
+            .tables
+            .iter()
+            .map(|t| t.values().map(|b| 16 + b.len() * 8).sum::<usize>())
+            .sum();
+        buckets + self.keys.len() * (8 + self.config.tables * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogConfig, SketchCatalog};
+    use foresight_data::{Table, TableBuilder};
+
+    fn table_from(cols: Vec<(&str, Vec<f64>)>) -> Table {
+        let mut b = TableBuilder::new("t");
+        for (n, v) in cols {
+            b = b.numeric(n, v);
+        }
+        b.build().unwrap()
+    }
+
+    fn catalog(table: &Table) -> SketchCatalog {
+        SketchCatalog::build(table, &CatalogConfig::default())
+    }
+
+    #[test]
+    fn plan_banding_math() {
+        let c = LshConfig::plan(256).unwrap();
+        assert_eq!(c.band_bits, 16);
+        assert_eq!(c.tables, 16);
+        // Degenerate width: one table spanning the whole signature.
+        let c = LshConfig::plan(7).unwrap();
+        assert_eq!(c.band_bits, 7);
+        assert_eq!(c.tables, 1);
+        // Very wide signatures cap at MAX_TABLES.
+        let c = LshConfig::plan(16 * 100).unwrap();
+        assert_eq!(c.tables, MAX_TABLES);
+        assert!(LshConfig::plan(0).is_none());
+    }
+
+    #[test]
+    fn collision_probability_s_curve() {
+        let c = LshConfig {
+            band_bits: 16,
+            tables: 16,
+        };
+        // Near-perfect correlation → near-certain collision.
+        let high = c.collision_probability(0.99, 16);
+        // Independent columns (p = 0.5) → vanishing collision probability.
+        let low = c.collision_probability(0.5, 16);
+        assert!(high > 0.9, "high-match collision prob {high}");
+        assert!(low < 0.001, "independent collision prob {low}");
+        // More probes never lowers recall.
+        assert!(c.collision_probability(0.9, 16) >= c.collision_probability(0.9, 1));
+    }
+
+    #[test]
+    fn duplicate_columns_always_collide() {
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let t = table_from(vec![
+            ("a", vals.clone()),
+            ("b", vals.clone()),
+            (
+                "noise",
+                (0..200).map(|i| ((i * 37 + 11) % 101) as f64).collect(),
+            ),
+        ]);
+        let ix = LshIndex::build(&catalog(&t)).unwrap();
+        // Identical signatures share every band key, so the self-pair is
+        // present even at the cheapest knob setting (1 table probed).
+        let (pairs, probed) = ix.candidate_pairs(1);
+        assert_eq!(probed, 1);
+        assert!(pairs.contains(&(0, 1)), "duplicate pair missing: {pairs:?}");
+    }
+
+    #[test]
+    fn anticorrelated_columns_collide() {
+        let vals: Vec<f64> = (0..300).map(|i| (i as f64 * 0.31).sin() * 5.0).collect();
+        let neg: Vec<f64> = vals.iter().map(|v| -v).collect();
+        let t = table_from(vec![("a", vals), ("b", neg)]);
+        let ix = LshIndex::build(&catalog(&t)).unwrap();
+        let (pairs, _) = ix.candidate_pairs(usize::MAX);
+        assert!(
+            pairs.contains(&(0, 1)),
+            "ρ = −1 pair must collide via canonical keys: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn constant_and_all_nan_columns_get_typed_skips() {
+        let t = table_from(vec![
+            ("x", (0..100).map(|i| (i as f64).cos()).collect()),
+            ("const", vec![4.25; 100]),
+            ("nan", vec![f64::NAN; 100]),
+        ]);
+        let ix = LshIndex::build(&catalog(&t)).unwrap();
+        assert_eq!(ix.indexed_columns(), 1);
+        assert_eq!(ix.skips().get(&1), Some(&LshSkip::ConstantColumn));
+        assert_eq!(ix.skips().get(&2), Some(&LshSkip::AllMissing));
+        assert_eq!(ix.universe_columns(), 3);
+        let (pairs, _) = ix.candidate_pairs(usize::MAX);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn refresh_matches_cold_rebuild() {
+        let base: Vec<Vec<f64>> = (0..6)
+            .map(|c| {
+                (0..400)
+                    .map(|i| ((i * (c + 3) + 17) % 997) as f64 * 0.01)
+                    .collect()
+            })
+            .collect();
+        let t = table_from(
+            base.iter()
+                .enumerate()
+                .map(|(c, v)| (["a", "b", "c", "d", "e", "f"][c], v.clone()))
+                .collect(),
+        );
+        let cat = catalog(&t);
+        let mut incremental = LshIndex::build(&cat).unwrap();
+        // Pretend columns 1 and 4 changed: refresh against the same catalog
+        // must be a no-op that still round-trips remove+insert.
+        incremental.refresh(&cat, &[1, 4]);
+        let cold = LshIndex::build(&cat).unwrap();
+        assert_eq!(incremental, cold);
+    }
+
+    #[test]
+    fn candidate_pairs_probe_clamping() {
+        let t = table_from(vec![
+            ("a", (0..128).map(|i| i as f64).collect()),
+            ("b", (0..128).map(|i| (i as f64) * 2.0 + 1.0).collect()),
+        ]);
+        let ix = LshIndex::build(&catalog(&t)).unwrap();
+        let l = ix.config().tables;
+        assert_eq!(ix.candidate_pairs(0).1, 1);
+        assert_eq!(ix.candidate_pairs(usize::MAX).1, l);
+        // Perfectly linear pair: identical or fully-complemented signatures,
+        // so it collides regardless of the probe budget.
+        assert!(ix.candidate_pairs(1).0.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = table_from(vec![
+            ("a", (0..100).map(|i| (i as f64).sin()).collect()),
+            ("b", (0..100).map(|i| (i as f64).sin() + 0.01).collect()),
+        ]);
+        let ix = LshIndex::build(&catalog(&t)).unwrap();
+        let json = serde_json::to_string(&ix).unwrap();
+        let back: LshIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(ix, back);
+    }
+}

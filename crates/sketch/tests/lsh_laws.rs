@@ -1,0 +1,139 @@
+//! Merge laws of the LSH candidate index, under random shard splits.
+//!
+//! The index is a pure function of the catalog's per-column hyperplane
+//! signatures, and those signatures are row-keyed (deterministic per
+//! global row, independent of sharding). So a table split into shards —
+//! any split, including empty shards and shards whose columns carry no
+//! present value — sketched per shard and merged, must yield *exactly*
+//! the same index as a single-pass build: same planned (K, L), same
+//! bucket contents, same typed skips.
+
+use foresight_data::{Table, TableBuilder};
+use foresight_sketch::{CatalogConfig, LshIndex, SketchCatalog};
+use proptest::prelude::*;
+
+/// A deterministic table: `rows` rows of `cols` numeric columns, with a
+/// planted near-duplicate pair (0, 1), one constant column, and one
+/// all-NaN column when `cols` allows.
+fn synth_table(rows: usize, cols: usize, seed: u64) -> Table {
+    let noise = |r: usize, c: usize| {
+        let x = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed.wrapping_add(c as u64).wrapping_mul(97));
+        (x >> 33) as f64 / u32::MAX as f64 - 0.5
+    };
+    let mut b = TableBuilder::new("lsh-laws");
+    for c in 0..cols {
+        let values: Vec<f64> = (0..rows)
+            .map(|r| match c {
+                // near-duplicate pair: column 1 tracks column 0
+                0 => r as f64 + noise(r, 0),
+                1 => r as f64 + noise(r, 0) + 0.01 * noise(r, 1),
+                // a constant column (typed skip: constant_column)
+                2 => 42.0,
+                // an all-NaN column (typed skip: all_missing)
+                3 => f64::NAN,
+                _ => noise(r, c) * (c as f64 + 1.0),
+            })
+            .collect();
+        b = b.numeric(format!("n{c}"), values);
+    }
+    b.build().unwrap()
+}
+
+/// Splits `table` into three row ranges at `(i, j)` (either may produce an
+/// empty shard).
+fn split3(table: &Table, i: usize, j: usize) -> Vec<Table> {
+    let rows = table.n_rows();
+    let (a, b) = (i.min(j) % (rows + 1), i.max(j) % (rows + 1));
+    let (a, b) = (a.min(b), a.max(b));
+    [(0, a), (a, b), (b, rows)]
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut builder = TableBuilder::new("lsh-laws");
+            for c in 0..table.n_cols() {
+                let values = table.numeric(c).unwrap().values()[lo..hi].to_vec();
+                builder = builder.numeric(format!("n{c}"), values);
+            }
+            builder.build().unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random 3-way shard splits — including empty shards (split point at
+    /// 0 or `rows`) and shards where the all-NaN column contributes
+    /// nothing — build the same index as a single pass.
+    #[test]
+    fn sharded_build_equals_single_pass(
+        seed in 0u64..1000,
+        rows in 24usize..96,
+        cols in 6usize..12,
+        i in 0usize..200,
+        j in 0usize..200,
+    ) {
+        let table = synth_table(rows, cols, seed);
+        let config = CatalogConfig::default();
+        let single = SketchCatalog::build(&table, &config);
+        let shards = split3(&table, i, j);
+        let shard_refs: Vec<&Table> = shards.iter().collect();
+        let merged = SketchCatalog::build_sharded(&shard_refs, &config).unwrap();
+
+        let from_single = LshIndex::build(&single).expect("numeric columns present");
+        let from_merged = LshIndex::build(&merged).expect("numeric columns present");
+        prop_assert_eq!(&from_single, &from_merged);
+
+        // the planted near-duplicates always collide, regardless of split
+        let (pairs, _) = from_merged.candidate_pairs(usize::MAX);
+        prop_assert!(
+            pairs.contains(&(0, 1)),
+            "planted duplicate pair lost under split ({}, {}): {:?}",
+            i, j, pairs
+        );
+
+        // typed skips survive the merge identically
+        prop_assert!(from_merged.skips().contains_key(&2), "constant column skip");
+        prop_assert!(from_merged.skips().contains_key(&3), "all-NaN column skip");
+    }
+
+    /// Merge order over the three shards is irrelevant: (A·B)·C == A·(B·C)
+    /// at the index level.
+    #[test]
+    fn shard_merge_grouping_is_irrelevant(
+        seed in 0u64..1000,
+        rows in 24usize..72,
+        i in 0usize..100,
+        j in 0usize..100,
+    ) {
+        use foresight_sketch::Mergeable;
+        let table = synth_table(rows, 8, seed);
+        let config = CatalogConfig::default();
+        let shards = split3(&table, i, j);
+        let offsets = [
+            0u64,
+            shards[0].n_rows() as u64,
+            (shards[0].n_rows() + shards[1].n_rows()) as u64,
+        ];
+        let built: Vec<SketchCatalog> = shards
+            .iter()
+            .zip(offsets)
+            .map(|(s, off)| SketchCatalog::build_shard(s, &config, off))
+            .collect();
+
+        let mut left = built[0].clone();
+        left.merge(&built[1]).unwrap();
+        left.merge(&built[2]).unwrap();
+
+        let mut bc = built[1].clone();
+        bc.merge(&built[2]).unwrap();
+        let mut right = built[0].clone();
+        right.merge(&bc).unwrap();
+
+        prop_assert_eq!(
+            LshIndex::build(&left).unwrap(),
+            LshIndex::build(&right).unwrap()
+        );
+    }
+}

@@ -40,6 +40,9 @@ commands:
   profile                      dataset profile: column summaries + headline insights
   overview <class>             the class overview chart (Figure 2 for linear)
   mode exact|approx            switch scoring mode (approx builds sketches once)
+  candidates <strategy>        auto | exhaustive | lsh | lsh:<probes> — how
+                               pairwise classes generate candidates (LSH needs
+                               the sketch catalog; try `mode approx` first)
   stats                        score-cache counters (hits, misses, purges, shards)
   metrics [json|reset]         engine telemetry: per-stage latencies + query counters
   explain <class> [k]          run a query with a forced trace and show the full
@@ -232,6 +235,17 @@ impl Repl {
                 }
                 _ => println!("usage: mode exact|approx"),
             },
+            "candidates" => match rest.first().copied().and_then(CandidateStrategy::parse) {
+                Some(strategy) => {
+                    self.engine.set_candidate_strategy(strategy);
+                    let note = match (strategy, self.engine.core().lsh_index()) {
+                        (CandidateStrategy::Exhaustive, _) | (_, Some(_)) => String::new(),
+                        _ => " (no LSH index yet — build sketches with `mode approx`)".to_owned(),
+                    };
+                    println!("candidates: {}{note}", strategy.name());
+                }
+                None => println!("usage: candidates auto|exhaustive|lsh|lsh:<probes>"),
+            },
             "stats" => {
                 let stats = self.engine.cache_stats();
                 let total = stats.hits + stats.misses;
@@ -374,6 +388,8 @@ remote commands (session lives on the server):
   carousels [k]                one ranked strip per class (Figure 1)
   profile                      dataset profile (computed server-side)
   mode exact|approx            switch the session's scoring mode
+  candidates <strategy>        auto | exhaustive | lsh | lsh:<probes> — the
+                               session's candidate-generation knob
   metrics [json]               server metrics: admission control + engine telemetry
   explain <class> [k]          traced query (server needs --features trace)
   slowlog                      the server's slow-query log
@@ -542,6 +558,13 @@ impl RemoteRepl {
                     Err(e) => return report(e),
                 },
                 _ => println!("usage: mode exact|approx"),
+            },
+            "candidates" => match rest.first() {
+                Some(&strategy) => match self.client.set_candidates(self.session, strategy) {
+                    Ok(applied) => println!("candidates: {applied}"),
+                    Err(e) => return report(e),
+                },
+                None => println!("usage: candidates auto|exhaustive|lsh|lsh:<probes>"),
             },
             "metrics" => match self.client.metrics() {
                 Ok(snapshot) => match rest.first() {

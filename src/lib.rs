@@ -89,10 +89,11 @@ pub mod prelude {
     pub use foresight_data::datasets;
     pub use foresight_data::{Table, TableBuilder, TableSource};
     pub use foresight_engine::{
-        profile, AdoptPolicy, Carousel, ColumnProfile, CoreBuilder, DatasetProfile, EngineCore,
-        EngineError, Executor, Explained, Foresight, InsightQuery, Metrics, MetricsSnapshot, Mode,
-        NeighborhoodWeights, PublishedCore, QueryTrace, RepublishPolicy, Session, SessionHandle,
-        SlowQuery, Staleness, StreamConfig, StreamWriter, Tracer,
+        profile, AdoptPolicy, CandidateStrategy, Carousel, ColumnProfile, CoreBuilder,
+        DatasetProfile, EngineCore, EngineError, Executor, Explained, Foresight, InsightQuery,
+        Metrics, MetricsSnapshot, Mode, NeighborhoodWeights, PublishedCore, QueryTrace,
+        RepublishPolicy, Session, SessionHandle, SlowQuery, Staleness, StreamConfig, StreamWriter,
+        Tracer,
     };
     pub use foresight_insight::{AttrTuple, InsightClass, InsightInstance, InsightRegistry};
     pub use foresight_sketch::{CatalogConfig, SketchCatalog};

@@ -242,3 +242,117 @@ fn duplicate_heavy_table() {
         .unwrap();
     explore_everything(Foresight::new(table));
 }
+
+/// LSH candidate generation under degenerate inputs. The index plans its
+/// band width from the signature, so a signature narrower than one
+/// default band (k < K) must clamp to a single full-signature band —
+/// never panic, never produce an empty plan. Constant and all-NaN columns
+/// become *typed* skips (`constant_column` / `all_missing`), and an exact
+/// duplicate pair must always collide: identical values mean identical
+/// signatures, so the self-pair can never go missing at any probe count.
+#[test]
+fn lsh_degenerate_widths_and_typed_skips() {
+    use foresight::sketch::{LshIndex, SketchCatalog};
+    let noise = |r: usize, c: u64| {
+        let x = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(c * 1013);
+        (x >> 33) as f64 / 1e9
+    };
+    let dup: Vec<f64> = (0..200).map(|r| r as f64 + noise(r, 0)).collect();
+    let mut b = TableBuilder::new("degenerate-lsh")
+        .numeric("dup_a", dup.clone())
+        .numeric("dup_b", dup)
+        .numeric("constant", vec![42.0; 200])
+        .numeric("all_nan", vec![f64::NAN; 200]);
+    for c in 0..4 {
+        b = b.numeric(
+            format!("noise{c}"),
+            (0..200).map(|r| noise(r, c + 10)).collect(),
+        );
+    }
+    let table = b.build().unwrap();
+
+    // k = 8 signature bits < the default 16-bit band: plan must clamp to
+    // one band of 8 bits, one table
+    for k in [8usize, 16, 64] {
+        let catalog = SketchCatalog::build(
+            &table,
+            &CatalogConfig {
+                hyperplane_k: Some(k),
+                ..Default::default()
+            },
+        );
+        let index = LshIndex::build(&catalog).expect("numeric columns present");
+        let config = index.config();
+        assert!(config.band_bits <= k.min(16), "band wider than signature");
+        assert!(config.tables >= 1);
+        // typed skips, by name — never a panic, never silently indexed
+        assert_eq!(
+            index.skips().get(&2).map(|s| s.name()),
+            Some("constant_column")
+        );
+        assert_eq!(index.skips().get(&3).map(|s| s.name()), Some("all_missing"));
+        // the duplicate pair collides at every probe depth
+        for probes in 1..=config.tables {
+            let (pairs, _) = index.candidate_pairs(probes);
+            assert!(
+                pairs.contains(&(0, 1)),
+                "duplicate self-pair missing at k={k}, probes={probes}"
+            );
+        }
+    }
+}
+
+/// Forcing the LSH strategy on degenerate tables never panics and never
+/// breaks the facade contract: narrow tables, tables with no catalog
+/// (nothing to index — the strategy falls back to the scan), and tables
+/// made entirely of skip-typed columns all degrade to ordinary answers.
+#[test]
+fn lsh_strategy_degrades_gracefully() {
+    // no catalog at all: Lsh falls back to the class scan in exact mode
+    let mut bare = Foresight::new(degenerate_mix());
+    bare.set_candidate_strategy(CandidateStrategy::parse("lsh").unwrap());
+    explore_everything(bare);
+
+    // catalog + index present, but every column is constant or missing:
+    // the collision set is empty or trivial — queries stay finite
+    let all_degenerate = TableBuilder::new("all-degenerate")
+        .numeric("c1", vec![1.0; 64])
+        .numeric("c2", vec![2.0; 64])
+        .numeric("n1", vec![f64::NAN; 64])
+        .build()
+        .unwrap();
+    let mut fs = Foresight::new(all_degenerate);
+    fs.preprocess(&CatalogConfig::default()).unwrap();
+    fs.set_candidate_strategy(CandidateStrategy::Lsh { probes: Some(3) });
+    explore_everything(fs);
+
+    // a healthy wide-ish table under an absurd probe count: clamped to L,
+    // answers equal the all-tables probe
+    let mut wide = TableBuilder::new("wide");
+    for c in 0..70u64 {
+        wide = wide.numeric(
+            format!("w{c}"),
+            (0..128)
+                .map(|r: usize| {
+                    let x = (r as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(c * 977);
+                    (x >> 33) as f64 / 1e9
+                })
+                .collect(),
+        );
+    }
+    let table = wide.build().unwrap();
+    let mut fs = Foresight::new(table);
+    fs.preprocess(&CatalogConfig::default()).unwrap();
+    let q = InsightQuery::class("linear-relationship").top_k(5);
+    fs.set_candidate_strategy(CandidateStrategy::Lsh {
+        probes: Some(usize::MAX),
+    });
+    let clamped = fs.query(&q).unwrap();
+    fs.set_candidate_strategy(CandidateStrategy::Lsh { probes: None });
+    let all = fs.query(&q).unwrap();
+    assert_eq!(clamped, all);
+}
