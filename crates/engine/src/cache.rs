@@ -554,6 +554,24 @@ impl ScoreCache {
         self.len() == 0
     }
 
+    /// Approximate resident bytes: score entries at their key + value +
+    /// hash-table-slot footprint, plus the memoized description strings.
+    /// An estimate for the monitor's resource gauges, not allocator truth.
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<CacheKey>()
+            + std::mem::size_of::<Option<f64>>()
+            + 16 // hash-table slot overhead (control byte + slack)
+            + 24; // AttrTuple spill: typical small-vec heap share
+        let scores = self.len() * per_entry;
+        let details: usize = self
+            .details
+            .read()
+            .iter()
+            .map(|(k, v)| std::mem::size_of_val(k) + v.len() + 16)
+            .sum();
+        scores + details
+    }
+
     /// A snapshot of the aggregate and per-shard counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let mut shard_entries = [0usize; CACHE_SHARDS];

@@ -233,9 +233,63 @@ impl EngineCore {
     }
 
     /// A deterministic point-in-time snapshot of the telemetry registry,
-    /// with score-cache traffic folded in.
+    /// with score-cache traffic and resource gauges folded in.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot_with_cache(Some(&self.cache.stats()))
+        let mut snap = self.metrics.snapshot_with_cache(Some(&self.cache.stats()));
+        snap.resources = Some(self.resource_snapshot(snap.serve.sessions_live()));
+        snap
+    }
+
+    /// Approximate resident-memory gauges for the core's long-lived
+    /// structures. `sessions_live` comes from the serve counters (0 when
+    /// no front end is attached) and prices the server's session table.
+    pub fn resource_snapshot(&self, sessions_live: u64) -> crate::telemetry::ResourceSnapshot {
+        // a server-side session entry: SessionHandle (core Arc + session
+        // state + focus set) plus the table's key/last-touch bookkeeping
+        const SESSION_ENTRY_BYTES: u64 = 512;
+        crate::telemetry::ResourceSnapshot {
+            catalog_bytes: self.catalog.as_ref().map_or(0, |c| c.approx_bytes()) as u64,
+            cache_bytes: self.cache.approx_bytes() as u64,
+            lsh_bytes: self.lsh.as_deref().map_or(0, |l| l.size_bytes()) as u64,
+            trace_bytes: self.tracer.approx_bytes() as u64,
+            session_table_bytes: sessions_live * SESSION_ENTRY_BYTES,
+            sessions_live,
+        }
+    }
+
+    /// The instantaneous health of this snapshot under `policy` — the
+    /// conditions that need no sampling window (catalog presence, stream
+    /// lag, cumulative cache hit rate). A running [`Monitor`] layers the
+    /// windowed conditions (shed rate) and hysteresis on top of these.
+    ///
+    /// [`Monitor`]: crate::monitor::Monitor
+    pub fn health(&self, policy: &crate::monitor::HealthPolicy) -> crate::monitor::HealthState {
+        use crate::monitor::{HealthReason, HealthState};
+        if self.catalog.is_none() {
+            return HealthState::Unready(vec![HealthReason::CoreNotReady]);
+        }
+        let mut reasons = Vec::new();
+        let rows_behind = self.rows_behind();
+        if policy.max_rows_behind > 0 && rows_behind > policy.max_rows_behind {
+            reasons.push(HealthReason::StreamLagging {
+                rows_behind,
+                bound: policy.max_rows_behind,
+            });
+        }
+        if policy.min_hit_rate > 0.0 {
+            let stats = self.cache.stats();
+            if stats.hits + stats.misses > 0 && stats.hit_rate() < policy.min_hit_rate {
+                reasons.push(HealthReason::LowCacheHitRate {
+                    hit_rate: stats.hit_rate(),
+                    floor: policy.min_hit_rate,
+                });
+            }
+        }
+        if reasons.is_empty() {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded(reasons)
+        }
     }
 
     /// The shared request-tracing registry: recent traces, the slow-query

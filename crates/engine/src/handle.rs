@@ -439,6 +439,12 @@ impl SessionHandle {
         self.core.metrics_snapshot()
     }
 
+    /// The instantaneous health of this session's core under `policy` —
+    /// see [`EngineCore::health`].
+    pub fn health(&self, policy: &crate::monitor::HealthPolicy) -> crate::monitor::HealthState {
+        self.core.health(policy)
+    }
+
     /// Writes this session's state (focus set + history) to any writer.
     pub fn save_session(&self, writer: impl std::io::Write) -> Result<()> {
         self.session.save(writer)

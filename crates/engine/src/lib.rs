@@ -16,6 +16,9 @@
 //! * [`session`] — focus set, history, save/restore
 //! * [`stream`] — streaming ingest: a writer thread republishing
 //!   snapshots at bounded cadence, with optional tail-window catalogs
+//! * [`monitor`] — continuous self-monitoring: a sampler thread deriving
+//!   rate/latency series from snapshot deltas, a threshold watchdog with
+//!   hysteresis, and `Healthy`/`Degraded`/`Unready` health gating
 //! * [`recommend`] — Figure-1 carousel assembly
 //! * [`telemetry`] — per-stage latency histograms and query counters
 //!   (compiled out without the `telemetry` cargo feature)
@@ -34,6 +37,7 @@ pub mod executor;
 pub mod foresight;
 pub mod handle;
 pub mod index;
+pub mod monitor;
 pub mod neighborhood;
 pub mod profile;
 pub mod query;
@@ -54,6 +58,10 @@ pub use executor::{Executor, Mode};
 pub use foresight::{Foresight, STATE_FORMAT_VERSION};
 pub use handle::{AdoptPolicy, SessionHandle};
 pub use index::InsightIndex;
+pub use monitor::{
+    AlertEvent, AlertKind, HealthPolicy, HealthReason, HealthState, Monitor, MonitorConfig,
+    MonitorSample, MonitorTarget, StageWindow,
+};
 pub use neighborhood::NeighborhoodWeights;
 pub use profile::{profile, profile_from_catalog, ColumnProfile, DatasetProfile};
 pub use query::InsightQuery;
@@ -61,7 +69,8 @@ pub use recommend::{Carousel, CarouselConfig};
 pub use session::{Session, SessionEvent};
 pub use stream::{PublishedCore, RepublishPolicy, StreamConfig, StreamWriter};
 pub use telemetry::{
-    Endpoint, LshSnapshot, Metrics, MetricsSnapshot, ServeSnapshot, Stage, StageSnapshot,
+    build_features, build_version, kernel_name, Endpoint, LshSnapshot, Metrics, MetricsSnapshot,
+    ResourceSnapshot, ServeSnapshot, Stage, StageSnapshot,
 };
 pub use trace::{
     Explained, LshCandidates, QueryTrace, SkipSummary, SlowQuery, TraceSpan, TracedResult, Tracer,

@@ -355,6 +355,15 @@ pub struct Metrics {
     serve_sessions_created: AtomicU64,
     serve_sessions_expired: AtomicU64,
     serve_sessions_evicted: AtomicU64,
+    serve_sessions_closed: AtomicU64,
+    /// Registry birth time — snapshots report their age against it so two
+    /// snapshots can be ordered and rated. The registry is created with the
+    /// first core and shared across republishes, so this is effectively
+    /// process uptime. Deliberately not reset by [`Metrics::reset`].
+    started: std::time::Instant,
+    /// Monotonic snapshot sequence number (also survives `reset`, so a
+    /// reset shows up as counters shrinking under a still-advancing seq).
+    sample_seq: AtomicU64,
     /// Runtime switch (only meaningful when the `telemetry` feature is
     /// compiled in) — lets one binary compare instrumented vs.
     /// uninstrumented latency.
@@ -399,6 +408,9 @@ impl Metrics {
             serve_sessions_created: AtomicU64::new(0),
             serve_sessions_expired: AtomicU64::new(0),
             serve_sessions_evicted: AtomicU64::new(0),
+            serve_sessions_closed: AtomicU64::new(0),
+            started: std::time::Instant::now(),
+            sample_seq: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
         }
     }
@@ -592,6 +604,12 @@ impl Metrics {
         self.serve_sessions_evicted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one server-side session closed explicitly by its client.
+    #[inline]
+    pub fn record_session_closed(&self) {
+        self.serve_sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Zeroes every histogram and counter (the runtime switch is left as
     /// is). Handy between benchmark phases.
     pub fn reset(&self) {
@@ -626,6 +644,10 @@ impl Metrics {
         self.serve_sessions_created.store(0, Ordering::Relaxed);
         self.serve_sessions_expired.store(0, Ordering::Relaxed);
         self.serve_sessions_evicted.store(0, Ordering::Relaxed);
+        self.serve_sessions_closed.store(0, Ordering::Relaxed);
+        // `started` and `sample_seq` deliberately survive: uptime stays
+        // process uptime, and a still-advancing seq over shrinking counters
+        // is how downstream raters detect the discontinuity.
     }
 
     /// A point-in-time snapshot with no cache section (see
@@ -663,6 +685,8 @@ impl Metrics {
             telemetry_compiled: cfg!(feature = "telemetry"),
             telemetry_enabled: self.enabled(),
             kernel: foresight_stats::kernel::mode().name().to_owned(),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            sample_seq: self.sample_seq.fetch_add(1, Ordering::Relaxed) + 1,
             stages,
             queries,
             ingest: IngestSnapshot {
@@ -686,6 +710,7 @@ impl Metrics {
                 sessions_created: self.serve_sessions_created.load(Ordering::Relaxed),
                 sessions_expired: self.serve_sessions_expired.load(Ordering::Relaxed),
                 sessions_evicted: self.serve_sessions_evicted.load(Ordering::Relaxed),
+                sessions_closed: self.serve_sessions_closed.load(Ordering::Relaxed),
                 endpoints,
             },
             sketch_fallbacks: self.sketch_fallbacks.load(Ordering::Relaxed),
@@ -700,8 +725,33 @@ impl Metrics {
                 purges: stats.purges,
                 hit_rate: stats.hit_rate(),
             }),
+            resources: None,
         }
     }
+}
+
+/// The crate version baked into the binary (`CARGO_PKG_VERSION`).
+pub fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The stats-kernel mode ("vectorized" / "scalar") active on the calling
+/// thread — surfaced so serving layers need not depend on the stats crate.
+pub fn kernel_name() -> &'static str {
+    foresight_stats::kernel::mode().name()
+}
+
+/// The observability-relevant cargo features this binary was compiled
+/// with, in a stable order.
+pub fn build_features() -> Vec<&'static str> {
+    let mut v = Vec::new();
+    if cfg!(feature = "telemetry") {
+        v.push("telemetry");
+    }
+    if cfg!(feature = "trace") {
+        v.push("trace");
+    }
+    v
 }
 
 /// One cell's plain-data summary under a stable `name` — shared by the
@@ -751,8 +801,9 @@ fn cell_snapshot(name: &str, cell: &StageCell) -> StageSnapshot {
 }
 
 /// Estimates the `q`-quantile from the non-empty log₂ buckets: the bucket
-/// holding the `ceil(q·count)`-th sample, reported at its midpoint.
-fn quantile_from_buckets(buckets: &[HistogramBucket], count: u64, q: f64) -> u64 {
+/// holding the `ceil(q·count)`-th sample, reported at its midpoint. Also
+/// used by the monitor over windowed bucket *deltas*.
+pub(crate) fn quantile_from_buckets(buckets: &[HistogramBucket], count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }
@@ -949,11 +1000,24 @@ pub struct ServeSnapshot {
     pub sessions_expired: u64,
     /// Sessions evicted by the LRU capacity bound.
     pub sessions_evicted: u64,
+    /// Sessions closed explicitly by their clients (`default` so payloads
+    /// from builds predating the monitor still parse).
+    #[serde(default)]
+    pub sessions_closed: u64,
     /// Per-endpoint latency summaries, in [`Endpoint::ALL`] order (every
     /// endpoint present, sampled or not; empty only in payloads written by
     /// builds predating the serving front end).
     #[serde(default)]
     pub endpoints: Vec<StageSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// Sessions currently alive in the server's table: created minus every
+    /// way a session leaves (explicit close, TTL expiry, LRU eviction).
+    pub fn sessions_live(&self) -> u64 {
+        self.sessions_created
+            .saturating_sub(self.sessions_closed + self.sessions_expired + self.sessions_evicted)
+    }
 }
 
 /// LSH candidate-generation counters inside a [`MetricsSnapshot`]: how
@@ -967,6 +1031,27 @@ pub struct LshSnapshot {
     pub queries: u64,
     /// Total collision pairs generated across those queries.
     pub candidate_pairs: u64,
+}
+
+/// Approximate resident memory of the core's long-lived structures, in
+/// bytes, plus the live session count — the gauges an operator watches for
+/// slow leaks. Estimates, not allocator truth: each structure reports its
+/// dominant arrays/maps and ignores per-allocation slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceSnapshot {
+    /// Sketch catalog (all per-column sketches + accumulators).
+    pub catalog_bytes: u64,
+    /// Score cache (keyed scores + detail strings).
+    pub cache_bytes: u64,
+    /// LSH candidate index (bucket tables + key cache), 0 when absent.
+    pub lsh_bytes: u64,
+    /// Trace ring + slow-query log (capacity-based estimate).
+    pub trace_bytes: u64,
+    /// Server session table (live sessions × per-entry estimate), 0 when
+    /// no serving front end is attached.
+    pub session_table_bytes: u64,
+    /// Live server-side sessions (created − closed − expired − evicted).
+    pub sessions_live: u64,
 }
 
 /// Score-cache traffic inside a [`MetricsSnapshot`], folded in from
@@ -1000,6 +1085,16 @@ pub struct MetricsSnapshot {
     /// Stats-kernel mode (`vectorized` / `scalar`) on the snapshotting
     /// thread — the implementation serving this core's scoring passes.
     pub kernel: String,
+    /// Seconds since the registry was created (effectively process uptime;
+    /// `default` so payloads from older builds still parse). Monotonic
+    /// across [`Metrics::reset`].
+    #[serde(default)]
+    pub uptime_secs: f64,
+    /// Monotonic capture sequence number (1 for the registry's first
+    /// snapshot; survives `reset`, so deltas between two snapshots are
+    /// well-defined: higher seq is strictly later).
+    #[serde(default)]
+    pub sample_seq: u64,
     /// Per-stage latency summaries, in [`Stage::ALL`] order (every stage
     /// present, sampled or not).
     pub stages: Vec<StageSnapshot>,
@@ -1019,6 +1114,10 @@ pub struct MetricsSnapshot {
     pub lsh: LshSnapshot,
     /// Score-cache traffic, when the snapshot came from an engine core.
     pub cache: Option<CacheSnapshot>,
+    /// Approximate resident-memory gauges, filled in when the snapshot
+    /// came from an engine core (`default` so older payloads parse).
+    #[serde(default)]
+    pub resources: Option<ResourceSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -1044,6 +1143,11 @@ impl MetricsSnapshot {
         };
         let _ = writeln!(out, "telemetry: {state}");
         let _ = writeln!(out, "kernel: {}", self.kernel);
+        let _ = writeln!(
+            out,
+            "uptime: {:.1} s (sample {})",
+            self.uptime_secs, self.sample_seq
+        );
         let _ = writeln!(
             out,
             "\n{:<14} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
@@ -1109,8 +1213,12 @@ impl MetricsSnapshot {
             );
             let _ = writeln!(
                 out,
-                "  sessions: {} created, {} expired (ttl), {} evicted (lru)",
-                sv.sessions_created, sv.sessions_expired, sv.sessions_evicted,
+                "  sessions: {} created, {} closed, {} expired (ttl), {} evicted (lru); {} live",
+                sv.sessions_created,
+                sv.sessions_closed,
+                sv.sessions_expired,
+                sv.sessions_evicted,
+                sv.sessions_live(),
             );
             if sv.endpoints.iter().any(|e| e.count > 0) {
                 let _ = writeln!(
@@ -1144,7 +1252,393 @@ impl MetricsSnapshot {
                 c.purges
             );
         }
+        if let Some(r) = &self.resources {
+            let _ = writeln!(
+                out,
+                "resources: catalog {} KiB, cache {} KiB, lsh {} KiB, traces {} KiB, sessions {} ({} KiB)",
+                r.catalog_bytes / 1024,
+                r.cache_bytes / 1024,
+                r.lsh_bytes / 1024,
+                r.trace_bytes / 1024,
+                r.sessions_live,
+                r.session_table_bytes / 1024,
+            );
+        }
         out
+    }
+
+    /// Prometheus text exposition (format 0.0.4) of the whole snapshot:
+    /// every counter and histogram above, plus the resource gauges and a
+    /// `foresight_build_info` constant. Every family carries `# HELP` and
+    /// `# TYPE` lines; latencies stay in integer nanoseconds (`le` bounds
+    /// are the log₂ bucket ceilings) rather than lossy float seconds.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut o = String::new();
+        let meta = |o: &mut String, name: &str, help: &str, ty: &str| {
+            let _ = writeln!(o, "# HELP {name} {help}");
+            let _ = writeln!(o, "# TYPE {name} {ty}");
+        };
+        let counter = |o: &mut String, name: &str, help: &str, v: u64| {
+            meta(o, name, help, "counter");
+            let _ = writeln!(o, "{name} {v}");
+        };
+        let gauge_f = |o: &mut String, name: &str, help: &str, v: f64| {
+            meta(o, name, help, "gauge");
+            let _ = writeln!(o, "{name} {v}");
+        };
+        let gauge = |o: &mut String, name: &str, help: &str, v: u64| {
+            meta(o, name, help, "gauge");
+            let _ = writeln!(o, "{name} {v}");
+        };
+
+        // build info first: one constant-1 gauge carrying the labels a
+        // scraper joins on
+        meta(
+            &mut o,
+            "foresight_build_info",
+            "Build metadata: crate version, stats-kernel mode, compiled features.",
+            "gauge",
+        );
+        let _ = writeln!(
+            o,
+            "foresight_build_info{{version=\"{}\",kernel=\"{}\",features=\"{}\"}} 1",
+            prom_escape(build_version()),
+            prom_escape(&self.kernel),
+            prom_escape(&build_features().join(",")),
+        );
+        gauge_f(
+            &mut o,
+            "foresight_uptime_seconds",
+            "Seconds since the metrics registry was created.",
+            self.uptime_secs,
+        );
+        gauge(
+            &mut o,
+            "foresight_metrics_sample_seq",
+            "Monotonic snapshot sequence number (survives resets).",
+            self.sample_seq,
+        );
+        gauge(
+            &mut o,
+            "foresight_telemetry_enabled",
+            "1 when latency recording is compiled in and switched on.",
+            u64::from(self.telemetry_compiled && self.telemetry_enabled),
+        );
+
+        histogram_family(
+            &mut o,
+            "foresight_stage_duration_ns",
+            "Per-stage latency histogram of the query path, nanoseconds.",
+            "stage",
+            &self.stages,
+        );
+        histogram_family(
+            &mut o,
+            "foresight_endpoint_duration_ns",
+            "Per-endpoint request latency histogram of the network front end, nanoseconds.",
+            "endpoint",
+            &self.serve.endpoints,
+        );
+
+        let q = &self.queries;
+        counter(
+            &mut o,
+            "foresight_queries_total",
+            "Queries executed.",
+            q.total,
+        );
+        counter(
+            &mut o,
+            "foresight_queries_exact_total",
+            "Queries run in exact mode.",
+            q.exact,
+        );
+        counter(
+            &mut o,
+            "foresight_queries_approximate_total",
+            "Queries run in approximate (sketch-backed) mode.",
+            q.approximate,
+        );
+        counter(
+            &mut o,
+            "foresight_queries_index_served_total",
+            "Queries answered from the prebuilt insight index.",
+            q.index_served,
+        );
+        // declared only when populated: a family with HELP/TYPE but no
+        // samples is legal yet trips strict scrapers' lint rules
+        if !q.by_class.is_empty() {
+            meta(
+                &mut o,
+                "foresight_queries_by_class_total",
+                "Queries per insight class.",
+                "counter",
+            );
+            for (class, n) in &q.by_class {
+                let _ = writeln!(
+                    o,
+                    "foresight_queries_by_class_total{{class=\"{}\"}} {n}",
+                    prom_escape(class)
+                );
+            }
+        }
+        counter(
+            &mut o,
+            "foresight_sketch_fallbacks_total",
+            "Approximate-mode scorings that fell back to the exact path.",
+            self.sketch_fallbacks,
+        );
+        counter(
+            &mut o,
+            "foresight_lsh_queries_total",
+            "Queries whose candidates came from LSH bucket collisions.",
+            self.lsh.queries,
+        );
+        counter(
+            &mut o,
+            "foresight_lsh_candidate_pairs_total",
+            "Collision pairs generated across LSH-served queries.",
+            self.lsh.candidate_pairs,
+        );
+
+        let ing = &self.ingest;
+        counter(
+            &mut o,
+            "foresight_ingest_rows_total",
+            "Rows ingested.",
+            ing.rows,
+        );
+        counter(
+            &mut o,
+            "foresight_ingest_batches_total",
+            "Row batches ingested.",
+            ing.batches,
+        );
+        counter(
+            &mut o,
+            "foresight_ingest_merges_total",
+            "Shard-catalog merges into the global sketch catalog.",
+            ing.merges,
+        );
+        meta(
+            &mut o,
+            "foresight_republishes_total",
+            "Snapshot republishes by kind (full rebuild, incremental, clean).",
+            "counter",
+        );
+        for (kind, n) in [
+            ("full", ing.republishes_full),
+            ("incremental", ing.republishes_incremental),
+            ("clean", ing.republishes_clean),
+        ] {
+            let _ = writeln!(o, "foresight_republishes_total{{kind=\"{kind}\"}} {n}");
+        }
+        counter(
+            &mut o,
+            "foresight_rescored_classes_total",
+            "Classes with rescored tuples across incremental republishes.",
+            ing.rescored_classes,
+        );
+        counter(
+            &mut o,
+            "foresight_rescored_tuples_total",
+            "Tuples rescored by incremental republishes.",
+            ing.rescored_tuples,
+        );
+        counter(
+            &mut o,
+            "foresight_reused_tuples_total",
+            "Tuples carried over by incremental republishes.",
+            ing.reused_tuples,
+        );
+        counter(
+            &mut o,
+            "foresight_cache_entries_migrated_total",
+            "Clean score-cache entries migrated into a new epoch.",
+            ing.cache_entries_migrated,
+        );
+
+        let sv = &self.serve;
+        counter(
+            &mut o,
+            "foresight_serve_connections_total",
+            "Network connections accepted.",
+            sv.connections,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_connections_shed_total",
+            "Connections refused by the connection budget.",
+            sv.connections_shed,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_requests_total",
+            "Requests served.",
+            sv.requests,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_load_shed_total",
+            "Requests shed because a worker queue was full.",
+            sv.load_shed,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_errors_total",
+            "Requests answered with a typed protocol error.",
+            sv.errors,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_sessions_created_total",
+            "Server-side sessions created.",
+            sv.sessions_created,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_sessions_expired_total",
+            "Sessions expired by the idle TTL.",
+            sv.sessions_expired,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_sessions_evicted_total",
+            "Sessions evicted by the LRU capacity bound.",
+            sv.sessions_evicted,
+        );
+        counter(
+            &mut o,
+            "foresight_serve_sessions_closed_total",
+            "Sessions closed explicitly by their clients.",
+            sv.sessions_closed,
+        );
+        gauge(
+            &mut o,
+            "foresight_serve_sessions_live",
+            "Sessions currently alive in the server's table.",
+            sv.sessions_live(),
+        );
+
+        if let Some(c) = &self.cache {
+            counter(
+                &mut o,
+                "foresight_cache_hits_total",
+                "Score-cache hits.",
+                c.hits,
+            );
+            counter(
+                &mut o,
+                "foresight_cache_misses_total",
+                "Score-cache misses.",
+                c.misses,
+            );
+            counter(
+                &mut o,
+                "foresight_cache_purges_total",
+                "Score-cache entries retired by epoch bumps.",
+                c.purges,
+            );
+            gauge(
+                &mut o,
+                "foresight_cache_entries",
+                "Score-cache entries resident.",
+                c.entries,
+            );
+            gauge_f(
+                &mut o,
+                "foresight_cache_hit_rate",
+                "Score-cache hit rate (0 when no lookups happened).",
+                c.hit_rate,
+            );
+        }
+        if let Some(r) = &self.resources {
+            meta(
+                &mut o,
+                "foresight_resident_bytes",
+                "Approximate resident bytes per long-lived structure.",
+                "gauge",
+            );
+            for (component, bytes) in [
+                ("catalog", r.catalog_bytes),
+                ("score_cache", r.cache_bytes),
+                ("lsh_index", r.lsh_bytes),
+                ("trace_ring", r.trace_bytes),
+                ("session_table", r.session_table_bytes),
+            ] {
+                let _ = writeln!(
+                    o,
+                    "foresight_resident_bytes{{component=\"{component}\"}} {bytes}"
+                );
+            }
+            gauge(
+                &mut o,
+                "foresight_sessions_live",
+                "Live server-side sessions (resource-gauge view).",
+                r.sessions_live,
+            );
+        }
+        o
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Writes one labelled histogram family — cumulative `_bucket` series with
+/// log₂ ceilings as `le` bounds, `_sum`, `_count` — plus companion gauges
+/// for the summary statistics the JSON snapshot carries (min/max/mean and
+/// the histogram-estimated p50/p99), so no JSON field is invisible to a
+/// scraper.
+fn histogram_family(o: &mut String, name: &str, help: &str, label: &str, cells: &[StageSnapshot]) {
+    use std::fmt::Write;
+    let _ = writeln!(o, "# HELP {name} {help}");
+    let _ = writeln!(o, "# TYPE {name} histogram");
+    for c in cells {
+        let v = prom_escape(&c.stage);
+        let mut cum = 0u64;
+        for b in &c.buckets {
+            cum += b.count;
+            // bucket [floor, 2*floor) has inclusive ceiling 2*floor - 1
+            let le = if b.floor_ns == 0 {
+                1
+            } else {
+                b.floor_ns * 2 - 1
+            };
+            let _ = writeln!(o, "{name}_bucket{{{label}=\"{v}\",le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(o, "{name}_bucket{{{label}=\"{v}\",le=\"+Inf\"}} {cum}");
+        let _ = writeln!(o, "{name}_sum{{{label}=\"{v}\"}} {}", c.total_ns);
+        let _ = writeln!(o, "{name}_count{{{label}=\"{v}\"}} {}", c.count);
+    }
+    for (suffix, help, pick) in [
+        (
+            "min_ns",
+            "Floor of the lowest occupied latency bucket.",
+            0usize,
+        ),
+        (
+            "max_ns",
+            "Ceiling of the highest occupied latency bucket.",
+            1,
+        ),
+        ("mean_ns", "Arithmetic-mean latency.", 2),
+        ("p50_ns", "Histogram-estimated median latency.", 3),
+        ("p99_ns", "Histogram-estimated 99th-percentile latency.", 4),
+    ] {
+        let fam = format!("{name}_{suffix}");
+        let _ = writeln!(o, "# HELP {fam} {help}");
+        let _ = writeln!(o, "# TYPE {fam} gauge");
+        for c in cells {
+            let v = prom_escape(&c.stage);
+            let x = [c.min_ns, c.max_ns, c.mean_ns, c.p50_ns, c.p99_ns][pick];
+            let _ = writeln!(o, "{fam}{{{label}=\"{v}\"}} {x}");
+        }
     }
 }
 
@@ -1269,10 +1763,17 @@ mod tests {
         m.record_ns(Stage::Score, 1700);
         m.record_query("skew", Mode::Exact, false);
         let a = m.snapshot();
-        let b = m.snapshot();
+        let mut b = m.snapshot();
+        // capture metadata advances monotonically between snapshots …
+        assert_eq!(b.sample_seq, a.sample_seq + 1);
+        assert!(b.uptime_secs >= a.uptime_secs);
+        // … and is the only thing that differs for identical state
+        b.sample_seq = a.sample_seq;
+        b.uptime_secs = a.uptime_secs;
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
         assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
         // and the JSON round-trips
         let back: MetricsSnapshot = serde_json::from_str(&a.to_json()).unwrap();
         assert_eq!(back, a);
@@ -1320,8 +1821,10 @@ mod tests {
         m.record_load_shed();
         m.record_serve_error();
         m.record_session_created();
+        m.record_session_created();
         m.record_session_expired();
         m.record_session_evicted();
+        m.record_session_closed();
         let snap = m.snapshot();
         // counters flow regardless of the telemetry feature
         assert_eq!(snap.serve.connections, 1);
@@ -1329,9 +1832,12 @@ mod tests {
         assert_eq!(snap.serve.requests, 1);
         assert_eq!(snap.serve.load_shed, 1);
         assert_eq!(snap.serve.errors, 1);
-        assert_eq!(snap.serve.sessions_created, 1);
+        assert_eq!(snap.serve.sessions_created, 2);
         assert_eq!(snap.serve.sessions_expired, 1);
         assert_eq!(snap.serve.sessions_evicted, 1);
+        assert_eq!(snap.serve.sessions_closed, 1);
+        // 2 created − (1 closed + 1 expired + 1 evicted) saturates to 0
+        assert_eq!(snap.serve.sessions_live(), 0);
         // the endpoint histogram is feature-gated like the stage cells
         let names: Vec<&str> = snap
             .serve
@@ -1350,7 +1856,8 @@ mod tests {
         assert_eq!(query.count > 0, cfg!(feature = "telemetry"));
         let text = snap.to_text();
         assert!(text.contains("serve: 1 connections accepted"));
-        assert!(text.contains("sessions: 1 created, 1 expired (ttl), 1 evicted (lru)"));
+        assert!(text
+            .contains("sessions: 2 created, 1 closed, 1 expired (ttl), 1 evicted (lru); 0 live"));
         m.reset();
         let clean = m.snapshot().serve;
         assert_eq!(clean.connections + clean.requests + clean.load_shed, 0);

@@ -831,6 +831,29 @@ impl Tracer {
         self.slow_capacity
     }
 
+    /// Approximate resident bytes of the trace ring and slow-query log:
+    /// occupied ring slots at a nominal per-trace span-tree estimate, plus
+    /// the retained slow entries. A monitor resource gauge, not allocator
+    /// truth.
+    pub fn approx_bytes(&self) -> usize {
+        // a retained trace is a span tree of a dozen-odd labelled spans
+        const PER_TRACE: usize = 2048;
+        let occupied = self
+            .ring
+            .slots
+            .iter()
+            .filter(|slot| slot.lock().is_some())
+            .count();
+        let slow = self.slow.lock();
+        let slow_bytes: usize = slow
+            .iter()
+            .map(|q| std::mem::size_of::<SlowQuery>() + q.class_id.len() + q.mode.len())
+            .sum();
+        self.ring.slots.len() * std::mem::size_of::<Mutex<Option<Arc<QueryTrace>>>>()
+            + occupied * PER_TRACE
+            + slow_bytes
+    }
+
     /// Whether sampled tracing is live: requires the `trace` cargo feature
     /// and the runtime switch.
     pub fn enabled(&self) -> bool {

@@ -1,15 +1,18 @@
-//! Drift guard for the two `MetricsSnapshot` renderings. `to_json` is the
+//! Drift guard for the `MetricsSnapshot` renderings. `to_json` is the
 //! machine-readable export; `to_text` is what the explorer's `metrics`
-//! command and a server operator read. Every scalar counter the JSON
-//! exposes (queries, ingest, serve, cache, sketch fallbacks) must also be
-//! visible in the text rendering — a counter added to the snapshot struct
-//! but forgotten in `to_text` fails here, by name.
+//! command and a server operator read; `to_prometheus` is what a scraper
+//! ingests. Every scalar counter the JSON exposes (queries, ingest,
+//! serve, cache, resources, sketch fallbacks) must also be visible in
+//! the text and Prometheus renderings — a counter added to the snapshot
+//! struct but forgotten in a rendering fails here, by name.
 //!
 //! The check is value-based: each counter gets a globally unique 4-digit
-//! value, so "visible in the text" is simply "that number is printed".
+//! value, so "visible in the rendering" is simply "that number is
+//! printed".
 
 use foresight_engine::telemetry::{
-    CacheSnapshot, IngestSnapshot, LshSnapshot, MetricsSnapshot, QuerySnapshot, ServeSnapshot,
+    CacheSnapshot, IngestSnapshot, LshSnapshot, MetricsSnapshot, QuerySnapshot, ResourceSnapshot,
+    ServeSnapshot,
 };
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -28,6 +31,8 @@ fn fully_populated() -> MetricsSnapshot {
         telemetry_compiled: true,
         telemetry_enabled: true,
         kernel: "scalar".to_owned(),
+        uptime_secs: 0.5,
+        sample_seq: fresh(),
         stages: Vec::new(),
         queries: QuerySnapshot {
             total: fresh(),
@@ -55,6 +60,7 @@ fn fully_populated() -> MetricsSnapshot {
             load_shed: fresh(),
             errors: fresh(),
             sessions_created: fresh(),
+            sessions_closed: fresh(),
             sessions_expired: fresh(),
             sessions_evicted: fresh(),
             endpoints: Vec::new(),
@@ -71,29 +77,51 @@ fn fully_populated() -> MetricsSnapshot {
             purges: fresh(),
             hit_rate: 0.5,
         }),
+        resources: Some(ResourceSnapshot {
+            catalog_bytes: fresh(),
+            cache_bytes: fresh(),
+            lsh_bytes: fresh(),
+            trace_bytes: fresh(),
+            session_table_bytes: fresh(),
+            sessions_live: fresh(),
+        }),
     }
 }
 
+/// Leaves every rendering skips: latency tables (rescaled to ms/us), the
+/// raw histogram, ratios and build metadata printed as words, and the
+/// float uptime.
+const SKIP_ALWAYS: &[&str] = &[
+    "stages",      // per-stage latency table, rescaled in text
+    "endpoints",   // per-endpoint latency table, rescaled in text
+    "buckets",     // raw histogram, intentionally JSON-only
+    "hit_rate",    // printed as a percentage
+    "uptime_secs", // float seconds, formatted per rendering
+    "telemetry_compiled",
+    "telemetry_enabled",
+    "kernel",
+];
+
+/// Additionally skipped for `to_text` only: the resident-memory gauges
+/// are rescaled to KiB there (Prometheus keeps raw bytes).
+const SKIP_TEXT: &[&str] = &[
+    "catalog_bytes",
+    "cache_bytes",
+    "lsh_bytes",
+    "trace_bytes",
+    "session_table_bytes",
+];
+
 /// Collects `(path, value)` for every integer counter leaf in the JSON
-/// rendering, skipping the latency tables (their columns are rescaled to
-/// ms/us in text, by design) and non-counter scalars.
-fn counter_leaves(value: &Value, path: String, out: &mut Vec<(String, u64)>) {
-    const SKIP: &[&str] = &[
-        "stages",    // per-stage latency table, rescaled in text
-        "endpoints", // per-endpoint latency table, rescaled in text
-        "buckets",   // raw histogram, intentionally JSON-only
-        "hit_rate",  // printed as a percentage
-        "telemetry_compiled",
-        "telemetry_enabled",
-        "kernel",
-    ];
+/// rendering, minus the given skip lists.
+fn counter_leaves(value: &Value, path: String, skip: &[&[&str]], out: &mut Vec<(String, u64)>) {
     match value {
         Value::Object(map) => {
             for (key, child) in map {
-                if SKIP.contains(&key.as_str()) {
+                if skip.iter().any(|list| list.contains(&key.as_str())) {
                     continue;
                 }
-                counter_leaves(child, format!("{path}.{key}"), out);
+                counter_leaves(child, format!("{path}.{key}"), skip, out);
             }
         }
         _ => {
@@ -110,7 +138,12 @@ fn to_text_prints_every_counter_to_json_exposes() {
     let text = snapshot.to_text();
     let json: Value = serde_json::from_str(&snapshot.to_json()).unwrap();
     let mut counters = Vec::new();
-    counter_leaves(&json, "snapshot".to_owned(), &mut counters);
+    counter_leaves(
+        &json,
+        "snapshot".to_owned(),
+        &[SKIP_ALWAYS, SKIP_TEXT],
+        &mut counters,
+    );
 
     // the sweep must actually cover the sections this PR cares about
     for section in ["queries", "ingest", "serve", "cache", "sketch_fallbacks"] {
@@ -130,6 +163,33 @@ fn to_text_prints_every_counter_to_json_exposes() {
         assert!(
             text.contains(&value.to_string()),
             "counter `{path}` (= {value}) is in to_json but not rendered by to_text:\n{text}"
+        );
+    }
+}
+
+/// The scrape-surface drift guard: every counter the JSON export carries
+/// must appear in the Prometheus exposition too — including the
+/// resource gauges, which Prometheus keeps in raw bytes.
+#[test]
+fn to_prometheus_exposes_every_counter_to_json_exposes() {
+    let snapshot = fully_populated();
+    let exposition = snapshot.to_prometheus();
+    let json: Value = serde_json::from_str(&snapshot.to_json()).unwrap();
+    let mut counters = Vec::new();
+    counter_leaves(&json, "snapshot".to_owned(), &[SKIP_ALWAYS], &mut counters);
+
+    for section in ["queries", "ingest", "serve", "cache", "resources"] {
+        assert!(
+            counters
+                .iter()
+                .any(|(path, _)| path.contains(&format!(".{section}"))),
+            "counter sweep no longer covers `{section}` — snapshot shape changed?"
+        );
+    }
+    for (path, value) in &counters {
+        assert!(
+            exposition.contains(&value.to_string()),
+            "counter `{path}` (= {value}) is in to_json but missing from to_prometheus:\n{exposition}"
         );
     }
 }

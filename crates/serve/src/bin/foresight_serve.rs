@@ -4,7 +4,9 @@
 //! foresight-serve [dataset] [--addr HOST:PORT] [--workers N]
 //!                 [--queue-depth N] [--max-connections N]
 //!                 [--max-sessions N] [--ttl-secs N] [--preprocess]
-//!                 [--test-commands]
+//!                 [--test-commands] [--no-monitor]
+//!                 [--monitor-cadence-ms N] [--monitor-capacity N]
+//!                 [--max-rows-behind N] [--max-shed-per-sec X]
 //! ```
 //!
 //! `dataset` is `oecd` (default), `imdb`, `parkinson`, or a CSV path —
@@ -37,7 +39,9 @@ fn usage() -> ! {
         "usage: foresight-serve [oecd|imdb|parkinson|file.csv] \
          [--addr HOST:PORT] [--workers N] [--queue-depth N] \
          [--max-connections N] [--max-sessions N] [--ttl-secs N] \
-         [--preprocess] [--test-commands]"
+         [--preprocess] [--test-commands] [--no-monitor] \
+         [--monitor-cadence-ms N] [--monitor-capacity N] \
+         [--max-rows-behind N] [--max-shed-per-sec X]"
     );
     std::process::exit(2);
 }
@@ -67,6 +71,19 @@ fn main() {
             }
             "--preprocess" => preprocess = true,
             "--test-commands" => config.enable_test_commands = true,
+            "--no-monitor" => config.enable_monitor = false,
+            "--monitor-cadence-ms" => {
+                config.monitor.cadence_ms = parse("--monitor-cadence-ms", args.next())
+            }
+            "--monitor-capacity" => {
+                config.monitor.capacity = parse("--monitor-capacity", args.next())
+            }
+            "--max-rows-behind" => {
+                config.monitor.policy.max_rows_behind = parse("--max-rows-behind", args.next())
+            }
+            "--max-shed-per-sec" => {
+                config.monitor.policy.max_shed_per_sec = parse("--max-shed-per-sec", args.next())
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");

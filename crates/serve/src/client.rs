@@ -5,7 +5,9 @@
 //! thousands of sessions over a handful of sockets).
 
 use crate::protocol::{Command, Reply, Request, Response, WireError};
-use foresight_engine::{Carousel, InsightQuery, MetricsSnapshot, Staleness};
+use foresight_engine::{
+    AlertEvent, Carousel, HealthState, InsightQuery, MetricsSnapshot, MonitorSample, Staleness,
+};
 use foresight_insight::{AttrTuple, InsightInstance};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -206,6 +208,35 @@ impl Client {
     /// Server-side slow-query log, one formatted line per entry.
     pub fn slowlog(&mut self) -> ClientResult<Vec<String>> {
         expect_reply!(self.call(None, Command::Slowlog)?, Reply::Slowlog(lines) => lines, "Slowlog")
+    }
+
+    /// The newest `last` monitor ring samples, oldest first (0 = all).
+    pub fn metrics_history(&mut self, last: usize) -> ClientResult<Vec<MonitorSample>> {
+        expect_reply!(
+            self.call(None, Command::MetricsHistory { last })?,
+            Reply::MetricsHistory(samples) => samples,
+            "MetricsHistory"
+        )
+    }
+
+    /// The server's health verdict (healthy / degraded / unready).
+    pub fn health(&mut self) -> ClientResult<HealthState> {
+        expect_reply!(self.call(None, Command::Health)?, Reply::Health(state) => state, "Health")
+    }
+
+    /// The watchdog's alert log, oldest first.
+    pub fn alerts(&mut self) -> ClientResult<Vec<AlertEvent>> {
+        expect_reply!(self.call(None, Command::Alerts)?, Reply::Alerts(events) => events, "Alerts")
+    }
+
+    /// Zeroes the server's metric counters; the monitor records a
+    /// discontinuity so derived rates never go negative.
+    pub fn reset_metrics(&mut self) -> ClientResult<()> {
+        expect_reply!(
+            self.call(None, Command::ResetMetrics)?,
+            Reply::MetricsReset => (),
+            "MetricsReset"
+        )
     }
 
     /// Manually adopts the newest published snapshot (stream-backed

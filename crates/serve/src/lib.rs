@@ -15,6 +15,11 @@
 //! * [`client`] — a small blocking client used by the remote explorer,
 //!   the CI smoke test, and the `exp_serve` load generator
 //!
+//! The same socket also answers plaintext HTTP `GET /metrics` (Prometheus
+//! text exposition) and `GET /healthz` (200 healthy/degraded, 503
+//! unready) — the connection thread sniffs the verb before JSON parsing,
+//! so scrapes and health probes bypass the worker queues entirely.
+//!
 //! The session layer the engine previously kept per-[`SessionHandle`]
 //! is here owned by the server: clients `open` a session, the owning
 //! worker materializes a handle over the newest core (binding it to the

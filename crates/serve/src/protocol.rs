@@ -27,7 +27,9 @@
 
 use foresight_engine::profile::DatasetProfile;
 use foresight_engine::trace::QueryTrace;
-use foresight_engine::{Carousel, InsightQuery, MetricsSnapshot, Staleness};
+use foresight_engine::{
+    AlertEvent, Carousel, HealthState, InsightQuery, MetricsSnapshot, MonitorSample, Staleness,
+};
 use foresight_insight::{AttrTuple, InsightInstance};
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +83,21 @@ pub enum Command {
     Profile,
     /// A deterministic snapshot of the engine + serving telemetry.
     Metrics,
+    /// The monitor ring's most recent samples (derived rate/latency
+    /// series), oldest first; `last: 0` returns every retained sample.
+    MetricsHistory {
+        /// How many trailing samples to return (0 = all).
+        last: usize,
+    },
+    /// The replica's health verdict. Answered inline by the reactor —
+    /// never queued behind saturated workers — so a load balancer's probe
+    /// still gets an answer mid-incident.
+    Health,
+    /// The watchdog's retained alert transitions, oldest first.
+    Alerts,
+    /// Zero every metrics counter and histogram, marking a discontinuity
+    /// in the monitor ring so rates never go negative across the reset.
+    ResetMetrics,
     /// The slow-query log, rendered one line per entry.
     Slowlog,
     /// Adopt the latest published stream snapshot.
@@ -124,7 +141,14 @@ impl Command {
     pub fn needs_session(&self) -> bool {
         !matches!(
             self,
-            Command::Hello | Command::Open | Command::Metrics | Command::Slowlog
+            Command::Hello
+                | Command::Open
+                | Command::Metrics
+                | Command::MetricsHistory { .. }
+                | Command::Health
+                | Command::Alerts
+                | Command::ResetMetrics
+                | Command::Slowlog
         )
     }
 
@@ -145,7 +169,12 @@ impl Command {
             Command::Carousels { .. } => Endpoint::Carousels,
             Command::Focus(_) | Command::Unfocus(_) | Command::ClearFocus => Endpoint::Focus,
             Command::Profile => Endpoint::Profile,
-            Command::Metrics | Command::Slowlog => Endpoint::Metrics,
+            Command::Metrics
+            | Command::MetricsHistory { .. }
+            | Command::Health
+            | Command::Alerts
+            | Command::ResetMetrics
+            | Command::Slowlog => Endpoint::Metrics,
             Command::Refresh | Command::Staleness => Endpoint::Stream,
         }
     }
@@ -223,6 +252,15 @@ pub enum Reply {
     Profile(DatasetProfile),
     /// The telemetry snapshot.
     Metrics(MetricsSnapshot),
+    /// The monitor ring's samples, oldest first (empty when the monitor
+    /// is disabled).
+    MetricsHistory(Vec<MonitorSample>),
+    /// The health verdict.
+    Health(HealthState),
+    /// The watchdog's alert transitions, oldest first.
+    Alerts(Vec<AlertEvent>),
+    /// Metrics were reset and the monitor discontinuity was marked.
+    MetricsReset,
     /// Slow-query log lines, oldest first.
     Slowlog(Vec<String>),
     /// A refresh ran.
@@ -330,6 +368,16 @@ pub struct HelloInfo {
     /// (0 = no index; `SetCandidates "lsh"` would fall back to the scan).
     #[serde(default)]
     pub lsh_tables: usize,
+    /// The server's crate version (`default` so older servers parse).
+    #[serde(default)]
+    pub version: String,
+    /// The stats-kernel mode serving this core (`vectorized` / `scalar`).
+    #[serde(default)]
+    pub kernel: String,
+    /// Observability features compiled into the server binary
+    /// (`telemetry`, `trace`).
+    #[serde(default)]
+    pub features: Vec<String>,
 }
 
 #[cfg(test)]
@@ -375,5 +423,28 @@ mod tests {
         assert!(!Command::Open.needs_session());
         assert!(Command::Close.needs_session());
         assert!(Command::Save.needs_session());
+    }
+
+    #[test]
+    fn monitor_commands_are_session_less_metrics_endpoints() {
+        use foresight_engine::Endpoint;
+        for cmd in [
+            Command::MetricsHistory { last: 10 },
+            Command::Health,
+            Command::Alerts,
+            Command::ResetMetrics,
+        ] {
+            assert_eq!(cmd.endpoint(), Endpoint::Metrics);
+            assert!(!cmd.needs_session(), "{cmd:?} is answered inline");
+            // every monitor command survives the wire
+            let req = Request {
+                id: 1,
+                session: None,
+                cmd,
+            };
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'));
+            let _: Request = serde_json::from_str(&line).unwrap();
+        }
     }
 }

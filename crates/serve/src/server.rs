@@ -30,8 +30,8 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use foresight_engine::{
-    AdoptPolicy, CandidateStrategy, EngineCore, EngineError, Mode, PublishedCore, Session,
-    SessionHandle,
+    AdoptPolicy, CandidateStrategy, Endpoint, EngineCore, EngineError, Mode, Monitor,
+    MonitorConfig, MonitorTarget, PublishedCore, Session, SessionHandle,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -68,6 +68,13 @@ impl ServeCore {
             ServeCore::Stream(published) => Some(Arc::clone(published)),
         }
     }
+
+    fn monitor_target(&self) -> MonitorTarget {
+        match self {
+            ServeCore::Static(core) => MonitorTarget::Static(Arc::clone(core)),
+            ServeCore::Stream(published) => MonitorTarget::Stream(Arc::clone(published)),
+        }
+    }
 }
 
 /// Server tuning knobs. The defaults suit a loopback development server;
@@ -91,6 +98,12 @@ pub struct ServeConfig {
     /// Enables the test-only `Sleep` command (shed tests use it to hold a
     /// worker deterministically). Off for real servers.
     pub enable_test_commands: bool,
+    /// Runs the background monitor sampler (`false`, or
+    /// `FORESIGHT_DISABLE_MONITOR=1`, falls back to on-demand health with
+    /// an empty ring).
+    pub enable_monitor: bool,
+    /// Sampler cadence, ring capacity, and health/watchdog thresholds.
+    pub monitor: MonitorConfig,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +117,8 @@ impl Default for ServeConfig {
             max_sessions: 4096,
             session_ttl: Duration::from_secs(600),
             enable_test_commands: false,
+            enable_monitor: true,
+            monitor: MonitorConfig::default(),
         }
     }
 }
@@ -115,6 +130,9 @@ struct Shared {
     /// across republishes — the stable place to record serving telemetry.
     registry: Arc<EngineCore>,
     config: ServeConfig,
+    /// The continuous monitor: ring of derived samples, watchdog alerts,
+    /// and the health verdict (answered inline, never behind a worker).
+    monitor: Monitor,
     shutdown: AtomicBool,
     live_connections: AtomicUsize,
     next_session: AtomicU64,
@@ -156,10 +174,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let registry = core.latest();
+        let monitor = if config.enable_monitor {
+            Monitor::spawn(core.monitor_target(), config.monitor.clone())
+        } else {
+            Monitor::disabled(core.monitor_target(), config.monitor.clone())
+        };
         let shared = Arc::new(Shared {
             core,
             registry,
             config: config.clone(),
+            monitor,
             shutdown: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             next_session: AtomicU64::new(0),
@@ -332,6 +356,15 @@ fn connection_loop(shared: &Shared, stream: TcpStream, worker_txs: &[SyncSender<
         if request_line.trim().is_empty() {
             continue;
         }
+        // Plaintext HTTP fast path: a Prometheus scraper (or `curl`) opens
+        // the same socket and sends `GET /metrics HTTP/1.1`. Sniffing the
+        // verb before the JSON parse keeps the wire protocol untouched and
+        // answers scrapes inline — no worker queue, so /healthz responds
+        // even when every worker is saturated.
+        if request_line.starts_with("GET ") {
+            handle_http_get(shared, &mut writer, request_line.trim());
+            return; // Connection: close — one response per HTTP connection
+        }
         let request: Request = match serde_json::from_str(request_line.trim()) {
             Ok(req) => req,
             Err(e) => {
@@ -383,6 +416,17 @@ fn dispatch(shared: &Shared, worker_txs: &[SyncSender<Job>], request: Request) -
                 .map(|entry| entry.to_line())
                 .collect();
             return Response::ok(id, Reply::Slowlog(lines));
+        }
+        Command::MetricsHistory { last } => {
+            return Response::ok(id, Reply::MetricsHistory(shared.monitor.history(*last)))
+        }
+        Command::Health => return Response::ok(id, Reply::Health(shared.monitor.health())),
+        Command::Alerts => return Response::ok(id, Reply::Alerts(shared.monitor.alerts())),
+        Command::ResetMetrics => {
+            shared.metrics().reset();
+            // the monitor must not derive negative rates from the shrink
+            shared.monitor.mark_discontinuity();
+            return Response::ok(id, Reply::MetricsReset);
         }
         _ => {}
     }
@@ -443,7 +487,60 @@ fn hello_info(shared: &Shared) -> HelloInfo {
         mode: core.mode().name().to_owned(),
         streaming: matches!(shared.core, ServeCore::Stream(_)),
         lsh_tables: core.lsh_index().map(|ix| ix.config().tables).unwrap_or(0),
+        version: foresight_engine::build_version().to_owned(),
+        kernel: foresight_engine::kernel_name().to_owned(),
+        features: foresight_engine::build_features()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
     }
+}
+
+/// Answers the HTTP GET fast path: `/metrics` with Prometheus text
+/// exposition (format 0.0.4), `/healthz` with the monitor's verdict
+/// (200 for healthy/degraded — degraded still serves — 503 for
+/// unready), anything else 404. HTTP/1.0-style one-shot responses.
+fn handle_http_get(shared: &Shared, stream: &mut TcpStream, request_line: &str) {
+    let started = Instant::now();
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, reason, content_type, body) = match path {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.core.latest().metrics_snapshot().to_prometheus(),
+        ),
+        "/healthz" => {
+            let health = shared.monitor.health();
+            let mut body = String::new();
+            body.push_str(health.name());
+            body.push('\n');
+            for reason in health.reasons() {
+                body.push_str(&reason.describe());
+                body.push('\n');
+            }
+            let (status, reason) = if health.is_ready() {
+                (200, "OK")
+            } else {
+                (503, "Service Unavailable")
+            };
+            (status, reason, "text/plain; charset=utf-8", body)
+        }
+        _ => (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            format!("no such path: {path}\ntry /metrics or /healthz\n"),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    shared
+        .metrics()
+        .record_request(Endpoint::Metrics, started.elapsed().as_nanos() as u64);
 }
 
 /// One worker's session-shard entry.
@@ -544,7 +641,10 @@ fn handle_job(
     }
     if let Command::Close = job.cmd {
         return match sessions.remove(&job.session) {
-            Some(_) => Ok(Reply::Closed),
+            Some(_) => {
+                shared.metrics().record_session_closed();
+                Ok(Reply::Closed)
+            }
             None => Err(unknown_session(job.session)),
         };
     }
@@ -636,12 +736,18 @@ fn handle_job(
         }
         // session-less commands are answered inline by the connection
         // thread and never reach a worker
-        Command::Hello | Command::Open | Command::Close | Command::Metrics | Command::Slowlog => {
-            Err(WireError {
-                code: ErrorCode::BadRequest,
-                message: "command is not session-scoped".to_owned(),
-            })
-        }
+        Command::Hello
+        | Command::Open
+        | Command::Close
+        | Command::Metrics
+        | Command::Slowlog
+        | Command::MetricsHistory { .. }
+        | Command::Health
+        | Command::Alerts
+        | Command::ResetMetrics => Err(WireError {
+            code: ErrorCode::BadRequest,
+            message: "command is not session-scoped".to_owned(),
+        }),
     }
 }
 

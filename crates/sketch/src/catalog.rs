@@ -507,6 +507,42 @@ impl SketchCatalog {
             .map(|s| s.hyperplane.size_bytes())
             .sum()
     }
+
+    /// Approximate resident bytes of the whole catalog: per-column sketch
+    /// payloads plus their pre-quantization accumulators. A monitor
+    /// resource gauge — dominant arrays only, not allocator truth.
+    pub fn approx_bytes(&self) -> usize {
+        let k = self.hyperplane_config.k;
+        let numeric: usize = self
+            .numeric
+            .values()
+            .map(|s| {
+                // finalized bit vectors (plain + rank) …
+                s.hyperplane.size_bytes()
+                    + s.rank_hyperplane.size_bytes()
+                    // … their accumulators keep two f64 lanes per plane
+                    + 2 * (2 * k * std::mem::size_of::<f64>())
+                    // KLL compactor items + reservoir sample
+                    + s.quantiles.retained() * std::mem::size_of::<f64>()
+                    + s.reservoir.capacity() * std::mem::size_of::<f64>()
+                    // moments + forest nodes round out to a few hundred
+                    + 256
+            })
+            .sum();
+        let categorical: usize = self
+            .categorical
+            .values()
+            .map(|s| {
+                // SpaceSaving buckets (label + two counts), entropy
+                // projection lanes, HLL registers
+                s.heavy_hitters.capacity() * 48
+                    + s.entropy.k() * std::mem::size_of::<f64>()
+                    + s.distinct.m()
+                    + 128
+            })
+            .sum();
+        numeric + categorical
+    }
 }
 
 /// Columns per tile of the pairwise estimator pass: a tile's bit vectors

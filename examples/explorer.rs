@@ -24,6 +24,8 @@ use foresight::data::infer::InferOptions;
 use foresight::prelude::*;
 use foresight::serve::{Client, ClientError};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 commands:
@@ -45,6 +47,9 @@ commands:
                                the sketch catalog; try `mode approx` first)
   stats                        score-cache counters (hits, misses, purges, shards)
   metrics [json|reset]         engine telemetry: per-stage latencies + query counters
+  health                       health verdict from the continuous monitor
+  alerts                       the watchdog's fired/resolved alert log
+  watch [secs]                 live rates from the monitor ring (default 5 s)
   explain <class> [k]          run a query with a forced trace and show the full
                                span tree, per-candidate cache/path provenance,
                                skip reasons, and rank deltas (needs --features trace)
@@ -59,9 +64,82 @@ struct Repl {
     range: Option<(f64, f64)>,
     semantic: Option<String>,
     last: Vec<InsightInstance>,
+    /// Lazily started continuous monitor, keyed by the core it watches
+    /// (preprocess swaps the core, which would leave a stale sampler).
+    monitor: Option<(Arc<EngineCore>, Monitor)>,
+}
+
+/// Prints a health verdict with its typed reasons.
+fn print_health(state: &HealthState) {
+    println!("health: {}", state.name());
+    for reason in state.reasons() {
+        println!("  - {}", reason.describe());
+    }
+}
+
+/// One monitor ring sample as a fixed-width watch line.
+fn sample_line(s: &MonitorSample) -> String {
+    format!(
+        "[{:>4}] t+{:8.1}s  req/s {:8.1}  shed/s {:6.1}  q/s {:8.1}  hit {:5.1}%  behind {:>7}{}",
+        s.seq,
+        s.uptime_secs,
+        s.request_rate,
+        s.shed_rate,
+        s.query_rate,
+        s.cache_hit_rate * 100.0,
+        s.rows_behind,
+        if s.discontinuity {
+            "  (discontinuity)"
+        } else {
+            ""
+        },
+    )
+}
+
+/// One watchdog transition as a log line.
+fn alert_line(a: &AlertEvent) -> String {
+    format!(
+        "t+{:8.1}s  {}  {:<18}  value {:.2} vs bound {:.2} (sample {})",
+        a.uptime_secs,
+        if a.fired { "FIRED   " } else { "resolved" },
+        a.kind.name(),
+        a.value,
+        a.bound,
+        a.seq,
+    )
+}
+
+fn print_alerts(events: &[AlertEvent]) {
+    if events.is_empty() {
+        println!("(no alerts recorded — the watchdog has nothing to report)");
+    }
+    for event in events {
+        println!("  {}", alert_line(event));
+    }
 }
 
 impl Repl {
+    /// The monitor over the *current* core, (re)spawned on first use or
+    /// after `mode approx` rebuilt the core underneath it.
+    fn monitor(&mut self) -> &Monitor {
+        let core = Arc::clone(self.engine.core());
+        let stale = match &self.monitor {
+            Some((held, _)) => !Arc::ptr_eq(held, &core),
+            None => true,
+        };
+        if stale {
+            // 250 ms cadence: interactive `watch` should not wait a full
+            // second per line
+            let config = MonitorConfig {
+                cadence_ms: 250,
+                ..MonitorConfig::default()
+            };
+            let monitor = Monitor::spawn(MonitorTarget::Static(Arc::clone(&core)), config);
+            self.monitor = Some((core, monitor));
+        }
+        &self.monitor.as_ref().expect("monitor just ensured").1
+    }
+
     fn build_query(&self, class: &str, k: usize) -> InsightQuery {
         let mut q = InsightQuery::class(class).top_k(k);
         for &f in &self.fixed {
@@ -270,11 +348,38 @@ impl Repl {
                 Some(&"json") => println!("{}", self.engine.metrics().to_json()),
                 Some(&"reset") => {
                     self.engine.core().metrics().reset();
+                    if let Some((_, monitor)) = &self.monitor {
+                        monitor.mark_discontinuity();
+                    }
                     println!("telemetry counters reset");
                 }
                 None => print!("{}", self.engine.metrics().to_text()),
                 Some(other) => println!("unknown metrics subcommand `{other}` (usage: metrics [json|reset])"),
             },
+            "health" => {
+                let state = self.monitor().health();
+                print_health(&state);
+            }
+            "alerts" => {
+                let events = self.monitor().alerts();
+                print_alerts(&events);
+            }
+            "watch" => {
+                let secs: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+                let monitor = self.monitor();
+                println!("watching for {secs} s ({} ms cadence)…", monitor.config().cadence_ms);
+                let deadline = Instant::now() + Duration::from_secs(secs);
+                let mut last_seq = monitor.latest_sample().map_or(0, |s| s.seq);
+                while Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if let Some(sample) = monitor.latest_sample() {
+                        if sample.seq != last_seq {
+                            last_seq = sample.seq;
+                            println!("{}", sample_line(&sample));
+                        }
+                    }
+                }
+            }
             "explain" => {
                 let Some(class) = rest.first() else {
                     println!("usage: explain <class> [k]");
@@ -390,7 +495,9 @@ remote commands (session lives on the server):
   mode exact|approx            switch the session's scoring mode
   candidates <strategy>        auto | exhaustive | lsh | lsh:<probes> — the
                                session's candidate-generation knob
-  metrics [json]               server metrics: admission control + engine telemetry
+  metrics [json|reset]         server metrics: admission control + engine telemetry
+  health / alerts              server health verdict / watchdog alert log
+  watch [secs]                 stream the server monitor's per-sample rates
   explain <class> [k]          traced query (server needs --features trace)
   slowlog                      the server's slow-query log
   staleness / refresh          stream lag of this session's snapshot / adopt head
@@ -566,13 +673,53 @@ impl RemoteRepl {
                 },
                 None => println!("usage: candidates auto|exhaustive|lsh|lsh:<probes>"),
             },
-            "metrics" => match self.client.metrics() {
-                Ok(snapshot) => match rest.first() {
-                    Some(&"json") => println!("{}", snapshot.to_json()),
-                    _ => print!("{}", snapshot.to_text()),
+            "metrics" => match rest.first() {
+                Some(&"json") => match self.client.metrics() {
+                    Ok(snapshot) => println!("{}", snapshot.to_json()),
+                    Err(e) => return report(e),
                 },
+                Some(&"reset") => match self.client.reset_metrics() {
+                    Ok(()) => {
+                        println!("server telemetry counters reset (monitor marked a discontinuity)")
+                    }
+                    Err(e) => return report(e),
+                },
+                None => match self.client.metrics() {
+                    Ok(snapshot) => print!("{}", snapshot.to_text()),
+                    Err(e) => return report(e),
+                },
+                Some(other) => {
+                    println!("unknown metrics subcommand `{other}` (usage: metrics [json|reset])")
+                }
+            },
+            "health" => match self.client.health() {
+                Ok(state) => print_health(&state),
                 Err(e) => return report(e),
             },
+            "alerts" => match self.client.alerts() {
+                Ok(events) => print_alerts(&events),
+                Err(e) => return report(e),
+            },
+            "watch" => {
+                let secs: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+                println!("watching the server monitor for {secs} s…");
+                let deadline = Instant::now() + Duration::from_secs(secs);
+                let mut last_seq = 0u64;
+                while Instant::now() < deadline {
+                    match self.client.metrics_history(1) {
+                        Ok(samples) => {
+                            if let Some(sample) = samples.last() {
+                                if sample.seq != last_seq {
+                                    last_seq = sample.seq;
+                                    println!("{}", sample_line(sample));
+                                }
+                            }
+                        }
+                        Err(e) => return report(e),
+                    }
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+            }
             "explain" => {
                 let Some(class) = rest.first() else {
                     println!("usage: explain <class> [k]");
@@ -671,6 +818,16 @@ fn run_remote(addr: &str) {
         hello.mode,
         if hello.streaming { ", streaming" } else { "" }
     );
+    println!(
+        "server build v{}, {} kernel, features: {}",
+        hello.version,
+        hello.kernel,
+        if hello.features.is_empty() {
+            "none".to_owned()
+        } else {
+            hello.features.join("+")
+        }
+    );
     let session = client.open().expect("open session");
     let mut repl = RemoteRepl {
         client,
@@ -734,6 +891,7 @@ fn main() {
         range: None,
         semantic: None,
         last: Vec::new(),
+        monitor: None,
     };
     let stdin = io::stdin();
     loop {

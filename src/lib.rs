@@ -89,9 +89,10 @@ pub mod prelude {
     pub use foresight_data::datasets;
     pub use foresight_data::{Table, TableBuilder, TableSource};
     pub use foresight_engine::{
-        profile, AdoptPolicy, CandidateStrategy, Carousel, ColumnProfile, CoreBuilder,
-        DatasetProfile, EngineCore, EngineError, Executor, Explained, Foresight, InsightQuery,
-        Metrics, MetricsSnapshot, Mode, NeighborhoodWeights, PublishedCore, QueryTrace,
+        profile, AdoptPolicy, AlertEvent, CandidateStrategy, Carousel, ColumnProfile, CoreBuilder,
+        DatasetProfile, EngineCore, EngineError, Executor, Explained, Foresight, HealthPolicy,
+        HealthState, InsightQuery, Metrics, MetricsSnapshot, Mode, Monitor, MonitorConfig,
+        MonitorSample, MonitorTarget, NeighborhoodWeights, PublishedCore, QueryTrace,
         RepublishPolicy, Session, SessionHandle, SlowQuery, Staleness, StreamConfig, StreamWriter,
         Tracer,
     };
